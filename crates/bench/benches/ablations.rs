@@ -1,0 +1,86 @@
+//! Ablation benchmarks: end-to-end simulator runs comparing the design
+//! choices called out in `DESIGN.md` — the dependency-list bound, the
+//! inconsistency-handling strategy and the TTL baseline — in terms of the
+//! wall-clock cost of simulating one second of the paper's traffic
+//! (100 update + 500 read-only transactions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcache_sim::experiment::{CacheKind, ExperimentConfig, WorkloadKind};
+use tcache_types::{SimDuration, Strategy};
+
+fn config(cache: CacheKind) -> ExperimentConfig {
+    ExperimentConfig {
+        duration: SimDuration::from_secs(1),
+        workload: WorkloadKind::PerfectClusters {
+            objects: 1000,
+            cluster_size: 5,
+        },
+        cache,
+        seed: 11,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn bench_dependency_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dependency_bound");
+    for &bound in &[0usize, 1, 3, 5, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+            b.iter(|| {
+                config(CacheKind::TCache {
+                    dependency_bound: bound,
+                    strategy: Strategy::Abort,
+                })
+                .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_strategy");
+    for &strategy in &Strategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    config(CacheKind::TCache {
+                        dependency_bound: 5,
+                        strategy,
+                    })
+                    .run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_baselines");
+    group.bench_function("plain", |b| b.iter(|| config(CacheKind::Plain).run()));
+    group.bench_function("ttl_1s", |b| {
+        b.iter(|| {
+            config(CacheKind::Ttl {
+                ttl: SimDuration::from_secs(1),
+            })
+            .run()
+        })
+    });
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_dependency_bound, bench_strategy, bench_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Extension experiment (not in the paper): sensitivity of the plain cache
+//! and of T-Cache to the invalidation loss rate.
+
+use tcache_bench::{pct, RunOptions};
+use tcache_sim::figures;
+
+fn main() {
+    let options = RunOptions::from_env();
+    let duration = options.duration(30, 5);
+    let losses = [0.0, 0.05, 0.1, 0.2, 0.4, 0.8];
+    println!("Extension — inconsistency vs invalidation loss (retail workload, k = 3, RETRY)");
+    println!("simulated duration per point: {duration}, seed {}", options.seed);
+    println!("{:>8} {:>16} {:>16}", "loss", "plain incons.", "tcache incons.");
+    for row in figures::drop_sweep(duration, options.seed, &losses) {
+        println!(
+            "{:>8.2} {:>16} {:>16}",
+            row.loss,
+            pct(row.plain_inconsistency_pct),
+            pct(row.tcache_inconsistency_pct)
+        );
+    }
+}

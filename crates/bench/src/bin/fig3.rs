@@ -1,0 +1,22 @@
+//! Figure 3: ratio of detected inconsistencies as a function of the Pareto
+//! α parameter of the synthetic clustered workload.
+
+use tcache_bench::{pct, RunOptions};
+use tcache_sim::figures;
+
+fn main() {
+    let options = RunOptions::from_env();
+    let duration = options.duration(60, 6);
+    println!("Figure 3 — detected inconsistencies vs Pareto alpha (dep bound 5, ABORT)");
+    println!("simulated duration per point: {duration}, seed {}", options.seed);
+    println!("{:>10} {:>12} {:>16} {:>10}", "alpha", "detected", "inconsistent", "aborted");
+    for row in figures::fig3(duration, options.seed) {
+        println!(
+            "{:>10.4} {:>12} {:>16} {:>10}",
+            row.alpha,
+            pct(row.detected_pct),
+            pct(row.inconsistency_pct),
+            pct(row.aborted_pct)
+        );
+    }
+}

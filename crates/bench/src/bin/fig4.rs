@@ -1,0 +1,27 @@
+//! Figure 4: convergence of T-Cache when uniformly random accesses suddenly
+//! become perfectly clustered at t = 58 s.
+
+use tcache_bench::RunOptions;
+use tcache_sim::figures;
+use tcache_types::{SimDuration, SimTime};
+
+fn main() {
+    let options = RunOptions::from_env();
+    let (total, switch) = if options.quick {
+        (SimDuration::from_secs(20), SimTime::from_secs(8))
+    } else {
+        (SimDuration::from_secs(160), SimTime::from_secs(58))
+    };
+    println!("Figure 4 — convergence after cluster formation at t = {switch}");
+    println!("rates in transactions per second, seed {}", options.seed);
+    println!(
+        "{:>8} {:>12} {:>14} {:>10}",
+        "time[s]", "consistent", "inconsistent", "aborted"
+    );
+    for p in figures::fig4(total, switch, options.seed) {
+        println!(
+            "{:>8.0} {:>12.1} {:>14.1} {:>10.1}",
+            p.time_secs, p.consistent_rate, p.inconsistent_rate, p.aborted_rate
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 5: perfectly clustered workload whose clusters shift by one object
+//! every three minutes; the inconsistency ratio spikes after every shift and
+//! converges back towards zero.
+
+use tcache_bench::RunOptions;
+use tcache_sim::figures;
+use tcache_types::SimDuration;
+
+fn main() {
+    let options = RunOptions::from_env();
+    let (total, shift_every) = if options.quick {
+        (SimDuration::from_secs(60), SimDuration::from_secs(15))
+    } else {
+        (SimDuration::from_secs(800), SimDuration::from_secs(180))
+    };
+    println!("Figure 5 — drifting clusters (shift by one object every {shift_every})");
+    println!("seed {}", options.seed);
+    println!("{:>8} {:>18}", "time[s]", "inconsistency[%]");
+    for p in figures::fig5(total, shift_every, options.seed) {
+        let marker = if p.time_secs > 0.0
+            && p.time_secs % shift_every.as_secs_f64() < 5.0
+        {
+            "  <- shift"
+        } else {
+            ""
+        };
+        println!("{:>8.0} {:>18.2}{marker}", p.time_secs, p.inconsistency_pct);
+    }
+}

@@ -1,0 +1,25 @@
+//! Figure 6: efficacy of the ABORT / EVICT / RETRY strategies on the
+//! approximately clustered synthetic workload (α = 1.0, dep bound 5).
+
+use tcache_bench::{pct, RunOptions};
+use tcache_sim::figures;
+
+fn main() {
+    let options = RunOptions::from_env();
+    let duration = options.duration(60, 6);
+    println!("Figure 6 — strategy comparison on the synthetic workload (alpha = 1.0)");
+    println!("simulated duration per bar: {duration}, seed {}", options.seed);
+    println!(
+        "{:>8} {:>12} {:>14} {:>10}",
+        "strategy", "consistent", "inconsistent", "aborted"
+    );
+    for row in figures::fig6(duration, options.seed) {
+        println!(
+            "{:>8} {:>12} {:>14} {:>10}",
+            row.strategy.to_string(),
+            pct(row.consistent_pct),
+            pct(row.inconsistent_pct),
+            pct(row.aborted_pct)
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 7c: T-Cache on the retail-affinity (Amazon-like) and
+//! social-network (Orkut-like) workloads as a function of the
+//! dependency-list bound: inconsistency ratio, hit ratio and database load.
+
+use tcache_bench::{pct, RunOptions};
+use tcache_sim::figures;
+
+fn main() {
+    let options = RunOptions::from_env();
+    let duration = options.duration(60, 6);
+    println!("Figure 7c — transactional cache on realistic workloads (ABORT strategy)");
+    println!("simulated duration per point: {duration}, seed {}", options.seed);
+    println!(
+        "{:>28} {:>6} {:>14} {:>10} {:>14}",
+        "workload", "k", "inconsistent", "hit", "db reads/s"
+    );
+    for row in figures::fig7c(duration, options.seed) {
+        println!(
+            "{:>28} {:>6} {:>14} {:>10.3} {:>14.1}",
+            row.workload.to_string(),
+            row.dependency_bound.unwrap_or_default(),
+            pct(row.inconsistency_pct),
+            row.hit_ratio,
+            row.db_reads_per_sec
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Figure 8: efficacy of ABORT / EVICT / RETRY on the realistic workloads
+//! with dependency lists bounded at 3.
+
+use tcache_bench::{pct, RunOptions};
+use tcache_sim::figures;
+
+fn main() {
+    let options = RunOptions::from_env();
+    let duration = options.duration(60, 6);
+    println!("Figure 8 — strategy comparison on realistic workloads (dep bound 3)");
+    println!("simulated duration per bar: {duration}, seed {}", options.seed);
+    println!(
+        "{:>28} {:>8} {:>12} {:>14} {:>10}",
+        "workload", "strategy", "consistent", "inconsistent", "aborted"
+    );
+    for row in figures::fig8(duration, options.seed) {
+        println!(
+            "{:>28} {:>8} {:>12} {:>14} {:>10}",
+            row.workload.map(|w| w.to_string()).unwrap_or_default(),
+            row.strategy.to_string(),
+            pct(row.consistent_pct),
+            pct(row.inconsistent_pct),
+            pct(row.aborted_pct)
+        );
+    }
+}

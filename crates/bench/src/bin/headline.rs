@@ -1,0 +1,27 @@
+//! The headline claim of the abstract: with dependency lists of length 3,
+//! T-Cache detects 43–70 % of inconsistencies and increases the rate of
+//! consistent transactions by 33–58 % on the realistic workloads.
+
+use tcache_bench::{pct, RunOptions};
+use tcache_sim::figures;
+
+fn main() {
+    let options = RunOptions::from_env();
+    let duration = options.duration(60, 6);
+    println!("Headline — T-Cache (k = 3, RETRY) vs the consistency-unaware cache");
+    println!("simulated duration per run: {duration}, seed {}", options.seed);
+    println!(
+        "{:>28} {:>16} {:>16} {:>12} {:>18}",
+        "workload", "plain incons.", "tcache incons.", "detected", "consistent rate +"
+    );
+    for row in figures::headline(duration, options.seed) {
+        println!(
+            "{:>28} {:>16} {:>16} {:>12} {:>18}",
+            row.workload.to_string(),
+            pct(row.baseline_inconsistency_pct),
+            pct(row.tcache_inconsistency_pct),
+            pct(row.detected_pct),
+            pct(row.consistent_rate_increase_pct)
+        );
+    }
+}

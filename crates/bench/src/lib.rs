@@ -1,0 +1,105 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary accepts two optional flags:
+//!
+//! * `--quick` — run a much shorter simulation (useful for smoke tests and
+//!   CI); the qualitative shape of the result is preserved but individual
+//!   numbers are noisier.
+//! * `--seed <n>` — change the random seed (default 42).
+//!
+//! Each binary prints the table / series that the corresponding figure of
+//! the paper plots; `EXPERIMENTS.md` records a reference run next to the
+//! paper's numbers.
+
+#![deny(missing_docs)]
+
+use tcache_types::SimDuration;
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Run a shortened simulation.
+    pub quick: bool,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            quick: false,
+            seed: 42,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Parses the options from an iterator of command-line arguments
+    /// (excluding the program name). Unknown flags are ignored so binaries
+    /// stay forgiving.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut options = RunOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quick" => options.quick = true,
+                "--seed" => {
+                    if let Some(value) = iter.next() {
+                        if let Ok(seed) = value.parse() {
+                            options.seed = seed;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        options
+    }
+
+    /// Parses the options from the process arguments.
+    pub fn from_env() -> Self {
+        RunOptions::parse(std::env::args().skip(1))
+    }
+
+    /// Picks the experiment duration: `full` normally, `quick` with
+    /// `--quick`.
+    pub fn duration(&self, full_secs: u64, quick_secs: u64) -> SimDuration {
+        if self.quick {
+            SimDuration::from_secs(quick_secs)
+        } else {
+            SimDuration::from_secs(full_secs)
+        }
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(value: f64) -> String {
+    format!("{value:5.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags() {
+        let o = RunOptions::parse(["--quick".to_string(), "--seed".to_string(), "7".to_string()]);
+        assert!(o.quick);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.duration(60, 5), SimDuration::from_secs(5));
+
+        let d = RunOptions::parse(Vec::new());
+        assert!(!d.quick);
+        assert_eq!(d.seed, 42);
+        assert_eq!(d.duration(60, 5), SimDuration::from_secs(60));
+
+        // Unknown flags and malformed seeds are ignored.
+        let o = RunOptions::parse(["--wat".to_string(), "--seed".to_string(), "x".to_string()]);
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(12.34), " 12.3%");
+    }
+}

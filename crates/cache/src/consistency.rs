@@ -1,0 +1,327 @@
+//! The violation predicates of §III-B.
+//!
+//! On a read of `key_curr` returning version `ver_curr` with dependency list
+//! `depList_curr`, the cache checks the read against every previous read of
+//! the same transaction:
+//!
+//! * **Equation 1** — a previously read object is *too old*: the current
+//!   read's dependency information expects some object `k` at a version `v`,
+//!   but the transaction already observed `k` at an older version `v' < v`.
+//!   The violating (stale) object is `k`, and it was already returned to the
+//!   client.
+//!
+//! * **Equation 2** — the *current* read is too old: a previous read's
+//!   dependency information expects `key_curr` at a version newer than
+//!   `ver_curr`. The violating object is `key_curr`, and it has not been
+//!   returned yet, which is what makes the RETRY strategy possible.
+//!
+//! In both predicates the "expected versions" of a read are the union of
+//! the `(key, version)` pair actually observed and the entries of its
+//! dependency list, mirroring the paper's `readSet ∪ writeSet` notation
+//! (read-only cache transactions have no write set).
+
+use tcache_types::{DependencyList, ObjectId, ReadSet, Version};
+
+/// Which predicate detected the violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Equation 1: an object read earlier in the transaction is stale.
+    PreviousReadStale,
+    /// Equation 2: the object being read right now is stale.
+    CurrentReadStale,
+}
+
+/// A detected inconsistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The stale object.
+    pub violating_object: ObjectId,
+    /// The version the transaction observed for the stale object.
+    pub observed_version: Version,
+    /// The (newer) version some dependency expected.
+    pub expected_version: Version,
+    /// Which predicate fired.
+    pub kind: ViolationKind,
+}
+
+/// Checks the current read against the transaction's previous reads.
+///
+/// Returns the first violation found, preferring Equation 2 (current read
+/// stale) over Equation 1 when both hold: a current-read violation can be
+/// repaired locally by the RETRY strategy, whereas an Equation 1 violation
+/// always requires an abort, so reporting Equation 2 first gives the
+/// configured strategy the most room to act. `None` means the read is
+/// consistent with everything observed so far (which is a necessary but not
+/// sufficient condition for true consistency — dependency lists are bounded).
+pub fn check_read(
+    previous: &ReadSet,
+    key_curr: ObjectId,
+    ver_curr: Version,
+    deps_curr: &DependencyList,
+) -> Option<Violation> {
+    // Equation 2: some previous read expects key_curr at a newer version
+    // than the one we are about to return.
+    let mut eq2: Option<Violation> = None;
+    for prev in previous.iter() {
+        // The previously observed pair itself…
+        if prev.object == key_curr && prev.version > ver_curr {
+            eq2 = pick_worse(eq2, Violation {
+                violating_object: key_curr,
+                observed_version: ver_curr,
+                expected_version: prev.version,
+                kind: ViolationKind::CurrentReadStale,
+            });
+        }
+        // …and its dependency list.
+        if let Some(expected) = prev.dependencies.version_of(key_curr) {
+            if expected > ver_curr {
+                eq2 = pick_worse(eq2, Violation {
+                    violating_object: key_curr,
+                    observed_version: ver_curr,
+                    expected_version: expected,
+                    kind: ViolationKind::CurrentReadStale,
+                });
+            }
+        }
+    }
+    if eq2.is_some() {
+        return eq2;
+    }
+
+    // Equation 1: the current read's expectations (its observed pair plus
+    // its dependency list) show that a previously returned object is stale.
+    let mut eq1: Option<Violation> = None;
+    for prev in previous.iter() {
+        let expected = if prev.object == key_curr {
+            // Re-reading the same key: the current version itself is the
+            // expectation (a newer current version makes the earlier read
+            // stale).
+            Some(ver_curr)
+        } else {
+            deps_curr.version_of(prev.object)
+        };
+        if let Some(expected) = expected {
+            if expected > prev.version {
+                eq1 = pick_worse(eq1, Violation {
+                    violating_object: prev.object,
+                    observed_version: prev.version,
+                    expected_version: expected,
+                    kind: ViolationKind::PreviousReadStale,
+                });
+            }
+        }
+    }
+    eq1
+}
+
+/// Keeps the violation with the larger expectation gap, so diagnostics point
+/// at the most clearly stale object.
+fn pick_worse(current: Option<Violation>, candidate: Violation) -> Option<Violation> {
+    match current {
+        None => Some(candidate),
+        Some(existing) => {
+            let existing_gap = existing.expected_version.as_u64() - existing.observed_version.as_u64();
+            let candidate_gap = candidate.expected_version.as_u64() - candidate.observed_version.as_u64();
+            if candidate_gap > existing_gap {
+                Some(candidate)
+            } else {
+                Some(existing)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::ReadRecord;
+
+    fn o(i: u64) -> ObjectId {
+        ObjectId(i)
+    }
+    fn v(i: u64) -> Version {
+        Version(i)
+    }
+
+    fn deps(pairs: &[(u64, u64)]) -> DependencyList {
+        let mut d = DependencyList::unbounded();
+        for &(k, ver) in pairs {
+            d.record(o(k), v(ver));
+        }
+        d
+    }
+
+    fn read_set(records: &[(u64, u64, &[(u64, u64)])]) -> ReadSet {
+        let mut rs = ReadSet::new();
+        for &(k, ver, dep_pairs) in records {
+            rs.push(ReadRecord::new(o(k), v(ver), deps(dep_pairs)));
+        }
+        rs
+    }
+
+    #[test]
+    fn consistent_read_passes() {
+        // Previously read o1@v5 (depends on o2@v3); now reading o2@v3.
+        let prev = read_set(&[(1, 5, &[(2, 3)])]);
+        assert!(check_read(&prev, o(2), v(3), &deps(&[(1, 5)])).is_none());
+        // Newer than expected is also fine for Equation 2.
+        assert!(check_read(&prev, o(2), v(9), &deps(&[])).is_none());
+    }
+
+    #[test]
+    fn first_read_of_a_transaction_never_violates() {
+        let prev = ReadSet::new();
+        assert!(check_read(&prev, o(1), v(0), &deps(&[(2, 100)])).is_none());
+    }
+
+    #[test]
+    fn equation_two_current_read_too_old() {
+        // Previous read of o1@v5 expects o2 at version >= 4; the cached o2 is
+        // still at version 2 (its invalidation was lost).
+        let prev = read_set(&[(1, 5, &[(2, 4)])]);
+        let violation = check_read(&prev, o(2), v(2), &deps(&[])).unwrap();
+        assert_eq!(violation.kind, ViolationKind::CurrentReadStale);
+        assert_eq!(violation.violating_object, o(2));
+        assert_eq!(violation.observed_version, v(2));
+        assert_eq!(violation.expected_version, v(4));
+    }
+
+    #[test]
+    fn equation_one_previous_read_too_old() {
+        // Previously read o2@v2; now reading o1@v5 whose dependency list
+        // says o2 must be at version >= 4.
+        let prev = read_set(&[(2, 2, &[])]);
+        let violation = check_read(&prev, o(1), v(5), &deps(&[(2, 4)])).unwrap();
+        assert_eq!(violation.kind, ViolationKind::PreviousReadStale);
+        assert_eq!(violation.violating_object, o(2));
+        assert_eq!(violation.observed_version, v(2));
+        assert_eq!(violation.expected_version, v(4));
+    }
+
+    #[test]
+    fn rereading_same_key_with_newer_version_flags_previous_read() {
+        let prev = read_set(&[(1, 3, &[])]);
+        let violation = check_read(&prev, o(1), v(7), &deps(&[])).unwrap();
+        assert_eq!(violation.kind, ViolationKind::PreviousReadStale);
+        assert_eq!(violation.violating_object, o(1));
+    }
+
+    #[test]
+    fn rereading_same_key_with_older_version_flags_current_read() {
+        let prev = read_set(&[(1, 7, &[])]);
+        let violation = check_read(&prev, o(1), v(3), &deps(&[])).unwrap();
+        assert_eq!(violation.kind, ViolationKind::CurrentReadStale);
+        assert_eq!(violation.violating_object, o(1));
+    }
+
+    #[test]
+    fn rereading_same_key_same_version_is_consistent() {
+        let prev = read_set(&[(1, 7, &[])]);
+        assert!(check_read(&prev, o(1), v(7), &deps(&[])).is_none());
+    }
+
+    #[test]
+    fn equation_two_takes_precedence_over_equation_one() {
+        // Both predicates fire: the previous read of o2 is older than the
+        // current read's expectation, and the current read of o3 is older
+        // than a previous read's expectation. Equation 2 must be reported so
+        // RETRY can repair the current read.
+        let prev = read_set(&[(2, 2, &[(3, 9)]), (1, 5, &[])]);
+        let violation = check_read(&prev, o(3), v(1), &deps(&[(2, 8)])).unwrap();
+        assert_eq!(violation.kind, ViolationKind::CurrentReadStale);
+        assert_eq!(violation.violating_object, o(3));
+    }
+
+    #[test]
+    fn worst_violation_is_reported() {
+        // Two previous reads expect the current object at versions 4 and 9;
+        // the larger gap (9) should be reported.
+        let prev = read_set(&[(1, 5, &[(3, 4)]), (2, 6, &[(3, 9)])]);
+        let violation = check_read(&prev, o(3), v(1), &deps(&[])).unwrap();
+        assert_eq!(violation.expected_version, v(9));
+    }
+
+    #[test]
+    fn empty_dependency_lists_detect_nothing_new() {
+        // With bound-zero dependency lists (a consistency-unaware cache) no
+        // cross-object violation can ever fire.
+        let prev = read_set(&[(1, 5, &[]), (2, 2, &[])]);
+        assert!(check_read(&prev, o(3), v(0), &deps(&[])).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use tcache_types::ReadRecord;
+
+    fn arb_deplist() -> impl Strategy<Value = DependencyList> {
+        prop::collection::vec((0u64..10, 0u64..20), 0..5).prop_map(|pairs| {
+            let mut d = DependencyList::bounded(5);
+            for (k, v) in pairs {
+                d.record(ObjectId(k), Version(v));
+            }
+            d
+        })
+    }
+
+    fn arb_read_set() -> impl Strategy<Value = ReadSet> {
+        prop::collection::vec((0u64..10, 0u64..20, arb_deplist()), 0..6).prop_map(|reads| {
+            let mut rs = ReadSet::new();
+            for (k, v, d) in reads {
+                rs.push(ReadRecord::new(ObjectId(k), Version(v), d));
+            }
+            rs
+        })
+    }
+
+    proptest! {
+        /// The check never reports an expected version that is not strictly
+        /// newer than the observed version.
+        #[test]
+        fn violations_always_have_a_positive_gap(
+            prev in arb_read_set(),
+            key in 0u64..10,
+            ver in 0u64..20,
+            deps in arb_deplist(),
+        ) {
+            if let Some(v) = check_read(&prev, ObjectId(key), Version(ver), &deps) {
+                prop_assert!(v.expected_version > v.observed_version);
+            }
+        }
+
+        /// A read with an empty previous record never violates.
+        #[test]
+        fn empty_record_never_violates(
+            key in 0u64..10,
+            ver in 0u64..20,
+            deps in arb_deplist(),
+        ) {
+            prop_assert!(check_read(&ReadSet::new(), ObjectId(key), Version(ver), &deps).is_none());
+        }
+
+        /// Monotonicity: raising the version of the current read can never
+        /// introduce an Equation 2 violation that was absent at a higher
+        /// version.
+        #[test]
+        fn newer_current_version_never_creates_eq2(
+            prev in arb_read_set(),
+            key in 0u64..10,
+            ver in 0u64..19,
+            deps in arb_deplist(),
+        ) {
+            let low = check_read(&prev, ObjectId(key), Version(ver), &deps);
+            let high = check_read(&prev, ObjectId(key), Version(ver + 1), &deps);
+            if let Some(h) = high {
+                if h.kind == ViolationKind::CurrentReadStale {
+                    // If the higher version still violates Eq 2, the lower
+                    // version must violate it too.
+                    let low_is_eq2 =
+                        low.map(|v| v.kind == ViolationKind::CurrentReadStale).unwrap_or(false);
+                    prop_assert!(low_is_eq2);
+                }
+            }
+        }
+    }
+}

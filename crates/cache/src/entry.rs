@@ -1,0 +1,69 @@
+//! A single cached object.
+
+use tcache_types::{ObjectEntry, SimTime, TtlConfig};
+
+/// A cache-resident copy of an object: the database entry (value, version,
+/// dependency list) plus the time it was brought into the cache, used for
+/// TTL expiry and diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The object data as read from the database.
+    pub entry: ObjectEntry,
+    /// When the entry was inserted (or last refreshed from the database).
+    pub inserted_at: SimTime,
+}
+
+impl CacheEntry {
+    /// Creates a cache entry inserted at `now`.
+    pub fn new(entry: ObjectEntry, now: SimTime) -> Self {
+        CacheEntry {
+            entry,
+            inserted_at: now,
+        }
+    }
+
+    /// Returns `true` if the entry has outlived the configured TTL at `now`.
+    pub fn is_expired(&self, ttl: TtlConfig, now: SimTime) -> bool {
+        match ttl.lifetime() {
+            None => false,
+            Some(lifetime) => now.since(self.inserted_at) > lifetime,
+        }
+    }
+
+    /// Age of the entry at `now`.
+    pub fn age(&self, now: SimTime) -> tcache_types::SimDuration {
+        now.since(self.inserted_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::{ObjectId, SimDuration, Value};
+
+    fn entry_at(t: SimTime) -> CacheEntry {
+        CacheEntry::new(ObjectEntry::initial(ObjectId(1), Value::new(0)), t)
+    }
+
+    #[test]
+    fn infinite_ttl_never_expires() {
+        let e = entry_at(SimTime::ZERO);
+        assert!(!e.is_expired(TtlConfig::Infinite, SimTime::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn limited_ttl_expires_after_lifetime() {
+        let e = entry_at(SimTime::from_secs(10));
+        let ttl = TtlConfig::Limited(SimDuration::from_secs(30));
+        assert!(!e.is_expired(ttl, SimTime::from_secs(20)));
+        assert!(!e.is_expired(ttl, SimTime::from_secs(40)), "exactly at the boundary is still valid");
+        assert!(e.is_expired(ttl, SimTime::from_secs(41)));
+    }
+
+    #[test]
+    fn age_is_measured_from_insertion() {
+        let e = entry_at(SimTime::from_secs(5));
+        assert_eq!(e.age(SimTime::from_secs(8)), SimDuration::from_secs(3));
+        assert_eq!(e.age(SimTime::from_secs(2)), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,172 @@
+//! Cache-side statistics: hit ratio, aborts, database load generated.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters describing one cache server's behaviour.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    reads: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    retries: AtomicU64,
+    invalidations_applied: AtomicU64,
+    invalidations_ignored: AtomicU64,
+    evictions: AtomicU64,
+    txns_committed: AtomicU64,
+    txns_aborted: AtomicU64,
+}
+
+/// A point-in-time copy of [`CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStatsSnapshot {
+    /// Client read operations served (hits + misses, excluding retries).
+    pub reads: u64,
+    /// Reads served from the cache without contacting the database.
+    pub hits: u64,
+    /// Reads that had to fetch the object from the database.
+    pub misses: u64,
+    /// Additional database fetches triggered by the RETRY strategy.
+    pub retries: u64,
+    /// Invalidations that evicted a cached entry.
+    pub invalidations_applied: u64,
+    /// Invalidations ignored (object absent or already newer).
+    pub invalidations_ignored: u64,
+    /// Entries evicted by the EVICT / RETRY strategies.
+    pub evictions: u64,
+    /// Read-only transactions that completed all their reads.
+    pub txns_committed: u64,
+    /// Read-only transactions aborted after an inconsistency was detected.
+    pub txns_aborted: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Fraction of reads served without contacting the database
+    /// (1.0 when no reads have been issued).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.reads == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.reads as f64
+        }
+    }
+
+    /// Total load this cache placed on the database (misses plus
+    /// read-through retries).
+    pub fn db_reads(&self) -> u64 {
+        self.misses + self.retries
+    }
+
+    /// Fraction of completed transactions that were aborted.
+    pub fn abort_ratio(&self) -> f64 {
+        let total = self.txns_committed + self.txns_aborted;
+        if total == 0 {
+            0.0
+        } else {
+            self.txns_aborted as f64 / total as f64
+        }
+    }
+}
+
+impl CacheStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    /// Records a read served from the cache.
+    pub fn record_hit(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a read that required a database fetch.
+    pub fn record_miss(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a read-through performed by the RETRY strategy.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an invalidation that evicted an entry.
+    pub fn record_invalidation_applied(&self) {
+        self.invalidations_applied.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an invalidation that had no effect.
+    pub fn record_invalidation_ignored(&self) {
+        self.invalidations_ignored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a strategy-driven eviction.
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a committed read-only transaction.
+    pub fn record_commit(&self) {
+        self.txns_committed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an aborted read-only transaction.
+    pub fn record_abort(&self) {
+        self.txns_aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            invalidations_applied: self.invalidations_applied.load(Ordering::Relaxed),
+            invalidations_ignored: self.invalidations_ignored.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            txns_committed: self.txns_committed.load(Ordering::Relaxed),
+            txns_aborted: self.txns_aborted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_ratios() {
+        let s = CacheStats::new();
+        for _ in 0..3 {
+            s.record_hit();
+        }
+        s.record_miss();
+        s.record_retry();
+        s.record_invalidation_applied();
+        s.record_invalidation_ignored();
+        s.record_eviction();
+        s.record_commit();
+        s.record_commit();
+        s.record_abort();
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 4);
+        assert_eq!(snap.hits, 3);
+        assert_eq!(snap.misses, 1);
+        assert!((snap.hit_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(snap.db_reads(), 2);
+        assert!((snap.abort_ratio() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(snap.invalidations_applied, 1);
+        assert_eq!(snap.invalidations_ignored, 1);
+        assert_eq!(snap.evictions, 1);
+    }
+
+    #[test]
+    fn empty_stats_have_defined_ratios() {
+        let snap = CacheStats::new().snapshot();
+        assert_eq!(snap.hit_ratio(), 1.0);
+        assert_eq!(snap.abort_ratio(), 0.0);
+        assert_eq!(snap.db_reads(), 0);
+        assert_eq!(snap, CacheStatsSnapshot::default());
+    }
+}

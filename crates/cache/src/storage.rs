@@ -1,0 +1,232 @@
+//! In-memory cache storage with optional capacity-based LRU eviction and
+//! TTL expiry.
+//!
+//! The paper's prototype "does not address the issue of cache eviction when
+//! running out of memory" — in the experiments everything fits. The storage
+//! nonetheless supports a capacity bound with LRU eviction so the library is
+//! usable outside the evaluation; the harness simply leaves the capacity
+//! unlimited.
+
+use crate::entry::CacheEntry;
+use std::collections::HashMap;
+use tcache_types::{ObjectEntry, ObjectId, SimTime, TtlConfig, Version};
+
+/// The cache's object storage.
+#[derive(Debug)]
+pub struct CacheStorage {
+    entries: HashMap<ObjectId, CacheEntry>,
+    /// Most-recently-used order: the front is the LRU victim candidate.
+    lru: Vec<ObjectId>,
+    capacity: Option<usize>,
+    ttl: TtlConfig,
+}
+
+impl CacheStorage {
+    /// Creates storage with unlimited capacity and no TTL.
+    pub fn unlimited() -> Self {
+        CacheStorage::new(None, TtlConfig::Infinite)
+    }
+
+    /// Creates storage with an optional capacity bound and a TTL policy.
+    pub fn new(capacity: Option<usize>, ttl: TtlConfig) -> Self {
+        CacheStorage {
+            entries: HashMap::new(),
+            lru: Vec::new(),
+            capacity,
+            ttl,
+        }
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The TTL policy in force.
+    pub fn ttl(&self) -> TtlConfig {
+        self.ttl
+    }
+
+    /// Looks up an object. Expired entries are removed and reported as
+    /// misses. A hit refreshes the object's LRU position.
+    pub fn get(&mut self, id: ObjectId, now: SimTime) -> Option<ObjectEntry> {
+        let expired = match self.entries.get(&id) {
+            None => return None,
+            Some(e) => e.is_expired(self.ttl, now),
+        };
+        if expired {
+            self.remove(id);
+            return None;
+        }
+        self.touch(id);
+        self.entries.get(&id).map(|e| e.entry.clone())
+    }
+
+    /// Looks up an object without refreshing LRU or applying TTL
+    /// (diagnostics and tests).
+    pub fn peek(&self, id: ObjectId) -> Option<&CacheEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Inserts (or refreshes) an object, evicting the LRU entry if the
+    /// capacity bound is exceeded. Returns the evicted object, if any.
+    pub fn insert(&mut self, entry: ObjectEntry, now: SimTime) -> Option<ObjectId> {
+        let id = entry.id;
+        self.entries.insert(id, CacheEntry::new(entry, now));
+        self.touch(id);
+        if let Some(cap) = self.capacity {
+            if self.entries.len() > cap {
+                let victim = self.lru.first().copied();
+                if let Some(v) = victim {
+                    self.remove(v);
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Removes an object from the cache (invalidation or strategy-driven
+    /// eviction). Returns `true` if it was present.
+    pub fn remove(&mut self, id: ObjectId) -> bool {
+        self.lru.retain(|&o| o != id);
+        self.entries.remove(&id).is_some()
+    }
+
+    /// Removes the object only if its cached version is older than
+    /// `newer_than`. Returns `true` if an entry was removed.
+    ///
+    /// This is the invalidation path: an invalidation for version `v` must
+    /// not evict a cache entry that is already at `v` or newer (which can
+    /// happen when invalidations are reordered).
+    pub fn invalidate(&mut self, id: ObjectId, newer_than: Version) -> bool {
+        match self.entries.get(&id) {
+            Some(e) if e.entry.version < newer_than => self.remove(id),
+            _ => false,
+        }
+    }
+
+    /// The version currently cached for `id`, ignoring TTL.
+    pub fn cached_version(&self, id: ObjectId) -> Option<Version> {
+        self.entries.get(&id).map(|e| e.entry.version)
+    }
+
+    /// All cached object ids (unspecified order).
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Approximate memory footprint in bytes of the cached entries.
+    pub fn footprint_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.entry.size_bytes()).sum()
+    }
+
+    fn touch(&mut self, id: ObjectId) {
+        self.lru.retain(|&o| o != id);
+        self.lru.push(id);
+    }
+}
+
+impl Default for CacheStorage {
+    fn default() -> Self {
+        CacheStorage::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::{SimDuration, Value};
+
+    fn obj(i: u64, v: u64) -> ObjectEntry {
+        ObjectEntry::new(
+            ObjectId(i),
+            Value::new(v),
+            Version(v),
+            tcache_types::DependencyList::bounded(3),
+        )
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = CacheStorage::unlimited();
+        assert!(s.is_empty());
+        s.insert(obj(1, 1), SimTime::ZERO);
+        assert_eq!(s.len(), 1);
+        let got = s.get(ObjectId(1), SimTime::ZERO).unwrap();
+        assert_eq!(got.version, Version(1));
+        assert!(s.remove(ObjectId(1)));
+        assert!(!s.remove(ObjectId(1)));
+        assert!(s.get(ObjectId(1), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut s = CacheStorage::new(Some(2), TtlConfig::Infinite);
+        s.insert(obj(1, 1), SimTime::ZERO);
+        s.insert(obj(2, 1), SimTime::ZERO);
+        // Touch object 1 so object 2 becomes the LRU victim.
+        s.get(ObjectId(1), SimTime::ZERO);
+        let evicted = s.insert(obj(3, 1), SimTime::ZERO);
+        assert_eq!(evicted, Some(ObjectId(2)));
+        assert!(s.peek(ObjectId(1)).is_some());
+        assert!(s.peek(ObjectId(2)).is_none());
+        assert!(s.peek(ObjectId(3)).is_some());
+    }
+
+    #[test]
+    fn ttl_expiry_is_a_miss_and_removes_the_entry() {
+        let ttl = TtlConfig::Limited(SimDuration::from_secs(10));
+        let mut s = CacheStorage::new(None, ttl);
+        assert_eq!(s.ttl(), ttl);
+        s.insert(obj(1, 1), SimTime::ZERO);
+        assert!(s.get(ObjectId(1), SimTime::from_secs(5)).is_some());
+        assert!(s.get(ObjectId(1), SimTime::from_secs(11)).is_none());
+        assert!(s.peek(ObjectId(1)).is_none(), "expired entry is dropped");
+    }
+
+    #[test]
+    fn invalidate_only_removes_older_versions() {
+        let mut s = CacheStorage::unlimited();
+        s.insert(obj(1, 5), SimTime::ZERO);
+        // An old (reordered) invalidation must not evict a newer entry.
+        assert!(!s.invalidate(ObjectId(1), Version(5)));
+        assert!(!s.invalidate(ObjectId(1), Version(3)));
+        assert!(s.peek(ObjectId(1)).is_some());
+        // A strictly newer version evicts.
+        assert!(s.invalidate(ObjectId(1), Version(6)));
+        assert!(s.peek(ObjectId(1)).is_none());
+        // Invalidating an absent object is a no-op.
+        assert!(!s.invalidate(ObjectId(9), Version(1)));
+    }
+
+    #[test]
+    fn cached_version_and_ids() {
+        let mut s = CacheStorage::unlimited();
+        s.insert(obj(1, 4), SimTime::ZERO);
+        s.insert(obj(2, 7), SimTime::ZERO);
+        assert_eq!(s.cached_version(ObjectId(1)), Some(Version(4)));
+        assert_eq!(s.cached_version(ObjectId(9)), None);
+        let mut ids = s.object_ids();
+        ids.sort();
+        assert_eq!(ids, vec![ObjectId(1), ObjectId(2)]);
+        assert!(s.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_timestamp() {
+        let ttl = TtlConfig::Limited(SimDuration::from_secs(10));
+        let mut s = CacheStorage::new(None, ttl);
+        s.insert(obj(1, 1), SimTime::ZERO);
+        s.insert(obj(1, 2), SimTime::from_secs(8));
+        // Entry re-inserted at t=8s survives until t=18s.
+        let e = s.get(ObjectId(1), SimTime::from_secs(15)).unwrap();
+        assert_eq!(e.version, Version(2));
+        assert_eq!(s.len(), 1);
+    }
+}

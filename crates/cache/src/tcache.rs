@@ -1,0 +1,612 @@
+//! The edge cache server.
+//!
+//! [`EdgeCache`] implements the full T-Cache protocol of §III-B and, through
+//! [`CachePolicyConfig`], also the two baselines of the evaluation
+//! (consistency-unaware cache and TTL-limited cache). It talks to the
+//! backend [`Database`] only on cache misses and RETRY read-throughs, and
+//! receives asynchronous invalidations through
+//! [`EdgeCache::apply_invalidation`].
+
+use crate::consistency::{check_read, Violation, ViolationKind};
+use crate::stats::{CacheStats, CacheStatsSnapshot};
+use crate::storage::CacheStorage;
+use crate::txn_record::TransactionTable;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tcache_db::{Database, Invalidation};
+use tcache_types::{
+    CacheId, CachePolicyConfig, ObjectEntry, ObjectId, ReadOnlyOutcome, SimDuration, SimTime,
+    Strategy, TCacheError, TCacheResult, TxnId, VersionedObject,
+};
+
+#[derive(Debug)]
+struct Inner {
+    storage: CacheStorage,
+    txns: TransactionTable,
+}
+
+/// An edge cache server.
+///
+/// All methods take `&self`; the cache uses a mutex internally so it can be
+/// shared between the client-facing side and the invalidation upcall.
+#[derive(Debug)]
+pub struct EdgeCache {
+    id: CacheId,
+    backend: Arc<Database>,
+    config: CachePolicyConfig,
+    inner: Mutex<Inner>,
+    stats: CacheStats,
+}
+
+impl EdgeCache {
+    /// Creates a cache with an explicit policy configuration.
+    pub fn new(id: CacheId, backend: Arc<Database>, config: CachePolicyConfig) -> Self {
+        EdgeCache {
+            id,
+            backend,
+            config,
+            inner: Mutex::new(Inner {
+                storage: CacheStorage::new(None, config.ttl),
+                txns: TransactionTable::new(),
+            }),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Creates a T-Cache with the given dependency bound and strategy.
+    pub fn tcache(id: CacheId, backend: Arc<Database>, bound: usize, strategy: Strategy) -> Self {
+        EdgeCache::new(id, backend, CachePolicyConfig::tcache(bound, strategy))
+    }
+
+    /// Creates the consistency-unaware baseline cache.
+    pub fn plain(id: CacheId, backend: Arc<Database>) -> Self {
+        EdgeCache::new(id, backend, CachePolicyConfig::plain())
+    }
+
+    /// Creates the TTL-limited baseline cache of §V-B2.
+    pub fn ttl_baseline(id: CacheId, backend: Arc<Database>, ttl: SimDuration) -> Self {
+        EdgeCache::new(id, backend, CachePolicyConfig::ttl_baseline(ttl))
+    }
+
+    /// Creates a T-Cache with unbounded dependency lists (Theorem 1).
+    pub fn unbounded(id: CacheId, backend: Arc<Database>, strategy: Strategy) -> Self {
+        EdgeCache::new(id, backend, CachePolicyConfig::unbounded(strategy))
+    }
+
+    /// The cache server's id.
+    pub fn id(&self) -> CacheId {
+        self.id
+    }
+
+    /// The policy configuration in force.
+    pub fn config(&self) -> CachePolicyConfig {
+        self.config
+    }
+
+    /// The backend database this cache reads through to.
+    pub fn backend(&self) -> &Arc<Database> {
+        &self.backend
+    }
+
+    /// Performs one read of the transactional read-only interface:
+    /// `read(txnID, key, lastOp)` (§III-B).
+    ///
+    /// Returns the value and version observed. When `last_op` is `true` the
+    /// cache garbage-collects the transaction record after responding, and
+    /// counts the transaction as committed.
+    ///
+    /// # Errors
+    /// * [`TCacheError::InconsistencyAbort`] if the read (or an earlier read
+    ///   of the same transaction) is detected to be inconsistent and the
+    ///   strategy requires aborting. The transaction record is discarded.
+    /// * [`TCacheError::UnknownObject`] if the object does not exist in the
+    ///   backend database.
+    pub fn read(
+        &self,
+        now: SimTime,
+        txn: TxnId,
+        key: ObjectId,
+        last_op: bool,
+    ) -> TCacheResult<VersionedObject> {
+        let mut inner = self.inner.lock();
+        let entry = self.fetch(&mut inner, key, now)?;
+
+        if !self.config.transactional {
+            if last_op {
+                self.stats.record_commit();
+            }
+            return Ok(entry.to_versioned());
+        }
+
+        let empty = tcache_types::ReadSet::new();
+        let previous = inner.txns.read_set(txn).unwrap_or(&empty).clone();
+        let entry = match check_read(&previous, key, entry.version, &entry.dependencies) {
+            None => entry,
+            Some(violation) => {
+                match self.handle_violation(&mut inner, now, txn, key, violation, &previous)? {
+                    Some(fresh) => fresh,
+                    None => unreachable!("handle_violation either errors or returns an entry"),
+                }
+            }
+        };
+
+        inner
+            .txns
+            .record_read(txn, key, entry.version, entry.dependencies.clone());
+        if last_op {
+            inner.txns.finish(txn);
+            self.stats.record_commit();
+        }
+        Ok(entry.to_versioned())
+    }
+
+    /// Convenience wrapper running a whole read-only transaction over the
+    /// given keys (the last key carries the `last_op` flag). A detected
+    /// inconsistency is reported as [`ReadOnlyOutcome::Aborted`]; other
+    /// errors (unknown objects, missing backend) are propagated.
+    ///
+    /// # Errors
+    /// Propagates every error except [`TCacheError::InconsistencyAbort`].
+    pub fn execute_transaction(
+        &self,
+        now: SimTime,
+        txn: TxnId,
+        keys: &[ObjectId],
+    ) -> TCacheResult<ReadOnlyOutcome> {
+        let mut values = Vec::with_capacity(keys.len());
+        for (i, &key) in keys.iter().enumerate() {
+            let last_op = i + 1 == keys.len();
+            match self.read(now, txn, key, last_op) {
+                Ok(v) => values.push(v),
+                Err(TCacheError::InconsistencyAbort {
+                    violating_object, ..
+                }) => {
+                    return Ok(ReadOnlyOutcome::Aborted { violating_object });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(ReadOnlyOutcome::Committed(values))
+    }
+
+    /// Applies one invalidation received from the database: the cached
+    /// entry is evicted if (and only if) it is older than the invalidated
+    /// version, so that reordered or duplicated invalidations are harmless.
+    pub fn apply_invalidation(&self, invalidation: Invalidation) {
+        let mut inner = self.inner.lock();
+        if inner
+            .storage
+            .invalidate(invalidation.object, invalidation.new_version)
+        {
+            self.stats.record_invalidation_applied();
+        } else {
+            self.stats.record_invalidation_ignored();
+        }
+    }
+
+    /// A snapshot of the cache's statistics.
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of objects currently cached.
+    pub fn cached_objects(&self) -> usize {
+        self.inner.lock().storage.len()
+    }
+
+    /// Returns `true` if `key` is currently cached (ignoring TTL).
+    pub fn contains(&self, key: ObjectId) -> bool {
+        self.inner.lock().storage.peek(key).is_some()
+    }
+
+    /// Number of read-only transactions with live records (diagnostics).
+    pub fn open_transactions(&self) -> usize {
+        self.inner.lock().txns.len()
+    }
+
+    /// Approximate memory used by cached entries, in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.inner.lock().storage.footprint_bytes()
+    }
+
+    /// Fetches `key` from the local storage or, on a miss, from the backend
+    /// database (recording hit/miss statistics).
+    fn fetch(&self, inner: &mut Inner, key: ObjectId, now: SimTime) -> TCacheResult<ObjectEntry> {
+        if let Some(entry) = inner.storage.get(key, now) {
+            self.stats.record_hit();
+            return Ok(entry);
+        }
+        let entry = self.fetch_from_backend(key)?;
+        self.stats.record_miss();
+        inner.storage.insert(entry.clone(), now);
+        Ok(entry)
+    }
+
+    /// Reads an entry from the backend, re-bounding its dependency list to
+    /// the cache's own bound (relevant when the cache is configured with a
+    /// smaller bound than the database).
+    fn fetch_from_backend(&self, key: ObjectId) -> TCacheResult<ObjectEntry> {
+        let mut entry = self.backend.read_entry(key)?;
+        let limit = self.config.dependency_bound.limit();
+        if entry.dependencies.len() > limit {
+            entry.dependencies = entry.dependencies.rebounded(limit);
+        }
+        Ok(entry)
+    }
+
+    /// Reacts to a detected violation according to the configured strategy.
+    ///
+    /// Returns `Ok(Some(entry))` when the RETRY strategy repaired the read
+    /// and the transaction may continue with the fresh entry; otherwise the
+    /// transaction is aborted and an error is returned.
+    fn handle_violation(
+        &self,
+        inner: &mut Inner,
+        now: SimTime,
+        txn: TxnId,
+        key: ObjectId,
+        violation: Violation,
+        previous: &tcache_types::ReadSet,
+    ) -> TCacheResult<Option<ObjectEntry>> {
+        match self.config.strategy {
+            Strategy::Abort => {
+                self.abort(inner, txn);
+                Err(TCacheError::InconsistencyAbort {
+                    txn,
+                    violating_object: violation.violating_object,
+                })
+            }
+            Strategy::Evict => {
+                if inner.storage.remove(violation.violating_object) {
+                    self.stats.record_eviction();
+                }
+                self.abort(inner, txn);
+                Err(TCacheError::InconsistencyAbort {
+                    txn,
+                    violating_object: violation.violating_object,
+                })
+            }
+            Strategy::Retry => {
+                if violation.kind == ViolationKind::CurrentReadStale {
+                    // The object being read is the stale one: treat the
+                    // access as a miss and read through to the database.
+                    if inner.storage.remove(key) {
+                        self.stats.record_eviction();
+                    }
+                    let fresh = self.fetch_from_backend(key)?;
+                    self.stats.record_retry();
+                    inner.storage.insert(fresh.clone(), now);
+                    match check_read(previous, key, fresh.version, &fresh.dependencies) {
+                        None => Ok(Some(fresh)),
+                        Some(second) => {
+                            // The fresh copy exposes a violation that cannot
+                            // be repaired locally (a previously returned
+                            // object is stale): evict it and abort.
+                            if inner.storage.remove(second.violating_object) {
+                                self.stats.record_eviction();
+                            }
+                            self.abort(inner, txn);
+                            Err(TCacheError::InconsistencyAbort {
+                                txn,
+                                violating_object: second.violating_object,
+                            })
+                        }
+                    }
+                } else {
+                    // The stale object was already returned to the client
+                    // earlier in this transaction: evict it and abort.
+                    if inner.storage.remove(violation.violating_object) {
+                        self.stats.record_eviction();
+                    }
+                    self.abort(inner, txn);
+                    Err(TCacheError::InconsistencyAbort {
+                        txn,
+                        violating_object: violation.violating_object,
+                    })
+                }
+            }
+        }
+    }
+
+    fn abort(&self, inner: &mut Inner, txn: TxnId) {
+        inner.txns.finish(txn);
+        self.stats.record_abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_db::DatabaseConfig;
+    use tcache_types::{AccessSet, Value, Version};
+
+    fn setup(bound: usize, strategy: Strategy) -> (Arc<Database>, EdgeCache) {
+        let db = Arc::new(Database::new(DatabaseConfig::with_bound(bound)));
+        db.populate((0..100).map(|i| (ObjectId(i), Value::new(0))));
+        let cache = EdgeCache::tcache(CacheId(0), Arc::clone(&db), bound, strategy);
+        (db, cache)
+    }
+
+    /// Builds the paper's canonical inconsistency: objects 1 and 2 are
+    /// updated together, the cache holds a fresh copy of object 1 but a
+    /// stale copy of object 2 (its invalidation was "lost").
+    fn build_stale_pair(db: &Arc<Database>, cache: &EdgeCache) {
+        let now = SimTime::ZERO;
+        // Warm the cache with the initial versions of both objects.
+        cache.read(now, TxnId(1000), ObjectId(1), false).unwrap();
+        cache.read(now, TxnId(1000), ObjectId(2), true).unwrap();
+        // Update both objects at the database.
+        let access: AccessSet = vec![1u64, 2].into();
+        let commit = db.execute_update(TxnId(1), &access).unwrap();
+        // Deliver only the invalidation for object 1; the one for object 2
+        // is lost.
+        for inv in commit.invalidations.iter() {
+            if inv.object == ObjectId(1) {
+                cache.apply_invalidation(*inv);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hit_and_miss_accounting() {
+        let (_db, cache) = setup(3, Strategy::Abort);
+        let now = SimTime::ZERO;
+        cache.read(now, TxnId(1), ObjectId(5), true).unwrap();
+        cache.read(now, TxnId(2), ObjectId(5), true).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.txns_committed, 2);
+        assert_eq!(cache.cached_objects(), 1);
+        assert!(cache.contains(ObjectId(5)));
+        assert!(cache.footprint_bytes() > 0);
+        assert_eq!(cache.id(), CacheId(0));
+        assert_eq!(cache.backend().object_count(), 100);
+    }
+
+    #[test]
+    fn last_op_garbage_collects_the_transaction_record() {
+        let (_db, cache) = setup(3, Strategy::Abort);
+        let now = SimTime::ZERO;
+        cache.read(now, TxnId(7), ObjectId(1), false).unwrap();
+        assert_eq!(cache.open_transactions(), 1);
+        cache.read(now, TxnId(7), ObjectId(2), true).unwrap();
+        assert_eq!(cache.open_transactions(), 0);
+    }
+
+    #[test]
+    fn unknown_object_propagates_error() {
+        let (_db, cache) = setup(3, Strategy::Abort);
+        let err = cache
+            .read(SimTime::ZERO, TxnId(1), ObjectId(999), true)
+            .unwrap_err();
+        assert_eq!(err, TCacheError::UnknownObject(ObjectId(999)));
+    }
+
+    #[test]
+    fn abort_strategy_detects_stale_pair() {
+        let (db, cache) = setup(3, Strategy::Abort);
+        build_stale_pair(&db, &cache);
+        let now = SimTime::from_secs(1);
+        // Read object 1 (fresh, a miss because it was invalidated) then
+        // object 2 (stale hit): the dependency list of object 1 names
+        // object 2 at the new version, so Equation 1 fires on the second read.
+        cache.read(now, TxnId(2), ObjectId(1), false).unwrap();
+        let err = cache.read(now, TxnId(2), ObjectId(2), true).unwrap_err();
+        assert!(matches!(
+            err,
+            TCacheError::InconsistencyAbort {
+                violating_object: ObjectId(2),
+                ..
+            }
+        ));
+        let s = cache.stats();
+        assert_eq!(s.txns_aborted, 1);
+        assert_eq!(cache.open_transactions(), 0);
+        // ABORT leaves the stale entry in place.
+        assert!(cache.contains(ObjectId(2)));
+    }
+
+    #[test]
+    fn abort_strategy_detects_stale_current_read_in_reverse_order() {
+        let (db, cache) = setup(3, Strategy::Abort);
+        build_stale_pair(&db, &cache);
+        let now = SimTime::from_secs(1);
+        // Reading the stale object 2 first succeeds (nothing to compare
+        // against), then the fresh object 1 arrives with dependencies that
+        // flag object 2 — Equation 1 fires with object 2 as the violator.
+        cache.read(now, TxnId(2), ObjectId(2), false).unwrap();
+        let err = cache.read(now, TxnId(2), ObjectId(1), true).unwrap_err();
+        assert!(matches!(
+            err,
+            TCacheError::InconsistencyAbort {
+                violating_object: ObjectId(2),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn evict_strategy_removes_the_stale_entry() {
+        let (db, cache) = setup(3, Strategy::Evict);
+        build_stale_pair(&db, &cache);
+        let now = SimTime::from_secs(1);
+        cache.read(now, TxnId(2), ObjectId(1), false).unwrap();
+        let err = cache.read(now, TxnId(2), ObjectId(2), true).unwrap_err();
+        assert!(matches!(err, TCacheError::InconsistencyAbort { .. }));
+        assert!(
+            !cache.contains(ObjectId(2)),
+            "EVICT removes the violating entry"
+        );
+        assert_eq!(cache.stats().evictions, 1);
+        // The next transaction over the same objects misses on object 2,
+        // fetches the fresh version, and commits.
+        let outcome = cache
+            .execute_transaction(now, TxnId(3), &[ObjectId(1), ObjectId(2)])
+            .unwrap();
+        assert!(outcome.is_committed());
+    }
+
+    #[test]
+    fn retry_strategy_reads_through_and_commits() {
+        let (db, cache) = setup(3, Strategy::Retry);
+        build_stale_pair(&db, &cache);
+        let now = SimTime::from_secs(1);
+        // Object 1 is read fresh; reading stale object 2 triggers Equation 2
+        // via object 1's dependency list? No: object 1's dependencies flag a
+        // *previous* read only after object 2 is read. Order the reads so
+        // the stale object is read second: the check fires as Equation 1
+        // (previous read stale) — RETRY cannot repair that. So instead read
+        // the stale object *last* in a fresh transaction where object 1's
+        // dependency list makes object 2's staleness a CurrentReadStale.
+        cache.read(now, TxnId(2), ObjectId(1), false).unwrap();
+        // Reading object 2 now: its cached version is older than the version
+        // expected by object 1's dependency list → Equation 2 → read-through.
+        let v = cache.read(now, TxnId(2), ObjectId(2), true).unwrap();
+        let fresh = db.peek_entry(ObjectId(2)).unwrap();
+        assert_eq!(v.version, fresh.version, "RETRY returned the fresh version");
+        let s = cache.stats();
+        // Two committed transactions: the cache-warming one plus this one.
+        assert_eq!(s.txns_committed, 2);
+        assert_eq!(s.txns_aborted, 0);
+        assert_eq!(s.retries, 1);
+        // The fresh copy replaced the stale one.
+        assert_eq!(
+            cache.backend().peek_entry(ObjectId(2)).unwrap().version,
+            fresh.version
+        );
+        assert!(cache.contains(ObjectId(2)));
+    }
+
+    #[test]
+    fn retry_strategy_aborts_when_previous_read_is_stale() {
+        let (db, cache) = setup(3, Strategy::Retry);
+        build_stale_pair(&db, &cache);
+        let now = SimTime::from_secs(1);
+        // Read the stale object 2 first (returned to the client), then the
+        // fresh object 1: the violation is on a previously returned object,
+        // which RETRY cannot repair — it evicts and aborts.
+        cache.read(now, TxnId(2), ObjectId(2), false).unwrap();
+        let err = cache.read(now, TxnId(2), ObjectId(1), true).unwrap_err();
+        assert!(matches!(
+            err,
+            TCacheError::InconsistencyAbort {
+                violating_object: ObjectId(2),
+                ..
+            }
+        ));
+        assert!(!cache.contains(ObjectId(2)), "stale entry evicted");
+        assert_eq!(cache.stats().txns_aborted, 1);
+    }
+
+    #[test]
+    fn execute_transaction_reports_aborts_as_outcome() {
+        let (db, cache) = setup(3, Strategy::Abort);
+        build_stale_pair(&db, &cache);
+        let outcome = cache
+            .execute_transaction(SimTime::from_secs(1), TxnId(2), &[ObjectId(1), ObjectId(2)])
+            .unwrap();
+        match outcome {
+            ReadOnlyOutcome::Aborted { violating_object } => {
+                assert_eq!(violating_object, ObjectId(2))
+            }
+            ReadOnlyOutcome::Committed(_) => panic!("expected abort"),
+        }
+        // Unknown objects still propagate as errors.
+        assert!(cache
+            .execute_transaction(SimTime::ZERO, TxnId(3), &[ObjectId(1), ObjectId(999)])
+            .is_err());
+        // Empty transactions commit trivially.
+        let empty = cache
+            .execute_transaction(SimTime::ZERO, TxnId(4), &[])
+            .unwrap();
+        assert!(empty.is_committed());
+    }
+
+    #[test]
+    fn plain_cache_never_detects_anything() {
+        let db = Arc::new(Database::new(DatabaseConfig::with_bound(3)));
+        db.populate((0..10).map(|i| (ObjectId(i), Value::new(0))));
+        let cache = EdgeCache::plain(CacheId(0), Arc::clone(&db));
+        build_stale_pair(&db, &cache);
+        let outcome = cache
+            .execute_transaction(SimTime::from_secs(1), TxnId(2), &[ObjectId(1), ObjectId(2)])
+            .unwrap();
+        assert!(
+            outcome.is_committed(),
+            "the consistency-unaware cache commits the inconsistent transaction"
+        );
+        // And the stale version is what the client saw.
+        let values = outcome.values().unwrap();
+        assert_eq!(values[1].version, Version::INITIAL);
+    }
+
+    #[test]
+    fn ttl_cache_expires_entries_and_rereads_fresh_data() {
+        let db = Arc::new(Database::new(DatabaseConfig::with_bound(3)));
+        db.populate((0..10).map(|i| (ObjectId(i), Value::new(0))));
+        let cache = EdgeCache::ttl_baseline(CacheId(0), Arc::clone(&db), SimDuration::from_secs(30));
+        build_stale_pair(&db, &cache);
+        // Within the TTL the stale value is still served…
+        let outcome = cache
+            .execute_transaction(SimTime::from_secs(10), TxnId(2), &[ObjectId(2)])
+            .unwrap();
+        assert_eq!(outcome.values().unwrap()[0].version, Version::INITIAL);
+        // …after the TTL the entry expires and the fresh version is fetched.
+        let outcome = cache
+            .execute_transaction(SimTime::from_secs(40), TxnId(3), &[ObjectId(2)])
+            .unwrap();
+        assert!(outcome.values().unwrap()[0].version > Version::INITIAL);
+        assert!(cache.stats().misses >= 2);
+    }
+
+    #[test]
+    fn unbounded_cache_detects_the_paper_example() {
+        let db = Arc::new(Database::new(DatabaseConfig::unbounded()));
+        db.populate((0..10).map(|i| (ObjectId(i), Value::new(0))));
+        let cache = EdgeCache::unbounded(CacheId(0), Arc::clone(&db), Strategy::Abort);
+        build_stale_pair(&db, &cache);
+        let outcome = cache
+            .execute_transaction(SimTime::from_secs(1), TxnId(2), &[ObjectId(1), ObjectId(2)])
+            .unwrap();
+        assert!(outcome.is_aborted());
+        assert!(cache.config().dependency_bound.is_unbounded());
+    }
+
+    #[test]
+    fn invalidations_are_idempotent_and_order_insensitive() {
+        let (db, cache) = setup(3, Strategy::Abort);
+        let now = SimTime::ZERO;
+        cache.read(now, TxnId(1), ObjectId(1), true).unwrap();
+        let c1 = db.execute_update(TxnId(10), &vec![1u64].into()).unwrap();
+        let c2 = db.execute_update(TxnId(11), &vec![1u64].into()).unwrap();
+        // Deliver the newer invalidation first, then the older one.
+        cache.apply_invalidation(c2.invalidations.invalidations()[0]);
+        // Entry evicted; re-read caches the fresh version.
+        cache.read(now, TxnId(2), ObjectId(1), true).unwrap();
+        cache.apply_invalidation(c1.invalidations.invalidations()[0]);
+        // The stale invalidation must not evict the newer cached entry.
+        assert!(cache.contains(ObjectId(1)));
+        let s = cache.stats();
+        assert_eq!(s.invalidations_applied, 1);
+        assert_eq!(s.invalidations_ignored, 1);
+    }
+
+    #[test]
+    fn zero_bound_tcache_behaves_like_plain_for_detection() {
+        let (db, cache) = {
+            let db = Arc::new(Database::new(DatabaseConfig::with_bound(0)));
+            db.populate((0..10).map(|i| (ObjectId(i), Value::new(0))));
+            let cache = EdgeCache::tcache(CacheId(0), Arc::clone(&db), 0, Strategy::Abort);
+            (db, cache)
+        };
+        build_stale_pair(&db, &cache);
+        let outcome = cache
+            .execute_transaction(SimTime::from_secs(1), TxnId(2), &[ObjectId(1), ObjectId(2)])
+            .unwrap();
+        assert!(
+            outcome.is_committed(),
+            "without dependency information nothing can be detected"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-transaction read records kept by the cache.
+//!
+//! "To implement this interface, the cache maintains a record of each
+//! transaction with its read values, their versions, and their dependency
+//! lists" (§III-B). The record is garbage-collected when the client flags
+//! the last operation of the transaction.
+
+use std::collections::HashMap;
+use tcache_types::{DependencyList, ObjectId, ReadRecord, ReadSet, TxnId, Version};
+
+/// The table of in-progress read-only transactions at one cache server.
+#[derive(Debug, Default)]
+pub struct TransactionTable {
+    records: HashMap<TxnId, ReadSet>,
+}
+
+impl TransactionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        TransactionTable::default()
+    }
+
+    /// Number of transactions currently tracked.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if no transaction is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Returns the read set recorded so far for `txn` (empty if the
+    /// transaction has not been seen yet).
+    pub fn read_set(&self, txn: TxnId) -> Option<&ReadSet> {
+        self.records.get(&txn)
+    }
+
+    /// Records a completed read for `txn`.
+    pub fn record_read(
+        &mut self,
+        txn: TxnId,
+        object: ObjectId,
+        version: Version,
+        dependencies: DependencyList,
+    ) {
+        self.records
+            .entry(txn)
+            .or_default()
+            .push(ReadRecord::new(object, version, dependencies));
+    }
+
+    /// Removes and returns the record for `txn` (used on `last_op` and on
+    /// abort). Subsequent reads with the same id start a fresh transaction.
+    pub fn finish(&mut self, txn: TxnId) -> Option<ReadSet> {
+        self.records.remove(&txn)
+    }
+
+    /// The `(object, version)` pairs observed so far by `txn`, in read
+    /// order; used to report the transaction to the consistency monitor.
+    pub fn observed(&self, txn: TxnId) -> Vec<(ObjectId, Version)> {
+        self.records
+            .get(&txn)
+            .map(|rs| rs.iter().map(|r| (r.object, r.version)).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_finish() {
+        let mut t = TransactionTable::new();
+        assert!(t.is_empty());
+        t.record_read(TxnId(1), ObjectId(1), Version(1), DependencyList::bounded(3));
+        t.record_read(TxnId(1), ObjectId(2), Version(2), DependencyList::bounded(3));
+        t.record_read(TxnId(2), ObjectId(3), Version(3), DependencyList::bounded(3));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.read_set(TxnId(1)).unwrap().len(), 2);
+        assert_eq!(
+            t.observed(TxnId(1)),
+            vec![(ObjectId(1), Version(1)), (ObjectId(2), Version(2))]
+        );
+        let rs = t.finish(TxnId(1)).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert!(t.read_set(TxnId(1)).is_none());
+        assert!(t.finish(TxnId(1)).is_none());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn finished_transaction_id_starts_fresh() {
+        let mut t = TransactionTable::new();
+        t.record_read(TxnId(1), ObjectId(1), Version(1), DependencyList::bounded(3));
+        t.finish(TxnId(1));
+        t.record_read(TxnId(1), ObjectId(9), Version(9), DependencyList::bounded(3));
+        let rs = t.read_set(TxnId(1)).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.reads()[0].object, ObjectId(9));
+    }
+
+    #[test]
+    fn observed_for_unknown_transaction_is_empty() {
+        let t = TransactionTable::new();
+        assert!(t.observed(TxnId(5)).is_empty());
+        assert!(t.read_set(TxnId(5)).is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! Convergence demo: how quickly T-Cache adapts when the workload's cluster
+//! structure appears or drifts (Figures 4 and 5 of the paper).
+//!
+//! Run with `cargo run --release -p tcache --example convergence_demo`.
+
+use tcache::sim::figures;
+use tcache::types::{SimDuration, SimTime};
+
+fn main() {
+    // Figure 4: uniformly random accesses until t = 29 s, perfectly
+    // clustered afterwards (scaled down from the paper's 58 s switch point
+    // so the example finishes quickly).
+    let switch = SimTime::from_secs(29);
+    let points = figures::fig4(SimDuration::from_secs(60), switch, 5);
+    println!("cluster formation at t = {switch} (rates in transactions/second)");
+    println!("{:>8} {:>12} {:>14} {:>10}", "time[s]", "consistent", "inconsistent", "aborted");
+    for p in &points {
+        println!(
+            "{:>8.0} {:>12.1} {:>14.1} {:>10.1}{}",
+            p.time_secs,
+            p.consistent_rate,
+            p.inconsistent_rate,
+            p.aborted_rate,
+            if (p.time_secs - switch.as_secs_f64()).abs() < 1.0 {
+                "   <- accesses become clustered"
+            } else {
+                ""
+            }
+        );
+    }
+
+    println!();
+
+    // Figure 5: perfectly clustered accesses whose clusters shift by one
+    // object every 20 seconds (scaled down from the paper's 3 minutes).
+    let shift_every = SimDuration::from_secs(20);
+    let series = figures::fig5(SimDuration::from_secs(80), shift_every, 5);
+    println!("drifting clusters (shift every {shift_every}):");
+    println!("{:>8} {:>16}", "time[s]", "inconsistency[%]");
+    for p in &series {
+        let marker = if p.time_secs > 0.0 && (p.time_secs % shift_every.as_secs_f64()) < 5.0 {
+            "   <- shift"
+        } else {
+            ""
+        };
+        println!("{:>8.0} {:>16.2}{marker}", p.time_secs, p.inconsistency_pct);
+    }
+
+    println!();
+    println!("After each change the dependency lists are briefly outdated; LRU replacement");
+    println!("pushes the stale entries out and the inconsistency rate converges back down.");
+}

@@ -1,0 +1,57 @@
+//! Social-network scenario: the paper's Orkut-style workload.
+//!
+//! Shows how the dependency-list bound trades memory for consistency on a
+//! less-clustered topology: the sweep mirrors Figure 7c of the paper.
+//!
+//! Run with `cargo run --release -p tcache --example social_network`.
+
+use tcache::sim::experiment::{CacheKind, ExperimentConfig, WorkloadKind};
+use tcache::types::{SimDuration, Strategy};
+use tcache::workload::graph::{generators, metrics, GraphKind};
+
+fn main() {
+    // First, show what the synthetic stand-in topology looks like.
+    let graph = generators::generate(GraphKind::SocialNetwork, 4000, 23);
+    println!(
+        "social-network topology: {} nodes, {} edges, average degree {:.1}, clustering coefficient {:.3}",
+        graph.node_count(),
+        graph.edge_count(),
+        metrics::average_degree(&graph),
+        metrics::average_clustering_coefficient(&graph)
+    );
+    println!();
+
+    let duration = SimDuration::from_secs(20);
+    let workload = WorkloadKind::Graph {
+        kind: GraphKind::SocialNetwork,
+        source_nodes: 4000,
+        sampled_nodes: 1000,
+    };
+
+    println!("dependency-list bound sweep (ABORT strategy, 20% invalidation loss):");
+    println!("{:>6} {:>14} {:>12} {:>10}", "bound", "inconsistent%", "detected%", "hit ratio");
+    for bound in 0..=5usize {
+        let result = ExperimentConfig {
+            duration,
+            workload,
+            cache: CacheKind::TCache {
+                dependency_bound: bound,
+                strategy: Strategy::Abort,
+            },
+            seed: 23,
+            ..ExperimentConfig::default()
+        }
+        .run();
+        println!(
+            "{bound:>6} {:>14.2} {:>12.1} {:>10.3}",
+            result.inconsistency_ratio() * 100.0,
+            result.detection_ratio() * 100.0,
+            result.hit_ratio()
+        );
+    }
+
+    println!();
+    println!("Even on the less-clustered social topology a handful of dependency entries");
+    println!("per object removes a large share of the user-visible inconsistencies without");
+    println!("affecting the cache hit ratio.");
+}

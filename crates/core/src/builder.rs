@@ -1,0 +1,179 @@
+//! Builder for [`TCacheSystem`].
+
+use crate::system::TCacheSystem;
+use std::sync::Arc;
+use tcache_cache::EdgeCache;
+use tcache_db::{Database, DatabaseConfig};
+use tcache_net::channel::InvalidationChannel;
+use tcache_net::{LatencyModel, LossModel};
+use tcache_types::{CacheId, DependencyBound, SimDuration, Strategy};
+
+/// Configures and builds a [`TCacheSystem`].
+///
+/// ```
+/// use tcache::SystemBuilder;
+/// use tcache_types::Strategy;
+///
+/// let system = SystemBuilder::new()
+///     .dependency_bound(5)
+///     .strategy(Strategy::Evict)
+///     .invalidation_loss(0.2)
+///     .invalidation_delay_millis(50)
+///     .build();
+/// assert_eq!(system.edge_cache().config().dependency_bound.limit(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemBuilder {
+    dependency_bound: DependencyBound,
+    strategy: Strategy,
+    shards: usize,
+    invalidation_loss: f64,
+    invalidation_delay: SimDuration,
+    tick: SimDuration,
+    seed: u64,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder {
+            dependency_bound: DependencyBound::Bounded(3),
+            strategy: Strategy::Retry,
+            shards: 1,
+            invalidation_loss: 0.0,
+            invalidation_delay: SimDuration::from_millis(50),
+            tick: SimDuration::from_millis(1),
+            seed: 0,
+        }
+    }
+}
+
+impl SystemBuilder {
+    /// Starts a builder with the defaults: dependency bound 3, RETRY
+    /// strategy, a single shard, a reliable channel with 50 ms delay.
+    pub fn new() -> Self {
+        SystemBuilder::default()
+    }
+
+    /// Bounds the dependency lists stored with every object.
+    pub fn dependency_bound(mut self, bound: usize) -> Self {
+        self.dependency_bound = DependencyBound::Bounded(bound);
+        self
+    }
+
+    /// Uses unbounded dependency lists (the Theorem 1 configuration).
+    pub fn unbounded_dependencies(mut self) -> Self {
+        self.dependency_bound = DependencyBound::Unbounded;
+        self
+    }
+
+    /// Chooses the reaction to detected inconsistencies.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Number of database shards (two-phase commit spans them).
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "a database needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Fraction of invalidations lost by the channel (clamped to `[0, 1]`).
+    pub fn invalidation_loss(mut self, loss: f64) -> Self {
+        self.invalidation_loss = loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// One-way delay of invalidations, in milliseconds.
+    pub fn invalidation_delay_millis(mut self, millis: u64) -> Self {
+        self.invalidation_delay = SimDuration::from_millis(millis);
+        self
+    }
+
+    /// How far the virtual clock advances per operation.
+    pub fn tick(mut self, tick: SimDuration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Seed for the channel's loss randomness (runs are reproducible for a
+    /// fixed seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the system.
+    pub fn build(self) -> TCacheSystem {
+        let db = Arc::new(Database::new(DatabaseConfig {
+            shards: self.shards,
+            dependency_bound: self.dependency_bound,
+            history_depth: 0,
+        }));
+        let cache = match self.dependency_bound {
+            DependencyBound::Bounded(k) => {
+                EdgeCache::tcache(CacheId(0), Arc::clone(&db), k, self.strategy)
+            }
+            DependencyBound::Unbounded => {
+                EdgeCache::unbounded(CacheId(0), Arc::clone(&db), self.strategy)
+            }
+        };
+        let channel = InvalidationChannel::new(
+            LossModel::uniform(self.invalidation_loss),
+            LatencyModel::Constant(self.invalidation_delay),
+            self.seed,
+        );
+        TCacheSystem::new(db, cache, channel, self.tick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::{ObjectId, Value};
+
+    #[test]
+    fn builder_configures_every_knob() {
+        let system = SystemBuilder::new()
+            .dependency_bound(4)
+            .strategy(Strategy::Evict)
+            .shards(3)
+            .invalidation_loss(0.5)
+            .invalidation_delay_millis(10)
+            .tick(SimDuration::from_millis(2))
+            .seed(9)
+            .build();
+        assert_eq!(system.edge_cache().config().dependency_bound.limit(), 4);
+        assert_eq!(system.edge_cache().config().strategy, Strategy::Evict);
+        assert_eq!(system.database().config().shards, 3);
+        system.populate((0..30).map(|i| (ObjectId(i), Value::new(0))));
+        assert_eq!(system.database().object_count(), 30);
+        system.update(&[ObjectId(0), ObjectId(7), ObjectId(14)]).unwrap();
+    }
+
+    #[test]
+    fn unbounded_builder() {
+        let system = SystemBuilder::new().unbounded_dependencies().build();
+        assert!(system
+            .edge_cache()
+            .config()
+            .dependency_bound
+            .is_unbounded());
+    }
+
+    #[test]
+    fn loss_is_clamped() {
+        let builder = SystemBuilder::new().invalidation_loss(4.0);
+        assert_eq!(builder.invalidation_loss, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = SystemBuilder::new().shards(0);
+    }
+}

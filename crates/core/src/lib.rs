@@ -1,0 +1,74 @@
+//! # T-Cache
+//!
+//! A from-scratch reproduction of *Cache Serializability: Reducing
+//! Inconsistency in Edge Transactions* (Eyal, Birman, van Renesse,
+//! ICDCS 2015).
+//!
+//! Read-only edge caches are updated asynchronously and unreliably by the
+//! backend database, so read-only transactions served from a cache can
+//! observe inconsistent data. T-Cache attaches a small, bounded
+//! **dependency list** (object id + version pairs) to every object, lets the
+//! cache check each read of a transaction against the dependency
+//! information of the transaction's earlier reads, and reacts to detected
+//! violations with one of three strategies (ABORT, EVICT, RETRY) — all
+//! without any extra round trips to the database on cache hits.
+//!
+//! This facade crate re-exports the individual subsystem crates and offers
+//! [`TCacheSystem`], a batteries-included single-process deployment (one
+//! backend database, one edge cache, an unreliable asynchronous invalidation
+//! channel) that a downstream user can embed directly or use to explore the
+//! protocol.
+//!
+//! ```
+//! use tcache::{ReadOutcome, SystemBuilder};
+//! use tcache_types::{ObjectId, Strategy, Value};
+//!
+//! // A small catalogue with dependency lists bounded at 3.
+//! let system = SystemBuilder::new()
+//!     .dependency_bound(3)
+//!     .strategy(Strategy::Retry)
+//!     .invalidation_loss(0.2)
+//!     .build();
+//! system.populate((0..10).map(|i| (ObjectId(i), Value::new(0))));
+//!
+//! // An update transaction writes two related objects atomically.
+//! system.update(&[ObjectId(1), ObjectId(2)]).expect("update commits");
+//!
+//! // A read-only transaction through the edge cache sees a consistent view.
+//! match system.read_transaction(&[ObjectId(1), ObjectId(2)]).expect("no backend error") {
+//!     ReadOutcome::Committed(values) => assert_eq!(values.len(), 2),
+//!     ReadOutcome::Aborted { .. } => { /* retry the transaction */ }
+//! }
+//! ```
+//!
+//! The crates behind the facade:
+//!
+//! * [`tcache_types`] — identifiers, versions, dependency lists;
+//! * [`tcache_db`] — the transactional backend store (2PL + 2PC, version
+//!   assignment, dependency aggregation, invalidation publication);
+//! * [`tcache_net`] — loss / latency models for the invalidation channel;
+//! * [`tcache_cache`] — the edge cache with the violation predicates and
+//!   strategies, plus the plain and TTL baselines;
+//! * [`tcache_monitor`] — the serialization-graph-testing oracle used by the
+//!   evaluation;
+//! * [`tcache_workload`] — synthetic and graph-based workload generators;
+//! * [`tcache_sim`] — the discrete-event harness that reproduces the paper's
+//!   figures.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod builder;
+pub mod prelude;
+pub mod system;
+
+pub use builder::SystemBuilder;
+pub use system::{ReadOutcome, SystemStats, TCacheSystem};
+
+pub use tcache_cache as cache;
+pub use tcache_db as db;
+pub use tcache_monitor as monitor;
+pub use tcache_net as net;
+pub use tcache_sim as sim;
+pub use tcache_types as types;
+pub use tcache_workload as workload;

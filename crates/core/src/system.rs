@@ -1,0 +1,257 @@
+//! A single-process T-Cache deployment: database + channel + edge cache.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tcache_cache::{CacheStatsSnapshot, EdgeCache};
+use tcache_db::stats::DbStatsSnapshot;
+use tcache_db::Database;
+use tcache_net::channel::{ChannelStats, InvalidationChannel};
+use tcache_types::{
+    ObjectId, ReadOnlyOutcome, SimDuration, SimTime, TCacheError, TCacheResult, TxnId, Value,
+    Version, VersionedObject,
+};
+
+/// The outcome of a read-only transaction issued through
+/// [`TCacheSystem::read_transaction`].
+pub type ReadOutcome = ReadOnlyOutcome;
+
+/// A single-process deployment of the full T-Cache stack.
+///
+/// The system owns a backend [`Database`], one [`EdgeCache`] and the
+/// asynchronous invalidation channel between them, and drives a virtual
+/// clock: every operation advances time by a small tick and delivers the
+/// invalidations that have become due, so the asynchronous (and, if
+/// configured, lossy) nature of the channel is preserved even in a single
+/// process.
+#[derive(Debug)]
+pub struct TCacheSystem {
+    db: Arc<Database>,
+    cache: EdgeCache,
+    channel: Mutex<InvalidationChannel>,
+    clock: Mutex<SimTime>,
+    tick: SimDuration,
+    next_txn: AtomicU64,
+}
+
+/// A combined statistics snapshot of the whole system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Cache-side statistics.
+    pub cache: CacheStatsSnapshot,
+    /// Database-side statistics.
+    pub db: DbStatsSnapshot,
+    /// Invalidation channel statistics.
+    pub channel: ChannelStats,
+}
+
+impl TCacheSystem {
+    pub(crate) fn new(
+        db: Arc<Database>,
+        cache: EdgeCache,
+        channel: InvalidationChannel,
+        tick: SimDuration,
+    ) -> Self {
+        TCacheSystem {
+            db,
+            cache,
+            channel: Mutex::new(channel),
+            clock: Mutex::new(SimTime::ZERO),
+            tick,
+            next_txn: AtomicU64::new(1),
+        }
+    }
+
+    /// Loads objects into the backend database at their initial version.
+    pub fn populate(&self, objects: impl IntoIterator<Item = (ObjectId, Value)>) {
+        self.db.populate(objects);
+    }
+
+    /// The backend database (for advanced use and inspection).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The edge cache (for advanced use and inspection).
+    pub fn edge_cache(&self) -> &EdgeCache {
+        &self.cache
+    }
+
+    /// The current virtual time of the system.
+    pub fn now(&self) -> SimTime {
+        *self.clock.lock()
+    }
+
+    /// Advances the virtual clock by `duration`, delivering every
+    /// invalidation that becomes due. Use this to model elapsed wall-clock
+    /// time between transactions.
+    pub fn advance_time(&self, duration: SimDuration) {
+        let now = {
+            let mut clock = self.clock.lock();
+            *clock += duration;
+            *clock
+        };
+        let due = self.channel.lock().due(now);
+        for invalidation in due {
+            self.cache.apply_invalidation(invalidation);
+        }
+    }
+
+    /// Executes an update transaction that reads and rewrites every object
+    /// in `objects` (bumping its numeric payload), returning the version the
+    /// transaction installed. Invalidations are published asynchronously on
+    /// the channel.
+    ///
+    /// # Errors
+    /// Returns an error if any object is unknown or the database aborts the
+    /// transaction.
+    pub fn update(&self, objects: &[ObjectId]) -> TCacheResult<Version> {
+        let txn = self.next_txn();
+        let access: tcache_types::AccessSet = objects.iter().copied().collect();
+        let commit = self.db.execute_update(txn, &access)?;
+        let now = self.now();
+        self.channel.lock().send(now, commit.invalidations.iter().copied());
+        self.advance_time(self.tick);
+        Ok(commit.version)
+    }
+
+    /// Executes an update transaction writing explicit values.
+    ///
+    /// # Errors
+    /// Returns an error if any object is unknown or the database aborts the
+    /// transaction.
+    pub fn update_values(&self, writes: &[(ObjectId, Value)]) -> TCacheResult<Version> {
+        let txn = self.next_txn();
+        let records = writes
+            .iter()
+            .map(|(o, v)| tcache_types::WriteRecord::new(*o, v.clone()))
+            .collect();
+        let reads: Vec<ObjectId> = writes.iter().map(|(o, _)| *o).collect();
+        let commit = self.db.execute_update_writes(txn, &reads, records)?;
+        let now = self.now();
+        self.channel.lock().send(now, commit.invalidations.iter().copied());
+        self.advance_time(self.tick);
+        Ok(commit.version)
+    }
+
+    /// Executes a read-only transaction through the edge cache. The reads
+    /// are checked against each other with the T-Cache violation predicates;
+    /// a detected inconsistency is reported as [`ReadOutcome::Aborted`]
+    /// (when the configured strategy cannot repair it locally).
+    ///
+    /// # Errors
+    /// Returns an error if any object does not exist in the backend.
+    pub fn read_transaction(&self, objects: &[ObjectId]) -> TCacheResult<ReadOutcome> {
+        let txn = self.next_txn();
+        let now = self.now();
+        let outcome = self.cache.execute_transaction(now, txn, objects)?;
+        self.advance_time(self.tick);
+        Ok(outcome)
+    }
+
+    /// Reads a single object through the cache (a one-read transaction).
+    ///
+    /// # Errors
+    /// Returns an error if the object does not exist in the backend.
+    pub fn read(&self, object: ObjectId) -> TCacheResult<VersionedObject> {
+        match self.read_transaction(&[object])? {
+            ReadOnlyOutcome::Committed(mut values) => {
+                Ok(values.pop().expect("single-read transaction returns one value"))
+            }
+            ReadOnlyOutcome::Aborted { violating_object } => Err(TCacheError::InconsistencyAbort {
+                txn: TxnId(0),
+                violating_object,
+            }),
+        }
+    }
+
+    /// A combined statistics snapshot.
+    pub fn stats(&self) -> SystemStats {
+        SystemStats {
+            cache: self.cache.stats(),
+            db: self.db.stats(),
+            channel: self.channel.lock().stats(),
+        }
+    }
+
+    fn next_txn(&self) -> TxnId {
+        TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::SystemBuilder;
+    use tcache_types::{ObjectId, Strategy, Value};
+
+    fn small_system(loss: f64) -> super::TCacheSystem {
+        let system = SystemBuilder::new()
+            .dependency_bound(3)
+            .strategy(Strategy::Abort)
+            .invalidation_loss(loss)
+            .seed(7)
+            .build();
+        system.populate((0..20).map(|i| (ObjectId(i), Value::new(0))));
+        system
+    }
+
+    #[test]
+    fn update_then_read_round_trip() {
+        let system = small_system(0.0);
+        let v1 = system.update(&[ObjectId(1), ObjectId(2)]).unwrap();
+        let outcome = system
+            .read_transaction(&[ObjectId(1), ObjectId(2)])
+            .unwrap();
+        let values = outcome.values().expect("committed");
+        assert_eq!(values.len(), 2);
+        assert!(values.iter().all(|v| v.version == v1));
+        assert_eq!(system.read(ObjectId(1)).unwrap().version, v1);
+        assert!(system.stats().db.updates_committed >= 1);
+        assert!(system.now() > tcache_types::SimTime::ZERO);
+    }
+
+    #[test]
+    fn update_values_writes_explicit_payloads() {
+        let system = small_system(0.0);
+        system
+            .update_values(&[(ObjectId(3), Value::new(99))])
+            .unwrap();
+        assert_eq!(system.read(ObjectId(3)).unwrap().value.numeric(), 99);
+    }
+
+    #[test]
+    fn lossy_channel_leaves_stale_entries_that_tcache_detects() {
+        // Loss of 100 % means no invalidation ever arrives; after warming the
+        // cache and updating the pair, the mixed read must be detected.
+        let system = small_system(1.0);
+        system.read_transaction(&[ObjectId(1)]).unwrap(); // warm object 1 only
+        system.update(&[ObjectId(1), ObjectId(2)]).unwrap();
+        // Object 2 misses (fresh), object 1 is stale in the cache.
+        let outcome = system
+            .read_transaction(&[ObjectId(2), ObjectId(1)])
+            .unwrap();
+        assert!(outcome.is_aborted(), "the stale pair must be detected");
+        assert!(system.read(ObjectId(2)).is_ok());
+    }
+
+    #[test]
+    fn unknown_objects_error() {
+        let system = small_system(0.0);
+        assert!(system.update(&[ObjectId(999)]).is_err());
+        assert!(system.read(ObjectId(999)).is_err());
+        assert!(system.read_transaction(&[ObjectId(999)]).is_err());
+    }
+
+    #[test]
+    fn advance_time_delivers_invalidations() {
+        let system = small_system(0.0);
+        system.read_transaction(&[ObjectId(5)]).unwrap();
+        system.update(&[ObjectId(5)]).unwrap();
+        system.advance_time(tcache_types::SimDuration::from_secs(1));
+        // The cached copy was invalidated, so the next read misses and sees
+        // the new version.
+        let v = system.read(ObjectId(5)).unwrap();
+        assert!(v.version > tcache_types::Version::INITIAL);
+        assert!(system.stats().channel.sent >= 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! The database façade: the public entry point of the backend store.
+//!
+//! [`Database`] combines the shards, the two-phase-commit coordinator, the
+//! version clock and the dependency aggregation into the single-column
+//! backend used throughout the evaluation. Update transactions are executed
+//! with [`Database::execute_update`] (the evaluation's read-modify-write
+//! shape) or [`Database::execute_update_writes`] (explicit read and write
+//! sets); caches serve misses with [`Database::read_entry`].
+
+use crate::dependency_update::{AccessedObject, AggregatedDependencies};
+use crate::invalidation::{Invalidation, InvalidationBatch};
+use crate::shard::{PreparedWrite, Shard};
+use crate::stats::{DbStats, DbStatsSnapshot};
+use crate::twopc::Coordinator;
+use crate::version_clock::VersionClock;
+use std::sync::Arc;
+use tcache_types::{
+    AccessSet, DependencyBound, ObjectEntry, ObjectId, TCacheResult, TxnId, Value, Version,
+    WriteRecord,
+};
+
+/// Configuration of the backend database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatabaseConfig {
+    /// Number of shards the object space is hash-partitioned over.
+    pub shards: usize,
+    /// Bound on the dependency lists stored with objects (§III-A).
+    pub dependency_bound: DependencyBound,
+    /// Historical versions retained per object for auditing (0 disables).
+    pub history_depth: usize,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig {
+            shards: 1,
+            dependency_bound: DependencyBound::default(),
+            history_depth: 0,
+        }
+    }
+}
+
+impl DatabaseConfig {
+    /// Convenience constructor matching the paper's experiments: a single
+    /// shard with the given dependency-list bound.
+    pub fn with_bound(bound: usize) -> Self {
+        DatabaseConfig {
+            shards: 1,
+            dependency_bound: DependencyBound::Bounded(bound),
+            history_depth: 0,
+        }
+    }
+
+    /// The unbounded configuration of Theorem 1.
+    pub fn unbounded() -> Self {
+        DatabaseConfig {
+            shards: 1,
+            dependency_bound: DependencyBound::Unbounded,
+            history_depth: 0,
+        }
+    }
+}
+
+/// The result of a committed update transaction.
+#[derive(Debug, Clone)]
+pub struct UpdateCommit {
+    /// The transaction id.
+    pub txn: TxnId,
+    /// The version assigned to the transaction (installed on every write).
+    pub version: Version,
+    /// `(object, version observed before the update)` for every read.
+    pub reads: Vec<(ObjectId, Version)>,
+    /// `(object, new version)` for every written object.
+    pub written: Vec<(ObjectId, Version)>,
+    /// Invalidations to be delivered (asynchronously, unreliably) to caches.
+    pub invalidations: InvalidationBatch,
+}
+
+/// The transactional backend key-value store.
+#[derive(Debug)]
+pub struct Database {
+    coordinator: Coordinator,
+    clock: VersionClock,
+    stats: DbStats,
+    config: DatabaseConfig,
+}
+
+impl Database {
+    /// Creates an empty database with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if `config.shards` is zero.
+    pub fn new(config: DatabaseConfig) -> Self {
+        let shards: Vec<Arc<Shard>> = (0..config.shards)
+            .map(|i| Arc::new(Shard::new(i, config.history_depth)))
+            .collect();
+        Database {
+            coordinator: Coordinator::new(shards),
+            clock: VersionClock::new(),
+            stats: DbStats::new(),
+            config,
+        }
+    }
+
+    /// The configuration the database was built with.
+    pub fn config(&self) -> DatabaseConfig {
+        self.config
+    }
+
+    /// Loads objects at their initial version (outside any transaction).
+    pub fn populate(&self, objects: impl IntoIterator<Item = (ObjectId, Value)>) {
+        for (id, value) in objects {
+            self.coordinator.shard_for(id).populate(id, value);
+        }
+    }
+
+    /// Number of objects stored across all shards.
+    pub fn object_count(&self) -> usize {
+        (0..self.config.shards)
+            .map(|i| self.coordinator.shard(i).store().len())
+            .sum()
+    }
+
+    /// Serves a single-object read on behalf of a cache miss, returning the
+    /// value, version and dependency list (§III-B: caches "read from the
+    /// database not only the object's value, but also its version and the
+    /// dependency list").
+    ///
+    /// # Errors
+    /// Returns [`tcache_types::TCacheError::UnknownObject`] if the object
+    /// does not exist.
+    pub fn read_entry(&self, id: ObjectId) -> TCacheResult<ObjectEntry> {
+        self.stats.record_single_read();
+        self.coordinator.shard_for(id).store().get(id)
+    }
+
+    /// Reads an entry without counting it as externally generated load
+    /// (used by tests and by the monitor when auditing).
+    pub fn peek_entry(&self, id: ObjectId) -> TCacheResult<ObjectEntry> {
+        self.coordinator.shard_for(id).store().get(id)
+    }
+
+    /// Executes the evaluation's standard update transaction over an access
+    /// set: every distinct object in the set is read and then written back
+    /// with its value bumped ("update transactions first read all objects
+    /// from the database, and then update all objects", §V-B1).
+    ///
+    /// # Errors
+    /// Propagates concurrency-control aborts and unknown-object errors.
+    pub fn execute_update(&self, txn: TxnId, access: &AccessSet) -> TCacheResult<UpdateCommit> {
+        let distinct = access.distinct();
+        let mut writes = Vec::with_capacity(distinct.len());
+        for &id in &distinct {
+            let current = match self.coordinator.shard_for(id).store().get(id) {
+                Ok(e) => e,
+                Err(e) => {
+                    self.stats.record_update_abort();
+                    return Err(e);
+                }
+            };
+            writes.push(WriteRecord::new(id, current.value.bump()));
+        }
+        self.execute_update_writes(txn, &distinct, writes)
+    }
+
+    /// Executes an update transaction with an explicit read set and write
+    /// set. Objects in `writes` that are missing from `reads` are read
+    /// implicitly (their old dependency lists still flow into the
+    /// aggregation).
+    ///
+    /// # Errors
+    /// Returns an error if any object is unknown or the two-phase commit is
+    /// rejected; in that case nothing is installed.
+    pub fn execute_update_writes(
+        &self,
+        txn: TxnId,
+        reads: &[ObjectId],
+        writes: Vec<WriteRecord>,
+    ) -> TCacheResult<UpdateCommit> {
+        // Assemble the full accessed-object list: all reads plus all writes.
+        let mut access_order: Vec<ObjectId> = Vec::new();
+        for &r in reads {
+            if !access_order.contains(&r) {
+                access_order.push(r);
+            }
+        }
+        for w in &writes {
+            if !access_order.contains(&w.object) {
+                access_order.push(w.object);
+            }
+        }
+
+        let mut accessed = Vec::with_capacity(access_order.len());
+        let mut observed_reads = Vec::with_capacity(access_order.len());
+        for &id in &access_order {
+            let entry = match self.coordinator.shard_for(id).store().get(id) {
+                Ok(e) => e,
+                Err(e) => {
+                    self.stats.record_update_abort();
+                    return Err(e);
+                }
+            };
+            observed_reads.push((id, entry.version));
+            accessed.push(AccessedObject {
+                key: id,
+                observed_version: entry.version,
+                dependencies: entry.dependencies,
+                written: writes.iter().any(|w| w.object == id),
+            });
+        }
+        self.stats.record_update_reads(access_order.len() as u64);
+
+        // Assign the transaction version: larger than every observed version.
+        let version = self.clock.assign(observed_reads.iter().map(|&(_, v)| v));
+
+        // Aggregate dependency lists per §III-A.
+        let bound = self.config.dependency_bound.limit();
+        let agg = AggregatedDependencies::aggregate(&accessed, version, bound);
+
+        // Stage the physical writes and run two-phase commit.
+        let prepared: Vec<PreparedWrite> = writes
+            .iter()
+            .map(|w| PreparedWrite {
+                object: w.object,
+                value: w.value.clone(),
+                version,
+                dependencies: agg.list_for(w.object),
+            })
+            .collect();
+
+        match self.coordinator.commit(txn, prepared) {
+            Ok(outcome) => {
+                self.stats.record_update_commit(outcome.installed.len() as u64);
+                let invalidations: InvalidationBatch = outcome
+                    .installed
+                    .iter()
+                    .map(|&(o, v)| Invalidation::new(o, v, txn))
+                    .collect();
+                self.stats.record_invalidations(invalidations.len() as u64);
+                Ok(UpdateCommit {
+                    txn,
+                    version,
+                    reads: observed_reads,
+                    written: outcome.installed,
+                    invalidations,
+                })
+            }
+            Err(e) => {
+                self.stats.record_update_abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// A snapshot of the database load counters.
+    pub fn stats(&self) -> DbStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The configured dependency bound.
+    pub fn dependency_bound(&self) -> DependencyBound {
+        self.config.dependency_bound
+    }
+
+    /// Approximate memory footprint of all stored entries in bytes
+    /// (value payloads plus dependency lists).
+    pub fn footprint_bytes(&self) -> usize {
+        (0..self.config.shards)
+            .map(|i| self.coordinator.shard(i).store().footprint_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::TCacheError;
+
+    fn db_with(objects: u64, bound: usize) -> Database {
+        let db = Database::new(DatabaseConfig::with_bound(bound));
+        db.populate((0..objects).map(|i| (ObjectId(i), Value::new(0))));
+        db
+    }
+
+    #[test]
+    fn populate_and_read() {
+        let db = db_with(10, 3);
+        assert_eq!(db.object_count(), 10);
+        let e = db.read_entry(ObjectId(4)).unwrap();
+        assert_eq!(e.version, Version::INITIAL);
+        assert_eq!(db.stats().single_reads, 1);
+        assert!(db.read_entry(ObjectId(99)).is_err());
+        assert_eq!(db.config().shards, 1);
+    }
+
+    #[test]
+    fn update_bumps_values_and_versions() {
+        let db = db_with(10, 3);
+        let access: AccessSet = vec![1u64, 2, 3].into();
+        let commit = db.execute_update(TxnId(1), &access).unwrap();
+        assert_eq!(commit.written.len(), 3);
+        assert!(commit.version > Version::INITIAL);
+        for &(o, v) in &commit.written {
+            let e = db.peek_entry(o).unwrap();
+            assert_eq!(e.version, v);
+            assert_eq!(e.value.numeric(), 1);
+        }
+        // Stats reflect the commit.
+        let s = db.stats();
+        assert_eq!(s.updates_committed, 1);
+        assert_eq!(s.objects_written, 3);
+        assert_eq!(s.invalidations_published, 3);
+        assert_eq!(s.update_reads, 3);
+    }
+
+    #[test]
+    fn repeated_access_set_objects_are_deduplicated() {
+        let db = db_with(5, 3);
+        let access: AccessSet = vec![1u64, 1, 2, 2, 2].into();
+        let commit = db.execute_update(TxnId(1), &access).unwrap();
+        assert_eq!(commit.written.len(), 2);
+    }
+
+    #[test]
+    fn dependency_lists_cross_reference_co_written_objects() {
+        let db = db_with(10, 5);
+        let access: AccessSet = vec![1u64, 2, 3].into();
+        let commit = db.execute_update(TxnId(1), &access).unwrap();
+        let e1 = db.peek_entry(ObjectId(1)).unwrap();
+        assert_eq!(e1.dependencies.version_of(ObjectId(2)), Some(commit.version));
+        assert_eq!(e1.dependencies.version_of(ObjectId(3)), Some(commit.version));
+        assert!(!e1.dependencies.contains(ObjectId(1)));
+    }
+
+    #[test]
+    fn dependency_lists_are_bounded() {
+        let db = db_with(20, 2);
+        let access: AccessSet = vec![1u64, 2, 3, 4, 5, 6].into();
+        db.execute_update(TxnId(1), &access).unwrap();
+        for i in 1..=6u64 {
+            assert!(db.peek_entry(ObjectId(i)).unwrap().dependencies.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn dependencies_are_inherited_across_transactions() {
+        let db = db_with(10, 5);
+        // txn 1 links objects 1 and 2.
+        db.execute_update(TxnId(1), &vec![1u64, 2].into()).unwrap();
+        // txn 2 links objects 2 and 3; object 3 must inherit the dependency
+        // on object 1 from object 2's list.
+        db.execute_update(TxnId(2), &vec![2u64, 3].into()).unwrap();
+        let e3 = db.peek_entry(ObjectId(3)).unwrap();
+        assert!(e3.dependencies.contains(ObjectId(2)));
+        assert!(e3.dependencies.contains(ObjectId(1)), "transitive dependency inherited");
+    }
+
+    #[test]
+    fn versions_strictly_increase_across_transactions() {
+        let db = db_with(5, 3);
+        let c1 = db.execute_update(TxnId(1), &vec![1u64].into()).unwrap();
+        let c2 = db.execute_update(TxnId(2), &vec![1u64].into()).unwrap();
+        let c3 = db.execute_update(TxnId(3), &vec![2u64].into()).unwrap();
+        assert!(c1.version < c2.version);
+        assert!(c2.version < c3.version);
+        assert_eq!(db.peek_entry(ObjectId(1)).unwrap().version, c2.version);
+    }
+
+    #[test]
+    fn explicit_read_write_sets() {
+        let db = db_with(10, 5);
+        // Read object 5 (without writing it), write objects 1 and 2.
+        let commit = db
+            .execute_update_writes(
+                TxnId(1),
+                &[ObjectId(5)],
+                vec![
+                    WriteRecord::new(ObjectId(1), Value::new(100)),
+                    WriteRecord::new(ObjectId(2), Value::new(200)),
+                ],
+            )
+            .unwrap();
+        assert_eq!(commit.reads.len(), 3, "reads cover the read set plus implicit write reads");
+        assert_eq!(commit.written.len(), 2);
+        assert_eq!(db.peek_entry(ObjectId(1)).unwrap().value.numeric(), 100);
+        // Object 5 is not written, keeps its initial version…
+        assert_eq!(db.peek_entry(ObjectId(5)).unwrap().version, Version::INITIAL);
+        // …but the written objects depend on it at the observed version.
+        let e1 = db.peek_entry(ObjectId(1)).unwrap();
+        assert_eq!(e1.dependencies.version_of(ObjectId(5)), Some(Version::INITIAL));
+    }
+
+    #[test]
+    fn unknown_object_aborts_and_counts() {
+        let db = db_with(2, 3);
+        let err = db
+            .execute_update(TxnId(1), &vec![0u64, 99].into())
+            .unwrap_err();
+        assert_eq!(err, TCacheError::UnknownObject(ObjectId(99)));
+        assert_eq!(db.stats().updates_aborted, 1);
+        assert_eq!(db.stats().updates_committed, 0);
+    }
+
+    #[test]
+    fn multi_shard_database_behaves_identically() {
+        let config = DatabaseConfig {
+            shards: 4,
+            dependency_bound: DependencyBound::Bounded(3),
+            history_depth: 0,
+        };
+        let db = Database::new(config);
+        db.populate((0..100).map(|i| (ObjectId(i), Value::new(0))));
+        assert_eq!(db.object_count(), 100);
+        let commit = db
+            .execute_update(TxnId(1), &vec![1u64, 2, 3, 4, 5].into())
+            .unwrap();
+        assert_eq!(commit.written.len(), 5);
+        for &(o, v) in &commit.written {
+            assert_eq!(db.peek_entry(o).unwrap().version, v);
+        }
+        let e1 = db.peek_entry(ObjectId(1)).unwrap();
+        assert!(e1.dependencies.contains(ObjectId(5)));
+    }
+
+    #[test]
+    fn unbounded_config_keeps_every_dependency() {
+        let db = Database::new(DatabaseConfig::unbounded());
+        db.populate((0..30).map(|i| (ObjectId(i), Value::new(0))));
+        let access: AccessSet = (0..20u64).collect::<Vec<_>>().into();
+        db.execute_update(TxnId(1), &access).unwrap();
+        let e = db.peek_entry(ObjectId(0)).unwrap();
+        assert_eq!(e.dependencies.len(), 19);
+    }
+
+    #[test]
+    fn footprint_reflects_dependency_storage() {
+        let db = db_with(10, 5);
+        let before = db.footprint_bytes();
+        db.execute_update(TxnId(1), &vec![0u64, 1, 2, 3, 4].into()).unwrap();
+        assert!(db.footprint_bytes() > before);
+    }
+}

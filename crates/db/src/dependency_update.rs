@@ -1,0 +1,190 @@
+//! Commit-time dependency-list maintenance (§III-A).
+//!
+//! When a transaction commits, the database aggregates the `(key, version)`
+//! pairs and dependency lists of everything in the read and write sets into a
+//! single *full dependency list*, prunes it with LRU to the configured bound,
+//! and stores it with every object written by the transaction. The written
+//! objects themselves are recorded in the list at the transaction's version,
+//! so subsequent readers of any one of them learn the minimum versions of the
+//! others they must observe.
+
+use tcache_types::{DependencyList, ObjectId, Version};
+
+/// One accessed object as seen by the committing transaction: its key, the
+/// version that was read (for writes, the version *before* the write) and the
+/// dependency list attached to that version.
+#[derive(Debug, Clone)]
+pub struct AccessedObject {
+    /// The object key.
+    pub key: ObjectId,
+    /// The version observed when the transaction read the object.
+    pub observed_version: Version,
+    /// The dependency list attached to the observed version.
+    pub dependencies: DependencyList,
+    /// Whether the transaction writes this object.
+    pub written: bool,
+}
+
+/// The result of the aggregation: the dependency list to attach to each
+/// written object, already excluding that object itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregatedDependencies {
+    full: DependencyList,
+    bound: usize,
+}
+
+impl AggregatedDependencies {
+    /// Aggregates the dependency information of a committing transaction.
+    ///
+    /// `txn_version` is the version assigned to the transaction; every
+    /// object in the access set enters the full list at the version a
+    /// subsequent reader must not under-read: `txn_version` for written
+    /// objects (their new version) and the observed version for read-only
+    /// objects.
+    ///
+    /// LRU recency order: the inherited dependency lists of the accessed
+    /// objects are merged first (they describe *older* accesses), and the
+    /// keys of the current access set are recorded last, in access order.
+    /// The keys being committed right now are therefore the most recently
+    /// used entries and survive pruning, which is what lets short lists
+    /// capture the co-access structure of clustered workloads.
+    pub fn aggregate(
+        accessed: &[AccessedObject],
+        txn_version: Version,
+        bound: usize,
+    ) -> AggregatedDependencies {
+        let mut full = DependencyList::unbounded();
+        // Older information first: the dependency lists inherited from the
+        // versions this transaction observed.
+        for a in accessed {
+            full.merge(&a.dependencies);
+        }
+        // Newest information last: the access set itself, at the versions a
+        // subsequent reader must not under-read.
+        for a in accessed {
+            let effective = if a.written {
+                txn_version
+            } else {
+                a.observed_version
+            };
+            full.record(a.key, effective);
+        }
+        AggregatedDependencies { full, bound }
+    }
+
+    /// The full (unbounded) aggregated list; mostly useful for tests and
+    /// for the unbounded Theorem 1 configuration.
+    pub fn full(&self) -> &DependencyList {
+        &self.full
+    }
+
+    /// Produces the dependency list to store with written object `key`:
+    /// the aggregated list without `key` itself, pruned to the bound.
+    pub fn list_for(&self, key: ObjectId) -> DependencyList {
+        let mut list = self.full.clone();
+        list.remove(key);
+        list.set_bound(self.bound);
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(i: u64) -> ObjectId {
+        ObjectId(i)
+    }
+    fn v(i: u64) -> Version {
+        Version(i)
+    }
+
+    fn accessed(key: u64, ver: u64, written: bool, deps: &[(u64, u64)]) -> AccessedObject {
+        let mut list = DependencyList::unbounded();
+        for &(d, dv) in deps {
+            list.record(o(d), v(dv));
+        }
+        AccessedObject {
+            key: o(key),
+            observed_version: v(ver),
+            dependencies: list,
+            written,
+        }
+    }
+
+    #[test]
+    fn written_objects_enter_at_txn_version() {
+        let acc = vec![
+            accessed(1, 3, true, &[]),
+            accessed(2, 4, true, &[]),
+        ];
+        let agg = AggregatedDependencies::aggregate(&acc, v(10), 5);
+        // The list for object 1 contains object 2 at the transaction version.
+        let l1 = agg.list_for(o(1));
+        assert_eq!(l1.version_of(o(2)), Some(v(10)));
+        assert!(!l1.contains(o(1)), "an object never depends on itself");
+        let l2 = agg.list_for(o(2));
+        assert_eq!(l2.version_of(o(1)), Some(v(10)));
+    }
+
+    #[test]
+    fn read_only_objects_enter_at_observed_version() {
+        let acc = vec![
+            accessed(1, 3, false, &[]),
+            accessed(2, 4, true, &[]),
+        ];
+        let agg = AggregatedDependencies::aggregate(&acc, v(10), 5);
+        let l2 = agg.list_for(o(2));
+        assert_eq!(l2.version_of(o(1)), Some(v(3)));
+    }
+
+    #[test]
+    fn inherits_transitive_dependencies() {
+        // o2's current version depends on o6@v6; after a joint update of o1
+        // and o2, o1 inherits that dependency (the paper's o1/o2 example).
+        let acc = vec![
+            accessed(1, 1, true, &[(5, 5)]),
+            accessed(2, 2, true, &[(6, 6)]),
+        ];
+        let agg = AggregatedDependencies::aggregate(&acc, v(9), 5);
+        let l1 = agg.list_for(o(1));
+        assert_eq!(l1.version_of(o(6)), Some(v(6)));
+        assert_eq!(l1.version_of(o(5)), Some(v(5)));
+        assert_eq!(l1.version_of(o(2)), Some(v(9)));
+    }
+
+    #[test]
+    fn pruning_keeps_most_recent_accesses() {
+        // 6 written objects with bound 3: each object's list keeps the most
+        // recently accessed other objects.
+        let acc: Vec<_> = (0..6).map(|i| accessed(i, i, true, &[])).collect();
+        let agg = AggregatedDependencies::aggregate(&acc, v(100), 3);
+        let l0 = agg.list_for(o(0));
+        assert_eq!(l0.len(), 3);
+        assert!(l0.contains(o(5)));
+        assert!(l0.contains(o(4)));
+        assert!(l0.contains(o(3)));
+    }
+
+    #[test]
+    fn full_list_is_unpruned() {
+        let acc: Vec<_> = (0..6).map(|i| accessed(i, i, true, &[])).collect();
+        let agg = AggregatedDependencies::aggregate(&acc, v(100), 2);
+        assert_eq!(agg.full().len(), 6);
+        assert_eq!(agg.list_for(o(0)).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_access_keeps_largest_version() {
+        // The same key appears as read (old version) and written; the
+        // written (transaction) version must win.
+        let acc = vec![
+            accessed(1, 3, false, &[]),
+            accessed(1, 3, true, &[]),
+            accessed(2, 0, true, &[]),
+        ];
+        let agg = AggregatedDependencies::aggregate(&acc, v(7), 5);
+        let l2 = agg.list_for(o(2));
+        assert_eq!(l2.version_of(o(1)), Some(v(7)));
+    }
+}

@@ -1,0 +1,121 @@
+//! Invalidation records published by the database after update transactions.
+//!
+//! "On startup, the cache registers an upcall that can be used by the
+//! database to report invalidations; after each update transaction, the
+//! database asynchronously sends invalidations to the cache for all objects
+//! that were modified" (§IV). Delivery is asynchronous and unreliable — the
+//! unreliability itself is modelled by `tcache-net`, not here.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tcache_types::{ObjectId, TxnId, Version};
+
+/// A single invalidation: the object that changed and the version that now
+/// supersedes whatever a cache may hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Invalidation {
+    /// The modified object.
+    pub object: ObjectId,
+    /// The version installed by the update.
+    pub new_version: Version,
+    /// The transaction that performed the update.
+    pub txn: TxnId,
+}
+
+impl Invalidation {
+    /// Creates an invalidation record.
+    pub fn new(object: ObjectId, new_version: Version, txn: TxnId) -> Self {
+        Invalidation {
+            object,
+            new_version,
+            txn,
+        }
+    }
+}
+
+impl fmt::Display for Invalidation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalidate {}→{} (by {})", self.object, self.new_version, self.txn)
+    }
+}
+
+/// A batch of invalidations produced by one committed update transaction.
+///
+/// Batches preserve the per-transaction grouping so fault models can choose
+/// to drop individual invalidations (the paper's 20 % uniform drop) or whole
+/// batches (configuration changes, buffer overruns).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InvalidationBatch {
+    invalidations: Vec<Invalidation>,
+}
+
+impl InvalidationBatch {
+    /// Creates a batch from individual invalidations.
+    pub fn new(invalidations: Vec<Invalidation>) -> Self {
+        InvalidationBatch { invalidations }
+    }
+
+    /// The invalidations in the batch.
+    pub fn invalidations(&self) -> &[Invalidation] {
+        &self.invalidations
+    }
+
+    /// Number of invalidations in the batch.
+    pub fn len(&self) -> usize {
+        self.invalidations.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.invalidations.is_empty()
+    }
+
+    /// Iterates over the invalidations.
+    pub fn iter(&self) -> impl Iterator<Item = &Invalidation> {
+        self.invalidations.iter()
+    }
+}
+
+impl IntoIterator for InvalidationBatch {
+    type Item = Invalidation;
+    type IntoIter = std::vec::IntoIter<Invalidation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.invalidations.into_iter()
+    }
+}
+
+impl FromIterator<Invalidation> for InvalidationBatch {
+    fn from_iter<T: IntoIterator<Item = Invalidation>>(iter: T) -> Self {
+        InvalidationBatch::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_round_trip() {
+        let invs: Vec<Invalidation> = (0..3)
+            .map(|i| Invalidation::new(ObjectId(i), Version(i + 1), TxnId(9)))
+            .collect();
+        let batch: InvalidationBatch = invs.iter().copied().collect();
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.invalidations(), &invs[..]);
+        assert_eq!(batch.iter().count(), 3);
+        let collected: Vec<_> = batch.clone().into_iter().collect();
+        assert_eq!(collected, invs);
+        assert!(InvalidationBatch::default().is_empty());
+    }
+
+    #[test]
+    fn display_mentions_object_and_version() {
+        let i = Invalidation::new(ObjectId(4), Version(2), TxnId(7));
+        let s = i.to_string();
+        assert!(s.contains("o4"));
+        assert!(s.contains("v2"));
+        assert!(s.contains("t7"));
+    }
+}

@@ -1,0 +1,220 @@
+//! A database shard: owns a partition of the object space and participates
+//! in two-phase commit.
+//!
+//! Each shard has its own [`VersionedStore`] and lock table. The coordinator
+//! (in [`crate::twopc`]) drives the `prepare` / `commit` / `abort` protocol;
+//! a shard votes *yes* on prepare only if it can lock every touched object
+//! it owns.
+
+use crate::locks::{LockMode, LockTable};
+use crate::store::VersionedStore;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use tcache_types::{
+    DependencyList, ObjectEntry, ObjectId, TCacheError, TCacheResult, TxnId, Value, Version,
+};
+
+/// A single write staged during the prepare phase.
+#[derive(Debug, Clone)]
+pub struct PreparedWrite {
+    /// The object to overwrite.
+    pub object: ObjectId,
+    /// The new value.
+    pub value: Value,
+    /// The version to install (the transaction's version).
+    pub version: Version,
+    /// The dependency list to install alongside.
+    pub dependencies: DependencyList,
+}
+
+/// The vote a shard casts during the prepare phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vote {
+    /// The shard locked everything and staged the writes.
+    Yes,
+    /// The shard could not lock an object; the transaction must abort.
+    No,
+}
+
+/// A shard of the backend database.
+#[derive(Debug)]
+pub struct Shard {
+    index: usize,
+    store: VersionedStore,
+    locks: LockTable,
+    prepared: Mutex<HashMap<TxnId, Vec<PreparedWrite>>>,
+}
+
+impl Shard {
+    /// Creates an empty shard. `history_depth` is forwarded to the store.
+    pub fn new(index: usize, history_depth: usize) -> Self {
+        Shard {
+            index,
+            store: VersionedStore::new(history_depth),
+            locks: LockTable::new(),
+            prepared: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shard's position within the database.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Direct access to the underlying store (reads, populate).
+    pub fn store(&self) -> &VersionedStore {
+        &self.store
+    }
+
+    /// Inserts an object at its initial version (population phase, outside
+    /// of any transaction).
+    pub fn populate(&self, id: ObjectId, value: Value) {
+        self.store.insert_initial(id, value);
+    }
+
+    /// Reads the current entry for an object owned by this shard, taking a
+    /// short shared lock for the duration of the copy.
+    pub fn read(&self, txn: TxnId, id: ObjectId) -> TCacheResult<ObjectEntry> {
+        self.locks.try_lock_all(txn, &[id], LockMode::Shared)?;
+        let result = self.store.get(id);
+        // Reads release immediately; update transactions re-acquire
+        // exclusive locks at prepare time (the read version is validated by
+        // the coordinator before commit).
+        self.locks.release_all(txn);
+        result
+    }
+
+    /// Phase one of two-phase commit: lock the written objects exclusively
+    /// and stage the writes. Returns the shard's vote.
+    pub fn prepare(&self, txn: TxnId, writes: Vec<PreparedWrite>) -> Vote {
+        let objects: Vec<ObjectId> = writes.iter().map(|w| w.object).collect();
+        // Verify every object exists before voting yes.
+        if objects.iter().any(|&o| !self.store.contains(o)) {
+            return Vote::No;
+        }
+        match self.locks.try_lock_all(txn, &objects, LockMode::Exclusive) {
+            Ok(()) => {
+                self.prepared.lock().insert(txn, writes);
+                Vote::Yes
+            }
+            Err(_) => Vote::No,
+        }
+    }
+
+    /// Phase two (success): install every staged write and release locks.
+    ///
+    /// # Errors
+    /// Returns [`TCacheError::UnknownTransaction`] if the transaction never
+    /// prepared at this shard.
+    pub fn commit(&self, txn: TxnId) -> TCacheResult<Vec<(ObjectId, Version)>> {
+        let writes = self
+            .prepared
+            .lock()
+            .remove(&txn)
+            .ok_or(TCacheError::UnknownTransaction(txn))?;
+        let mut installed = Vec::with_capacity(writes.len());
+        for w in writes {
+            self.store
+                .install(w.object, w.value, w.version, w.dependencies, txn)?;
+            installed.push((w.object, w.version));
+        }
+        self.locks.release_all(txn);
+        Ok(installed)
+    }
+
+    /// Phase two (failure): discard staged writes and release locks.
+    /// Aborting a transaction that never prepared here is a no-op.
+    pub fn abort(&self, txn: TxnId) {
+        self.prepared.lock().remove(&txn);
+        self.locks.release_all(txn);
+    }
+
+    /// Number of transactions currently in the prepared state
+    /// (diagnostics / tests).
+    pub fn prepared_count(&self) -> usize {
+        self.prepared.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(o: u64, val: u64, ver: u64) -> PreparedWrite {
+        PreparedWrite {
+            object: ObjectId(o),
+            value: Value::new(val),
+            version: Version(ver),
+            dependencies: DependencyList::bounded(3),
+        }
+    }
+
+    fn shard_with(n: u64) -> Shard {
+        let s = Shard::new(0, 0);
+        for i in 0..n {
+            s.populate(ObjectId(i), Value::new(0));
+        }
+        s
+    }
+
+    #[test]
+    fn prepare_commit_installs_writes() {
+        let s = shard_with(3);
+        assert_eq!(s.index(), 0);
+        let vote = s.prepare(TxnId(1), vec![write(0, 7, 1), write(1, 8, 1)]);
+        assert_eq!(vote, Vote::Yes);
+        assert_eq!(s.prepared_count(), 1);
+        let installed = s.commit(TxnId(1)).unwrap();
+        assert_eq!(installed.len(), 2);
+        assert_eq!(s.store().get(ObjectId(0)).unwrap().value.numeric(), 7);
+        assert_eq!(s.store().get(ObjectId(0)).unwrap().version, Version(1));
+        assert_eq!(s.prepared_count(), 0);
+    }
+
+    #[test]
+    fn prepare_conflicting_transactions_vote_no() {
+        let s = shard_with(3);
+        assert_eq!(s.prepare(TxnId(1), vec![write(0, 1, 1)]), Vote::Yes);
+        assert_eq!(s.prepare(TxnId(2), vec![write(0, 2, 2)]), Vote::No);
+        // After commit the object is free again.
+        s.commit(TxnId(1)).unwrap();
+        assert_eq!(s.prepare(TxnId(2), vec![write(0, 2, 2)]), Vote::Yes);
+    }
+
+    #[test]
+    fn abort_discards_staged_writes_and_releases_locks() {
+        let s = shard_with(2);
+        assert_eq!(s.prepare(TxnId(1), vec![write(0, 9, 5)]), Vote::Yes);
+        s.abort(TxnId(1));
+        assert_eq!(s.prepared_count(), 0);
+        assert_eq!(s.store().get(ObjectId(0)).unwrap().value.numeric(), 0);
+        assert_eq!(s.prepare(TxnId(2), vec![write(0, 2, 2)]), Vote::Yes);
+        // Aborting an unknown transaction is a no-op.
+        s.abort(TxnId(42));
+    }
+
+    #[test]
+    fn commit_without_prepare_errors() {
+        let s = shard_with(1);
+        assert_eq!(
+            s.commit(TxnId(5)).unwrap_err(),
+            TCacheError::UnknownTransaction(TxnId(5))
+        );
+    }
+
+    #[test]
+    fn prepare_unknown_object_votes_no() {
+        let s = shard_with(1);
+        assert_eq!(s.prepare(TxnId(1), vec![write(99, 1, 1)]), Vote::No);
+    }
+
+    #[test]
+    fn read_returns_entry_and_releases_lock() {
+        let s = shard_with(1);
+        let e = s.read(TxnId(1), ObjectId(0)).unwrap();
+        assert_eq!(e.version, Version::INITIAL);
+        // The read lock is released, so an exclusive prepare succeeds.
+        assert_eq!(s.prepare(TxnId(2), vec![write(0, 1, 1)]), Vote::Yes);
+        assert!(s.read(TxnId(3), ObjectId(55)).is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! The versioned object store.
+//!
+//! Stores, for every object, its latest value, version and dependency list
+//! (§III-A), plus an optional bounded multi-version history used by audits
+//! and tests (the protocol itself only ever needs the latest version).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use tcache_types::{
+    DependencyList, ObjectEntry, ObjectId, TCacheError, TCacheResult, TxnId, Value, Version,
+};
+
+/// One historical version of an object, retained for auditing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoricalVersion {
+    /// The version installed.
+    pub version: Version,
+    /// The value installed.
+    pub value: Value,
+    /// The dependency list installed with it.
+    pub dependencies: DependencyList,
+    /// The transaction that installed it, if any (`None` for the initial
+    /// populate).
+    pub installed_by: Option<TxnId>,
+}
+
+/// Thread-safe versioned object store.
+///
+/// All mutating operations take `&self`; the store uses a [`RwLock`] around
+/// its map so it can be shared between the database façade, the shards and
+/// the live-mode threads.
+#[derive(Debug)]
+pub struct VersionedStore {
+    objects: RwLock<HashMap<ObjectId, ObjectEntry>>,
+    history: RwLock<HashMap<ObjectId, Vec<HistoricalVersion>>>,
+    /// How many historical versions to retain per object (0 disables the
+    /// history entirely).
+    history_depth: usize,
+}
+
+impl VersionedStore {
+    /// Creates an empty store that keeps `history_depth` past versions per
+    /// object for auditing.
+    pub fn new(history_depth: usize) -> Self {
+        VersionedStore {
+            objects: RwLock::new(HashMap::new()),
+            history: RwLock::new(HashMap::new()),
+            history_depth,
+        }
+    }
+
+    /// Inserts an object at [`Version::INITIAL`] with an empty dependency
+    /// list, replacing any previous entry.
+    pub fn insert_initial(&self, id: ObjectId, value: Value) {
+        let entry = ObjectEntry::initial(id, value.clone());
+        self.objects.write().insert(id, entry);
+        if self.history_depth > 0 {
+            self.history.write().insert(
+                id,
+                vec![HistoricalVersion {
+                    version: Version::INITIAL,
+                    value,
+                    dependencies: DependencyList::unbounded(),
+                    installed_by: None,
+                }],
+            );
+        }
+    }
+
+    /// Returns a copy of the current entry for `id`.
+    pub fn get(&self, id: ObjectId) -> TCacheResult<ObjectEntry> {
+        self.objects
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(TCacheError::UnknownObject(id))
+    }
+
+    /// Returns the current version of `id` without copying the value.
+    pub fn version_of(&self, id: ObjectId) -> TCacheResult<Version> {
+        self.objects
+            .read()
+            .get(&id)
+            .map(|e| e.version)
+            .ok_or(TCacheError::UnknownObject(id))
+    }
+
+    /// Returns `true` if the object exists.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.read().contains_key(&id)
+    }
+
+    /// Number of objects stored.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Returns `true` if the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+
+    /// Installs a new version of an object (value, version and dependency
+    /// list), recording the previous version into the history.
+    ///
+    /// # Errors
+    /// Returns [`TCacheError::UnknownObject`] if the object was never
+    /// populated; committed writes may only touch existing objects in this
+    /// reproduction (the workloads never insert brand-new objects
+    /// mid-experiment).
+    pub fn install(
+        &self,
+        id: ObjectId,
+        value: Value,
+        version: Version,
+        dependencies: DependencyList,
+        installed_by: TxnId,
+    ) -> TCacheResult<()> {
+        let mut objects = self.objects.write();
+        let entry = objects
+            .get_mut(&id)
+            .ok_or(TCacheError::UnknownObject(id))?;
+        entry.value = value.clone();
+        entry.version = version;
+        entry.dependencies = dependencies.clone();
+        drop(objects);
+
+        if self.history_depth > 0 {
+            let mut history = self.history.write();
+            let versions = history.entry(id).or_default();
+            versions.push(HistoricalVersion {
+                version,
+                value,
+                dependencies,
+                installed_by: Some(installed_by),
+            });
+            if versions.len() > self.history_depth {
+                let excess = versions.len() - self.history_depth;
+                versions.drain(0..excess);
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the retained history of an object (oldest first). Empty if
+    /// history is disabled or the object is unknown.
+    pub fn history(&self, id: ObjectId) -> Vec<HistoricalVersion> {
+        self.history
+            .read()
+            .get(&id)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// All object ids currently stored (in unspecified order).
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        self.objects.read().keys().copied().collect()
+    }
+
+    /// Total approximate memory footprint of all entries, in bytes; used to
+    /// report the storage overhead of dependency lists.
+    pub fn footprint_bytes(&self) -> usize {
+        self.objects.read().values().map(ObjectEntry::size_bytes).sum()
+    }
+}
+
+impl Default for VersionedStore {
+    fn default() -> Self {
+        VersionedStore::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(n: u64, history: usize) -> VersionedStore {
+        let s = VersionedStore::new(history);
+        for i in 0..n {
+            s.insert_initial(ObjectId(i), Value::new(0));
+        }
+        s
+    }
+
+    #[test]
+    fn populate_and_get() {
+        let s = store_with(5, 0);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert!(s.contains(ObjectId(3)));
+        assert!(!s.contains(ObjectId(99)));
+        let e = s.get(ObjectId(3)).unwrap();
+        assert_eq!(e.version, Version::INITIAL);
+        assert!(e.dependencies.is_empty());
+        assert_eq!(s.version_of(ObjectId(3)).unwrap(), Version::INITIAL);
+        assert_eq!(s.object_ids().len(), 5);
+    }
+
+    #[test]
+    fn unknown_object_errors() {
+        let s = store_with(1, 0);
+        assert_eq!(
+            s.get(ObjectId(9)).unwrap_err(),
+            TCacheError::UnknownObject(ObjectId(9))
+        );
+        assert!(s.version_of(ObjectId(9)).is_err());
+        assert!(s
+            .install(
+                ObjectId(9),
+                Value::new(1),
+                Version(1),
+                DependencyList::bounded(1),
+                TxnId(1)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn install_replaces_value_version_and_deps() {
+        let s = store_with(2, 0);
+        let mut deps = DependencyList::bounded(3);
+        deps.record(ObjectId(1), Version(7));
+        s.install(ObjectId(0), Value::new(42), Version(7), deps.clone(), TxnId(1))
+            .unwrap();
+        let e = s.get(ObjectId(0)).unwrap();
+        assert_eq!(e.value.numeric(), 42);
+        assert_eq!(e.version, Version(7));
+        assert_eq!(e.dependencies, deps);
+    }
+
+    #[test]
+    fn history_is_recorded_and_bounded() {
+        let s = store_with(1, 3);
+        for v in 1..=5u64 {
+            s.install(
+                ObjectId(0),
+                Value::new(v),
+                Version(v),
+                DependencyList::bounded(1),
+                TxnId(v),
+            )
+            .unwrap();
+        }
+        let h = s.history(ObjectId(0));
+        assert_eq!(h.len(), 3, "history is trimmed to its depth");
+        assert_eq!(h.last().unwrap().version, Version(5));
+        assert_eq!(h.first().unwrap().version, Version(3));
+        assert_eq!(h.last().unwrap().installed_by, Some(TxnId(5)));
+    }
+
+    #[test]
+    fn history_disabled_returns_empty() {
+        let s = store_with(1, 0);
+        s.install(
+            ObjectId(0),
+            Value::new(1),
+            Version(1),
+            DependencyList::bounded(1),
+            TxnId(1),
+        )
+        .unwrap();
+        assert!(s.history(ObjectId(0)).is_empty());
+    }
+
+    #[test]
+    fn footprint_grows_with_dependencies() {
+        let s = store_with(1, 0);
+        let before = s.footprint_bytes();
+        let mut deps = DependencyList::bounded(5);
+        for i in 0..5 {
+            deps.record(ObjectId(i), Version(i));
+        }
+        s.install(ObjectId(0), Value::new(0), Version(1), deps, TxnId(1))
+            .unwrap();
+        assert!(s.footprint_bytes() > before);
+    }
+
+    #[test]
+    fn default_store_is_empty() {
+        let s = VersionedStore::default();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

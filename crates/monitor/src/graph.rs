@@ -1,0 +1,211 @@
+//! A small directed graph with cycle detection, used for serialization
+//! graph testing.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A directed graph over nodes of type `N`.
+#[derive(Debug, Clone)]
+pub struct DiGraph<N> {
+    /// Adjacency: node → successors.
+    edges: HashMap<N, Vec<N>>,
+}
+
+impl<N: Eq + Hash + Clone> Default for DiGraph<N> {
+    fn default() -> Self {
+        DiGraph {
+            edges: HashMap::new(),
+        }
+    }
+}
+
+impl<N: Eq + Hash + Clone> DiGraph<N> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph::default()
+    }
+
+    /// Adds a node with no edges (a no-op if it already exists).
+    pub fn add_node(&mut self, node: N) {
+        self.edges.entry(node).or_default();
+    }
+
+    /// Adds a directed edge `from → to`, creating the nodes as needed.
+    /// Parallel edges are collapsed.
+    pub fn add_edge(&mut self, from: N, to: N) {
+        self.edges.entry(to.clone()).or_default();
+        let succ = self.edges.entry(from).or_default();
+        if !succ.contains(&to) {
+            succ.push(to);
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of (unique) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+
+    /// Returns the successors of a node (empty if unknown).
+    pub fn successors(&self, node: &N) -> &[N] {
+        self.edges.get(node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns `true` if the graph contains a directed cycle.
+    pub fn has_cycle(&self) -> bool {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color: HashMap<&N, Color> =
+            self.edges.keys().map(|n| (n, Color::White)).collect();
+
+        // Iterative DFS with an explicit stack to avoid recursion limits on
+        // long histories.
+        for start in self.edges.keys() {
+            if color[start] != Color::White {
+                continue;
+            }
+            let mut stack: Vec<(&N, usize)> = vec![(start, 0)];
+            color.insert(start, Color::Grey);
+            while let Some(&(node, idx)) = stack.last() {
+                let succ = self.successors(node);
+                if idx < succ.len() {
+                    stack.last_mut().expect("stack nonempty").1 += 1;
+                    let next = &succ[idx];
+                    match color.get(next).copied().unwrap_or(Color::White) {
+                        Color::Grey => return true,
+                        Color::White => {
+                            color.insert(next, Color::Grey);
+                            stack.push((next, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(node, Color::Black);
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns the nodes in a topological order, or `None` if the graph has
+    /// a cycle.
+    pub fn topological_order(&self) -> Option<Vec<N>> {
+        let mut in_degree: HashMap<&N, usize> =
+            self.edges.keys().map(|n| (n, 0)).collect();
+        for succs in self.edges.values() {
+            for s in succs {
+                *in_degree.get_mut(s).expect("edge target registered") += 1;
+            }
+        }
+        let mut ready: Vec<&N> = in_degree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut order = Vec::with_capacity(self.edges.len());
+        while let Some(node) = ready.pop() {
+            order.push(node.clone());
+            for s in self.successors(node) {
+                let d = in_degree.get_mut(s).expect("edge target registered");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        if order.len() == self.edges.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g: DiGraph<u32> = DiGraph::new();
+        assert!(!g.has_cycle());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.topological_order(), Some(vec![]));
+    }
+
+    #[test]
+    fn chain_is_acyclic_and_topologically_ordered() {
+        let mut g = DiGraph::new();
+        g.add_edge(1u32, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        g.add_node(99);
+        assert!(!g.has_cycle());
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 3);
+        let order = g.topological_order().unwrap();
+        let pos = |x: u32| order.iter().position(|&n| n == x).unwrap();
+        assert!(pos(1) < pos(2) && pos(2) < pos(3) && pos(3) < pos(4));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = DiGraph::new();
+        g.add_edge(1u32, 1);
+        assert!(g.has_cycle());
+        assert!(g.topological_order().is_none());
+    }
+
+    #[test]
+    fn two_node_cycle_is_detected() {
+        let mut g = DiGraph::new();
+        g.add_edge("a", "b");
+        g.add_edge("b", "a");
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn long_cycle_is_detected() {
+        let mut g = DiGraph::new();
+        for i in 0..100u32 {
+            g.add_edge(i, i + 1);
+        }
+        assert!(!g.has_cycle());
+        g.add_edge(100, 0);
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn diamond_is_acyclic() {
+        let mut g = DiGraph::new();
+        g.add_edge(1u32, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 4);
+        g.add_edge(3, 4);
+        assert!(!g.has_cycle());
+        // Parallel edges collapse.
+        g.add_edge(1, 2);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.successors(&1).len(), 2);
+        assert!(g.successors(&42).is_empty());
+    }
+
+    #[test]
+    fn deep_graph_does_not_overflow_the_stack() {
+        let mut g = DiGraph::new();
+        for i in 0..100_000u32 {
+            g.add_edge(i, i + 1);
+        }
+        assert!(!g.has_cycle());
+    }
+}

@@ -1,0 +1,209 @@
+//! The online consistency monitor used by the experiment harness.
+//!
+//! The monitor receives every completed transaction — committed update
+//! transactions from the database, committed and aborted read-only
+//! transactions from the cache — and classifies each read-only transaction
+//! as consistent, inconsistent, or (un)justifiably aborted.
+//!
+//! A transaction is classified *consistent* when its reads can be placed at
+//! a single point of the update **commit order** (see
+//! [`VersionHistory::reads_consistent`]). This is a conservative
+//! approximation of serializability — see [`crate::sgt`] for the exact
+//! serialization-graph checker and the property tests relating the two.
+//!
+//! Because the database serializes update transactions in version order and
+//! versions increase monotonically with commit time, a read-only
+//! transaction's verdict never changes once issued (a later update can only
+//! introduce versions newer than everything the transaction could have
+//! read). The monitor therefore classifies each transaction the moment it is
+//! reported, which keeps memory bounded and lets the harness build
+//! time series from the returned [`TransactionClass`].
+
+use crate::history::VersionHistory;
+use crate::report::{MonitorReport, TransactionClass};
+use tcache_types::{ObjectId, TransactionRecord, Version};
+
+/// The consistency monitor.
+#[derive(Debug, Default)]
+pub struct ConsistencyMonitor {
+    history: VersionHistory,
+    report: MonitorReport,
+}
+
+impl ConsistencyMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        ConsistencyMonitor::default()
+    }
+
+    /// Records a committed update transaction (its writes extend the global
+    /// version history).
+    pub fn record_update_commit(&mut self, record: &TransactionRecord) {
+        debug_assert!(record.is_update() && record.committed);
+        for &(object, version) in &record.writes {
+            self.history.record_write(object, version, record.id);
+        }
+        self.report.updates_committed += 1;
+    }
+
+    /// Records an update transaction aborted by the database's concurrency
+    /// control (it does not extend the history).
+    pub fn record_update_abort(&mut self) {
+        self.report.updates_aborted += 1;
+    }
+
+    /// Records a completed read-only transaction and returns its
+    /// classification.
+    ///
+    /// `reads` are the `(object, version)` pairs actually returned to the
+    /// client; for aborted transactions this is the partial prefix observed
+    /// before the abort. `committed` distinguishes the two cases.
+    pub fn record_read_only(
+        &mut self,
+        reads: &[(ObjectId, Version)],
+        committed: bool,
+    ) -> TransactionClass {
+        let consistent = self.history.reads_consistent(reads);
+        let class = match (committed, consistent) {
+            (true, true) => TransactionClass::CommittedConsistent,
+            (true, false) => TransactionClass::CommittedInconsistent,
+            // An aborted transaction whose observed prefix was already
+            // inconsistent: the abort was clearly justified.
+            (false, false) => TransactionClass::AbortedJustified,
+            // The observed prefix was still consistent. The cache aborted
+            // because the *next* read would have been stale; from the
+            // client's perspective the transaction was consistent so far.
+            (false, true) => TransactionClass::AbortedUnnecessary,
+        };
+        self.report.record(class);
+        class
+    }
+
+    /// Convenience wrapper accepting a [`TransactionRecord`] from a cache.
+    pub fn record_read_only_record(&mut self, record: &TransactionRecord) -> TransactionClass {
+        debug_assert!(!record.is_update());
+        self.record_read_only(&record.reads, record.committed)
+    }
+
+    /// The version history assembled so far.
+    pub fn history(&self) -> &VersionHistory {
+        &self.history
+    }
+
+    /// The aggregate report so far.
+    pub fn report(&self) -> MonitorReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::{SimTime, TxnId};
+
+    fn o(i: u64) -> ObjectId {
+        ObjectId(i)
+    }
+    fn v(i: u64) -> Version {
+        Version(i)
+    }
+
+    fn update(id: u64, version: u64, objects: &[u64]) -> TransactionRecord {
+        TransactionRecord::update_committed(
+            TxnId(id),
+            vec![],
+            objects.iter().map(|&obj| (o(obj), v(version))).collect(),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn classifies_committed_transactions() {
+        let mut m = ConsistencyMonitor::new();
+        m.record_update_commit(&update(1, 1, &[1, 2]));
+        m.record_update_commit(&update(2, 2, &[1]));
+
+        // Consistent: the latest versions.
+        assert_eq!(
+            m.record_read_only(&[(o(1), v(2)), (o(2), v(1))], true),
+            TransactionClass::CommittedConsistent
+        );
+        // Inconsistent: o1 from before txn 2, o2 from after txn 1, but o1@0
+        // requires a point before version 1 while o2@1 requires on/after 1.
+        assert_eq!(
+            m.record_read_only(&[(o(1), v(0)), (o(2), v(1))], true),
+            TransactionClass::CommittedInconsistent
+        );
+        let r = m.report();
+        assert_eq!(r.committed_consistent, 1);
+        assert_eq!(r.committed_inconsistent, 1);
+        assert_eq!(r.updates_committed, 2);
+    }
+
+    #[test]
+    fn classifies_aborted_transactions() {
+        let mut m = ConsistencyMonitor::new();
+        m.record_update_commit(&update(1, 1, &[1, 2]));
+        // Aborted with a consistent prefix: unnecessary.
+        assert_eq!(
+            m.record_read_only(&[(o(1), v(1))], false),
+            TransactionClass::AbortedUnnecessary
+        );
+        // Aborted with an inconsistent prefix: justified.
+        assert_eq!(
+            m.record_read_only(&[(o(1), v(0)), (o(2), v(1))], false),
+            TransactionClass::AbortedJustified
+        );
+        m.record_update_abort();
+        let r = m.report();
+        assert_eq!(r.aborted_unnecessary, 1);
+        assert_eq!(r.aborted_justified, 1);
+        assert_eq!(r.updates_aborted, 1);
+        assert_eq!(r.abort_ratio(), 1.0);
+    }
+
+    #[test]
+    fn record_wrapper_uses_the_record_fields() {
+        let mut m = ConsistencyMonitor::new();
+        m.record_update_commit(&update(1, 1, &[1]));
+        let ro = TransactionRecord::read_only(
+            TxnId(100),
+            tcache_types::CacheId(0),
+            vec![(o(1), v(1))],
+            true,
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            m.record_read_only_record(&ro),
+            TransactionClass::CommittedConsistent
+        );
+        assert_eq!(m.history().latest_version(o(1)), v(1));
+    }
+
+    #[test]
+    fn verdicts_are_stable_under_later_updates() {
+        let mut m = ConsistencyMonitor::new();
+        m.record_update_commit(&update(1, 1, &[1, 2]));
+        let reads = vec![(o(1), v(1)), (o(2), v(1))];
+        assert_eq!(
+            m.record_read_only(&reads, true),
+            TransactionClass::CommittedConsistent
+        );
+        // A later update cannot retroactively invalidate the verdict: the
+        // same read set is still classified consistent.
+        m.record_update_commit(&update(2, 2, &[1]));
+        assert_eq!(
+            m.record_read_only(&reads, true),
+            TransactionClass::CommittedConsistent
+        );
+    }
+
+    #[test]
+    fn empty_read_set_is_consistent() {
+        let mut m = ConsistencyMonitor::new();
+        assert_eq!(
+            m.record_read_only(&[], true),
+            TransactionClass::CommittedConsistent
+        );
+    }
+}

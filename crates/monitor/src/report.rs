@@ -1,0 +1,221 @@
+//! Aggregated monitor statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The monitor's verdict on one read-only transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransactionClass {
+    /// The transaction committed and its reads were mutually consistent.
+    CommittedConsistent,
+    /// The transaction committed but observed inconsistent data — the event
+    /// T-Cache tries to prevent.
+    CommittedInconsistent,
+    /// The cache aborted the transaction and the data it had already
+    /// observed was indeed impossible to extend to a consistent snapshot, or
+    /// the abort prevented it from observing stale data (a useful abort).
+    AbortedJustified,
+    /// The cache aborted the transaction even though everything it had
+    /// observed so far was still consistent ("consistent transactions that
+    /// were unnecessarily aborted").
+    AbortedUnnecessary,
+}
+
+impl TransactionClass {
+    /// Returns `true` for the two aborted classes.
+    pub fn is_aborted(self) -> bool {
+        matches!(
+            self,
+            TransactionClass::AbortedJustified | TransactionClass::AbortedUnnecessary
+        )
+    }
+
+    /// Returns `true` for the two committed classes.
+    pub fn is_committed(self) -> bool {
+        !self.is_aborted()
+    }
+}
+
+/// Aggregate counts over all read-only transactions observed by the monitor,
+/// plus the update-transaction totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorReport {
+    /// Read-only transactions that committed with consistent reads.
+    pub committed_consistent: u64,
+    /// Read-only transactions that committed having observed inconsistency.
+    pub committed_inconsistent: u64,
+    /// Aborted read-only transactions whose observed reads were already
+    /// inconsistent (or whose abort prevented an inconsistent read).
+    pub aborted_justified: u64,
+    /// Aborted read-only transactions whose observed reads were still
+    /// consistent.
+    pub aborted_unnecessary: u64,
+    /// Committed update transactions.
+    pub updates_committed: u64,
+    /// Update transactions aborted by the database.
+    pub updates_aborted: u64,
+}
+
+impl MonitorReport {
+    /// Total read-only transactions observed.
+    pub fn read_only_total(&self) -> u64 {
+        self.committed_consistent
+            + self.committed_inconsistent
+            + self.aborted_justified
+            + self.aborted_unnecessary
+    }
+
+    /// Total committed read-only transactions.
+    pub fn committed_total(&self) -> u64 {
+        self.committed_consistent + self.committed_inconsistent
+    }
+
+    /// Total aborted read-only transactions.
+    pub fn aborted_total(&self) -> u64 {
+        self.aborted_justified + self.aborted_unnecessary
+    }
+
+    /// The evaluation's headline metric: the fraction of *committed*
+    /// read-only transactions that observed inconsistent data
+    /// ("inconsistency ratio").
+    pub fn inconsistency_ratio(&self) -> f64 {
+        ratio(self.committed_inconsistent, self.committed_total())
+    }
+
+    /// Fraction of all read-only transactions that committed and were
+    /// consistent.
+    pub fn consistent_commit_ratio(&self) -> f64 {
+        ratio(self.committed_consistent, self.read_only_total())
+    }
+
+    /// Fraction of all read-only transactions that were aborted.
+    pub fn abort_ratio(&self) -> f64 {
+        ratio(self.aborted_total(), self.read_only_total())
+    }
+
+    /// Fraction of potential inconsistencies that the cache detected
+    /// (and turned into aborts) rather than letting commit: Figure 3's
+    /// "detected inconsistencies" metric.
+    ///
+    /// Every abort counts as a detection: the cache only aborts when a read
+    /// would have returned (or already returned) data older than what a
+    /// dependency requires, so an aborted transaction is one that would have
+    /// observed stale data had it been allowed to continue — even when the
+    /// prefix already returned to the client was still consistent.
+    pub fn detection_ratio(&self) -> f64 {
+        ratio(
+            self.aborted_total(),
+            self.aborted_total() + self.committed_inconsistent,
+        )
+    }
+
+    /// Fraction of aborts that were unnecessary (the observed reads were
+    /// still consistent).
+    pub fn unnecessary_abort_ratio(&self) -> f64 {
+        ratio(self.aborted_unnecessary, self.aborted_total())
+    }
+
+    /// Adds one classified transaction to the counts.
+    pub fn record(&mut self, class: TransactionClass) {
+        match class {
+            TransactionClass::CommittedConsistent => self.committed_consistent += 1,
+            TransactionClass::CommittedInconsistent => self.committed_inconsistent += 1,
+            TransactionClass::AbortedJustified => self.aborted_justified += 1,
+            TransactionClass::AbortedUnnecessary => self.aborted_unnecessary += 1,
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for MonitorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read-only: {} total ({} consistent, {} inconsistent, {} aborted [{} unnecessary]); \
+             updates: {} committed, {} aborted; inconsistency ratio {:.2}%, detection {:.2}%",
+            self.read_only_total(),
+            self.committed_consistent,
+            self.committed_inconsistent,
+            self.aborted_total(),
+            self.aborted_unnecessary,
+            self.updates_committed,
+            self.updates_aborted,
+            self.inconsistency_ratio() * 100.0,
+            self.detection_ratio() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MonitorReport {
+        MonitorReport {
+            committed_consistent: 70,
+            committed_inconsistent: 10,
+            aborted_justified: 15,
+            aborted_unnecessary: 5,
+            updates_committed: 40,
+            updates_aborted: 2,
+        }
+    }
+
+    #[test]
+    fn totals_and_ratios() {
+        let r = sample();
+        assert_eq!(r.read_only_total(), 100);
+        assert_eq!(r.committed_total(), 80);
+        assert_eq!(r.aborted_total(), 20);
+        assert!((r.inconsistency_ratio() - 10.0 / 80.0).abs() < 1e-9);
+        assert!((r.consistent_commit_ratio() - 0.7).abs() < 1e-9);
+        assert!((r.abort_ratio() - 0.2).abs() < 1e-9);
+        assert!((r.detection_ratio() - 20.0 / 30.0).abs() < 1e-9);
+        assert!((r.unnecessary_abort_ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_has_defined_ratios() {
+        let r = MonitorReport::default();
+        assert_eq!(r.inconsistency_ratio(), 0.0);
+        assert_eq!(r.detection_ratio(), 0.0);
+        assert_eq!(r.abort_ratio(), 0.0);
+        assert_eq!(r.unnecessary_abort_ratio(), 0.0);
+        assert_eq!(r.read_only_total(), 0);
+    }
+
+    #[test]
+    fn record_updates_the_right_bucket() {
+        let mut r = MonitorReport::default();
+        r.record(TransactionClass::CommittedConsistent);
+        r.record(TransactionClass::CommittedInconsistent);
+        r.record(TransactionClass::AbortedJustified);
+        r.record(TransactionClass::AbortedUnnecessary);
+        assert_eq!(r.committed_consistent, 1);
+        assert_eq!(r.committed_inconsistent, 1);
+        assert_eq!(r.aborted_justified, 1);
+        assert_eq!(r.aborted_unnecessary, 1);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(TransactionClass::AbortedJustified.is_aborted());
+        assert!(TransactionClass::AbortedUnnecessary.is_aborted());
+        assert!(TransactionClass::CommittedConsistent.is_committed());
+        assert!(TransactionClass::CommittedInconsistent.is_committed());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = sample().to_string();
+        assert!(s.contains("100 total"));
+        assert!(s.contains("inconsistency ratio"));
+    }
+}

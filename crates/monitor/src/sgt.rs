@@ -1,0 +1,355 @@
+//! Serialization graph testing.
+//!
+//! The textbook construction: nodes are committed transactions, edges are
+//! write→read, write→write and read→write dependencies on each object. A
+//! history is serializable iff the graph is acyclic. For the paper's setting
+//! the update transactions are already totally ordered by their versions, so
+//! the interesting question is whether adding one read-only transaction
+//! keeps the graph acyclic; [`SerializationGraph::read_only_consistent`]
+//! answers exactly that.
+//!
+//! The interval test in [`crate::history`] checks the stricter criterion of
+//! placement in *commit order*; property tests below verify that it is
+//! conservative with respect to this exact checker (interval-consistent ⇒
+//! SGT-consistent).
+
+use crate::graph::DiGraph;
+use crate::history::VersionHistory;
+use tcache_types::{ObjectId, TransactionRecord, TxnId, Version};
+
+/// A node of the serialization graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The fictitious initial transaction that installed every object at
+    /// [`Version::INITIAL`].
+    Initial,
+    /// A committed transaction.
+    Txn(TxnId),
+}
+
+/// A serialization graph built from a history of committed transactions.
+#[derive(Debug, Default)]
+pub struct SerializationGraph {
+    history: VersionHistory,
+    updates: Vec<TransactionRecord>,
+}
+
+impl SerializationGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        SerializationGraph::default()
+    }
+
+    /// Adds a committed update transaction to the history.
+    pub fn add_update(&mut self, record: &TransactionRecord) {
+        debug_assert!(record.is_update() && record.committed);
+        for &(object, version) in &record.writes {
+            self.history.record_write(object, version, record.id);
+        }
+        self.updates.push(record.clone());
+    }
+
+    /// The version history assembled so far.
+    pub fn history(&self) -> &VersionHistory {
+        &self.history
+    }
+
+    /// Builds the full graph over the update transactions plus one candidate
+    /// read-only transaction described by its `(object, version)` reads.
+    fn build_graph(&self, reads: &[(ObjectId, Version)], candidate: TxnId) -> DiGraph<Node> {
+        let mut g = DiGraph::new();
+        g.add_node(Node::Initial);
+
+        // Write-write and write-read edges among update transactions follow
+        // version order per object.
+        for record in &self.updates {
+            let node = Node::Txn(record.id);
+            g.add_node(node);
+            for &(object, version) in &record.writes {
+                // Edge from the previous writer of this object.
+                let prev_writer = self
+                    .previous_writer(object, version)
+                    .map(Node::Txn)
+                    .unwrap_or(Node::Initial);
+                g.add_edge(prev_writer, node);
+                // Edge to the next writer, if it already exists.
+                if let Some((_, next)) = self.history.next_write_after(object, version) {
+                    g.add_edge(node, Node::Txn(next));
+                }
+            }
+            for &(object, version) in &record.reads {
+                let writer = self
+                    .history
+                    .writer_of(object, version)
+                    .map(Node::Txn)
+                    .unwrap_or(Node::Initial);
+                if writer != node {
+                    g.add_edge(writer, node);
+                }
+                if let Some((_, next)) = self.history.next_write_after(object, version) {
+                    if Node::Txn(next) != node {
+                        g.add_edge(node, Node::Txn(next));
+                    }
+                }
+            }
+        }
+
+        // The candidate read-only transaction: wr edges from the writers of
+        // the versions it read, rw anti-dependency edges to the writers of
+        // the next versions.
+        let cnode = Node::Txn(candidate);
+        g.add_node(cnode);
+        for &(object, version) in reads {
+            let writer = self
+                .history
+                .writer_of(object, version)
+                .map(Node::Txn)
+                .unwrap_or(Node::Initial);
+            g.add_edge(writer, cnode);
+            if let Some((_, next)) = self.history.next_write_after(object, version) {
+                g.add_edge(cnode, Node::Txn(next));
+            }
+        }
+        g
+    }
+
+    fn previous_writer(&self, object: ObjectId, version: Version) -> Option<TxnId> {
+        // The writer of the largest installed version strictly smaller than
+        // `version`.
+        let mut best: Option<(Version, TxnId)> = None;
+        let mut cursor = Version::INITIAL;
+        while let Some((v, t)) = self.history.next_write_after(object, cursor) {
+            if v >= version {
+                break;
+            }
+            best = Some((v, t));
+            cursor = v;
+        }
+        best.map(|(_, t)| t)
+    }
+
+    /// Returns `true` if the update history together with the given
+    /// read-only transaction is serializable (the graph is acyclic).
+    pub fn read_only_consistent(&self, candidate: TxnId, reads: &[(ObjectId, Version)]) -> bool {
+        // A read of a version that never existed is trivially inconsistent.
+        for &(object, version) in reads {
+            if version != Version::INITIAL && self.history.writer_of(object, version).is_none() {
+                return false;
+            }
+        }
+        !self.build_graph(reads, candidate).has_cycle()
+    }
+
+    /// Returns `true` if the update-only history is serializable. With the
+    /// database's version-ordered commits this always holds; the check exists
+    /// to validate the database in integration tests.
+    pub fn updates_serializable(&self) -> bool {
+        !self.build_graph(&[], TxnId(u64::MAX)).has_cycle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::SimTime;
+
+    fn o(i: u64) -> ObjectId {
+        ObjectId(i)
+    }
+    fn v(i: u64) -> Version {
+        Version(i)
+    }
+
+    fn update(id: u64, version: u64, objects: &[u64]) -> TransactionRecord {
+        TransactionRecord::update_committed(
+            TxnId(id),
+            objects.iter().map(|&obj| (o(obj), v(version - 1))).collect(),
+            objects.iter().map(|&obj| (o(obj), v(version))).collect(),
+            SimTime::ZERO,
+        )
+    }
+
+    fn graph_with_updates() -> SerializationGraph {
+        let mut g = SerializationGraph::new();
+        // t1 writes o1,o2 at v1; t2 writes o1 at v2; t3 writes o2 at v3.
+        g.add_update(&TransactionRecord::update_committed(
+            TxnId(1),
+            vec![(o(1), v(0)), (o(2), v(0))],
+            vec![(o(1), v(1)), (o(2), v(1))],
+            SimTime::ZERO,
+        ));
+        g.add_update(&TransactionRecord::update_committed(
+            TxnId(2),
+            vec![(o(1), v(1))],
+            vec![(o(1), v(2))],
+            SimTime::ZERO,
+        ));
+        g.add_update(&TransactionRecord::update_committed(
+            TxnId(3),
+            vec![(o(2), v(1))],
+            vec![(o(2), v(3))],
+            SimTime::ZERO,
+        ));
+        g
+    }
+
+    #[test]
+    fn update_history_is_serializable() {
+        let g = graph_with_updates();
+        assert!(g.updates_serializable());
+        assert_eq!(g.history().total_writes(), 4);
+    }
+
+    #[test]
+    fn consistent_read_only_transactions_pass() {
+        let g = graph_with_updates();
+        // Snapshot after t1.
+        assert!(g.read_only_consistent(TxnId(100), &[(o(1), v(1)), (o(2), v(1))]));
+        // Snapshot after everything.
+        assert!(g.read_only_consistent(TxnId(101), &[(o(1), v(2)), (o(2), v(3))]));
+        // Initial snapshot.
+        assert!(g.read_only_consistent(TxnId(102), &[(o(1), v(0)), (o(2), v(0))]));
+        // Mixed but placeable: o1@2 (latest) with o2@1 (superseded at v3):
+        // place between t2 and t3.
+        assert!(g.read_only_consistent(TxnId(103), &[(o(1), v(2)), (o(2), v(1))]));
+        // Empty read set.
+        assert!(g.read_only_consistent(TxnId(104), &[]));
+    }
+
+    #[test]
+    fn torn_reads_create_cycles() {
+        let g = graph_with_updates();
+        // o1 at the initial version but o2 after t1: t1 → T (wr on o2) and
+        // T → t1 (rw on o1) — a cycle.
+        assert!(!g.read_only_consistent(TxnId(100), &[(o(1), v(0)), (o(2), v(1))]));
+    }
+
+    #[test]
+    fn independent_updates_may_be_reordered_by_sgt_but_not_by_commit_order() {
+        let g = graph_with_updates();
+        // T reads o1@1 (overwritten by t2) and o2@3 (written by t3). t2 and
+        // t3 do not conflict, so the serial order t1, t3, T, t2 is valid and
+        // the SGT accepts the reads…
+        let reads = [(o(1), v(1)), (o(2), v(3))];
+        assert!(g.read_only_consistent(TxnId(101), &reads));
+        // …while the commit-order (interval) test conservatively rejects
+        // them: there is no single point of the commit order covering both.
+        assert!(!g.history().reads_consistent(&reads));
+    }
+
+    #[test]
+    fn reading_a_nonexistent_version_is_inconsistent() {
+        let g = graph_with_updates();
+        assert!(!g.read_only_consistent(TxnId(100), &[(o(1), v(7))]));
+    }
+
+    #[test]
+    fn interval_test_is_conservative_wrt_sgt_on_examples() {
+        let g = graph_with_updates();
+        let cases: Vec<Vec<(ObjectId, Version)>> = vec![
+            vec![(o(1), v(1)), (o(2), v(1))],
+            vec![(o(1), v(0)), (o(2), v(1))],
+            vec![(o(1), v(2)), (o(2), v(1))],
+            vec![(o(1), v(1)), (o(2), v(3))],
+            vec![(o(1), v(2)), (o(2), v(3))],
+        ];
+        for (i, reads) in cases.iter().enumerate() {
+            let by_interval = g.history().reads_consistent(reads);
+            let by_graph = g.read_only_consistent(TxnId(1000 + i as u64), reads);
+            assert!(
+                !by_interval || by_graph,
+                "case {i}: interval-consistent reads must be SGT-consistent"
+            );
+        }
+    }
+
+    #[test]
+    fn longer_update_chains_stay_serializable() {
+        let mut g = SerializationGraph::new();
+        for i in 1..=50u64 {
+            g.add_update(&update(i, i, &[i % 5, (i + 1) % 5]));
+        }
+        assert!(g.updates_serializable());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use tcache_types::SimTime;
+
+    /// Generates a random but well-formed update history over a small object
+    /// space: transaction `i` (version `i+1`) writes a random subset.
+    fn arb_history() -> impl Strategy<Value = Vec<Vec<u64>>> {
+        prop::collection::vec(prop::collection::vec(0u64..6, 1..4), 1..12)
+    }
+
+    proptest! {
+        /// The fast interval test is conservative with respect to the
+        /// explicit serialization-graph test: whenever it classifies a read
+        /// set as consistent, the SGT does too.
+        #[test]
+        fn interval_test_is_conservative_wrt_sgt(
+            history in arb_history(),
+            reads in prop::collection::vec((0u64..6, 0u64..13), 1..5),
+        ) {
+            let mut sgt = SerializationGraph::new();
+            for (i, objects) in history.iter().enumerate() {
+                let version = Version(i as u64 + 1);
+                let mut distinct = objects.clone();
+                distinct.sort();
+                distinct.dedup();
+                let record = TransactionRecord::update_committed(
+                    TxnId(i as u64 + 1),
+                    distinct.iter().map(|&o| (ObjectId(o), Version(i as u64))).collect(),
+                    distinct.iter().map(|&o| (ObjectId(o), version)).collect(),
+                    SimTime::ZERO,
+                );
+                sgt.add_update(&record);
+            }
+            let reads: Vec<(ObjectId, Version)> = reads
+                .into_iter()
+                .map(|(o, v)| (ObjectId(o), Version(v)))
+                .collect();
+            let by_interval = sgt.history().reads_consistent(&reads);
+            let by_graph = sgt.read_only_consistent(TxnId(9999), &reads);
+            prop_assert!(!by_interval || by_graph,
+                "interval-consistent reads must be SGT-consistent");
+        }
+
+        /// Reads taken from a single prefix of the history (a true snapshot)
+        /// are always consistent under both checkers.
+        #[test]
+        fn snapshots_are_always_consistent(
+            history in arb_history(),
+            cut in 0usize..12,
+        ) {
+            let mut sgt = SerializationGraph::new();
+            let mut latest: std::collections::HashMap<u64, Version> = Default::default();
+            for (i, objects) in history.iter().enumerate() {
+                let version = Version(i as u64 + 1);
+                let mut distinct = objects.clone();
+                distinct.sort();
+                distinct.dedup();
+                let record = TransactionRecord::update_committed(
+                    TxnId(i as u64 + 1),
+                    vec![],
+                    distinct.iter().map(|&o| (ObjectId(o), version)).collect(),
+                    SimTime::ZERO,
+                );
+                sgt.add_update(&record);
+                if i < cut {
+                    for &o in &distinct {
+                        latest.insert(o, version);
+                    }
+                }
+            }
+            let reads: Vec<(ObjectId, Version)> = (0u64..6)
+                .map(|o| (ObjectId(o), latest.get(&o).copied().unwrap_or(Version::INITIAL)))
+                .collect();
+            prop_assert!(sgt.history().reads_consistent(&reads));
+            prop_assert!(sgt.read_only_consistent(TxnId(9999), &reads));
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Discrete-event delivery queue for invalidations.
+//!
+//! [`InvalidationChannel`] is the simulated DB→cache pipe: invalidations are
+//! submitted at their send time, individually dropped according to the
+//! configured [`LossModel`], delayed according to the [`LatencyModel`], and
+//! handed back to the harness once simulated time passes their delivery
+//! time. Deliveries for the same object may be reordered if the latency
+//! model produces non-monotone delays — exactly the behaviour the paper's
+//! best-effort pipelines exhibit.
+
+use crate::fault::{LossModel, LossState};
+use crate::latency::LatencyModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tcache_db::Invalidation;
+use tcache_types::{SimTime, TCacheResult};
+
+/// An invalidation waiting to be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingDelivery {
+    /// When the invalidation reaches the cache.
+    pub deliver_at: SimTime,
+    /// The invalidation itself.
+    pub invalidation: Invalidation,
+    /// Monotone sequence number used to break delivery-time ties in send
+    /// order (keeps the simulation deterministic).
+    seq: u64,
+}
+
+impl Ord for PendingDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+impl PartialOrd for PendingDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Channel-level statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Invalidations submitted by the database.
+    pub sent: u64,
+    /// Invalidations dropped by the loss model.
+    pub dropped: u64,
+    /// Invalidations handed to the cache.
+    pub delivered: u64,
+}
+
+impl ChannelStats {
+    /// Observed loss ratio (0 when nothing was sent).
+    pub fn loss_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.sent as f64
+        }
+    }
+}
+
+/// The simulated unreliable invalidation channel.
+#[derive(Debug)]
+pub struct InvalidationChannel {
+    loss: LossState,
+    latency: LatencyModel,
+    rng: StdRng,
+    queue: BinaryHeap<Reverse<PendingDelivery>>,
+    stats: ChannelStats,
+    next_seq: u64,
+}
+
+impl InvalidationChannel {
+    /// Creates a channel with the given loss and latency models, seeded for
+    /// reproducibility.
+    pub fn new(loss: LossModel, latency: LatencyModel, seed: u64) -> Self {
+        InvalidationChannel {
+            loss: LossState::new(loss),
+            latency,
+            rng: StdRng::seed_from_u64(seed),
+            queue: BinaryHeap::new(),
+            stats: ChannelStats::default(),
+            next_seq: 0,
+        }
+    }
+
+    /// A channel matching the paper's experimental setup: 20 % uniform loss
+    /// and a constant modest delay.
+    pub fn paper_default(seed: u64) -> Self {
+        InvalidationChannel::new(LossModel::paper_default(), LatencyModel::default(), seed)
+    }
+
+    /// A perfectly reliable, zero-delay channel (useful in tests and for
+    /// the Theorem 1 configuration).
+    pub fn reliable(seed: u64) -> Self {
+        InvalidationChannel::new(
+            LossModel::None,
+            LatencyModel::Constant(tcache_types::SimDuration::ZERO),
+            seed,
+        )
+    }
+
+    /// Submits a batch of invalidations at simulated time `now`. Messages
+    /// surviving the loss model are queued for later delivery.
+    pub fn send(&mut self, now: SimTime, invalidations: impl IntoIterator<Item = Invalidation>) {
+        for inv in invalidations {
+            self.stats.sent += 1;
+            if self.loss.should_drop(&mut self.rng) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let delay = self.latency.sample(&mut self.rng);
+            self.queue.push(Reverse(PendingDelivery {
+                deliver_at: now + delay,
+                invalidation: inv,
+                seq: self.next_seq,
+            }));
+            self.next_seq += 1;
+        }
+    }
+
+    /// Pops every invalidation whose delivery time is `<= now`, in delivery
+    /// order.
+    pub fn due(&mut self, now: SimTime) -> Vec<Invalidation> {
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.deliver_at > now {
+                break;
+            }
+            let Reverse(delivery) = self.queue.pop().expect("peeked entry exists");
+            self.stats.delivered += 1;
+            out.push(delivery.invalidation);
+        }
+        out
+    }
+
+    /// The delivery time of the next pending invalidation, if any; the
+    /// simulation harness uses this to schedule its next channel event.
+    pub fn next_delivery_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(d)| d.deliver_at)
+    }
+
+    /// Number of invalidations currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Channel statistics so far.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Delivers everything currently in flight regardless of time; returns
+    /// the drained invalidations. Used when shutting an experiment down.
+    pub fn drain(&mut self) -> Vec<Invalidation> {
+        let mut out = Vec::new();
+        while let Some(Reverse(d)) = self.queue.pop() {
+            self.stats.delivered += 1;
+            out.push(d.invalidation);
+        }
+        out
+    }
+
+    /// Applies `f` to every delivered invalidation that is due at `now`,
+    /// forwarding errors from the consumer.
+    pub fn deliver_due<F>(&mut self, now: SimTime, mut f: F) -> TCacheResult<()>
+    where
+        F: FnMut(Invalidation) -> TCacheResult<()>,
+    {
+        for inv in self.due(now) {
+            f(inv)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::{ObjectId, SimDuration, TxnId, Version};
+
+    fn inv(o: u64, v: u64) -> Invalidation {
+        Invalidation::new(ObjectId(o), Version(v), TxnId(v))
+    }
+
+    #[test]
+    fn reliable_channel_delivers_everything_in_order() {
+        let mut ch = InvalidationChannel::reliable(1);
+        ch.send(SimTime::ZERO, vec![inv(1, 1), inv(2, 1), inv(3, 1)]);
+        assert_eq!(ch.in_flight(), 3);
+        let due = ch.due(SimTime::ZERO);
+        assert_eq!(due.len(), 3);
+        assert_eq!(due[0].object, ObjectId(1));
+        assert_eq!(due[2].object, ObjectId(3));
+        assert_eq!(ch.stats().delivered, 3);
+        assert_eq!(ch.stats().dropped, 0);
+        assert_eq!(ch.stats().loss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn messages_are_not_delivered_early() {
+        let latency = LatencyModel::Constant(SimDuration::from_millis(100));
+        let mut ch = InvalidationChannel::new(LossModel::None, latency, 1);
+        ch.send(SimTime::ZERO, vec![inv(1, 1)]);
+        assert!(ch.due(SimTime::from_millis(50)).is_empty());
+        assert_eq!(ch.next_delivery_at(), Some(SimTime::from_millis(100)));
+        assert_eq!(ch.due(SimTime::from_millis(100)).len(), 1);
+        assert_eq!(ch.next_delivery_at(), None);
+    }
+
+    #[test]
+    fn uniform_loss_drops_roughly_the_configured_fraction() {
+        let mut ch = InvalidationChannel::paper_default(7);
+        for i in 0..10_000u64 {
+            ch.send(SimTime::from_millis(i), vec![inv(i, i)]);
+        }
+        let stats = ch.stats();
+        assert_eq!(stats.sent, 10_000);
+        let ratio = stats.loss_ratio();
+        assert!((ratio - 0.2).abs() < 0.03, "loss ratio {ratio}");
+    }
+
+    #[test]
+    fn drain_flushes_in_flight_messages() {
+        let latency = LatencyModel::Constant(SimDuration::from_secs(1000));
+        let mut ch = InvalidationChannel::new(LossModel::None, latency, 1);
+        ch.send(SimTime::ZERO, vec![inv(1, 1), inv(2, 2)]);
+        assert_eq!(ch.in_flight(), 2);
+        let drained = ch.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(ch.in_flight(), 0);
+        assert_eq!(ch.stats().delivered, 2);
+    }
+
+    #[test]
+    fn deliver_due_invokes_consumer_for_each_message() {
+        let mut ch = InvalidationChannel::reliable(1);
+        ch.send(SimTime::ZERO, vec![inv(1, 1), inv(2, 2)]);
+        let mut seen = Vec::new();
+        ch.deliver_due(SimTime::ZERO, |i| {
+            seen.push(i.object);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![ObjectId(1), ObjectId(2)]);
+    }
+
+    #[test]
+    fn variable_latency_can_reorder_messages() {
+        // With a wide uniform latency, two messages sent in order can arrive
+        // out of order. Send many pairs and check at least one inversion.
+        let latency = LatencyModel::Uniform {
+            min: SimDuration::from_millis(1),
+            max: SimDuration::from_millis(1000),
+        };
+        let mut ch = InvalidationChannel::new(LossModel::None, latency, 3);
+        for i in 0..200u64 {
+            ch.send(SimTime::from_millis(i), vec![inv(i, i)]);
+        }
+        let all = ch.drain_ordered();
+        let mut inversions = 0;
+        for w in all.windows(2) {
+            if w[1].txn < w[0].txn {
+                inversions += 1;
+            }
+        }
+        assert!(inversions > 0, "expected at least one reordering");
+    }
+
+    #[test]
+    fn same_delivery_time_breaks_ties_by_send_order() {
+        let mut ch = InvalidationChannel::reliable(1);
+        ch.send(SimTime::ZERO, vec![inv(9, 1)]);
+        ch.send(SimTime::ZERO, vec![inv(3, 2)]);
+        let due = ch.due(SimTime::ZERO);
+        assert_eq!(due[0].object, ObjectId(9));
+        assert_eq!(due[1].object, ObjectId(3));
+    }
+}
+
+#[cfg(test)]
+impl InvalidationChannel {
+    /// Test helper: drain all pending messages in delivery order.
+    fn drain_ordered(&mut self) -> Vec<Invalidation> {
+        let mut out = Vec::new();
+        while let Some(Reverse(d)) = self.queue.pop() {
+            out.push(d.invalidation);
+        }
+        out
+    }
+}

@@ -1,0 +1,156 @@
+//! Loss models for the invalidation channel.
+
+use rand::Rng;
+
+/// Decides whether an individual invalidation message is lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// Every message is delivered.
+    None,
+    /// Each message is independently dropped with this probability
+    /// (the paper's experiments use 0.2).
+    Uniform(f64),
+    /// Messages are dropped in bursts: with probability `enter` the channel
+    /// enters a lossy burst in which `burst_len` consecutive messages are
+    /// dropped. Models configuration changes and buffer overruns.
+    Burst {
+        /// Probability of entering a burst at any message.
+        enter: f64,
+        /// Number of consecutive messages dropped once in a burst.
+        burst_len: u32,
+    },
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel::None
+    }
+}
+
+impl LossModel {
+    /// The paper's experimental setting: 20 % uniform loss.
+    pub fn paper_default() -> Self {
+        LossModel::Uniform(0.2)
+    }
+
+    /// Creates a uniform loss model, clamping the probability to `[0, 1]`.
+    pub fn uniform(p: f64) -> Self {
+        LossModel::Uniform(p.clamp(0.0, 1.0))
+    }
+
+    /// Returns the long-run expected fraction of dropped messages.
+    pub fn expected_loss(&self) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Uniform(p) => p,
+            LossModel::Burst { enter, burst_len } => {
+                // Each non-burst message triggers a burst with prob `enter`,
+                // which then drops `burst_len` messages.
+                let b = burst_len as f64;
+                (enter * b) / (1.0 + enter * b)
+            }
+        }
+    }
+}
+
+/// Stateful evaluator of a [`LossModel`]; separate from the model itself so
+/// the model stays `Copy` and shareable.
+#[derive(Debug, Clone)]
+pub struct LossState {
+    model: LossModel,
+    remaining_burst: u32,
+}
+
+impl LossState {
+    /// Creates the evaluator for a model.
+    pub fn new(model: LossModel) -> Self {
+        LossState {
+            model,
+            remaining_burst: 0,
+        }
+    }
+
+    /// The model being evaluated.
+    pub fn model(&self) -> LossModel {
+        self.model
+    }
+
+    /// Returns `true` if the next message should be dropped.
+    pub fn should_drop<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        match self.model {
+            LossModel::None => false,
+            LossModel::Uniform(p) => rng.gen_bool(p.clamp(0.0, 1.0)),
+            LossModel::Burst { enter, burst_len } => {
+                if self.remaining_burst > 0 {
+                    self.remaining_burst -= 1;
+                    true
+                } else if rng.gen_bool(enter.clamp(0.0, 1.0)) {
+                    self.remaining_burst = burst_len.saturating_sub(1);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_drops() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = LossState::new(LossModel::None);
+        assert!((0..1000).all(|_| !s.should_drop(&mut rng)));
+        assert_eq!(LossModel::None.expected_loss(), 0.0);
+        assert_eq!(LossModel::default(), LossModel::None);
+    }
+
+    #[test]
+    fn uniform_drop_rate_is_close_to_p() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut s = LossState::new(LossModel::paper_default());
+        let n = 20_000;
+        let dropped = (0..n).filter(|_| s.should_drop(&mut rng)).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed rate {rate}");
+        assert_eq!(LossModel::paper_default().expected_loss(), 0.2);
+    }
+
+    #[test]
+    fn uniform_probability_is_clamped() {
+        let m = LossModel::uniform(7.5);
+        assert_eq!(m, LossModel::Uniform(1.0));
+        let m = LossModel::uniform(-3.0);
+        assert_eq!(m, LossModel::Uniform(0.0));
+    }
+
+    #[test]
+    fn burst_drops_consecutive_messages() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = LossModel::Burst {
+            enter: 0.05,
+            burst_len: 4,
+        };
+        let mut s = LossState::new(model);
+        assert_eq!(s.model(), model);
+        // Find a burst and verify at least 4 consecutive drops occur somewhere.
+        let outcomes: Vec<bool> = (0..5_000).map(|_| s.should_drop(&mut rng)).collect();
+        let mut max_run = 0;
+        let mut run = 0;
+        for d in outcomes {
+            if d {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(max_run >= 4, "expected at least one full burst, got {max_run}");
+        assert!(model.expected_loss() > 0.0 && model.expected_loss() < 1.0);
+    }
+}

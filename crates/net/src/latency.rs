@@ -1,0 +1,133 @@
+//! Delay models for the invalidation channel.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+use tcache_types::SimDuration;
+
+/// Decides how long an invalidation is in flight before reaching the cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(SimDuration),
+    /// Delay drawn uniformly between the two bounds.
+    Uniform {
+        /// Minimum delay.
+        min: SimDuration,
+        /// Maximum delay.
+        max: SimDuration,
+    },
+    /// Exponentially distributed delay with the given mean; models the long
+    /// tail of a congested asynchronous pipeline. Samples are capped at
+    /// 20× the mean to keep event queues bounded.
+    Exponential {
+        /// Mean delay.
+        mean: SimDuration,
+    },
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // A modest wide-area one-way delay.
+        LatencyModel::Constant(SimDuration::from_millis(50))
+    }
+}
+
+impl LatencyModel {
+    /// Samples a delay for one message.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                if max <= min {
+                    min
+                } else {
+                    SimDuration::from_micros(rng.gen_range(min.as_micros()..=max.as_micros()))
+                }
+            }
+            LatencyModel::Exponential { mean } => {
+                let mean_us = mean.as_micros().max(1) as f64;
+                let exp = Exp::new(1.0 / mean_us).expect("positive rate");
+                let sample = exp.sample(rng).min(mean_us * 20.0);
+                SimDuration::from_micros(sample.round() as u64)
+            }
+        }
+    }
+
+    /// The mean delay of the model.
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                SimDuration::from_micros((min.as_micros() + max.as_micros()) / 2)
+            }
+            LatencyModel::Exponential { mean } => mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_always_returns_the_same_delay() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = LatencyModel::Constant(SimDuration::from_millis(10));
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_millis(10));
+        }
+        assert_eq!(m.mean(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn uniform_stays_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let min = SimDuration::from_millis(5);
+        let max = SimDuration::from_millis(20);
+        let m = LatencyModel::Uniform { min, max };
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= min && d <= max);
+        }
+        assert_eq!(m.mean(), SimDuration::from_micros(12_500));
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_min() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = SimDuration::from_millis(5);
+        let m = LatencyModel::Uniform { min: d, max: d };
+        assert_eq!(m.sample(&mut rng), d);
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_millis(9),
+            max: SimDuration::from_millis(1),
+        };
+        assert_eq!(m.sample(&mut rng), SimDuration::from_millis(9));
+    }
+
+    #[test]
+    fn exponential_mean_is_approximately_right() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mean = SimDuration::from_millis(100);
+        let m = LatencyModel::Exponential { mean };
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| m.sample(&mut rng).as_micros()).sum();
+        let observed = total as f64 / n as f64;
+        let expected = mean.as_micros() as f64;
+        assert!(
+            (observed - expected).abs() / expected < 0.1,
+            "observed mean {observed}, expected {expected}"
+        );
+        assert_eq!(m.mean(), mean);
+    }
+
+    #[test]
+    fn default_is_constant() {
+        assert_eq!(
+            LatencyModel::default(),
+            LatencyModel::Constant(SimDuration::from_millis(50))
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! The asynchronous, unreliable channel between the database and the caches.
+//!
+//! The defining property of the paper's setting is that invalidations are
+//! delivered to edge caches *asynchronously* and *unreliably*: "they could be
+//! delayed (e.g., due to buffering or retransmissions after message loss),
+//! not sent (e.g., due to an inaccurate list of locations), or even lost"
+//! (§II). The experiment drops 20 % of invalidations uniformly at random.
+//!
+//! This crate models that channel:
+//!
+//! * [`fault`] — loss models (none, uniform probability, bursts);
+//! * [`latency`] — delay models (constant, uniform, exponential);
+//! * [`channel`] — a discrete-event delivery queue combining a loss model
+//!   and a latency model, used by the simulation harness;
+//! * [`transport`] — a live (threaded) transport over `crossbeam-channel`
+//!   for the prototype mode, applying the same loss model.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod channel;
+pub mod fault;
+pub mod latency;
+pub mod transport;
+
+pub use channel::{InvalidationChannel, PendingDelivery};
+pub use fault::LossModel;
+pub use latency::LatencyModel;
+pub use transport::{LiveReceiver, LiveSender, live_channel};

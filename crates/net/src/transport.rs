@@ -1,0 +1,140 @@
+//! Live (threaded) transport for the prototype mode.
+//!
+//! The discrete-event channel in [`crate::channel`] is what the experiment
+//! harness uses; this module provides the equivalent building block for a
+//! live deployment where the database and the cache run on separate threads
+//! and invalidations flow over a real queue. The same [`LossModel`] is
+//! applied at the sending side, so the cache observes the same unreliable
+//! behaviour.
+
+use crate::fault::{LossModel, LossState};
+use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tcache_db::Invalidation;
+
+/// Sending half of a live invalidation channel. Cloneable so the database
+/// façade and background flusher threads can share it.
+#[derive(Debug, Clone)]
+pub struct LiveSender {
+    tx: Sender<Invalidation>,
+    loss: std::sync::Arc<Mutex<(LossState, StdRng)>>,
+}
+
+/// Receiving half of a live invalidation channel, owned by the cache's
+/// invalidation-upcall thread.
+#[derive(Debug)]
+pub struct LiveReceiver {
+    rx: Receiver<Invalidation>,
+}
+
+/// Creates a connected live sender/receiver pair with the given loss model.
+pub fn live_channel(loss: LossModel, seed: u64) -> (LiveSender, LiveReceiver) {
+    let (tx, rx) = unbounded();
+    (
+        LiveSender {
+            tx,
+            loss: std::sync::Arc::new(Mutex::new((LossState::new(loss), StdRng::seed_from_u64(seed)))),
+        },
+        LiveReceiver { rx },
+    )
+}
+
+impl LiveSender {
+    /// Sends a batch of invalidations, dropping each one independently
+    /// according to the loss model. Returns the number actually enqueued.
+    pub fn send(&self, invalidations: impl IntoIterator<Item = Invalidation>) -> usize {
+        let mut guard = self.loss.lock();
+        let (loss, rng) = &mut *guard;
+        let mut delivered = 0;
+        for inv in invalidations {
+            if loss.should_drop(rng) {
+                continue;
+            }
+            // A send only fails if the receiver is gone, which simply means
+            // the cache has shut down — the paper's channel is best-effort,
+            // so dropping is the correct behaviour.
+            if self.tx.send(inv).is_ok() {
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+}
+
+impl LiveReceiver {
+    /// Receives every invalidation currently queued without blocking.
+    pub fn drain(&self) -> Vec<Invalidation> {
+        let mut out = Vec::new();
+        loop {
+            match self.rx.try_recv() {
+                Ok(inv) => out.push(inv),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        out
+    }
+
+    /// Blocks until one invalidation arrives or the sender side is dropped.
+    pub fn recv(&self) -> Option<Invalidation> {
+        self.rx.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::{ObjectId, TxnId, Version};
+
+    fn inv(o: u64) -> Invalidation {
+        Invalidation::new(ObjectId(o), Version(1), TxnId(1))
+    }
+
+    #[test]
+    fn lossless_channel_delivers_everything() {
+        let (tx, rx) = live_channel(LossModel::None, 1);
+        let sent = tx.send((0..100).map(inv));
+        assert_eq!(sent, 100);
+        assert_eq!(rx.drain().len(), 100);
+        assert!(rx.drain().is_empty());
+    }
+
+    #[test]
+    fn lossy_channel_drops_roughly_the_configured_fraction() {
+        let (tx, rx) = live_channel(LossModel::Uniform(0.5), 9);
+        let sent = tx.send((0..10_000).map(inv));
+        let received = rx.drain().len();
+        assert_eq!(sent, received);
+        let ratio = received as f64 / 10_000.0;
+        assert!((ratio - 0.5).abs() < 0.05, "delivery ratio {ratio}");
+    }
+
+    #[test]
+    fn recv_blocks_until_message_or_disconnect() {
+        let (tx, rx) = live_channel(LossModel::None, 1);
+        let handle = std::thread::spawn(move || rx.recv());
+        tx.send(vec![inv(7)]);
+        let got = handle.join().unwrap();
+        assert_eq!(got.map(|i| i.object), Some(ObjectId(7)));
+
+        let (tx, rx) = live_channel(LossModel::None, 1);
+        drop(tx);
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn sender_is_cloneable_across_threads() {
+        let (tx, rx) = live_channel(LossModel::None, 1);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                tx.send((0..50).map(|i| inv(t * 100 + i)))
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 200);
+        assert_eq!(rx.drain().len(), 200);
+    }
+}

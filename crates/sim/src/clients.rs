@@ -1,0 +1,113 @@
+//! Client arrival processes.
+//!
+//! The paper's prototype drives the database with update clients at 100
+//! transactions per second and the cache with read-only clients at 500
+//! transactions per second (§IV). The harness models each client class as a
+//! Poisson arrival process with the configured aggregate rate, which matches
+//! a large population of independent clients.
+
+use rand::RngCore;
+use rand_distr::{Distribution, Exp};
+use tcache_types::{SimDuration, SimTime};
+
+/// A Poisson arrival process with a fixed aggregate rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalProcess {
+    rate_per_sec: f64,
+}
+
+impl ArrivalProcess {
+    /// Creates an arrival process issuing `rate_per_sec` transactions per
+    /// second on average.
+    ///
+    /// # Panics
+    /// Panics if the rate is not strictly positive and finite.
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive"
+        );
+        ArrivalProcess { rate_per_sec }
+    }
+
+    /// The configured rate.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Samples the next arrival strictly after `now`.
+    pub fn next_arrival(&self, now: SimTime, rng: &mut dyn RngCore) -> SimTime {
+        let exp = Exp::new(self.rate_per_sec).expect("positive rate");
+        let gap_secs: f64 = exp.sample(&mut WrappedRng(rng));
+        // Never schedule two arrivals at the exact same microsecond so the
+        // event queue ordering stays meaningful.
+        let gap = SimDuration::from_secs_f64(gap_secs).max(SimDuration::from_micros(1));
+        now + gap
+    }
+
+    /// Expected number of arrivals over a duration.
+    pub fn expected_arrivals(&self, duration: SimDuration) -> f64 {
+        self.rate_per_sec * duration.as_secs_f64()
+    }
+}
+
+/// Adapter letting `rand_distr` sample from a `&mut dyn RngCore`.
+struct WrappedRng<'a>(&'a mut dyn RngCore);
+
+impl rand::RngCore for WrappedRng<'_> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.0.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrivals_advance_time_monotonically() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ArrivalProcess::new(500.0);
+        assert_eq!(p.rate_per_sec(), 500.0);
+        let mut now = SimTime::ZERO;
+        for _ in 0..1000 {
+            let next = p.next_arrival(now, &mut rng);
+            assert!(next > now);
+            now = next;
+        }
+    }
+
+    #[test]
+    fn long_run_rate_matches_the_configuration() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = ArrivalProcess::new(100.0);
+        let mut now = SimTime::ZERO;
+        let n = 50_000;
+        for _ in 0..n {
+            now = p.next_arrival(now, &mut rng);
+        }
+        let observed = n as f64 / now.as_secs_f64();
+        assert!(
+            (observed - 100.0).abs() < 3.0,
+            "observed rate {observed} txn/s"
+        );
+        assert!((p.expected_arrivals(SimDuration::from_secs(10)) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = ArrivalProcess::new(0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! The discrete-event queue driving the simulation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tcache_types::SimTime;
+
+/// The kinds of events processed by the experiment loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// An update client issues a transaction against the database.
+    UpdateTransaction,
+    /// A read-only client issues a transaction against the cache.
+    ReadOnlyTransaction,
+    /// The invalidation channel has messages due for delivery.
+    DeliverInvalidations,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue. Ties are broken by insertion order so runs
+/// are fully deterministic.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq: self.next_seq,
+            event,
+        }));
+        self.next_seq += 1;
+    }
+
+    /// Pops the earliest event, returning its time and kind.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse(s)| (s.at, s.event))
+    }
+
+    /// The time of the earliest scheduled event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_out_in_time_order() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_secs(3), Event::UpdateTransaction);
+        q.schedule(SimTime::from_secs(1), Event::ReadOnlyTransaction);
+        q.schedule(SimTime::from_secs(2), Event::DeliverInvalidations);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        let order: Vec<Event> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(
+            order,
+            vec![
+                Event::ReadOnlyTransaction,
+                Event::DeliverInvalidations,
+                Event::UpdateTransaction
+            ]
+        );
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_are_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule(t, Event::UpdateTransaction);
+        q.schedule(t, Event::ReadOnlyTransaction);
+        q.schedule(t, Event::DeliverInvalidations);
+        assert_eq!(q.pop().unwrap().1, Event::UpdateTransaction);
+        assert_eq!(q.pop().unwrap().1, Event::ReadOnlyTransaction);
+        assert_eq!(q.pop().unwrap().1, Event::DeliverInvalidations);
+    }
+}

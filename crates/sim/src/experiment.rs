@@ -1,0 +1,543 @@
+//! The experiment runner: one database column, one cache, one monitor.
+
+use crate::clients::ArrivalProcess;
+use crate::event::{Event, EventQueue};
+use crate::results::ExperimentResult;
+use crate::timeseries::TimeSeries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tcache_cache::EdgeCache;
+use tcache_db::{Database, DatabaseConfig};
+use tcache_monitor::ConsistencyMonitor;
+use tcache_net::channel::InvalidationChannel;
+use tcache_net::{LatencyModel, LossModel};
+use tcache_types::{
+    CacheId, DependencyBound, ObjectId, SimDuration, SimTime, Strategy, TCacheError,
+    TransactionRecord, TxnId, Value,
+};
+use tcache_workload::graph::GraphKind;
+use tcache_workload::{
+    DriftingClusters, ParetoClusters, PerfectClusters, PhaseShift, RandomWalkWorkload,
+    UniformRandom, WorkloadGenerator,
+};
+
+/// Which workload drives the clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// Perfectly clustered synthetic accesses (§V-A1).
+    PerfectClusters {
+        /// Number of objects.
+        objects: u64,
+        /// Cluster size.
+        cluster_size: u64,
+    },
+    /// Approximately clustered synthetic accesses with Pareto parameter α.
+    ParetoClusters {
+        /// Number of objects.
+        objects: u64,
+        /// Cluster size.
+        cluster_size: u64,
+        /// Pareto shape parameter.
+        alpha: f64,
+    },
+    /// Uniformly random accesses.
+    Uniform {
+        /// Number of objects.
+        objects: u64,
+    },
+    /// Perfect clusters whose boundaries drift over time (Figure 5).
+    Drifting {
+        /// Number of objects.
+        objects: u64,
+        /// Cluster size.
+        cluster_size: u64,
+        /// How often the clusters shift by one object.
+        shift_every: SimDuration,
+    },
+    /// Uniform accesses that become perfectly clustered at `switch_at`
+    /// (Figure 4).
+    PhaseShift {
+        /// Number of objects.
+        objects: u64,
+        /// Cluster size after the switch.
+        cluster_size: u64,
+        /// When accesses become clustered.
+        switch_at: SimTime,
+    },
+    /// Random-walk transactions over a sampled graph topology (§V-B).
+    Graph {
+        /// Which topology the graph stands in for.
+        kind: GraphKind,
+        /// Nodes of the synthetic source graph before sampling.
+        source_nodes: usize,
+        /// Nodes retained by the random-walk sampler.
+        sampled_nodes: usize,
+    },
+}
+
+impl WorkloadKind {
+    /// The paper's retail (Amazon-like) workload.
+    pub fn retail() -> Self {
+        WorkloadKind::Graph {
+            kind: GraphKind::RetailAffinity,
+            source_nodes: 4000,
+            sampled_nodes: 1000,
+        }
+    }
+
+    /// The paper's social-network (Orkut-like) workload.
+    pub fn social() -> Self {
+        WorkloadKind::Graph {
+            kind: GraphKind::SocialNetwork,
+            source_nodes: 4000,
+            sampled_nodes: 1000,
+        }
+    }
+
+    /// Builds the generator, using `seed` for any topology generation.
+    pub fn build(&self, seed: u64) -> Box<dyn WorkloadGenerator> {
+        match *self {
+            WorkloadKind::PerfectClusters {
+                objects,
+                cluster_size,
+            } => Box::new(PerfectClusters::new(objects, cluster_size, 5)),
+            WorkloadKind::ParetoClusters {
+                objects,
+                cluster_size,
+                alpha,
+            } => Box::new(ParetoClusters::new(objects, cluster_size, 5, alpha)),
+            WorkloadKind::Uniform { objects } => Box::new(UniformRandom::new(objects, 5)),
+            WorkloadKind::Drifting {
+                objects,
+                cluster_size,
+                shift_every,
+            } => Box::new(DriftingClusters::new(objects, cluster_size, 5, shift_every)),
+            WorkloadKind::PhaseShift {
+                objects,
+                cluster_size,
+                switch_at,
+            } => Box::new(PhaseShift::new(
+                Box::new(UniformRandom::new(objects, 5)),
+                Box::new(PerfectClusters::new(objects, cluster_size, 5)),
+                switch_at,
+            )),
+            WorkloadKind::Graph {
+                kind,
+                source_nodes,
+                sampled_nodes,
+            } => Box::new(RandomWalkWorkload::paper_workload(
+                kind,
+                source_nodes,
+                sampled_nodes,
+                seed,
+            )),
+        }
+    }
+}
+
+/// Which cache implementation serves the read-only clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKind {
+    /// T-Cache with bounded dependency lists.
+    TCache {
+        /// Maximum dependency-list length.
+        dependency_bound: usize,
+        /// Reaction to detected inconsistencies.
+        strategy: Strategy,
+    },
+    /// T-Cache with unbounded dependency lists (Theorem 1).
+    Unbounded {
+        /// Reaction to detected inconsistencies.
+        strategy: Strategy,
+    },
+    /// The consistency-unaware baseline.
+    Plain,
+    /// The TTL-limited baseline of §V-B2.
+    Ttl {
+        /// Entry time-to-live.
+        ttl: SimDuration,
+    },
+}
+
+impl CacheKind {
+    fn database_bound(&self) -> DependencyBound {
+        match *self {
+            CacheKind::TCache {
+                dependency_bound, ..
+            } => DependencyBound::Bounded(dependency_bound),
+            CacheKind::Unbounded { .. } => DependencyBound::Unbounded,
+            CacheKind::Plain | CacheKind::Ttl { .. } => DependencyBound::Bounded(0),
+        }
+    }
+
+    fn build(&self, backend: Arc<Database>) -> EdgeCache {
+        let id = CacheId(0);
+        match *self {
+            CacheKind::TCache {
+                dependency_bound,
+                strategy,
+            } => EdgeCache::tcache(id, backend, dependency_bound, strategy),
+            CacheKind::Unbounded { strategy } => EdgeCache::unbounded(id, backend, strategy),
+            CacheKind::Plain => EdgeCache::plain(id, backend),
+            CacheKind::Ttl { ttl } => EdgeCache::ttl_baseline(id, backend, ttl),
+        }
+    }
+}
+
+/// Full configuration of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Aggregate update-transaction rate (the paper uses 100 txn/s).
+    pub update_rate: f64,
+    /// Aggregate read-only transaction rate (the paper uses 500 txn/s).
+    pub read_rate: f64,
+    /// The workload driving both client classes.
+    pub workload: WorkloadKind,
+    /// The cache under test.
+    pub cache: CacheKind,
+    /// Fraction of invalidations dropped by the channel (the paper uses 0.2).
+    pub invalidation_loss: f64,
+    /// One-way delivery delay of surviving invalidations.
+    pub invalidation_delay: SimDuration,
+    /// Bin width of the outcome time series.
+    pub timeseries_bin: SimDuration,
+    /// Random seed (workload topology, arrivals, channel loss).
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            duration: SimDuration::from_secs(30),
+            update_rate: 100.0,
+            read_rate: 500.0,
+            workload: WorkloadKind::ParetoClusters {
+                objects: 2000,
+                cluster_size: 5,
+                alpha: 1.0,
+            },
+            cache: CacheKind::TCache {
+                dependency_bound: 5,
+                strategy: Strategy::Abort,
+            },
+            invalidation_loss: 0.2,
+            invalidation_delay: SimDuration::from_millis(50),
+            timeseries_bin: SimDuration::from_secs(1),
+            seed: 42,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Runs the experiment to completion.
+    pub fn run(self) -> ExperimentResult {
+        Experiment::new(self).run()
+    }
+}
+
+/// A fully wired experiment, ready to run.
+pub struct Experiment {
+    config: ExperimentConfig,
+    db: Arc<Database>,
+    cache: EdgeCache,
+    channel: InvalidationChannel,
+    monitor: ConsistencyMonitor,
+    workload: Box<dyn WorkloadGenerator>,
+    rng: StdRng,
+    queue: EventQueue,
+    timeseries: TimeSeries,
+    next_txn: u64,
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Experiment {
+    /// Builds all components (database, cache, channel, monitor, workload)
+    /// from the configuration and populates the database.
+    pub fn new(config: ExperimentConfig) -> Self {
+        let workload = config.workload.build(config.seed);
+        let db = Arc::new(Database::new(DatabaseConfig {
+            shards: 1,
+            dependency_bound: config.cache.database_bound(),
+            history_depth: 0,
+        }));
+        db.populate((0..workload.object_count() as u64).map(|i| (ObjectId(i), Value::new(0))));
+        let cache = config.cache.build(Arc::clone(&db));
+        let channel = InvalidationChannel::new(
+            LossModel::uniform(config.invalidation_loss),
+            LatencyModel::Constant(config.invalidation_delay),
+            config.seed.wrapping_add(1),
+        );
+        Experiment {
+            config,
+            db,
+            cache,
+            channel,
+            monitor: ConsistencyMonitor::new(),
+            workload,
+            rng: StdRng::seed_from_u64(config.seed.wrapping_add(2)),
+            queue: EventQueue::new(),
+            timeseries: TimeSeries::new(config.timeseries_bin),
+            next_txn: 1,
+        }
+    }
+
+    /// The configuration this experiment was built from.
+    pub fn config(&self) -> ExperimentConfig {
+        self.config
+    }
+
+    fn next_txn_id(&mut self) -> TxnId {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        id
+    }
+
+    /// Runs the experiment and collects the results.
+    pub fn run(mut self) -> ExperimentResult {
+        let updates = ArrivalProcess::new(self.config.update_rate);
+        let reads = ArrivalProcess::new(self.config.read_rate);
+        let end = SimTime::ZERO + self.config.duration;
+
+        self.queue.schedule(
+            updates.next_arrival(SimTime::ZERO, &mut self.rng),
+            Event::UpdateTransaction,
+        );
+        self.queue.schedule(
+            reads.next_arrival(SimTime::ZERO, &mut self.rng),
+            Event::ReadOnlyTransaction,
+        );
+
+        while let Some((now, event)) = self.queue.pop() {
+            if now > end {
+                break;
+            }
+            // Deliver every invalidation due by now before serving clients.
+            self.deliver_due(now);
+            match event {
+                Event::DeliverInvalidations => {}
+                Event::UpdateTransaction => {
+                    self.run_update(now);
+                    self.queue
+                        .schedule(updates.next_arrival(now, &mut self.rng), Event::UpdateTransaction);
+                }
+                Event::ReadOnlyTransaction => {
+                    self.run_read_only(now);
+                    self.queue
+                        .schedule(reads.next_arrival(now, &mut self.rng), Event::ReadOnlyTransaction);
+                }
+            }
+        }
+
+        ExperimentResult {
+            duration: self.config.duration,
+            report: self.monitor.report(),
+            cache: self.cache.stats(),
+            db: self.db.stats(),
+            channel: self.channel.stats(),
+            timeseries: self.timeseries,
+        }
+    }
+
+    fn deliver_due(&mut self, now: SimTime) {
+        for invalidation in self.channel.due(now) {
+            self.cache.apply_invalidation(invalidation);
+        }
+    }
+
+    fn run_update(&mut self, now: SimTime) {
+        let txn = self.next_txn_id();
+        let access = self.workload.generate(now, &mut self.rng);
+        match self.db.execute_update(txn, &access) {
+            Ok(commit) => {
+                let record = TransactionRecord::update_committed(
+                    txn,
+                    commit.reads.clone(),
+                    commit.written.clone(),
+                    now,
+                );
+                self.monitor.record_update_commit(&record);
+                self.channel
+                    .send(now, commit.invalidations.iter().copied());
+                if let Some(at) = self.channel.next_delivery_at() {
+                    self.queue.schedule(at, Event::DeliverInvalidations);
+                }
+            }
+            Err(_) => {
+                self.monitor.record_update_abort();
+            }
+        }
+    }
+
+    fn run_read_only(&mut self, now: SimTime) {
+        let txn = self.next_txn_id();
+        let access = self.workload.generate(now, &mut self.rng);
+        let keys = access.objects();
+        let mut observed = Vec::with_capacity(keys.len());
+        let mut aborted = false;
+        for (i, &key) in keys.iter().enumerate() {
+            let last_op = i + 1 == keys.len();
+            match self.cache.read(now, txn, key, last_op) {
+                Ok(v) => observed.push((v.id, v.version)),
+                Err(TCacheError::InconsistencyAbort { .. }) => {
+                    aborted = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected cache error during experiment: {e}"),
+            }
+        }
+        let class = self.monitor.record_read_only(&observed, !aborted);
+        self.timeseries.record(now, class);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig {
+            duration: SimDuration::from_secs(5),
+            workload: WorkloadKind::PerfectClusters {
+                objects: 500,
+                cluster_size: 5,
+            },
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn experiment_produces_traffic_at_the_configured_rates() {
+        let result = quick_config().run();
+        let reads = result.report.read_only_total() as f64;
+        let updates = (result.report.updates_committed + result.report.updates_aborted) as f64;
+        // 5 seconds at 500 and 100 txn/s respectively; allow generous slack.
+        assert!((reads - 2500.0).abs() < 400.0, "read txns {reads}");
+        assert!((updates - 500.0).abs() < 150.0, "update txns {updates}");
+        assert!(result.hit_ratio() > 0.5);
+        assert!(result.channel.sent > 0);
+        let loss = result.channel.loss_ratio();
+        assert!((loss - 0.2).abs() < 0.05, "channel loss {loss}");
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        let a = quick_config().run();
+        let b = quick_config().run();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.cache, b.cache);
+        let mut other = quick_config();
+        other.seed = 7;
+        let c = other.run();
+        assert_ne!(a.report, c.report);
+    }
+
+    #[test]
+    fn plain_cache_commits_inconsistent_transactions() {
+        let mut config = quick_config();
+        config.cache = CacheKind::Plain;
+        let result = config.run();
+        assert_eq!(result.report.aborted_total(), 0);
+        assert!(
+            result.report.committed_inconsistent > 0,
+            "with 20% invalidation loss the consistency-unaware cache must commit some inconsistent transactions"
+        );
+    }
+
+    #[test]
+    fn tcache_detects_most_inconsistencies_on_clustered_workloads() {
+        let plain = {
+            let mut c = quick_config();
+            c.cache = CacheKind::Plain;
+            c.run()
+        };
+        let tcache = {
+            let mut c = quick_config();
+            c.cache = CacheKind::TCache {
+                dependency_bound: 5,
+                strategy: Strategy::Abort,
+            };
+            c.run()
+        };
+        assert!(
+            tcache.inconsistency_ratio() < plain.inconsistency_ratio(),
+            "T-Cache ({}) must reduce the inconsistency ratio below the plain cache ({})",
+            tcache.inconsistency_ratio(),
+            plain.inconsistency_ratio()
+        );
+        assert!(tcache.report.aborted_total() > 0);
+    }
+
+    #[test]
+    fn reliable_channel_produces_no_inconsistencies() {
+        let mut config = quick_config();
+        config.invalidation_loss = 0.0;
+        config.invalidation_delay = SimDuration::ZERO;
+        let result = config.run();
+        assert_eq!(
+            result.report.committed_inconsistent, 0,
+            "without loss or delay every committed transaction is consistent"
+        );
+        assert_eq!(result.channel.dropped, 0);
+    }
+
+    #[test]
+    fn workload_kind_builders_produce_generators() {
+        for kind in [
+            WorkloadKind::PerfectClusters { objects: 100, cluster_size: 5 },
+            WorkloadKind::ParetoClusters { objects: 100, cluster_size: 5, alpha: 1.0 },
+            WorkloadKind::Uniform { objects: 100 },
+            WorkloadKind::Drifting {
+                objects: 100,
+                cluster_size: 5,
+                shift_every: SimDuration::from_secs(10),
+            },
+            WorkloadKind::PhaseShift {
+                objects: 100,
+                cluster_size: 5,
+                switch_at: SimTime::from_secs(10),
+            },
+        ] {
+            let mut generator = kind.build(1);
+            assert_eq!(generator.object_count(), 100);
+            let access = generator.generate(SimTime::ZERO, &mut StdRng::seed_from_u64(1));
+            assert_eq!(access.len(), 5);
+        }
+        let retail = WorkloadKind::retail().build(1);
+        assert_eq!(retail.object_count(), 1000);
+        let social = WorkloadKind::social().build(1);
+        assert_eq!(social.object_count(), 1000);
+    }
+
+    #[test]
+    fn ttl_cache_lowers_hit_ratio() {
+        let infinite = {
+            let mut c = quick_config();
+            c.cache = CacheKind::Plain;
+            c.run()
+        };
+        let ttl = {
+            let mut c = quick_config();
+            c.cache = CacheKind::Ttl {
+                ttl: SimDuration::from_millis(500),
+            };
+            c.run()
+        };
+        assert!(
+            ttl.hit_ratio() < infinite.hit_ratio(),
+            "a short TTL must reduce the hit ratio ({} vs {})",
+            ttl.hit_ratio(),
+            infinite.hit_ratio()
+        );
+        assert!(ttl.db_reads_per_second() > infinite.db_reads_per_second());
+    }
+}

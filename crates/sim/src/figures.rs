@@ -1,0 +1,578 @@
+//! Per-figure experiment drivers.
+//!
+//! Each function reproduces one figure of the paper's evaluation and returns
+//! the rows / series the figure plots. The binaries in the `tcache-bench`
+//! crate call these with paper-scale durations and print the tables; the
+//! unit tests here call them with short durations and assert the qualitative
+//! shape (who wins, what trends up or down).
+
+use crate::experiment::{CacheKind, ExperimentConfig, WorkloadKind};
+use crate::results::ExperimentResult;
+use serde::Serialize;
+use tcache_types::{SimDuration, SimTime, Strategy};
+use tcache_workload::graph::GraphKind;
+
+/// The α values swept by Figure 3 (1/32 … 4).
+pub const FIG3_ALPHAS: [f64; 8] = [
+    1.0 / 32.0,
+    1.0 / 16.0,
+    1.0 / 8.0,
+    1.0 / 4.0,
+    1.0 / 2.0,
+    1.0,
+    2.0,
+    4.0,
+];
+
+/// One row of Figure 3: detection ratio as a function of the Pareto α.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig3Row {
+    /// The Pareto shape parameter of the workload.
+    pub alpha: f64,
+    /// Percentage of potential inconsistencies detected by T-Cache.
+    pub detected_pct: f64,
+    /// Percentage of committed transactions that were inconsistent.
+    pub inconsistency_pct: f64,
+    /// Percentage of read-only transactions aborted.
+    pub aborted_pct: f64,
+}
+
+/// Figure 3: inconsistency detection ratio as a function of workload
+/// clustering (Pareto α), with dependency lists bounded at 5 and the ABORT
+/// strategy.
+pub fn fig3(duration: SimDuration, seed: u64) -> Vec<Fig3Row> {
+    FIG3_ALPHAS
+        .iter()
+        .map(|&alpha| {
+            let result = ExperimentConfig {
+                duration,
+                workload: WorkloadKind::ParetoClusters {
+                    objects: 2000,
+                    cluster_size: 5,
+                    alpha,
+                },
+                cache: CacheKind::TCache {
+                    dependency_bound: 5,
+                    strategy: Strategy::Abort,
+                },
+                seed,
+                ..ExperimentConfig::default()
+            }
+            .run();
+            Fig3Row {
+                alpha,
+                detected_pct: result.detection_ratio() * 100.0,
+                inconsistency_pct: result.inconsistency_ratio() * 100.0,
+                aborted_pct: result.abort_ratio() * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// One point of the Figure 4 convergence series: transaction rates by class.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig4Point {
+    /// Bin start time in seconds.
+    pub time_secs: f64,
+    /// Consistent committed transactions per second.
+    pub consistent_rate: f64,
+    /// Inconsistent committed transactions per second.
+    pub inconsistent_rate: f64,
+    /// Aborted transactions per second.
+    pub aborted_rate: f64,
+}
+
+/// Figure 4: convergence after cluster formation. Accesses are uniformly
+/// random until `switch_at` and perfectly clustered afterwards; the series
+/// shows the per-second rates of consistent, inconsistent and aborted
+/// transactions over time.
+pub fn fig4(total: SimDuration, switch_at: SimTime, seed: u64) -> Vec<Fig4Point> {
+    let result = ExperimentConfig {
+        duration: total,
+        workload: WorkloadKind::PhaseShift {
+            objects: 1000,
+            cluster_size: 5,
+            switch_at,
+        },
+        cache: CacheKind::TCache {
+            dependency_bound: 5,
+            strategy: Strategy::Abort,
+        },
+        update_rate: 100.0,
+        read_rate: 500.0,
+        timeseries_bin: SimDuration::from_secs(2),
+        seed,
+        ..ExperimentConfig::default()
+    }
+    .run();
+    result
+        .timeseries
+        .rates_per_second()
+        .into_iter()
+        .map(|(t, c, i, a)| Fig4Point {
+            time_secs: t,
+            consistent_rate: c,
+            inconsistent_rate: i,
+            aborted_rate: a,
+        })
+        .collect()
+}
+
+/// One point of the Figure 5 drifting-cluster series.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig5Point {
+    /// Bin start time in seconds.
+    pub time_secs: f64,
+    /// Percentage of committed transactions in the bin that were
+    /// inconsistent.
+    pub inconsistency_pct: f64,
+}
+
+/// Figure 5: perfectly clustered workload whose clusters shift by one object
+/// every `shift_every`; the inconsistency ratio spikes at each shift and
+/// converges back as the dependency lists adapt.
+pub fn fig5(total: SimDuration, shift_every: SimDuration, seed: u64) -> Vec<Fig5Point> {
+    let result = ExperimentConfig {
+        duration: total,
+        workload: WorkloadKind::Drifting {
+            objects: 2000,
+            cluster_size: 5,
+            shift_every,
+        },
+        cache: CacheKind::TCache {
+            dependency_bound: 5,
+            strategy: Strategy::Abort,
+        },
+        timeseries_bin: SimDuration::from_secs(5),
+        seed,
+        ..ExperimentConfig::default()
+    }
+    .run();
+    result
+        .timeseries
+        .iter()
+        .map(|(t, bin)| Fig5Point {
+            time_secs: t.as_secs_f64(),
+            inconsistency_pct: bin.inconsistency_ratio() * 100.0,
+        })
+        .collect()
+}
+
+/// One bar of the strategy-comparison figures (6 and 8): the breakdown of
+/// read-only transactions by outcome.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct StrategyBreakdown {
+    /// The workload the bar belongs to (`None` for the synthetic workload of
+    /// Figure 6).
+    pub workload: Option<GraphKind>,
+    /// The inconsistency-handling strategy.
+    pub strategy: Strategy,
+    /// Percentage of transactions that committed consistently.
+    pub consistent_pct: f64,
+    /// Percentage of transactions that committed having observed
+    /// inconsistent data.
+    pub inconsistent_pct: f64,
+    /// Percentage of transactions aborted.
+    pub aborted_pct: f64,
+}
+
+fn breakdown(
+    workload: Option<GraphKind>,
+    strategy: Strategy,
+    result: &ExperimentResult,
+) -> StrategyBreakdown {
+    let total = result.report.read_only_total().max(1) as f64;
+    StrategyBreakdown {
+        workload,
+        strategy,
+        consistent_pct: result.report.committed_consistent as f64 / total * 100.0,
+        inconsistent_pct: result.report.committed_inconsistent as f64 / total * 100.0,
+        aborted_pct: result.report.aborted_total() as f64 / total * 100.0,
+    }
+}
+
+/// Figure 6: the efficacy of ABORT / EVICT / RETRY on the approximately
+/// clustered synthetic workload (2000 objects, α = 1.0, dependency bound 5).
+pub fn fig6(duration: SimDuration, seed: u64) -> Vec<StrategyBreakdown> {
+    Strategy::ALL
+        .iter()
+        .map(|&strategy| {
+            let result = ExperimentConfig {
+                duration,
+                workload: WorkloadKind::ParetoClusters {
+                    objects: 2000,
+                    cluster_size: 5,
+                    alpha: 1.0,
+                },
+                cache: CacheKind::TCache {
+                    dependency_bound: 5,
+                    strategy,
+                },
+                seed,
+                ..ExperimentConfig::default()
+            }
+            .run();
+            breakdown(None, strategy, &result)
+        })
+        .collect()
+}
+
+/// One row of Figure 7c / 7d: inconsistency ratio, hit ratio and database
+/// load for one cache configuration on one realistic workload.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RealisticRow {
+    /// Which topology the workload stands in for.
+    pub workload: GraphKind,
+    /// Dependency-list bound (Figure 7c) — `None` for TTL rows.
+    pub dependency_bound: Option<usize>,
+    /// Cache-entry TTL in seconds (Figure 7d) — `None` for T-Cache rows.
+    pub ttl_secs: Option<u64>,
+    /// Percentage of committed transactions that were inconsistent.
+    pub inconsistency_pct: f64,
+    /// Cache hit ratio.
+    pub hit_ratio: f64,
+    /// Reads per second the cache issued to the database.
+    pub db_reads_per_sec: f64,
+}
+
+/// Figure 7c: T-Cache on the two realistic workloads as a function of the
+/// dependency-list bound (0 through 5).
+pub fn fig7c(duration: SimDuration, seed: u64) -> Vec<RealisticRow> {
+    let mut rows = Vec::new();
+    for kind in [GraphKind::RetailAffinity, GraphKind::SocialNetwork] {
+        for bound in 0..=5usize {
+            let result = ExperimentConfig {
+                duration,
+                workload: graph_workload(kind),
+                cache: CacheKind::TCache {
+                    dependency_bound: bound,
+                    strategy: Strategy::Abort,
+                },
+                seed,
+                ..ExperimentConfig::default()
+            }
+            .run();
+            rows.push(RealisticRow {
+                workload: kind,
+                dependency_bound: Some(bound),
+                ttl_secs: None,
+                inconsistency_pct: result.inconsistency_ratio() * 100.0,
+                hit_ratio: result.hit_ratio(),
+                db_reads_per_sec: result.db_reads_per_second(),
+            });
+        }
+    }
+    rows
+}
+
+/// The TTL values (in seconds) swept by Figure 7d, from effectively-infinite
+/// down to aggressive expiry.
+pub const FIG7D_TTLS: [u64; 9] = [6400, 3200, 1600, 800, 400, 200, 100, 50, 30];
+
+/// Figure 7d: the TTL-limited baseline on the two realistic workloads as a
+/// function of the entry TTL. `ttls` are the TTL values (seconds) to sweep;
+/// pass [`FIG7D_TTLS`] for the paper's range or a scaled-down range for
+/// short runs.
+pub fn fig7d(duration: SimDuration, seed: u64, ttls: &[u64]) -> Vec<RealisticRow> {
+    let mut rows = Vec::new();
+    for kind in [GraphKind::RetailAffinity, GraphKind::SocialNetwork] {
+        for &ttl in ttls {
+            let result = ExperimentConfig {
+                duration,
+                workload: graph_workload(kind),
+                cache: CacheKind::Ttl {
+                    ttl: SimDuration::from_secs(ttl),
+                },
+                seed,
+                ..ExperimentConfig::default()
+            }
+            .run();
+            rows.push(RealisticRow {
+                workload: kind,
+                dependency_bound: None,
+                ttl_secs: Some(ttl),
+                inconsistency_pct: result.inconsistency_ratio() * 100.0,
+                hit_ratio: result.hit_ratio(),
+                db_reads_per_sec: result.db_reads_per_second(),
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 8: ABORT / EVICT / RETRY on the realistic workloads with
+/// dependency lists bounded at 3.
+pub fn fig8(duration: SimDuration, seed: u64) -> Vec<StrategyBreakdown> {
+    let mut rows = Vec::new();
+    for kind in [GraphKind::RetailAffinity, GraphKind::SocialNetwork] {
+        for &strategy in &Strategy::ALL {
+            let result = ExperimentConfig {
+                duration,
+                workload: graph_workload(kind),
+                cache: CacheKind::TCache {
+                    dependency_bound: 3,
+                    strategy,
+                },
+                seed,
+                ..ExperimentConfig::default()
+            }
+            .run();
+            rows.push(breakdown(Some(kind), strategy, &result));
+        }
+    }
+    rows
+}
+
+/// One row of the headline comparison (abstract / §V-B): T-Cache with
+/// dependency bound 3 versus the consistency-unaware cache.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct HeadlineRow {
+    /// Which topology the workload stands in for.
+    pub workload: GraphKind,
+    /// Inconsistency ratio of the consistency-unaware cache (percent).
+    pub baseline_inconsistency_pct: f64,
+    /// Inconsistency ratio of T-Cache (percent).
+    pub tcache_inconsistency_pct: f64,
+    /// Percentage of the baseline's inconsistencies that T-Cache removed
+    /// (detected and either aborted or repaired by read-throughs).
+    pub detected_pct: f64,
+    /// Relative increase of the consistent-commit rate over the baseline
+    /// (percent).
+    pub consistent_rate_increase_pct: f64,
+}
+
+/// The headline claim: with dependency lists of size 3 T-Cache detects
+/// 43–70 % of inconsistencies and increases the consistent-transaction rate
+/// by 33–58 %.
+pub fn headline(duration: SimDuration, seed: u64) -> Vec<HeadlineRow> {
+    [GraphKind::RetailAffinity, GraphKind::SocialNetwork]
+        .into_iter()
+        .map(|kind| {
+            let baseline = ExperimentConfig {
+                duration,
+                workload: graph_workload(kind),
+                cache: CacheKind::Plain,
+                seed,
+                ..ExperimentConfig::default()
+            }
+            .run();
+            let tcache = ExperimentConfig {
+                duration,
+                workload: graph_workload(kind),
+                cache: CacheKind::TCache {
+                    dependency_bound: 3,
+                    strategy: Strategy::Retry,
+                },
+                seed,
+                ..ExperimentConfig::default()
+            }
+            .run();
+            let baseline_consistent = baseline.consistent_commit_ratio().max(1e-9);
+            let baseline_incons = baseline.inconsistency_ratio();
+            let removed = if baseline_incons > 0.0 {
+                (1.0 - tcache.inconsistency_ratio() / baseline_incons) * 100.0
+            } else {
+                0.0
+            };
+            HeadlineRow {
+                workload: kind,
+                baseline_inconsistency_pct: baseline_incons * 100.0,
+                tcache_inconsistency_pct: tcache.inconsistency_ratio() * 100.0,
+                detected_pct: removed,
+                consistent_rate_increase_pct: (tcache.consistent_commit_ratio()
+                    / baseline_consistent
+                    - 1.0)
+                    * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// One row of the invalidation-loss sweep (an extension beyond the paper:
+/// how sensitive is T-Cache to the channel loss rate?).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct DropSweepRow {
+    /// Fraction of invalidations dropped.
+    pub loss: f64,
+    /// Inconsistency ratio of the plain cache (percent).
+    pub plain_inconsistency_pct: f64,
+    /// Inconsistency ratio of T-Cache (percent).
+    pub tcache_inconsistency_pct: f64,
+}
+
+/// Extension experiment: sweep the invalidation loss rate and compare the
+/// plain cache with T-Cache (dependency bound 3, RETRY).
+pub fn drop_sweep(duration: SimDuration, seed: u64, losses: &[f64]) -> Vec<DropSweepRow> {
+    losses
+        .iter()
+        .map(|&loss| {
+            let base = ExperimentConfig {
+                duration,
+                workload: graph_workload(GraphKind::RetailAffinity),
+                cache: CacheKind::Plain,
+                invalidation_loss: loss,
+                seed,
+                ..ExperimentConfig::default()
+            }
+            .run();
+            let tcache = ExperimentConfig {
+                duration,
+                workload: graph_workload(GraphKind::RetailAffinity),
+                cache: CacheKind::TCache {
+                    dependency_bound: 3,
+                    strategy: Strategy::Retry,
+                },
+                invalidation_loss: loss,
+                seed,
+                ..ExperimentConfig::default()
+            }
+            .run();
+            DropSweepRow {
+                loss,
+                plain_inconsistency_pct: base.inconsistency_ratio() * 100.0,
+                tcache_inconsistency_pct: tcache.inconsistency_ratio() * 100.0,
+            }
+        })
+        .collect()
+}
+
+fn graph_workload(kind: GraphKind) -> WorkloadKind {
+    WorkloadKind::Graph {
+        kind,
+        source_nodes: 4000,
+        sampled_nodes: 1000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK: SimDuration = SimDuration(3_000_000); // 3 s
+
+    #[test]
+    fn fig3_detection_improves_with_clustering() {
+        // The α sweep uses the paper's 2000-object space, so it needs a
+        // slightly longer run than the other quick tests before enough
+        // stale entries accumulate to measure detection.
+        let rows = fig3(SimDuration::from_secs(10), 7);
+        assert_eq!(rows.len(), FIG3_ALPHAS.len());
+        let lowest = rows.first().unwrap();
+        let highest = rows.last().unwrap();
+        assert!(
+            highest.detected_pct > lowest.detected_pct + 20.0,
+            "detection at α=4 ({:.1}%) must clearly exceed detection at α=1/32 ({:.1}%)",
+            highest.detected_pct,
+            lowest.detected_pct
+        );
+        assert!(highest.detected_pct > 60.0);
+    }
+
+    #[test]
+    fn fig4_inconsistency_drops_after_clustering_starts() {
+        let switch = SimTime::from_secs(6);
+        let points = fig4(SimDuration::from_secs(12), switch, 7);
+        assert!(points.len() >= 5);
+        let before: f64 = points
+            .iter()
+            .filter(|p| p.time_secs < 6.0)
+            .map(|p| p.inconsistent_rate)
+            .sum::<f64>();
+        let after: f64 = points
+            .iter()
+            .filter(|p| p.time_secs >= 8.0)
+            .map(|p| p.inconsistent_rate)
+            .sum::<f64>();
+        let aborts_after: f64 = points
+            .iter()
+            .filter(|p| p.time_secs >= 8.0)
+            .map(|p| p.aborted_rate)
+            .sum::<f64>();
+        assert!(
+            after < before,
+            "inconsistent commits must drop once accesses become clustered (before {before}, after {after})"
+        );
+        assert!(aborts_after > 0.0, "aborts appear once detection starts working");
+    }
+
+    #[test]
+    fn fig6_evict_and_retry_reduce_undetected_inconsistency() {
+        let rows = fig6(QUICK, 7);
+        assert_eq!(rows.len(), 3);
+        let abort = rows.iter().find(|r| r.strategy == Strategy::Abort).unwrap();
+        let evict = rows.iter().find(|r| r.strategy == Strategy::Evict).unwrap();
+        let retry = rows.iter().find(|r| r.strategy == Strategy::Retry).unwrap();
+        assert!(evict.inconsistent_pct <= abort.inconsistent_pct + 1.0);
+        assert!(retry.inconsistent_pct <= abort.inconsistent_pct + 1.0);
+        // RETRY converts aborts into successful read-throughs.
+        assert!(retry.aborted_pct < abort.aborted_pct + evict.aborted_pct);
+        for r in &rows {
+            let total = r.consistent_pct + r.inconsistent_pct + r.aborted_pct;
+            assert!((total - 100.0).abs() < 1.0, "percentages sum to ~100, got {total}");
+        }
+    }
+
+    #[test]
+    fn fig7c_inconsistency_decreases_with_dependency_bound() {
+        let rows = fig7c(QUICK, 7);
+        assert_eq!(rows.len(), 12);
+        for kind in [GraphKind::RetailAffinity, GraphKind::SocialNetwork] {
+            let series: Vec<&RealisticRow> =
+                rows.iter().filter(|r| r.workload == kind).collect();
+            let at0 = series.iter().find(|r| r.dependency_bound == Some(0)).unwrap();
+            let at3 = series.iter().find(|r| r.dependency_bound == Some(3)).unwrap();
+            assert!(
+                at3.inconsistency_pct < at0.inconsistency_pct,
+                "{kind}: dependency lists must reduce inconsistency ({} vs {})",
+                at3.inconsistency_pct,
+                at0.inconsistency_pct
+            );
+            // Hit ratio is essentially unaffected by T-Cache.
+            assert!((at3.hit_ratio - at0.hit_ratio).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn fig7d_short_ttls_cost_hit_ratio() {
+        let rows = fig7d(QUICK, 7, &[1000, 1]);
+        assert_eq!(rows.len(), 4);
+        for kind in [GraphKind::RetailAffinity, GraphKind::SocialNetwork] {
+            let series: Vec<&RealisticRow> =
+                rows.iter().filter(|r| r.workload == kind).collect();
+            let long = series.iter().find(|r| r.ttl_secs == Some(1000)).unwrap();
+            let short = series.iter().find(|r| r.ttl_secs == Some(1)).unwrap();
+            assert!(short.hit_ratio < long.hit_ratio);
+            assert!(short.db_reads_per_sec > long.db_reads_per_sec);
+        }
+    }
+
+    #[test]
+    fn fig8_and_headline_have_the_expected_shape() {
+        let rows = fig8(QUICK, 7);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.workload.is_some());
+            let total = r.consistent_pct + r.inconsistent_pct + r.aborted_pct;
+            assert!((total - 100.0).abs() < 1.0);
+        }
+        let headline_rows = headline(QUICK, 7);
+        assert_eq!(headline_rows.len(), 2);
+        for h in &headline_rows {
+            assert!(
+                h.tcache_inconsistency_pct <= h.baseline_inconsistency_pct,
+                "T-Cache must not increase inconsistency"
+            );
+            assert!(h.detected_pct > 0.0);
+        }
+    }
+
+    #[test]
+    fn drop_sweep_inconsistency_grows_with_loss() {
+        let rows = drop_sweep(QUICK, 7, &[0.0, 0.4]);
+        assert_eq!(rows.len(), 2);
+        // Even with no loss the 50 ms delivery delay produces a trickle of
+        // inconsistency, but heavy loss must make it clearly worse.
+        assert!(rows[1].plain_inconsistency_pct > rows[0].plain_inconsistency_pct);
+        assert!(rows[1].tcache_inconsistency_pct <= rows[1].plain_inconsistency_pct);
+    }
+}

@@ -1,0 +1,123 @@
+//! Experiment results and derived metrics.
+
+use crate::timeseries::TimeSeries;
+use tcache_cache::CacheStatsSnapshot;
+use tcache_db::stats::DbStatsSnapshot;
+use tcache_monitor::MonitorReport;
+use tcache_net::channel::ChannelStats;
+use tcache_types::SimDuration;
+
+/// Everything measured during one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Simulated duration of the run.
+    pub duration: SimDuration,
+    /// The consistency monitor's classification counts.
+    pub report: MonitorReport,
+    /// Cache-side statistics (hit ratio, aborts, retries, …).
+    pub cache: CacheStatsSnapshot,
+    /// Database-side statistics (reads served, updates committed, …).
+    pub db: DbStatsSnapshot,
+    /// Invalidation channel statistics (sent / dropped / delivered).
+    pub channel: ChannelStats,
+    /// Per-bin outcome time series (used by Figures 4 and 5).
+    pub timeseries: TimeSeries,
+}
+
+impl ExperimentResult {
+    /// The headline metric: the fraction of committed read-only transactions
+    /// that observed inconsistent data.
+    pub fn inconsistency_ratio(&self) -> f64 {
+        self.report.inconsistency_ratio()
+    }
+
+    /// The cache hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        self.cache.hit_ratio()
+    }
+
+    /// Read load the cache placed on the database, in reads per simulated
+    /// second (cache misses plus RETRY read-throughs).
+    pub fn db_reads_per_second(&self) -> f64 {
+        if self.duration == SimDuration::ZERO {
+            0.0
+        } else {
+            self.cache.db_reads() as f64 / self.duration.as_secs_f64()
+        }
+    }
+
+    /// Read-only transaction throughput in transactions per second.
+    pub fn read_txn_rate(&self) -> f64 {
+        if self.duration == SimDuration::ZERO {
+            0.0
+        } else {
+            self.report.read_only_total() as f64 / self.duration.as_secs_f64()
+        }
+    }
+
+    /// Fraction of all read-only transactions that committed with
+    /// consistent data.
+    pub fn consistent_commit_ratio(&self) -> f64 {
+        self.report.consistent_commit_ratio()
+    }
+
+    /// Fraction of all read-only transactions that were aborted.
+    pub fn abort_ratio(&self) -> f64 {
+        self.report.abort_ratio()
+    }
+
+    /// Fraction of potential inconsistencies that the cache detected
+    /// (Figure 3's y-axis).
+    pub fn detection_ratio(&self) -> f64 {
+        self.report.detection_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::SimDuration;
+
+    fn sample() -> ExperimentResult {
+        let mut report = MonitorReport::default();
+        report.committed_consistent = 800;
+        report.committed_inconsistent = 100;
+        report.aborted_justified = 80;
+        report.aborted_unnecessary = 20;
+        let cache = CacheStatsSnapshot {
+            reads: 5000,
+            hits: 4500,
+            misses: 500,
+            retries: 10,
+            ..CacheStatsSnapshot::default()
+        };
+        ExperimentResult {
+            duration: SimDuration::from_secs(10),
+            report,
+            cache,
+            db: DbStatsSnapshot::default(),
+            channel: ChannelStats::default(),
+            timeseries: TimeSeries::new(SimDuration::from_secs(1)),
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = sample();
+        assert!((r.inconsistency_ratio() - 100.0 / 900.0).abs() < 1e-9);
+        assert!((r.hit_ratio() - 0.9).abs() < 1e-9);
+        assert!((r.db_reads_per_second() - 51.0).abs() < 1e-9);
+        assert!((r.read_txn_rate() - 100.0).abs() < 1e-9);
+        assert!((r.consistent_commit_ratio() - 0.8).abs() < 1e-9);
+        assert!((r.abort_ratio() - 0.1).abs() < 1e-9);
+        assert!((r.detection_ratio() - 100.0 / 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_is_handled() {
+        let mut r = sample();
+        r.duration = SimDuration::ZERO;
+        assert_eq!(r.db_reads_per_second(), 0.0);
+        assert_eq!(r.read_txn_rate(), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Binned time series of transaction outcomes (Figures 4 and 5).
+
+use serde::{Deserialize, Serialize};
+use tcache_monitor::TransactionClass;
+use tcache_types::{SimDuration, SimTime};
+
+/// One time bin of read-only transaction outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeBin {
+    /// Committed transactions whose reads were consistent.
+    pub consistent: u64,
+    /// Committed transactions that observed inconsistent data.
+    pub inconsistent: u64,
+    /// Aborted transactions.
+    pub aborted: u64,
+}
+
+impl TimeBin {
+    /// Total transactions in the bin.
+    pub fn total(&self) -> u64 {
+        self.consistent + self.inconsistent + self.aborted
+    }
+
+    /// Fraction of the bin's committed transactions that were inconsistent.
+    pub fn inconsistency_ratio(&self) -> f64 {
+        let committed = self.consistent + self.inconsistent;
+        if committed == 0 {
+            0.0
+        } else {
+            self.inconsistent as f64 / committed as f64
+        }
+    }
+}
+
+/// A sequence of equally sized time bins accumulating transaction classes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    bin_width: SimDuration,
+    bins: Vec<TimeBin>,
+}
+
+impl TimeSeries {
+    /// Creates a time series with the given bin width.
+    ///
+    /// # Panics
+    /// Panics if the bin width is zero.
+    pub fn new(bin_width: SimDuration) -> Self {
+        assert!(bin_width > SimDuration::ZERO, "bin width must be positive");
+        TimeSeries {
+            bin_width,
+            bins: Vec::new(),
+        }
+    }
+
+    /// The configured bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin_width
+    }
+
+    /// Records one classified transaction completed at `at`.
+    pub fn record(&mut self, at: SimTime, class: TransactionClass) {
+        let index = (at.as_micros() / self.bin_width.as_micros()) as usize;
+        if index >= self.bins.len() {
+            self.bins.resize(index + 1, TimeBin::default());
+        }
+        let bin = &mut self.bins[index];
+        match class {
+            TransactionClass::CommittedConsistent => bin.consistent += 1,
+            TransactionClass::CommittedInconsistent => bin.inconsistent += 1,
+            TransactionClass::AbortedJustified | TransactionClass::AbortedUnnecessary => {
+                bin.aborted += 1
+            }
+        }
+    }
+
+    /// The bins recorded so far (bin `i` covers
+    /// `[i * bin_width, (i+1) * bin_width)`).
+    pub fn bins(&self) -> &[TimeBin] {
+        &self.bins
+    }
+
+    /// Iterates over `(bin start time, bin)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &TimeBin)> {
+        self.bins.iter().enumerate().map(move |(i, bin)| {
+            (
+                SimTime::from_micros(i as u64 * self.bin_width.as_micros()),
+                bin,
+            )
+        })
+    }
+
+    /// Transaction rates (per second) per bin as `(time, consistent,
+    /// inconsistent, aborted)` — the series plotted in Figure 4.
+    pub fn rates_per_second(&self) -> Vec<(f64, f64, f64, f64)> {
+        let width = self.bin_width.as_secs_f64();
+        self.iter()
+            .map(|(t, bin)| {
+                (
+                    t.as_secs_f64(),
+                    bin.consistent as f64 / width,
+                    bin.inconsistent as f64 / width,
+                    bin.aborted as f64 / width,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_fall_into_the_right_bins() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        assert_eq!(ts.bin_width(), SimDuration::from_secs(10));
+        ts.record(SimTime::from_secs(1), TransactionClass::CommittedConsistent);
+        ts.record(SimTime::from_secs(9), TransactionClass::CommittedInconsistent);
+        ts.record(SimTime::from_secs(10), TransactionClass::AbortedJustified);
+        ts.record(SimTime::from_secs(25), TransactionClass::AbortedUnnecessary);
+        let bins = ts.bins();
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[0].consistent, 1);
+        assert_eq!(bins[0].inconsistent, 1);
+        assert_eq!(bins[0].aborted, 0);
+        assert_eq!(bins[1].aborted, 1);
+        assert_eq!(bins[2].aborted, 1);
+        assert_eq!(bins[0].total(), 2);
+        assert!((bins[0].inconsistency_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(bins[2].inconsistency_ratio(), 0.0);
+    }
+
+    #[test]
+    fn rates_are_normalised_by_bin_width() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(2));
+        for _ in 0..10 {
+            ts.record(SimTime::from_secs(1), TransactionClass::CommittedConsistent);
+        }
+        let rates = ts.rates_per_second();
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].0, 0.0);
+        assert!((rates[0].1 - 5.0).abs() < 1e-9);
+        let collected: Vec<_> = ts.iter().collect();
+        assert_eq!(collected.len(), 1);
+        assert_eq!(collected[0].0, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bin_width_panics() {
+        let _ = TimeSeries::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,249 @@
+//! Configuration types shared by the cache, the database and the harness.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the cache reacts when a read would violate consistency (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Abort the current transaction and nothing else. Limits collateral
+    /// damage to the running transaction.
+    Abort,
+    /// Abort the current transaction **and** evict the violating (too old)
+    /// object from the cache, guessing that future transactions would abort
+    /// because of it as well.
+    Evict,
+    /// If the violating object is the one being read right now (Eq. 2),
+    /// treat the access as a miss and read through to the database; if the
+    /// violating object was already returned earlier in the transaction
+    /// (Eq. 1), evict it and abort.
+    Retry,
+}
+
+impl Strategy {
+    /// All strategies, in the order the paper presents them.
+    pub const ALL: [Strategy; 3] = [Strategy::Abort, Strategy::Evict, Strategy::Retry];
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Abort => write!(f, "ABORT"),
+            Strategy::Evict => write!(f, "EVICT"),
+            Strategy::Retry => write!(f, "RETRY"),
+        }
+    }
+}
+
+impl Default for Strategy {
+    fn default() -> Self {
+        Strategy::Abort
+    }
+}
+
+/// Maximum dependency-list length used by the database and the cache.
+///
+/// The paper bounds lists to small constants (up to 5 in the evaluation);
+/// [`DependencyBound::Unbounded`] models Theorem 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DependencyBound {
+    /// Lists are pruned with LRU to at most this many entries.
+    Bounded(usize),
+    /// Lists grow without bound (Theorem 1's configuration).
+    Unbounded,
+}
+
+impl DependencyBound {
+    /// The number of entries retained (`usize::MAX` when unbounded).
+    pub fn limit(self) -> usize {
+        match self {
+            DependencyBound::Bounded(k) => k,
+            DependencyBound::Unbounded => usize::MAX,
+        }
+    }
+
+    /// Returns `true` for the unbounded configuration.
+    pub fn is_unbounded(self) -> bool {
+        matches!(self, DependencyBound::Unbounded)
+    }
+}
+
+impl Default for DependencyBound {
+    fn default() -> Self {
+        DependencyBound::Bounded(3)
+    }
+}
+
+impl From<usize> for DependencyBound {
+    fn from(k: usize) -> Self {
+        DependencyBound::Bounded(k)
+    }
+}
+
+impl fmt::Display for DependencyBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DependencyBound::Bounded(k) => write!(f, "k={k}"),
+            DependencyBound::Unbounded => write!(f, "k=∞"),
+        }
+    }
+}
+
+/// Time-to-live configuration for the TTL baseline cache (§V-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TtlConfig {
+    /// Entries never expire (the default for T-Cache itself).
+    Infinite,
+    /// Entries are discarded after this long in the cache.
+    Limited(SimDuration),
+}
+
+impl TtlConfig {
+    /// Returns the configured lifetime, if finite.
+    pub fn lifetime(self) -> Option<SimDuration> {
+        match self {
+            TtlConfig::Infinite => None,
+            TtlConfig::Limited(d) => Some(d),
+        }
+    }
+}
+
+impl Default for TtlConfig {
+    fn default() -> Self {
+        TtlConfig::Infinite
+    }
+}
+
+impl fmt::Display for TtlConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TtlConfig::Infinite => write!(f, "ttl=∞"),
+            TtlConfig::Limited(d) => write!(f, "ttl={d}"),
+        }
+    }
+}
+
+/// Full cache-side policy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachePolicyConfig {
+    /// Dependency-list bound used when storing entries and checking reads.
+    pub dependency_bound: DependencyBound,
+    /// Reaction to detected inconsistencies.
+    pub strategy: Strategy,
+    /// Entry time-to-live (used by the TTL baseline; `Infinite` for T-Cache).
+    pub ttl: TtlConfig,
+    /// Whether transactional consistency checks are performed at all.
+    /// `false` models the plain consistency-unaware cache baseline.
+    pub transactional: bool,
+}
+
+impl Default for CachePolicyConfig {
+    fn default() -> Self {
+        CachePolicyConfig {
+            dependency_bound: DependencyBound::default(),
+            strategy: Strategy::default(),
+            ttl: TtlConfig::Infinite,
+            transactional: true,
+        }
+    }
+}
+
+impl CachePolicyConfig {
+    /// T-Cache with the given dependency bound and strategy.
+    pub fn tcache(bound: usize, strategy: Strategy) -> Self {
+        CachePolicyConfig {
+            dependency_bound: DependencyBound::Bounded(bound),
+            strategy,
+            ttl: TtlConfig::Infinite,
+            transactional: true,
+        }
+    }
+
+    /// The consistency-unaware baseline cache.
+    pub fn plain() -> Self {
+        CachePolicyConfig {
+            dependency_bound: DependencyBound::Bounded(0),
+            strategy: Strategy::Abort,
+            ttl: TtlConfig::Infinite,
+            transactional: false,
+        }
+    }
+
+    /// The TTL-limited baseline cache.
+    pub fn ttl_baseline(ttl: SimDuration) -> Self {
+        CachePolicyConfig {
+            dependency_bound: DependencyBound::Bounded(0),
+            strategy: Strategy::Abort,
+            ttl: TtlConfig::Limited(ttl),
+            transactional: false,
+        }
+    }
+
+    /// The unbounded configuration of Theorem 1.
+    pub fn unbounded(strategy: Strategy) -> Self {
+        CachePolicyConfig {
+            dependency_bound: DependencyBound::Unbounded,
+            strategy,
+            ttl: TtlConfig::Infinite,
+            transactional: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_display_and_all() {
+        assert_eq!(Strategy::Abort.to_string(), "ABORT");
+        assert_eq!(Strategy::Evict.to_string(), "EVICT");
+        assert_eq!(Strategy::Retry.to_string(), "RETRY");
+        assert_eq!(Strategy::ALL.len(), 3);
+        assert_eq!(Strategy::default(), Strategy::Abort);
+    }
+
+    #[test]
+    fn dependency_bound_limits() {
+        assert_eq!(DependencyBound::Bounded(5).limit(), 5);
+        assert_eq!(DependencyBound::Unbounded.limit(), usize::MAX);
+        assert!(DependencyBound::Unbounded.is_unbounded());
+        assert!(!DependencyBound::Bounded(1).is_unbounded());
+        assert_eq!(DependencyBound::from(4), DependencyBound::Bounded(4));
+        assert_eq!(DependencyBound::default(), DependencyBound::Bounded(3));
+        assert_eq!(DependencyBound::Bounded(2).to_string(), "k=2");
+        assert_eq!(DependencyBound::Unbounded.to_string(), "k=∞");
+    }
+
+    #[test]
+    fn ttl_config() {
+        assert!(TtlConfig::Infinite.lifetime().is_none());
+        let d = SimDuration::from_secs(30);
+        assert_eq!(TtlConfig::Limited(d).lifetime(), Some(d));
+        assert_eq!(TtlConfig::default(), TtlConfig::Infinite);
+        assert!(TtlConfig::Limited(d).to_string().contains("30"));
+    }
+
+    #[test]
+    fn policy_presets() {
+        let t = CachePolicyConfig::tcache(5, Strategy::Retry);
+        assert!(t.transactional);
+        assert_eq!(t.dependency_bound.limit(), 5);
+        assert_eq!(t.strategy, Strategy::Retry);
+
+        let p = CachePolicyConfig::plain();
+        assert!(!p.transactional);
+        assert_eq!(p.dependency_bound.limit(), 0);
+
+        let ttl = CachePolicyConfig::ttl_baseline(SimDuration::from_secs(60));
+        assert!(!ttl.transactional);
+        assert!(ttl.ttl.lifetime().is_some());
+
+        let u = CachePolicyConfig::unbounded(Strategy::Abort);
+        assert!(u.dependency_bound.is_unbounded());
+
+        let d = CachePolicyConfig::default();
+        assert!(d.transactional);
+    }
+}

@@ -1,0 +1,137 @@
+//! Versioned object representations exchanged between database and cache.
+
+use crate::dependency::DependencyList;
+use crate::ids::{ObjectId, Version};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `(value, version)` pair for a single object, without dependency
+/// information. This is what a plain, consistency-unaware cache would store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionedObject {
+    /// The object identifier.
+    pub id: ObjectId,
+    /// The value observed.
+    pub value: Value,
+    /// The version of the transaction that last wrote the object.
+    pub version: Version,
+}
+
+impl VersionedObject {
+    /// Creates a versioned object.
+    pub fn new(id: ObjectId, value: Value, version: Version) -> Self {
+        VersionedObject { id, value, version }
+    }
+}
+
+impl fmt::Display for VersionedObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.id, self.version)
+    }
+}
+
+/// The full representation of an object as stored by the T-Cache database
+/// and shipped to caches on misses: value, version and dependency list
+/// (§III-A).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectEntry {
+    /// The object identifier.
+    pub id: ObjectId,
+    /// The current value.
+    pub value: Value,
+    /// The version of the transaction that last wrote the object.
+    pub version: Version,
+    /// Identifiers and versions of objects this version depends on.
+    pub dependencies: DependencyList,
+}
+
+impl ObjectEntry {
+    /// Creates an entry with an empty dependency list.
+    pub fn initial(id: ObjectId, value: Value) -> Self {
+        ObjectEntry {
+            id,
+            value,
+            version: Version::INITIAL,
+            dependencies: DependencyList::unbounded(),
+        }
+    }
+
+    /// Creates a fully specified entry.
+    pub fn new(
+        id: ObjectId,
+        value: Value,
+        version: Version,
+        dependencies: DependencyList,
+    ) -> Self {
+        ObjectEntry {
+            id,
+            value,
+            version,
+            dependencies,
+        }
+    }
+
+    /// Returns the `(value, version)` view of this entry, dropping the
+    /// dependency list.
+    pub fn to_versioned(&self) -> VersionedObject {
+        VersionedObject::new(self.id, self.value.clone(), self.version)
+    }
+
+    /// Approximate in-memory size of the entry in bytes (value payload plus
+    /// 16 bytes per dependency entry plus the version); used by overhead
+    /// statistics.
+    pub fn size_bytes(&self) -> usize {
+        self.value.size_bytes() + 8 + 16 * self.dependencies.len()
+    }
+}
+
+impl fmt::Display for ObjectEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{} deps={}",
+            self.id, self.version, self.dependencies
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_entry_has_zero_version_and_no_deps() {
+        let e = ObjectEntry::initial(ObjectId(3), Value::new(7));
+        assert_eq!(e.version, Version::INITIAL);
+        assert!(e.dependencies.is_empty());
+        assert_eq!(e.value.numeric(), 7);
+    }
+
+    #[test]
+    fn to_versioned_drops_dependencies() {
+        let mut deps = DependencyList::bounded(2);
+        deps.record(ObjectId(1), Version(1));
+        let e = ObjectEntry::new(ObjectId(3), Value::new(7), Version(9), deps);
+        let v = e.to_versioned();
+        assert_eq!(v.id, ObjectId(3));
+        assert_eq!(v.version, Version(9));
+        assert_eq!(v.value.numeric(), 7);
+    }
+
+    #[test]
+    fn size_accounts_for_dependencies() {
+        let mut deps = DependencyList::bounded(3);
+        deps.record(ObjectId(1), Version(1));
+        deps.record(ObjectId(2), Version(2));
+        let e = ObjectEntry::new(ObjectId(3), Value::new(7), Version(9), deps);
+        assert_eq!(e.size_bytes(), 8 + 8 + 16 * 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = ObjectEntry::initial(ObjectId(3), Value::new(7));
+        assert!(e.to_string().contains("o3@v0"));
+        assert!(e.to_versioned().to_string().contains("o3@v0"));
+    }
+}

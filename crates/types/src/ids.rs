@@ -1,0 +1,229 @@
+//! Identifier newtypes used across the system.
+//!
+//! Every identifier is a transparent wrapper around an unsigned integer so it
+//! is `Copy`, hashable and cheap, while keeping object ids, transaction ids,
+//! versions and client ids statically distinct (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a database object (a key in the key-value store).
+///
+/// Objects in the evaluation workloads are numbered `0..n`, matching the
+/// paper's synthetic workloads ("2000 objects numbered 0 through 1999").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Returns the raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(v: u64) -> Self {
+        ObjectId(v)
+    }
+}
+
+impl From<usize> for ObjectId {
+    fn from(v: usize) -> Self {
+        ObjectId(v as u64)
+    }
+}
+
+/// A totally ordered object version.
+///
+/// The database tags each object with the version of the transaction that
+/// most recently updated it; the version of a transaction is chosen larger
+/// than the versions of all objects it accessed (§III-A).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The version of an object that has never been written by any
+    /// transaction (its initial load).
+    pub const INITIAL: Version = Version(0);
+
+    /// Returns the next version (used by the database version clock).
+    #[must_use]
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+
+    /// Returns the maximum of two versions.
+    #[must_use]
+    pub fn max(self, other: Version) -> Version {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns `true` if this version is strictly newer than `other`.
+    pub fn is_newer_than(self, other: Version) -> bool {
+        self.0 > other.0
+    }
+
+    /// Returns the raw numeric version.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u64> for Version {
+    fn from(v: u64) -> Self {
+        Version(v)
+    }
+}
+
+/// Identifier of a transaction (update or read-only).
+///
+/// Read-only transactions pass their `TxnId` with every cache read so the
+/// cache can associate reads belonging to the same transaction (§III-B).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Returns the raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for TxnId {
+    fn from(v: u64) -> Self {
+        TxnId(v)
+    }
+}
+
+/// Identifier of a cache server.
+///
+/// The evaluation simulates a single "column" (one cache, one database), but
+/// the types support multiple caches since cache-serializability is defined
+/// per cache server.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CacheId(pub u32);
+
+impl fmt::Display for CacheId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cache{}", self.0)
+    }
+}
+
+impl From<u32> for CacheId {
+    fn from(v: u32) -> Self {
+        CacheId(v)
+    }
+}
+
+/// Identifier of a client (an update client talking to the database or a
+/// read-only client talking to a cache).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+impl From<u32> for ClientId {
+    fn from(v: u32) -> Self {
+        ClientId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_ordering_and_next() {
+        let v1 = Version(1);
+        let v2 = v1.next();
+        assert_eq!(v2, Version(2));
+        assert!(v2 > v1);
+        assert!(v2.is_newer_than(v1));
+        assert!(!v1.is_newer_than(v2));
+        assert!(!v1.is_newer_than(v1));
+        assert_eq!(v1.max(v2), v2);
+        assert_eq!(v2.max(v1), v2);
+    }
+
+    #[test]
+    fn initial_version_is_oldest() {
+        assert!(Version(1).is_newer_than(Version::INITIAL));
+        assert_eq!(Version::INITIAL.next(), Version(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ObjectId(7).to_string(), "o7");
+        assert_eq!(Version(3).to_string(), "v3");
+        assert_eq!(TxnId(9).to_string(), "t9");
+        assert_eq!(CacheId(1).to_string(), "cache1");
+        assert_eq!(ClientId(2).to_string(), "client2");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ObjectId::from(5u64), ObjectId(5));
+        assert_eq!(ObjectId::from(5usize), ObjectId(5));
+        assert_eq!(Version::from(5u64), Version(5));
+        assert_eq!(TxnId::from(5u64), TxnId(5));
+        assert_eq!(CacheId::from(5u32), CacheId(5));
+        assert_eq!(ClientId::from(5u32), ClientId(5));
+        assert_eq!(ObjectId(5).as_u64(), 5);
+        assert_eq!(Version(5).as_u64(), 5);
+        assert_eq!(TxnId(5).as_u64(), 5);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_usable_as_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(ObjectId(1), Version(1));
+        m.insert(ObjectId(2), Version(2));
+        assert_eq!(m[&ObjectId(1)], Version(1));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let o = ObjectId(42);
+        let s = serde_json::to_string(&o).unwrap();
+        let back: ObjectId = serde_json::from_str(&s).unwrap();
+        assert_eq!(o, back);
+    }
+}

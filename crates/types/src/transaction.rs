@@ -1,0 +1,443 @@
+//! Read/write sets and transaction records.
+//!
+//! These types describe what a transaction accessed: the database uses them
+//! to aggregate dependency lists at commit (§III-A), the cache uses them to
+//! evaluate the violation predicates (§III-B), and the consistency monitor
+//! uses them to build the serialization graph (§IV).
+
+use crate::dependency::DependencyList;
+use crate::entry::VersionedObject;
+use crate::ids::{CacheId, ObjectId, TxnId, Version};
+use crate::time::SimTime;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a transaction updates the database or only reads from a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransactionKind {
+    /// An update transaction executed directly against the backend database.
+    Update,
+    /// A read-only transaction executed against an edge cache.
+    ReadOnly,
+}
+
+impl fmt::Display for TransactionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransactionKind::Update => write!(f, "update"),
+            TransactionKind::ReadOnly => write!(f, "read-only"),
+        }
+    }
+}
+
+/// The set of objects a generated workload transaction will access,
+/// in access order (duplicates allowed, mirroring the paper's synthetic
+/// workloads that pick "5 times with repetitions").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct AccessSet {
+    objects: Vec<ObjectId>,
+}
+
+impl AccessSet {
+    /// Creates an access set from an ordered list of objects.
+    pub fn new(objects: Vec<ObjectId>) -> Self {
+        AccessSet { objects }
+    }
+
+    /// The objects in access order.
+    pub fn objects(&self) -> &[ObjectId] {
+        &self.objects
+    }
+
+    /// Number of accesses (including repetitions).
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the access set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The distinct objects accessed, in first-access order.
+    pub fn distinct(&self) -> Vec<ObjectId> {
+        let mut seen = Vec::new();
+        for &o in &self.objects {
+            if !seen.contains(&o) {
+                seen.push(o);
+            }
+        }
+        seen
+    }
+
+    /// Iterates over the accesses in order.
+    pub fn iter(&self) -> impl Iterator<Item = &ObjectId> {
+        self.objects.iter()
+    }
+}
+
+impl FromIterator<ObjectId> for AccessSet {
+    fn from_iter<T: IntoIterator<Item = ObjectId>>(iter: T) -> Self {
+        AccessSet::new(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<u64>> for AccessSet {
+    fn from(v: Vec<u64>) -> Self {
+        AccessSet::new(v.into_iter().map(ObjectId).collect())
+    }
+}
+
+/// A single read performed by a transaction, with the version observed and
+/// the dependency list attached to that version.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadRecord {
+    /// The object read.
+    pub object: ObjectId,
+    /// The version observed.
+    pub version: Version,
+    /// The dependency list attached to the observed version.
+    pub dependencies: DependencyList,
+}
+
+impl ReadRecord {
+    /// Creates a read record.
+    pub fn new(object: ObjectId, version: Version, dependencies: DependencyList) -> Self {
+        ReadRecord {
+            object,
+            version,
+            dependencies,
+        }
+    }
+}
+
+/// A single write performed by an update transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteRecord {
+    /// The object written.
+    pub object: ObjectId,
+    /// The new value.
+    pub value: Value,
+}
+
+impl WriteRecord {
+    /// Creates a write record.
+    pub fn new(object: ObjectId, value: Value) -> Self {
+        WriteRecord { object, value }
+    }
+}
+
+/// The ordered set of reads performed so far by a transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReadSet {
+    reads: Vec<ReadRecord>,
+}
+
+impl ReadSet {
+    /// Creates an empty read set.
+    pub fn new() -> Self {
+        ReadSet::default()
+    }
+
+    /// Adds a read to the set.
+    pub fn push(&mut self, read: ReadRecord) {
+        self.reads.push(read);
+    }
+
+    /// All reads in order.
+    pub fn reads(&self) -> &[ReadRecord] {
+        &self.reads
+    }
+
+    /// Number of reads recorded.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Whether no reads have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// Returns the version observed for `object`, if this transaction has
+    /// read it. If the object was read multiple times the **largest**
+    /// observed version is returned (reads of the same object can legally
+    /// observe increasing versions within a serializable history only if
+    /// they are equal; the cache checks that separately).
+    pub fn version_of(&self, object: ObjectId) -> Option<Version> {
+        self.reads
+            .iter()
+            .filter(|r| r.object == object)
+            .map(|r| r.version)
+            .max()
+    }
+
+    /// Iterates over the reads in order.
+    pub fn iter(&self) -> impl Iterator<Item = &ReadRecord> {
+        self.reads.iter()
+    }
+}
+
+/// The ordered set of writes an update transaction intends to apply.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WriteSet {
+    writes: Vec<WriteRecord>,
+}
+
+impl WriteSet {
+    /// Creates an empty write set.
+    pub fn new() -> Self {
+        WriteSet::default()
+    }
+
+    /// Adds a write, replacing any earlier write to the same object
+    /// (last-writer-wins within a transaction).
+    pub fn push(&mut self, write: WriteRecord) {
+        if let Some(existing) = self.writes.iter_mut().find(|w| w.object == write.object) {
+            existing.value = write.value;
+        } else {
+            self.writes.push(write);
+        }
+    }
+
+    /// All writes in order of first write per object.
+    pub fn writes(&self) -> &[WriteRecord] {
+        &self.writes
+    }
+
+    /// Number of distinct objects written.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Whether no writes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Returns `true` if `object` is written by this set.
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.writes.iter().any(|w| w.object == object)
+    }
+
+    /// Iterates over the writes.
+    pub fn iter(&self) -> impl Iterator<Item = &WriteRecord> {
+        self.writes.iter()
+    }
+}
+
+/// The outcome of a read-only transaction executed against a cache.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadOnlyOutcome {
+    /// All reads completed; the values observed are returned in read order.
+    Committed(Vec<VersionedObject>),
+    /// The cache detected an inconsistency and aborted the transaction.
+    Aborted {
+        /// The object whose stale version triggered the abort.
+        violating_object: ObjectId,
+    },
+}
+
+impl ReadOnlyOutcome {
+    /// Returns `true` if the transaction committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, ReadOnlyOutcome::Committed(_))
+    }
+
+    /// Returns `true` if the transaction was aborted.
+    pub fn is_aborted(&self) -> bool {
+        !self.is_committed()
+    }
+
+    /// Returns the observed values if committed.
+    pub fn values(&self) -> Option<&[VersionedObject]> {
+        match self {
+            ReadOnlyOutcome::Committed(v) => Some(v),
+            ReadOnlyOutcome::Aborted { .. } => None,
+        }
+    }
+}
+
+/// A completed (committed or aborted) transaction as reported to the
+/// consistency monitor.
+///
+/// For update transactions `writes` carries the versions installed; for
+/// read-only transactions it is empty. `reads` carries the versions
+/// observed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransactionRecord {
+    /// The transaction id.
+    pub id: TxnId,
+    /// Update or read-only.
+    pub kind: TransactionKind,
+    /// The cache through which a read-only transaction executed, if any.
+    pub cache: Option<CacheId>,
+    /// `(object, version observed)` for every read.
+    pub reads: Vec<(ObjectId, Version)>,
+    /// `(object, version installed)` for every write.
+    pub writes: Vec<(ObjectId, Version)>,
+    /// Whether the transaction committed.
+    pub committed: bool,
+    /// Simulated completion time.
+    pub completed_at: SimTime,
+}
+
+impl TransactionRecord {
+    /// Creates a record for a committed update transaction.
+    pub fn update_committed(
+        id: TxnId,
+        reads: Vec<(ObjectId, Version)>,
+        writes: Vec<(ObjectId, Version)>,
+        completed_at: SimTime,
+    ) -> Self {
+        TransactionRecord {
+            id,
+            kind: TransactionKind::Update,
+            cache: None,
+            reads,
+            writes,
+            committed: true,
+            completed_at,
+        }
+    }
+
+    /// Creates a record for a read-only transaction executed at `cache`.
+    pub fn read_only(
+        id: TxnId,
+        cache: CacheId,
+        reads: Vec<(ObjectId, Version)>,
+        committed: bool,
+        completed_at: SimTime,
+    ) -> Self {
+        TransactionRecord {
+            id,
+            kind: TransactionKind::ReadOnly,
+            cache: Some(cache),
+            reads,
+            writes: Vec::new(),
+            committed,
+            completed_at,
+        }
+    }
+
+    /// Returns `true` if this record describes an update transaction.
+    pub fn is_update(&self) -> bool {
+        self.kind == TransactionKind::Update
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_set_distinct_preserves_order() {
+        let a: AccessSet = vec![3u64, 1, 3, 2, 1].into();
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert_eq!(
+            a.distinct(),
+            vec![ObjectId(3), ObjectId(1), ObjectId(2)]
+        );
+        assert_eq!(a.iter().count(), 5);
+        let b: AccessSet = a.objects().iter().copied().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn read_set_version_of_returns_max() {
+        let mut rs = ReadSet::new();
+        assert!(rs.is_empty());
+        rs.push(ReadRecord::new(
+            ObjectId(1),
+            Version(4),
+            DependencyList::bounded(0),
+        ));
+        rs.push(ReadRecord::new(
+            ObjectId(1),
+            Version(6),
+            DependencyList::bounded(0),
+        ));
+        rs.push(ReadRecord::new(
+            ObjectId(2),
+            Version(1),
+            DependencyList::bounded(0),
+        ));
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.version_of(ObjectId(1)), Some(Version(6)));
+        assert_eq!(rs.version_of(ObjectId(2)), Some(Version(1)));
+        assert_eq!(rs.version_of(ObjectId(3)), None);
+        assert_eq!(rs.iter().count(), 3);
+        assert_eq!(rs.reads().len(), 3);
+    }
+
+    #[test]
+    fn write_set_is_last_writer_wins_per_object() {
+        let mut ws = WriteSet::new();
+        assert!(ws.is_empty());
+        ws.push(WriteRecord::new(ObjectId(1), Value::new(1)));
+        ws.push(WriteRecord::new(ObjectId(2), Value::new(2)));
+        ws.push(WriteRecord::new(ObjectId(1), Value::new(9)));
+        assert_eq!(ws.len(), 2);
+        assert!(ws.contains(ObjectId(1)));
+        assert!(!ws.contains(ObjectId(3)));
+        let v1 = ws
+            .iter()
+            .find(|w| w.object == ObjectId(1))
+            .unwrap()
+            .value
+            .numeric();
+        assert_eq!(v1, 9);
+        assert_eq!(ws.writes().len(), 2);
+    }
+
+    #[test]
+    fn read_only_outcome_accessors() {
+        let committed = ReadOnlyOutcome::Committed(vec![VersionedObject::new(
+            ObjectId(1),
+            Value::new(1),
+            Version(1),
+        )]);
+        assert!(committed.is_committed());
+        assert!(!committed.is_aborted());
+        assert_eq!(committed.values().unwrap().len(), 1);
+
+        let aborted = ReadOnlyOutcome::Aborted {
+            violating_object: ObjectId(7),
+        };
+        assert!(aborted.is_aborted());
+        assert!(aborted.values().is_none());
+    }
+
+    #[test]
+    fn transaction_record_constructors() {
+        let up = TransactionRecord::update_committed(
+            TxnId(1),
+            vec![(ObjectId(1), Version(0))],
+            vec![(ObjectId(1), Version(1))],
+            SimTime::from_secs(1),
+        );
+        assert!(up.is_update());
+        assert!(up.committed);
+        assert!(up.cache.is_none());
+
+        let ro = TransactionRecord::read_only(
+            TxnId(2),
+            CacheId(0),
+            vec![(ObjectId(1), Version(1))],
+            false,
+            SimTime::from_secs(2),
+        );
+        assert!(!ro.is_update());
+        assert!(!ro.committed);
+        assert_eq!(ro.cache, Some(CacheId(0)));
+        assert!(ro.writes.is_empty());
+    }
+
+    #[test]
+    fn transaction_kind_display() {
+        assert_eq!(TransactionKind::Update.to_string(), "update");
+        assert_eq!(TransactionKind::ReadOnly.to_string(), "read-only");
+    }
+}

@@ -1,0 +1,128 @@
+//! Opaque object values stored by the database and cached at the edge.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The payload stored for an object.
+///
+/// The protocol is entirely agnostic to the payload; the evaluation only
+/// needs a small counter-like value so that updates visibly change the
+/// object. `Value` therefore wraps a `u64` "revision payload" plus an
+/// optional opaque byte blob for users who want to store real data through
+/// the public API.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Value {
+    /// A small numeric payload, convenient for tests and workloads.
+    numeric: u64,
+    /// Optional opaque application payload.
+    blob: Option<Vec<u8>>,
+}
+
+impl Value {
+    /// Creates a numeric value.
+    pub fn new(numeric: u64) -> Self {
+        Value {
+            numeric,
+            blob: None,
+        }
+    }
+
+    /// Creates a value carrying an opaque byte payload.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        Value {
+            numeric: 0,
+            blob: Some(bytes.into()),
+        }
+    }
+
+    /// Returns the numeric payload.
+    pub fn numeric(&self) -> u64 {
+        self.numeric
+    }
+
+    /// Returns the opaque byte payload, if any.
+    pub fn bytes(&self) -> Option<&[u8]> {
+        self.blob.as_deref()
+    }
+
+    /// Returns a value whose numeric payload is incremented by one.
+    ///
+    /// Update transactions in the evaluation workloads read an object and
+    /// write back `bump()` of it, so every update is observable.
+    #[must_use]
+    pub fn bump(&self) -> Value {
+        Value {
+            numeric: self.numeric.wrapping_add(1),
+            blob: self.blob.clone(),
+        }
+    }
+
+    /// Approximate size in bytes of the payload (used by cache statistics).
+    pub fn size_bytes(&self) -> usize {
+        8 + self.blob.as_ref().map_or(0, Vec::len)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.blob {
+            Some(b) => write!(f, "Value({}, {} bytes)", self.numeric, b.len()),
+            None => write!(f, "Value({})", self.numeric),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::new(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::from_bytes(s.as_bytes().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_value() {
+        let v = Value::new(7);
+        assert_eq!(v.numeric(), 7);
+        assert!(v.bytes().is_none());
+        assert_eq!(v.size_bytes(), 8);
+    }
+
+    #[test]
+    fn bump_increments() {
+        let v = Value::new(7);
+        assert_eq!(v.bump().numeric(), 8);
+        // bump preserves the blob
+        let v = Value::from_bytes(vec![1, 2, 3]);
+        assert_eq!(v.bump().bytes(), Some(&[1u8, 2, 3][..]));
+    }
+
+    #[test]
+    fn bump_wraps_at_max() {
+        let v = Value::new(u64::MAX);
+        assert_eq!(v.bump().numeric(), 0);
+    }
+
+    #[test]
+    fn byte_value() {
+        let v = Value::from_bytes(b"hello".to_vec());
+        assert_eq!(v.bytes(), Some(&b"hello"[..]));
+        assert_eq!(v.size_bytes(), 8 + 5);
+        let v2: Value = "hello".into();
+        assert_eq!(v2.bytes(), Some(&b"hello"[..]));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Value::default().to_string().is_empty());
+        assert!(Value::from_bytes(vec![0u8; 4]).to_string().contains("4 bytes"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Synthetic graph generators standing in for the paper's datasets.
+//!
+//! The evaluation needs two topologies with a clear clustering contrast:
+//! the Amazon co-purchasing graph is "visibly clustered … more so than the
+//! Orkut one, yet well-connected" (§V-B1). Both generators below are planted
+//! community models with a small preferential-attachment overlay for degree
+//! skew; they differ in community size and in how much probability mass
+//! stays inside a community, which is exactly the property the experiments
+//! depend on.
+
+use super::{Graph, GraphKind};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the planted community generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommunityGraphParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Average community size.
+    pub community_size: usize,
+    /// Probability of an edge between two nodes of the same community.
+    pub intra_probability: f64,
+    /// Expected number of inter-community edges per node.
+    pub inter_edges_per_node: f64,
+    /// Number of high-degree hub nodes attached preferentially.
+    pub hubs: usize,
+    /// Edges attached to each hub.
+    pub hub_degree: usize,
+}
+
+impl CommunityGraphParams {
+    /// Parameters producing a retail-affinity (Amazon-like) topology: small
+    /// dense communities, few cross edges, a handful of popular-product hubs.
+    pub fn retail_affinity(nodes: usize) -> Self {
+        CommunityGraphParams {
+            nodes,
+            community_size: 8,
+            intra_probability: 0.6,
+            inter_edges_per_node: 0.4,
+            hubs: nodes / 100,
+            hub_degree: 12,
+        }
+    }
+
+    /// Parameters producing a social-network (Orkut-like) topology: larger,
+    /// sparser communities with many more cross edges and bigger hubs.
+    pub fn social_network(nodes: usize) -> Self {
+        CommunityGraphParams {
+            nodes,
+            community_size: 40,
+            intra_probability: 0.12,
+            inter_edges_per_node: 2.5,
+            hubs: nodes / 50,
+            hub_degree: 25,
+        }
+    }
+}
+
+/// Generates a planted-community graph.
+///
+/// # Panics
+/// Panics if `params.nodes` or `params.community_size` is zero.
+pub fn community_graph(params: CommunityGraphParams, seed: u64) -> Graph {
+    assert!(params.nodes > 0 && params.community_size > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = Graph::new(params.nodes);
+
+    // Assign nodes to contiguous communities.
+    let communities: Vec<(usize, usize)> = {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < params.nodes {
+            let size = params.community_size.max(2);
+            let end = (start + size).min(params.nodes);
+            out.push((start, end));
+            start = end;
+        }
+        out
+    };
+
+    // Dense intra-community edges.
+    for &(start, end) in &communities {
+        for u in start..end {
+            for v in (u + 1)..end {
+                if rng.gen_bool(params.intra_probability) {
+                    graph.add_edge(u, v);
+                }
+            }
+        }
+    }
+
+    // Sparse inter-community edges, biased towards neighbouring communities
+    // (related product categories / befriended communities).
+    let inter_edges = (params.nodes as f64 * params.inter_edges_per_node).round() as usize;
+    for _ in 0..inter_edges {
+        let ci = rng.gen_range(0..communities.len());
+        let cj = if communities.len() == 1 {
+            ci
+        } else if rng.gen_bool(0.7) {
+            (ci + 1) % communities.len()
+        } else {
+            rng.gen_range(0..communities.len())
+        };
+        let (si, ei) = communities[ci];
+        let (sj, ej) = communities[cj];
+        let u = rng.gen_range(si..ei);
+        let v = rng.gen_range(sj..ej);
+        graph.add_edge(u, v);
+    }
+
+    // Preferential-attachment hubs for degree skew.
+    if params.hubs > 0 && params.nodes > params.hub_degree {
+        let mut weighted: Vec<usize> = (0..params.nodes)
+            .flat_map(|u| std::iter::repeat(u).take(graph.degree(u) + 1))
+            .collect();
+        weighted.shuffle(&mut rng);
+        for _ in 0..params.hubs {
+            let hub = rng.gen_range(0..params.nodes);
+            for _ in 0..params.hub_degree {
+                let target = weighted[rng.gen_range(0..weighted.len())];
+                graph.add_edge(hub, target);
+            }
+        }
+    }
+
+    connect_components(&mut graph, &mut rng);
+    graph
+}
+
+/// Generates an Erdős–Rényi random graph (used as an unclustered control in
+/// tests and ablations).
+///
+/// # Panics
+/// Panics if `nodes` is zero or `probability` is outside `[0, 1]`.
+pub fn erdos_renyi(nodes: usize, probability: f64, seed: u64) -> Graph {
+    assert!(nodes > 0);
+    assert!((0.0..=1.0).contains(&probability));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = Graph::new(nodes);
+    for u in 0..nodes {
+        for v in (u + 1)..nodes {
+            if rng.gen_bool(probability) {
+                graph.add_edge(u, v);
+            }
+        }
+    }
+    connect_components(&mut graph, &mut rng);
+    graph
+}
+
+/// Generates the topology standing in for one of the paper's datasets.
+pub fn generate(kind: GraphKind, nodes: usize, seed: u64) -> Graph {
+    match kind {
+        GraphKind::RetailAffinity => community_graph(CommunityGraphParams::retail_affinity(nodes), seed),
+        GraphKind::SocialNetwork => community_graph(CommunityGraphParams::social_network(nodes), seed),
+    }
+}
+
+/// Adds one edge per extra component so the graph is connected (random-walk
+/// sampling and random-walk transactions both assume reachability).
+fn connect_components(graph: &mut Graph, rng: &mut StdRng) {
+    let n = graph.node_count();
+    if n == 0 {
+        return;
+    }
+    // Union-find over the current edges.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for u in 0..n {
+        for &v in graph.neighbors(u).to_vec().iter() {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru] = rv;
+            }
+        }
+    }
+    let mut representatives: Vec<usize> = (0..n).filter(|&u| find(&mut parent, u) == u).collect();
+    representatives.shuffle(rng);
+    for pair in representatives.windows(2) {
+        graph.add_edge(pair[0], pair[1]);
+        let (ru, rv) = (find(&mut parent, pair[0]), find(&mut parent, pair[1]));
+        if ru != rv {
+            parent[ru] = rv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::metrics;
+
+    #[test]
+    fn retail_graph_is_connected_and_clustered() {
+        let g = generate(GraphKind::RetailAffinity, 1000, 7);
+        assert_eq!(g.node_count(), 1000);
+        assert_eq!(g.connected_components(), 1);
+        let cc = metrics::average_clustering_coefficient(&g);
+        assert!(cc > 0.3, "retail topology should be highly clustered, got {cc}");
+    }
+
+    #[test]
+    fn social_graph_is_connected_and_less_clustered_than_retail() {
+        let retail = generate(GraphKind::RetailAffinity, 1000, 7);
+        let social = generate(GraphKind::SocialNetwork, 1000, 7);
+        assert_eq!(social.connected_components(), 1);
+        let cc_retail = metrics::average_clustering_coefficient(&retail);
+        let cc_social = metrics::average_clustering_coefficient(&social);
+        assert!(
+            cc_social < cc_retail,
+            "social topology ({cc_social}) must be less clustered than retail ({cc_retail})"
+        );
+        // Social graphs are better connected on average.
+        assert!(metrics::average_degree(&social) > metrics::average_degree(&retail) * 0.8);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(GraphKind::RetailAffinity, 300, 3);
+        let b = generate(GraphKind::RetailAffinity, 300, 3);
+        let c = generate(GraphKind::RetailAffinity, 300, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn erdos_renyi_has_low_clustering() {
+        let g = erdos_renyi(500, 0.01, 5);
+        assert_eq!(g.connected_components(), 1);
+        let cc = metrics::average_clustering_coefficient(&g);
+        assert!(cc < 0.1, "ER graph should have near-zero clustering, got {cc}");
+    }
+
+    #[test]
+    fn small_graphs_are_handled() {
+        let g = community_graph(CommunityGraphParams::retail_affinity(5), 1);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.connected_components(), 1);
+        let g = erdos_renyi(1, 0.5, 1);
+        assert_eq!(g.node_count(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Structural metrics used to validate the synthetic topologies.
+
+use super::Graph;
+
+/// Average degree of the graph (0 for an empty graph).
+pub fn average_degree(graph: &Graph) -> f64 {
+    if graph.node_count() == 0 {
+        return 0.0;
+    }
+    2.0 * graph.edge_count() as f64 / graph.node_count() as f64
+}
+
+/// Local clustering coefficient of one node: the fraction of pairs of its
+/// neighbours that are themselves connected. Nodes of degree < 2 contribute 0.
+pub fn local_clustering_coefficient(graph: &Graph, node: usize) -> f64 {
+    let neighbors = graph.neighbors(node);
+    let k = neighbors.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if graph.has_edge(neighbors[i], neighbors[j]) {
+                closed += 1;
+            }
+        }
+    }
+    closed as f64 / (k * (k - 1) / 2) as f64
+}
+
+/// Average of the local clustering coefficients over all nodes
+/// (the Watts–Strogatz clustering coefficient).
+pub fn average_clustering_coefficient(graph: &Graph) -> f64 {
+    if graph.node_count() == 0 {
+        return 0.0;
+    }
+    (0..graph.node_count())
+        .map(|u| local_clustering_coefficient(graph, u))
+        .sum::<f64>()
+        / graph.node_count() as f64
+}
+
+/// Histogram of node degrees: `histogram[d]` is the number of nodes with
+/// degree `d`.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let max_degree = (0..graph.node_count())
+        .map(|u| graph.degree(u))
+        .max()
+        .unwrap_or(0);
+    let mut histogram = vec![0usize; max_degree + 1];
+    for u in 0..graph.node_count() {
+        histogram[graph.degree(u)] += 1;
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Graph {
+        // 0-1-2 triangle, 3 attached to 2, 4 isolated.
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn average_degree_counts_both_endpoints() {
+        let g = triangle_plus_tail();
+        assert!((average_degree(&g) - 8.0 / 5.0).abs() < 1e-9);
+        assert_eq!(average_degree(&Graph::new(0)), 0.0);
+    }
+
+    #[test]
+    fn clustering_coefficients() {
+        let g = triangle_plus_tail();
+        assert!((local_clustering_coefficient(&g, 0) - 1.0).abs() < 1e-9);
+        assert!((local_clustering_coefficient(&g, 2) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(local_clustering_coefficient(&g, 3), 0.0);
+        assert_eq!(local_clustering_coefficient(&g, 4), 0.0);
+        let expected = (1.0 + 1.0 + 1.0 / 3.0 + 0.0 + 0.0) / 5.0;
+        assert!((average_clustering_coefficient(&g) - expected).abs() < 1e-9);
+        assert_eq!(average_clustering_coefficient(&Graph::new(0)), 0.0);
+    }
+
+    #[test]
+    fn a_clique_has_clustering_one() {
+        let mut g = Graph::new(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                g.add_edge(u, v);
+            }
+        }
+        assert!((average_clustering_coefficient(&g) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_histogram_counts_nodes() {
+        let g = triangle_plus_tail();
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![1, 1, 2, 1]); // degrees: 2,2,3,1,0
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(degree_histogram(&Graph::new(0)), vec![0]);
+    }
+}

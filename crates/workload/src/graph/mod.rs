@@ -1,0 +1,175 @@
+//! Graph topologies standing in for the Amazon and Orkut snapshots.
+//!
+//! The paper derives its realistic workloads from two graph datasets; those
+//! snapshots are not redistributable, so [`generators`] builds synthetic
+//! graphs with the same structural signatures (see `DESIGN.md`), [`sampling`]
+//! implements the paper's random-walk down-sampling, and [`metrics`] provides
+//! the clustering statistics used to validate the substitution.
+
+pub mod generators;
+pub mod metrics;
+pub mod sampling;
+
+use serde::{Deserialize, Serialize};
+use tcache_types::ObjectId;
+
+/// Which real-world topology a generated graph stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GraphKind {
+    /// The Amazon product co-purchasing style topology: many small, dense
+    /// communities ("products bought together"), high clustering.
+    RetailAffinity,
+    /// The Orkut friendship style topology: larger, fuzzier communities,
+    /// lower clustering, better connected.
+    SocialNetwork,
+}
+
+impl std::fmt::Display for GraphKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphKind::RetailAffinity => write!(f, "retail-affinity (Amazon-like)"),
+            GraphKind::SocialNetwork => write!(f, "social-network (Orkut-like)"),
+        }
+    }
+}
+
+/// An undirected graph whose nodes are database objects.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adjacency: Vec<Vec<usize>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `nodes` isolated nodes.
+    pub fn new(nodes: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); nodes],
+            edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Adds an undirected edge between `u` and `v`. Self-loops and duplicate
+    /// edges are ignored. Returns `true` if the edge was added.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.node_count() && v < self.node_count(), "node out of range");
+        if u == v || self.adjacency[u].contains(&v) {
+            return false;
+        }
+        self.adjacency[u].push(v);
+        self.adjacency[v].push(u);
+        self.edges += 1;
+        true
+    }
+
+    /// Returns `true` if `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adjacency.get(u).is_some_and(|n| n.contains(&v))
+    }
+
+    /// The neighbours of `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adjacency[u]
+    }
+
+    /// The degree of `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Maps a node index to the database object it represents.
+    pub fn object_of(&self, node: usize) -> ObjectId {
+        ObjectId(node as u64)
+    }
+
+    /// Number of connected components.
+    pub fn connected_components(&self) -> usize {
+        let n = self.node_count();
+        let mut visited = vec![false; n];
+        let mut components = 0;
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            components += 1;
+            let mut stack = vec![start];
+            visited[start] = true;
+            while let Some(u) = stack.pop() {
+                for &v in &self.adjacency[u] {
+                    if !visited[v] {
+                        visited[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Graph::new(4);
+        assert_eq!(g.node_count(), 4);
+        assert!(g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(!g.add_edge(0, 1), "duplicate edges are ignored");
+        assert!(!g.add_edge(2, 2), "self loops are ignored");
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.object_of(3), ObjectId(3));
+    }
+
+    #[test]
+    fn connected_components_are_counted() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        // node 5 is isolated
+        assert_eq!(g.connected_components(), 3);
+        g.add_edge(2, 3);
+        g.add_edge(4, 5);
+        assert_eq!(g.connected_components(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn graph_kind_display() {
+        assert!(GraphKind::RetailAffinity.to_string().contains("Amazon"));
+        assert!(GraphKind::SocialNetwork.to_string().contains("Orkut"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Random-walk down-sampling (§V-B1).
+//!
+//! "We down-sample both graphs to 1000 nodes. We use a technique based on
+//! random walks that maintains important properties of the original graph,
+//! specifically clustering […]. We start by choosing a node uniformly at
+//! random and start a random walk from that location. In every step, with
+//! probability 15 %, the walk reverts back to the first node and starts
+//! again. This is repeated until the target number of nodes have been
+//! visited."
+
+use super::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The restart probability used by the paper's sampler.
+pub const RESTART_PROBABILITY: f64 = 0.15;
+
+/// Down-samples `graph` to (at most) `target_nodes` nodes with the paper's
+/// restarting random walk, returning the subgraph induced on the visited
+/// nodes with nodes re-labelled `0..sampled`.
+///
+/// If the walk gets stuck (the reachable component is smaller than the
+/// target), a fresh start node is chosen among the unvisited nodes, matching
+/// the spirit of "repeat until the target number of nodes have been visited".
+///
+/// # Panics
+/// Panics if `graph` has no nodes or `target_nodes` is zero.
+pub fn random_walk_sample(graph: &Graph, target_nodes: usize, seed: u64) -> Graph {
+    assert!(graph.node_count() > 0, "cannot sample an empty graph");
+    assert!(target_nodes > 0, "target must be positive");
+    let target = target_nodes.min(graph.node_count());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut visited: Vec<usize> = Vec::with_capacity(target);
+    let mut visited_set = vec![false; graph.node_count()];
+
+    let mut anchor = rng.gen_range(0..graph.node_count());
+    visit(anchor, &mut visited, &mut visited_set);
+    let mut current = anchor;
+    // A generous step budget prevents pathological loops on graphs whose
+    // reachable region is smaller than the target.
+    let mut budget = 200 * graph.node_count().max(target);
+
+    while visited.len() < target {
+        if budget == 0 {
+            // Re-anchor at an unvisited node to guarantee progress.
+            if let Some(next) = (0..graph.node_count()).find(|&u| !visited_set[u]) {
+                anchor = next;
+                current = next;
+                visit(next, &mut visited, &mut visited_set);
+                budget = 200 * graph.node_count().max(target);
+                continue;
+            } else {
+                break;
+            }
+        }
+        budget -= 1;
+
+        if rng.gen_bool(RESTART_PROBABILITY) {
+            current = anchor;
+            continue;
+        }
+        let neighbors = graph.neighbors(current);
+        if neighbors.is_empty() {
+            current = anchor;
+            continue;
+        }
+        current = neighbors[rng.gen_range(0..neighbors.len())];
+        if !visited_set[current] {
+            visit(current, &mut visited, &mut visited_set);
+        }
+    }
+
+    induced_subgraph(graph, &visited)
+}
+
+fn visit(node: usize, visited: &mut Vec<usize>, visited_set: &mut [bool]) {
+    if !visited_set[node] {
+        visited_set[node] = true;
+        visited.push(node);
+    }
+}
+
+/// Builds the subgraph induced on `nodes`, re-labelling them `0..nodes.len()`
+/// in the order given.
+pub fn induced_subgraph(graph: &Graph, nodes: &[usize]) -> Graph {
+    let index: HashMap<usize, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut sub = Graph::new(nodes.len());
+    for (new_u, &old_u) in nodes.iter().enumerate() {
+        for &old_v in graph.neighbors(old_u) {
+            if let Some(&new_v) = index.get(&old_v) {
+                if new_u < new_v {
+                    sub.add_edge(new_u, new_v);
+                }
+            }
+        }
+    }
+    sub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::generators;
+    use crate::graph::metrics;
+    use crate::graph::GraphKind;
+
+    #[test]
+    fn sample_has_the_requested_size() {
+        let g = generators::generate(GraphKind::RetailAffinity, 3000, 11);
+        let s = random_walk_sample(&g, 1000, 1);
+        assert_eq!(s.node_count(), 1000);
+        assert!(s.edge_count() > 0);
+    }
+
+    #[test]
+    fn sampling_more_nodes_than_exist_returns_the_whole_graph() {
+        let g = generators::erdos_renyi(50, 0.1, 3);
+        let s = random_walk_sample(&g, 500, 1);
+        assert_eq!(s.node_count(), 50);
+    }
+
+    #[test]
+    fn sampling_preserves_clustering_roughly() {
+        let g = generators::generate(GraphKind::RetailAffinity, 4000, 11);
+        let s = random_walk_sample(&g, 1000, 2);
+        let cc_full = metrics::average_clustering_coefficient(&g);
+        let cc_sample = metrics::average_clustering_coefficient(&s);
+        assert!(
+            cc_sample > cc_full * 0.5,
+            "sampling should preserve clustering: full {cc_full}, sample {cc_sample}"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let g = generators::generate(GraphKind::SocialNetwork, 2000, 11);
+        let a = random_walk_sample(&g, 500, 9);
+        let b = random_walk_sample(&g, 500, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_only_internal_edges() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let s = induced_subgraph(&g, &[1, 2, 4]);
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.edge_count(), 1); // only 1-2 survives
+        assert!(s.has_edge(0, 1));
+    }
+
+    #[test]
+    fn disconnected_graphs_are_still_sampled_to_target() {
+        // Two disjoint cliques of 30; sampling 50 must cross components via
+        // re-anchoring.
+        let mut g = Graph::new(60);
+        for base in [0usize, 30] {
+            for u in base..base + 30 {
+                for v in (u + 1)..base + 30 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        let s = random_walk_sample(&g, 50, 4);
+        assert_eq!(s.node_count(), 50);
+    }
+}

@@ -1,0 +1,171 @@
+//! Random-walk transactions over a graph topology (§V-B1).
+//!
+//! "Each transaction starts by picking a node uniformly at random and takes
+//! 5 steps of a random walk. The nodes visited by the random walk are the
+//! objects the transaction accesses."
+
+use crate::generator::{AccessPattern, WorkloadGenerator};
+use crate::graph::{generators, sampling, Graph, GraphKind};
+use rand::Rng;
+use rand::RngCore;
+use tcache_types::{AccessSet, ObjectId, SimTime};
+
+/// A workload whose transactions are short random walks over a graph.
+#[derive(Debug, Clone)]
+pub struct RandomWalkWorkload {
+    graph: Graph,
+    kind: Option<GraphKind>,
+    walk_length: usize,
+}
+
+impl RandomWalkWorkload {
+    /// Creates a random-walk workload over an explicit graph. `walk_length`
+    /// is the number of objects each transaction accesses (the paper uses 5).
+    ///
+    /// # Panics
+    /// Panics if the graph is empty or `walk_length` is zero.
+    pub fn new(graph: Graph, walk_length: usize) -> Self {
+        assert!(graph.node_count() > 0, "graph must have nodes");
+        assert!(walk_length > 0, "walks must access at least one object");
+        RandomWalkWorkload {
+            graph,
+            kind: None,
+            walk_length,
+        }
+    }
+
+    /// Builds the paper's workload for one of the two topologies: generate a
+    /// large synthetic graph of `source_nodes` nodes, down-sample it to
+    /// `sampled_nodes` with the restarting random walk, and run 5-object
+    /// random-walk transactions over the sample.
+    pub fn paper_workload(kind: GraphKind, source_nodes: usize, sampled_nodes: usize, seed: u64) -> Self {
+        let full = generators::generate(kind, source_nodes, seed);
+        let sampled = sampling::random_walk_sample(&full, sampled_nodes, seed.wrapping_add(1));
+        RandomWalkWorkload {
+            graph: sampled,
+            kind: Some(kind),
+            walk_length: 5,
+        }
+    }
+
+    /// The paper's default configuration for a topology: a 1000-node sample
+    /// of a 4000-node synthetic source graph.
+    pub fn paper_default(kind: GraphKind, seed: u64) -> Self {
+        RandomWalkWorkload::paper_workload(kind, 4000, 1000, seed)
+    }
+
+    /// The underlying (sampled) graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Which real-world topology this workload stands in for, if it was
+    /// built by [`RandomWalkWorkload::paper_workload`].
+    pub fn kind(&self) -> Option<GraphKind> {
+        self.kind
+    }
+}
+
+impl WorkloadGenerator for RandomWalkWorkload {
+    fn generate(&mut self, _now: SimTime, rng: &mut dyn RngCore) -> AccessSet {
+        let mut current = rng.gen_range(0..self.graph.node_count());
+        let mut objects = Vec::with_capacity(self.walk_length);
+        objects.push(ObjectId(current as u64));
+        while objects.len() < self.walk_length {
+            let neighbors = self.graph.neighbors(current);
+            if neighbors.is_empty() {
+                // Isolated node: restart the walk somewhere else.
+                current = rng.gen_range(0..self.graph.node_count());
+            } else {
+                current = neighbors[rng.gen_range(0..neighbors.len())];
+            }
+            objects.push(ObjectId(current as u64));
+        }
+        AccessSet::new(objects)
+    }
+
+    fn object_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn accesses_per_transaction(&self) -> usize {
+        self.walk_length
+    }
+
+    fn pattern(&self) -> AccessPattern {
+        AccessPattern::GraphWalk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walks_have_the_requested_length_and_follow_edges() {
+        let mut g = Graph::new(6);
+        for u in 0..5 {
+            g.add_edge(u, u + 1);
+        }
+        let mut w = RandomWalkWorkload::new(g, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let access = w.generate(SimTime::ZERO, &mut rng);
+            assert_eq!(access.len(), 5);
+            let objects = access.objects();
+            for pair in objects.windows(2) {
+                let (a, b) = (pair[0].as_u64() as usize, pair[1].as_u64() as usize);
+                assert!(
+                    w.graph().has_edge(a, b) || a == b,
+                    "consecutive accesses must be adjacent"
+                );
+            }
+        }
+        assert_eq!(w.accesses_per_transaction(), 5);
+        assert_eq!(w.pattern(), AccessPattern::GraphWalk);
+        assert!(w.kind().is_none());
+    }
+
+    #[test]
+    fn isolated_nodes_restart_the_walk() {
+        let g = Graph::new(3); // no edges at all
+        let mut w = RandomWalkWorkload::new(g, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let access = w.generate(SimTime::ZERO, &mut rng);
+        assert_eq!(access.len(), 4);
+        assert!(access.iter().all(|o| o.as_u64() < 3));
+    }
+
+    #[test]
+    fn paper_workloads_have_1000_objects() {
+        let retail = RandomWalkWorkload::paper_default(GraphKind::RetailAffinity, 17);
+        assert_eq!(retail.object_count(), 1000);
+        assert_eq!(retail.kind(), Some(GraphKind::RetailAffinity));
+        let social = RandomWalkWorkload::paper_default(GraphKind::SocialNetwork, 17);
+        assert_eq!(social.object_count(), 1000);
+        assert_eq!(social.kind(), Some(GraphKind::SocialNetwork));
+    }
+
+    #[test]
+    fn transactions_are_topologically_local() {
+        // In the clustered retail topology, random walks should revisit few
+        // distinct communities; measure by the number of distinct objects
+        // (walks that loop within a dense neighbourhood revisit nodes).
+        let mut w = RandomWalkWorkload::paper_default(GraphKind::RetailAffinity, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut revisits = 0usize;
+        let samples = 500;
+        for _ in 0..samples {
+            let access = w.generate(SimTime::ZERO, &mut rng);
+            if access.distinct().len() < access.len() {
+                revisits += 1;
+            }
+        }
+        assert!(
+            revisits > samples / 10,
+            "dense neighbourhoods should cause some walks to revisit nodes ({revisits})"
+        );
+    }
+}

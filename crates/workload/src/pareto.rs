@@ -1,0 +1,147 @@
+//! Bounded Pareto sampling.
+//!
+//! The approximately-clustered synthetic workload (§V-A1) chooses each
+//! object "using a bounded Pareto distribution starting at the head of its
+//! cluster"; the α parameter controls how heavy the tail is and therefore
+//! how often a transaction escapes its cluster (Figure 3 sweeps α from 1/32
+//! to 4).
+
+use rand::Rng;
+use rand::RngCore;
+
+/// A bounded Pareto distribution over `[min, max]`.
+///
+/// Sampling uses inverse-transform sampling of the truncated Pareto CDF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    alpha: f64,
+    min: f64,
+    max: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto distribution with shape `alpha` over the
+    /// inclusive range `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is not strictly positive, if `min` is not strictly
+    /// positive, or if `max < min`.
+    pub fn new(alpha: f64, min: f64, max: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        assert!(min > 0.0 && min.is_finite(), "min must be positive");
+        assert!(max >= min && max.is_finite(), "max must be at least min");
+        BoundedPareto { alpha, min, max }
+    }
+
+    /// The shape parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Samples a value in `[min, max]`.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        if (self.max - self.min).abs() < f64::EPSILON {
+            return self.min;
+        }
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let l = self.min;
+        let h = self.max;
+        let a = self.alpha;
+        // Inverse CDF of the Pareto distribution truncated to [l, h].
+        let num = u * h.powf(a) - u * l.powf(a) - h.powf(a);
+        let x = (-num / (h.powf(a) * l.powf(a))).powf(-1.0 / a);
+        x.clamp(l, h)
+    }
+
+    /// Samples an integer offset in `[0, range)` by shifting the
+    /// distribution to start at 1 (so offset 0 is the most likely value).
+    pub fn sample_offset(&self, rng: &mut dyn RngCore, range: u64) -> u64 {
+        if range == 0 {
+            return 0;
+        }
+        let value = self.sample(rng);
+        ((value - self.min).floor() as u64).min(range - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = BoundedPareto::new(1.0, 1.0, 2000.0);
+        assert_eq!(p.alpha(), 1.0);
+        for _ in 0..10_000 {
+            let x = p.sample(&mut rng);
+            assert!((1.0..=2000.0).contains(&x), "sample {x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn high_alpha_concentrates_near_the_minimum() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = BoundedPareto::new(4.0, 1.0, 2000.0);
+        let n = 10_000;
+        let near_min = (0..n)
+            .filter(|_| p.sample(&mut rng) < 5.0)
+            .count();
+        assert!(
+            near_min as f64 / n as f64 > 0.95,
+            "α=4 should keep >95% of samples within the first cluster, got {near_min}"
+        );
+    }
+
+    #[test]
+    fn low_alpha_spreads_over_the_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = BoundedPareto::new(1.0 / 32.0, 1.0, 2000.0);
+        let n = 10_000;
+        // For the truncated Pareto with α = 1/32 over [1, 2000] about 8 % of
+        // the mass lies past the midpoint and about 74 % lies outside the
+        // first cluster of five — far more than for α = 4 where virtually
+        // nothing does.
+        let past_midpoint = (0..n).filter(|_| p.sample(&mut rng) > 1000.0).count();
+        let outside_cluster = (0..n).filter(|_| p.sample(&mut rng) > 6.0).count();
+        assert!(
+            past_midpoint as f64 / n as f64 > 0.05,
+            "α=1/32 should put a noticeable fraction of samples past the midpoint, got {past_midpoint}"
+        );
+        assert!(
+            outside_cluster as f64 / n as f64 > 0.5,
+            "α=1/32 should frequently escape the first cluster, got {outside_cluster}"
+        );
+    }
+
+    #[test]
+    fn offsets_cover_the_requested_range_only() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = BoundedPareto::new(0.5, 1.0, 100.0);
+        for _ in 0..1000 {
+            assert!(p.sample_offset(&mut rng, 10) < 10);
+        }
+        assert_eq!(p.sample_offset(&mut rng, 0), 0);
+    }
+
+    #[test]
+    fn degenerate_range_returns_min() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = BoundedPareto::new(1.0, 3.0, 3.0);
+        assert_eq!(p.sample(&mut rng), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn zero_alpha_panics() {
+        let _ = BoundedPareto::new(0.0, 1.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max must be at least min")]
+    fn inverted_bounds_panic() {
+        let _ = BoundedPareto::new(1.0, 10.0, 1.0);
+    }
+}

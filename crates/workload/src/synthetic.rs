@@ -1,0 +1,477 @@
+//! Synthetic workloads of §V-A1.
+
+use crate::generator::{AccessPattern, WorkloadGenerator};
+use crate::pareto::BoundedPareto;
+use rand::Rng;
+use rand::RngCore;
+use tcache_types::{AccessSet, ObjectId, SimDuration, SimTime};
+
+/// Perfectly clustered accesses: each transaction picks one cluster
+/// uniformly at random and draws all of its accesses (with repetition) from
+/// within that cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfectClusters {
+    objects: u64,
+    cluster_size: u64,
+    per_txn: usize,
+}
+
+impl PerfectClusters {
+    /// Creates a perfectly clustered workload. The paper uses 2000 objects,
+    /// clusters of 5 and 5 accesses per transaction.
+    ///
+    /// # Panics
+    /// Panics if `cluster_size` is zero or larger than `objects`.
+    pub fn new(objects: u64, cluster_size: u64, per_txn: usize) -> Self {
+        assert!(cluster_size > 0 && cluster_size <= objects);
+        PerfectClusters {
+            objects,
+            cluster_size,
+            per_txn,
+        }
+    }
+
+    /// The paper's default configuration (2000 objects, clusters of 5,
+    /// 5 accesses per transaction).
+    pub fn paper_default() -> Self {
+        PerfectClusters::new(2000, 5, 5)
+    }
+
+    fn clusters(&self) -> u64 {
+        self.objects / self.cluster_size
+    }
+}
+
+impl WorkloadGenerator for PerfectClusters {
+    fn generate(&mut self, _now: SimTime, rng: &mut dyn RngCore) -> AccessSet {
+        let cluster = rng.gen_range(0..self.clusters());
+        let head = cluster * self.cluster_size;
+        (0..self.per_txn)
+            .map(|_| ObjectId(head + rng.gen_range(0..self.cluster_size)))
+            .collect()
+    }
+
+    fn object_count(&self) -> usize {
+        self.objects as usize
+    }
+
+    fn accesses_per_transaction(&self) -> usize {
+        self.per_txn
+    }
+
+    fn pattern(&self) -> AccessPattern {
+        AccessPattern::Clustered
+    }
+}
+
+/// Approximately clustered accesses: the cluster is chosen uniformly, but
+/// each access is the cluster head plus a bounded-Pareto offset, wrapping
+/// around the object space, so transactions occasionally escape their
+/// cluster (§V-A1; Figure 3 sweeps the α parameter).
+#[derive(Debug, Clone, Copy)]
+pub struct ParetoClusters {
+    objects: u64,
+    cluster_size: u64,
+    per_txn: usize,
+    pareto: BoundedPareto,
+}
+
+impl ParetoClusters {
+    /// Creates an approximately clustered workload with Pareto shape
+    /// `alpha`.
+    ///
+    /// The per-access offset from the cluster head is drawn from a bounded
+    /// Pareto whose scale equals the cluster size, so that at large α the
+    /// accesses spread over the *whole cluster* (not just its head) while
+    /// rarely escaping it, and at small α they are nearly uniform over the
+    /// object space — matching the behaviour Figure 3 relies on.
+    ///
+    /// # Panics
+    /// Panics if `cluster_size` is zero or larger than `objects`, or if
+    /// `alpha` is not strictly positive.
+    pub fn new(objects: u64, cluster_size: u64, per_txn: usize, alpha: f64) -> Self {
+        assert!(cluster_size > 0 && cluster_size <= objects);
+        ParetoClusters {
+            objects,
+            cluster_size,
+            per_txn,
+            pareto: BoundedPareto::new(alpha, cluster_size as f64, objects as f64),
+        }
+    }
+
+    /// The paper's Figure 6 configuration: 2000 objects, clusters of 5,
+    /// α = 1.0.
+    pub fn paper_default() -> Self {
+        ParetoClusters::new(2000, 5, 5, 1.0)
+    }
+
+    /// The Pareto shape parameter.
+    pub fn alpha(&self) -> f64 {
+        self.pareto.alpha()
+    }
+
+    fn clusters(&self) -> u64 {
+        self.objects / self.cluster_size
+    }
+}
+
+impl WorkloadGenerator for ParetoClusters {
+    fn generate(&mut self, _now: SimTime, rng: &mut dyn RngCore) -> AccessSet {
+        let cluster = rng.gen_range(0..self.clusters());
+        let head = cluster * self.cluster_size;
+        (0..self.per_txn)
+            .map(|_| {
+                let offset = self.pareto.sample_offset(rng, self.objects);
+                ObjectId((head + offset) % self.objects)
+            })
+            .collect()
+    }
+
+    fn object_count(&self) -> usize {
+        self.objects as usize
+    }
+
+    fn accesses_per_transaction(&self) -> usize {
+        self.per_txn
+    }
+
+    fn pattern(&self) -> AccessPattern {
+        AccessPattern::Clustered
+    }
+}
+
+/// Uniformly random accesses over the whole object space (no clustering
+/// whatsoever) — the initial phase of the Figure 4 convergence experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformRandom {
+    objects: u64,
+    per_txn: usize,
+}
+
+impl UniformRandom {
+    /// Creates a uniform workload.
+    ///
+    /// # Panics
+    /// Panics if `objects` is zero.
+    pub fn new(objects: u64, per_txn: usize) -> Self {
+        assert!(objects > 0);
+        UniformRandom { objects, per_txn }
+    }
+}
+
+impl WorkloadGenerator for UniformRandom {
+    fn generate(&mut self, _now: SimTime, rng: &mut dyn RngCore) -> AccessSet {
+        (0..self.per_txn)
+            .map(|_| ObjectId(rng.gen_range(0..self.objects)))
+            .collect()
+    }
+
+    fn object_count(&self) -> usize {
+        self.objects as usize
+    }
+
+    fn accesses_per_transaction(&self) -> usize {
+        self.per_txn
+    }
+
+    fn pattern(&self) -> AccessPattern {
+        AccessPattern::Uniform
+    }
+}
+
+/// Perfectly clustered accesses whose cluster boundaries shift by one object
+/// every `shift_every` of simulated time (Figure 5): `0–4, 5–9, …` becomes
+/// `1–5, 6–10, …` and so on, wrapping around the object space.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftingClusters {
+    objects: u64,
+    cluster_size: u64,
+    per_txn: usize,
+    shift_every: SimDuration,
+}
+
+impl DriftingClusters {
+    /// Creates a drifting-cluster workload.
+    ///
+    /// # Panics
+    /// Panics if `cluster_size` is zero or larger than `objects`, or if
+    /// `shift_every` is zero.
+    pub fn new(objects: u64, cluster_size: u64, per_txn: usize, shift_every: SimDuration) -> Self {
+        assert!(cluster_size > 0 && cluster_size <= objects);
+        assert!(shift_every > SimDuration::ZERO);
+        DriftingClusters {
+            objects,
+            cluster_size,
+            per_txn,
+            shift_every,
+        }
+    }
+
+    /// The paper's Figure 5 configuration: perfect clusters of 5 over 2000
+    /// objects, shifting by one every 3 minutes.
+    pub fn paper_default() -> Self {
+        DriftingClusters::new(2000, 5, 5, SimDuration::from_secs(180))
+    }
+
+    /// The cluster shift in force at `now`.
+    pub fn shift_at(&self, now: SimTime) -> u64 {
+        (now.as_micros() / self.shift_every.as_micros()) % self.objects
+    }
+}
+
+impl WorkloadGenerator for DriftingClusters {
+    fn generate(&mut self, now: SimTime, rng: &mut dyn RngCore) -> AccessSet {
+        let shift = self.shift_at(now);
+        let clusters = self.objects / self.cluster_size;
+        let cluster = rng.gen_range(0..clusters);
+        let head = cluster * self.cluster_size;
+        (0..self.per_txn)
+            .map(|_| {
+                let within = rng.gen_range(0..self.cluster_size);
+                ObjectId((head + within + shift) % self.objects)
+            })
+            .collect()
+    }
+
+    fn object_count(&self) -> usize {
+        self.objects as usize
+    }
+
+    fn accesses_per_transaction(&self) -> usize {
+        self.per_txn
+    }
+
+    fn pattern(&self) -> AccessPattern {
+        AccessPattern::Dynamic
+    }
+}
+
+/// A workload that switches from one generator to another at a fixed point
+/// in simulated time — the Figure 4 convergence experiment switches from
+/// [`UniformRandom`] to [`PerfectClusters`] at t = 58 s.
+pub struct PhaseShift {
+    before: Box<dyn WorkloadGenerator>,
+    after: Box<dyn WorkloadGenerator>,
+    switch_at: SimTime,
+}
+
+impl std::fmt::Debug for PhaseShift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseShift")
+            .field("switch_at", &self.switch_at)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PhaseShift {
+    /// Creates a phase-shifting workload.
+    ///
+    /// # Panics
+    /// Panics if the two phases disagree on the number of objects.
+    pub fn new(
+        before: Box<dyn WorkloadGenerator>,
+        after: Box<dyn WorkloadGenerator>,
+        switch_at: SimTime,
+    ) -> Self {
+        assert_eq!(
+            before.object_count(),
+            after.object_count(),
+            "both phases must use the same object space"
+        );
+        PhaseShift {
+            before,
+            after,
+            switch_at,
+        }
+    }
+
+    /// The paper's Figure 4 configuration: 1000 objects accessed uniformly
+    /// at random until `switch_at`, perfectly clustered (clusters of 5)
+    /// afterwards.
+    pub fn paper_default(switch_at: SimTime) -> Self {
+        PhaseShift::new(
+            Box::new(UniformRandom::new(1000, 5)),
+            Box::new(PerfectClusters::new(1000, 5, 5)),
+            switch_at,
+        )
+    }
+
+    /// The time at which the second phase starts.
+    pub fn switch_at(&self) -> SimTime {
+        self.switch_at
+    }
+}
+
+impl WorkloadGenerator for PhaseShift {
+    fn generate(&mut self, now: SimTime, rng: &mut dyn RngCore) -> AccessSet {
+        if now < self.switch_at {
+            self.before.generate(now, rng)
+        } else {
+            self.after.generate(now, rng)
+        }
+    }
+
+    fn object_count(&self) -> usize {
+        self.before.object_count()
+    }
+
+    fn accesses_per_transaction(&self) -> usize {
+        self.after.accesses_per_transaction()
+    }
+
+    fn pattern(&self) -> AccessPattern {
+        AccessPattern::Dynamic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn perfect_clusters_stay_within_one_cluster() {
+        let mut w = PerfectClusters::paper_default();
+        let mut rng = rng();
+        for _ in 0..500 {
+            let access = w.generate(SimTime::ZERO, &mut rng);
+            assert_eq!(access.len(), 5);
+            let clusters: std::collections::HashSet<u64> =
+                access.iter().map(|o| o.as_u64() / 5).collect();
+            assert_eq!(clusters.len(), 1, "all accesses in one cluster");
+            assert!(access.iter().all(|o| o.as_u64() < 2000));
+        }
+        assert_eq!(w.object_count(), 2000);
+        assert_eq!(w.accesses_per_transaction(), 5);
+        assert_eq!(w.pattern(), AccessPattern::Clustered);
+    }
+
+    #[test]
+    fn pareto_clusters_mostly_stay_but_sometimes_escape() {
+        let mut w = ParetoClusters::new(2000, 5, 5, 1.0);
+        assert!((w.alpha() - 1.0).abs() < 1e-12);
+        let mut rng = rng();
+        let mut in_cluster = 0usize;
+        let mut total = 0usize;
+        for _ in 0..2000 {
+            let access = w.generate(SimTime::ZERO, &mut rng);
+            // Recover the chosen cluster as the most common cluster head.
+            let heads: Vec<u64> = access.iter().map(|o| o.as_u64() / 5).collect();
+            let base = heads.iter().min().copied().unwrap();
+            for o in access.iter() {
+                total += 1;
+                if o.as_u64() / 5 == base {
+                    in_cluster += 1;
+                }
+            }
+        }
+        let ratio = in_cluster as f64 / total as f64;
+        assert!(ratio > 0.5, "α=1 keeps most accesses clustered, got {ratio}");
+        assert!(ratio < 0.999, "α=1 still escapes sometimes, got {ratio}");
+    }
+
+    #[test]
+    fn low_alpha_pareto_is_nearly_uniform() {
+        let mut w = ParetoClusters::new(2000, 5, 5, 1.0 / 32.0);
+        let mut rng = rng();
+        let mut far = 0usize;
+        let mut total = 0usize;
+        for _ in 0..1000 {
+            let access = w.generate(SimTime::ZERO, &mut rng);
+            let base = access.iter().map(|o| o.as_u64()).min().unwrap();
+            for o in access.iter() {
+                total += 1;
+                let distance = (o.as_u64() + 2000 - base) % 2000;
+                if distance >= 5 {
+                    far += 1;
+                }
+            }
+        }
+        assert!(
+            far as f64 / total as f64 > 0.3,
+            "α=1/32 frequently leaves the cluster"
+        );
+    }
+
+    #[test]
+    fn uniform_covers_the_object_space() {
+        let mut w = UniformRandom::new(1000, 5);
+        let mut rng = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            for o in w.generate(SimTime::ZERO, &mut rng).iter() {
+                assert!(o.as_u64() < 1000);
+                seen.insert(*o);
+            }
+        }
+        assert!(seen.len() > 900, "uniform workload touches most objects");
+        assert_eq!(w.pattern(), AccessPattern::Uniform);
+    }
+
+    #[test]
+    fn drifting_clusters_shift_over_time() {
+        let w = DriftingClusters::paper_default();
+        assert_eq!(w.shift_at(SimTime::ZERO), 0);
+        assert_eq!(w.shift_at(SimTime::from_secs(179)), 0);
+        assert_eq!(w.shift_at(SimTime::from_secs(180)), 1);
+        assert_eq!(w.shift_at(SimTime::from_secs(540)), 3);
+
+        let mut w = DriftingClusters::new(100, 5, 5, SimDuration::from_secs(10));
+        let mut rng = rng();
+        // After one shift, transactions are still confined to a single
+        // (shifted) cluster: undoing the shift maps them back to one of the
+        // original clusters.
+        for _ in 0..200 {
+            let access = w.generate(SimTime::from_secs(10), &mut rng);
+            let shift = w.shift_at(SimTime::from_secs(10));
+            let clusters: std::collections::HashSet<u64> = access
+                .iter()
+                .map(|o| ((o.as_u64() + 100 - shift) % 100) / 5)
+                .collect();
+            assert_eq!(clusters.len(), 1, "cluster width stays 5 after the shift");
+        }
+        assert_eq!(w.pattern(), AccessPattern::Dynamic);
+    }
+
+    #[test]
+    fn phase_shift_switches_generators_at_the_boundary() {
+        let mut w = PhaseShift::paper_default(SimTime::from_secs(58));
+        assert_eq!(w.switch_at(), SimTime::from_secs(58));
+        assert_eq!(w.object_count(), 1000);
+        let mut rng = rng();
+        // Before the switch accesses frequently span multiple clusters.
+        let mut multi_cluster_before = 0;
+        for _ in 0..200 {
+            let access = w.generate(SimTime::from_secs(10), &mut rng);
+            let clusters: std::collections::HashSet<u64> =
+                access.iter().map(|o| o.as_u64() / 5).collect();
+            if clusters.len() > 1 {
+                multi_cluster_before += 1;
+            }
+        }
+        assert!(multi_cluster_before > 150);
+        // After the switch every transaction stays within one cluster.
+        for _ in 0..200 {
+            let access = w.generate(SimTime::from_secs(60), &mut rng);
+            let clusters: std::collections::HashSet<u64> =
+                access.iter().map(|o| o.as_u64() / 5).collect();
+            assert_eq!(clusters.len(), 1);
+        }
+        assert_eq!(w.pattern(), AccessPattern::Dynamic);
+    }
+
+    #[test]
+    #[should_panic(expected = "same object space")]
+    fn phase_shift_with_mismatched_object_spaces_panics() {
+        let _ = PhaseShift::new(
+            Box::new(UniformRandom::new(100, 5)),
+            Box::new(UniformRandom::new(200, 5)),
+            SimTime::from_secs(1),
+        );
+    }
+}
