@@ -1,0 +1,93 @@
+//! Criterion benchmark for the concurrent read hot path.
+//!
+//! Measures hit-heavy read-only transaction throughput on a shared
+//! [`EdgeCache`] at 1, 2, 4 and 8 client threads. Each iteration runs a
+//! fixed batch of three-object transactions per thread over a pre-warmed
+//! cache, so the measured work is the striped-lock hot path: storage-stripe
+//! lookups (refcount-bump copies), the O(deps) consistency check and the
+//! transaction-stripe record keeping.
+//!
+//! On a multi-core host the per-batch time should stay near-flat as threads
+//! are added (throughput scaling near-linearly); on a single hardware
+//! thread it degrades gracefully to time-slicing. The `bench_hotpath` bin
+//! reports the same workload as machine-readable JSON for the perf
+//! trajectory (`BENCH_hotpath.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tcache_cache::EdgeCache;
+use tcache_db::{Database, DatabaseConfig};
+use tcache_types::{AccessSet, CacheId, ObjectId, SimTime, Strategy, TxnId};
+
+const OBJECTS: u64 = 1024;
+const READS_PER_THREAD: u64 = 1_000;
+
+fn warmed_cache() -> Arc<EdgeCache> {
+    let db = Arc::new(Database::new(DatabaseConfig::with_bound(3)));
+    db.populate((0..OBJECTS).map(|i| (ObjectId(i), tcache_types::Value::new(0))));
+    // Create dependency structure, then warm every object into the cache.
+    for i in 0..200u64 {
+        let base = (i * 5) % (OBJECTS - 2);
+        let access: AccessSet = vec![base, base + 1, base + 2].into();
+        db.execute_update(TxnId(i + 1), &access).unwrap();
+    }
+    let cache = Arc::new(EdgeCache::tcache(CacheId(0), db, 3, Strategy::Abort));
+    for i in 0..OBJECTS {
+        cache
+            .read(SimTime::ZERO, TxnId(1_000_000 + i), ObjectId(i), true)
+            .unwrap();
+    }
+    cache
+}
+
+fn run_batch(cache: &Arc<EdgeCache>, threads: u64, txn_seed: &AtomicU64) {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let cache = Arc::clone(cache);
+            let base_txn = txn_seed.fetch_add(READS_PER_THREAD + 1, Ordering::Relaxed);
+            std::thread::spawn(move || {
+                for i in 0..READS_PER_THREAD {
+                    let txn = TxnId(base_txn + i);
+                    let base = (t * 131 + i * 3) % (OBJECTS - 2);
+                    let keys = [ObjectId(base), ObjectId(base + 1), ObjectId(base + 2)];
+                    let outcome = cache
+                        .execute_transaction(SimTime::ZERO, txn, &keys)
+                        .expect("backend reachable");
+                    std::hint::black_box(outcome);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_concurrent_reads(c: &mut Criterion) {
+    let cache = warmed_cache();
+    let txn_seed = AtomicU64::new(10_000_000);
+    let mut group = c.benchmark_group("concurrent_reads");
+    for &threads in &[1u64, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| run_batch(&cache, threads, &txn_seed)),
+        );
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_concurrent_reads
+}
+criterion_main!(benches);

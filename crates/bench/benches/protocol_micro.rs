@@ -36,7 +36,7 @@ fn bench_dependency_aggregation(c: &mut Criterion) {
             .map(|i| AccessedObject {
                 key: ObjectId(i),
                 observed_version: Version(i),
-                dependencies: dependency_list(bound, bound),
+                dependencies: dependency_list(bound, bound).into(),
                 written: true,
             })
             .collect();

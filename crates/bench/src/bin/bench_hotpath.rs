@@ -1,0 +1,130 @@
+//! Hot-path throughput measurement with a machine-readable trail.
+//!
+//! Runs the hit-heavy read workload of the `concurrent_reads` criterion
+//! bench standalone, measures single-thread latency and 1/2/4/8-thread
+//! aggregate throughput, prints a table, and writes `BENCH_hotpath.json`
+//! into the current directory so future changes have a perf trajectory to
+//! compare against.
+//!
+//! Flags:
+//! * `--quick` — one short round (CI smoke; still writes the JSON);
+//! * `--out <path>` — where to write the JSON (default `BENCH_hotpath.json`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tcache_cache::EdgeCache;
+use tcache_db::{Database, DatabaseConfig};
+use tcache_types::{AccessSet, CacheId, ObjectId, SimTime, Strategy, TxnId, Value};
+
+const OBJECTS: u64 = 1024;
+const READS_PER_TXN: u64 = 3;
+
+fn warmed_cache() -> Arc<EdgeCache> {
+    let db = Arc::new(Database::new(DatabaseConfig::with_bound(3)));
+    db.populate((0..OBJECTS).map(|i| (ObjectId(i), Value::new(0))));
+    for i in 0..200u64 {
+        let base = (i * 5) % (OBJECTS - 2);
+        let access: AccessSet = vec![base, base + 1, base + 2].into();
+        db.execute_update(TxnId(i + 1), &access).unwrap();
+    }
+    let cache = Arc::new(EdgeCache::tcache(CacheId(0), db, 3, Strategy::Abort));
+    for i in 0..OBJECTS {
+        cache
+            .read(SimTime::ZERO, TxnId(1_000_000 + i), ObjectId(i), true)
+            .unwrap();
+    }
+    cache
+}
+
+/// Runs `txns_per_thread` hit transactions on each of `threads` threads;
+/// returns aggregate transactions per second.
+fn measure(cache: &Arc<EdgeCache>, threads: u64, txns_per_thread: u64, seed: &AtomicU64) -> f64 {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let cache = Arc::clone(cache);
+            let base_txn = seed.fetch_add(txns_per_thread + 1, Ordering::Relaxed);
+            std::thread::spawn(move || {
+                for i in 0..txns_per_thread {
+                    let txn = TxnId(base_txn + i);
+                    let base = (t * 131 + i * 3) % (OBJECTS - 2);
+                    let keys = [ObjectId(base), ObjectId(base + 1), ObjectId(base + 2)];
+                    let outcome = cache
+                        .execute_transaction(SimTime::ZERO, txn, &keys)
+                        .expect("backend reachable");
+                    std::hint::black_box(outcome);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (threads * txns_per_thread) as f64 / elapsed
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_hotpath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                if let Some(path) = args.next() {
+                    out = path;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let txns_per_thread: u64 = if quick { 2_000 } else { 50_000 };
+    let rounds = if quick { 1 } else { 3 };
+    let cache = warmed_cache();
+    let seed = AtomicU64::new(10_000_000);
+
+    println!(
+        "hot path: {READS_PER_TXN}-read hit transactions over {OBJECTS} cached objects \
+         ({txns_per_thread} txns/thread, best of {rounds})"
+    );
+    println!(
+        "host parallelism: {}",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    println!("{:>8} {:>16} {:>14} {:>10}", "threads", "txn/s", "ns/read", "speedup");
+
+    let mut results: Vec<(u64, f64)> = Vec::new();
+    for &threads in &[1u64, 2, 4, 8] {
+        let best = (0..rounds)
+            .map(|_| measure(&cache, threads, txns_per_thread, &seed))
+            .fold(0.0f64, f64::max);
+        results.push((threads, best));
+        let single = results[0].1;
+        println!(
+            "{threads:>8} {best:>16.0} {:>14.1} {:>9.2}x",
+            1e9 / (best * READS_PER_TXN as f64),
+            best / single
+        );
+    }
+
+    let single = results[0].1;
+    let fields: Vec<String> = results
+        .iter()
+        .map(|(t, tps)| format!("    \"threads_{t}_txn_per_sec\": {tps:.1}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath_concurrent_reads\",\n  \"objects\": {OBJECTS},\n  \
+         \"reads_per_txn\": {READS_PER_TXN},\n  \"txns_per_thread\": {txns_per_thread},\n  \
+         \"host_threads\": {},\n  \"results\": {{\n{}\n  }},\n  \
+         \"single_thread_ns_per_read\": {:.1},\n  \"speedup_4_threads\": {:.3}\n}}\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get()),
+        fields.join(",\n"),
+        1e9 / (single * READS_PER_TXN as f64),
+        results.iter().find(|(t, _)| *t == 4).map_or(0.0, |(_, tps)| tps / single),
+    );
+    std::fs::write(&out, json).expect("write BENCH_hotpath.json");
+    println!("wrote {out}");
+}

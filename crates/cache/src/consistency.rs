@@ -115,8 +115,9 @@ pub fn check_read(
 }
 
 /// Keeps the violation with the larger expectation gap, so diagnostics point
-/// at the most clearly stale object.
-fn pick_worse(current: Option<Violation>, candidate: Violation) -> Option<Violation> {
+/// at the most clearly stale object. Shared with the incremental checker in
+/// [`crate::txn_record`] so the two can never diverge on tie-breaking.
+pub(crate) fn pick_worse(current: Option<Violation>, candidate: Violation) -> Option<Violation> {
     match current {
         None => Some(candidate),
         Some(existing) => {
@@ -151,6 +152,7 @@ mod tests {
         d
     }
 
+    #[allow(clippy::type_complexity)]
     fn read_set(records: &[(u64, u64, &[(u64, u64)])]) -> ReadSet {
         let mut rs = ReadSet::new();
         for &(k, ver, dep_pairs) in records {

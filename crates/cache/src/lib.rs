@@ -38,6 +38,7 @@ pub mod consistency;
 pub mod entry;
 pub mod stats;
 pub mod storage;
+pub mod stripe;
 pub mod tcache;
 pub mod txn_record;
 

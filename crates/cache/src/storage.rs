@@ -6,19 +6,139 @@
 //! nonetheless supports a capacity bound with LRU eviction so the library is
 //! usable outside the evaluation; the harness simply leaves the capacity
 //! unlimited.
+//!
+//! Two layers live here:
+//!
+//! * [`CacheStorage`] — a single-threaded store whose recency order is an
+//!   intrusive doubly-linked list over slab indices, so `get` (touch),
+//!   `insert` and `remove` are all O(1) — the previous `Vec<ObjectId>`
+//!   recency order made every hit O(n);
+//! * [`ShardedCacheStorage`] — N independently locked [`CacheStorage`]
+//!   stripes, keyed by `ObjectId` hash, so cache hits on different objects
+//!   proceed in parallel. This is the structure [`crate::EdgeCache`] uses.
 
 use crate::entry::CacheEntry;
+use crate::stripe::Striped;
 use std::collections::HashMap;
 use tcache_types::{ObjectEntry, ObjectId, SimTime, TtlConfig, Version};
 
-/// The cache's object storage.
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct LruNode {
+    id: ObjectId,
+    prev: usize,
+    next: usize,
+}
+
+/// An intrusive doubly-linked recency list over a slab. The front is the
+/// least recently used entry; every operation is O(1).
+#[derive(Debug, Default)]
+struct LruQueue {
+    nodes: Vec<LruNode>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl LruQueue {
+    fn new() -> Self {
+        LruQueue {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Appends `id` as the most recently used entry, returning its slot.
+    fn push_back(&mut self, id: ObjectId) -> usize {
+        let node = LruNode {
+            id,
+            prev: self.tail,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        if self.tail != NIL {
+            self.nodes[self.tail].next = slot;
+        } else {
+            self.head = slot;
+        }
+        self.tail = slot;
+        slot
+    }
+
+    /// Unlinks `slot` and recycles it.
+    fn remove(&mut self, slot: usize) {
+        let LruNode { prev, next, .. } = self.nodes[slot];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.free.push(slot);
+    }
+
+    /// Moves `slot` to the most recently used position.
+    fn touch(&mut self, slot: usize) {
+        if self.tail == slot {
+            return;
+        }
+        let id = self.nodes[slot].id;
+        self.remove(slot);
+        let new_slot = self.push_back(id);
+        debug_assert_eq!(new_slot, slot, "recycled slot keeps its index");
+    }
+
+    /// The least recently used entry, if any.
+    fn front(&self) -> Option<ObjectId> {
+        if self.head == NIL {
+            None
+        } else {
+            Some(self.nodes[self.head].id)
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Stored {
+    entry: CacheEntry,
+    slot: usize,
+}
+
+/// One stripe of the cache's object storage (single-threaded; wrap it in
+/// [`ShardedCacheStorage`] for concurrent use).
 #[derive(Debug)]
 pub struct CacheStorage {
-    entries: HashMap<ObjectId, CacheEntry>,
-    /// Most-recently-used order: the front is the LRU victim candidate.
-    lru: Vec<ObjectId>,
+    entries: HashMap<ObjectId, Stored>,
+    lru: LruQueue,
     capacity: Option<usize>,
     ttl: TtlConfig,
+    /// Incrementally maintained sum of entry sizes, so footprint queries do
+    /// not walk the map.
+    footprint: usize,
+    /// Per-object minimum admissible version, raised by every invalidation
+    /// (present or not). This is what keeps the *striped* cache correct: an
+    /// invalidation that arrives while the object is uncached must still
+    /// veto a racing fetcher's about-to-land stale insert — the old
+    /// global-mutex cache serialized fetch+insert+invalidation, the striped
+    /// one records the knowledge instead. One `(ObjectId, Version)` pair
+    /// per invalidated object; bounded by the object universe.
+    floors: HashMap<ObjectId, Version>,
 }
 
 impl CacheStorage {
@@ -31,9 +151,11 @@ impl CacheStorage {
     pub fn new(capacity: Option<usize>, ttl: TtlConfig) -> Self {
         CacheStorage {
             entries: HashMap::new(),
-            lru: Vec::new(),
+            lru: LruQueue::new(),
             capacity,
             ttl,
+            footprint: 0,
+            floors: HashMap::new(),
         }
     }
 
@@ -53,35 +175,72 @@ impl CacheStorage {
     }
 
     /// Looks up an object. Expired entries are removed and reported as
-    /// misses. A hit refreshes the object's LRU position.
+    /// misses. A hit refreshes the object's LRU position. The returned
+    /// entry shares its value blob and dependency list with the stored one
+    /// (refcount bumps, no deep copy).
     pub fn get(&mut self, id: ObjectId, now: SimTime) -> Option<ObjectEntry> {
         let expired = match self.entries.get(&id) {
             None => return None,
-            Some(e) => e.is_expired(self.ttl, now),
+            Some(s) => s.entry.is_expired(self.ttl, now),
         };
         if expired {
             self.remove(id);
             return None;
         }
-        self.touch(id);
-        self.entries.get(&id).map(|e| e.entry.clone())
+        let stored = self.entries.get(&id).expect("checked above");
+        self.lru.touch(stored.slot);
+        Some(stored.entry.entry.clone())
     }
 
     /// Looks up an object without refreshing LRU or applying TTL
     /// (diagnostics and tests).
     pub fn peek(&self, id: ObjectId) -> Option<&CacheEntry> {
-        self.entries.get(&id)
+        self.entries.get(&id).map(|s| &s.entry)
     }
 
     /// Inserts (or refreshes) an object, evicting the LRU entry if the
     /// capacity bound is exceeded. Returns the evicted object, if any.
+    ///
+    /// An insert carrying an **older** version than the cached entry — or
+    /// than the invalidation floor recorded for the object — is ignored.
+    /// This is what makes the striped cache's miss path safe under
+    /// concurrency: a thread that read version `v` from the backend may
+    /// race with an invalidation for `v+1` (applied while the object was
+    /// cached *or not*) and with a re-fetch of `v+1` by another thread;
+    /// without the guard its late insert would (re)install the stale entry
+    /// after the invalidation has already passed, poisoning the cache
+    /// permanently under an infinite TTL. (The single-lock cache this
+    /// replaced serialized fetch+insert+invalidation, so the case could not
+    /// arise.) Equal versions refresh the entry and its TTL timestamp.
     pub fn insert(&mut self, entry: ObjectEntry, now: SimTime) -> Option<ObjectId> {
         let id = entry.id;
-        self.entries.insert(id, CacheEntry::new(entry, now));
-        self.touch(id);
+        if self.floors.get(&id).is_some_and(|&floor| entry.version < floor) {
+            // An invalidation already superseded this version; admitting it
+            // would resurrect data the database told us is stale.
+            return None;
+        }
+        let size = entry.size_bytes();
+        let cached = CacheEntry::new(entry, now);
+        match self.entries.get_mut(&id) {
+            Some(stored) if stored.entry.entry.version > cached.entry.version => {
+                // Stale insert racing a newer entry: keep the newer one.
+                return None;
+            }
+            Some(stored) => {
+                self.footprint = self.footprint - stored.entry.entry.size_bytes() + size;
+                stored.entry = cached;
+                let slot = stored.slot;
+                self.lru.touch(slot);
+            }
+            None => {
+                let slot = self.lru.push_back(id);
+                self.entries.insert(id, Stored { entry: cached, slot });
+                self.footprint += size;
+            }
+        }
         if let Some(cap) = self.capacity {
             if self.entries.len() > cap {
-                let victim = self.lru.first().copied();
+                let victim = self.lru.front();
                 if let Some(v) = victim {
                     self.remove(v);
                     return Some(v);
@@ -94,8 +253,14 @@ impl CacheStorage {
     /// Removes an object from the cache (invalidation or strategy-driven
     /// eviction). Returns `true` if it was present.
     pub fn remove(&mut self, id: ObjectId) -> bool {
-        self.lru.retain(|&o| o != id);
-        self.entries.remove(&id).is_some()
+        match self.entries.remove(&id) {
+            Some(stored) => {
+                self.footprint -= stored.entry.entry.size_bytes();
+                self.lru.remove(stored.slot);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Removes the object only if its cached version is older than
@@ -103,17 +268,22 @@ impl CacheStorage {
     ///
     /// This is the invalidation path: an invalidation for version `v` must
     /// not evict a cache entry that is already at `v` or newer (which can
-    /// happen when invalidations are reordered).
+    /// happen when invalidations are reordered). Whether or not the object
+    /// is currently cached, the invalidation raises the object's admission
+    /// floor so a concurrently in-flight fetch of an older version cannot
+    /// be inserted after the fact (see [`CacheStorage::insert`]).
     pub fn invalidate(&mut self, id: ObjectId, newer_than: Version) -> bool {
+        let floor = self.floors.entry(id).or_insert(newer_than);
+        *floor = (*floor).max(newer_than);
         match self.entries.get(&id) {
-            Some(e) if e.entry.version < newer_than => self.remove(id),
+            Some(s) if s.entry.entry.version < newer_than => self.remove(id),
             _ => false,
         }
     }
 
     /// The version currently cached for `id`, ignoring TTL.
     pub fn cached_version(&self, id: ObjectId) -> Option<Version> {
-        self.entries.get(&id).map(|e| e.entry.version)
+        self.entries.get(&id).map(|s| s.entry.entry.version)
     }
 
     /// All cached object ids (unspecified order).
@@ -121,20 +291,123 @@ impl CacheStorage {
         self.entries.keys().copied().collect()
     }
 
-    /// Approximate memory footprint in bytes of the cached entries.
+    /// Approximate memory footprint in bytes of the cached entries (O(1):
+    /// maintained incrementally).
     pub fn footprint_bytes(&self) -> usize {
-        self.entries.values().map(|e| e.entry.size_bytes()).sum()
-    }
-
-    fn touch(&mut self, id: ObjectId) {
-        self.lru.retain(|&o| o != id);
-        self.lru.push(id);
+        self.footprint
     }
 }
 
 impl Default for CacheStorage {
     fn default() -> Self {
         CacheStorage::unlimited()
+    }
+}
+
+/// Number of stripes used by [`ShardedCacheStorage::with_default_stripes`];
+/// a power of two so stripe selection is a mask.
+pub const DEFAULT_STRIPES: usize = 16;
+
+/// Concurrent cache storage: N independently locked [`CacheStorage`]
+/// stripes keyed by object-id hash.
+///
+/// All methods take `&self`; each call locks exactly one stripe (aggregate
+/// queries like [`ShardedCacheStorage::len`] lock each stripe in turn, never
+/// two at once), so the structure is deadlock-free by construction and
+/// reads of different objects contend only when they hash to the same
+/// stripe.
+#[derive(Debug)]
+pub struct ShardedCacheStorage {
+    stripes: Striped<CacheStorage>,
+}
+
+impl ShardedCacheStorage {
+    /// Creates sharded storage with [`DEFAULT_STRIPES`] stripes.
+    pub fn with_default_stripes(capacity: Option<usize>, ttl: TtlConfig) -> Self {
+        ShardedCacheStorage::new(DEFAULT_STRIPES, capacity, ttl)
+    }
+
+    /// Creates sharded storage with `stripes` stripes (rounded up to a
+    /// power of two). A total `capacity` is split evenly across stripes
+    /// (`ceil(capacity / stripes)`, at least 1, per stripe).
+    ///
+    /// Because eviction is local to a stripe, the capacity is enforced per
+    /// stripe, not globally: the aggregate entry count can exceed
+    /// `capacity` by up to one entry per stripe when the split does not
+    /// divide evenly (worst case `capacity + stripes - 1`). Callers that
+    /// need a byte- or entry-exact budget should size `capacity` with that
+    /// slack in mind.
+    ///
+    /// # Panics
+    /// Panics if `stripes` is zero.
+    pub fn new(stripes: usize, capacity: Option<usize>, ttl: TtlConfig) -> Self {
+        // Build the stripes first and derive the per-stripe capacity from
+        // the *actual* stripe count, so the split can never drift from
+        // Striped's rounding policy.
+        let mut built = Striped::new(stripes, || CacheStorage::new(None, ttl));
+        if let Some(capacity) = capacity {
+            let per_stripe = capacity.div_ceil(built.len()).max(1);
+            for stripe in built.iter_mut() {
+                stripe.get_mut().capacity = Some(per_stripe);
+            }
+        }
+        ShardedCacheStorage { stripes: built }
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe(&self, id: ObjectId) -> &parking_lot::Mutex<CacheStorage> {
+        self.stripes.stripe_for(id.as_u64())
+    }
+
+    /// Looks up an object (TTL-checked, LRU-touched); see
+    /// [`CacheStorage::get`].
+    pub fn get(&self, id: ObjectId, now: SimTime) -> Option<ObjectEntry> {
+        self.stripe(id).lock().get(id, now)
+    }
+
+    /// Inserts (or refreshes) an object; see [`CacheStorage::insert`].
+    pub fn insert(&self, entry: ObjectEntry, now: SimTime) -> Option<ObjectId> {
+        self.stripe(entry.id).lock().insert(entry, now)
+    }
+
+    /// Removes an object, returning `true` if it was present.
+    pub fn remove(&self, id: ObjectId) -> bool {
+        self.stripe(id).lock().remove(id)
+    }
+
+    /// Applies an invalidation; see [`CacheStorage::invalidate`].
+    pub fn invalidate(&self, id: ObjectId, newer_than: Version) -> bool {
+        self.stripe(id).lock().invalidate(id, newer_than)
+    }
+
+    /// Returns `true` if `id` is currently cached (ignoring TTL).
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.stripe(id).lock().peek(id).is_some()
+    }
+
+    /// The version currently cached for `id`, ignoring TTL.
+    pub fn cached_version(&self, id: ObjectId) -> Option<Version> {
+        self.stripe(id).lock().cached_version(id)
+    }
+
+    /// Total number of cached objects (sums the stripes; approximate under
+    /// concurrent mutation).
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Returns `true` if nothing is cached in any stripe.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Approximate memory footprint of all cached entries, in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().footprint_bytes()).sum()
     }
 }
 
@@ -180,6 +453,85 @@ mod tests {
     }
 
     #[test]
+    fn eviction_follows_full_recency_order() {
+        let mut s = CacheStorage::new(Some(3), TtlConfig::Infinite);
+        s.insert(obj(1, 1), SimTime::ZERO);
+        s.insert(obj(2, 1), SimTime::ZERO);
+        s.insert(obj(3, 1), SimTime::ZERO);
+        // Recency now 1 < 2 < 3. Touch 1 → 2 < 3 < 1. Touch 3 → 2 < 1 < 3.
+        s.get(ObjectId(1), SimTime::ZERO);
+        s.get(ObjectId(3), SimTime::ZERO);
+        assert_eq!(s.insert(obj(4, 1), SimTime::ZERO), Some(ObjectId(2)));
+        assert_eq!(s.insert(obj(5, 1), SimTime::ZERO), Some(ObjectId(1)));
+        assert_eq!(s.insert(obj(6, 1), SimTime::ZERO), Some(ObjectId(3)));
+        // Re-inserting an existing object refreshes instead of growing.
+        assert_eq!(s.insert(obj(4, 2), SimTime::ZERO), None);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_newest() {
+        let mut s = CacheStorage::new(Some(1), TtlConfig::Infinite);
+        assert_eq!(s.insert(obj(1, 1), SimTime::ZERO), None);
+        assert_eq!(s.insert(obj(2, 1), SimTime::ZERO), Some(ObjectId(1)));
+        assert_eq!(s.insert(obj(3, 1), SimTime::ZERO), Some(ObjectId(2)));
+        assert_eq!(s.len(), 1);
+        assert!(s.peek(ObjectId(3)).is_some());
+        // Refreshing the only entry evicts nothing.
+        assert_eq!(s.insert(obj(3, 2), SimTime::ZERO), None);
+        assert_eq!(s.cached_version(ObjectId(3)), Some(Version(2)));
+    }
+
+    #[test]
+    fn removing_and_reinserting_recycles_lru_slots() {
+        let mut s = CacheStorage::new(Some(2), TtlConfig::Infinite);
+        for round in 0..100u64 {
+            s.insert(obj(round % 5, round), SimTime::ZERO);
+            if round % 3 == 0 {
+                s.remove(ObjectId(round % 5));
+            }
+            assert!(s.len() <= 2);
+        }
+        // The slab's free list keeps the queue compact: at most
+        // capacity + 1 slots were ever needed simultaneously.
+        assert!(s.lru.nodes.len() <= 3, "slots: {}", s.lru.nodes.len());
+    }
+
+    #[test]
+    fn invalidation_while_uncached_vetoes_a_racing_stale_insert() {
+        // The miss-path race: a fetcher read v1 from the backend, then an
+        // invalidation for v2 arrives while nothing is cached (a no-op
+        // eviction), then the fetcher's insert lands. The insert must be
+        // rejected so the next read misses and fetches v2.
+        let mut s = CacheStorage::unlimited();
+        assert!(!s.invalidate(ObjectId(1), Version(2)), "nothing cached to evict");
+        assert_eq!(s.insert(obj(1, 1), SimTime::ZERO), None);
+        assert!(s.peek(ObjectId(1)).is_none(), "stale insert must be vetoed");
+        // The current version (and anything newer) is admissible.
+        s.insert(obj(1, 2), SimTime::ZERO);
+        assert_eq!(s.cached_version(ObjectId(1)), Some(Version(2)));
+        // Floors are monotone: a reordered older invalidation changes nothing.
+        assert!(!s.invalidate(ObjectId(1), Version(1)));
+        assert_eq!(s.cached_version(ObjectId(1)), Some(Version(2)));
+    }
+
+    #[test]
+    fn stale_insert_never_buries_a_newer_entry() {
+        let mut s = CacheStorage::unlimited();
+        s.insert(obj(1, 5), SimTime::ZERO);
+        // A racing thread's late insert of an older version is ignored…
+        assert_eq!(s.insert(obj(1, 3), SimTime::from_secs(1)), None);
+        assert_eq!(s.cached_version(ObjectId(1)), Some(Version(5)));
+        // …an equal version refreshes (value + TTL timestamp)…
+        s.insert(obj(1, 5), SimTime::from_secs(2));
+        assert_eq!(s.peek(ObjectId(1)).unwrap().inserted_at, SimTime::from_secs(2));
+        // …and a newer version replaces.
+        s.insert(obj(1, 6), SimTime::from_secs(3));
+        assert_eq!(s.cached_version(ObjectId(1)), Some(Version(6)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
     fn ttl_expiry_is_a_miss_and_removes_the_entry() {
         let ttl = TtlConfig::Limited(SimDuration::from_secs(10));
         let mut s = CacheStorage::new(None, ttl);
@@ -219,6 +571,30 @@ mod tests {
     }
 
     #[test]
+    fn footprint_tracks_inserts_replacements_and_removals() {
+        let mut s = CacheStorage::unlimited();
+        assert_eq!(s.footprint_bytes(), 0);
+        s.insert(obj(1, 1), SimTime::ZERO);
+        let one = s.footprint_bytes();
+        assert!(one > 0);
+        s.insert(obj(2, 1), SimTime::ZERO);
+        assert_eq!(s.footprint_bytes(), 2 * one);
+        // Replacing an entry with a bigger payload adjusts, not adds.
+        let big = ObjectEntry::new(
+            ObjectId(1),
+            Value::from_bytes(vec![0u8; 100]),
+            Version(2),
+            tcache_types::DependencyList::bounded(3),
+        );
+        let big_size = big.size_bytes();
+        s.insert(big, SimTime::ZERO);
+        assert_eq!(s.footprint_bytes(), one + big_size);
+        s.remove(ObjectId(1));
+        s.remove(ObjectId(2));
+        assert_eq!(s.footprint_bytes(), 0);
+    }
+
+    #[test]
     fn reinsert_refreshes_value_and_timestamp() {
         let ttl = TtlConfig::Limited(SimDuration::from_secs(10));
         let mut s = CacheStorage::new(None, ttl);
@@ -228,5 +604,69 @@ mod tests {
         let e = s.get(ObjectId(1), SimTime::from_secs(15)).unwrap();
         assert_eq!(e.version, Version(2));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sharded_storage_mirrors_single_stripe_semantics() {
+        let s = ShardedCacheStorage::new(8, None, TtlConfig::Infinite);
+        assert_eq!(s.stripe_count(), 8);
+        assert!(s.is_empty());
+        for i in 0..100 {
+            s.insert(obj(i, i + 1), SimTime::ZERO);
+        }
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(ObjectId(42)));
+        assert_eq!(s.cached_version(ObjectId(42)), Some(Version(43)));
+        assert!(s.footprint_bytes() > 0);
+        assert!(s.get(ObjectId(42), SimTime::ZERO).is_some());
+        assert!(s.invalidate(ObjectId(42), Version(100)));
+        assert!(!s.contains(ObjectId(42)));
+        assert!(s.remove(ObjectId(41)));
+        assert_eq!(s.len(), 98);
+    }
+
+    #[test]
+    fn sharded_storage_is_safe_under_concurrent_mixed_load() {
+        use std::sync::Arc;
+        let s = Arc::new(ShardedCacheStorage::with_default_stripes(
+            Some(64),
+            TtlConfig::Infinite,
+        ));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let id = (t * 31 + i) % 128;
+                        match i % 4 {
+                            0 => {
+                                s.insert(obj(id, i + 1), SimTime::ZERO);
+                            }
+                            1 => {
+                                s.get(ObjectId(id), SimTime::ZERO);
+                            }
+                            2 => {
+                                s.invalidate(ObjectId(id), Version(i));
+                            }
+                            _ => {
+                                s.remove(ObjectId(id));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Capacity is enforced per stripe (64 split over 16 stripes = 4
+        // each); with an even split the total cannot exceed the bound.
+        assert!(s.len() <= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stripe")]
+    fn zero_stripes_panics() {
+        let _ = ShardedCacheStorage::new(0, None, TtlConfig::Infinite);
     }
 }

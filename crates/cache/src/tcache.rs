@@ -6,12 +6,31 @@
 //! backend [`Database`] only on cache misses and RETRY read-throughs, and
 //! receives asynchronous invalidations through
 //! [`EdgeCache::apply_invalidation`].
+//!
+//! # Concurrency
+//!
+//! The cache is built for parallel clients. There is no global lock:
+//!
+//! * object storage is a [`ShardedCacheStorage`] — stripes keyed by
+//!   `ObjectId` hash, each behind its own short-held lock, so hits on
+//!   different objects proceed in parallel (including concurrently with
+//!   invalidation upcalls);
+//! * transaction records live in a [`ShardedTransactionTable`] keyed by
+//!   `TxnId` hash, so different clients' transactions never contend;
+//! * statistics are atomics.
+//!
+//! No code path holds two stripe locks at once, so the cache is
+//! deadlock-free by construction. A read locks its object stripe to fetch
+//! the entry (a refcount-bump copy, never a deep clone), releases it, then
+//! locks its transaction stripe to run the consistency check and record the
+//! read atomically with respect to that transaction. The protocol itself is
+//! per-transaction sequential (one client drives one `TxnId`), which is the
+//! only ordering the consistency predicates need.
 
-use crate::consistency::{check_read, Violation, ViolationKind};
+use crate::consistency::{Violation, ViolationKind};
 use crate::stats::{CacheStats, CacheStatsSnapshot};
-use crate::storage::CacheStorage;
-use crate::txn_record::TransactionTable;
-use parking_lot::Mutex;
+use crate::storage::ShardedCacheStorage;
+use crate::txn_record::ShardedTransactionTable;
 use std::sync::Arc;
 use tcache_db::{Database, Invalidation};
 use tcache_types::{
@@ -19,22 +38,18 @@ use tcache_types::{
     Strategy, TCacheError, TCacheResult, TxnId, VersionedObject,
 };
 
-#[derive(Debug)]
-struct Inner {
-    storage: CacheStorage,
-    txns: TransactionTable,
-}
-
 /// An edge cache server.
 ///
-/// All methods take `&self`; the cache uses a mutex internally so it can be
-/// shared between the client-facing side and the invalidation upcall.
+/// All methods take `&self`; internally the cache uses striped locks (see
+/// the module docs), so it can be shared freely between many client threads
+/// and the invalidation upcall.
 #[derive(Debug)]
 pub struct EdgeCache {
     id: CacheId,
     backend: Arc<Database>,
     config: CachePolicyConfig,
-    inner: Mutex<Inner>,
+    storage: ShardedCacheStorage,
+    txns: ShardedTransactionTable,
     stats: CacheStats,
 }
 
@@ -45,10 +60,8 @@ impl EdgeCache {
             id,
             backend,
             config,
-            inner: Mutex::new(Inner {
-                storage: CacheStorage::new(None, config.ttl),
-                txns: TransactionTable::new(),
-            }),
+            storage: ShardedCacheStorage::with_default_stripes(None, config.ttl),
+            txns: ShardedTransactionTable::with_default_stripes(),
             stats: CacheStats::new(),
         }
     }
@@ -108,8 +121,7 @@ impl EdgeCache {
         key: ObjectId,
         last_op: bool,
     ) -> TCacheResult<VersionedObject> {
-        let mut inner = self.inner.lock();
-        let entry = self.fetch(&mut inner, key, now)?;
+        let entry = self.fetch(key, now)?;
 
         if !self.config.transactional {
             if last_op {
@@ -118,25 +130,10 @@ impl EdgeCache {
             return Ok(entry.to_versioned());
         }
 
-        let empty = tcache_types::ReadSet::new();
-        let previous = inner.txns.read_set(txn).unwrap_or(&empty).clone();
-        let entry = match check_read(&previous, key, entry.version, &entry.dependencies) {
+        let entry = match self.check_and_record(txn, key, &entry, last_op) {
             None => entry,
-            Some(violation) => {
-                match self.handle_violation(&mut inner, now, txn, key, violation, &previous)? {
-                    Some(fresh) => fresh,
-                    None => unreachable!("handle_violation either errors or returns an entry"),
-                }
-            }
+            Some(violation) => self.handle_violation(now, txn, key, violation, last_op)?,
         };
-
-        inner
-            .txns
-            .record_read(txn, key, entry.version, entry.dependencies.clone());
-        if last_op {
-            inner.txns.finish(txn);
-            self.stats.record_commit();
-        }
         Ok(entry.to_versioned())
     }
 
@@ -172,9 +169,11 @@ impl EdgeCache {
     /// Applies one invalidation received from the database: the cached
     /// entry is evicted if (and only if) it is older than the invalidated
     /// version, so that reordered or duplicated invalidations are harmless.
+    ///
+    /// Only the affected object's stripe is locked; reads of other objects
+    /// proceed concurrently.
     pub fn apply_invalidation(&self, invalidation: Invalidation) {
-        let mut inner = self.inner.lock();
-        if inner
+        if self
             .storage
             .invalidate(invalidation.object, invalidation.new_version)
         {
@@ -191,35 +190,71 @@ impl EdgeCache {
 
     /// Number of objects currently cached.
     pub fn cached_objects(&self) -> usize {
-        self.inner.lock().storage.len()
+        self.storage.len()
     }
 
     /// Returns `true` if `key` is currently cached (ignoring TTL).
     pub fn contains(&self, key: ObjectId) -> bool {
-        self.inner.lock().storage.peek(key).is_some()
+        self.storage.contains(key)
     }
 
     /// Number of read-only transactions with live records (diagnostics).
     pub fn open_transactions(&self) -> usize {
-        self.inner.lock().txns.len()
+        self.txns.len()
     }
 
     /// Approximate memory used by cached entries, in bytes.
     pub fn footprint_bytes(&self) -> usize {
-        self.inner.lock().storage.footprint_bytes()
+        self.storage.footprint_bytes()
     }
 
     /// Fetches `key` from the local storage or, on a miss, from the backend
-    /// database (recording hit/miss statistics).
-    fn fetch(&self, inner: &mut Inner, key: ObjectId, now: SimTime) -> TCacheResult<ObjectEntry> {
-        if let Some(entry) = inner.storage.get(key, now) {
+    /// database (recording hit/miss statistics). The returned entry shares
+    /// its payload and dependency list with the cached copy.
+    fn fetch(&self, key: ObjectId, now: SimTime) -> TCacheResult<ObjectEntry> {
+        if let Some(entry) = self.storage.get(key, now) {
             self.stats.record_hit();
             return Ok(entry);
         }
         let entry = self.fetch_from_backend(key)?;
         self.stats.record_miss();
-        inner.storage.insert(entry.clone(), now);
+        self.storage.insert(entry.clone(), now);
         Ok(entry)
+    }
+
+    /// The transaction-atomic critical section of a read: checks `entry`
+    /// against the transaction's previous reads and, when consistent,
+    /// records it (finishing the record on `last_op`) — all under one hold
+    /// of the transaction's stripe lock. Returns the violation, if any;
+    /// commit accounting happens here so the RETRY re-check shares it.
+    ///
+    /// Violation *handling* deliberately happens outside this lock (the
+    /// handlers touch object stripes and the backend; no two stripe locks
+    /// are ever held together).
+    fn check_and_record(
+        &self,
+        txn: TxnId,
+        key: ObjectId,
+        entry: &ObjectEntry,
+        last_op: bool,
+    ) -> Option<Violation> {
+        let violation = {
+            let mut table = self.txns.stripe(txn).lock();
+            match table.check_read(txn, key, entry.version, &entry.dependencies) {
+                None => {
+                    table.record_read(txn, key, entry.version, Arc::clone(&entry.dependencies));
+                    if last_op {
+                        table.finish(txn);
+                    }
+                    None
+                }
+                Some(violation) => Some(violation),
+            }
+        };
+        if violation.is_none() && last_op {
+            self.stats.record_commit();
+        }
+        violation
     }
 
     /// Reads an entry from the backend, re-bounding its dependency list to
@@ -229,38 +264,37 @@ impl EdgeCache {
         let mut entry = self.backend.read_entry(key)?;
         let limit = self.config.dependency_bound.limit();
         if entry.dependencies.len() > limit {
-            entry.dependencies = entry.dependencies.rebounded(limit);
+            entry.dependencies = Arc::new(entry.dependencies.rebounded(limit));
         }
         Ok(entry)
     }
 
     /// Reacts to a detected violation according to the configured strategy.
     ///
-    /// Returns `Ok(Some(entry))` when the RETRY strategy repaired the read
-    /// and the transaction may continue with the fresh entry; otherwise the
+    /// Returns `Ok(entry)` when the RETRY strategy repaired the read and the
+    /// transaction may continue with the fresh entry; otherwise the
     /// transaction is aborted and an error is returned.
     fn handle_violation(
         &self,
-        inner: &mut Inner,
         now: SimTime,
         txn: TxnId,
         key: ObjectId,
         violation: Violation,
-        previous: &tcache_types::ReadSet,
-    ) -> TCacheResult<Option<ObjectEntry>> {
+        last_op: bool,
+    ) -> TCacheResult<ObjectEntry> {
         match self.config.strategy {
             Strategy::Abort => {
-                self.abort(inner, txn);
+                self.abort(txn);
                 Err(TCacheError::InconsistencyAbort {
                     txn,
                     violating_object: violation.violating_object,
                 })
             }
             Strategy::Evict => {
-                if inner.storage.remove(violation.violating_object) {
+                if self.storage.remove(violation.violating_object) {
                     self.stats.record_eviction();
                 }
-                self.abort(inner, txn);
+                self.abort(txn);
                 Err(TCacheError::InconsistencyAbort {
                     txn,
                     violating_object: violation.violating_object,
@@ -270,22 +304,24 @@ impl EdgeCache {
                 if violation.kind == ViolationKind::CurrentReadStale {
                     // The object being read is the stale one: treat the
                     // access as a miss and read through to the database.
-                    if inner.storage.remove(key) {
+                    if self.storage.remove(key) {
                         self.stats.record_eviction();
                     }
                     let fresh = self.fetch_from_backend(key)?;
                     self.stats.record_retry();
-                    inner.storage.insert(fresh.clone(), now);
-                    match check_read(previous, key, fresh.version, &fresh.dependencies) {
-                        None => Ok(Some(fresh)),
+                    self.storage.insert(fresh.clone(), now);
+                    // Re-check the fresh copy and record it atomically under
+                    // the transaction's stripe.
+                    match self.check_and_record(txn, key, &fresh, last_op) {
+                        None => Ok(fresh),
                         Some(second) => {
                             // The fresh copy exposes a violation that cannot
                             // be repaired locally (a previously returned
                             // object is stale): evict it and abort.
-                            if inner.storage.remove(second.violating_object) {
+                            if self.storage.remove(second.violating_object) {
                                 self.stats.record_eviction();
                             }
-                            self.abort(inner, txn);
+                            self.abort(txn);
                             Err(TCacheError::InconsistencyAbort {
                                 txn,
                                 violating_object: second.violating_object,
@@ -295,10 +331,10 @@ impl EdgeCache {
                 } else {
                     // The stale object was already returned to the client
                     // earlier in this transaction: evict it and abort.
-                    if inner.storage.remove(violation.violating_object) {
+                    if self.storage.remove(violation.violating_object) {
                         self.stats.record_eviction();
                     }
-                    self.abort(inner, txn);
+                    self.abort(txn);
                     Err(TCacheError::InconsistencyAbort {
                         txn,
                         violating_object: violation.violating_object,
@@ -308,12 +344,11 @@ impl EdgeCache {
         }
     }
 
-    fn abort(&self, inner: &mut Inner, txn: TxnId) {
-        inner.txns.finish(txn);
+    fn abort(&self, txn: TxnId) {
+        self.txns.stripe(txn).lock().finish(txn);
         self.stats.record_abort();
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,14 +4,158 @@
 //! transaction with its read values, their versions, and their dependency
 //! lists" (§III-B). The record is garbage-collected when the client flags
 //! the last operation of the transaction.
+//!
+//! Beyond the plain read list, each [`TxnRecord`] maintains two incremental
+//! indexes that are updated as reads are recorded:
+//!
+//! * `expected` — for every object, the **largest** version any previous
+//!   read requires it to be at (the union of observed `(key, version)`
+//!   pairs and every dependency-list entry seen so far);
+//! * `observed_floor` — for every object the transaction returned to the
+//!   client, the **smallest** version it observed.
+//!
+//! With these, checking a new read against the whole transaction
+//! ([`TxnRecord::check_read`]) costs O(|depList| of the current read)
+//! instead of the former O(read-set × deps) rescan, while reporting exactly
+//! the same violations (the maps are precisely the maxima/minima the
+//! predicate scan of [`crate::consistency::check_read`] reduces to).
+//!
+//! [`TransactionTable`] is the single-threaded table; [`ShardedTransactionTable`]
+//! stripes it by `TxnId` hash so transactions from different clients never
+//! contend on one lock.
 
+use crate::consistency::{pick_worse, Violation, ViolationKind};
+use crate::stripe::Striped;
 use std::collections::HashMap;
+use std::sync::Arc;
 use tcache_types::{DependencyList, ObjectId, ReadRecord, ReadSet, TxnId, Version};
 
-/// The table of in-progress read-only transactions at one cache server.
+/// The record of one in-progress read-only transaction.
+#[derive(Debug, Default)]
+pub struct TxnRecord {
+    /// Every read in order (reported to the monitor, kept for diagnostics).
+    reads: ReadSet,
+    /// Max version each object is expected at, per previous reads'
+    /// observations and dependency lists.
+    expected: HashMap<ObjectId, Version>,
+    /// Min version actually observed per object already returned.
+    observed_floor: HashMap<ObjectId, Version>,
+}
+
+impl TxnRecord {
+    /// The reads recorded so far, in order.
+    pub fn read_set(&self) -> &ReadSet {
+        &self.reads
+    }
+
+    /// Checks a prospective read of `key` at `version` carrying `deps`
+    /// against everything this transaction has already observed, in
+    /// O(|deps|). Returns the same verdict as running
+    /// [`crate::consistency::check_read`] over the full read set:
+    /// Equation 2 (current read stale) takes precedence, and among multiple
+    /// candidates the one with the largest version gap is reported.
+    pub fn check_read(
+        &self,
+        key: ObjectId,
+        version: Version,
+        deps: &DependencyList,
+    ) -> Option<Violation> {
+        // Equation 2: some earlier read expects `key` at a newer version.
+        // `expected` holds the max requirement, which is exactly the
+        // worst-gap candidate the full scan would report.
+        if let Some(&required) = self.expected.get(&key) {
+            if required > version {
+                return Some(Violation {
+                    violating_object: key,
+                    observed_version: version,
+                    expected_version: required,
+                    kind: ViolationKind::CurrentReadStale,
+                });
+            }
+        }
+
+        // Equation 1: the current read's expectations show that an object
+        // already returned to the client is stale. Candidates come from the
+        // current dependency list and — for a re-read — the current version
+        // itself; `observed_floor` holds the min observed version, which
+        // maximises the gap per object.
+        let mut worst: Option<Violation> = None;
+        if let Some(&floor) = self.observed_floor.get(&key) {
+            if version > floor {
+                worst = pick_worse(
+                    worst,
+                    Violation {
+                        violating_object: key,
+                        observed_version: floor,
+                        expected_version: version,
+                        kind: ViolationKind::PreviousReadStale,
+                    },
+                );
+            }
+        }
+        for entry in deps.iter() {
+            if entry.object == key {
+                // An entry never depends on itself; the re-read case above
+                // already covers `key`.
+                continue;
+            }
+            if let Some(&floor) = self.observed_floor.get(&entry.object) {
+                if entry.version > floor {
+                    worst = pick_worse(
+                        worst,
+                        Violation {
+                            violating_object: entry.object,
+                            observed_version: floor,
+                            expected_version: entry.version,
+                            kind: ViolationKind::PreviousReadStale,
+                        },
+                    );
+                }
+            }
+        }
+        worst
+    }
+
+    /// Records a completed read, updating the incremental indexes.
+    pub fn record_read(
+        &mut self,
+        object: ObjectId,
+        version: Version,
+        dependencies: Arc<DependencyList>,
+    ) {
+        // The observed pair itself is an expectation for later reads…
+        raise(&mut self.expected, object, version);
+        // …and so is every entry of its dependency list.
+        for entry in dependencies.iter() {
+            raise(&mut self.expected, entry.object, entry.version);
+        }
+        lower(&mut self.observed_floor, object, version);
+        self.reads.push(ReadRecord::new(object, version, dependencies));
+    }
+}
+
+fn raise(map: &mut HashMap<ObjectId, Version>, object: ObjectId, version: Version) {
+    map.entry(object)
+        .and_modify(|v| *v = (*v).max(version))
+        .or_insert(version);
+}
+
+fn lower(map: &mut HashMap<ObjectId, Version>, object: ObjectId, version: Version) {
+    map.entry(object)
+        .and_modify(|v| {
+            if version < *v {
+                *v = version;
+            }
+        })
+        .or_insert(version);
+}
+
+/// The table of in-progress read-only transactions at one cache server
+/// (single stripe; see [`ShardedTransactionTable`] for the concurrent
+/// wrapper).
 #[derive(Debug, Default)]
 pub struct TransactionTable {
-    records: HashMap<TxnId, ReadSet>,
+    records: HashMap<TxnId, TxnRecord>,
 }
 
 impl TransactionTable {
@@ -30,10 +174,29 @@ impl TransactionTable {
         self.records.is_empty()
     }
 
-    /// Returns the read set recorded so far for `txn` (empty if the
+    /// Returns the read set recorded so far for `txn` (`None` if the
     /// transaction has not been seen yet).
     pub fn read_set(&self, txn: TxnId) -> Option<&ReadSet> {
+        self.records.get(&txn).map(TxnRecord::read_set)
+    }
+
+    /// Returns the full record for `txn`, if any.
+    pub fn record(&self, txn: TxnId) -> Option<&TxnRecord> {
         self.records.get(&txn)
+    }
+
+    /// Checks a prospective read for `txn` against its previous reads in
+    /// O(|deps|); a transaction with no record passes trivially.
+    pub fn check_read(
+        &self,
+        txn: TxnId,
+        key: ObjectId,
+        version: Version,
+        deps: &DependencyList,
+    ) -> Option<Violation> {
+        self.records
+            .get(&txn)
+            .and_then(|r| r.check_read(key, version, deps))
     }
 
     /// Records a completed read for `txn`.
@@ -42,18 +205,18 @@ impl TransactionTable {
         txn: TxnId,
         object: ObjectId,
         version: Version,
-        dependencies: DependencyList,
+        dependencies: impl Into<Arc<DependencyList>>,
     ) {
         self.records
             .entry(txn)
             .or_default()
-            .push(ReadRecord::new(object, version, dependencies));
+            .record_read(object, version, dependencies.into());
     }
 
-    /// Removes and returns the record for `txn` (used on `last_op` and on
+    /// Removes and returns the read set for `txn` (used on `last_op` and on
     /// abort). Subsequent reads with the same id start a fresh transaction.
     pub fn finish(&mut self, txn: TxnId) -> Option<ReadSet> {
-        self.records.remove(&txn)
+        self.records.remove(&txn).map(|r| r.reads)
     }
 
     /// The `(object, version)` pairs observed so far by `txn`, in read
@@ -61,8 +224,60 @@ impl TransactionTable {
     pub fn observed(&self, txn: TxnId) -> Vec<(ObjectId, Version)> {
         self.records
             .get(&txn)
-            .map(|rs| rs.iter().map(|r| (r.object, r.version)).collect())
+            .map(|r| r.reads.iter().map(|rec| (rec.object, rec.version)).collect())
             .unwrap_or_default()
+    }
+}
+
+/// Number of stripes used by [`ShardedTransactionTable::with_default_stripes`].
+pub const DEFAULT_TXN_STRIPES: usize = 16;
+
+/// A transaction table striped by `TxnId` hash, each stripe behind its own
+/// lock, so concurrent clients (distinct transaction ids) never serialize
+/// on a single table lock.
+#[derive(Debug)]
+pub struct ShardedTransactionTable {
+    stripes: Striped<TransactionTable>,
+}
+
+impl Default for ShardedTransactionTable {
+    fn default() -> Self {
+        ShardedTransactionTable::with_default_stripes()
+    }
+}
+
+impl ShardedTransactionTable {
+    /// Creates a table with [`DEFAULT_TXN_STRIPES`] stripes.
+    pub fn with_default_stripes() -> Self {
+        ShardedTransactionTable::new(DEFAULT_TXN_STRIPES)
+    }
+
+    /// Creates a table with `stripes` stripes (rounded up to a power of
+    /// two).
+    ///
+    /// # Panics
+    /// Panics if `stripes` is zero.
+    pub fn new(stripes: usize) -> Self {
+        ShardedTransactionTable {
+            stripes: Striped::new(stripes, TransactionTable::new),
+        }
+    }
+
+    /// The stripe responsible for `txn`. Callers lock it for the duration
+    /// of a check-and-record sequence so the two are atomic per
+    /// transaction.
+    pub fn stripe(&self, txn: TxnId) -> &parking_lot::Mutex<TransactionTable> {
+        self.stripes.stripe_for(txn.as_u64())
+    }
+
+    /// Total number of transactions tracked across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Returns `true` if no stripe tracks any transaction.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| s.lock().is_empty())
     }
 }
 
@@ -106,5 +321,127 @@ mod tests {
         let t = TransactionTable::new();
         assert!(t.observed(TxnId(5)).is_empty());
         assert!(t.read_set(TxnId(5)).is_none());
+        assert!(t.record(TxnId(5)).is_none());
+    }
+
+    #[test]
+    fn incremental_check_flags_stale_current_read() {
+        let mut t = TransactionTable::new();
+        let mut deps = DependencyList::bounded(3);
+        deps.record(ObjectId(2), Version(4));
+        // Read o1@5 whose deps expect o2 at >= 4.
+        t.record_read(TxnId(1), ObjectId(1), Version(5), deps);
+        let empty = DependencyList::bounded(0);
+        let v = t
+            .check_read(TxnId(1), ObjectId(2), Version(2), &empty)
+            .expect("stale current read detected");
+        assert_eq!(v.kind, ViolationKind::CurrentReadStale);
+        assert_eq!(v.violating_object, ObjectId(2));
+        assert_eq!(v.expected_version, Version(4));
+        assert_eq!(v.observed_version, Version(2));
+        // A fresh-enough read passes.
+        assert!(t.check_read(TxnId(1), ObjectId(2), Version(4), &empty).is_none());
+        // Unknown transactions pass trivially.
+        assert!(t.check_read(TxnId(9), ObjectId(2), Version(0), &empty).is_none());
+    }
+
+    #[test]
+    fn incremental_check_flags_stale_previous_read() {
+        let mut t = TransactionTable::new();
+        t.record_read(TxnId(1), ObjectId(2), Version(2), DependencyList::bounded(0));
+        let mut deps = DependencyList::bounded(3);
+        deps.record(ObjectId(2), Version(4));
+        let v = t
+            .check_read(TxnId(1), ObjectId(1), Version(5), &deps)
+            .expect("stale previous read detected");
+        assert_eq!(v.kind, ViolationKind::PreviousReadStale);
+        assert_eq!(v.violating_object, ObjectId(2));
+        assert_eq!(v.observed_version, Version(2));
+        assert_eq!(v.expected_version, Version(4));
+    }
+
+    #[test]
+    fn sharded_table_routes_by_transaction() {
+        let t = ShardedTransactionTable::new(4);
+        assert!(t.is_empty());
+        for i in 0..40u64 {
+            t.stripe(TxnId(i)).lock().record_read(
+                TxnId(i),
+                ObjectId(i),
+                Version(1),
+                DependencyList::bounded(0),
+            );
+        }
+        assert_eq!(t.len(), 40);
+        assert_eq!(
+            t.stripe(TxnId(7)).lock().observed(TxnId(7)),
+            vec![(ObjectId(7), Version(1))]
+        );
+        t.stripe(TxnId(7)).lock().finish(TxnId(7));
+        assert_eq!(t.len(), 39);
+    }
+}
+
+#[cfg(test)]
+mod equivalence_proptests {
+    //! The incremental O(deps) check must agree with the full predicate
+    //! scan of [`crate::consistency::check_read`] on detection verdicts.
+
+    use super::*;
+    use crate::consistency::check_read as full_check;
+    use proptest::prelude::*;
+
+    fn deplist(pairs: &[(u64, u64)]) -> DependencyList {
+        let mut d = DependencyList::unbounded();
+        for &(k, v) in pairs {
+            d.record(ObjectId(k), Version(v));
+        }
+        d
+    }
+
+    proptest! {
+        /// For random transactions, the incremental check and the full scan
+        /// agree on whether a violation exists, on the violating object's
+        /// staleness kind, and on the reported gap.
+        #[test]
+        fn incremental_check_matches_full_scan(
+            reads in prop::collection::vec(
+                ((0u64..8, 0u64..12), prop::collection::vec((0u64..8, 0u64..12), 0..4)),
+                0..6,
+            ),
+            key in 0u64..8,
+            ver in 0u64..12,
+            cur_deps in prop::collection::vec((0u64..8, 0u64..12), 0..4),
+        ) {
+            let mut record = TxnRecord::default();
+            let mut read_set = tcache_types::ReadSet::new();
+            for ((k, v), deps) in reads {
+                let deps = deplist(&deps);
+                read_set.push(tcache_types::ReadRecord::new(
+                    ObjectId(k), Version(v), deps.clone(),
+                ));
+                record.record_read(ObjectId(k), Version(v), Arc::new(deps));
+            }
+            // The dependency list of a real entry never contains the entry
+            // itself; mirror that invariant here.
+            let cur_deps: Vec<(u64, u64)> =
+                cur_deps.into_iter().filter(|&(k, _)| k != key).collect();
+            let deps = deplist(&cur_deps);
+
+            let fast = record.check_read(ObjectId(key), Version(ver), &deps);
+            let slow = full_check(&read_set, ObjectId(key), Version(ver), &deps);
+            match (fast, slow) {
+                (None, None) => {}
+                (Some(f), Some(s)) => {
+                    prop_assert_eq!(f.kind, s.kind);
+                    prop_assert_eq!(f.expected_version, s.expected_version);
+                    prop_assert_eq!(f.observed_version, s.observed_version);
+                    // For CurrentReadStale the violator is `key` in both; for
+                    // PreviousReadStale both report a worst-gap object, and
+                    // the gap is what matters for strategy decisions.
+                }
+                (f, s) => prop_assert!(false, "verdicts differ: fast {f:?} vs slow {s:?}"),
+            }
+        }
     }
 }

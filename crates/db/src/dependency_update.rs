@@ -8,6 +8,7 @@
 //! so subsequent readers of any one of them learn the minimum versions of the
 //! others they must observe.
 
+use std::sync::Arc;
 use tcache_types::{DependencyList, ObjectId, Version};
 
 /// One accessed object as seen by the committing transaction: its key, the
@@ -19,8 +20,9 @@ pub struct AccessedObject {
     pub key: ObjectId,
     /// The version observed when the transaction read the object.
     pub observed_version: Version,
-    /// The dependency list attached to the observed version.
-    pub dependencies: DependencyList,
+    /// The dependency list attached to the observed version (shared with
+    /// the store entry it was read from).
+    pub dependencies: Arc<DependencyList>,
     /// Whether the transaction writes this object.
     pub written: bool,
 }
@@ -80,11 +82,15 @@ impl AggregatedDependencies {
 
     /// Produces the dependency list to store with written object `key`:
     /// the aggregated list without `key` itself, pruned to the bound.
+    ///
+    /// Built directly from the aggregated entries (which are already
+    /// most-recent-first and duplicate-free), so deriving a per-object list
+    /// is one bounded collect — no full-list clone, remove and re-prune.
     pub fn list_for(&self, key: ObjectId) -> DependencyList {
-        let mut list = self.full.clone();
-        list.remove(key);
-        list.set_bound(self.bound);
-        list
+        DependencyList::from_most_recent(
+            self.full.iter().filter(|e| e.object != key).copied(),
+            self.bound,
+        )
     }
 }
 
@@ -107,7 +113,7 @@ mod tests {
         AccessedObject {
             key: o(key),
             observed_version: v(ver),
-            dependencies: list,
+            dependencies: list.into(),
             written,
         }
     }

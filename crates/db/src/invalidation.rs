@@ -105,7 +105,8 @@ mod tests {
         assert!(!batch.is_empty());
         assert_eq!(batch.invalidations(), &invs[..]);
         assert_eq!(batch.iter().count(), 3);
-        let collected: Vec<_> = batch.clone().into_iter().collect();
+        // Consuming iteration last, so no clone of the batch is needed.
+        let collected: Vec<_> = batch.into_iter().collect();
         assert_eq!(collected, invs);
         assert!(InvalidationBatch::default().is_empty());
     }

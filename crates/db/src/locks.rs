@@ -41,7 +41,7 @@ impl ObjectLock {
             LockMode::Exclusive => {
                 let only_self_shared =
                     self.shared.is_empty() || (self.shared.len() == 1 && self.shared.contains(&txn));
-                let exclusive_ok = self.exclusive.map_or(true, |holder| holder == txn);
+                let exclusive_ok = self.exclusive.is_none_or(|holder| holder == txn);
                 only_self_shared && exclusive_ok
             }
         }

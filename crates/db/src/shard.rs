@@ -86,19 +86,27 @@ impl Shard {
 
     /// Phase one of two-phase commit: lock the written objects exclusively
     /// and stage the writes. Returns the shard's vote.
+    ///
+    /// Locks are acquired *before* the existence check so the check cannot
+    /// race with concurrent writers, and every acquired lock is released on
+    /// the `Vote::No` path — a shard that votes no never leaves partial
+    /// locks behind.
     pub fn prepare(&self, txn: TxnId, writes: Vec<PreparedWrite>) -> Vote {
         let objects: Vec<ObjectId> = writes.iter().map(|w| w.object).collect();
-        // Verify every object exists before voting yes.
-        if objects.iter().any(|&o| !self.store.contains(o)) {
+        if self
+            .locks
+            .try_lock_all(txn, &objects, LockMode::Exclusive)
+            .is_err()
+        {
+            // try_lock_all is all-or-nothing: a conflict grants nothing.
             return Vote::No;
         }
-        match self.locks.try_lock_all(txn, &objects, LockMode::Exclusive) {
-            Ok(()) => {
-                self.prepared.lock().insert(txn, writes);
-                Vote::Yes
-            }
-            Err(_) => Vote::No,
+        if objects.iter().any(|&o| !self.store.contains(o)) {
+            self.locks.release_all(txn);
+            return Vote::No;
         }
+        self.prepared.lock().insert(txn, writes);
+        Vote::Yes
     }
 
     /// Phase two (success): install every staged write and release locks.
@@ -206,6 +214,31 @@ mod tests {
     fn prepare_unknown_object_votes_no() {
         let s = shard_with(1);
         assert_eq!(s.prepare(TxnId(1), vec![write(99, 1, 1)]), Vote::No);
+    }
+
+    #[test]
+    fn rejected_prepare_leaks_no_partial_locks() {
+        // A prepare touching an existing and a missing object votes no; the
+        // lock it already acquired on the existing object must be released,
+        // so a subsequent transaction can lock and commit it.
+        let s = shard_with(2);
+        assert_eq!(
+            s.prepare(TxnId(1), vec![write(0, 5, 1), write(99, 5, 1)]),
+            Vote::No
+        );
+        assert_eq!(s.prepared_count(), 0, "nothing may be staged after a no vote");
+        assert_eq!(
+            s.prepare(TxnId(2), vec![write(0, 7, 2), write(1, 7, 2)]),
+            Vote::Yes,
+            "the rejected prepare must not leave object 0 locked"
+        );
+        s.commit(TxnId(2)).unwrap();
+        assert_eq!(s.store().get(ObjectId(0)).unwrap().value.numeric(), 7);
+        // The original transaction holds nothing either: aborting it is a
+        // no-op and it can start over cleanly.
+        s.abort(TxnId(1));
+        assert_eq!(s.prepare(TxnId(1), vec![write(1, 9, 3)]), Vote::Yes);
+        s.abort(TxnId(1));
     }
 
     #[test]

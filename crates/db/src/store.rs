@@ -6,11 +6,15 @@
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::Arc;
 use tcache_types::{
     DependencyList, ObjectEntry, ObjectId, TCacheError, TCacheResult, TxnId, Value, Version,
 };
 
 /// One historical version of an object, retained for auditing.
+///
+/// The dependency list is shared (`Arc`) with the live entry that installed
+/// it, so keeping history costs no dependency-list copies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistoricalVersion {
     /// The version installed.
@@ -18,7 +22,7 @@ pub struct HistoricalVersion {
     /// The value installed.
     pub value: Value,
     /// The dependency list installed with it.
-    pub dependencies: DependencyList,
+    pub dependencies: Arc<DependencyList>,
     /// The transaction that installed it, if any (`None` for the initial
     /// populate).
     pub installed_by: Option<TxnId>,
@@ -53,6 +57,7 @@ impl VersionedStore {
     /// list, replacing any previous entry.
     pub fn insert_initial(&self, id: ObjectId, value: Value) {
         let entry = ObjectEntry::initial(id, value.clone());
+        let dependencies = Arc::clone(&entry.dependencies);
         self.objects.write().insert(id, entry);
         if self.history_depth > 0 {
             self.history.write().insert(
@@ -60,7 +65,7 @@ impl VersionedStore {
                 vec![HistoricalVersion {
                     version: Version::INITIAL,
                     value,
-                    dependencies: DependencyList::unbounded(),
+                    dependencies,
                     installed_by: None,
                 }],
             );
@@ -68,6 +73,9 @@ impl VersionedStore {
     }
 
     /// Returns a copy of the current entry for `id`.
+    ///
+    /// The copy is cheap: the value blob and the dependency list are shared
+    /// by reference count with the stored entry.
     pub fn get(&self, id: ObjectId) -> TCacheResult<ObjectEntry> {
         self.objects
             .read()
@@ -113,16 +121,17 @@ impl VersionedStore {
         id: ObjectId,
         value: Value,
         version: Version,
-        dependencies: DependencyList,
+        dependencies: impl Into<Arc<DependencyList>>,
         installed_by: TxnId,
     ) -> TCacheResult<()> {
+        let dependencies = dependencies.into();
         let mut objects = self.objects.write();
         let entry = objects
             .get_mut(&id)
             .ok_or(TCacheError::UnknownObject(id))?;
         entry.value = value.clone();
         entry.version = version;
-        entry.dependencies = dependencies.clone();
+        entry.dependencies = Arc::clone(&dependencies);
         drop(objects);
 
         if self.history_depth > 0 {
@@ -225,7 +234,7 @@ mod tests {
         let e = s.get(ObjectId(0)).unwrap();
         assert_eq!(e.value.numeric(), 42);
         assert_eq!(e.version, Version(7));
-        assert_eq!(e.dependencies, deps);
+        assert_eq!(*e.dependencies, deps);
     }
 
     #[test]

@@ -11,15 +11,16 @@
 //!
 //! * [`sgt`] — an explicit serialization graph (update transactions plus one
 //!   read-only transaction) with cycle detection, the textbook construction;
-//! * [`monitor`] — the production checker used by the harness: a read-only
-//!   transaction is classified consistent when some point of the update
-//!   *commit order* covers all its reads (an interval-intersection test over
-//!   the version history). Placement in commit order implies
-//!   serializability, so this test is **conservative**: everything the SGT
-//!   flags as non-serializable is also flagged here, and the rare histories
-//!   where independent updates could be reordered to accommodate the reads
-//!   are counted as inconsistent as well. Property tests assert exactly this
-//!   one-sided relationship.
+//! * [`monitor`] — the checker used by the harness, layering the two: a
+//!   read-only transaction is first tested against the update *commit
+//!   order* (an interval-intersection test over the version history — cheap
+//!   and conservative, since placement in commit order implies
+//!   serializability), and only reads failing that fast path are re-checked
+//!   with the exact SGT, which additionally accepts the rare histories
+//!   where independent updates can be reordered to accommodate the reads.
+//!   Property tests assert the one-sided relationship between the two
+//!   checkers (interval-consistent ⇒ SGT-consistent) that makes this
+//!   layering sound.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

@@ -5,28 +5,37 @@
 //! transactions from the cache — and classifies each read-only transaction
 //! as consistent, inconsistent, or (un)justifiably aborted.
 //!
-//! A transaction is classified *consistent* when its reads can be placed at
-//! a single point of the update **commit order** (see
-//! [`VersionHistory::reads_consistent`]). This is a conservative
-//! approximation of serializability — see [`crate::sgt`] for the exact
-//! serialization-graph checker and the property tests relating the two.
+//! Classification is two-tiered:
 //!
-//! Because the database serializes update transactions in version order and
-//! versions increase monotonically with commit time, a read-only
-//! transaction's verdict never changes once issued (a later update can only
-//! introduce versions newer than everything the transaction could have
-//! read). The monitor therefore classifies each transaction the moment it is
-//! reported, which keeps memory bounded and lets the harness build
-//! time series from the returned [`TransactionClass`].
+//! 1. the **interval test** ([`VersionHistory::reads_consistent`]): the
+//!    reads are consistent if a single point of the update *commit order*
+//!    covers all of them. This is cheap (O(reads)) and conservative —
+//!    everything it accepts is serializable;
+//! 2. reads the interval test rejects are re-examined with the **exact
+//!    serialization-graph oracle** ([`crate::sgt`]): independent updates may
+//!    commute, so a read set with no single commit-order point can still be
+//!    serializable. Only reads the SGT also rejects are counted
+//!    inconsistent.
+//!
+//! The fast path covers the overwhelming majority of transactions; the
+//! graph is built only for the rare interval failures. Because the database
+//! serializes update transactions in version order and versions increase
+//! monotonically with commit time, a read-only transaction's verdict never
+//! changes once issued (a later update can only introduce versions newer
+//! than everything the transaction could have read), so each transaction is
+//! classified the moment it is reported. Per-read-only-transaction state is
+//! dropped immediately; the update history grows with the run, as any exact
+//! oracle's must.
 
 use crate::history::VersionHistory;
 use crate::report::{MonitorReport, TransactionClass};
+use crate::sgt::SerializationGraph;
 use tcache_types::{ObjectId, TransactionRecord, Version};
 
 /// The consistency monitor.
 #[derive(Debug, Default)]
 pub struct ConsistencyMonitor {
-    history: VersionHistory,
+    sgt: SerializationGraph,
     report: MonitorReport,
 }
 
@@ -40,9 +49,7 @@ impl ConsistencyMonitor {
     /// version history).
     pub fn record_update_commit(&mut self, record: &TransactionRecord) {
         debug_assert!(record.is_update() && record.committed);
-        for &(object, version) in &record.writes {
-            self.history.record_write(object, version, record.id);
-        }
+        self.sgt.add_update(record);
         self.report.updates_committed += 1;
     }
 
@@ -63,7 +70,7 @@ impl ConsistencyMonitor {
         reads: &[(ObjectId, Version)],
         committed: bool,
     ) -> TransactionClass {
-        let consistent = self.history.reads_consistent(reads);
+        let consistent = self.reads_serializable(reads);
         let class = match (committed, consistent) {
             (true, true) => TransactionClass::CommittedConsistent,
             (true, false) => TransactionClass::CommittedInconsistent,
@@ -79,6 +86,16 @@ impl ConsistencyMonitor {
         class
     }
 
+    /// Decides whether `reads` is serializable with the update history:
+    /// interval test first, exact SGT (bounded reachability form) on
+    /// interval failure.
+    fn reads_serializable(&self, reads: &[(ObjectId, Version)]) -> bool {
+        if self.sgt.history().reads_consistent(reads) {
+            return true;
+        }
+        self.sgt.read_only_consistent_fast(reads)
+    }
+
     /// Convenience wrapper accepting a [`TransactionRecord`] from a cache.
     pub fn record_read_only_record(&mut self, record: &TransactionRecord) -> TransactionClass {
         debug_assert!(!record.is_update());
@@ -87,7 +104,7 @@ impl ConsistencyMonitor {
 
     /// The version history assembled so far.
     pub fn history(&self) -> &VersionHistory {
-        &self.history
+        self.sgt.history()
     }
 
     /// The aggregate report so far.
@@ -128,8 +145,8 @@ mod tests {
             m.record_read_only(&[(o(1), v(2)), (o(2), v(1))], true),
             TransactionClass::CommittedConsistent
         );
-        // Inconsistent: o1 from before txn 2, o2 from after txn 1, but o1@0
-        // requires a point before version 1 while o2@1 requires on/after 1.
+        // Inconsistent: o1@0 requires a point before txn 1, o2@1 on/after
+        // it — and txn 1 wrote both objects, so no reordering can help.
         assert_eq!(
             m.record_read_only(&[(o(1), v(0)), (o(2), v(1))], true),
             TransactionClass::CommittedInconsistent
@@ -138,6 +155,30 @@ mod tests {
         assert_eq!(r.committed_consistent, 1);
         assert_eq!(r.committed_inconsistent, 1);
         assert_eq!(r.updates_committed, 2);
+    }
+
+    #[test]
+    fn commuting_independent_updates_are_not_flagged() {
+        // t1 writes o1@1; t2 writes o2@2. The updates do not conflict, so a
+        // reader observing o1@0 (before t1) and o2@2 (after t2) is
+        // serializable as t2, R, t1 — the interval test alone would flag it,
+        // the SGT fallback accepts it.
+        let mut m = ConsistencyMonitor::new();
+        m.record_update_commit(&update(1, 1, &[1]));
+        m.record_update_commit(&update(2, 2, &[2]));
+        assert_eq!(
+            m.record_read_only(&[(o(1), v(0)), (o(2), v(2))], true),
+            TransactionClass::CommittedConsistent
+        );
+        // With a conflict between the updates (t2 also writes o1), the same
+        // read set is genuinely non-serializable.
+        let mut m = ConsistencyMonitor::new();
+        m.record_update_commit(&update(1, 1, &[1]));
+        m.record_update_commit(&update(2, 2, &[1, 2]));
+        assert_eq!(
+            m.record_read_only(&[(o(1), v(0)), (o(2), v(2))], true),
+            TransactionClass::CommittedInconsistent
+        );
     }
 
     #[test]
@@ -204,6 +245,16 @@ mod tests {
         assert_eq!(
             m.record_read_only(&[], true),
             TransactionClass::CommittedConsistent
+        );
+    }
+
+    #[test]
+    fn reading_a_nonexistent_version_is_inconsistent() {
+        let mut m = ConsistencyMonitor::new();
+        m.record_update_commit(&update(1, 1, &[1]));
+        assert_eq!(
+            m.record_read_only(&[(o(1), v(9))], true),
+            TransactionClass::CommittedInconsistent
         );
     }
 }

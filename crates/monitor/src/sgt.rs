@@ -15,6 +15,7 @@
 
 use crate::graph::DiGraph;
 use crate::history::VersionHistory;
+use std::collections::{HashMap, HashSet};
 use tcache_types::{ObjectId, TransactionRecord, TxnId, Version};
 
 /// A node of the serialization graph.
@@ -28,10 +29,42 @@ pub enum Node {
 }
 
 /// A serialization graph built from a history of committed transactions.
+///
+/// Besides the record list that [`SerializationGraph::read_only_consistent`]
+/// rebuilds a [`DiGraph`] from, the graph maintains its update→update edges
+/// **incrementally** as records arrive (edges from a transaction's version
+/// predecessors and readers-of-overwritten-versions). When records arrive in
+/// version order — which they always do coming from the database, whose
+/// commit order *is* version order — every maintained edge points from a
+/// lower-version transaction to a higher-version one, and
+/// [`SerializationGraph::read_only_consistent_fast`] answers candidate
+/// queries with a version-bounded reachability search instead of an O(n)
+/// graph rebuild. Out-of-order records flip a flag that routes fast queries
+/// through the exact rebuild path instead.
 #[derive(Debug, Default)]
 pub struct SerializationGraph {
     history: VersionHistory,
+    /// Full records, retained to serve the exact rebuild path
+    /// ([`SerializationGraph::read_only_consistent`] and the out-of-order
+    /// fallback of the fast query). Retention cannot be deferred until
+    /// `out_of_order` flips: the rebuild needs every record from the start
+    /// of the history, so dropping early records would silently break the
+    /// fallback. Memory is the same order as the adjacency lists
+    /// (per-record reads + writes); histories beyond what a process should
+    /// retain belong in an external log, not this in-memory oracle.
     updates: Vec<TransactionRecord>,
+    /// Update→update successor lists, maintained incrementally.
+    adjacency: HashMap<TxnId, Vec<TxnId>>,
+    /// The (max) version each update transaction installed.
+    txn_version: HashMap<TxnId, Version>,
+    /// Which update transactions read each installed `(object, version)`
+    /// pair; consulted to add read→overwriter anti-dependency edges when
+    /// the overwrite arrives.
+    readers: HashMap<(ObjectId, Version), Vec<TxnId>>,
+    /// Set when an edge or record arrives out of version order, breaking
+    /// the invariant the fast query's pruning relies on; fast queries then
+    /// take the exact rebuild path instead.
+    out_of_order: bool,
 }
 
 impl SerializationGraph {
@@ -43,10 +76,76 @@ impl SerializationGraph {
     /// Adds a committed update transaction to the history.
     pub fn add_update(&mut self, record: &TransactionRecord) {
         debug_assert!(record.is_update() && record.committed);
+        let version = record
+            .writes
+            .iter()
+            .map(|&(_, v)| v)
+            .max()
+            .unwrap_or(Version::INITIAL);
+        self.txn_version.insert(record.id, version);
+
         for &(object, version) in &record.writes {
+            // Incremental edges, derived before the write enters the
+            // history: the previous writer precedes this transaction, and
+            // so does everything that read the version being overwritten.
+            let prev = self.history.latest_version(object);
+            if version < prev {
+                self.out_of_order = true;
+            }
+            if let Some(writer) = self.history.writer_of(object, prev) {
+                self.add_adjacency(writer, record.id);
+            }
+            // In-order, nothing reads a version after it is overwritten, so
+            // the reader list can be consumed (freeing it) rather than
+            // cloned; a late out-of-order reader flips `out_of_order` and
+            // queries fall back to the rebuild, which ignores this index.
+            if let Some(readers) = self.readers.remove(&(object, prev)) {
+                for reader in readers {
+                    self.add_adjacency(reader, record.id);
+                }
+            }
             self.history.record_write(object, version, record.id);
         }
+
+        for &(object, version) in &record.reads {
+            match self.history.writer_of(object, version) {
+                Some(writer) if writer != record.id => {
+                    self.add_adjacency(writer, record.id);
+                }
+                Some(_) => {}
+                None if version != Version::INITIAL => {
+                    // An update claiming to have read a version that was
+                    // never installed: the incremental reader index cannot
+                    // model it, so route fast queries through the rebuild.
+                    self.out_of_order = true;
+                }
+                None => {}
+            }
+            if let Some((_, next)) = self.history.next_write_after(object, version) {
+                if next != record.id {
+                    self.add_adjacency(record.id, next);
+                }
+            }
+            self.readers.entry((object, version)).or_default().push(record.id);
+        }
+
         self.updates.push(record.clone());
+    }
+
+    fn add_adjacency(&mut self, from: TxnId, to: TxnId) {
+        if from == to {
+            return;
+        }
+        let (fv, tv) = (self.txn_version.get(&from), self.txn_version.get(&to));
+        if let (Some(fv), Some(tv)) = (fv, tv) {
+            if fv >= tv {
+                self.out_of_order = true;
+            }
+        }
+        let succ = self.adjacency.entry(from).or_default();
+        if !succ.contains(&to) {
+            succ.push(to);
+        }
     }
 
     /// The version history assembled so far.
@@ -138,6 +237,83 @@ impl SerializationGraph {
             }
         }
         !self.build_graph(reads, candidate).has_cycle()
+    }
+
+    /// Same verdict as [`SerializationGraph::read_only_consistent`], but
+    /// answered from the incrementally maintained edges with a bounded
+    /// reachability search.
+    ///
+    /// The candidate read-only transaction `R` has incoming edges from the
+    /// writers of the versions it read (its *predecessors* `P`) and outgoing
+    /// anti-dependency edges to the writers of the next versions (its
+    /// *successors* `S`). Adding `R` creates a cycle iff some `p ∈ P` is
+    /// reachable from some `s ∈ S` among the update transactions. When the
+    /// history is version-ordered, every update edge increases the version,
+    /// so the search from `S` can prune any transaction whose version
+    /// exceeds `max(version(P))` — in practice that confines it to the
+    /// staleness window of the read set, a handful of transactions, which
+    /// is what makes the exact oracle affordable on every query.
+    pub fn read_only_consistent_fast(&self, reads: &[(ObjectId, Version)]) -> bool {
+        if self.out_of_order {
+            // Fall back to the exact rebuild; the pruning below would be
+            // unsound on a non-version-ordered edge set.
+            return self.read_only_consistent(TxnId(u64::MAX), reads);
+        }
+        let mut predecessors: HashSet<TxnId> = HashSet::new();
+        let mut successors: HashSet<TxnId> = HashSet::new();
+        for &(object, version) in reads {
+            match self.history.writer_of(object, version) {
+                Some(writer) => {
+                    predecessors.insert(writer);
+                }
+                None if version != Version::INITIAL => return false,
+                None => {}
+            }
+            if let Some((_, next)) = self.history.next_write_after(object, version) {
+                successors.insert(next);
+            }
+        }
+        if successors.is_empty() || predecessors.is_empty() {
+            // R has no outgoing (or no incoming) edges: no cycle through R.
+            return true;
+        }
+        let horizon = predecessors
+            .iter()
+            .filter_map(|p| self.txn_version.get(p))
+            .max()
+            .copied()
+            .unwrap_or(Version::INITIAL);
+
+        // BFS from every successor, pruned to versions <= horizon.
+        let mut queue: Vec<TxnId> = Vec::new();
+        let mut visited: HashSet<TxnId> = HashSet::new();
+        for &s in &successors {
+            if self.txn_version.get(&s).is_some_and(|&v| v <= horizon) {
+                if predecessors.contains(&s) {
+                    return false;
+                }
+                if visited.insert(s) {
+                    queue.push(s);
+                }
+            }
+        }
+        while let Some(txn) = queue.pop() {
+            let Some(succ) = self.adjacency.get(&txn) else {
+                continue;
+            };
+            for &next in succ {
+                if self.txn_version.get(&next).is_none_or(|&v| v > horizon) {
+                    continue;
+                }
+                if predecessors.contains(&next) {
+                    return false;
+                }
+                if visited.insert(next) {
+                    queue.push(next);
+                }
+            }
+        }
+        true
     }
 
     /// Returns `true` if the update-only history is serializable. With the
@@ -316,6 +492,47 @@ mod proptests {
             let by_graph = sgt.read_only_consistent(TxnId(9999), &reads);
             prop_assert!(!by_interval || by_graph,
                 "interval-consistent reads must be SGT-consistent");
+        }
+
+        /// The incremental reachability query agrees with the exact
+        /// graph-rebuild checker on every in-order history.
+        #[test]
+        fn fast_query_matches_rebuild(
+            history in arb_history(),
+            reads in prop::collection::vec((0u64..6, 0u64..13), 1..5),
+        ) {
+            let mut sgt = SerializationGraph::new();
+            // Reads mirror the database: each update reads the actual
+            // current version of everything it writes.
+            let mut latest: std::collections::HashMap<u64, Version> = Default::default();
+            for (i, objects) in history.iter().enumerate() {
+                let version = Version(i as u64 + 1);
+                let mut distinct = objects.clone();
+                distinct.sort();
+                distinct.dedup();
+                let record = TransactionRecord::update_committed(
+                    TxnId(i as u64 + 1),
+                    distinct
+                        .iter()
+                        .map(|&o| {
+                            (ObjectId(o), latest.get(&o).copied().unwrap_or(Version::INITIAL))
+                        })
+                        .collect(),
+                    distinct.iter().map(|&o| (ObjectId(o), version)).collect(),
+                    SimTime::ZERO,
+                );
+                for &o in &distinct {
+                    latest.insert(o, version);
+                }
+                sgt.add_update(&record);
+            }
+            let reads: Vec<(ObjectId, Version)> = reads
+                .into_iter()
+                .map(|(o, v)| (ObjectId(o), Version(v)))
+                .collect();
+            let fast = sgt.read_only_consistent_fast(&reads);
+            let slow = sgt.read_only_consistent(TxnId(9999), &reads);
+            prop_assert_eq!(fast, slow, "fast and rebuild oracles disagree on {:?}", &reads);
         }
 
         /// Reads taken from a single prefix of the history (a true snapshot)

@@ -179,6 +179,18 @@ impl InvalidationChannel {
 }
 
 #[cfg(test)]
+impl InvalidationChannel {
+    /// Test helper: drain all pending messages in delivery order.
+    fn drain_ordered(&mut self) -> Vec<Invalidation> {
+        let mut out = Vec::new();
+        while let Some(Reverse(d)) = self.queue.pop() {
+            out.push(d.invalidation);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use tcache_types::{ObjectId, SimDuration, TxnId, Version};
@@ -279,17 +291,5 @@ mod tests {
         let due = ch.due(SimTime::ZERO);
         assert_eq!(due[0].object, ObjectId(9));
         assert_eq!(due[1].object, ObjectId(3));
-    }
-}
-
-#[cfg(test)]
-impl InvalidationChannel {
-    /// Test helper: drain all pending messages in delivery order.
-    fn drain_ordered(&mut self) -> Vec<Invalidation> {
-        let mut out = Vec::new();
-        while let Some(Reverse(d)) = self.queue.pop() {
-            out.push(d.invalidation);
-        }
-        out
     }
 }

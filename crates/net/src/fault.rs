@@ -3,9 +3,10 @@
 use rand::Rng;
 
 /// Decides whether an individual invalidation message is lost.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LossModel {
     /// Every message is delivered.
+    #[default]
     None,
     /// Each message is independently dropped with this probability
     /// (the paper's experiments use 0.2).
@@ -19,12 +20,6 @@ pub enum LossModel {
         /// Number of consecutive messages dropped once in a burst.
         burst_len: u32,
     },
-}
-
-impl Default for LossModel {
-    fn default() -> Self {
-        LossModel::None
-    }
 }
 
 impl LossModel {

@@ -8,7 +8,7 @@
 //! behaviour.
 
 use crate::fault::{LossModel, LossState};
-use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,11 +67,8 @@ impl LiveReceiver {
     /// Receives every invalidation currently queued without blocking.
     pub fn drain(&self) -> Vec<Invalidation> {
         let mut out = Vec::new();
-        loop {
-            match self.rx.try_recv() {
-                Ok(inv) => out.push(inv),
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
+        while let Ok(inv) = self.rx.try_recv() {
+            out.push(inv);
         }
         out
     }

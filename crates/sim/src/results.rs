@@ -79,11 +79,13 @@ mod tests {
     use tcache_types::SimDuration;
 
     fn sample() -> ExperimentResult {
-        let mut report = MonitorReport::default();
-        report.committed_consistent = 800;
-        report.committed_inconsistent = 100;
-        report.aborted_justified = 80;
-        report.aborted_unnecessary = 20;
+        let report = MonitorReport {
+            committed_consistent: 800,
+            committed_inconsistent: 100,
+            aborted_justified: 80,
+            aborted_unnecessary: 20,
+            ..MonitorReport::default()
+        };
         let cache = CacheStatsSnapshot {
             reads: 5000,
             hits: 4500,

@@ -1,0 +1,144 @@
+//! Offline, API-compatible subset of the `crossbeam-channel` crate.
+//!
+//! Provides the unbounded MPSC channel surface used by `tcache-net`'s live
+//! transport, implemented over `std::sync::mpsc`. (The real crate also
+//! offers MPMC receivers and `select!`; nothing in this workspace needs
+//! them.)
+
+use std::fmt;
+use std::sync::mpsc;
+
+/// Error returned by [`Sender::send`] when the receiver has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on a disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// All senders have been dropped and the channel is drained.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "channel empty"),
+            TryRecvError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// The sending half of an unbounded channel. Cloneable.
+#[derive(Debug, Clone)]
+pub struct Sender<T> {
+    tx: mpsc::Sender<T>,
+}
+
+/// The receiving half of an unbounded channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    rx: mpsc::Receiver<T>,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { tx }, Receiver { rx })
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, failing only if the receiver has been dropped.
+    ///
+    /// # Errors
+    /// Returns [`SendError`] carrying the value back when disconnected.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a value without blocking.
+    ///
+    /// # Errors
+    /// [`TryRecvError::Empty`] when no message is queued,
+    /// [`TryRecvError::Disconnected`] when the channel is closed and empty.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.rx.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Blocks until a value arrives or every sender is dropped.
+    ///
+    /// # Errors
+    /// Returns [`RecvError`] when the channel is closed and empty.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.rx.recv().map_err(|_| RecvError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cloned_senders_share_the_channel() {
+        let (tx, rx) = unbounded();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_the_value() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Supports the property-test surface used in this workspace: the
+//! [`strategy::Strategy`] trait with ranges, tuples, [`strategy::Just`],
+//! `prop_map` and [`collection::vec`]; the [`proptest!`], [`prop_assert!`]
+//! and [`prop_oneof!`] macros; and [`test_runner::ProptestConfig`].
+//!
+//! Unlike the real crate this shim does not shrink failing inputs — a
+//! failure reports the case number and message only — and input generation
+//! is seeded deterministically per test name so failures are reproducible.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespace mirror of proptest's `prop::*` re-exports.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+///
+/// (In real tests, put `#[test]` on each function inside the block.)
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            config = (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                // FNV-1a over the test name: deterministic, distinct per test.
+                let mut __seed: u64 = 0xcbf29ce484222325;
+                for __b in stringify!($name).bytes() {
+                    __seed = (__seed ^ __b as u64).wrapping_mul(0x100000001b3);
+                }
+                let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+                let ($($arg,)+) = ($($strategy,)+);
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)+
+                    let __inputs = format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        panic!(
+                            "proptest '{}' failed at case {}/{}: {}\ninputs: {}",
+                            stringify!($name), __case + 1, __config.cases, __e, __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Chooses uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 3u64..17, b in 0usize..5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b < 5);
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            items in prop::collection::vec((0u64..10, 0u64..10).prop_map(|(x, y)| x + y), 0..20),
+        ) {
+            prop_assert!(items.len() < 20);
+            prop_assert!(items.iter().all(|&v| v < 19));
+        }
+
+        #[test]
+        fn oneof_and_just(choice in prop_oneof![Just(1u64), Just(2), 5u64..7]) {
+            prop_assert!(choice == 1 || choice == 2 || choice == 5 || choice == 6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_honoured(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn generated_tests_run() {
+        ranges_respect_bounds();
+        vec_and_map_compose();
+        oneof_and_just();
+        config_is_honoured();
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest 'always_fails' failed")]
+    fn failures_panic_with_context() {
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline, API-compatible subset of the `rand_distr` crate.
+//!
+//! Only the pieces used by this workspace are provided: the
+//! [`Distribution`] trait and the exponential distribution [`Exp`]
+//! (inverse-transform sampling), which drives the Poisson arrival processes
+//! and the exponential latency model.
+
+use rand::{Rng, RngCore};
+
+/// Types that can produce random samples of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng` as the source of randomness.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned when constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpError {
+    /// The rate parameter λ was not strictly positive and finite.
+    LambdaTooSmall,
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exponential rate must be positive and finite")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// The exponential distribution `Exp(λ)` with mean `1/λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// # Errors
+    /// Returns [`ExpError::LambdaTooSmall`] unless `lambda` is strictly
+    /// positive and finite.
+    pub fn new(lambda: f64) -> Result<Exp, ExpError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError::LambdaTooSmall)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; (1 - u) avoids ln(0).
+        let u: f64 = rng.gen_range(0.0..1.0);
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_matches_one_over_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let exp = Exp::new(0.01).unwrap();
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum();
+        let observed = total / n as f64;
+        assert!((observed - 100.0).abs() < 2.0, "observed mean {observed}");
+    }
+
+    #[test]
+    fn samples_are_nonnegative_and_finite() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let exp = Exp::new(5.0).unwrap();
+        for _ in 0..10_000 {
+            let x = exp.sample(&mut rng);
+            assert!(x >= 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn invalid_lambda_is_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::INFINITY).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+}

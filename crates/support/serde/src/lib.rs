@@ -1,0 +1,147 @@
+//! Offline, API-compatible subset of the `serde` crate.
+//!
+//! The workspace cannot reach crates.io, so this shim provides just enough
+//! of serde's surface for the T-Cache crates:
+//!
+//! * `#[derive(Serialize, Deserialize)]` — re-exported marker derives that
+//!   expand to nothing (see `serde_derive`), keeping the annotations on the
+//!   domain types legal without generating code;
+//! * [`Serialize`] / [`Deserialize`] — simple value-model traits
+//!   (`to_json` / `from_json` over [`json::Json`]) implemented manually for
+//!   the types that are genuinely serialized (`ObjectId`,
+//!   `DependencyList`, …) and for the primitives they are built from.
+//!
+//! `serde_json`'s `to_string` / `from_str` in this workspace bound on these
+//! traits, so round-trip tests work exactly as with the real crates.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Json, JsonError};
+
+/// Types that can render themselves into the shim's JSON value model.
+pub trait Serialize {
+    /// Converts the value into a JSON tree.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can be rebuilt from the shim's JSON value model.
+pub trait Deserialize: Sized {
+    /// Rebuilds the value from a JSON tree.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] when the tree has the wrong shape.
+    fn from_json(value: &Json) -> Result<Self, JsonError>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                match value {
+                    Json::U64(n) => <$t>::try_from(*n).map_err(|_| JsonError::shape("integer out of range")),
+                    _ => Err(JsonError::shape("expected an unsigned integer")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(JsonError::shape("expected a boolean")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::F64(x) => Ok(*x),
+            Json::U64(n) => Ok(*n as f64),
+            _ => Err(JsonError::shape("expected a number")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(JsonError::shape("expected a string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Seq(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Seq(items) => items.iter().map(T::from_json).collect(),
+            _ => Err(JsonError::shape("expected an array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}

@@ -1,0 +1,23 @@
+//! Marker derives for the offline `serde` shim.
+//!
+//! The shimmed `serde::Serialize` / `serde::Deserialize` traits are only
+//! required (and manually implemented) for the handful of types that are
+//! actually serialized through `serde_json`. Everything else in the
+//! workspace uses `#[derive(Serialize, Deserialize)]` purely as an
+//! annotation, so these derives intentionally expand to nothing: the
+//! attribute stays legal, no impl is generated, and manual impls never
+//! conflict.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,58 @@
+//! Offline, API-compatible subset of the `serde_json` crate.
+//!
+//! Bridges the shimmed [`serde::Serialize`] / [`serde::Deserialize`] traits
+//! to JSON text via [`serde::json::Json`].
+
+pub use serde::json::{Json as Value, JsonError as Error};
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+/// Never fails for the value model used in this workspace; the `Result`
+/// mirrors `serde_json`'s signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().emit())
+}
+
+/// Deserializes a value from JSON text.
+///
+/// # Errors
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let parsed = serde::json::Json::parse(text)?;
+    T::from_json(&parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let s = to_string(&42u64).unwrap();
+        assert_eq!(s, "42");
+        let n: u64 = from_str(&s).unwrap();
+        assert_eq!(n, 42);
+
+        let v = vec![1u32, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        let back: Vec<u32> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn options_map_to_null() {
+        assert_eq!(to_string(&None::<u64>).unwrap(), "null");
+        assert_eq!(to_string(&Some(5u64)).unwrap(), "5");
+        let none: Option<u64> = from_str("null").unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        assert!(from_str::<u64>("\"hi\"").is_err());
+        assert!(from_str::<Vec<u64>>("7").is_err());
+        assert!(from_str::<u64>("not json").is_err());
+    }
+}

@@ -5,10 +5,11 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How the cache reacts when a read would violate consistency (§III-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum Strategy {
     /// Abort the current transaction and nothing else. Limits collateral
     /// damage to the running transaction.
+    #[default]
     Abort,
     /// Abort the current transaction **and** evict the violating (too old)
     /// object from the cache, guessing that future transactions would abort
@@ -33,12 +34,6 @@ impl fmt::Display for Strategy {
             Strategy::Evict => write!(f, "EVICT"),
             Strategy::Retry => write!(f, "RETRY"),
         }
-    }
-}
-
-impl Default for Strategy {
-    fn default() -> Self {
-        Strategy::Abort
     }
 }
 
@@ -91,9 +86,10 @@ impl fmt::Display for DependencyBound {
 }
 
 /// Time-to-live configuration for the TTL baseline cache (§V-B2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum TtlConfig {
     /// Entries never expire (the default for T-Cache itself).
+    #[default]
     Infinite,
     /// Entries are discarded after this long in the cache.
     Limited(SimDuration),
@@ -106,12 +102,6 @@ impl TtlConfig {
             TtlConfig::Infinite => None,
             TtlConfig::Limited(d) => Some(d),
         }
-    }
-}
-
-impl Default for TtlConfig {
-    fn default() -> Self {
-        TtlConfig::Infinite
     }
 }
 

@@ -83,6 +83,28 @@ impl DependencyList {
         }
     }
 
+    /// Builds a list directly from entries that are **already in
+    /// most-recent-first order with distinct objects**, keeping at most
+    /// `bound` of them (the rest — the least recent — are dropped).
+    ///
+    /// This is the allocation-minimal path for deriving one list from
+    /// another (e.g. the per-object lists cut from an aggregated commit
+    /// list): a single collect, no per-entry re-recording.
+    pub fn from_most_recent(
+        entries: impl IntoIterator<Item = DependencyEntry>,
+        bound: usize,
+    ) -> DependencyList {
+        let entries: Vec<DependencyEntry> = entries.into_iter().take(bound).collect();
+        debug_assert!(
+            {
+                let mut seen = std::collections::HashSet::new();
+                entries.iter().all(|e| seen.insert(e.object))
+            },
+            "from_most_recent requires distinct objects"
+        );
+        DependencyList { entries, bound }
+    }
+
     /// Returns the configured bound.
     pub fn bound(&self) -> usize {
         self.bound
@@ -250,6 +272,58 @@ impl<'a> IntoIterator for &'a DependencyList {
 
     fn into_iter(self) -> Self::IntoIter {
         self.entries.iter()
+    }
+}
+
+// Manual serde impls (the workspace's serde shim only generates marker
+// derives; these are the types that genuinely cross a serialization
+// boundary in tests and tooling).
+
+impl serde::Serialize for DependencyEntry {
+    fn to_json(&self) -> serde::json::Json {
+        serde::json::Json::Map(vec![
+            ("object".into(), self.object.to_json()),
+            ("version".into(), self.version.to_json()),
+        ])
+    }
+}
+
+impl serde::Deserialize for DependencyEntry {
+    fn from_json(value: &serde::json::Json) -> Result<Self, serde::json::JsonError> {
+        let object = value
+            .get("object")
+            .ok_or_else(|| serde::json::JsonError::shape("missing 'object'"))?;
+        let version = value
+            .get("version")
+            .ok_or_else(|| serde::json::JsonError::shape("missing 'version'"))?;
+        Ok(DependencyEntry {
+            object: ObjectId::from_json(object)?,
+            version: Version::from_json(version)?,
+        })
+    }
+}
+
+impl serde::Serialize for DependencyList {
+    fn to_json(&self) -> serde::json::Json {
+        serde::json::Json::Map(vec![
+            ("entries".into(), self.entries.to_json()),
+            ("bound".into(), serde::json::Json::U64(self.bound as u64)),
+        ])
+    }
+}
+
+impl serde::Deserialize for DependencyList {
+    fn from_json(value: &serde::json::Json) -> Result<Self, serde::json::JsonError> {
+        let entries = value
+            .get("entries")
+            .ok_or_else(|| serde::json::JsonError::shape("missing 'entries'"))?;
+        let bound = value
+            .get("bound")
+            .ok_or_else(|| serde::json::JsonError::shape("missing 'bound'"))?;
+        Ok(DependencyList {
+            entries: Vec::<DependencyEntry>::from_json(entries)?,
+            bound: usize::from_json(bound)?,
+        })
     }
 }
 

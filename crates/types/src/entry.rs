@@ -5,6 +5,7 @@ use crate::ids::{ObjectId, Version};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A `(value, version)` pair for a single object, without dependency
 /// information. This is what a plain, consistency-unaware cache would store.
@@ -34,6 +35,13 @@ impl fmt::Display for VersionedObject {
 /// The full representation of an object as stored by the T-Cache database
 /// and shipped to caches on misses: value, version and dependency list
 /// (§III-A).
+///
+/// The dependency list is immutable once installed and shared by reference
+/// count: the store, every cache stripe that holds the entry and every
+/// transaction record that observed it all point at the same allocation, so
+/// handing an entry to a reader is a couple of refcount bumps instead of a
+/// deep copy. To replace the list (e.g. re-bounding on a cache miss), build
+/// a new list and assign a fresh `Arc`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ObjectEntry {
     /// The object identifier.
@@ -43,7 +51,7 @@ pub struct ObjectEntry {
     /// The version of the transaction that last wrote the object.
     pub version: Version,
     /// Identifiers and versions of objects this version depends on.
-    pub dependencies: DependencyList,
+    pub dependencies: Arc<DependencyList>,
 }
 
 impl ObjectEntry {
@@ -53,22 +61,23 @@ impl ObjectEntry {
             id,
             value,
             version: Version::INITIAL,
-            dependencies: DependencyList::unbounded(),
+            dependencies: Arc::new(DependencyList::unbounded()),
         }
     }
 
-    /// Creates a fully specified entry.
+    /// Creates a fully specified entry. Accepts either an owned
+    /// [`DependencyList`] or an already shared `Arc<DependencyList>`.
     pub fn new(
         id: ObjectId,
         value: Value,
         version: Version,
-        dependencies: DependencyList,
+        dependencies: impl Into<Arc<DependencyList>>,
     ) -> Self {
         ObjectEntry {
             id,
             value,
             version,
-            dependencies,
+            dependencies: dependencies.into(),
         }
     }
 
@@ -117,6 +126,18 @@ mod tests {
         assert_eq!(v.id, ObjectId(3));
         assert_eq!(v.version, Version(9));
         assert_eq!(v.value.numeric(), 7);
+    }
+
+    #[test]
+    fn clones_share_the_dependency_list() {
+        let mut deps = DependencyList::bounded(4);
+        deps.record(ObjectId(1), Version(1));
+        let e = ObjectEntry::new(ObjectId(3), Value::new(7), Version(9), deps);
+        let copy = e.clone();
+        assert!(
+            std::sync::Arc::ptr_eq(&e.dependencies, &copy.dependencies),
+            "cloning an entry must not deep-copy its dependency list"
+        );
     }
 
     #[test]

@@ -164,6 +164,32 @@ impl From<u32> for ClientId {
     }
 }
 
+// Manual serde impls over the workspace's serde shim: the id newtypes
+// serialize as their raw integer, matching how real serde treats
+// transparent newtype structs.
+macro_rules! impl_id_serde {
+    ($($t:ty),*) => {$(
+        impl serde::Serialize for $t {
+            fn to_json(&self) -> serde::json::Json {
+                serde::json::Json::U64(self.0 as u64)
+            }
+        }
+        impl serde::Deserialize for $t {
+            fn from_json(value: &serde::json::Json) -> Result<Self, serde::json::JsonError> {
+                match value {
+                    serde::json::Json::U64(n) => Ok(Self(
+                        (*n).try_into()
+                            .map_err(|_| serde::json::JsonError::shape("id out of range"))?,
+                    )),
+                    _ => Err(serde::json::JsonError::shape("expected an integer id")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_id_serde!(ObjectId, Version, TxnId, CacheId, ClientId);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,6 +12,7 @@ use crate::time::SimTime;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Whether a transaction updates the database or only reads from a cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -91,6 +92,9 @@ impl From<Vec<u64>> for AccessSet {
 
 /// A single read performed by a transaction, with the version observed and
 /// the dependency list attached to that version.
+///
+/// The dependency list is shared with the cache/store entry it was read
+/// from (`Arc`), so recording a read never deep-copies dependency data.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReadRecord {
     /// The object read.
@@ -98,16 +102,21 @@ pub struct ReadRecord {
     /// The version observed.
     pub version: Version,
     /// The dependency list attached to the observed version.
-    pub dependencies: DependencyList,
+    pub dependencies: Arc<DependencyList>,
 }
 
 impl ReadRecord {
-    /// Creates a read record.
-    pub fn new(object: ObjectId, version: Version, dependencies: DependencyList) -> Self {
+    /// Creates a read record. Accepts either an owned [`DependencyList`] or
+    /// an already shared `Arc<DependencyList>`.
+    pub fn new(
+        object: ObjectId,
+        version: Version,
+        dependencies: impl Into<Arc<DependencyList>>,
+    ) -> Self {
         ReadRecord {
             object,
             version,
-            dependencies,
+            dependencies: dependencies.into(),
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// The payload stored for an object.
 ///
@@ -10,12 +11,17 @@ use std::fmt;
 /// object. `Value` therefore wraps a `u64` "revision payload" plus an
 /// optional opaque byte blob for users who want to store real data through
 /// the public API.
+///
+/// The blob is reference-counted (`Arc<[u8]>`), so cloning a `Value` — which
+/// the database and the cache do on every read — is a refcount bump, never a
+/// copy of the payload bytes. The bytes themselves are immutable once
+/// created; a new version of an object carries a new `Value`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct Value {
     /// A small numeric payload, convenient for tests and workloads.
     numeric: u64,
-    /// Optional opaque application payload.
-    blob: Option<Vec<u8>>,
+    /// Optional opaque application payload, shared between all copies.
+    blob: Option<Arc<[u8]>>,
 }
 
 impl Value {
@@ -31,7 +37,7 @@ impl Value {
     pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
         Value {
             numeric: 0,
-            blob: Some(bytes.into()),
+            blob: Some(bytes.into().into()),
         }
     }
 
@@ -59,7 +65,7 @@ impl Value {
 
     /// Approximate size in bytes of the payload (used by cache statistics).
     pub fn size_bytes(&self) -> usize {
-        8 + self.blob.as_ref().map_or(0, Vec::len)
+        8 + self.blob.as_ref().map_or(0, |b| b.len())
     }
 }
 
@@ -124,5 +130,16 @@ mod tests {
     fn display_is_nonempty() {
         assert!(!Value::default().to_string().is_empty());
         assert!(Value::from_bytes(vec![0u8; 4]).to_string().contains("4 bytes"));
+    }
+
+    #[test]
+    fn clones_share_the_blob_allocation() {
+        let v = Value::from_bytes(vec![7u8; 1024]);
+        let copy = v.clone();
+        let (a, b) = (v.bytes().unwrap(), copy.bytes().unwrap());
+        assert!(std::ptr::eq(a, b), "clone must not copy the payload bytes");
+        // bump() shares it too: only the numeric revision changes.
+        let bumped = v.bump();
+        assert!(std::ptr::eq(a, bumped.bytes().unwrap()));
     }
 }

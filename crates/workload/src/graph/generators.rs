@@ -113,7 +113,7 @@ pub fn community_graph(params: CommunityGraphParams, seed: u64) -> Graph {
     // Preferential-attachment hubs for degree skew.
     if params.hubs > 0 && params.nodes > params.hub_degree {
         let mut weighted: Vec<usize> = (0..params.nodes)
-            .flat_map(|u| std::iter::repeat(u).take(graph.degree(u) + 1))
+            .flat_map(|u| std::iter::repeat_n(u, graph.degree(u) + 1))
             .collect();
         weighted.shuffle(&mut rng);
         for _ in 0..params.hubs {
@@ -167,7 +167,7 @@ fn connect_components(graph: &mut Graph, rng: &mut StdRng) {
     }
     // Union-find over the current edges.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut root = x;
         while parent[root] != root {
             root = parent[root];
