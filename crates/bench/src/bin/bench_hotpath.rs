@@ -2,9 +2,10 @@
 //!
 //! Runs the hit-heavy read workload of the `concurrent_reads` criterion
 //! bench standalone, measures single-thread latency and 1/2/4/8-thread
-//! aggregate throughput, prints a table, and writes `BENCH_hotpath.json`
-//! into the current directory so future changes have a perf trajectory to
-//! compare against.
+//! aggregate throughput plus multi-cache scaling (1/2/4 caches over one
+//! shared database, one thread per cache), prints the tables, and writes
+//! `BENCH_hotpath.json` into the current directory so future changes have a
+//! perf trajectory to compare against.
 //!
 //! Flags:
 //! * `--quick` — one short round (CI smoke; still writes the JSON);
@@ -20,7 +21,7 @@ use tcache_types::{AccessSet, CacheId, ObjectId, SimTime, Strategy, TxnId, Value
 const OBJECTS: u64 = 1024;
 const READS_PER_TXN: u64 = 3;
 
-fn warmed_cache() -> Arc<EdgeCache> {
+fn warmed_db() -> Arc<Database> {
     let db = Arc::new(Database::new(DatabaseConfig::with_bound(3)));
     db.populate((0..OBJECTS).map(|i| (ObjectId(i), Value::new(0))));
     for i in 0..200u64 {
@@ -28,27 +29,56 @@ fn warmed_cache() -> Arc<EdgeCache> {
         let access: AccessSet = vec![base, base + 1, base + 2].into();
         db.execute_update(TxnId(i + 1), &access).unwrap();
     }
-    let cache = Arc::new(EdgeCache::tcache(CacheId(0), db, 3, Strategy::Abort));
-    for i in 0..OBJECTS {
-        cache
-            .read(SimTime::ZERO, TxnId(1_000_000 + i), ObjectId(i), true)
-            .unwrap();
-    }
-    cache
+    db
 }
 
-/// Runs `txns_per_thread` hit transactions on each of `threads` threads;
-/// returns aggregate transactions per second.
+fn warmed_caches(db: &Arc<Database>, count: u32) -> Vec<Arc<EdgeCache>> {
+    (0..count)
+        .map(|c| {
+            let cache = Arc::new(EdgeCache::tcache(
+                CacheId(c),
+                Arc::clone(db),
+                3,
+                Strategy::Abort,
+            ));
+            for i in 0..OBJECTS {
+                cache
+                    .read(SimTime::ZERO, TxnId(1_000_000 + i), ObjectId(i), true)
+                    .unwrap();
+            }
+            cache
+        })
+        .collect()
+}
+
+fn warmed_cache() -> Arc<EdgeCache> {
+    warmed_caches(&warmed_db(), 1).pop().expect("one cache")
+}
+
+/// Runs `txns_per_thread` hit transactions on each of `threads` threads, all
+/// hammering the same cache; returns aggregate transactions per second.
 fn measure(cache: &Arc<EdgeCache>, threads: u64, txns_per_thread: u64, seed: &AtomicU64) -> f64 {
+    let shared: Vec<Arc<EdgeCache>> =
+        (0..threads).map(|_| Arc::clone(cache)).collect();
+    measure_threads(&shared, txns_per_thread, seed)
+}
+
+/// Runs `txns_per_thread` hit transactions on one thread per entry of
+/// `caches` (the same cache repeated measures thread scaling, distinct
+/// caches over one database measure cache scaling); returns aggregate
+/// transactions per second.
+fn measure_threads(caches: &[Arc<EdgeCache>], txns_per_thread: u64, seed: &AtomicU64) -> f64 {
     let start = Instant::now();
-    let handles: Vec<_> = (0..threads)
-        .map(|t| {
+    let handles: Vec<_> = caches
+        .iter()
+        .enumerate()
+        .map(|(t, cache)| {
             let cache = Arc::clone(cache);
             let base_txn = seed.fetch_add(txns_per_thread + 1, Ordering::Relaxed);
             std::thread::spawn(move || {
                 for i in 0..txns_per_thread {
                     let txn = TxnId(base_txn + i);
-                    let base = (t * 131 + i * 3) % (OBJECTS - 2);
+                    let base = (t as u64 * 131 + i * 3) % (OBJECTS - 2);
                     let keys = [ObjectId(base), ObjectId(base + 1), ObjectId(base + 2)];
                     let outcome = cache
                         .execute_transaction(SimTime::ZERO, txn, &keys)
@@ -62,7 +92,7 @@ fn measure(cache: &Arc<EdgeCache>, threads: u64, txns_per_thread: u64, seed: &At
         h.join().unwrap();
     }
     let elapsed = start.elapsed().as_secs_f64();
-    (threads * txns_per_thread) as f64 / elapsed
+    (caches.len() as u64 * txns_per_thread) as f64 / elapsed
 }
 
 fn main() {
@@ -110,20 +140,50 @@ fn main() {
         );
     }
 
+    // Multi-cache scaling: N independent edge caches over one shared
+    // database, one client thread per cache. Each cache has its own striped
+    // storage and transaction table, so this measures how much of the hot
+    // path is genuinely cache-local versus shared-backend.
+    println!("\ncache scaling: one thread per cache, {txns_per_thread} txns/thread");
+    println!("{:>8} {:>16} {:>10}", "caches", "txn/s", "speedup");
+    let db = warmed_db();
+    let mut cache_scaling: Vec<(u32, f64)> = Vec::new();
+    for &cache_count in &[1u32, 2, 4] {
+        let caches = warmed_caches(&db, cache_count);
+        let best = (0..rounds)
+            .map(|_| measure_threads(&caches, txns_per_thread, &seed))
+            .fold(0.0f64, f64::max);
+        cache_scaling.push((cache_count, best));
+        let single_cache = cache_scaling[0].1;
+        println!("{cache_count:>8} {best:>16.0} {:>9.2}x", best / single_cache);
+    }
+
     let single = results[0].1;
     let fields: Vec<String> = results
         .iter()
         .map(|(t, tps)| format!("    \"threads_{t}_txn_per_sec\": {tps:.1}"))
         .collect();
+    let cache_fields: Vec<String> = cache_scaling
+        .iter()
+        .map(|(c, tps)| format!("    \"caches_{c}_txn_per_sec\": {tps:.1}"))
+        .collect();
+    let single_cache = cache_scaling[0].1;
     let json = format!(
         "{{\n  \"bench\": \"hotpath_concurrent_reads\",\n  \"objects\": {OBJECTS},\n  \
          \"reads_per_txn\": {READS_PER_TXN},\n  \"txns_per_thread\": {txns_per_thread},\n  \
          \"host_threads\": {},\n  \"results\": {{\n{}\n  }},\n  \
-         \"single_thread_ns_per_read\": {:.1},\n  \"speedup_4_threads\": {:.3}\n}}\n",
+         \"cache_scaling\": {{\n{}\n  }},\n  \
+         \"single_thread_ns_per_read\": {:.1},\n  \"speedup_4_threads\": {:.3},\n  \
+         \"speedup_4_caches\": {:.3}\n}}\n",
         std::thread::available_parallelism().map_or(0, |n| n.get()),
         fields.join(",\n"),
+        cache_fields.join(",\n"),
         1e9 / (single * READS_PER_TXN as f64),
         results.iter().find(|(t, _)| *t == 4).map_or(0.0, |(_, tps)| tps / single),
+        cache_scaling
+            .iter()
+            .find(|(c, _)| *c == 4)
+            .map_or(0.0, |(_, tps)| tps / single_cache),
     );
     std::fs::write(&out, json).expect("write BENCH_hotpath.json");
     println!("wrote {out}");

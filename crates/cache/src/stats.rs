@@ -65,6 +65,20 @@ impl CacheStatsSnapshot {
             self.txns_aborted as f64 / total as f64
         }
     }
+
+    /// Accumulates another cache's counters into this one (used to build
+    /// the aggregate view over a multi-cache deployment).
+    pub fn merge(&mut self, other: CacheStatsSnapshot) {
+        self.reads += other.reads;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.retries += other.retries;
+        self.invalidations_applied += other.invalidations_applied;
+        self.invalidations_ignored += other.invalidations_ignored;
+        self.evictions += other.evictions;
+        self.txns_committed += other.txns_committed;
+        self.txns_aborted += other.txns_aborted;
+    }
 }
 
 impl CacheStats {
@@ -159,6 +173,29 @@ mod tests {
         assert_eq!(snap.invalidations_applied, 1);
         assert_eq!(snap.invalidations_ignored, 1);
         assert_eq!(snap.evictions, 1);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = CacheStatsSnapshot {
+            reads: 10,
+            hits: 8,
+            misses: 2,
+            retries: 1,
+            invalidations_applied: 3,
+            invalidations_ignored: 1,
+            evictions: 2,
+            txns_committed: 4,
+            txns_aborted: 1,
+        };
+        let mut total = a;
+        total.merge(a);
+        assert_eq!(total.reads, 20);
+        assert_eq!(total.hits, 16);
+        assert_eq!(total.db_reads(), 6);
+        assert_eq!(total.txns_committed, 8);
+        assert_eq!(total.txns_aborted, 2);
+        assert!((total.hit_ratio() - a.hit_ratio()).abs() < 1e-9);
     }
 
     #[test]

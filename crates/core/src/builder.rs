@@ -4,8 +4,7 @@ use crate::system::TCacheSystem;
 use std::sync::Arc;
 use tcache_cache::EdgeCache;
 use tcache_db::{Database, DatabaseConfig};
-use tcache_net::channel::InvalidationChannel;
-use tcache_net::{LatencyModel, LossModel};
+use tcache_net::fanout::{CacheLink, InvalidationFanout};
 use tcache_types::{CacheId, DependencyBound, SimDuration, Strategy};
 
 /// Configures and builds a [`TCacheSystem`].
@@ -22,11 +21,25 @@ use tcache_types::{CacheId, DependencyBound, SimDuration, Strategy};
 ///     .build();
 /// assert_eq!(system.edge_cache().config().dependency_bound.limit(), 5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Multi-cache deployments host several edge caches over the same database,
+/// each with its own independently seeded invalidation channel:
+///
+/// ```
+/// use tcache::SystemBuilder;
+///
+/// let system = SystemBuilder::new()
+///     .cache_loss_rates(vec![0.0, 0.1, 0.2, 0.4])
+///     .build();
+/// assert_eq!(system.cache_count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemBuilder {
     dependency_bound: DependencyBound,
     strategy: Strategy,
     shards: usize,
+    caches: usize,
+    per_cache_loss: Option<Vec<f64>>,
     invalidation_loss: f64,
     invalidation_delay: SimDuration,
     tick: SimDuration,
@@ -39,6 +52,8 @@ impl Default for SystemBuilder {
             dependency_bound: DependencyBound::Bounded(3),
             strategy: Strategy::Retry,
             shards: 1,
+            caches: 1,
+            per_cache_loss: None,
             invalidation_loss: 0.0,
             invalidation_delay: SimDuration::from_millis(50),
             tick: SimDuration::from_millis(1),
@@ -49,7 +64,8 @@ impl Default for SystemBuilder {
 
 impl SystemBuilder {
     /// Starts a builder with the defaults: dependency bound 3, RETRY
-    /// strategy, a single shard, a reliable channel with 50 ms delay.
+    /// strategy, a single shard, one cache, a reliable channel with 50 ms
+    /// delay.
     pub fn new() -> Self {
         SystemBuilder::default()
     }
@@ -82,7 +98,34 @@ impl SystemBuilder {
         self
     }
 
-    /// Fraction of invalidations lost by the channel (clamped to `[0, 1]`).
+    /// Number of edge caches hosted over the database. Every cache gets its
+    /// own invalidation channel at the system-wide loss rate (use
+    /// [`SystemBuilder::cache_loss_rates`] for heterogeneous links).
+    ///
+    /// # Panics
+    /// Panics if `caches` is zero.
+    pub fn caches(mut self, caches: usize) -> Self {
+        assert!(caches > 0, "a system needs at least one cache");
+        self.caches = caches;
+        self.per_cache_loss = None;
+        self
+    }
+
+    /// Deploys one cache per entry with the given per-cache invalidation
+    /// loss rates (each clamped to `[0, 1]`), overriding
+    /// [`SystemBuilder::caches`] and [`SystemBuilder::invalidation_loss`].
+    ///
+    /// # Panics
+    /// Panics if `losses` is empty.
+    pub fn cache_loss_rates(mut self, losses: Vec<f64>) -> Self {
+        assert!(!losses.is_empty(), "a system needs at least one cache");
+        self.caches = losses.len();
+        self.per_cache_loss = Some(losses.into_iter().map(|l| l.clamp(0.0, 1.0)).collect());
+        self
+    }
+
+    /// Fraction of invalidations lost by every cache's channel (clamped to
+    /// `[0, 1]`).
     pub fn invalidation_loss(mut self, loss: f64) -> Self {
         self.invalidation_loss = loss.clamp(0.0, 1.0);
         self
@@ -100,8 +143,9 @@ impl SystemBuilder {
         self
     }
 
-    /// Seed for the channel's loss randomness (runs are reproducible for a
-    /// fixed seed).
+    /// Seed for the channels' loss randomness; each cache's channel seed is
+    /// derived from `(seed, CacheId)`, so runs are reproducible and a
+    /// cache's loss pattern does not depend on how many caches are deployed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -114,20 +158,29 @@ impl SystemBuilder {
             dependency_bound: self.dependency_bound,
             history_depth: 0,
         }));
-        let cache = match self.dependency_bound {
-            DependencyBound::Bounded(k) => {
-                EdgeCache::tcache(CacheId(0), Arc::clone(&db), k, self.strategy)
-            }
-            DependencyBound::Unbounded => {
-                EdgeCache::unbounded(CacheId(0), Arc::clone(&db), self.strategy)
-            }
-        };
-        let channel = InvalidationChannel::new(
-            LossModel::uniform(self.invalidation_loss),
-            LatencyModel::Constant(self.invalidation_delay),
+        let losses = self
+            .per_cache_loss
+            .unwrap_or_else(|| vec![self.invalidation_loss; self.caches]);
+        let caches: Vec<EdgeCache> = (0..losses.len())
+            .map(|i| {
+                let id = CacheId(i as u32);
+                match self.dependency_bound {
+                    DependencyBound::Bounded(k) => {
+                        EdgeCache::tcache(id, Arc::clone(&db), k, self.strategy)
+                    }
+                    DependencyBound::Unbounded => {
+                        EdgeCache::unbounded(id, Arc::clone(&db), self.strategy)
+                    }
+                }
+            })
+            .collect();
+        let fanout = InvalidationFanout::new(
             self.seed,
+            losses.iter().enumerate().map(|(i, &loss)| {
+                CacheLink::uniform(CacheId(i as u32), loss, self.invalidation_delay)
+            }),
         );
-        TCacheSystem::new(db, cache, channel, self.tick)
+        TCacheSystem::new(db, caches, fanout, self.tick)
     }
 }
 
@@ -169,11 +222,39 @@ mod tests {
     fn loss_is_clamped() {
         let builder = SystemBuilder::new().invalidation_loss(4.0);
         assert_eq!(builder.invalidation_loss, 1.0);
+        let builder = SystemBuilder::new().cache_loss_rates(vec![4.0, -1.0]);
+        assert_eq!(builder.per_cache_loss, Some(vec![1.0, 0.0]));
+    }
+
+    #[test]
+    fn multi_cache_builders() {
+        let system = SystemBuilder::new().caches(3).build();
+        assert_eq!(system.cache_count(), 3);
+        for (i, id) in system.cache_ids().enumerate() {
+            assert_eq!(id, CacheId(i as u32));
+            assert_eq!(system.cache(id).unwrap().id(), id);
+        }
+        let system = SystemBuilder::new()
+            .cache_loss_rates(vec![0.1, 0.2])
+            .build();
+        assert_eq!(system.cache_count(), 2);
+        // `caches` after `cache_loss_rates` resets to uniform loss.
+        let system = SystemBuilder::new()
+            .cache_loss_rates(vec![0.1, 0.2])
+            .caches(5)
+            .build();
+        assert_eq!(system.cache_count(), 5);
     }
 
     #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = SystemBuilder::new().shards(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache")]
+    fn zero_caches_panics() {
+        let _ = SystemBuilder::new().caches(0);
     }
 }

@@ -15,9 +15,13 @@
 //!
 //! This facade crate re-exports the individual subsystem crates and offers
 //! [`TCacheSystem`], a batteries-included single-process deployment (one
-//! backend database, one edge cache, an unreliable asynchronous invalidation
-//! channel) that a downstream user can embed directly or use to explore the
-//! protocol.
+//! backend database, one or more edge caches, an unreliable asynchronous
+//! invalidation channel per cache) that a downstream user can embed directly
+//! or use to explore the protocol. Cache serializability is a per-cache
+//! property, so a multi-cache system gives every cache its own
+//! independently seeded, independently lossy channel —
+//! `SystemBuilder::cache_loss_rates(vec![0.0, 0.2, 0.4])` deploys three
+//! caches with heterogeneous links.
 //!
 //! ```
 //! use tcache::{ReadOutcome, SystemBuilder};
@@ -63,7 +67,7 @@ pub mod prelude;
 pub mod system;
 
 pub use builder::SystemBuilder;
-pub use system::{ReadOutcome, SystemStats, TCacheSystem};
+pub use system::{CacheNodeStats, ReadOutcome, SystemStats, TCacheSystem};
 
 pub use tcache_cache as cache;
 pub use tcache_db as db;

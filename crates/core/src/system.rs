@@ -1,4 +1,4 @@
-//! A single-process T-Cache deployment: database + channel + edge cache.
+//! A single-process T-Cache deployment: database + N edge caches.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -6,10 +6,11 @@ use std::sync::Arc;
 use tcache_cache::{CacheStatsSnapshot, EdgeCache};
 use tcache_db::stats::DbStatsSnapshot;
 use tcache_db::Database;
-use tcache_net::channel::{ChannelStats, InvalidationChannel};
+use tcache_net::channel::ChannelStats;
+use tcache_net::fanout::InvalidationFanout;
 use tcache_types::{
-    ObjectId, ReadOnlyOutcome, SimDuration, SimTime, TCacheError, TCacheResult, TxnId, Value,
-    Version, VersionedObject,
+    CacheId, ObjectId, ReadOnlyOutcome, SimDuration, SimTime, TCacheError, TCacheResult, TxnId,
+    Value, Version, VersionedObject,
 };
 
 /// The outcome of a read-only transaction issued through
@@ -18,44 +19,67 @@ pub type ReadOutcome = ReadOnlyOutcome;
 
 /// A single-process deployment of the full T-Cache stack.
 ///
-/// The system owns a backend [`Database`], one [`EdgeCache`] and the
-/// asynchronous invalidation channel between them, and drives a virtual
+/// The system owns a backend [`Database`], one or more [`EdgeCache`]s and an
+/// asynchronous invalidation channel per cache (cache serializability is a
+/// per-cache-server property, so every cache has its own independently
+/// seeded, independently lossy pipe from the database). It drives a virtual
 /// clock: every operation advances time by a small tick and delivers the
 /// invalidations that have become due, so the asynchronous (and, if
-/// configured, lossy) nature of the channel is preserved even in a single
+/// configured, lossy) nature of the channels is preserved even in a single
 /// process.
+///
+/// Read-only transactions address a specific cache via
+/// [`TCacheSystem::read_transaction_on`]; the id-less methods serve the
+/// first cache, which keeps single-cache deployments (the default) as simple
+/// as before.
 #[derive(Debug)]
 pub struct TCacheSystem {
     db: Arc<Database>,
-    cache: EdgeCache,
-    channel: Mutex<InvalidationChannel>,
+    /// `caches[i].id() == CacheId(i)` — indexed access is the hot path.
+    caches: Vec<EdgeCache>,
+    fanout: Mutex<InvalidationFanout>,
     clock: Mutex<SimTime>,
     tick: SimDuration,
     next_txn: AtomicU64,
 }
 
-/// A combined statistics snapshot of the whole system.
+/// One cache server's slice of a [`SystemStats`] snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheNodeStats {
+    /// The cache server.
+    pub id: CacheId,
+    /// This cache's statistics.
+    pub cache: CacheStatsSnapshot,
+    /// This cache's invalidation-channel statistics.
+    pub channel: ChannelStats,
+}
+
+/// A combined statistics snapshot of the whole system.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SystemStats {
-    /// Cache-side statistics.
+    /// Cache-side statistics summed over every cache.
     pub cache: CacheStatsSnapshot,
     /// Database-side statistics.
     pub db: DbStatsSnapshot,
-    /// Invalidation channel statistics.
+    /// Invalidation channel statistics summed over every per-cache channel.
     pub channel: ChannelStats,
+    /// The per-cache breakdown, ordered by `CacheId`.
+    pub per_cache: Vec<CacheNodeStats>,
 }
 
 impl TCacheSystem {
     pub(crate) fn new(
         db: Arc<Database>,
-        cache: EdgeCache,
-        channel: InvalidationChannel,
+        caches: Vec<EdgeCache>,
+        fanout: InvalidationFanout,
         tick: SimDuration,
     ) -> Self {
+        assert!(!caches.is_empty(), "a system needs at least one cache");
+        debug_assert_eq!(caches.len(), fanout.cache_count());
         TCacheSystem {
             db,
-            cache,
-            channel: Mutex::new(channel),
+            caches,
+            fanout: Mutex::new(fanout),
             clock: Mutex::new(SimTime::ZERO),
             tick,
             next_txn: AtomicU64::new(1),
@@ -72,9 +96,24 @@ impl TCacheSystem {
         &self.db
     }
 
-    /// The edge cache (for advanced use and inspection).
+    /// The first edge cache (the only one in single-cache deployments).
     pub fn edge_cache(&self) -> &EdgeCache {
-        &self.cache
+        &self.caches[0]
+    }
+
+    /// The edge cache with the given id, if deployed.
+    pub fn cache(&self, id: CacheId) -> Option<&EdgeCache> {
+        self.caches.get(id.0 as usize)
+    }
+
+    /// Number of edge caches this system hosts.
+    pub fn cache_count(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// The deployed cache ids, in order.
+    pub fn cache_ids(&self) -> impl Iterator<Item = CacheId> + '_ {
+        self.caches.iter().map(|c| c.id())
     }
 
     /// The current virtual time of the system.
@@ -83,24 +122,24 @@ impl TCacheSystem {
     }
 
     /// Advances the virtual clock by `duration`, delivering every
-    /// invalidation that becomes due. Use this to model elapsed wall-clock
-    /// time between transactions.
+    /// invalidation that becomes due on every cache's channel. Use this to
+    /// model elapsed wall-clock time between transactions.
     pub fn advance_time(&self, duration: SimDuration) {
         let now = {
             let mut clock = self.clock.lock();
             *clock += duration;
             *clock
         };
-        let due = self.channel.lock().due(now);
-        for invalidation in due {
-            self.cache.apply_invalidation(invalidation);
+        let due = self.fanout.lock().due(now);
+        for (cache, invalidation) in due {
+            self.caches[cache.0 as usize].apply_invalidation(invalidation);
         }
     }
 
     /// Executes an update transaction that reads and rewrites every object
     /// in `objects` (bumping its numeric payload), returning the version the
     /// transaction installed. Invalidations are published asynchronously on
-    /// the channel.
+    /// every cache's channel.
     ///
     /// # Errors
     /// Returns an error if any object is unknown or the database aborts the
@@ -109,9 +148,7 @@ impl TCacheSystem {
         let txn = self.next_txn();
         let access: tcache_types::AccessSet = objects.iter().copied().collect();
         let commit = self.db.execute_update(txn, &access)?;
-        let now = self.now();
-        self.channel.lock().send(now, commit.invalidations.iter().copied());
-        self.advance_time(self.tick);
+        self.broadcast(&commit);
         Ok(commit.version)
     }
 
@@ -128,33 +165,66 @@ impl TCacheSystem {
             .collect();
         let reads: Vec<ObjectId> = writes.iter().map(|(o, _)| *o).collect();
         let commit = self.db.execute_update_writes(txn, &reads, records)?;
-        let now = self.now();
-        self.channel.lock().send(now, commit.invalidations.iter().copied());
-        self.advance_time(self.tick);
+        self.broadcast(&commit);
         Ok(commit.version)
     }
 
-    /// Executes a read-only transaction through the edge cache. The reads
-    /// are checked against each other with the T-Cache violation predicates;
-    /// a detected inconsistency is reported as [`ReadOutcome::Aborted`]
-    /// (when the configured strategy cannot repair it locally).
+    /// Publishes a committed update's invalidations on every cache's
+    /// channel. [`TCacheSystem::update`] does this automatically; call it
+    /// directly for update transactions executed against
+    /// [`TCacheSystem::database`] by hand.
+    pub fn publish_invalidations(&self, commit: &tcache_db::UpdateCommit) {
+        let now = self.now();
+        self.fanout
+            .lock()
+            .broadcast(now, commit.invalidations.invalidations());
+    }
+
+    fn broadcast(&self, commit: &tcache_db::UpdateCommit) {
+        self.publish_invalidations(commit);
+        self.advance_time(self.tick);
+    }
+
+    /// Executes a read-only transaction through the given edge cache. The
+    /// reads are checked against each other with the T-Cache violation
+    /// predicates; a detected inconsistency is reported as
+    /// [`ReadOutcome::Aborted`] (when the configured strategy cannot repair
+    /// it locally).
     ///
     /// # Errors
-    /// Returns an error if any object does not exist in the backend.
-    pub fn read_transaction(&self, objects: &[ObjectId]) -> TCacheResult<ReadOutcome> {
+    /// Returns an error if `cache` is not deployed or any object does not
+    /// exist in the backend.
+    pub fn read_transaction_on(
+        &self,
+        cache: CacheId,
+        objects: &[ObjectId],
+    ) -> TCacheResult<ReadOutcome> {
+        let server = self
+            .cache(cache)
+            .ok_or(TCacheError::UnknownCache(cache))?;
         let txn = self.next_txn();
         let now = self.now();
-        let outcome = self.cache.execute_transaction(now, txn, objects)?;
+        let outcome = server.execute_transaction(now, txn, objects)?;
         self.advance_time(self.tick);
         Ok(outcome)
     }
 
-    /// Reads a single object through the cache (a one-read transaction).
+    /// Executes a read-only transaction through the first edge cache.
     ///
     /// # Errors
-    /// Returns an error if the object does not exist in the backend.
-    pub fn read(&self, object: ObjectId) -> TCacheResult<VersionedObject> {
-        match self.read_transaction(&[object])? {
+    /// Returns an error if any object does not exist in the backend.
+    pub fn read_transaction(&self, objects: &[ObjectId]) -> TCacheResult<ReadOutcome> {
+        self.read_transaction_on(self.caches[0].id(), objects)
+    }
+
+    /// Reads a single object through the given cache (a one-read
+    /// transaction).
+    ///
+    /// # Errors
+    /// Returns an error if `cache` is not deployed or the object does not
+    /// exist in the backend.
+    pub fn read_on(&self, cache: CacheId, object: ObjectId) -> TCacheResult<VersionedObject> {
+        match self.read_transaction_on(cache, &[object])? {
             ReadOnlyOutcome::Committed(mut values) => {
                 Ok(values.pop().expect("single-read transaction returns one value"))
             }
@@ -165,12 +235,42 @@ impl TCacheSystem {
         }
     }
 
-    /// A combined statistics snapshot.
+    /// Reads a single object through the first cache.
+    ///
+    /// # Errors
+    /// Returns an error if the object does not exist in the backend.
+    pub fn read(&self, object: ObjectId) -> TCacheResult<VersionedObject> {
+        self.read_on(self.caches[0].id(), object)
+    }
+
+    /// A combined statistics snapshot: aggregates over every cache plus the
+    /// per-cache breakdown.
     pub fn stats(&self) -> SystemStats {
+        let channel_stats = self.fanout.lock().stats();
+        let per_cache: Vec<CacheNodeStats> = self
+            .caches
+            .iter()
+            .zip(channel_stats)
+            .map(|(cache, (channel_id, channel))| {
+                debug_assert_eq!(cache.id(), channel_id);
+                CacheNodeStats {
+                    id: cache.id(),
+                    cache: cache.stats(),
+                    channel,
+                }
+            })
+            .collect();
+        let mut cache_total = CacheStatsSnapshot::default();
+        let mut channel_total = ChannelStats::default();
+        for node in &per_cache {
+            cache_total.merge(node.cache);
+            channel_total.merge(node.channel);
+        }
         SystemStats {
-            cache: self.cache.stats(),
+            cache: cache_total,
             db: self.db.stats(),
-            channel: self.channel.lock().stats(),
+            channel: channel_total,
+            per_cache,
         }
     }
 
@@ -182,13 +282,24 @@ impl TCacheSystem {
 #[cfg(test)]
 mod tests {
     use crate::builder::SystemBuilder;
-    use tcache_types::{ObjectId, Strategy, Value};
+    use tcache_types::{CacheId, ObjectId, Strategy, TCacheError, Value};
 
     fn small_system(loss: f64) -> super::TCacheSystem {
         let system = SystemBuilder::new()
             .dependency_bound(3)
             .strategy(Strategy::Abort)
             .invalidation_loss(loss)
+            .seed(7)
+            .build();
+        system.populate((0..20).map(|i| (ObjectId(i), Value::new(0))));
+        system
+    }
+
+    fn multi_system(losses: &[f64]) -> super::TCacheSystem {
+        let system = SystemBuilder::new()
+            .dependency_bound(3)
+            .strategy(Strategy::Abort)
+            .cache_loss_rates(losses.to_vec())
             .seed(7)
             .build();
         system.populate((0..20).map(|i| (ObjectId(i), Value::new(0))));
@@ -208,6 +319,7 @@ mod tests {
         assert_eq!(system.read(ObjectId(1)).unwrap().version, v1);
         assert!(system.stats().db.updates_committed >= 1);
         assert!(system.now() > tcache_types::SimTime::ZERO);
+        assert_eq!(system.cache_count(), 1);
     }
 
     #[test]
@@ -253,5 +365,56 @@ mod tests {
         let v = system.read(ObjectId(5)).unwrap();
         assert!(v.version > tcache_types::Version::INITIAL);
         assert!(system.stats().channel.sent >= 1);
+    }
+
+    #[test]
+    fn multi_cache_system_serves_each_cache_independently() {
+        let system = multi_system(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(system.cache_count(), 4);
+        assert_eq!(
+            system.cache_ids().collect::<Vec<_>>(),
+            (0..4).map(CacheId).collect::<Vec<_>>()
+        );
+        let v = system.update(&[ObjectId(1)]).unwrap();
+        for id in 0..4u32 {
+            let got = system.read_on(CacheId(id), ObjectId(1)).unwrap();
+            assert_eq!(got.version, v);
+        }
+        let stats = system.stats();
+        assert_eq!(stats.per_cache.len(), 4);
+        // Every channel carried the invalidation.
+        for node in &stats.per_cache {
+            assert_eq!(node.channel.sent, 1);
+            assert_eq!(node.cache.reads, 1);
+        }
+        // Aggregates sum the per-cache views.
+        assert_eq!(stats.cache.reads, 4);
+        assert_eq!(stats.channel.sent, 4);
+        // Addressing an undeployed cache errors.
+        assert_eq!(
+            system.read_on(CacheId(9), ObjectId(1)).unwrap_err(),
+            TCacheError::UnknownCache(CacheId(9))
+        );
+    }
+
+    #[test]
+    fn heterogeneous_loss_hits_only_the_lossy_cache() {
+        // Cache 0 has a perfect link, cache 1 loses everything. After an
+        // update, cache 0's stale entry is invalidated while cache 1 keeps
+        // serving the old version — per-cache isolation of the loss process.
+        let system = multi_system(&[0.0, 1.0]);
+        system.read_on(CacheId(0), ObjectId(1)).unwrap();
+        system.read_on(CacheId(1), ObjectId(1)).unwrap();
+        let v = system.update(&[ObjectId(1)]).unwrap();
+        system.advance_time(tcache_types::SimDuration::from_secs(1));
+        assert_eq!(system.read_on(CacheId(0), ObjectId(1)).unwrap().version, v);
+        assert_eq!(
+            system.read_on(CacheId(1), ObjectId(1)).unwrap().version,
+            tcache_types::Version::INITIAL,
+            "cache 1's invalidation was lost, its entry stays stale"
+        );
+        let stats = system.stats();
+        assert_eq!(stats.per_cache[0].channel.dropped, 0);
+        assert_eq!(stats.per_cache[1].channel.delivered, 0);
     }
 }

@@ -9,14 +9,15 @@
 
 use crate::dependency_update::{AccessedObject, AggregatedDependencies};
 use crate::invalidation::{Invalidation, InvalidationBatch};
+use crate::publisher::{InvalidationPublisher, InvalidationSink};
 use crate::shard::{PreparedWrite, Shard};
 use crate::stats::{DbStats, DbStatsSnapshot};
 use crate::twopc::Coordinator;
 use crate::version_clock::VersionClock;
 use std::sync::Arc;
 use tcache_types::{
-    AccessSet, DependencyBound, ObjectEntry, ObjectId, TCacheResult, TxnId, Value, Version,
-    WriteRecord,
+    AccessSet, CacheId, DependencyBound, ObjectEntry, ObjectId, TCacheResult, TxnId, Value,
+    Version, WriteRecord,
 };
 
 /// Configuration of the backend database.
@@ -83,6 +84,7 @@ pub struct Database {
     clock: VersionClock,
     stats: DbStats,
     config: DatabaseConfig,
+    publisher: InvalidationPublisher,
 }
 
 impl Database {
@@ -99,7 +101,26 @@ impl Database {
             clock: VersionClock::new(),
             stats: DbStats::new(),
             config,
+            publisher: InvalidationPublisher::new(),
         }
+    }
+
+    /// Registers a cache's invalidation upcall (§IV): after every committed
+    /// update, the batch of invalidations is fanned out to every registered
+    /// cache. The per-cache delivery pipe (its loss and delay) sits between
+    /// this upcall and the cache — see `tcache-net`.
+    pub fn register_invalidation_upcall(&self, cache: CacheId, sink: InvalidationSink) {
+        self.publisher.register(cache, sink);
+    }
+
+    /// Removes a cache's invalidation upcall; returns `true` if one existed.
+    pub fn unregister_invalidation_upcall(&self, cache: CacheId) -> bool {
+        self.publisher.unregister(cache)
+    }
+
+    /// The per-cache upcall registry (for inspection and advanced wiring).
+    pub fn invalidation_publisher(&self) -> &InvalidationPublisher {
+        &self.publisher
     }
 
     /// The configuration the database was built with.
@@ -237,6 +258,7 @@ impl Database {
                     .map(|&(o, v)| Invalidation::new(o, v, txn))
                     .collect();
                 self.stats.record_invalidations(invalidations.len() as u64);
+                self.publisher.publish(&invalidations);
                 Ok(UpdateCommit {
                     txn,
                     version,
@@ -388,6 +410,37 @@ mod tests {
         // …but the written objects depend on it at the observed version.
         let e1 = db.peek_entry(ObjectId(1)).unwrap();
         assert_eq!(e1.dependencies.version_of(ObjectId(5)), Some(Version::INITIAL));
+    }
+
+    #[test]
+    fn committed_updates_fan_out_to_registered_upcalls() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let db = db_with(10, 3);
+        let counts: Vec<Arc<AtomicU64>> = (0..2).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        for (i, count) in counts.iter().enumerate() {
+            let count = Arc::clone(count);
+            db.register_invalidation_upcall(
+                CacheId(i as u32),
+                Box::new(move |batch| {
+                    count.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                }),
+            );
+        }
+        db.execute_update(TxnId(1), &vec![1u64, 2, 3].into()).unwrap();
+        assert_eq!(counts[0].load(Ordering::Relaxed), 3);
+        assert_eq!(counts[1].load(Ordering::Relaxed), 3);
+        assert_eq!(
+            db.invalidation_publisher().registered_caches(),
+            vec![CacheId(0), CacheId(1)]
+        );
+        // An aborted update publishes nothing.
+        let _ = db.execute_update(TxnId(2), &vec![99u64].into());
+        assert_eq!(counts[0].load(Ordering::Relaxed), 3);
+        assert!(db.unregister_invalidation_upcall(CacheId(1)));
+        db.execute_update(TxnId(3), &vec![4u64].into()).unwrap();
+        assert_eq!(counts[0].load(Ordering::Relaxed), 4);
+        assert_eq!(counts[1].load(Ordering::Relaxed), 3);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   LRU pruning of §III-A;
 //! * [`invalidation`] — invalidation records published after every update
 //!   transaction, to be delivered (unreliably) to caches;
+//! * [`publisher`] — the per-cache upcall registry fanning each committed
+//!   update's invalidations out to every registered cache (§IV);
 //! * [`database`] — the [`Database`](database::Database) façade combining all
 //!   of the above.
 //!
@@ -42,6 +44,7 @@ pub mod database;
 pub mod dependency_update;
 pub mod invalidation;
 pub mod locks;
+pub mod publisher;
 pub mod shard;
 pub mod stats;
 pub mod store;
@@ -49,5 +52,6 @@ pub mod twopc;
 pub mod version_clock;
 
 pub use database::{Database, DatabaseConfig, UpdateCommit};
-pub use invalidation::Invalidation;
+pub use invalidation::{Invalidation, InvalidationBatch};
+pub use publisher::{InvalidationPublisher, InvalidationSink};
 pub use stats::DbStats;

@@ -1,0 +1,132 @@
+//! Per-cache invalidation upcall registry.
+//!
+//! "On startup, the cache registers an upcall that can be used by the
+//! database to report invalidations; after each update transaction, the
+//! database asynchronously sends invalidations to the cache for all objects
+//! that were modified" (§IV). With several edge caches, the database fans
+//! every committed update's invalidation batch out to *all* registered
+//! caches; each cache's delivery pipe then drops or delays messages
+//! independently (that unreliability lives in `tcache-net`, not here).
+
+use crate::invalidation::InvalidationBatch;
+use parking_lot::RwLock;
+use std::fmt;
+use tcache_types::CacheId;
+
+/// An upcall receiving every published invalidation batch for one cache.
+pub type InvalidationSink = Box<dyn Fn(&InvalidationBatch) + Send + Sync>;
+
+/// Registry of per-cache invalidation upcalls.
+///
+/// Registration order is preserved and publication iterates it
+/// deterministically. A sink must not call back into the publisher (the
+/// registry lock is held, shared, while sinks run).
+#[derive(Default)]
+pub struct InvalidationPublisher {
+    sinks: RwLock<Vec<(CacheId, InvalidationSink)>>,
+}
+
+impl fmt::Debug for InvalidationPublisher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InvalidationPublisher")
+            .field("registered", &self.registered_caches())
+            .finish()
+    }
+}
+
+impl InvalidationPublisher {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        InvalidationPublisher::default()
+    }
+
+    /// Registers `cache`'s upcall. A second registration for the same cache
+    /// replaces the first (a cache re-registering after a restart).
+    pub fn register(&self, cache: CacheId, sink: InvalidationSink) {
+        let mut sinks = self.sinks.write();
+        if let Some(slot) = sinks.iter_mut().find(|(id, _)| *id == cache) {
+            slot.1 = sink;
+        } else {
+            sinks.push((cache, sink));
+        }
+    }
+
+    /// Removes `cache`'s upcall; returns `true` if one was registered.
+    pub fn unregister(&self, cache: CacheId) -> bool {
+        let mut sinks = self.sinks.write();
+        let before = sinks.len();
+        sinks.retain(|(id, _)| *id != cache);
+        sinks.len() != before
+    }
+
+    /// The caches currently registered, in registration order.
+    pub fn registered_caches(&self) -> Vec<CacheId> {
+        self.sinks.read().iter().map(|&(id, _)| id).collect()
+    }
+
+    /// Fans one batch out to every registered cache. Empty batches are not
+    /// published (an update that installed nothing invalidates nothing).
+    pub fn publish(&self, batch: &InvalidationBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        for (_, sink) in self.sinks.read().iter() {
+            sink(batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invalidation::Invalidation;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use tcache_types::{ObjectId, TxnId, Version};
+
+    fn batch(n: u64) -> InvalidationBatch {
+        (0..n)
+            .map(|i| Invalidation::new(ObjectId(i), Version(1), TxnId(1)))
+            .collect()
+    }
+
+    fn counting_sink(counter: &Arc<AtomicU64>) -> InvalidationSink {
+        let counter = Arc::clone(counter);
+        Box::new(move |b: &InvalidationBatch| {
+            counter.fetch_add(b.len() as u64, Ordering::Relaxed);
+        })
+    }
+
+    #[test]
+    fn publish_fans_out_to_every_registered_cache() {
+        let publisher = InvalidationPublisher::new();
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        publisher.register(CacheId(0), counting_sink(&a));
+        publisher.register(CacheId(1), counting_sink(&b));
+        assert_eq!(publisher.registered_caches(), vec![CacheId(0), CacheId(1)]);
+        publisher.publish(&batch(3));
+        assert_eq!(a.load(Ordering::Relaxed), 3);
+        assert_eq!(b.load(Ordering::Relaxed), 3);
+        // Empty batches are suppressed.
+        publisher.publish(&InvalidationBatch::default());
+        assert_eq!(a.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn reregistration_replaces_and_unregister_removes() {
+        let publisher = InvalidationPublisher::new();
+        let first = Arc::new(AtomicU64::new(0));
+        let second = Arc::new(AtomicU64::new(0));
+        publisher.register(CacheId(7), counting_sink(&first));
+        publisher.register(CacheId(7), counting_sink(&second));
+        publisher.publish(&batch(2));
+        assert_eq!(first.load(Ordering::Relaxed), 0, "replaced sink is gone");
+        assert_eq!(second.load(Ordering::Relaxed), 2);
+        assert!(publisher.unregister(CacheId(7)));
+        assert!(!publisher.unregister(CacheId(7)));
+        publisher.publish(&batch(2));
+        assert_eq!(second.load(Ordering::Relaxed), 2);
+        assert!(format!("{publisher:?}").contains("registered"));
+    }
+}

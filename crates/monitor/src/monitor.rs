@@ -30,13 +30,21 @@
 use crate::history::VersionHistory;
 use crate::report::{MonitorReport, TransactionClass};
 use crate::sgt::SerializationGraph;
-use tcache_types::{ObjectId, TransactionRecord, Version};
+use std::collections::BTreeMap;
+use tcache_types::{CacheId, ObjectId, TransactionRecord, Version};
 
 /// The consistency monitor.
+///
+/// Update transactions extend one global version history (all caches read
+/// through the same database), while read-only classifications are kept both
+/// globally and per cache server: cache serializability is defined per
+/// cache, so a multi-cache experiment needs to know *which* cache served the
+/// inconsistent reads.
 #[derive(Debug, Default)]
 pub struct ConsistencyMonitor {
     sgt: SerializationGraph,
     report: MonitorReport,
+    per_cache: BTreeMap<CacheId, MonitorReport>,
 }
 
 impl ConsistencyMonitor {
@@ -86,6 +94,20 @@ impl ConsistencyMonitor {
         class
     }
 
+    /// Like [`ConsistencyMonitor::record_read_only`], additionally
+    /// attributing the classification to the cache server that executed the
+    /// transaction. The global report receives the transaction too.
+    pub fn record_read_only_from(
+        &mut self,
+        cache: CacheId,
+        reads: &[(ObjectId, Version)],
+        committed: bool,
+    ) -> TransactionClass {
+        let class = self.record_read_only(reads, committed);
+        self.per_cache.entry(cache).or_default().record(class);
+        class
+    }
+
     /// Decides whether `reads` is serializable with the update history:
     /// interval test first, exact SGT (bounded reachability form) on
     /// interval failure.
@@ -97,9 +119,14 @@ impl ConsistencyMonitor {
     }
 
     /// Convenience wrapper accepting a [`TransactionRecord`] from a cache.
+    /// When the record names its cache, the classification is attributed to
+    /// that cache's per-cache report as well.
     pub fn record_read_only_record(&mut self, record: &TransactionRecord) -> TransactionClass {
         debug_assert!(!record.is_update());
-        self.record_read_only(&record.reads, record.committed)
+        match record.cache {
+            Some(cache) => self.record_read_only_from(cache, &record.reads, record.committed),
+            None => self.record_read_only(&record.reads, record.committed),
+        }
     }
 
     /// The version history assembled so far.
@@ -110,6 +137,18 @@ impl ConsistencyMonitor {
     /// The aggregate report so far.
     pub fn report(&self) -> MonitorReport {
         self.report
+    }
+
+    /// The report restricted to transactions `cache` served (empty if the
+    /// cache never reported a transaction). Update counters are global and
+    /// stay zero in per-cache reports.
+    pub fn cache_report(&self, cache: CacheId) -> MonitorReport {
+        self.per_cache.get(&cache).copied().unwrap_or_default()
+    }
+
+    /// Every per-cache report, in `CacheId` order.
+    pub fn per_cache_reports(&self) -> impl Iterator<Item = (CacheId, MonitorReport)> + '_ {
+        self.per_cache.iter().map(|(&id, &report)| (id, report))
     }
 }
 
@@ -219,6 +258,45 @@ mod tests {
             TransactionClass::CommittedConsistent
         );
         assert_eq!(m.history().latest_version(o(1)), v(1));
+    }
+
+    #[test]
+    fn per_cache_reports_partition_the_global_report() {
+        let mut m = ConsistencyMonitor::new();
+        m.record_update_commit(&update(1, 1, &[1, 2]));
+        // Cache 0 serves a consistent commit and a justified abort; cache 1
+        // serves an inconsistent commit.
+        m.record_read_only_from(CacheId(0), &[(o(1), v(1)), (o(2), v(1))], true);
+        m.record_read_only_from(CacheId(0), &[(o(1), v(0)), (o(2), v(1))], false);
+        m.record_read_only_from(CacheId(1), &[(o(1), v(0)), (o(2), v(1))], true);
+        let c0 = m.cache_report(CacheId(0));
+        let c1 = m.cache_report(CacheId(1));
+        assert_eq!(c0.committed_consistent, 1);
+        assert_eq!(c0.aborted_justified, 1);
+        assert_eq!(c1.committed_inconsistent, 1);
+        // A cache that never reported anything yields the empty report.
+        assert_eq!(m.cache_report(CacheId(9)), MonitorReport::default());
+        // Per-cache read-only counts sum to the global report's.
+        let global = m.report();
+        let summed: u64 = m
+            .per_cache_reports()
+            .map(|(_, r)| r.read_only_total())
+            .sum();
+        assert_eq!(summed, global.read_only_total());
+        assert_eq!(
+            m.per_cache_reports().map(|(id, _)| id).collect::<Vec<_>>(),
+            vec![CacheId(0), CacheId(1)]
+        );
+        // Records carrying a cache id are attributed automatically.
+        let ro = TransactionRecord::read_only(
+            TxnId(50),
+            CacheId(1),
+            vec![(o(1), v(1)), (o(2), v(1))],
+            true,
+            SimTime::ZERO,
+        );
+        m.record_read_only_record(&ro);
+        assert_eq!(m.cache_report(CacheId(1)).committed_consistent, 1);
     }
 
     #[test]

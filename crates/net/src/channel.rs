@@ -61,6 +61,14 @@ impl ChannelStats {
             self.dropped as f64 / self.sent as f64
         }
     }
+
+    /// Accumulates another channel's counters into this one (used to build
+    /// the aggregate view over a multi-cache fan-out).
+    pub fn merge(&mut self, other: ChannelStats) {
+        self.sent += other.sent;
+        self.dropped += other.dropped;
+        self.delivered += other.delivered;
+    }
 }
 
 /// The simulated unreliable invalidation channel.

@@ -1,0 +1,244 @@
+//! Per-cache invalidation fan-out for multi-cache deployments.
+//!
+//! Cache serializability is defined *per cache server*: every edge cache has
+//! its own invalidation pipe from the database, with its own loss and
+//! latency characteristics (TransEdge-style deployments pair many edge
+//! nodes with independently unreliable links). [`InvalidationFanout`] holds
+//! one [`InvalidationChannel`] per cache; an update's invalidations are
+//! broadcast to every channel, and each channel drops/delays them
+//! independently.
+//!
+//! Reproducibility: each channel's RNG seed is derived from
+//! `(run_seed, CacheId)` with [`tcache_types::seeding::cache_channel_seed`],
+//! so the loss pattern a cache observes is a pure function of the run seed
+//! and its id — independent of how many other caches exist, of event
+//! interleaving, and of registration order.
+
+use crate::channel::{ChannelStats, InvalidationChannel};
+use crate::fault::LossModel;
+use crate::latency::LatencyModel;
+use tcache_db::Invalidation;
+use tcache_types::{cache_channel_seed, CacheId, SimTime};
+
+/// Loss and latency of one cache's invalidation link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheLink {
+    /// The cache this link feeds.
+    pub cache: CacheId,
+    /// Loss model of the link.
+    pub loss: LossModel,
+    /// Latency model of the link.
+    pub latency: LatencyModel,
+}
+
+impl CacheLink {
+    /// A link with uniform loss probability and constant delay — the shape
+    /// every experiment in the evaluation uses.
+    pub fn uniform(cache: CacheId, loss: f64, delay: tcache_types::SimDuration) -> Self {
+        CacheLink {
+            cache,
+            loss: LossModel::uniform(loss),
+            latency: LatencyModel::Constant(delay),
+        }
+    }
+}
+
+/// The database side of a multi-cache deployment: one discrete-event
+/// invalidation channel per cache, independently seeded.
+#[derive(Debug)]
+pub struct InvalidationFanout {
+    channels: Vec<(CacheId, InvalidationChannel)>,
+}
+
+impl InvalidationFanout {
+    /// Builds one channel per link, deriving each channel's seed from
+    /// `(run_seed, link.cache)`.
+    ///
+    /// # Panics
+    /// Panics if two links name the same cache.
+    pub fn new(run_seed: u64, links: impl IntoIterator<Item = CacheLink>) -> Self {
+        let mut channels: Vec<(CacheId, InvalidationChannel)> = Vec::new();
+        for link in links {
+            assert!(
+                channels.iter().all(|&(id, _)| id != link.cache),
+                "duplicate channel for {}",
+                link.cache
+            );
+            let seed = cache_channel_seed(run_seed, link.cache);
+            channels.push((
+                link.cache,
+                InvalidationChannel::new(link.loss, link.latency, seed),
+            ));
+        }
+        InvalidationFanout { channels }
+    }
+
+    /// Number of caches fanned out to.
+    pub fn cache_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The cache ids in registration order.
+    pub fn cache_ids(&self) -> impl Iterator<Item = CacheId> + '_ {
+        self.channels.iter().map(|&(id, _)| id)
+    }
+
+    /// Broadcasts a batch of invalidations to every cache's channel at
+    /// simulated time `now`. Each channel applies its own loss and latency
+    /// independently.
+    pub fn broadcast(&mut self, now: SimTime, invalidations: &[Invalidation]) {
+        for (_, channel) in &mut self.channels {
+            channel.send(now, invalidations.iter().copied());
+        }
+    }
+
+    /// Submits invalidations to a single cache's channel (unicast).
+    ///
+    /// # Panics
+    /// Panics if `cache` has no registered channel.
+    pub fn send_to(
+        &mut self,
+        cache: CacheId,
+        now: SimTime,
+        invalidations: impl IntoIterator<Item = Invalidation>,
+    ) {
+        self.channel_mut(cache)
+            .unwrap_or_else(|| panic!("no channel registered for {cache}"))
+            .send(now, invalidations);
+    }
+
+    /// Pops every invalidation due by `now` across all channels, tagged with
+    /// the cache it is addressed to. Channels are drained in registration
+    /// order (deliveries to different caches never interact, so this order
+    /// only needs to be deterministic).
+    pub fn due(&mut self, now: SimTime) -> Vec<(CacheId, Invalidation)> {
+        let mut out = Vec::new();
+        for (id, channel) in &mut self.channels {
+            for inv in channel.due(now) {
+                out.push((*id, inv));
+            }
+        }
+        out
+    }
+
+    /// The earliest pending delivery time across all channels.
+    pub fn next_delivery_at(&self) -> Option<SimTime> {
+        self.channels
+            .iter()
+            .filter_map(|(_, c)| c.next_delivery_at())
+            .min()
+    }
+
+    /// Total invalidations currently in flight across all channels.
+    pub fn in_flight(&self) -> usize {
+        self.channels.iter().map(|(_, c)| c.in_flight()).sum()
+    }
+
+    /// Per-cache channel statistics, in registration order.
+    pub fn stats(&self) -> Vec<(CacheId, ChannelStats)> {
+        self.channels.iter().map(|(id, c)| (*id, c.stats())).collect()
+    }
+
+    /// Statistics summed over every cache's channel.
+    pub fn aggregate_stats(&self) -> ChannelStats {
+        let mut total = ChannelStats::default();
+        for (_, channel) in &self.channels {
+            total.merge(channel.stats());
+        }
+        total
+    }
+
+    /// Mutable access to one cache's channel.
+    pub fn channel_mut(&mut self, cache: CacheId) -> Option<&mut InvalidationChannel> {
+        self.channels
+            .iter_mut()
+            .find(|&&mut (id, _)| id == cache)
+            .map(|(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::{ObjectId, SimDuration, TxnId, Version};
+
+    fn inv(o: u64, v: u64) -> Invalidation {
+        Invalidation::new(ObjectId(o), Version(v), TxnId(v))
+    }
+
+    fn links(losses: &[f64]) -> Vec<CacheLink> {
+        losses
+            .iter()
+            .enumerate()
+            .map(|(i, &loss)| {
+                CacheLink::uniform(CacheId(i as u32), loss, SimDuration::from_millis(10))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn broadcast_reaches_every_cache_independently() {
+        let mut fanout = InvalidationFanout::new(1, links(&[0.0, 0.0]));
+        assert_eq!(fanout.cache_count(), 2);
+        fanout.broadcast(SimTime::ZERO, &[inv(1, 1), inv(2, 1)]);
+        assert_eq!(fanout.in_flight(), 4);
+        assert_eq!(fanout.next_delivery_at(), Some(SimTime::from_millis(10)));
+        let due = fanout.due(SimTime::from_millis(10));
+        assert_eq!(due.len(), 4);
+        assert_eq!(due.iter().filter(|&&(id, _)| id == CacheId(0)).count(), 2);
+        assert_eq!(due.iter().filter(|&&(id, _)| id == CacheId(1)).count(), 2);
+        let agg = fanout.aggregate_stats();
+        assert_eq!(agg.sent, 4);
+        assert_eq!(agg.delivered, 4);
+    }
+
+    #[test]
+    fn per_cache_loss_is_heterogeneous_and_observed() {
+        let mut fanout = InvalidationFanout::new(9, links(&[0.0, 0.5]));
+        for i in 0..4_000u64 {
+            fanout.broadcast(SimTime::from_millis(i), &[inv(i, i + 1)]);
+        }
+        let stats = fanout.stats();
+        assert_eq!(stats[0].1.loss_ratio(), 0.0);
+        let lossy = stats[1].1.loss_ratio();
+        assert!((lossy - 0.5).abs() < 0.05, "lossy channel ratio {lossy}");
+    }
+
+    #[test]
+    fn channel_seeds_are_stable_per_cache_id() {
+        // The loss pattern of cache 1 must not depend on how many other
+        // caches the fan-out hosts.
+        let drops = |n_caches: usize| -> u64 {
+            let mut losses = vec![0.3; n_caches];
+            losses[0] = 0.0;
+            let mut fanout = InvalidationFanout::new(7, links(&losses));
+            for i in 0..2_000u64 {
+                fanout.broadcast(SimTime::from_millis(i), &[inv(i, i + 1)]);
+            }
+            fanout
+                .stats()
+                .iter()
+                .find(|&&(id, _)| id == CacheId(1))
+                .unwrap()
+                .1
+                .dropped
+        };
+        assert_eq!(drops(2), drops(4));
+    }
+
+    #[test]
+    fn unicast_targets_one_cache() {
+        let mut fanout = InvalidationFanout::new(1, links(&[0.0, 0.0]));
+        fanout.send_to(CacheId(1), SimTime::ZERO, [inv(5, 1)]);
+        let due = fanout.due(SimTime::from_secs(1));
+        assert_eq!(due, vec![(CacheId(1), inv(5, 1))]);
+        assert!(fanout.channel_mut(CacheId(9)).is_none());
+        assert_eq!(fanout.cache_ids().collect::<Vec<_>>(), vec![CacheId(0), CacheId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate channel")]
+    fn duplicate_cache_ids_panic() {
+        let _ = InvalidationFanout::new(1, links(&[0.0]).into_iter().chain(links(&[0.1])));
+    }
+}

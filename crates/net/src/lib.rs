@@ -12,6 +12,8 @@
 //! * [`latency`] — delay models (constant, uniform, exponential);
 //! * [`channel`] — a discrete-event delivery queue combining a loss model
 //!   and a latency model, used by the simulation harness;
+//! * [`fanout`] — one channel per edge cache, independently seeded from
+//!   `(run_seed, CacheId)`, for multi-cache deployments;
 //! * [`transport`] — a live (threaded) transport over `crossbeam-channel`
 //!   for the prototype mode, applying the same loss model.
 
@@ -19,11 +21,13 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod channel;
+pub mod fanout;
 pub mod fault;
 pub mod latency;
 pub mod transport;
 
 pub use channel::{InvalidationChannel, PendingDelivery};
+pub use fanout::{CacheLink, InvalidationFanout};
 pub use fault::LossModel;
 pub use latency::LatencyModel;
 pub use transport::{LiveReceiver, LiveSender, live_channel};

@@ -44,14 +44,23 @@ pub fn live_channel(loss: LossModel, seed: u64) -> (LiveSender, LiveReceiver) {
 impl LiveSender {
     /// Sends a batch of invalidations, dropping each one independently
     /// according to the loss model. Returns the number actually enqueued.
+    ///
+    /// The loss mutex protects only the drop decisions (loss state + RNG);
+    /// it is never held across the channel sends nor while pulling from the
+    /// caller's iterator, so cloned senders on other threads enqueue
+    /// concurrently instead of serializing behind one batch.
     pub fn send(&self, invalidations: impl IntoIterator<Item = Invalidation>) -> usize {
-        let mut guard = self.loss.lock();
-        let (loss, rng) = &mut *guard;
+        let batch: Vec<Invalidation> = invalidations.into_iter().collect();
+        let survivors: Vec<Invalidation> = {
+            let mut guard = self.loss.lock();
+            let (loss, rng) = &mut *guard;
+            batch
+                .into_iter()
+                .filter(|_| !loss.should_drop(rng))
+                .collect()
+        };
         let mut delivered = 0;
-        for inv in invalidations {
-            if loss.should_drop(rng) {
-                continue;
-            }
+        for inv in survivors {
             // A send only fails if the receiver is gone, which simply means
             // the cache has shut down — the paper's channel is best-effort,
             // so dropping is the correct behaviour.
@@ -118,6 +127,83 @@ mod tests {
         let (tx, rx) = live_channel(LossModel::None, 1);
         drop(tx);
         assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn concurrent_sender_clones_do_not_serialize_on_the_loss_lock() {
+        // Regression test for the loss mutex being held across enqueues:
+        // sender A's input iterator yields its second item only after sender
+        // B's send has completed. When the lock was held across iteration
+        // and channel sends this deadlocked (A held the lock while waiting
+        // for B; B waited for the lock); now A collects its batch and B's
+        // drop decisions only briefly contend on the mutex.
+        let (tx, rx) = live_channel(LossModel::None, 1);
+        let a = tx.clone();
+        let b = tx.clone();
+        let (b_done_tx, b_done_rx) = std::sync::mpsc::channel::<()>();
+
+        let handle_a = std::thread::spawn(move || {
+            let mut yielded = 0u64;
+            let blocking_iter = std::iter::from_fn(move || {
+                yielded += 1;
+                match yielded {
+                    1 => Some(inv(1)),
+                    2 => {
+                        // Wait until B's send went through before yielding.
+                        b_done_rx.recv().expect("B completes");
+                        Some(inv(2))
+                    }
+                    _ => None,
+                }
+            });
+            a.send(blocking_iter)
+        });
+        let handle_b = std::thread::spawn(move || {
+            let sent = b.send((100..200).map(inv));
+            b_done_tx.send(()).expect("A is waiting");
+            sent
+        });
+        assert_eq!(handle_a.join().unwrap(), 2);
+        assert_eq!(handle_b.join().unwrap(), 100);
+        assert_eq!(rx.drain().len(), 102);
+    }
+
+    #[test]
+    fn many_contending_clones_deliver_everything() {
+        let (tx, rx) = live_channel(LossModel::None, 5);
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let tx = tx.clone();
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    (0..4)
+                        .map(|round| tx.send((0..250).map(|i| inv(t * 10_000 + round * 1000 + i))))
+                        .sum::<usize>()
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 8_000);
+        assert_eq!(rx.drain().len(), 8_000);
+    }
+
+    #[test]
+    fn lossy_concurrent_clones_share_the_loss_state() {
+        // The drop decisions stay centralized (one LossState + RNG), so the
+        // aggregate loss across contending clones still matches the model.
+        let (tx, rx) = live_channel(LossModel::Uniform(0.2), 11);
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send((0..5_000).map(|i| inv(t * 100_000 + i))))
+            })
+            .collect();
+        let sent: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(sent, rx.drain().len());
+        let ratio = sent as f64 / 20_000.0;
+        assert!((ratio - 0.8).abs() < 0.02, "delivery ratio {ratio}");
     }
 
     #[test]

@@ -2,16 +2,17 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use tcache_types::SimTime;
+use tcache_types::{CacheId, SimTime};
 
 /// The kinds of events processed by the experiment loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// An update client issues a transaction against the database.
     UpdateTransaction,
-    /// A read-only client issues a transaction against the cache.
-    ReadOnlyTransaction,
-    /// The invalidation channel has messages due for delivery.
+    /// A read-only client issues a transaction against the given cache
+    /// (each cache serves its own client population).
+    ReadOnlyTransaction(CacheId),
+    /// An invalidation channel has messages due for delivery.
     DeliverInvalidations,
 }
 
@@ -88,7 +89,7 @@ mod tests {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         q.schedule(SimTime::from_secs(3), Event::UpdateTransaction);
-        q.schedule(SimTime::from_secs(1), Event::ReadOnlyTransaction);
+        q.schedule(SimTime::from_secs(1), Event::ReadOnlyTransaction(CacheId(0)));
         q.schedule(SimTime::from_secs(2), Event::DeliverInvalidations);
         assert_eq!(q.len(), 3);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
@@ -96,7 +97,7 @@ mod tests {
         assert_eq!(
             order,
             vec![
-                Event::ReadOnlyTransaction,
+                Event::ReadOnlyTransaction(CacheId(0)),
                 Event::DeliverInvalidations,
                 Event::UpdateTransaction
             ]
@@ -109,10 +110,10 @@ mod tests {
         let mut q = EventQueue::new();
         let t = SimTime::from_secs(1);
         q.schedule(t, Event::UpdateTransaction);
-        q.schedule(t, Event::ReadOnlyTransaction);
+        q.schedule(t, Event::ReadOnlyTransaction(CacheId(1)));
         q.schedule(t, Event::DeliverInvalidations);
         assert_eq!(q.pop().unwrap().1, Event::UpdateTransaction);
-        assert_eq!(q.pop().unwrap().1, Event::ReadOnlyTransaction);
+        assert_eq!(q.pop().unwrap().1, Event::ReadOnlyTransaction(CacheId(1)));
         assert_eq!(q.pop().unwrap().1, Event::DeliverInvalidations);
     }
 }

@@ -1,17 +1,24 @@
-//! The experiment runner: one database column, one cache, one monitor.
+//! The experiment runner: one database column serving N edge caches.
+//!
+//! The paper's setup (§IV, Figure 2) wires a single cache; the harness
+//! generalizes it to a [`CacheTopology`] of N caches over the same backend.
+//! Each cache has its own invalidation channel (independently seeded from
+//! `(seed, CacheId)`, optionally with heterogeneous loss) and its own
+//! read-only client population; the consistency monitor classifies
+//! transactions both globally and per cache, since cache serializability is
+//! a per-cache-server property.
 
 use crate::clients::ArrivalProcess;
 use crate::event::{Event, EventQueue};
-use crate::results::ExperimentResult;
+use crate::results::{CacheColumnResult, ExperimentResult};
 use crate::timeseries::TimeSeries;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use tcache_cache::EdgeCache;
+use tcache_cache::{CacheStatsSnapshot, EdgeCache};
 use tcache_db::{Database, DatabaseConfig};
 use tcache_monitor::ConsistencyMonitor;
-use tcache_net::channel::InvalidationChannel;
-use tcache_net::{LatencyModel, LossModel};
+use tcache_net::fanout::{CacheLink, InvalidationFanout};
 use tcache_types::{
     CacheId, DependencyBound, ObjectId, SimDuration, SimTime, Strategy, TCacheError,
     TransactionRecord, TxnId, Value,
@@ -171,8 +178,10 @@ impl CacheKind {
         }
     }
 
-    fn build(&self, backend: Arc<Database>) -> EdgeCache {
-        let id = CacheId(0);
+    /// Builds a cache of this kind with the given server id. Every cache of
+    /// a multi-cache deployment must carry its real id — stats and
+    /// violations from distinct caches must never be conflated.
+    pub fn build(&self, id: CacheId, backend: Arc<Database>) -> EdgeCache {
         match *self {
             CacheKind::TCache {
                 dependency_bound,
@@ -185,26 +194,72 @@ impl CacheKind {
     }
 }
 
+/// How many edge caches the experiment deploys and what their invalidation
+/// links look like. All caches run the same [`CacheKind`] and share the
+/// backend database; they differ in their channel's loss process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheTopology {
+    /// The paper's single-column setup: one cache whose channel uses the
+    /// experiment-level `invalidation_loss`.
+    Single,
+    /// N identical caches, each with its own independently seeded channel
+    /// at the experiment-level loss rate.
+    Uniform(usize),
+    /// One cache per entry, with heterogeneous per-cache loss rates.
+    PerCacheLoss(Vec<f64>),
+}
+
+impl CacheTopology {
+    /// Number of caches deployed.
+    ///
+    /// # Panics
+    /// Panics on an empty topology (`Uniform(0)` or an empty loss list).
+    pub fn cache_count(&self) -> usize {
+        let n = match self {
+            CacheTopology::Single => 1,
+            CacheTopology::Uniform(n) => *n,
+            CacheTopology::PerCacheLoss(losses) => losses.len(),
+        };
+        assert!(n > 0, "an experiment needs at least one cache");
+        n
+    }
+
+    /// The per-cache loss rates, with `default_loss` filling the uniform
+    /// topologies.
+    pub fn losses(&self, default_loss: f64) -> Vec<f64> {
+        match self {
+            CacheTopology::Single => vec![default_loss],
+            CacheTopology::Uniform(n) => vec![default_loss; *n],
+            CacheTopology::PerCacheLoss(losses) => losses.clone(),
+        }
+    }
+}
+
 /// Full configuration of one experiment run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Simulated duration.
     pub duration: SimDuration,
     /// Aggregate update-transaction rate (the paper uses 100 txn/s).
     pub update_rate: f64,
-    /// Aggregate read-only transaction rate (the paper uses 500 txn/s).
+    /// Aggregate read-only transaction rate across all caches (the paper
+    /// uses 500 txn/s); each cache's client population gets an equal share.
     pub read_rate: f64,
     /// The workload driving both client classes.
     pub workload: WorkloadKind,
     /// The cache under test.
     pub cache: CacheKind,
-    /// Fraction of invalidations dropped by the channel (the paper uses 0.2).
+    /// How many caches are deployed and their per-cache channel loss.
+    pub caches: CacheTopology,
+    /// Fraction of invalidations dropped by the channel (the paper uses
+    /// 0.2); per-cache rates in [`CacheTopology::PerCacheLoss`] override it.
     pub invalidation_loss: f64,
     /// One-way delivery delay of surviving invalidations.
     pub invalidation_delay: SimDuration,
     /// Bin width of the outcome time series.
     pub timeseries_bin: SimDuration,
-    /// Random seed (workload topology, arrivals, channel loss).
+    /// Random seed (workload topology, arrivals, channel loss). Per-cache
+    /// channel seeds are derived from `(seed, CacheId)`.
     pub seed: u64,
 }
 
@@ -223,6 +278,7 @@ impl Default for ExperimentConfig {
                 dependency_bound: 5,
                 strategy: Strategy::Abort,
             },
+            caches: CacheTopology::Single,
             invalidation_loss: 0.2,
             invalidation_delay: SimDuration::from_millis(50),
             timeseries_bin: SimDuration::from_secs(1),
@@ -242,8 +298,11 @@ impl ExperimentConfig {
 pub struct Experiment {
     config: ExperimentConfig,
     db: Arc<Database>,
-    cache: EdgeCache,
-    channel: InvalidationChannel,
+    /// One cache per deployed column; `caches[i].id() == CacheId(i)`.
+    caches: Vec<EdgeCache>,
+    /// Configured loss rate of each cache's channel (same indexing).
+    losses: Vec<f64>,
+    fanout: InvalidationFanout,
     monitor: ConsistencyMonitor,
     workload: Box<dyn WorkloadGenerator>,
     rng: StdRng,
@@ -261,9 +320,13 @@ impl std::fmt::Debug for Experiment {
 }
 
 impl Experiment {
-    /// Builds all components (database, cache, channel, monitor, workload)
-    /// from the configuration and populates the database.
+    /// Builds all components (database, caches, per-cache channels, monitor,
+    /// workload) from the configuration and populates the database.
+    ///
+    /// # Panics
+    /// Panics if the configured [`CacheTopology`] deploys zero caches.
     pub fn new(config: ExperimentConfig) -> Self {
+        assert!(config.caches.cache_count() > 0);
         let workload = config.workload.build(config.seed);
         let db = Arc::new(Database::new(DatabaseConfig {
             shards: 1,
@@ -271,29 +334,39 @@ impl Experiment {
             history_depth: 0,
         }));
         db.populate((0..workload.object_count() as u64).map(|i| (ObjectId(i), Value::new(0))));
-        let cache = config.cache.build(Arc::clone(&db));
-        let channel = InvalidationChannel::new(
-            LossModel::uniform(config.invalidation_loss),
-            LatencyModel::Constant(config.invalidation_delay),
-            config.seed.wrapping_add(1),
+        let losses = config.caches.losses(config.invalidation_loss);
+        let caches: Vec<EdgeCache> = (0..losses.len())
+            .map(|i| config.cache.build(CacheId(i as u32), Arc::clone(&db)))
+            .collect();
+        // Each cache's channel is seeded from (seed, CacheId), so the loss
+        // pattern a cache observes does not depend on how many other caches
+        // are deployed or how events interleave.
+        let fanout = InvalidationFanout::new(
+            config.seed,
+            losses.iter().enumerate().map(|(i, &loss)| {
+                CacheLink::uniform(CacheId(i as u32), loss, config.invalidation_delay)
+            }),
         );
+        let timeseries = TimeSeries::new(config.timeseries_bin);
+        let rng = StdRng::seed_from_u64(config.seed.wrapping_add(2));
         Experiment {
             config,
             db,
-            cache,
-            channel,
+            caches,
+            losses,
+            fanout,
             monitor: ConsistencyMonitor::new(),
             workload,
-            rng: StdRng::seed_from_u64(config.seed.wrapping_add(2)),
+            rng,
             queue: EventQueue::new(),
-            timeseries: TimeSeries::new(config.timeseries_bin),
+            timeseries,
             next_txn: 1,
         }
     }
 
     /// The configuration this experiment was built from.
-    pub fn config(&self) -> ExperimentConfig {
-        self.config
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
     }
 
     fn next_txn_id(&mut self) -> TxnId {
@@ -305,17 +378,21 @@ impl Experiment {
     /// Runs the experiment and collects the results.
     pub fn run(mut self) -> ExperimentResult {
         let updates = ArrivalProcess::new(self.config.update_rate);
-        let reads = ArrivalProcess::new(self.config.read_rate);
+        // The aggregate read rate is split evenly over the per-cache client
+        // populations, matching the paper's aggregate when N = 1.
+        let reads = ArrivalProcess::new(self.config.read_rate / self.caches.len() as f64);
         let end = SimTime::ZERO + self.config.duration;
 
         self.queue.schedule(
             updates.next_arrival(SimTime::ZERO, &mut self.rng),
             Event::UpdateTransaction,
         );
-        self.queue.schedule(
-            reads.next_arrival(SimTime::ZERO, &mut self.rng),
-            Event::ReadOnlyTransaction,
-        );
+        for i in 0..self.caches.len() {
+            self.queue.schedule(
+                reads.next_arrival(SimTime::ZERO, &mut self.rng),
+                Event::ReadOnlyTransaction(CacheId(i as u32)),
+            );
+        }
 
         while let Some((now, event)) = self.queue.pop() {
             if now > end {
@@ -330,27 +407,50 @@ impl Experiment {
                     self.queue
                         .schedule(updates.next_arrival(now, &mut self.rng), Event::UpdateTransaction);
                 }
-                Event::ReadOnlyTransaction => {
-                    self.run_read_only(now);
-                    self.queue
-                        .schedule(reads.next_arrival(now, &mut self.rng), Event::ReadOnlyTransaction);
+                Event::ReadOnlyTransaction(cache) => {
+                    self.run_read_only(now, cache);
+                    self.queue.schedule(
+                        reads.next_arrival(now, &mut self.rng),
+                        Event::ReadOnlyTransaction(cache),
+                    );
                 }
             }
         }
 
+        let per_cache: Vec<CacheColumnResult> = self
+            .caches
+            .iter()
+            .zip(self.fanout.stats())
+            .zip(&self.losses)
+            .map(|((cache, (channel_id, channel)), &loss)| {
+                debug_assert_eq!(cache.id(), channel_id);
+                CacheColumnResult {
+                    id: cache.id(),
+                    loss,
+                    report: self.monitor.cache_report(cache.id()),
+                    cache: cache.stats(),
+                    channel,
+                }
+            })
+            .collect();
+        let mut cache_total = CacheStatsSnapshot::default();
+        for column in &per_cache {
+            cache_total.merge(column.cache);
+        }
         ExperimentResult {
             duration: self.config.duration,
             report: self.monitor.report(),
-            cache: self.cache.stats(),
+            cache: cache_total,
             db: self.db.stats(),
-            channel: self.channel.stats(),
+            channel: self.fanout.aggregate_stats(),
+            per_cache,
             timeseries: self.timeseries,
         }
     }
 
     fn deliver_due(&mut self, now: SimTime) {
-        for invalidation in self.channel.due(now) {
-            self.cache.apply_invalidation(invalidation);
+        for (cache, invalidation) in self.fanout.due(now) {
+            self.caches[cache.0 as usize].apply_invalidation(invalidation);
         }
     }
 
@@ -366,9 +466,9 @@ impl Experiment {
                     now,
                 );
                 self.monitor.record_update_commit(&record);
-                self.channel
-                    .send(now, commit.invalidations.iter().copied());
-                if let Some(at) = self.channel.next_delivery_at() {
+                self.fanout
+                    .broadcast(now, commit.invalidations.invalidations());
+                if let Some(at) = self.fanout.next_delivery_at() {
                     self.queue.schedule(at, Event::DeliverInvalidations);
                 }
             }
@@ -378,15 +478,16 @@ impl Experiment {
         }
     }
 
-    fn run_read_only(&mut self, now: SimTime) {
+    fn run_read_only(&mut self, now: SimTime, cache: CacheId) {
         let txn = self.next_txn_id();
         let access = self.workload.generate(now, &mut self.rng);
         let keys = access.objects();
         let mut observed = Vec::with_capacity(keys.len());
         let mut aborted = false;
+        let server = &self.caches[cache.0 as usize];
         for (i, &key) in keys.iter().enumerate() {
             let last_op = i + 1 == keys.len();
-            match self.cache.read(now, txn, key, last_op) {
+            match server.read(now, txn, key, last_op) {
                 Ok(v) => observed.push((v.id, v.version)),
                 Err(TCacheError::InconsistencyAbort { .. }) => {
                     aborted = true;
@@ -395,7 +496,9 @@ impl Experiment {
                 Err(e) => panic!("unexpected cache error during experiment: {e}"),
             }
         }
-        let class = self.monitor.record_read_only(&observed, !aborted);
+        let class = self
+            .monitor
+            .record_read_only_from(cache, &observed, !aborted);
         self.timeseries.record(now, class);
     }
 }
@@ -488,6 +591,87 @@ mod tests {
             "without loss or delay every committed transaction is consistent"
         );
         assert_eq!(result.channel.dropped, 0);
+    }
+
+    #[test]
+    fn multi_cache_run_reports_per_cache_and_aggregate_views() {
+        let config = ExperimentConfig {
+            caches: CacheTopology::PerCacheLoss(vec![0.0, 0.1, 0.2, 0.4]),
+            ..quick_config()
+        };
+        let result = config.clone().run();
+        assert_eq!(result.cache_count(), 4);
+
+        // Per-cache read-only classifications partition the global report.
+        let read_only_sum: u64 = result
+            .per_cache
+            .iter()
+            .map(|c| c.report.read_only_total())
+            .sum();
+        assert_eq!(read_only_sum, result.report.read_only_total());
+        let inconsistent_sum: u64 = result
+            .per_cache
+            .iter()
+            .map(|c| c.report.committed_inconsistent)
+            .sum();
+        assert_eq!(inconsistent_sum, result.report.committed_inconsistent);
+
+        // Channel and cache stats aggregate across the fan-out.
+        let sent_sum: u64 = result.per_cache.iter().map(|c| c.channel.sent).sum();
+        assert_eq!(sent_sum, result.channel.sent);
+        let reads_sum: u64 = result.per_cache.iter().map(|c| c.cache.reads).sum();
+        assert_eq!(reads_sum, result.cache.reads);
+
+        // Every cache sees its own configured loss rate on its own channel.
+        for column in &result.per_cache {
+            assert!(
+                (column.channel.loss_ratio() - column.loss).abs() < 0.07,
+                "{}: observed loss {} configured {}",
+                column.id,
+                column.channel.loss_ratio(),
+                column.loss
+            );
+            // Each cache serves roughly its share of the read traffic.
+            let share = column.report.read_only_total() as f64 / read_only_sum as f64;
+            assert!((share - 0.25).abs() < 0.1, "{} share {share}", column.id);
+        }
+
+        // Multi-cache runs are reproducible for a fixed seed.
+        let again = config.run();
+        assert_eq!(result.report, again.report);
+        for (a, b) in result.per_cache.iter().zip(&again.per_cache) {
+            assert_eq!(a.report, b.report);
+            assert_eq!(a.cache, b.cache);
+            assert_eq!(a.channel, b.channel);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache")]
+    fn empty_topology_panics_at_construction() {
+        let _ = Experiment::new(ExperimentConfig {
+            caches: CacheTopology::Uniform(0),
+            ..quick_config()
+        });
+    }
+
+    #[test]
+    fn uniform_topology_deploys_identical_caches() {
+        let config = ExperimentConfig {
+            caches: CacheTopology::Uniform(2),
+            ..quick_config()
+        };
+        let result = config.run();
+        assert_eq!(result.cache_count(), 2);
+        for column in &result.per_cache {
+            assert_eq!(column.loss, 0.2);
+            assert!(column.report.read_only_total() > 0);
+        }
+        assert_eq!(
+            result.per_cache_inconsistency_ratios().len(),
+            2,
+            "one headline ratio per cache"
+        );
     }
 
     #[test]

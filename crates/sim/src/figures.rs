@@ -6,7 +6,7 @@
 //! unit tests here call them with short durations and assert the qualitative
 //! shape (who wins, what trends up or down).
 
-use crate::experiment::{CacheKind, ExperimentConfig, WorkloadKind};
+use crate::experiment::{CacheKind, CacheTopology, ExperimentConfig, WorkloadKind};
 use crate::results::ExperimentResult;
 use serde::Serialize;
 use tcache_types::{SimDuration, SimTime, Strategy};
@@ -436,6 +436,93 @@ pub fn drop_sweep(duration: SimDuration, seed: u64, losses: &[f64]) -> Vec<DropS
         .collect()
 }
 
+/// The heterogeneous per-cache loss rates of the default multi-cache
+/// experiment: four edge caches whose invalidation links range from
+/// reliable to badly lossy.
+pub const MULTI_CACHE_LOSSES: [f64; 4] = [0.0, 0.1, 0.2, 0.4];
+
+/// One row of the multi-cache experiment: one edge cache's outcome under
+/// its own invalidation-loss rate, for the plain cache and for T-Cache.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MultiCacheRow {
+    /// The cache server (rows are per cache, not per workload).
+    pub cache: u32,
+    /// Configured loss rate of this cache's invalidation channel.
+    pub loss: f64,
+    /// Inconsistency ratio of the consistency-unaware cache (percent).
+    pub plain_inconsistency_pct: f64,
+    /// Inconsistency ratio of T-Cache (percent).
+    pub tcache_inconsistency_pct: f64,
+    /// Percentage of T-Cache's read-only transactions aborted.
+    pub tcache_aborted_pct: f64,
+    /// T-Cache's hit ratio on this cache.
+    pub tcache_hit_ratio: f64,
+}
+
+/// Aggregate view of one multi-cache comparison run.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiCacheFigure {
+    /// Per-cache rows, ordered by `CacheId`.
+    pub rows: Vec<MultiCacheRow>,
+    /// The plain deployment's inconsistency ratio over all caches (percent).
+    pub plain_aggregate_inconsistency_pct: f64,
+    /// The T-Cache deployment's inconsistency ratio over all caches
+    /// (percent).
+    pub tcache_aggregate_inconsistency_pct: f64,
+}
+
+/// The multi-cache experiment: N edge caches over one database, each with an
+/// independently seeded invalidation channel at its own loss rate (pass
+/// [`MULTI_CACHE_LOSSES`] for the default four-cache setup). Reproduces the
+/// inconsistency-vs-loss trend *per cache within a single deployment* and
+/// compares the plain cache against T-Cache (dependency bound 5, ABORT).
+pub fn multi_cache(duration: SimDuration, seed: u64, losses: &[f64]) -> MultiCacheFigure {
+    let base = ExperimentConfig {
+        duration,
+        workload: WorkloadKind::PerfectClusters {
+            objects: 1000,
+            cluster_size: 5,
+        },
+        caches: CacheTopology::PerCacheLoss(losses.to_vec()),
+        seed,
+        ..ExperimentConfig::default()
+    };
+    let plain = ExperimentConfig {
+        cache: CacheKind::Plain,
+        ..base.clone()
+    }
+    .run();
+    let tcache = ExperimentConfig {
+        cache: CacheKind::TCache {
+            dependency_bound: 5,
+            strategy: Strategy::Abort,
+        },
+        ..base
+    }
+    .run();
+    let rows = plain
+        .per_cache
+        .iter()
+        .zip(&tcache.per_cache)
+        .map(|(p, t)| {
+            debug_assert_eq!(p.id, t.id);
+            MultiCacheRow {
+                cache: p.id.0,
+                loss: p.loss,
+                plain_inconsistency_pct: p.inconsistency_ratio() * 100.0,
+                tcache_inconsistency_pct: t.inconsistency_ratio() * 100.0,
+                tcache_aborted_pct: t.abort_ratio() * 100.0,
+                tcache_hit_ratio: t.hit_ratio(),
+            }
+        })
+        .collect();
+    MultiCacheFigure {
+        rows,
+        plain_aggregate_inconsistency_pct: plain.inconsistency_ratio() * 100.0,
+        tcache_aggregate_inconsistency_pct: tcache.inconsistency_ratio() * 100.0,
+    }
+}
+
 fn graph_workload(kind: GraphKind) -> WorkloadKind {
     WorkloadKind::Graph {
         kind,
@@ -564,6 +651,46 @@ mod tests {
             );
             assert!(h.detected_pct > 0.0);
         }
+    }
+
+    #[test]
+    fn multi_cache_inconsistency_tracks_per_cache_loss() {
+        let figure = multi_cache(SimDuration::from_secs(6), 7, &MULTI_CACHE_LOSSES);
+        assert_eq!(figure.rows.len(), 4);
+        let reliable = &figure.rows[0];
+        let lossiest = figure.rows.last().unwrap();
+        assert_eq!(reliable.loss, 0.0);
+        assert_eq!(lossiest.loss, 0.4);
+        // Within one deployment, the cache behind the lossiest link commits
+        // the most inconsistent transactions on the plain cache…
+        assert!(
+            lossiest.plain_inconsistency_pct > reliable.plain_inconsistency_pct,
+            "lossiest {} vs reliable {}",
+            lossiest.plain_inconsistency_pct,
+            reliable.plain_inconsistency_pct
+        );
+        // …and T-Cache reduces it on every cache (small-sample tolerance).
+        for row in &figure.rows {
+            assert!(
+                row.tcache_inconsistency_pct <= row.plain_inconsistency_pct + 0.5,
+                "cache {}: tcache {} plain {}",
+                row.cache,
+                row.tcache_inconsistency_pct,
+                row.plain_inconsistency_pct
+            );
+            assert!(row.tcache_hit_ratio > 0.5);
+        }
+        // T-Cache detects on the lossy caches, so aborts appear there.
+        assert!(lossiest.tcache_aborted_pct > 0.0);
+        // The aggregate sits between the best and worst cache.
+        assert!(
+            figure.plain_aggregate_inconsistency_pct >= reliable.plain_inconsistency_pct
+                && figure.plain_aggregate_inconsistency_pct <= lossiest.plain_inconsistency_pct
+        );
+        assert!(
+            figure.tcache_aggregate_inconsistency_pct
+                <= figure.plain_aggregate_inconsistency_pct
+        );
     }
 
     #[test]

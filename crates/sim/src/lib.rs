@@ -1,12 +1,14 @@
 //! The discrete-event experiment harness.
 //!
 //! This crate wires together the backend database, the unreliable
-//! invalidation channel, the edge cache, the consistency monitor and a
-//! workload generator into the single-column setup of §IV (Figure 2):
-//! update clients drive the database at a fixed rate, read-only clients
-//! drive the cache, the database pushes invalidations over the lossy
+//! invalidation channels, the edge caches, the consistency monitor and a
+//! workload generator into the setup of §IV (Figure 2), generalized from
+//! one cache to a [`experiment::CacheTopology`] of N caches: update clients
+//! drive the database at a fixed rate, each cache's read-only client
+//! population drives its cache, the database fans invalidations out over
+//! each cache's own (independently seeded, possibly heterogeneously lossy)
 //! channel, and the monitor classifies every completed read-only
-//! transaction.
+//! transaction both globally and per cache.
 //!
 //! [`experiment::Experiment`] runs one configuration to completion and
 //! returns an [`results::ExperimentResult`]; [`figures`] contains one driver
@@ -39,6 +41,6 @@ pub mod figures;
 pub mod results;
 pub mod timeseries;
 
-pub use experiment::{CacheKind, Experiment, ExperimentConfig, WorkloadKind};
-pub use results::ExperimentResult;
+pub use experiment::{CacheKind, CacheTopology, Experiment, ExperimentConfig, WorkloadKind};
+pub use results::{CacheColumnResult, ExperimentResult};
 pub use timeseries::{TimeBin, TimeSeries};

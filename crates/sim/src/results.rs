@@ -5,21 +5,59 @@ use tcache_cache::CacheStatsSnapshot;
 use tcache_db::stats::DbStatsSnapshot;
 use tcache_monitor::MonitorReport;
 use tcache_net::channel::ChannelStats;
-use tcache_types::SimDuration;
+use tcache_types::{CacheId, SimDuration};
+
+/// Everything measured for one cache server of a (possibly multi-cache)
+/// experiment run.
+#[derive(Debug, Clone)]
+pub struct CacheColumnResult {
+    /// The cache server.
+    pub id: CacheId,
+    /// The configured loss rate of this cache's invalidation channel.
+    pub loss: f64,
+    /// The monitor's classification of the transactions this cache served.
+    /// (Update counters are global and stay zero here.)
+    pub report: MonitorReport,
+    /// This cache's statistics.
+    pub cache: CacheStatsSnapshot,
+    /// This cache's channel statistics.
+    pub channel: ChannelStats,
+}
+
+impl CacheColumnResult {
+    /// The cache's inconsistency ratio (fraction of its committed read-only
+    /// transactions that observed inconsistent data).
+    pub fn inconsistency_ratio(&self) -> f64 {
+        self.report.inconsistency_ratio()
+    }
+
+    /// The cache's hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        self.cache.hit_ratio()
+    }
+
+    /// Fraction of this cache's read-only transactions that were aborted.
+    pub fn abort_ratio(&self) -> f64 {
+        self.report.abort_ratio()
+    }
+}
 
 /// Everything measured during one experiment run.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Simulated duration of the run.
     pub duration: SimDuration,
-    /// The consistency monitor's classification counts.
+    /// The consistency monitor's classification counts over all caches.
     pub report: MonitorReport,
-    /// Cache-side statistics (hit ratio, aborts, retries, …).
+    /// Cache-side statistics summed over all deployed caches.
     pub cache: CacheStatsSnapshot,
     /// Database-side statistics (reads served, updates committed, …).
     pub db: DbStatsSnapshot,
-    /// Invalidation channel statistics (sent / dropped / delivered).
+    /// Invalidation channel statistics summed over all per-cache channels.
     pub channel: ChannelStats,
+    /// Per-cache measurements, indexed by `CacheId` (one entry per deployed
+    /// cache; a single-cache run has exactly one).
+    pub per_cache: Vec<CacheColumnResult>,
     /// Per-bin outcome time series (used by Figures 4 and 5).
     pub timeseries: TimeSeries,
 }
@@ -71,6 +109,25 @@ impl ExperimentResult {
     pub fn detection_ratio(&self) -> f64 {
         self.report.detection_ratio()
     }
+
+    /// Number of caches the run deployed.
+    pub fn cache_count(&self) -> usize {
+        self.per_cache.len()
+    }
+
+    /// The per-cache measurements for one cache server.
+    pub fn cache_result(&self, id: CacheId) -> Option<&CacheColumnResult> {
+        self.per_cache.iter().find(|c| c.id == id)
+    }
+
+    /// `(CacheId, inconsistency ratio)` for every deployed cache — the
+    /// per-cache view of the headline metric.
+    pub fn per_cache_inconsistency_ratios(&self) -> Vec<(CacheId, f64)> {
+        self.per_cache
+            .iter()
+            .map(|c| (c.id, c.inconsistency_ratio()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +156,13 @@ mod tests {
             cache,
             db: DbStatsSnapshot::default(),
             channel: ChannelStats::default(),
+            per_cache: vec![CacheColumnResult {
+                id: CacheId(0),
+                loss: 0.2,
+                report,
+                cache,
+                channel: ChannelStats::default(),
+            }],
             timeseries: TimeSeries::new(SimDuration::from_secs(1)),
         }
     }
@@ -113,6 +177,21 @@ mod tests {
         assert!((r.consistent_commit_ratio() - 0.8).abs() < 1e-9);
         assert!((r.abort_ratio() - 0.1).abs() < 1e-9);
         assert!((r.detection_ratio() - 100.0 / 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_cache_accessors() {
+        let r = sample();
+        assert_eq!(r.cache_count(), 1);
+        let column = r.cache_result(CacheId(0)).unwrap();
+        assert!((column.inconsistency_ratio() - r.inconsistency_ratio()).abs() < 1e-9);
+        assert!((column.hit_ratio() - 0.9).abs() < 1e-9);
+        assert!((column.abort_ratio() - 0.1).abs() < 1e-9);
+        assert_eq!(column.loss, 0.2);
+        assert!(r.cache_result(CacheId(3)).is_none());
+        let ratios = r.per_cache_inconsistency_ratios();
+        assert_eq!(ratios.len(), 1);
+        assert_eq!(ratios[0].0, CacheId(0));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Error types shared across the T-Cache crates.
 
-use crate::ids::{ObjectId, TxnId};
+use crate::ids::{CacheId, ObjectId, TxnId};
 use std::error::Error;
 use std::fmt;
 
@@ -32,6 +32,8 @@ pub enum TCacheError {
     /// The transaction id is not known to the component (e.g. a commit for
     /// a transaction that was never started, or a read after `last_op`).
     UnknownTransaction(TxnId),
+    /// The addressed cache server is not deployed in this system.
+    UnknownCache(CacheId),
     /// The operation is invalid in the component's current state.
     InvalidOperation(&'static str),
     /// The cache is configured without a backing database connection and a
@@ -77,6 +79,7 @@ impl fmt::Display for TCacheError {
                 write!(f, "update transaction {txn} aborted: {reason}")
             }
             TCacheError::UnknownTransaction(t) => write!(f, "unknown transaction {t}"),
+            TCacheError::UnknownCache(c) => write!(f, "unknown cache server {c}"),
             TCacheError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
             TCacheError::NoBackend => write!(f, "cache has no backend database configured"),
         }
@@ -106,6 +109,7 @@ mod tests {
         assert!(e.to_string().contains("lock conflict"));
         assert!(TCacheError::NoBackend.to_string().contains("backend"));
         assert!(TCacheError::UnknownTransaction(TxnId(5)).to_string().contains("t5"));
+        assert!(TCacheError::UnknownCache(CacheId(3)).to_string().contains("cache3"));
         assert!(TCacheError::InvalidOperation("x").to_string().contains("x"));
     }
 

@@ -33,6 +33,7 @@ pub mod dependency;
 pub mod entry;
 pub mod error;
 pub mod ids;
+pub mod seeding;
 pub mod time;
 pub mod transaction;
 pub mod value;
@@ -42,6 +43,7 @@ pub use dependency::{DependencyEntry, DependencyList};
 pub use entry::{ObjectEntry, VersionedObject};
 pub use error::{ConflictReason, TCacheError, TCacheResult};
 pub use ids::{CacheId, ClientId, ObjectId, TxnId, Version};
+pub use seeding::{cache_channel_seed, derive_stream_seed};
 pub use time::{SimDuration, SimTime};
 pub use transaction::{
     AccessSet, ReadOnlyOutcome, ReadRecord, ReadSet, TransactionKind, TransactionRecord,

@@ -1,0 +1,82 @@
+//! Deterministic derivation of per-component RNG seeds.
+//!
+//! A multi-cache run owns one invalidation channel per cache, each with its
+//! own randomness stream. Deriving every channel seed from the single run
+//! seed with a strong mixer keeps runs reproducible — the stream a cache
+//! observes depends only on `(run_seed, CacheId)`, never on how many other
+//! caches exist or in which order events interleave — while guaranteeing
+//! that nearby run seeds (`seed`, `seed + 1`, …) do not produce correlated
+//! streams. Future derived streams should claim their own `stream` index
+//! range here rather than hand-rolling `seed + k` offsets.
+
+use crate::ids::CacheId;
+
+/// Mixes `(run_seed, stream)` into an independent 64-bit seed using the
+/// splitmix64 finalizer. Distinct `stream` values yield statistically
+/// independent seeds even when `run_seed` values are small and consecutive.
+pub fn derive_stream_seed(run_seed: u64, stream: u64) -> u64 {
+    let mut z = run_seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(stream)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The seed of the invalidation channel feeding `cache`, derived from the
+/// run seed. Reproducible independent of thread or event interleaving and
+/// of how many caches the run deploys.
+pub fn cache_channel_seed(run_seed: u64, cache: CacheId) -> u64 {
+    // Tag the stream space so cache channels can never collide with other
+    // derived streams that claim the small indices.
+    derive_stream_seed(run_seed, 0x00ca_c4e0_0000_0000 | u64::from(cache.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn derived_seeds_are_deterministic() {
+        assert_eq!(derive_stream_seed(42, 7), derive_stream_seed(42, 7));
+        assert_eq!(
+            cache_channel_seed(42, CacheId(3)),
+            cache_channel_seed(42, CacheId(3))
+        );
+    }
+
+    #[test]
+    fn distinct_streams_yield_distinct_seeds() {
+        let mut seen = HashSet::new();
+        for run_seed in 0..16u64 {
+            for stream in 0..64u64 {
+                assert!(seen.insert(derive_stream_seed(run_seed, stream)));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_seeds_differ_per_cache_and_from_plain_streams() {
+        let a = cache_channel_seed(1, CacheId(0));
+        let b = cache_channel_seed(1, CacheId(1));
+        assert_ne!(a, b);
+        // The tagged stream space keeps cache channels disjoint from any
+        // future derived streams that claim the low indices.
+        for stream in 0..8u64 {
+            assert_ne!(a, derive_stream_seed(1, stream));
+        }
+    }
+
+    #[test]
+    fn consecutive_run_seeds_are_decorrelated() {
+        // A weak mixer would map (seed, stream) and (seed + 1, stream - k)
+        // to nearby outputs; splitmix64 outputs should share no obvious
+        // structure. Spot-check that low bits differ across neighbours.
+        let outputs: Vec<u64> = (0..32).map(|s| derive_stream_seed(s, 0)).collect();
+        let distinct_low_bytes: HashSet<u8> =
+            outputs.iter().map(|&v| (v & 0xff) as u8).collect();
+        assert!(distinct_low_bytes.len() > 16);
+    }
+}
