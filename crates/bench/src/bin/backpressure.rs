@@ -1,0 +1,75 @@
+//! The slow-cache backpressure experiment: inconsistency as a function of
+//! the invalidation-pipe capacity, per overflow policy.
+//!
+//! A single consistency-unaware cache sits behind a congested invalidation
+//! pipe (200 ms delivery delay, no loss — roughly a hundred messages in
+//! flight at the paper's update rate). Sweeping the pipe capacity shows the
+//! trade-off the live reactor plane exposes: undersized pipes with a drop
+//! policy shed invalidations and the served inconsistency rises; `Block`
+//! pipes lose nothing but stall the publisher (commit-path backpressure).
+//!
+//! Flags: `--quick` (short run, fewer capacities), `--seed <n>`.
+
+use tcache_bench::{pct, RunOptions};
+use tcache_net::pipe::OverflowPolicy;
+use tcache_sim::figures::{
+    backpressure, BACKPRESSURE_CAPACITIES, BACKPRESSURE_POLICIES,
+};
+
+fn main() {
+    let options = RunOptions::from_env();
+    let duration = options.duration(30, 4);
+    let (capacities, policies): (&[usize], &[OverflowPolicy]) = if options.quick {
+        (&[4, 256], &BACKPRESSURE_POLICIES)
+    } else {
+        (&BACKPRESSURE_CAPACITIES, &BACKPRESSURE_POLICIES)
+    };
+
+    println!(
+        "backpressure: plain cache, 200 ms delivery delay, no loss, {}s run (seed {})",
+        duration.as_secs_f64(),
+        options.seed
+    );
+    println!(
+        "{:>12} {:>10} {:>15} {:>12} {:>10} {:>10}",
+        "policy", "capacity", "inconsistency", "overflowed", "stalled", "delivered"
+    );
+    let rows = backpressure(duration, options.seed, capacities, policies);
+    for row in &rows {
+        let capacity = row
+            .capacity
+            .map_or_else(|| "unbounded".to_string(), |c| c.to_string());
+        println!(
+            "{:>12} {:>10} {:>15} {:>12} {:>10} {:>10}",
+            row.policy,
+            capacity,
+            pct(row.inconsistency_pct),
+            row.overflowed,
+            row.stalled,
+            row.delivered
+        );
+    }
+
+    // Sanity guards so CI fails loudly if the backpressure plumbing breaks
+    // (the bin is run with --quick on every push).
+    let tightest_drop = rows
+        .iter()
+        .filter(|r| r.policy != "block" && r.capacity.is_some())
+        .min_by_key(|r| r.capacity)
+        .expect("at least one bounded drop row");
+    assert!(
+        tightest_drop.overflowed > 0,
+        "the tightest drop-policy pipe must overflow"
+    );
+    let block_rows: Vec<_> = rows.iter().filter(|r| r.policy == "block").collect();
+    assert!(
+        block_rows.iter().all(|r| r.overflowed == 0),
+        "block pipes must not lose messages"
+    );
+    assert!(
+        block_rows
+            .iter()
+            .any(|r| r.capacity.is_some() && r.stalled > 0),
+        "bounded block pipes must stall the publisher"
+    );
+}

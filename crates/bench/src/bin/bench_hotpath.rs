@@ -3,9 +3,11 @@
 //! Runs the hit-heavy read workload of the `concurrent_reads` criterion
 //! bench standalone, measures single-thread latency and 1/2/4/8-thread
 //! aggregate throughput plus multi-cache scaling (1/2/4 caches over one
-//! shared database, one thread per cache), prints the tables, and writes
-//! `BENCH_hotpath.json` into the current directory so future changes have a
-//! perf trajectory to compare against.
+//! shared database, one thread per cache), compares the two invalidation
+//! planes (thread-per-cache vs one reactor thread multiplexing every
+//! cache's pipe), records the inconsistency-vs-pipe-capacity sweep, prints
+//! the tables, and writes `BENCH_hotpath.json` into the current directory
+//! so future changes have a perf trajectory to compare against.
 //!
 //! Flags:
 //! * `--quick` — one short round (CI smoke; still writes the JSON);
@@ -15,8 +17,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use tcache_cache::EdgeCache;
-use tcache_db::{Database, DatabaseConfig};
-use tcache_types::{AccessSet, CacheId, ObjectId, SimTime, Strategy, TxnId, Value};
+use tcache_db::{Database, DatabaseConfig, Invalidation};
+use tcache_net::pipe::{bounded_pipe, OverflowPolicy, UNBOUNDED};
+use tcache_net::reactor::Reactor;
+use tcache_sim::figures::backpressure;
+use tcache_types::{
+    AccessSet, CacheId, ObjectId, SimDuration, SimTime, Strategy, TxnId, Value, Version,
+};
 
 const OBJECTS: u64 = 1024;
 const READS_PER_TXN: u64 = 3;
@@ -95,6 +102,89 @@ fn measure_threads(caches: &[Arc<EdgeCache>], txns_per_thread: u64, seed: &Atomi
     (caches.len() as u64 * txns_per_thread) as f64 / elapsed
 }
 
+/// Monotone version source shared by every invalidation-plane measurement,
+/// so each plane and each round applies strictly fresh versions — the
+/// caches' version guards never degrade a later measurement into ignored
+/// no-ops.
+static NEXT_INV_VERSION: AtomicU64 = AtomicU64::new(1_000_000);
+
+/// One invalidation per message over a freshly reserved version range, so
+/// every apply does real work (miss-floor bookkeeping, eviction of the
+/// entry) regardless of what previous measurements applied.
+fn invalidation_stream(count: u64) -> impl Iterator<Item = Invalidation> {
+    let base = NEXT_INV_VERSION.fetch_add(count, Ordering::Relaxed);
+    (0..count).map(move |i| {
+        Invalidation::new(
+            ObjectId(i % OBJECTS),
+            Version(base + i),
+            TxnId(base + i),
+        )
+    })
+}
+
+/// Thread-per-cache invalidation plane — the historical design this PR's
+/// reactor replaces: each cache gets its own unbounded `crossbeam-channel`
+/// queue and its own dedicated apply thread; the main thread publishes
+/// `msgs_per_cache` invalidations to every queue. Returns aggregate applied
+/// invalidations per second.
+fn measure_threaded_plane(caches: &[Arc<EdgeCache>], msgs_per_cache: u64) -> f64 {
+    let start = Instant::now();
+    let mut senders = Vec::new();
+    let handles: Vec<_> = caches
+        .iter()
+        .map(|cache| {
+            let (tx, rx) = crossbeam_channel::unbounded::<Invalidation>();
+            senders.push(tx);
+            let cache = Arc::clone(cache);
+            std::thread::spawn(move || {
+                while let Ok(inv) = rx.recv() {
+                    cache.apply_invalidation(inv);
+                }
+            })
+        })
+        .collect();
+    for tx in &senders {
+        for inv in invalidation_stream(msgs_per_cache) {
+            let _ = tx.send(inv);
+        }
+    }
+    drop(senders);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (caches.len() as u64 * msgs_per_cache) as f64 / elapsed
+}
+
+/// Reactor invalidation plane: the same pipes, but every cache's apply loop
+/// is an async task and one reactor thread multiplexes all of them.
+/// Returns aggregate applied invalidations per second.
+fn measure_reactor_plane(caches: &[Arc<EdgeCache>], msgs_per_cache: u64) -> f64 {
+    let start = Instant::now();
+    let mut reactor = Reactor::new();
+    let mut senders = Vec::new();
+    for cache in caches {
+        let (tx, rx) = bounded_pipe::<Invalidation>(UNBOUNDED, OverflowPolicy::Block);
+        senders.push(tx);
+        let cache = Arc::clone(cache);
+        reactor.spawn(async move {
+            while let Some(inv) = rx.recv_async().await {
+                cache.apply_invalidation(inv);
+            }
+        });
+    }
+    let thread = std::thread::spawn(move || reactor.run());
+    for tx in &senders {
+        for inv in invalidation_stream(msgs_per_cache) {
+            let _ = tx.send(inv);
+        }
+    }
+    drop(senders);
+    thread.join().unwrap();
+    let elapsed = start.elapsed().as_secs_f64();
+    (caches.len() as u64 * msgs_per_cache) as f64 / elapsed
+}
+
 fn main() {
     let mut quick = false;
     let mut out = String::from("BENCH_hotpath.json");
@@ -158,6 +248,40 @@ fn main() {
         println!("{cache_count:>8} {best:>16.0} {:>9.2}x", best / single_cache);
     }
 
+    // Invalidation-plane comparison: 4 caches fed msgs_per_cache
+    // invalidations each, applied by 4 dedicated threads (threaded plane)
+    // versus 4 async tasks multiplexed on one reactor thread.
+    let plane_caches = warmed_caches(&warmed_db(), 4);
+    let msgs_per_cache: u64 = if quick { 20_000 } else { 200_000 };
+    let threaded_plane = (0..rounds)
+        .map(|_| measure_threaded_plane(&plane_caches, msgs_per_cache))
+        .fold(0.0f64, f64::max);
+    let reactor_plane = (0..rounds)
+        .map(|_| measure_reactor_plane(&plane_caches, msgs_per_cache))
+        .fold(0.0f64, f64::max);
+    println!(
+        "\ninvalidation plane: 4 caches x {msgs_per_cache} invalidations\n\
+         {:>12} {:>16}\n{:>12} {:>16.0}\n{:>12} {:>16.0}",
+        "plane", "inv/s", "threaded", threaded_plane, "reactor", reactor_plane
+    );
+
+    // Inconsistency vs pipe capacity (DropOldest), from the sim harness's
+    // backpressure figure with small parameters.
+    let bp_secs = if quick { 2 } else { 10 };
+    let bp_rows = backpressure(
+        SimDuration::from_secs(bp_secs),
+        42,
+        &[4, 256],
+        &[tcache_net::pipe::OverflowPolicy::DropOldest],
+    );
+    println!("\nbackpressure (drop-oldest, {bp_secs}s sim): capacity -> inconsistency");
+    for row in &bp_rows {
+        let capacity = row
+            .capacity
+            .map_or_else(|| "unbounded".to_string(), |c| c.to_string());
+        println!("{capacity:>12} {:>7.2}%", row.inconsistency_pct);
+    }
+
     let single = results[0].1;
     let fields: Vec<String> = results
         .iter()
@@ -168,16 +292,34 @@ fn main() {
         .map(|(c, tps)| format!("    \"caches_{c}_txn_per_sec\": {tps:.1}"))
         .collect();
     let single_cache = cache_scaling[0].1;
+    let backpressure_fields: Vec<String> = bp_rows
+        .iter()
+        .map(|row| {
+            let capacity = row
+                .capacity
+                .map_or_else(|| "unbounded".to_string(), |c| c.to_string());
+            format!(
+                "    \"cap_{capacity}_inconsistency_pct\": {:.3}",
+                row.inconsistency_pct
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"hotpath_concurrent_reads\",\n  \"objects\": {OBJECTS},\n  \
          \"reads_per_txn\": {READS_PER_TXN},\n  \"txns_per_thread\": {txns_per_thread},\n  \
          \"host_threads\": {},\n  \"results\": {{\n{}\n  }},\n  \
          \"cache_scaling\": {{\n{}\n  }},\n  \
+         \"invalidation_plane\": {{\n    \"caches\": 4,\n    \
+         \"msgs_per_cache\": {msgs_per_cache},\n    \
+         \"threaded_inv_per_sec\": {threaded_plane:.1},\n    \
+         \"reactor_inv_per_sec\": {reactor_plane:.1}\n  }},\n  \
+         \"backpressure_drop_oldest\": {{\n{}\n  }},\n  \
          \"single_thread_ns_per_read\": {:.1},\n  \"speedup_4_threads\": {:.3},\n  \
          \"speedup_4_caches\": {:.3}\n}}\n",
         std::thread::available_parallelism().map_or(0, |n| n.get()),
         fields.join(",\n"),
         cache_fields.join(",\n"),
+        backpressure_fields.join(",\n"),
         1e9 / (single * READS_PER_TXN as f64),
         results.iter().find(|(t, _)| *t == 4).map_or(0.0, |(_, tps)| tps / single),
         cache_scaling

@@ -1,10 +1,12 @@
 //! Builder for [`TCacheSystem`].
 
 use crate::system::TCacheSystem;
+use crate::transport::TransportMode;
 use std::sync::Arc;
 use tcache_cache::EdgeCache;
 use tcache_db::{Database, DatabaseConfig};
 use tcache_net::fanout::{CacheLink, InvalidationFanout};
+use tcache_net::pipe::OverflowPolicy;
 use tcache_types::{CacheId, DependencyBound, SimDuration, Strategy};
 
 /// Configures and builds a [`TCacheSystem`].
@@ -44,6 +46,9 @@ pub struct SystemBuilder {
     invalidation_delay: SimDuration,
     tick: SimDuration,
     seed: u64,
+    transport: TransportMode,
+    pipe_capacity: usize,
+    overflow_policy: OverflowPolicy,
 }
 
 impl Default for SystemBuilder {
@@ -58,6 +63,9 @@ impl Default for SystemBuilder {
             invalidation_delay: SimDuration::from_millis(50),
             tick: SimDuration::from_millis(1),
             seed: 0,
+            transport: TransportMode::Threaded,
+            pipe_capacity: usize::MAX,
+            overflow_policy: OverflowPolicy::Block,
         }
     }
 }
@@ -151,6 +159,33 @@ impl SystemBuilder {
         self
     }
 
+    /// Selects how delivered invalidations are applied to the caches:
+    /// synchronously on the driving thread ([`TransportMode::Threaded`],
+    /// the default) or through per-cache bounded pipes drained by one
+    /// shared reactor thread ([`TransportMode::Reactor`]).
+    pub fn transport(mut self, mode: TransportMode) -> Self {
+        self.transport = mode;
+        self
+    }
+
+    /// Bounds each cache's apply pipe (reactor mode) to `capacity`
+    /// in-flight invalidations; clamped to at least 1. The default is
+    /// unbounded.
+    pub fn pipe_capacity(mut self, capacity: usize) -> Self {
+        self.pipe_capacity = capacity.max(1);
+        self
+    }
+
+    /// What a full apply pipe does with an incoming invalidation (reactor
+    /// mode): block the publisher, drop the newest or drop the oldest.
+    /// `Block` is hard backpressure — a wedged cache behind a full pipe
+    /// blocks the publishing thread until the cache drains (see
+    /// [`TCacheSystem::pause_cache`](crate::TCacheSystem::pause_cache)).
+    pub fn overflow_policy(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow_policy = policy;
+        self
+    }
+
     /// Builds the system.
     pub fn build(self) -> TCacheSystem {
         let db = Arc::new(Database::new(DatabaseConfig {
@@ -161,17 +196,17 @@ impl SystemBuilder {
         let losses = self
             .per_cache_loss
             .unwrap_or_else(|| vec![self.invalidation_loss; self.caches]);
-        let caches: Vec<EdgeCache> = (0..losses.len())
+        let caches: Vec<Arc<EdgeCache>> = (0..losses.len())
             .map(|i| {
                 let id = CacheId(i as u32);
-                match self.dependency_bound {
+                Arc::new(match self.dependency_bound {
                     DependencyBound::Bounded(k) => {
                         EdgeCache::tcache(id, Arc::clone(&db), k, self.strategy)
                     }
                     DependencyBound::Unbounded => {
                         EdgeCache::unbounded(id, Arc::clone(&db), self.strategy)
                     }
-                }
+                })
             })
             .collect();
         let fanout = InvalidationFanout::new(
@@ -180,7 +215,15 @@ impl SystemBuilder {
                 CacheLink::uniform(CacheId(i as u32), loss, self.invalidation_delay)
             }),
         );
-        TCacheSystem::new(db, caches, fanout, self.tick)
+        TCacheSystem::new(
+            db,
+            caches,
+            fanout,
+            self.tick,
+            self.transport,
+            self.pipe_capacity,
+            self.overflow_policy,
+        )
     }
 }
 

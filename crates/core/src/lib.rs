@@ -65,9 +65,11 @@
 pub mod builder;
 pub mod prelude;
 pub mod system;
+pub mod transport;
 
 pub use builder::SystemBuilder;
 pub use system::{CacheNodeStats, ReadOutcome, SystemStats, TCacheSystem};
+pub use transport::TransportMode;
 
 pub use tcache_cache as cache;
 pub use tcache_db as db;

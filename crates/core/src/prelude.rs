@@ -10,7 +10,9 @@
 
 pub use crate::builder::SystemBuilder;
 pub use crate::system::{ReadOutcome, SystemStats, TCacheSystem};
+pub use crate::transport::TransportMode;
 pub use tcache_cache::{EdgeCache, Strategy};
+pub use tcache_net::pipe::OverflowPolicy;
 pub use tcache_db::{Database, DatabaseConfig};
 pub use tcache_types::{
     CachePolicyConfig, DependencyBound, DependencyList, ObjectId, SimDuration, SimTime, TxnId,

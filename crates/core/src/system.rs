@@ -1,17 +1,25 @@
 //! A single-process T-Cache deployment: database + N edge caches.
 
+use crate::transport::{ReactorPlane, TransportMode};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use tcache_cache::{CacheStatsSnapshot, EdgeCache};
 use tcache_db::stats::DbStatsSnapshot;
 use tcache_db::Database;
 use tcache_net::channel::ChannelStats;
 use tcache_net::fanout::InvalidationFanout;
+use tcache_net::pipe::{OverflowPolicy, PipeStatsSnapshot};
+use tcache_net::reactor::ReactorStats;
 use tcache_types::{
     CacheId, ObjectId, ReadOnlyOutcome, SimDuration, SimTime, TCacheError, TCacheResult, TxnId,
     Value, Version, VersionedObject,
 };
+
+/// How long [`TCacheSystem::advance_time`] waits for the reactor to settle
+/// before giving up (generous: the reactor usually drains in microseconds).
+const ADVANCE_QUIESCE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// The outcome of a read-only transaction issued through
 /// [`TCacheSystem::read_transaction`].
@@ -36,11 +44,14 @@ pub type ReadOutcome = ReadOnlyOutcome;
 pub struct TCacheSystem {
     db: Arc<Database>,
     /// `caches[i].id() == CacheId(i)` — indexed access is the hot path.
-    caches: Vec<EdgeCache>,
+    caches: Vec<Arc<EdgeCache>>,
     fanout: Mutex<InvalidationFanout>,
     clock: Mutex<SimTime>,
     tick: SimDuration,
     next_txn: AtomicU64,
+    mode: TransportMode,
+    /// Present iff `mode == TransportMode::Reactor`.
+    reactor: Option<ReactorPlane>,
 }
 
 /// One cache server's slice of a [`SystemStats`] snapshot.
@@ -52,6 +63,9 @@ pub struct CacheNodeStats {
     pub cache: CacheStatsSnapshot,
     /// This cache's invalidation-channel statistics.
     pub channel: ChannelStats,
+    /// This cache's apply-pipe counters (all zero in
+    /// [`TransportMode::Threaded`], which has no pipes).
+    pub pipe: PipeStatsSnapshot,
 }
 
 /// A combined statistics snapshot of the whole system.
@@ -70,12 +84,21 @@ pub struct SystemStats {
 impl TCacheSystem {
     pub(crate) fn new(
         db: Arc<Database>,
-        caches: Vec<EdgeCache>,
+        caches: Vec<Arc<EdgeCache>>,
         fanout: InvalidationFanout,
         tick: SimDuration,
+        mode: TransportMode,
+        pipe_capacity: usize,
+        overflow_policy: OverflowPolicy,
     ) -> Self {
         assert!(!caches.is_empty(), "a system needs at least one cache");
         debug_assert_eq!(caches.len(), fanout.cache_count());
+        let reactor = match mode {
+            TransportMode::Threaded => None,
+            TransportMode::Reactor => {
+                Some(ReactorPlane::new(&caches, pipe_capacity, overflow_policy))
+            }
+        };
         TCacheSystem {
             db,
             caches,
@@ -83,7 +106,14 @@ impl TCacheSystem {
             clock: Mutex::new(SimTime::ZERO),
             tick,
             next_txn: AtomicU64::new(1),
+            mode,
+            reactor,
         }
+    }
+
+    /// The transport mode this system was built with.
+    pub fn transport_mode(&self) -> TransportMode {
+        self.mode
     }
 
     /// Loads objects into the backend database at their initial version.
@@ -103,7 +133,7 @@ impl TCacheSystem {
 
     /// The edge cache with the given id, if deployed.
     pub fn cache(&self, id: CacheId) -> Option<&EdgeCache> {
-        self.caches.get(id.0 as usize)
+        self.caches.get(id.0 as usize).map(Arc::as_ref)
     }
 
     /// Number of edge caches this system hosts.
@@ -124,6 +154,15 @@ impl TCacheSystem {
     /// Advances the virtual clock by `duration`, delivering every
     /// invalidation that becomes due on every cache's channel. Use this to
     /// model elapsed wall-clock time between transactions.
+    ///
+    /// Under [`TransportMode::Threaded`] the deliveries are applied
+    /// synchronously on the calling thread. Under
+    /// [`TransportMode::Reactor`] they are pushed down each cache's bounded
+    /// pipe (applying its overflow policy — a full `Block` pipe blocks
+    /// *here*, which is the backpressure landing on the committing client)
+    /// and the call then waits for the reactor to settle, so unpaused
+    /// caches observe the same state as in threaded mode. A paused cache's
+    /// backlog is intentionally left in its pipe.
     pub fn advance_time(&self, duration: SimDuration) {
         let now = {
             let mut clock = self.clock.lock();
@@ -131,9 +170,96 @@ impl TCacheSystem {
             *clock
         };
         let due = self.fanout.lock().due(now);
-        for (cache, invalidation) in due {
-            self.caches[cache.0 as usize].apply_invalidation(invalidation);
+        match &self.reactor {
+            None => {
+                for (cache, invalidation) in due {
+                    self.caches[cache.0 as usize].apply_invalidation(invalidation);
+                }
+            }
+            Some(plane) => {
+                // Nothing became due: nothing new entered any pipe, and
+                // prior deliveries were quiesced by the advance that made
+                // them — skip the per-pipe settle pass on this hot path.
+                // (An unpaused cache still draining a backlog is covered by
+                // the explicit `quiesce()` the pause workflow uses.)
+                if due.is_empty() {
+                    return;
+                }
+                for (cache, invalidation) in due {
+                    plane.deliver(cache.0 as usize, invalidation);
+                }
+                if !plane.quiesce(ADVANCE_QUIESCE_TIMEOUT) {
+                    // The reactor did not settle: reads may briefly observe
+                    // state a threaded transport would have invalidated.
+                    // Counted so operators and tests can detect it — see
+                    // [`TCacheSystem::quiesce_timeouts`].
+                    plane.record_quiesce_timeout();
+                }
+            }
         }
+    }
+
+    /// Number of [`TCacheSystem::advance_time`] calls whose quiesce wait
+    /// timed out before the reactor settled (always 0 in threaded mode).
+    /// Nonzero means the threaded-equivalence guarantee was briefly
+    /// violated: a read may have seen an entry the reactor had not yet
+    /// invalidated.
+    pub fn quiesce_timeouts(&self) -> u64 {
+        self.reactor.as_ref().map_or(0, |p| p.quiesce_timeouts())
+    }
+
+    /// Waits until every unpaused cache's apply pipe is drained and its
+    /// reactor task is idle. A no-op (trivially `true`) in
+    /// [`TransportMode::Threaded`]. Returns `false` on timeout.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        match &self.reactor {
+            None => true,
+            Some(plane) => plane.quiesce(timeout),
+        }
+    }
+
+    /// Pauses or resumes one cache's reactor apply task, modelling a slow
+    /// or wedged edge cache: its pipe backs up and the overflow policy
+    /// takes over. Returns `false` if `cache` is unknown or the system is
+    /// not in [`TransportMode::Reactor`].
+    ///
+    /// **Caution:** with a bounded pipe under [`OverflowPolicy::Block`],
+    /// backpressure is *hard* — once the paused cache's pipe fills, the
+    /// next delivery blocks the driving thread inside
+    /// [`TCacheSystem::advance_time`] until the cache is resumed. Resume
+    /// from another thread, or use a drop policy when wedging a cache on
+    /// the thread that also publishes.
+    pub fn pause_cache(&self, cache: CacheId, paused: bool) -> bool {
+        match &self.reactor {
+            Some(plane) if (cache.0 as usize) < self.caches.len() => {
+                plane.set_paused(cache.0 as usize, paused);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether a cache's reactor apply task is paused (always `false` in
+    /// threaded mode).
+    pub fn is_cache_paused(&self, cache: CacheId) -> bool {
+        self.reactor
+            .as_ref()
+            .is_some_and(|p| (cache.0 as usize) < self.caches.len() && p.is_paused(cache.0 as usize))
+    }
+
+    /// The reactor's counters, if the system runs in
+    /// [`TransportMode::Reactor`].
+    pub fn reactor_stats(&self) -> Option<ReactorStats> {
+        self.reactor.as_ref().map(|p| p.reactor_stats())
+    }
+
+    /// Invalidations applied by one cache's reactor task so far (`None` in
+    /// threaded mode or for an unknown cache).
+    pub fn reactor_applied(&self, cache: CacheId) -> Option<u64> {
+        self.reactor
+            .as_ref()
+            .filter(|_| (cache.0 as usize) < self.caches.len())
+            .map(|p| p.applied(cache.0 as usize))
     }
 
     /// Executes an update transaction that reads and rewrites every object
@@ -250,13 +376,19 @@ impl TCacheSystem {
         let per_cache: Vec<CacheNodeStats> = self
             .caches
             .iter()
+            .enumerate()
             .zip(channel_stats)
-            .map(|(cache, (channel_id, channel))| {
+            .map(|((index, cache), (channel_id, channel))| {
                 debug_assert_eq!(cache.id(), channel_id);
                 CacheNodeStats {
                     id: cache.id(),
                     cache: cache.stats(),
                     channel,
+                    pipe: self
+                        .reactor
+                        .as_ref()
+                        .map(|p| p.pipe_stats(index))
+                        .unwrap_or_default(),
                 }
             })
             .collect();
@@ -282,6 +414,7 @@ impl TCacheSystem {
 #[cfg(test)]
 mod tests {
     use crate::builder::SystemBuilder;
+    use crate::transport::TransportMode;
     use tcache_types::{CacheId, ObjectId, Strategy, TCacheError, Value};
 
     fn small_system(loss: f64) -> super::TCacheSystem {
@@ -395,6 +528,52 @@ mod tests {
             system.read_on(CacheId(9), ObjectId(1)).unwrap_err(),
             TCacheError::UnknownCache(CacheId(9))
         );
+    }
+
+    #[test]
+    fn reactor_transport_round_trips_and_reports_pipe_stats() {
+        let system = SystemBuilder::new()
+            .dependency_bound(3)
+            .strategy(Strategy::Abort)
+            .caches(4)
+            .transport(TransportMode::Reactor)
+            .seed(7)
+            .build();
+        assert_eq!(system.transport_mode(), TransportMode::Reactor);
+        system.populate((0..20).map(|i| (ObjectId(i), Value::new(0))));
+        for id in 0..4u32 {
+            system.read_on(CacheId(id), ObjectId(1)).unwrap();
+        }
+        let v = system.update(&[ObjectId(1), ObjectId(2)]).unwrap();
+        system.advance_time(tcache_types::SimDuration::from_secs(1));
+        // The reactor applied the invalidations: every cache misses and
+        // re-reads the new version.
+        for id in 0..4u32 {
+            assert_eq!(system.read_on(CacheId(id), ObjectId(1)).unwrap().version, v);
+            assert!(system.reactor_applied(CacheId(id)).unwrap() >= 1);
+        }
+        let stats = system.stats();
+        for node in &stats.per_cache {
+            assert!(node.pipe.enqueued >= 1, "{}: {:?}", node.id, node.pipe);
+            assert_eq!(node.pipe.overflow_dropped(), 0);
+        }
+        let reactor = system.reactor_stats().expect("reactor mode");
+        assert_eq!(reactor.spawned, 4);
+        assert!(reactor.wakes > 0);
+        assert!(system.quiesce(std::time::Duration::from_secs(1)));
+        assert_eq!(system.quiesce_timeouts(), 0);
+    }
+
+    #[test]
+    fn threaded_mode_has_no_reactor_surface() {
+        let system = small_system(0.0);
+        assert_eq!(system.transport_mode(), TransportMode::Threaded);
+        assert!(system.reactor_stats().is_none());
+        assert!(system.reactor_applied(CacheId(0)).is_none());
+        assert!(!system.pause_cache(CacheId(0), true));
+        assert!(!system.is_cache_paused(CacheId(0)));
+        assert!(system.quiesce(std::time::Duration::from_millis(1)));
+        assert_eq!(system.stats().per_cache[0].pipe, Default::default());
     }
 
     #[test]

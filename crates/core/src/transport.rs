@@ -1,0 +1,211 @@
+//! The invalidation transport planes of a [`TCacheSystem`].
+//!
+//! [`TCacheSystem`]: crate::system::TCacheSystem
+//!
+//! Two modes deliver due invalidations to the edge caches:
+//!
+//! * [`TransportMode::Threaded`] (the default, and the historical
+//!   behaviour): invalidations are applied synchronously on the driving
+//!   thread — in a live deployment this is the thread-per-cache layout
+//!   where each cache's upcall thread applies its own deliveries.
+//! * [`TransportMode::Reactor`]: every cache gets a bounded
+//!   [`pipe`](tcache_net::pipe) with a configurable overflow policy, and a
+//!   *single* reactor thread ([`tcache_net::reactor`]) multiplexes all N
+//!   apply loops. The pipe capacity bounds how far a slow cache can back
+//!   up, and the overflow policy decides what that backlog costs: blocked
+//!   commits ([`OverflowPolicy::Block`]) or bounded staleness
+//!   ([`OverflowPolicy::DropOldest`] / [`OverflowPolicy::DropNewest`]).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tcache_cache::EdgeCache;
+use tcache_db::Invalidation;
+use tcache_net::pipe::{bounded_pipe, OverflowPolicy, PipeSender, PipeStatsSnapshot};
+use tcache_net::reactor::{Reactor, ReactorHandle, ReactorStats};
+
+/// How a [`TCacheSystem`](crate::system::TCacheSystem) applies delivered
+/// invalidations to its caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// Apply invalidations synchronously on the driving thread(s) —
+    /// thread-per-cache in live deployments. The historical behaviour.
+    #[default]
+    Threaded,
+    /// Push invalidations through per-cache bounded pipes drained by one
+    /// shared reactor thread hosting every cache's apply task.
+    Reactor,
+}
+
+/// One reactor thread hosting every cache's invalidation-apply task, fed by
+/// per-cache bounded pipes.
+pub(crate) struct ReactorPlane {
+    pipes: Vec<PipeSender<Invalidation>>,
+    /// Per-cache count of invalidations the reactor task has applied.
+    applied: Vec<Arc<AtomicU64>>,
+    /// Per-cache pause flags: a paused task applies nothing further — at
+    /// most one already-dequeued message is held in limbo while the rest
+    /// of the backlog stays in the pipe — modelling a slow or wedged edge
+    /// cache.
+    paused: Vec<Arc<AtomicBool>>,
+    handle: ReactorHandle,
+    thread: Option<std::thread::JoinHandle<()>>,
+    /// Times an `advance_time` quiesce wait gave up before the reactor
+    /// settled — nonzero means reads may have observed state a threaded
+    /// transport would already have invalidated.
+    quiesce_timeouts: AtomicU64,
+}
+
+impl std::fmt::Debug for ReactorPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorPlane")
+            .field("caches", &self.pipes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReactorPlane {
+    /// Builds the plane: one pipe + one reactor task per cache, all tasks
+    /// multiplexed on a single spawned reactor thread.
+    pub(crate) fn new(
+        caches: &[Arc<EdgeCache>],
+        capacity: usize,
+        policy: OverflowPolicy,
+    ) -> Self {
+        let mut reactor = Reactor::new();
+        let timer = reactor.timer();
+        let mut pipes = Vec::with_capacity(caches.len());
+        let mut applied = Vec::with_capacity(caches.len());
+        let mut paused = Vec::with_capacity(caches.len());
+        for cache in caches {
+            let (tx, rx) = bounded_pipe::<Invalidation>(capacity, policy);
+            let applied_count = Arc::new(AtomicU64::new(0));
+            let pause_flag = Arc::new(AtomicBool::new(false));
+            let cache = Arc::clone(cache);
+            let task_applied = Arc::clone(&applied_count);
+            let task_paused = Arc::clone(&pause_flag);
+            let task_timer = timer.clone();
+            reactor.spawn(async move {
+                while let Some(inv) = rx.recv_async().await {
+                    // A paused cache applies nothing: a message already
+                    // pulled off the pipe is held here (the rest of the
+                    // backlog stays in the pipe, where the overflow policy
+                    // governs it) until resume. Polling keeps the task
+                    // machinery simple — pause is a modeling facility, and
+                    // a 1 ms cycle is cheap while bounding resume latency.
+                    while task_paused.load(Ordering::Acquire) {
+                        task_timer.sleep(Duration::from_millis(1)).await;
+                    }
+                    cache.apply_invalidation(inv);
+                    task_applied.fetch_add(1, Ordering::Release);
+                }
+            });
+            pipes.push(tx);
+            applied.push(applied_count);
+            paused.push(pause_flag);
+        }
+        let handle = reactor.handle();
+        let thread = std::thread::Builder::new()
+            .name("tcache-reactor".into())
+            .spawn(move || reactor.run())
+            .expect("spawn reactor thread");
+        ReactorPlane {
+            pipes,
+            applied,
+            paused,
+            handle,
+            thread: Some(thread),
+            quiesce_timeouts: AtomicU64::new(0),
+        }
+    }
+
+    /// Sends one invalidation down `cache_index`'s pipe, applying its
+    /// overflow policy (a `Block` pipe at capacity blocks the caller — the
+    /// backpressure lands on the publishing/committing thread).
+    pub(crate) fn deliver(&self, cache_index: usize, invalidation: Invalidation) {
+        // Failure means the task is gone (shutdown); the channel is
+        // best-effort, so dropping is correct.
+        let _ = self.pipes[cache_index].send(invalidation);
+    }
+
+    /// Waits until every *unpaused* cache's pipe is drained and its task has
+    /// finished applying (paused caches keep their backlog by design).
+    /// Returns `false` on timeout.
+    pub(crate) fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut spins = 0u32;
+        loop {
+            let settled = (0..self.pipes.len()).all(|i| {
+                self.paused[i].load(Ordering::Acquire) || {
+                    let pipe = &self.pipes[i];
+                    pipe.is_empty()
+                        && self.applied[i].load(Ordering::Acquire) == pipe.stats().received
+                }
+            });
+            if settled {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            // Spin briefly (the reactor usually drains a batch in
+            // microseconds), then back off so a genuinely slow task does
+            // not burn a core.
+            spins += 1;
+            if spins < 200 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+
+    /// Pauses or resumes one cache's apply task.
+    pub(crate) fn set_paused(&self, cache_index: usize, paused: bool) {
+        self.paused[cache_index].store(paused, Ordering::Release);
+    }
+
+    /// Whether a cache's apply task is currently paused.
+    pub(crate) fn is_paused(&self, cache_index: usize) -> bool {
+        self.paused[cache_index].load(Ordering::Acquire)
+    }
+
+    /// One cache's pipe counters.
+    pub(crate) fn pipe_stats(&self, cache_index: usize) -> PipeStatsSnapshot {
+        self.pipes[cache_index].stats()
+    }
+
+    /// Invalidations applied by one cache's reactor task so far.
+    pub(crate) fn applied(&self, cache_index: usize) -> u64 {
+        self.applied[cache_index].load(Ordering::Acquire)
+    }
+
+    /// Records that an `advance_time` quiesce wait timed out.
+    pub(crate) fn record_quiesce_timeout(&self) {
+        self.quiesce_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of `advance_time` quiesce waits that timed out so far.
+    pub(crate) fn quiesce_timeouts(&self) -> u64 {
+        self.quiesce_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// The reactor's counters.
+    pub(crate) fn reactor_stats(&self) -> ReactorStats {
+        self.handle.stats()
+    }
+}
+
+impl Drop for ReactorPlane {
+    fn drop(&mut self) {
+        // Unpause everything so no task sits in a pause-sleep loop, ask the
+        // loop to exit, and reclaim the thread.
+        for flag in &self.paused {
+            flag.store(false, Ordering::Release);
+        }
+        self.handle.shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Reactor-transport integration tests: per-cache isolation under one
+//! reactor thread, backpressure semantics of the bounded apply pipes, and
+//! verdict-equivalence between the threaded and reactor planes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tcache::{SystemBuilder, TCacheSystem, TransportMode};
+use tcache_monitor::{ConsistencyMonitor, TransactionClass};
+use tcache_net::pipe::OverflowPolicy;
+use tcache_types::{
+    CacheId, ObjectId, SimDuration, Strategy, TCacheError, TransactionRecord, TxnId, Value,
+    Version,
+};
+
+const OBJECTS: u64 = 50;
+
+fn reactor_system(losses: &[f64], capacity: usize, policy: OverflowPolicy) -> TCacheSystem {
+    let system = SystemBuilder::new()
+        .dependency_bound(3)
+        .strategy(Strategy::Abort)
+        .cache_loss_rates(losses.to_vec())
+        .invalidation_delay_millis(0)
+        .transport(TransportMode::Reactor)
+        .pipe_capacity(capacity)
+        .overflow_policy(policy)
+        .seed(9)
+        .build();
+    system.populate((0..OBJECTS).map(|i| (ObjectId(i), Value::new(0))));
+    system
+}
+
+/// The per-cache isolation stress currently run against the threaded
+/// transport, re-run through one reactor thread hosting four caches: an
+/// invalidation addressed to cache 0 must never mutate caches 1..3, even
+/// while reader threads hammer them concurrently.
+#[test]
+fn reactor_hosts_four_caches_with_per_cache_isolation() {
+    // Cache 0 has a perfect link; caches 1..3 lose every invalidation, so
+    // the only deliveries flowing through the reactor target cache 0.
+    let system = Arc::new(reactor_system(
+        &[0.0, 1.0, 1.0, 1.0],
+        tcache_net::pipe::UNBOUNDED,
+        OverflowPolicy::Block,
+    ));
+    assert_eq!(system.transport_mode(), TransportMode::Reactor);
+    assert_eq!(system.cache_count(), 4);
+
+    // Warm every cache with every object at the initial version.
+    for id in 0..4u32 {
+        for o in 0..OBJECTS {
+            system.read_on(CacheId(id), ObjectId(o)).unwrap();
+        }
+    }
+
+    // Reader threads hammer caches 1..3 while updates invalidate cache 0
+    // through the reactor.
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (1..4u32)
+        .map(|id| {
+            let system = Arc::clone(&system);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = ObjectId(n % OBJECTS);
+                    n += 1;
+                    system.read_on(CacheId(id), key).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    for round in 0..20u64 {
+        let base = (round * 2) % (OBJECTS - 1);
+        system.update(&[ObjectId(base), ObjectId(base + 1)]).unwrap();
+    }
+    system.advance_time(SimDuration::from_secs(1));
+    stop.store(true, Ordering::Relaxed);
+    for reader in readers {
+        reader.join().unwrap();
+    }
+    assert!(system.quiesce(Duration::from_secs(5)));
+
+    let stats = system.stats();
+    // Cache 0's reactor task applied the invalidations…
+    assert!(stats.per_cache[0].cache.invalidations_applied > 0);
+    assert!(system.reactor_applied(CacheId(0)).unwrap() > 0);
+    // …while caches 1..3 never saw one and still hold every warmed entry.
+    for id in 1..4u32 {
+        let node = &stats.per_cache[id as usize];
+        assert_eq!(node.cache.invalidations_applied, 0, "cache {id}");
+        assert_eq!(node.pipe.enqueued, 0, "cache {id}'s pipe must stay idle");
+        assert_eq!(system.reactor_applied(CacheId(id)).unwrap(), 0);
+        for o in 0..OBJECTS {
+            let v = system.read_on(CacheId(id), ObjectId(o)).unwrap();
+            assert_eq!(
+                v.version,
+                Version::INITIAL,
+                "cache {id} must still hold the warmed entry for o{o}"
+            );
+        }
+    }
+    // One reactor thread hosted all four tasks.
+    let reactor = system.reactor_stats().unwrap();
+    assert_eq!(reactor.spawned, 4);
+}
+
+/// A stalled (paused) reactor task must never block commits when its pipe
+/// sheds load with `DropOldest`: updates keep committing at full speed, the
+/// overflow counters advance, and the backlog stays bounded by the pipe
+/// capacity.
+#[test]
+fn stalled_reactor_task_never_blocks_commits_under_drop_oldest() {
+    let capacity = 4usize;
+    let system = reactor_system(&[0.0, 0.0], capacity, OverflowPolicy::DropOldest);
+    // Warm cache 0 so invalidations have entries to hit.
+    for o in 0..OBJECTS {
+        system.read_on(CacheId(0), ObjectId(o)).unwrap();
+    }
+    assert!(system.quiesce(Duration::from_secs(5)));
+    let applied_before = system.reactor_applied(CacheId(0)).unwrap();
+
+    assert!(system.pause_cache(CacheId(0), true));
+    assert!(system.is_cache_paused(CacheId(0)));
+
+    // 100 updates × 2 invalidations each flow at cache 0's wedged pipe.
+    // Under DropOldest none of them may block the committing thread.
+    let started = std::time::Instant::now();
+    for round in 0..100u64 {
+        let base = round % (OBJECTS - 1);
+        system.update(&[ObjectId(base), ObjectId(base + 1)]).unwrap();
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "commits must not stall behind the paused cache"
+    );
+    assert_eq!(system.stats().db.updates_committed, 100);
+
+    // The paused cache's pipe overflowed and its backlog is capped.
+    let pipe = system.stats().per_cache[0].pipe;
+    assert!(
+        pipe.evicted > 0,
+        "DropOldest must have evicted pending messages: {pipe:?}"
+    );
+    assert!(pipe.enqueued - pipe.evicted - pipe.received <= capacity as u64);
+    // Quiescence skips the paused cache, so the system still settles.
+    assert!(system.quiesce(Duration::from_secs(5)));
+    // Cache 1 (unpaused) applied everything that survived its channel.
+    assert!(system.reactor_applied(CacheId(1)).unwrap() >= 200);
+
+    // Resuming drains the bounded backlog.
+    assert!(system.pause_cache(CacheId(0), false));
+    assert!(system.quiesce(Duration::from_secs(5)));
+    let applied_after = system.reactor_applied(CacheId(0)).unwrap();
+    assert!(
+        applied_after > applied_before,
+        "the resumed task must apply its remaining backlog"
+    );
+    let pipe = system.stats().per_cache[0].pipe;
+    assert_eq!(pipe.enqueued - pipe.evicted, pipe.received);
+}
+
+/// The publish-side attribution path end to end: a cache registers a
+/// *reporting* invalidation upcall backed by a bounded live pipe, commits
+/// publish through it on the committing thread, and
+/// `Database::publish_stats` attributes the pipe's overflow and the time
+/// commits spent publishing — per cache.
+#[test]
+fn commit_path_publish_stats_attribute_slow_pipes_per_cache() {
+    use tcache_db::{Database, DatabaseConfig, SinkReport};
+    use tcache_net::{live_channel_with, LossModel, UNBOUNDED};
+
+    let db = Arc::new(Database::new(DatabaseConfig::with_bound(3)));
+    db.populate((0..OBJECTS).map(|i| (ObjectId(i), Value::new(0))));
+
+    // Cache 0: healthy unbounded pipe. Cache 1: a two-slot pipe that sheds
+    // the oldest pending message — the "slow cache" whose losses must show
+    // up in the publisher's books.
+    let mut receivers = Vec::new();
+    for (i, capacity) in [(0u32, UNBOUNDED), (1u32, 2)] {
+        let (tx, rx) =
+            live_channel_with(LossModel::None, 7, capacity, OverflowPolicy::DropOldest);
+        receivers.push(rx);
+        db.register_reporting_invalidation_upcall(
+            CacheId(i),
+            Box::new(move |batch| {
+                let report = tx.send_report(batch.iter().copied());
+                SinkReport {
+                    enqueued: report.enqueued as u64,
+                    overflowed: report.overflowed as u64,
+                    stalled: false,
+                }
+            }),
+        );
+    }
+    // Nobody drains cache 1's pipe while ten 3-object commits publish.
+    for round in 0..10u64 {
+        let base = round % (OBJECTS - 2);
+        db.execute_update(TxnId(round + 1), &vec![base, base + 1, base + 2].into())
+            .unwrap();
+    }
+
+    let stats = db.publish_stats();
+    assert_eq!(stats.len(), 2);
+    let healthy = stats[0].1;
+    let slow = stats[1].1;
+    assert_eq!(healthy.batches, 10);
+    assert_eq!(healthy.invalidations, 30);
+    assert_eq!(healthy.enqueued, 30);
+    assert_eq!(healthy.overflowed, 0);
+    // The slow cache enqueued everything but evicted all except the last
+    // two — 28 invalidations lost to overflow, attributed to that cache.
+    assert_eq!(slow.enqueued, 30);
+    assert_eq!(slow.overflowed, 28);
+    assert!(slow.publish_nanos > 0, "publish time is accounted");
+    assert_eq!(receivers[1].drain().len(), 2);
+    assert_eq!(receivers[0].drain().len(), 30);
+}
+
+/// Driving the same seeded script through a threaded and a reactor system
+/// must produce identical per-read observations and identical
+/// `ConsistencyMonitor` verdicts: the reactor changes *where* invalidations
+/// are applied, never *what* the caches serve.
+#[test]
+fn threaded_and_reactor_produce_identical_monitor_verdicts() {
+    type Trace = (
+        Vec<TransactionClass>,
+        Vec<(CacheId, Vec<(ObjectId, Version)>, bool)>,
+        Vec<tcache_monitor::MonitorReport>,
+    );
+
+    let run = |mode: TransportMode| -> Trace {
+        let system = SystemBuilder::new()
+            .dependency_bound(3)
+            .strategy(Strategy::Abort)
+            .cache_loss_rates(vec![0.0, 0.3, 0.6, 1.0])
+            .invalidation_delay_millis(5)
+            .transport(mode)
+            .seed(42)
+            .build();
+        system.populate((0..OBJECTS).map(|i| (ObjectId(i), Value::new(0))));
+        let cache_ids: Vec<CacheId> = system.cache_ids().collect();
+
+        let mut monitor = ConsistencyMonitor::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut next_txn = 1u64;
+        let mut classes = Vec::new();
+        let mut observations = Vec::new();
+
+        for _ in 0..300 {
+            let base = rng.gen_range(0..OBJECTS - 1);
+            let txn = TxnId(1_000_000 + next_txn);
+            next_txn += 1;
+            let commit = system
+                .database()
+                .execute_update(txn, &vec![base, base + 1].into())
+                .unwrap();
+            monitor.record_update_commit(&TransactionRecord::update_committed(
+                txn,
+                commit.reads.clone(),
+                commit.written.clone(),
+                system.now(),
+            ));
+            system.publish_invalidations(&commit);
+
+            for &cache_id in &cache_ids {
+                let read_base = rng.gen_range(0..OBJECTS - 1);
+                let keys = [ObjectId(read_base), ObjectId(read_base + 1)];
+                let txn = TxnId(1_000_000 + next_txn);
+                next_txn += 1;
+                let cache = system.cache(cache_id).unwrap();
+                let now = system.now();
+                let mut observed = Vec::with_capacity(keys.len());
+                let mut committed = true;
+                for (i, &key) in keys.iter().enumerate() {
+                    match cache.read(now, txn, key, i + 1 == keys.len()) {
+                        Ok(v) => observed.push((v.id, v.version)),
+                        Err(TCacheError::InconsistencyAbort { .. }) => {
+                            committed = false;
+                            break;
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+                classes.push(monitor.record_read_only_from(cache_id, &observed, committed));
+                observations.push((cache_id, observed, committed));
+            }
+            system.advance_time(SimDuration::from_millis(10));
+        }
+        let reports = cache_ids
+            .iter()
+            .map(|&id| monitor.cache_report(id))
+            .collect();
+        (classes, observations, reports)
+    };
+
+    let threaded = run(TransportMode::Threaded);
+    let reactor = run(TransportMode::Reactor);
+    assert_eq!(
+        threaded.1, reactor.1,
+        "both transports must serve identical observations"
+    );
+    assert_eq!(
+        threaded.0, reactor.0,
+        "both transports must yield identical verdict sequences"
+    );
+    assert_eq!(threaded.2, reactor.2, "per-cache reports must match");
+    // The script must actually exercise the predicates, otherwise the
+    // equivalence is vacuous.
+    let lossiest = threaded.2.last().unwrap();
+    assert!(lossiest.committed_inconsistent + lossiest.aborted_total() > 0);
+}

@@ -113,9 +113,28 @@ impl Database {
         self.publisher.register(cache, sink);
     }
 
+    /// Registers a cache's invalidation upcall that reports pipe overflow
+    /// and stalls back to the registry, so publish-side backpressure shows
+    /// up in [`Database::publish_stats`] and commit latency can be
+    /// attributed to slow pipes.
+    pub fn register_reporting_invalidation_upcall(
+        &self,
+        cache: CacheId,
+        sink: crate::publisher::ReportingSink,
+    ) {
+        self.publisher.register_reporting(cache, sink);
+    }
+
     /// Removes a cache's invalidation upcall; returns `true` if one existed.
     pub fn unregister_invalidation_upcall(&self, cache: CacheId) -> bool {
         self.publisher.unregister(cache)
+    }
+
+    /// Per-cache publication statistics: batches and invalidations
+    /// published, overflow and stalls reported by the sinks, and the time
+    /// commits spent inside each cache's upcall.
+    pub fn publish_stats(&self) -> Vec<(CacheId, crate::publisher::PublishStats)> {
+        self.publisher.publish_stats()
     }
 
     /// The per-cache upcall registry (for inspection and advanced wiring).

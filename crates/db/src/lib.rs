@@ -53,5 +53,7 @@ pub mod version_clock;
 
 pub use database::{Database, DatabaseConfig, UpdateCommit};
 pub use invalidation::{Invalidation, InvalidationBatch};
-pub use publisher::{InvalidationPublisher, InvalidationSink};
+pub use publisher::{
+    InvalidationPublisher, InvalidationSink, PublishStats, ReportingSink, SinkReport,
+};
 pub use stats::DbStats;

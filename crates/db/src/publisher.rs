@@ -7,14 +7,100 @@
 //! every committed update's invalidation batch out to *all* registered
 //! caches; each cache's delivery pipe then drops or delays messages
 //! independently (that unreliability lives in `tcache-net`, not here).
+//!
+//! Because publication runs on the committing transaction's thread, a slow
+//! or full pipe behind an upcall stretches commit latency. The registry
+//! therefore measures every sink call and accumulates per-cache
+//! [`PublishStats`]: how long publication took, and — for sinks registered
+//! with [`InvalidationPublisher::register_reporting`] — how many messages a
+//! bounded pipe overflowed or stalled on. That is the attribution trail for
+//! "commits are slow because cache X's invalidation pipe is backed up".
 
 use crate::invalidation::InvalidationBatch;
 use parking_lot::RwLock;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 use tcache_types::CacheId;
 
 /// An upcall receiving every published invalidation batch for one cache.
 pub type InvalidationSink = Box<dyn Fn(&InvalidationBatch) + Send + Sync>;
+
+/// An upcall that reports what its delivery pipe did with the batch, so
+/// overflow and stalls can be attributed to the publishing side.
+pub type ReportingSink = Box<dyn Fn(&InvalidationBatch) -> SinkReport + Send + Sync>;
+
+/// What one sink call did with a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SinkReport {
+    /// Invalidations actually enqueued onto the cache's pipe.
+    pub enqueued: u64,
+    /// Invalidations lost because the pipe was at capacity.
+    pub overflowed: u64,
+    /// Whether the send had to wait for pipe capacity (backpressure into
+    /// the commit path).
+    pub stalled: bool,
+}
+
+/// Monotone per-cache publication counters.
+#[derive(Debug, Default)]
+struct PublishCounters {
+    batches: AtomicU64,
+    invalidations: AtomicU64,
+    enqueued: AtomicU64,
+    overflowed: AtomicU64,
+    stalled_publishes: AtomicU64,
+    publish_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of one cache's publication counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PublishStats {
+    /// Batches published to this cache's upcall.
+    pub batches: u64,
+    /// Invalidations offered to the upcall (batch sizes summed).
+    pub invalidations: u64,
+    /// Invalidations the upcall reported as enqueued on the pipe.
+    pub enqueued: u64,
+    /// Invalidations the upcall reported as lost to pipe overflow.
+    pub overflowed: u64,
+    /// Publishes during which the pipe exerted backpressure (stalled).
+    pub stalled_publishes: u64,
+    /// Total wall-clock time spent inside this cache's upcall, in
+    /// nanoseconds — commit latency attributable to this pipe.
+    pub publish_nanos: u64,
+}
+
+impl PublishCounters {
+    fn record(&self, batch_len: u64, report: SinkReport, nanos: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.invalidations.fetch_add(batch_len, Ordering::Relaxed);
+        self.enqueued.fetch_add(report.enqueued, Ordering::Relaxed);
+        self.overflowed.fetch_add(report.overflowed, Ordering::Relaxed);
+        if report.stalled {
+            self.stalled_publishes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.publish_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> PublishStats {
+        PublishStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            overflowed: self.overflowed.load(Ordering::Relaxed),
+            stalled_publishes: self.stalled_publishes.load(Ordering::Relaxed),
+            publish_nanos: self.publish_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Registration {
+    cache: CacheId,
+    sink: ReportingSink,
+    counters: Arc<PublishCounters>,
+}
 
 /// Registry of per-cache invalidation upcalls.
 ///
@@ -23,7 +109,7 @@ pub type InvalidationSink = Box<dyn Fn(&InvalidationBatch) + Send + Sync>;
 /// registry lock is held, shared, while sinks run).
 #[derive(Default)]
 pub struct InvalidationPublisher {
-    sinks: RwLock<Vec<(CacheId, InvalidationSink)>>,
+    sinks: RwLock<Vec<Registration>>,
 }
 
 impl fmt::Debug for InvalidationPublisher {
@@ -41,13 +127,39 @@ impl InvalidationPublisher {
     }
 
     /// Registers `cache`'s upcall. A second registration for the same cache
-    /// replaces the first (a cache re-registering after a restart).
+    /// replaces the first (a cache re-registering after a restart) but
+    /// keeps its accumulated [`PublishStats`].
+    ///
+    /// A sink registered here reports nothing back; its batches are counted
+    /// as fully enqueued. Use
+    /// [`InvalidationPublisher::register_reporting`] when the sink can
+    /// report pipe overflow and stalls.
     pub fn register(&self, cache: CacheId, sink: InvalidationSink) {
+        self.register_reporting(
+            cache,
+            Box::new(move |batch| {
+                sink(batch);
+                SinkReport {
+                    enqueued: batch.len() as u64,
+                    ..SinkReport::default()
+                }
+            }),
+        );
+    }
+
+    /// Registers an upcall that reports what its pipe did with each batch
+    /// (see [`SinkReport`]); the registry accumulates the reports into the
+    /// cache's [`PublishStats`].
+    pub fn register_reporting(&self, cache: CacheId, sink: ReportingSink) {
         let mut sinks = self.sinks.write();
-        if let Some(slot) = sinks.iter_mut().find(|(id, _)| *id == cache) {
-            slot.1 = sink;
+        if let Some(slot) = sinks.iter_mut().find(|r| r.cache == cache) {
+            slot.sink = sink;
         } else {
-            sinks.push((cache, sink));
+            sinks.push(Registration {
+                cache,
+                sink,
+                counters: Arc::new(PublishCounters::default()),
+            });
         }
     }
 
@@ -55,23 +167,50 @@ impl InvalidationPublisher {
     pub fn unregister(&self, cache: CacheId) -> bool {
         let mut sinks = self.sinks.write();
         let before = sinks.len();
-        sinks.retain(|(id, _)| *id != cache);
+        sinks.retain(|r| r.cache != cache);
         sinks.len() != before
     }
 
     /// The caches currently registered, in registration order.
     pub fn registered_caches(&self) -> Vec<CacheId> {
-        self.sinks.read().iter().map(|&(id, _)| id).collect()
+        self.sinks.read().iter().map(|r| r.cache).collect()
     }
 
-    /// Fans one batch out to every registered cache. Empty batches are not
-    /// published (an update that installed nothing invalidates nothing).
+    /// Per-cache publication statistics, in registration order.
+    pub fn publish_stats(&self) -> Vec<(CacheId, PublishStats)> {
+        self.sinks
+            .read()
+            .iter()
+            .map(|r| (r.cache, r.counters.snapshot()))
+            .collect()
+    }
+
+    /// One cache's publication statistics, if registered.
+    pub fn publish_stats_for(&self, cache: CacheId) -> Option<PublishStats> {
+        self.sinks
+            .read()
+            .iter()
+            .find(|r| r.cache == cache)
+            .map(|r| r.counters.snapshot())
+    }
+
+    /// Fans one batch out to every registered cache, timing each sink call
+    /// so slow pipes are attributable. Empty batches are not published (an
+    /// update that installed nothing invalidates nothing).
     pub fn publish(&self, batch: &InvalidationBatch) {
         if batch.is_empty() {
             return;
         }
-        for (_, sink) in self.sinks.read().iter() {
-            sink(batch);
+        for registration in self.sinks.read().iter() {
+            let started = Instant::now();
+            let report = (registration.sink)(batch);
+            // Accumulate nanoseconds: a sub-microsecond sink must still
+            // leave a nonzero trace after many publishes.
+            let nanos =
+                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            registration
+                .counters
+                .record(batch.len() as u64, report, nanos);
         }
     }
 }
@@ -128,5 +267,67 @@ mod tests {
         publisher.publish(&batch(2));
         assert_eq!(second.load(Ordering::Relaxed), 2);
         assert!(format!("{publisher:?}").contains("registered"));
+    }
+
+    #[test]
+    fn plain_sinks_count_batches_as_fully_enqueued() {
+        let publisher = InvalidationPublisher::new();
+        let a = Arc::new(AtomicU64::new(0));
+        publisher.register(CacheId(0), counting_sink(&a));
+        publisher.publish(&batch(3));
+        publisher.publish(&batch(2));
+        let stats = publisher.publish_stats_for(CacheId(0)).unwrap();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.invalidations, 5);
+        assert_eq!(stats.enqueued, 5);
+        assert_eq!(stats.overflowed, 0);
+        assert_eq!(stats.stalled_publishes, 0);
+        assert!(publisher.publish_stats_for(CacheId(9)).is_none());
+    }
+
+    #[test]
+    fn reporting_sinks_attribute_overflow_and_stalls() {
+        let publisher = InvalidationPublisher::new();
+        publisher.register_reporting(
+            CacheId(0),
+            Box::new(|b: &InvalidationBatch| {
+                // Model a pipe that admits one message per batch and stalls.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                SinkReport {
+                    enqueued: 1,
+                    overflowed: b.len() as u64 - 1,
+                    stalled: true,
+                }
+            }),
+        );
+        publisher.publish(&batch(4));
+        publisher.publish(&batch(4));
+        let all = publisher.publish_stats();
+        assert_eq!(all.len(), 1);
+        let (cache, stats) = all[0];
+        assert_eq!(cache, CacheId(0));
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.invalidations, 8);
+        assert_eq!(stats.enqueued, 2);
+        assert_eq!(stats.overflowed, 6);
+        assert_eq!(stats.stalled_publishes, 2);
+        assert!(
+            stats.publish_nanos >= 4_000_000,
+            "publish time accumulates: {}",
+            stats.publish_nanos
+        );
+    }
+
+    #[test]
+    fn reregistration_keeps_accumulated_stats() {
+        let publisher = InvalidationPublisher::new();
+        let a = Arc::new(AtomicU64::new(0));
+        publisher.register(CacheId(3), counting_sink(&a));
+        publisher.publish(&batch(2));
+        publisher.register(CacheId(3), counting_sink(&a));
+        publisher.publish(&batch(1));
+        let stats = publisher.publish_stats_for(CacheId(3)).unwrap();
+        assert_eq!(stats.batches, 2, "stats survive re-registration");
+        assert_eq!(stats.invalidations, 3);
     }
 }

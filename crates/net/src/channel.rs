@@ -7,9 +7,17 @@
 //! time. Deliveries for the same object may be reordered if the latency
 //! model produces non-monotone delays — exactly the behaviour the paper's
 //! best-effort pipelines exhibit.
+//!
+//! The channel can additionally model a *bounded* delivery pipe: with a
+//! finite capacity, messages arriving while the pipe is full are handled by
+//! an [`OverflowPolicy`] — dropped (newest or oldest first, counted in
+//! [`ChannelStats::overflowed`]) or admitted late behind the backlog
+//! (`Block`, counted in [`ChannelStats::stalled`]), mirroring the live
+//! [`crate::pipe`] semantics inside the discrete-event simulation.
 
 use crate::fault::{LossModel, LossState};
 use crate::latency::LatencyModel;
+use crate::pipe::OverflowPolicy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -50,6 +58,12 @@ pub struct ChannelStats {
     pub dropped: u64,
     /// Invalidations handed to the cache.
     pub delivered: u64,
+    /// Invalidations lost because the pipe was at capacity (per-cache
+    /// overflow under `DropNewest` / `DropOldest`).
+    pub overflowed: u64,
+    /// Sends that found the pipe at capacity under the `Block` policy and
+    /// were admitted late behind the backlog (publish-side stalls).
+    pub stalled: u64,
 }
 
 impl ChannelStats {
@@ -62,12 +76,24 @@ impl ChannelStats {
         }
     }
 
+    /// Observed overflow ratio: fraction of sent messages lost to a full
+    /// pipe (0 when nothing was sent).
+    pub fn overflow_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.overflowed as f64 / self.sent as f64
+        }
+    }
+
     /// Accumulates another channel's counters into this one (used to build
     /// the aggregate view over a multi-cache fan-out).
     pub fn merge(&mut self, other: ChannelStats) {
         self.sent += other.sent;
         self.dropped += other.dropped;
         self.delivered += other.delivered;
+        self.overflowed += other.overflowed;
+        self.stalled += other.stalled;
     }
 }
 
@@ -80,12 +106,35 @@ pub struct InvalidationChannel {
     queue: BinaryHeap<Reverse<PendingDelivery>>,
     stats: ChannelStats,
     next_seq: u64,
+    /// In-flight messages admitted before the overflow policy engages.
+    capacity: usize,
+    policy: OverflowPolicy,
+    /// `Block` bookkeeping: one entry per occupied pipe slot, holding the
+    /// time that slot frees (the occupant's delivery time). A message
+    /// finding every slot busy is admitted only when the earliest slot
+    /// frees — so successive over-capacity sends queue up behind each
+    /// other, exactly like a c-server queue with c = capacity.
+    block_slots: BinaryHeap<Reverse<SimTime>>,
 }
 
 impl InvalidationChannel {
     /// Creates a channel with the given loss and latency models, seeded for
-    /// reproducibility.
+    /// reproducibility. The pipe is unbounded; use
+    /// [`InvalidationChannel::with_pipe`] to bound it.
     pub fn new(loss: LossModel, latency: LatencyModel, seed: u64) -> Self {
+        InvalidationChannel::with_pipe(loss, latency, seed, usize::MAX, OverflowPolicy::Block)
+    }
+
+    /// Creates a channel whose delivery pipe holds at most `capacity`
+    /// in-flight messages, applying `policy` when a send finds it full.
+    /// `capacity` is clamped to at least 1.
+    pub fn with_pipe(
+        loss: LossModel,
+        latency: LatencyModel,
+        seed: u64,
+        capacity: usize,
+        policy: OverflowPolicy,
+    ) -> Self {
         InvalidationChannel {
             loss: LossState::new(loss),
             latency,
@@ -93,6 +142,9 @@ impl InvalidationChannel {
             queue: BinaryHeap::new(),
             stats: ChannelStats::default(),
             next_seq: 0,
+            capacity: capacity.max(1),
+            policy,
+            block_slots: BinaryHeap::new(),
         }
     }
 
@@ -113,7 +165,13 @@ impl InvalidationChannel {
     }
 
     /// Submits a batch of invalidations at simulated time `now`. Messages
-    /// surviving the loss model are queued for later delivery.
+    /// surviving the loss model are queued for later delivery; once the
+    /// pipe holds `capacity` messages, the overflow policy decides what
+    /// happens: `DropNewest` rejects the incoming message, `DropOldest`
+    /// evicts the earliest pending delivery, and `Block` admits the message
+    /// late — it occupies a pipe slot only once one frees, so successive
+    /// over-capacity sends queue up behind each other (a stall of the
+    /// publisher, counted per message that actually had to wait).
     pub fn send(&mut self, now: SimTime, invalidations: impl IntoIterator<Item = Invalidation>) {
         for inv in invalidations {
             self.stats.sent += 1;
@@ -122,8 +180,50 @@ impl InvalidationChannel {
                 continue;
             }
             let delay = self.latency.sample(&mut self.rng);
+            let mut send_at = now;
+            if self.policy == OverflowPolicy::Block && self.capacity != usize::MAX {
+                // Slot bookkeeping: each of the `capacity` slots is busy
+                // until its occupant's delivery time. Take the earliest
+                // slot; if it is still busy, the publisher stalls until it
+                // frees.
+                if self.block_slots.len() >= self.capacity {
+                    let Reverse(free_at) =
+                        self.block_slots.pop().expect("slots at capacity");
+                    if free_at > now {
+                        self.stats.stalled += 1;
+                        send_at = free_at;
+                    }
+                }
+                self.block_slots.push(Reverse(send_at + delay));
+            } else if self.queue.len() >= self.capacity {
+                match self.policy {
+                    OverflowPolicy::DropNewest => {
+                        self.stats.overflowed += 1;
+                        continue;
+                    }
+                    OverflowPolicy::DropOldest => {
+                        // Evict the oldest *sent* message (smallest seq),
+                        // mirroring the live pipe's FIFO eviction — under
+                        // non-monotone latency that is not necessarily the
+                        // earliest delivery, so the heap head won't do.
+                        // O(capacity), and only paid on overflow.
+                        let mut entries = std::mem::take(&mut self.queue).into_vec();
+                        if let Some(pos) = entries
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, Reverse(d))| d.seq)
+                            .map(|(i, _)| i)
+                        {
+                            entries.swap_remove(pos);
+                        }
+                        self.queue = entries.into();
+                        self.stats.overflowed += 1;
+                    }
+                    OverflowPolicy::Block => unreachable!("handled above"),
+                }
+            }
             self.queue.push(Reverse(PendingDelivery {
-                deliver_at: now + delay,
+                deliver_at: send_at + delay,
                 invalidation: inv,
                 seq: self.next_seq,
             }));
@@ -289,6 +389,106 @@ mod tests {
             }
         }
         assert!(inversions > 0, "expected at least one reordering");
+    }
+
+    #[test]
+    fn bounded_channel_drop_newest_rejects_the_incoming_message() {
+        let latency = LatencyModel::Constant(SimDuration::from_millis(100));
+        let mut ch = InvalidationChannel::with_pipe(
+            LossModel::None,
+            latency,
+            1,
+            2,
+            OverflowPolicy::DropNewest,
+        );
+        ch.send(SimTime::ZERO, (0..5u64).map(|i| inv(i, 1)));
+        assert_eq!(ch.in_flight(), 2);
+        let stats = ch.stats();
+        assert_eq!(stats.sent, 5);
+        assert_eq!(stats.overflowed, 3);
+        assert_eq!(stats.stalled, 0);
+        assert!((stats.overflow_ratio() - 0.6).abs() < 1e-9);
+        // The two oldest messages survived.
+        let due: Vec<_> = ch.due(SimTime::from_secs(1));
+        assert_eq!(due.iter().map(|i| i.object).collect::<Vec<_>>(), vec![
+            ObjectId(0),
+            ObjectId(1)
+        ]);
+    }
+
+    #[test]
+    fn bounded_channel_drop_oldest_keeps_the_freshest_messages() {
+        let latency = LatencyModel::Constant(SimDuration::from_millis(100));
+        let mut ch = InvalidationChannel::with_pipe(
+            LossModel::None,
+            latency,
+            1,
+            2,
+            OverflowPolicy::DropOldest,
+        );
+        ch.send(SimTime::ZERO, (0..5u64).map(|i| inv(i, 1)));
+        assert_eq!(ch.in_flight(), 2);
+        assert_eq!(ch.stats().overflowed, 3);
+        let due: Vec<_> = ch.due(SimTime::from_secs(1));
+        assert_eq!(due.iter().map(|i| i.object).collect::<Vec<_>>(), vec![
+            ObjectId(3),
+            ObjectId(4)
+        ]);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_by_send_order_not_delivery_order() {
+        // With a wide uniform latency the earliest *delivery* need not be
+        // the oldest *send*; eviction must follow send order (FIFO, like
+        // the live pipe) no matter what delays were sampled.
+        let latency = LatencyModel::Uniform {
+            min: SimDuration::from_millis(1),
+            max: SimDuration::from_secs(1000),
+        };
+        let mut ch = InvalidationChannel::with_pipe(
+            LossModel::None,
+            latency,
+            3,
+            2,
+            OverflowPolicy::DropOldest,
+        );
+        ch.send(SimTime::ZERO, (0..3u64).map(|i| inv(i, 1)));
+        assert_eq!(ch.stats().overflowed, 1);
+        let mut survivors: Vec<_> = ch.drain().iter().map(|i| i.object).collect();
+        survivors.sort();
+        assert_eq!(
+            survivors,
+            vec![ObjectId(1), ObjectId(2)],
+            "object 0 (the oldest send) must be the evicted one"
+        );
+    }
+
+    #[test]
+    fn bounded_channel_block_delays_behind_the_backlog() {
+        let latency = LatencyModel::Constant(SimDuration::from_millis(100));
+        let mut ch = InvalidationChannel::with_pipe(
+            LossModel::None,
+            latency,
+            1,
+            1,
+            OverflowPolicy::Block,
+        );
+        ch.send(SimTime::ZERO, vec![inv(1, 1), inv(2, 1), inv(3, 1)]);
+        // Nothing is lost…
+        assert_eq!(ch.in_flight(), 3);
+        assert_eq!(ch.stats().overflowed, 0);
+        assert_eq!(ch.stats().stalled, 2);
+        // …but each message only enters the single-slot pipe once its
+        // predecessor has delivered: the backlog serializes, so the three
+        // messages arrive a full latency apart (100 / 200 / 300 ms).
+        assert_eq!(ch.due(SimTime::from_millis(100)).len(), 1);
+        assert_eq!(ch.next_delivery_at(), Some(SimTime::from_millis(200)));
+        assert_eq!(ch.due(SimTime::from_millis(200)).len(), 1);
+        assert_eq!(ch.next_delivery_at(), Some(SimTime::from_millis(300)));
+        // A later send that finds a free slot does not count as a stall.
+        ch.send(SimTime::from_millis(400), vec![inv(4, 1)]);
+        assert_eq!(ch.stats().stalled, 2);
+        assert_eq!(ch.next_delivery_at(), Some(SimTime::from_millis(300)));
     }
 
     #[test]

@@ -17,10 +17,11 @@
 use crate::channel::{ChannelStats, InvalidationChannel};
 use crate::fault::LossModel;
 use crate::latency::LatencyModel;
+use crate::pipe::OverflowPolicy;
 use tcache_db::Invalidation;
 use tcache_types::{cache_channel_seed, CacheId, SimTime};
 
-/// Loss and latency of one cache's invalidation link.
+/// Loss, latency and pipe shape of one cache's invalidation link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheLink {
     /// The cache this link feeds.
@@ -29,17 +30,32 @@ pub struct CacheLink {
     pub loss: LossModel,
     /// Latency model of the link.
     pub latency: LatencyModel,
+    /// In-flight capacity of the link's delivery pipe (`usize::MAX` for an
+    /// unbounded pipe).
+    pub capacity: usize,
+    /// What the pipe does with sends arriving while it is at capacity.
+    pub policy: OverflowPolicy,
 }
 
 impl CacheLink {
-    /// A link with uniform loss probability and constant delay — the shape
-    /// every experiment in the evaluation uses.
+    /// A link with uniform loss probability, constant delay and an
+    /// unbounded pipe — the shape every experiment in the evaluation uses.
     pub fn uniform(cache: CacheId, loss: f64, delay: tcache_types::SimDuration) -> Self {
         CacheLink {
             cache,
             loss: LossModel::uniform(loss),
             latency: LatencyModel::Constant(delay),
+            capacity: usize::MAX,
+            policy: OverflowPolicy::Block,
         }
+    }
+
+    /// Bounds the link's delivery pipe to `capacity` in-flight messages
+    /// with the given overflow policy.
+    pub fn with_pipe(mut self, capacity: usize, policy: OverflowPolicy) -> Self {
+        self.capacity = capacity;
+        self.policy = policy;
+        self
     }
 }
 
@@ -67,7 +83,13 @@ impl InvalidationFanout {
             let seed = cache_channel_seed(run_seed, link.cache);
             channels.push((
                 link.cache,
-                InvalidationChannel::new(link.loss, link.latency, seed),
+                InvalidationChannel::with_pipe(
+                    link.loss,
+                    link.latency,
+                    seed,
+                    link.capacity,
+                    link.policy,
+                ),
             ));
         }
         InvalidationFanout { channels }
@@ -234,6 +256,25 @@ mod tests {
         assert_eq!(due, vec![(CacheId(1), inv(5, 1))]);
         assert!(fanout.channel_mut(CacheId(9)).is_none());
         assert_eq!(fanout.cache_ids().collect::<Vec<_>>(), vec![CacheId(0), CacheId(1)]);
+    }
+
+    #[test]
+    fn bounded_links_report_per_cache_overflow() {
+        // Cache 0 keeps an unbounded pipe, cache 1's pipe holds only two
+        // in-flight messages and sheds the oldest. Overflow must show up on
+        // cache 1's counters alone, and in the aggregate.
+        let links = vec![
+            CacheLink::uniform(CacheId(0), 0.0, SimDuration::from_millis(10)),
+            CacheLink::uniform(CacheId(1), 0.0, SimDuration::from_millis(10))
+                .with_pipe(2, crate::pipe::OverflowPolicy::DropOldest),
+        ];
+        let mut fanout = InvalidationFanout::new(1, links);
+        fanout.broadcast(SimTime::ZERO, &[inv(1, 1), inv(2, 1), inv(3, 1), inv(4, 1)]);
+        let stats = fanout.stats();
+        assert_eq!(stats[0].1.overflowed, 0);
+        assert_eq!(stats[1].1.overflowed, 2);
+        assert_eq!(fanout.aggregate_stats().overflowed, 2);
+        assert_eq!(fanout.in_flight(), 4 + 2);
     }
 
     #[test]

@@ -10,12 +10,19 @@
 //!
 //! * [`fault`] — loss models (none, uniform probability, bursts);
 //! * [`latency`] — delay models (constant, uniform, exponential);
-//! * [`channel`] — a discrete-event delivery queue combining a loss model
-//!   and a latency model, used by the simulation harness;
+//! * [`channel`] — a discrete-event delivery queue combining a loss model,
+//!   a latency model and an optional pipe capacity with overflow policy,
+//!   used by the simulation harness;
 //! * [`fanout`] — one channel per edge cache, independently seeded from
 //!   `(run_seed, CacheId)`, for multi-cache deployments;
-//! * [`transport`] — a live (threaded) transport over `crossbeam-channel`
-//!   for the prototype mode, applying the same loss model.
+//! * [`pipe`] — bounded MPSC pipes with explicit overflow policies
+//!   (`Block` / `DropNewest` / `DropOldest`) and per-pipe counters, the
+//!   building block of the live invalidation plane;
+//! * [`reactor`] — a hand-rolled single-threaded reactor (ready queue,
+//!   parked-task table, timer wheel) that multiplexes many caches' pipes
+//!   in one event loop;
+//! * [`transport`] — a live transport over [`pipe`] for the prototype
+//!   mode, applying the same loss model.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -24,10 +31,17 @@ pub mod channel;
 pub mod fanout;
 pub mod fault;
 pub mod latency;
+pub mod pipe;
+pub mod reactor;
 pub mod transport;
 
 pub use channel::{InvalidationChannel, PendingDelivery};
 pub use fanout::{CacheLink, InvalidationFanout};
 pub use fault::LossModel;
 pub use latency::LatencyModel;
-pub use transport::{LiveReceiver, LiveSender, live_channel};
+pub use pipe::{
+    bounded_pipe, OverflowPolicy, PipeReceiver, PipeSendError, PipeSender, PipeStatsSnapshot,
+    SendOutcome, UNBOUNDED,
+};
+pub use reactor::{Reactor, ReactorHandle, ReactorStats, TaskId, TimerHandle};
+pub use transport::{live_channel, live_channel_with, LiveReceiver, LiveSender};

@@ -1,0 +1,703 @@
+//! Bounded invalidation pipes with explicit overflow policies.
+//!
+//! The live transport's original queue was unbounded: a slow cache simply
+//! grew its queue without limit and the system gave no backpressure signal.
+//! [`BoundedPipe`] replaces it with a capacity-limited MPSC queue whose
+//! behaviour at capacity is an explicit [`OverflowPolicy`]:
+//!
+//! * [`OverflowPolicy::Block`] — the sender waits for a free slot; the
+//!   commit path absorbs the backpressure (and the stall is counted so it
+//!   can be attributed).
+//! * [`OverflowPolicy::DropNewest`] — the incoming message is rejected; the
+//!   cache keeps its oldest pending invalidations.
+//! * [`OverflowPolicy::DropOldest`] — the oldest pending message is evicted
+//!   to make room; the cache always sees the freshest invalidations.
+//!
+//! Every transition is counted in [`PipeStats`] so overflow and stalls are
+//! observable per cache. The receiving side supports blocking, timed and
+//! *asynchronous* receives; [`PipeReceiver::recv_async`] registers a
+//! [`std::task::Waker`], which is what lets one reactor thread multiplex
+//! many caches' pipes (see [`crate::reactor`]).
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+/// What a pipe does with an incoming message while it is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// The sender blocks until a slot frees (backpressure onto the
+    /// publisher / commit path).
+    #[default]
+    Block,
+    /// The incoming message is dropped; pending messages are kept.
+    DropNewest,
+    /// The oldest pending message is evicted to admit the incoming one.
+    DropOldest,
+}
+
+impl std::fmt::Display for OverflowPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverflowPolicy::Block => write!(f, "block"),
+            OverflowPolicy::DropNewest => write!(f, "drop-newest"),
+            OverflowPolicy::DropOldest => write!(f, "drop-oldest"),
+        }
+    }
+}
+
+/// Monotone counters describing one pipe's traffic. All counters are
+/// atomics; snapshot them with [`PipeStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct PipeStats {
+    enqueued: AtomicU64,
+    rejected: AtomicU64,
+    evicted: AtomicU64,
+    received: AtomicU64,
+    stalled_sends: AtomicU64,
+    stall_micros: AtomicU64,
+}
+
+/// A point-in-time copy of [`PipeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipeStatsSnapshot {
+    /// Messages accepted into the queue (including ones later evicted by
+    /// [`OverflowPolicy::DropOldest`]).
+    pub enqueued: u64,
+    /// Incoming messages rejected at capacity ([`OverflowPolicy::DropNewest`]).
+    pub rejected: u64,
+    /// Pending messages evicted at capacity ([`OverflowPolicy::DropOldest`]).
+    pub evicted: u64,
+    /// Messages handed to the receiver.
+    pub received: u64,
+    /// Sends that had to wait for a slot ([`OverflowPolicy::Block`]).
+    pub stalled_sends: u64,
+    /// Total wall-clock time senders spent waiting for slots, in
+    /// microseconds.
+    pub stall_micros: u64,
+}
+
+impl PipeStatsSnapshot {
+    /// Messages lost to overflow under either drop policy.
+    pub fn overflow_dropped(&self) -> u64 {
+        self.rejected + self.evicted
+    }
+
+    /// Accumulates another pipe's counters into this one.
+    pub fn merge(&mut self, other: PipeStatsSnapshot) {
+        self.enqueued += other.enqueued;
+        self.rejected += other.rejected;
+        self.evicted += other.evicted;
+        self.received += other.received;
+        self.stalled_sends += other.stalled_sends;
+        self.stall_micros += other.stall_micros;
+    }
+}
+
+impl PipeStats {
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> PipeStatsSnapshot {
+        PipeStatsSnapshot {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            received: self.received.load(Ordering::Relaxed),
+            stalled_sends: self.stalled_sends.load(Ordering::Relaxed),
+            stall_micros: self.stall_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What a successful [`PipeSender::send`] / [`PipeSender::try_send`] did
+/// with the message, so callers can attribute overflow to the policy that
+/// caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message was enqueued into a free slot.
+    Enqueued,
+    /// The message was enqueued, evicting the oldest pending message
+    /// ([`OverflowPolicy::DropOldest`] at capacity) — one message was lost.
+    EnqueuedEvictingOldest,
+    /// The message was rejected ([`OverflowPolicy::DropNewest`] at
+    /// capacity) — this message was lost.
+    Rejected,
+}
+
+impl SendOutcome {
+    /// Whether the sent message itself entered the queue.
+    pub fn was_enqueued(&self) -> bool {
+        !matches!(self, SendOutcome::Rejected)
+    }
+
+    /// Whether the send cost a message (the incoming one or an evicted
+    /// pending one).
+    pub fn lost_a_message(&self) -> bool {
+        !matches!(self, SendOutcome::Enqueued)
+    }
+}
+
+/// Error returned by [`PipeSender::send`] / [`PipeSender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeSendError<T> {
+    /// The receiver has been dropped; the value is handed back.
+    Disconnected(T),
+    /// The pipe is full and the policy is [`OverflowPolicy::Block`]
+    /// (returned by `try_send` only — `send` waits instead).
+    Full(T),
+}
+
+impl<T> PipeSendError<T> {
+    /// Recovers the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            PipeSendError::Disconnected(v) | PipeSendError::Full(v) => v,
+        }
+    }
+}
+
+struct PipeInner<T> {
+    queue: VecDeque<T>,
+    /// Waker of a pending [`RecvFuture`], if the receiver is parked.
+    recv_waker: Option<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct PipeShared<T> {
+    inner: Mutex<PipeInner<T>>,
+    /// Signalled when a message arrives or the last sender disconnects.
+    not_empty: Condvar,
+    /// Signalled when a slot frees or the receiver disconnects.
+    not_full: Condvar,
+    capacity: usize,
+    policy: OverflowPolicy,
+    stats: PipeStats,
+}
+
+impl<T> PipeShared<T> {
+    /// Pops one message, updating counters and signalling writers.
+    fn pop(&self, inner: &mut PipeInner<T>) -> Option<T> {
+        let value = inner.queue.pop_front()?;
+        self.stats.received.fetch_add(1, Ordering::Relaxed);
+        self.not_full.notify_one();
+        Some(value)
+    }
+
+    /// Applies the drop policies to a queue at capacity. The caller must
+    /// ensure the queue is full and the policy is not `Block`.
+    fn drop_policy_outcome(&self, inner: &mut PipeInner<T>) -> SendOutcome {
+        match self.policy {
+            OverflowPolicy::DropNewest => {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                SendOutcome::Rejected
+            }
+            OverflowPolicy::DropOldest => {
+                inner.queue.pop_front();
+                self.stats.evicted.fetch_add(1, Ordering::Relaxed);
+                SendOutcome::EnqueuedEvictingOldest
+            }
+            OverflowPolicy::Block => unreachable!("Block is handled by the caller"),
+        }
+    }
+
+    /// Enqueues `value` and wakes the receiver (waker first, then the
+    /// condvar), releasing the lock before firing the waker.
+    fn push_and_wake(&self, mut inner: std::sync::MutexGuard<'_, PipeInner<T>>, value: T) {
+        inner.queue.push_back(value);
+        self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+        let waker = inner.recv_waker.take();
+        self.not_empty.notify_one();
+        drop(inner);
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// The sending half of a bounded pipe. Cloneable.
+pub struct PipeSender<T> {
+    shared: Arc<PipeShared<T>>,
+}
+
+/// The receiving half of a bounded pipe.
+pub struct PipeReceiver<T> {
+    shared: Arc<PipeShared<T>>,
+}
+
+impl<T> std::fmt::Debug for PipeSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipeSender")
+            .field("capacity", &self.shared.capacity)
+            .field("policy", &self.shared.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for PipeReceiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipeReceiver")
+            .field("capacity", &self.shared.capacity)
+            .field("policy", &self.shared.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Creates a bounded pipe with the given capacity and overflow policy.
+/// `capacity` is clamped to at least 1; pass [`UNBOUNDED`] for a pipe that
+/// never overflows.
+pub fn bounded_pipe<T>(
+    capacity: usize,
+    policy: OverflowPolicy,
+) -> (PipeSender<T>, PipeReceiver<T>) {
+    let shared = Arc::new(PipeShared {
+        inner: Mutex::new(PipeInner {
+            queue: VecDeque::new(),
+            recv_waker: None,
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity: capacity.max(1),
+        policy,
+        stats: PipeStats::default(),
+    });
+    (
+        PipeSender {
+            shared: Arc::clone(&shared),
+        },
+        PipeReceiver { shared },
+    )
+}
+
+/// Capacity value meaning "effectively unbounded".
+pub const UNBOUNDED: usize = usize::MAX;
+
+impl<T> Clone for PipeSender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().expect("pipe lock").senders += 1;
+        PipeSender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for PipeSender<T> {
+    fn drop(&mut self) {
+        let waker = {
+            let mut inner = self.shared.inner.lock().expect("pipe lock");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                self.shared.not_empty.notify_all();
+                inner.recv_waker.take()
+            } else {
+                None
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Drop for PipeReceiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("pipe lock");
+        inner.receiver_alive = false;
+        self.shared.not_full.notify_all();
+    }
+}
+
+impl<T> PipeSender<T> {
+    /// Sends `value`, applying the overflow policy at capacity: `Block`
+    /// waits for a slot, `DropNewest` rejects `value`, `DropOldest` evicts
+    /// the oldest pending message. The returned [`SendOutcome`] says which
+    /// of those happened.
+    ///
+    /// # Errors
+    /// Returns [`PipeSendError::Disconnected`] when the receiver is gone.
+    pub fn send(&self, value: T) -> Result<SendOutcome, PipeSendError<T>> {
+        let shared = &self.shared;
+        let mut inner = shared.inner.lock().expect("pipe lock");
+        if !inner.receiver_alive {
+            return Err(PipeSendError::Disconnected(value));
+        }
+        let mut outcome = SendOutcome::Enqueued;
+        if inner.queue.len() >= shared.capacity {
+            if shared.policy == OverflowPolicy::Block {
+                shared.stats.stalled_sends.fetch_add(1, Ordering::Relaxed);
+                let started = Instant::now();
+                while inner.queue.len() >= shared.capacity && inner.receiver_alive {
+                    inner = shared.not_full.wait(inner).expect("pipe lock");
+                }
+                shared.stats.stall_micros.fetch_add(
+                    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    Ordering::Relaxed,
+                );
+                if !inner.receiver_alive {
+                    return Err(PipeSendError::Disconnected(value));
+                }
+            } else {
+                outcome = shared.drop_policy_outcome(&mut inner);
+                if outcome == SendOutcome::Rejected {
+                    return Ok(outcome);
+                }
+            }
+        }
+        shared.push_and_wake(inner, value);
+        Ok(outcome)
+    }
+
+    /// Sends without ever blocking: at capacity, `Block` behaves like a
+    /// plain bounded channel and returns [`PipeSendError::Full`]; the drop
+    /// policies behave exactly as in [`PipeSender::send`].
+    ///
+    /// # Errors
+    /// [`PipeSendError::Full`] under `Block` at capacity,
+    /// [`PipeSendError::Disconnected`] when the receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<SendOutcome, PipeSendError<T>> {
+        let shared = &self.shared;
+        let mut inner = shared.inner.lock().expect("pipe lock");
+        if !inner.receiver_alive {
+            return Err(PipeSendError::Disconnected(value));
+        }
+        let mut outcome = SendOutcome::Enqueued;
+        if inner.queue.len() >= shared.capacity {
+            if shared.policy == OverflowPolicy::Block {
+                return Err(PipeSendError::Full(value));
+            }
+            outcome = shared.drop_policy_outcome(&mut inner);
+            if outcome == SendOutcome::Rejected {
+                return Ok(outcome);
+            }
+        }
+        shared.push_and_wake(inner, value);
+        Ok(outcome)
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock().expect("pipe lock").queue.len()
+    }
+
+    /// Returns `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The pipe's capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// The pipe's overflow policy.
+    pub fn policy(&self) -> OverflowPolicy {
+        self.shared.policy
+    }
+
+    /// A snapshot of the pipe's counters.
+    pub fn stats(&self) -> PipeStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+}
+
+impl<T> PipeReceiver<T> {
+    /// Receives without blocking; `None` means the pipe is currently empty
+    /// (disconnection is reported by [`PipeReceiver::recv`]).
+    pub fn try_recv(&self) -> Option<T> {
+        let mut inner = self.shared.inner.lock().expect("pipe lock");
+        self.shared.pop(&mut inner)
+    }
+
+    /// Blocks until a message arrives or every sender is dropped (`None`).
+    pub fn recv(&self) -> Option<T> {
+        let mut inner = self.shared.inner.lock().expect("pipe lock");
+        loop {
+            if let Some(v) = self.shared.pop(&mut inner) {
+                return Some(v);
+            }
+            if inner.senders == 0 {
+                return None;
+            }
+            inner = self.shared.not_empty.wait(inner).expect("pipe lock");
+        }
+    }
+
+    /// Blocks until a message arrives, the timeout elapses, or every sender
+    /// is dropped. `None` covers both timeout and disconnection; check
+    /// [`PipeReceiver::is_disconnected`] to distinguish them.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().expect("pipe lock");
+        loop {
+            if let Some(v) = self.shared.pop(&mut inner) {
+                return Some(v);
+            }
+            if inner.senders == 0 {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("pipe lock");
+            inner = guard;
+        }
+    }
+
+    /// Drains every message currently queued without blocking.
+    pub fn drain(&self) -> Vec<T> {
+        let mut inner = self.shared.inner.lock().expect("pipe lock");
+        let mut out = Vec::with_capacity(inner.queue.len());
+        while let Some(v) = self.shared.pop(&mut inner) {
+            out.push(v);
+        }
+        out
+    }
+
+    /// Returns a future resolving to the next message, or `None` once every
+    /// sender is dropped and the queue is drained. This is the reactor
+    /// integration point: the future registers its [`Waker`] with the pipe
+    /// and senders wake it on delivery.
+    pub fn recv_async(&self) -> RecvFuture<'_, T> {
+        RecvFuture { receiver: self }
+    }
+
+    /// Returns `true` once every sender has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        self.shared.inner.lock().expect("pipe lock").senders == 0
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock().expect("pipe lock").queue.len()
+    }
+
+    /// Returns `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the pipe's counters.
+    pub fn stats(&self) -> PipeStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+}
+
+/// Future returned by [`PipeReceiver::recv_async`].
+pub struct RecvFuture<'a, T> {
+    receiver: &'a PipeReceiver<T>,
+}
+
+impl<T> Future for RecvFuture<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let shared = &self.receiver.shared;
+        let mut inner = shared.inner.lock().expect("pipe lock");
+        if let Some(v) = shared.pop(&mut inner) {
+            return Poll::Ready(Some(v));
+        }
+        if inner.senders == 0 {
+            return Poll::Ready(None);
+        }
+        inner.recv_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_pipe_round_trip() {
+        let (tx, rx) = bounded_pipe::<u64>(UNBOUNDED, OverflowPolicy::Block);
+        for i in 0..100 {
+            assert_eq!(tx.send(i), Ok(SendOutcome::Enqueued));
+        }
+        assert_eq!(tx.len(), 100);
+        assert_eq!(rx.drain(), (0..100).collect::<Vec<_>>());
+        assert!(tx.is_empty() && rx.is_empty());
+        let stats = tx.stats();
+        assert_eq!(stats.enqueued, 100);
+        assert_eq!(stats.received, 100);
+        assert_eq!(stats.overflow_dropped(), 0);
+    }
+
+    #[test]
+    fn drop_newest_rejects_at_capacity() {
+        let (tx, rx) = bounded_pipe::<u64>(2, OverflowPolicy::DropNewest);
+        assert_eq!(tx.send(1), Ok(SendOutcome::Enqueued));
+        assert_eq!(tx.send(2), Ok(SendOutcome::Enqueued));
+        assert_eq!(tx.send(3), Ok(SendOutcome::Rejected));
+        assert_eq!(rx.drain(), vec![1, 2]);
+        let stats = rx.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.enqueued, 2);
+        assert_eq!(stats.overflow_dropped(), 1);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_at_capacity() {
+        let (tx, rx) = bounded_pipe::<u64>(2, OverflowPolicy::DropOldest);
+        assert_eq!(tx.send(1), Ok(SendOutcome::Enqueued));
+        assert_eq!(tx.send(2), Ok(SendOutcome::Enqueued));
+        for i in 3..=5 {
+            let outcome = tx.send(i).unwrap();
+            assert_eq!(outcome, SendOutcome::EnqueuedEvictingOldest);
+            assert!(outcome.was_enqueued() && outcome.lost_a_message());
+        }
+        assert_eq!(rx.drain(), vec![4, 5]);
+        let stats = rx.stats();
+        assert_eq!(stats.evicted, 3);
+        assert_eq!(stats.enqueued, 5);
+        assert_eq!(stats.received, 2);
+    }
+
+    #[test]
+    fn block_policy_stalls_the_sender_until_a_slot_frees() {
+        let (tx, rx) = bounded_pipe::<u64>(1, OverflowPolicy::Block);
+        assert_eq!(tx.send(1), Ok(SendOutcome::Enqueued));
+        let handle = std::thread::spawn(move || tx.send(2).map(|_| tx.stats()));
+        // Give the sender time to park, then free the slot.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Some(1));
+        let stats = handle.join().unwrap().unwrap();
+        assert_eq!(stats.stalled_sends, 1);
+        assert!(stats.stall_micros > 0);
+        assert_eq!(rx.recv(), Some(2), "the stalled send completed");
+        assert_eq!(rx.recv(), None, "sender dropped after its send completed");
+        assert_eq!(rx.stats().received, 2);
+    }
+
+    #[test]
+    fn try_send_reports_full_under_block() {
+        let (tx, rx) = bounded_pipe::<u64>(1, OverflowPolicy::Block);
+        assert_eq!(tx.try_send(1), Ok(SendOutcome::Enqueued));
+        assert_eq!(tx.try_send(2), Err(PipeSendError::Full(2)));
+        assert_eq!(tx.capacity(), 1);
+        assert_eq!(tx.policy(), OverflowPolicy::Block);
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(PipeSendError::Disconnected(3)));
+        assert_eq!(tx.send(4).unwrap_err().into_inner(), 4);
+    }
+
+    #[test]
+    fn recv_blocks_until_message_or_disconnect() {
+        let (tx, rx) = bounded_pipe::<u64>(4, OverflowPolicy::Block);
+        let handle = std::thread::spawn(move || rx.recv());
+        tx.send(7).unwrap();
+        assert_eq!(handle.join().unwrap(), Some(7));
+
+        let (tx, rx) = bounded_pipe::<u64>(4, OverflowPolicy::Block);
+        let handle = std::thread::spawn(move || rx.recv());
+        drop(tx);
+        assert_eq!(handle.join().unwrap(), None);
+    }
+
+    #[test]
+    fn recv_timeout_expires_without_traffic() {
+        let (tx, rx) = bounded_pipe::<u64>(4, OverflowPolicy::Block);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), None);
+        assert!(!rx.is_disconnected());
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Some(1));
+        drop(tx);
+        assert!(rx.is_disconnected());
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn blocked_sender_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded_pipe::<u64>(1, OverflowPolicy::Block);
+        tx.send(1).unwrap();
+        let handle = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(10));
+        drop(rx);
+        assert_eq!(handle.join().unwrap(), Err(PipeSendError::Disconnected(2)));
+    }
+
+    /// Overflow counters must match a sequential oracle: replay the same
+    /// bounded-queue semantics over a plain `VecDeque` and compare every
+    /// counter for both drop policies.
+    #[test]
+    fn overflow_counters_match_a_sequential_oracle() {
+        for policy in [OverflowPolicy::DropNewest, OverflowPolicy::DropOldest] {
+            let capacity = 7usize;
+            let (tx, rx) = bounded_pipe::<u64>(capacity, policy);
+            let mut oracle: VecDeque<u64> = VecDeque::new();
+            let (mut enqueued, mut rejected, mut evicted) = (0u64, 0u64, 0u64);
+            // A deterministic on/off traffic pattern: bursts of sends
+            // interleaved with partial drains.
+            for round in 0..50u64 {
+                for i in 0..(round % 11) {
+                    let v = round * 100 + i;
+                    if oracle.len() >= capacity {
+                        match policy {
+                            OverflowPolicy::DropNewest => {
+                                rejected += 1;
+                                assert_eq!(tx.send(v), Ok(SendOutcome::Rejected));
+                                continue;
+                            }
+                            OverflowPolicy::DropOldest => {
+                                oracle.pop_front();
+                                evicted += 1;
+                            }
+                            OverflowPolicy::Block => unreachable!(),
+                        }
+                        assert_eq!(tx.send(v), Ok(SendOutcome::EnqueuedEvictingOldest));
+                    } else {
+                        assert_eq!(tx.send(v), Ok(SendOutcome::Enqueued));
+                    }
+                    oracle.push_back(v);
+                    enqueued += 1;
+                }
+                for _ in 0..(round % 5) {
+                    assert_eq!(rx.try_recv(), oracle.pop_front());
+                }
+            }
+            // Drain the tail and compare the full counter set.
+            let tail: Vec<u64> = rx.drain();
+            assert_eq!(tail, oracle.into_iter().collect::<Vec<_>>());
+            let stats = rx.stats();
+            assert_eq!(stats.enqueued, enqueued, "{policy}");
+            assert_eq!(stats.rejected, rejected, "{policy}");
+            assert_eq!(stats.evicted, evicted, "{policy}");
+            assert_eq!(stats.received, stats.enqueued - stats.evicted, "{policy}");
+            assert_eq!(stats.overflow_dropped(), rejected + evicted, "{policy}");
+        }
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = PipeStatsSnapshot {
+            enqueued: 1,
+            rejected: 2,
+            evicted: 3,
+            received: 4,
+            stalled_sends: 5,
+            stall_micros: 6,
+        };
+        a.merge(a);
+        assert_eq!(a.enqueued, 2);
+        assert_eq!(a.stall_micros, 12);
+        assert_eq!(a.overflow_dropped(), 10);
+    }
+
+    #[test]
+    fn policy_displays() {
+        assert_eq!(OverflowPolicy::Block.to_string(), "block");
+        assert_eq!(OverflowPolicy::DropNewest.to_string(), "drop-newest");
+        assert_eq!(OverflowPolicy::DropOldest.to_string(), "drop-oldest");
+        assert_eq!(OverflowPolicy::default(), OverflowPolicy::Block);
+    }
+}

@@ -1,0 +1,564 @@
+//! A hand-rolled single-threaded reactor runtime.
+//!
+//! The build environment is offline, so instead of tokio the invalidation
+//! plane runs on this minimal executor: a ready queue, a parked-task table
+//! and a timer wheel, all driven by one thread. N per-cache invalidation
+//! pipes ([`crate::pipe`]) register wakers with their [`RecvFuture`]s, so a
+//! single reactor thread multiplexes every cache's apply loop — replacing
+//! the thread-per-cache layout without losing wake-on-delivery semantics.
+//!
+//! [`RecvFuture`]: crate::pipe::RecvFuture
+//!
+//! Design:
+//!
+//! * **Ready queue** — task ids whose wakers fired, drained FIFO each
+//!   iteration; cross-thread wakes park/unpark the reactor via a condvar.
+//! * **Parked-task table** — every spawned task lives in a slab keyed by
+//!   [`TaskId`]; a task not in the ready queue is parked and consumes no
+//!   cycles until its waker fires.
+//! * **Timer wheel** — a min-heap of `(deadline, seq, waker)`; the reactor
+//!   sleeps exactly until the next deadline when no task is ready. Timer
+//!   durations use the same microsecond [`SimDuration`] arithmetic as the
+//!   latency models in [`crate::latency`] (one simulated microsecond maps
+//!   to one wall-clock microsecond), so a [`LatencyModel`] sample can be
+//!   slept on directly with [`TimerHandle::sleep_model`].
+//!
+//! [`LatencyModel`]: crate::latency::LatencyModel
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+use tcache_types::SimDuration;
+
+/// Identifies one spawned task inside a [`Reactor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Monotone counters describing the reactor's activity.
+#[derive(Debug, Default)]
+struct ReactorCounters {
+    spawned: AtomicU64,
+    completed: AtomicU64,
+    polls: AtomicU64,
+    wakes: AtomicU64,
+    timers_fired: AtomicU64,
+}
+
+/// A point-in-time copy of the reactor's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReactorStats {
+    /// Tasks spawned over the reactor's lifetime.
+    pub spawned: u64,
+    /// Tasks that ran to completion.
+    pub completed: u64,
+    /// Total future polls performed.
+    pub polls: u64,
+    /// Waker fires observed (ready-queue pushes).
+    pub wakes: u64,
+    /// Timer entries that reached their deadline and woke a task.
+    pub timers_fired: u64,
+}
+
+struct TimerEntry {
+    deadline: Instant,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deadline, self.seq) == (other.deadline, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// State shared between the reactor thread, task wakers and handles.
+struct ReactorShared {
+    ready: Mutex<VecDeque<TaskId>>,
+    /// Parks the reactor thread while no task is ready and no timer is due.
+    parked: Condvar,
+    timers: Mutex<BinaryHeap<Reverse<TimerEntry>>>,
+    timer_seq: AtomicU64,
+    shutdown: AtomicBool,
+    counters: ReactorCounters,
+}
+
+impl ReactorShared {
+    fn push_ready(&self, id: TaskId) {
+        let mut ready = self.ready.lock().expect("reactor lock");
+        if !ready.contains(&id) {
+            ready.push_back(id);
+        }
+        self.counters.wakes.fetch_add(1, Ordering::Relaxed);
+        drop(ready);
+        self.parked.notify_one();
+    }
+}
+
+/// Per-task waker: pushes the task onto the ready queue and unparks the
+/// reactor thread. Safe to fire from any thread (pipe senders fire it from
+/// the publishing side).
+struct TaskWaker {
+    id: TaskId,
+    shared: Arc<ReactorShared>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.shared.push_ready(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.shared.push_ready(self.id);
+    }
+}
+
+type BoxedTask = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// The single-threaded reactor. Build it, [`Reactor::spawn`] tasks onto it,
+/// then move it to its thread and call [`Reactor::run`]. Keep a
+/// [`ReactorHandle`] (from [`Reactor::handle`]) to request shutdown and to
+/// sample [`ReactorStats`] from outside.
+pub struct Reactor {
+    shared: Arc<ReactorShared>,
+    /// The parked-task table: every live task, keyed by id. Tasks absent
+    /// from the ready queue sit here untouched until a waker fires.
+    tasks: HashMap<TaskId, BoxedTask>,
+    wakers: HashMap<TaskId, Waker>,
+    next_task: u64,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("live_tasks", &self.tasks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Reactor {
+    fn default() -> Self {
+        Reactor::new()
+    }
+}
+
+impl Reactor {
+    /// Creates an empty reactor.
+    pub fn new() -> Self {
+        Reactor {
+            shared: Arc::new(ReactorShared {
+                ready: Mutex::new(VecDeque::new()),
+                parked: Condvar::new(),
+                timers: Mutex::new(BinaryHeap::new()),
+                timer_seq: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                counters: ReactorCounters::default(),
+            }),
+            tasks: HashMap::new(),
+            wakers: HashMap::new(),
+            next_task: 0,
+        }
+    }
+
+    /// Spawns a task; it is immediately ready and will be polled on the
+    /// next [`Reactor::run`] iteration.
+    pub fn spawn(&mut self, future: impl Future<Output = ()> + Send + 'static) -> TaskId {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        self.tasks.insert(id, Box::pin(future));
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            shared: Arc::clone(&self.shared),
+        }));
+        self.wakers.insert(id, waker);
+        self.shared.counters.spawned.fetch_add(1, Ordering::Relaxed);
+        self.shared.push_ready(id);
+        id
+    }
+
+    /// A handle for shutting the reactor down and sampling its counters
+    /// from other threads.
+    pub fn handle(&self) -> ReactorHandle {
+        ReactorHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A timer handle tasks use to sleep on this reactor.
+    pub fn timer(&self) -> TimerHandle {
+        TimerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Number of live (parked or ready) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Fires every timer whose deadline has passed; returns the next
+    /// pending deadline, if any.
+    fn fire_due_timers(&self) -> Option<Instant> {
+        let now = Instant::now();
+        let mut due = Vec::new();
+        let next = {
+            let mut timers = self.shared.timers.lock().expect("reactor lock");
+            while let Some(Reverse(head)) = timers.peek() {
+                if head.deadline > now {
+                    break;
+                }
+                let Reverse(entry) = timers.pop().expect("peeked entry exists");
+                due.push(entry.waker);
+            }
+            timers.peek().map(|Reverse(e)| e.deadline)
+        };
+        self.shared
+            .counters
+            .timers_fired
+            .fetch_add(due.len() as u64, Ordering::Relaxed);
+        for waker in due {
+            waker.wake();
+        }
+        next
+    }
+
+    /// Runs the event loop until every task completes or
+    /// [`ReactorHandle::shutdown`] is called. This is the reactor thread's
+    /// body; everything else talks to it through wakers and handles.
+    pub fn run(mut self) {
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if self.tasks.is_empty() {
+                return;
+            }
+            let next_deadline = self.fire_due_timers();
+
+            // Drain the current ready batch. Tasks woken while this batch
+            // runs land in the next batch.
+            let batch: Vec<TaskId> = {
+                let mut ready = self.shared.ready.lock().expect("reactor lock");
+                ready.drain(..).collect()
+            };
+
+            if batch.is_empty() {
+                // Nothing ready: park until a waker fires or the next timer
+                // is due.
+                let guard = self.shared.ready.lock().expect("reactor lock");
+                if guard.is_empty() && !self.shared.shutdown.load(Ordering::Acquire) {
+                    match next_deadline {
+                        Some(deadline) => {
+                            let now = Instant::now();
+                            if deadline > now {
+                                drop(
+                                    self.shared
+                                        .parked
+                                        .wait_timeout(guard, deadline - now)
+                                        .expect("reactor lock"),
+                                );
+                            }
+                        }
+                        None => {
+                            drop(self.shared.parked.wait(guard).expect("reactor lock"));
+                        }
+                    }
+                }
+                continue;
+            }
+
+            for id in batch {
+                let Some(task) = self.tasks.get_mut(&id) else {
+                    continue; // Spurious wake of a completed task.
+                };
+                let waker = self.wakers.get(&id).expect("waker exists").clone();
+                let mut cx = Context::from_waker(&waker);
+                self.shared.counters.polls.fetch_add(1, Ordering::Relaxed);
+                if let Poll::Ready(()) = task.as_mut().poll(&mut cx) {
+                    self.tasks.remove(&id);
+                    self.wakers.remove(&id);
+                    self.shared
+                        .counters
+                        .completed
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Cross-thread control handle of a running [`Reactor`].
+#[derive(Clone)]
+pub struct ReactorHandle {
+    shared: Arc<ReactorShared>,
+}
+
+impl std::fmt::Debug for ReactorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorHandle").finish_non_exhaustive()
+    }
+}
+
+impl ReactorHandle {
+    /// Asks the reactor loop to exit after its current batch; pending tasks
+    /// are abandoned. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.parked.notify_all();
+    }
+
+    /// Returns `true` once shutdown has been requested.
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the reactor's counters.
+    pub fn stats(&self) -> ReactorStats {
+        let c = &self.shared.counters;
+        ReactorStats {
+            spawned: c.spawned.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            polls: c.polls.load(Ordering::Relaxed),
+            wakes: c.wakes.load(Ordering::Relaxed),
+            timers_fired: c.timers_fired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Handle for creating timer futures on a reactor. Cloneable and cheap;
+/// pass one into every task that needs to sleep.
+#[derive(Clone)]
+pub struct TimerHandle {
+    shared: Arc<ReactorShared>,
+}
+
+impl std::fmt::Debug for TimerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerHandle").finish_non_exhaustive()
+    }
+}
+
+impl TimerHandle {
+    /// A future completing after `duration` of wall-clock time.
+    pub fn sleep(&self, duration: Duration) -> Sleep {
+        Sleep {
+            shared: Arc::clone(&self.shared),
+            deadline: Instant::now() + duration,
+        }
+    }
+
+    /// A future completing after `duration` of simulated time, mapping one
+    /// simulated microsecond to one wall-clock microsecond — the same
+    /// arithmetic [`crate::latency::LatencyModel`] samples use.
+    pub fn sleep_sim(&self, duration: SimDuration) -> Sleep {
+        self.sleep(Duration::from_micros(duration.as_micros()))
+    }
+
+    /// Samples a delay from `model` with `rng` and sleeps on it: the async
+    /// equivalent of the discrete-event channel's per-message latency.
+    pub fn sleep_model<R: rand::Rng + ?Sized>(
+        &self,
+        model: &crate::latency::LatencyModel,
+        rng: &mut R,
+    ) -> Sleep {
+        self.sleep_sim(model.sample(rng))
+    }
+}
+
+/// Future returned by the [`TimerHandle`] sleep constructors.
+pub struct Sleep {
+    shared: Arc<ReactorShared>,
+    deadline: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        // Re-register on every poll: wakers may change between polls, and a
+        // stale duplicate entry merely re-polls the task once.
+        let seq = self.shared.timer_seq.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .timers
+            .lock()
+            .expect("reactor lock")
+            .push(Reverse(TimerEntry {
+                deadline: self.deadline,
+                seq,
+                waker: cx.waker().clone(),
+            }));
+        self.shared.parked.notify_one();
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::pipe::{bounded_pipe, OverflowPolicy, UNBOUNDED};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_spawned_tasks_to_completion() {
+        let mut reactor = Reactor::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            reactor.spawn(async move {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(reactor.live_tasks(), 10);
+        let handle = reactor.handle();
+        reactor.run();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+        let stats = handle.stats();
+        assert_eq!(stats.spawned, 10);
+        assert_eq!(stats.completed, 10);
+        assert!(stats.polls >= 10);
+    }
+
+    #[test]
+    fn one_reactor_thread_multiplexes_many_pipes() {
+        // Four pipes, four parked tasks, one reactor thread: every message
+        // sent from the main thread must be consumed by the right task.
+        let mut reactor = Reactor::new();
+        let mut senders = Vec::new();
+        let received: Vec<Arc<AtomicU64>> =
+            (0..4).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        for counter in &received {
+            let (tx, rx) = bounded_pipe::<u64>(UNBOUNDED, OverflowPolicy::Block);
+            senders.push(tx);
+            let counter = Arc::clone(counter);
+            reactor.spawn(async move {
+                while let Some(v) = rx.recv_async().await {
+                    counter.fetch_add(v, Ordering::Relaxed);
+                }
+            });
+        }
+        let handle = reactor.handle();
+        let thread = std::thread::spawn(move || reactor.run());
+        for (i, tx) in senders.iter().enumerate() {
+            for v in 0..100u64 {
+                tx.send((i as u64 + 1) * 1000 + v).unwrap();
+            }
+        }
+        drop(senders); // Disconnect: every task drains and completes.
+        thread.join().unwrap();
+        for (i, counter) in received.iter().enumerate() {
+            let expected: u64 = (0..100u64).map(|v| (i as u64 + 1) * 1000 + v).sum();
+            assert_eq!(counter.load(Ordering::Relaxed), expected, "pipe {i}");
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.completed, 4);
+        assert!(stats.wakes > 0);
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let mut reactor = Reactor::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let timer = reactor.timer();
+        for (label, ms) in [(3u8, 30u64), (1, 5), (2, 15)] {
+            let order = Arc::clone(&order);
+            let timer = timer.clone();
+            reactor.spawn(async move {
+                timer.sleep(Duration::from_millis(ms)).await;
+                order.lock().unwrap().push(label);
+            });
+        }
+        let handle = reactor.handle();
+        reactor.run();
+        assert_eq!(*order.lock().unwrap(), vec![1, 2, 3]);
+        assert!(handle.stats().timers_fired >= 3);
+    }
+
+    #[test]
+    fn sleep_sim_maps_microseconds_one_to_one() {
+        let mut reactor = Reactor::new();
+        let timer = reactor.timer();
+        let elapsed = Arc::new(Mutex::new(Duration::ZERO));
+        let out = Arc::clone(&elapsed);
+        reactor.spawn(async move {
+            let start = Instant::now();
+            timer.sleep_sim(SimDuration::from_millis(20)).await;
+            *out.lock().unwrap() = start.elapsed();
+        });
+        reactor.run();
+        let took = *elapsed.lock().unwrap();
+        assert!(took >= Duration::from_millis(20), "slept only {took:?}");
+    }
+
+    #[test]
+    fn latency_model_samples_drive_reactor_sleeps() {
+        let mut reactor = Reactor::new();
+        let timer = reactor.timer();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        reactor.spawn(async move {
+            let mut rng = StdRng::seed_from_u64(5);
+            let model = LatencyModel::Uniform {
+                min: SimDuration::from_micros(100),
+                max: SimDuration::from_millis(2),
+            };
+            for _ in 0..5 {
+                timer.sleep_model(&model, &mut rng).await;
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        reactor.run();
+        assert_eq!(fired.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn shutdown_abandons_parked_tasks() {
+        let mut reactor = Reactor::new();
+        let (_tx, rx) = bounded_pipe::<u64>(UNBOUNDED, OverflowPolicy::Block);
+        reactor.spawn(async move {
+            // Parks forever: the sender is never dropped nor written to.
+            let _ = rx.recv_async().await;
+        });
+        let handle = reactor.handle();
+        assert!(!handle.is_shut_down());
+        let thread = std::thread::spawn(move || reactor.run());
+        std::thread::sleep(Duration::from_millis(10));
+        handle.shutdown();
+        thread.join().unwrap();
+        assert!(handle.is_shut_down());
+        let stats = handle.stats();
+        assert_eq!(stats.spawned, 1);
+        assert_eq!(stats.completed, 0, "the parked task was abandoned");
+    }
+
+    #[test]
+    fn task_id_displays() {
+        assert_eq!(TaskId(3).to_string(), "task3");
+    }
+}

@@ -1,14 +1,25 @@
-//! Live (threaded) transport for the prototype mode.
+//! Live transport for the prototype mode.
 //!
 //! The discrete-event channel in [`crate::channel`] is what the experiment
 //! harness uses; this module provides the equivalent building block for a
 //! live deployment where the database and the cache run on separate threads
-//! and invalidations flow over a real queue. The same [`LossModel`] is
-//! applied at the sending side, so the cache observes the same unreliable
-//! behaviour.
+//! (or share one reactor thread, see [`crate::reactor`]) and invalidations
+//! flow over a real queue. The same [`LossModel`] is applied at the sending
+//! side, so the cache observes the same unreliable behaviour.
+//!
+//! The queue underneath is a [`BoundedPipe`]: [`live_channel`] keeps the
+//! historical unbounded shape, [`live_channel_with`] bounds the pipe and
+//! picks an [`OverflowPolicy`], which is how a live deployment gets
+//! backpressure (or bounded staleness) instead of an ever-growing queue
+//! behind a slow cache.
+//!
+//! [`BoundedPipe`]: crate::pipe
 
 use crate::fault::{LossModel, LossState};
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crate::pipe::{
+    bounded_pipe, OverflowPolicy, PipeReceiver, PipeSender, PipeStatsSnapshot, RecvFuture,
+    UNBOUNDED,
+};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,24 +29,58 @@ use tcache_db::Invalidation;
 /// façade and background flusher threads can share it.
 #[derive(Debug, Clone)]
 pub struct LiveSender {
-    tx: Sender<Invalidation>,
-    loss: std::sync::Arc<Mutex<(LossState, StdRng)>>,
+    tx: PipeSender<Invalidation>,
+    /// `None` for loss-free channels: the zero-loss fast path forwards
+    /// straight from the caller's iterator without touching any lock.
+    loss: Option<std::sync::Arc<Mutex<(LossState, StdRng)>>>,
 }
 
 /// Receiving half of a live invalidation channel, owned by the cache's
-/// invalidation-upcall thread.
+/// invalidation-upcall thread or reactor task.
 #[derive(Debug)]
 pub struct LiveReceiver {
-    rx: Receiver<Invalidation>,
+    rx: PipeReceiver<Invalidation>,
 }
 
-/// Creates a connected live sender/receiver pair with the given loss model.
+/// A live send's outcome, for publish-side attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SendReport {
+    /// Messages enqueued onto the pipe (under `DropOldest` this includes
+    /// sends that evicted a pending message to make room).
+    pub enqueued: usize,
+    /// Messages lost to pipe overflow: incoming messages rejected by
+    /// `DropNewest` plus pending messages evicted by `DropOldest`.
+    pub overflowed: usize,
+    /// Messages dropped by the loss model before reaching the pipe.
+    pub lost: usize,
+}
+
+/// Creates a connected live sender/receiver pair with the given loss model
+/// over an unbounded pipe.
 pub fn live_channel(loss: LossModel, seed: u64) -> (LiveSender, LiveReceiver) {
-    let (tx, rx) = unbounded();
+    live_channel_with(loss, seed, UNBOUNDED, OverflowPolicy::Block)
+}
+
+/// Creates a connected live sender/receiver pair whose pipe holds at most
+/// `capacity` messages, applying `policy` when full.
+pub fn live_channel_with(
+    loss: LossModel,
+    seed: u64,
+    capacity: usize,
+    policy: OverflowPolicy,
+) -> (LiveSender, LiveReceiver) {
+    let (tx, rx) = bounded_pipe(capacity, policy);
+    let loss_state = match loss {
+        LossModel::None => None,
+        model => Some(std::sync::Arc::new(Mutex::new((
+            LossState::new(model),
+            StdRng::seed_from_u64(seed),
+        )))),
+    };
     (
         LiveSender {
             tx,
-            loss: std::sync::Arc::new(Mutex::new((LossState::new(loss), StdRng::seed_from_u64(seed)))),
+            loss: loss_state,
         },
         LiveReceiver { rx },
     )
@@ -43,48 +88,104 @@ pub fn live_channel(loss: LossModel, seed: u64) -> (LiveSender, LiveReceiver) {
 
 impl LiveSender {
     /// Sends a batch of invalidations, dropping each one independently
-    /// according to the loss model. Returns the number actually enqueued.
+    /// according to the loss model and applying the pipe's overflow policy.
+    /// Returns the number actually enqueued.
     ///
-    /// The loss mutex protects only the drop decisions (loss state + RNG);
-    /// it is never held across the channel sends nor while pulling from the
-    /// caller's iterator, so cloned senders on other threads enqueue
-    /// concurrently instead of serializing behind one batch.
+    /// Loss-free channels take a fast path that forwards straight from the
+    /// caller's iterator — no intermediate `Vec`s and no lock. Lossy
+    /// channels buffer the batch so the loss mutex protects only the drop
+    /// decisions (loss state + RNG); it is never held across the pipe sends
+    /// nor while pulling from the caller's iterator, so cloned senders on
+    /// other threads enqueue concurrently instead of serializing behind one
+    /// batch.
     pub fn send(&self, invalidations: impl IntoIterator<Item = Invalidation>) -> usize {
-        let batch: Vec<Invalidation> = invalidations.into_iter().collect();
-        let survivors: Vec<Invalidation> = {
-            let mut guard = self.loss.lock();
-            let (loss, rng) = &mut *guard;
-            batch
-                .into_iter()
-                .filter(|_| !loss.should_drop(rng))
-                .collect()
-        };
-        let mut delivered = 0;
-        for inv in survivors {
-            // A send only fails if the receiver is gone, which simply means
-            // the cache has shut down — the paper's channel is best-effort,
-            // so dropping is the correct behaviour.
-            if self.tx.send(inv).is_ok() {
-                delivered += 1;
+        self.send_report(invalidations).enqueued
+    }
+
+    /// Like [`LiveSender::send`], reporting overflow and loss alongside the
+    /// enqueued count so the publisher can attribute what happened.
+    pub fn send_report(&self, invalidations: impl IntoIterator<Item = Invalidation>) -> SendReport {
+        let mut report = SendReport::default();
+        match &self.loss {
+            None => {
+                // Zero-loss fast path: no drop decisions to draw, so there
+                // is nothing to collect and no lock to take.
+                for inv in invalidations {
+                    self.enqueue(inv, &mut report);
+                }
+            }
+            Some(loss) => {
+                let batch: Vec<Invalidation> = invalidations.into_iter().collect();
+                let offered = batch.len();
+                let survivors: Vec<Invalidation> = {
+                    let mut guard = loss.lock();
+                    let (loss, rng) = &mut *guard;
+                    batch
+                        .into_iter()
+                        .filter(|_| !loss.should_drop(rng))
+                        .collect()
+                };
+                report.lost = offered - survivors.len();
+                for inv in survivors {
+                    self.enqueue(inv, &mut report);
+                }
             }
         }
-        delivered
+        report
+    }
+
+    fn enqueue(&self, inv: Invalidation, report: &mut SendReport) {
+        // A send only fails if the receiver is gone, which simply means the
+        // cache has shut down — the paper's channel is best-effort, so
+        // dropping is the correct behaviour.
+        if let Ok(outcome) = self.tx.send(inv) {
+            if outcome.was_enqueued() {
+                report.enqueued += 1;
+            }
+            if outcome.lost_a_message() {
+                report.overflowed += 1;
+            }
+        }
+    }
+
+    /// Number of invalidations currently queued in the pipe.
+    pub fn backlog(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// The pipe's counters (enqueued / evicted / rejected / stalls).
+    pub fn pipe_stats(&self) -> PipeStatsSnapshot {
+        self.tx.stats()
     }
 }
 
 impl LiveReceiver {
     /// Receives every invalidation currently queued without blocking.
     pub fn drain(&self) -> Vec<Invalidation> {
-        let mut out = Vec::new();
-        while let Ok(inv) = self.rx.try_recv() {
-            out.push(inv);
-        }
-        out
+        self.rx.drain()
     }
 
     /// Blocks until one invalidation arrives or the sender side is dropped.
     pub fn recv(&self) -> Option<Invalidation> {
-        self.rx.recv().ok()
+        self.rx.recv()
+    }
+
+    /// Asynchronously receives the next invalidation; resolves to `None`
+    /// once every sender is dropped and the queue is drained. Poll this
+    /// from a [`crate::reactor`] task to multiplex many receivers on one
+    /// thread.
+    pub fn recv_async(&self) -> RecvFuture<'_, Invalidation> {
+        self.rx.recv_async()
+    }
+
+    /// Number of invalidations currently queued.
+    pub fn backlog(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// The pipe's counters (enqueued / evicted / rejected / stalls).
+    pub fn pipe_stats(&self) -> PipeStatsSnapshot {
+        self.rx.stats()
     }
 }
 
@@ -107,6 +208,24 @@ mod tests {
     }
 
     #[test]
+    fn zero_loss_fast_path_skips_the_loss_state() {
+        let (tx, rx) = live_channel(LossModel::None, 1);
+        assert!(tx.loss.is_none(), "LossModel::None must not allocate loss state");
+        // A one-shot iterator (not a collected Vec) flows straight through.
+        let report = tx.send_report(std::iter::from_fn({
+            let mut n = 0u64;
+            move || {
+                n += 1;
+                (n <= 10).then(|| inv(n))
+            }
+        }));
+        assert_eq!(report.enqueued, 10);
+        assert_eq!(report.overflowed, 0);
+        assert_eq!(tx.backlog(), 10);
+        assert_eq!(rx.drain().len(), 10);
+    }
+
+    #[test]
     fn lossy_channel_drops_roughly_the_configured_fraction() {
         let (tx, rx) = live_channel(LossModel::Uniform(0.5), 9);
         let sent = tx.send((0..10_000).map(inv));
@@ -114,6 +233,27 @@ mod tests {
         assert_eq!(sent, received);
         let ratio = received as f64 / 10_000.0;
         assert!((ratio - 0.5).abs() < 0.05, "delivery ratio {ratio}");
+    }
+
+    #[test]
+    fn bounded_channel_reports_overflow_per_policy() {
+        let (tx, rx) = live_channel_with(LossModel::None, 1, 3, OverflowPolicy::DropNewest);
+        let report = tx.send_report((0..10).map(inv));
+        assert_eq!(report.enqueued, 3);
+        assert_eq!(report.overflowed, 7);
+        assert_eq!(rx.pipe_stats().rejected, 7);
+        let kept: Vec<_> = rx.drain().iter().map(|i| i.object).collect();
+        assert_eq!(kept, vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
+
+        let (tx, rx) = live_channel_with(LossModel::None, 1, 3, OverflowPolicy::DropOldest);
+        let report = tx.send_report((0..10).map(inv));
+        // Every message was enqueued, but seven sends evicted a pending
+        // message to make room — each one a lost invalidation, attributed.
+        assert_eq!(report.enqueued, 10);
+        assert_eq!(report.overflowed, 7);
+        assert_eq!(rx.pipe_stats().evicted, 7);
+        let kept: Vec<_> = rx.drain().iter().map(|i| i.object).collect();
+        assert_eq!(kept, vec![ObjectId(7), ObjectId(8), ObjectId(9)]);
     }
 
     #[test]
@@ -135,8 +275,8 @@ mod tests {
         // sender A's input iterator yields its second item only after sender
         // B's send has completed. When the lock was held across iteration
         // and channel sends this deadlocked (A held the lock while waiting
-        // for B; B waited for the lock); now A collects its batch and B's
-        // drop decisions only briefly contend on the mutex.
+        // for B; B waited for the lock); now A's items flow straight through
+        // (zero-loss fast path) and B's send never touches a shared lock.
         let (tx, rx) = live_channel(LossModel::None, 1);
         let a = tx.clone();
         let b = tx.clone();
@@ -166,6 +306,41 @@ mod tests {
         assert_eq!(handle_a.join().unwrap(), 2);
         assert_eq!(handle_b.join().unwrap(), 100);
         assert_eq!(rx.drain().len(), 102);
+    }
+
+    #[test]
+    fn lossy_senders_still_interleave_without_deadlock() {
+        // The same blocking-iterator scenario as above, but with a lossy
+        // channel whose loss mutex exists: batches are collected before the
+        // lock is taken, so the blocking iterator cannot hold the lock.
+        let (tx, rx) = live_channel(LossModel::Uniform(0.0), 1);
+        assert!(tx.loss.is_some(), "Uniform(0.0) still exercises the loss path");
+        let a = tx.clone();
+        let b = tx.clone();
+        let (b_done_tx, b_done_rx) = std::sync::mpsc::channel::<()>();
+        let handle_a = std::thread::spawn(move || {
+            let mut yielded = 0u64;
+            let blocking_iter = std::iter::from_fn(move || {
+                yielded += 1;
+                match yielded {
+                    1 => Some(inv(1)),
+                    2 => {
+                        b_done_rx.recv().expect("B completes");
+                        Some(inv(2))
+                    }
+                    _ => None,
+                }
+            });
+            a.send(blocking_iter)
+        });
+        let handle_b = std::thread::spawn(move || {
+            let sent = b.send((100..150).map(inv));
+            b_done_tx.send(()).expect("A is waiting");
+            sent
+        });
+        assert_eq!(handle_a.join().unwrap(), 2);
+        assert_eq!(handle_b.join().unwrap(), 50);
+        assert_eq!(rx.drain().len(), 52);
     }
 
     #[test]

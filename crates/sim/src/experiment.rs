@@ -19,6 +19,7 @@ use tcache_cache::{CacheStatsSnapshot, EdgeCache};
 use tcache_db::{Database, DatabaseConfig};
 use tcache_monitor::ConsistencyMonitor;
 use tcache_net::fanout::{CacheLink, InvalidationFanout};
+use tcache_net::pipe::OverflowPolicy;
 use tcache_types::{
     CacheId, DependencyBound, ObjectId, SimDuration, SimTime, Strategy, TCacheError,
     TransactionRecord, TxnId, Value,
@@ -194,9 +195,38 @@ impl CacheKind {
     }
 }
 
+/// One edge-cache site of a [`CacheTopology::Weighted`] deployment: its
+/// invalidation-link loss rate and the relative weight of its read-only
+/// client population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSite {
+    /// Loss rate of this cache's invalidation channel.
+    pub loss: f64,
+    /// Relative share of the aggregate read rate served by this cache's
+    /// clients (weights are normalized over the deployment; 0 deploys the
+    /// cache with no client population of its own).
+    pub weight: f64,
+}
+
+impl CacheSite {
+    /// A site with the given loss and client weight.
+    ///
+    /// # Panics
+    /// Panics if `weight` is negative or not finite.
+    pub fn new(loss: f64, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "client weight must be non-negative"
+        );
+        CacheSite { loss, weight }
+    }
+}
+
 /// How many edge caches the experiment deploys and what their invalidation
 /// links look like. All caches run the same [`CacheKind`] and share the
-/// backend database; they differ in their channel's loss process.
+/// backend database; they differ in their channel's loss process and
+/// (for [`CacheTopology::Weighted`]) in the size of their client
+/// population.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CacheTopology {
     /// The paper's single-column setup: one cache whose channel uses the
@@ -207,6 +237,11 @@ pub enum CacheTopology {
     Uniform(usize),
     /// One cache per entry, with heterogeneous per-cache loss rates.
     PerCacheLoss(Vec<f64>),
+    /// One cache per entry with heterogeneous loss *and* per-cache client
+    /// weights: cache `i` serves `weight_i / Σ weights` of the aggregate
+    /// read rate, modelling geo-partitioned traffic instead of one evenly
+    /// split client population.
+    Weighted(Vec<CacheSite>),
 }
 
 impl CacheTopology {
@@ -219,6 +254,7 @@ impl CacheTopology {
             CacheTopology::Single => 1,
             CacheTopology::Uniform(n) => *n,
             CacheTopology::PerCacheLoss(losses) => losses.len(),
+            CacheTopology::Weighted(sites) => sites.len(),
         };
         assert!(n > 0, "an experiment needs at least one cache");
         n
@@ -231,6 +267,25 @@ impl CacheTopology {
             CacheTopology::Single => vec![default_loss],
             CacheTopology::Uniform(n) => vec![default_loss; *n],
             CacheTopology::PerCacheLoss(losses) => losses.clone(),
+            CacheTopology::Weighted(sites) => sites.iter().map(|s| s.loss).collect(),
+        }
+    }
+
+    /// Each cache's normalized share of the aggregate read rate. Uniform
+    /// topologies split evenly; [`CacheTopology::Weighted`] normalizes the
+    /// configured weights.
+    ///
+    /// # Panics
+    /// Panics if every weight of a weighted topology is zero.
+    pub fn client_shares(&self) -> Vec<f64> {
+        let n = self.cache_count();
+        match self {
+            CacheTopology::Weighted(sites) => {
+                let total: f64 = sites.iter().map(|s| s.weight).sum();
+                assert!(total > 0.0, "at least one cache needs client weight");
+                sites.iter().map(|s| s.weight / total).collect()
+            }
+            _ => vec![1.0 / n as f64; n],
         }
     }
 }
@@ -256,6 +311,11 @@ pub struct ExperimentConfig {
     pub invalidation_loss: f64,
     /// One-way delivery delay of surviving invalidations.
     pub invalidation_delay: SimDuration,
+    /// In-flight capacity of each cache's invalidation pipe (`None` for the
+    /// paper's unbounded pipe).
+    pub pipe_capacity: Option<usize>,
+    /// What a full pipe does with an arriving invalidation.
+    pub overflow_policy: OverflowPolicy,
     /// Bin width of the outcome time series.
     pub timeseries_bin: SimDuration,
     /// Random seed (workload topology, arrivals, channel loss). Per-cache
@@ -281,6 +341,8 @@ impl Default for ExperimentConfig {
             caches: CacheTopology::Single,
             invalidation_loss: 0.2,
             invalidation_delay: SimDuration::from_millis(50),
+            pipe_capacity: None,
+            overflow_policy: OverflowPolicy::Block,
             timeseries_bin: SimDuration::from_secs(1),
             seed: 42,
         }
@@ -302,6 +364,8 @@ pub struct Experiment {
     caches: Vec<EdgeCache>,
     /// Configured loss rate of each cache's channel (same indexing).
     losses: Vec<f64>,
+    /// Each cache's normalized share of the aggregate read rate.
+    client_shares: Vec<f64>,
     fanout: InvalidationFanout,
     monitor: ConsistencyMonitor,
     workload: Box<dyn WorkloadGenerator>,
@@ -341,12 +405,15 @@ impl Experiment {
         // Each cache's channel is seeded from (seed, CacheId), so the loss
         // pattern a cache observes does not depend on how many other caches
         // are deployed or how events interleave.
+        let pipe_capacity = config.pipe_capacity.unwrap_or(usize::MAX);
         let fanout = InvalidationFanout::new(
             config.seed,
             losses.iter().enumerate().map(|(i, &loss)| {
                 CacheLink::uniform(CacheId(i as u32), loss, config.invalidation_delay)
+                    .with_pipe(pipe_capacity, config.overflow_policy)
             }),
         );
+        let client_shares = config.caches.client_shares();
         let timeseries = TimeSeries::new(config.timeseries_bin);
         let rng = StdRng::seed_from_u64(config.seed.wrapping_add(2));
         Experiment {
@@ -354,6 +421,7 @@ impl Experiment {
             db,
             caches,
             losses,
+            client_shares,
             fanout,
             monitor: ConsistencyMonitor::new(),
             workload,
@@ -378,20 +446,28 @@ impl Experiment {
     /// Runs the experiment and collects the results.
     pub fn run(mut self) -> ExperimentResult {
         let updates = ArrivalProcess::new(self.config.update_rate);
-        // The aggregate read rate is split evenly over the per-cache client
-        // populations, matching the paper's aggregate when N = 1.
-        let reads = ArrivalProcess::new(self.config.read_rate / self.caches.len() as f64);
+        // The aggregate read rate is split over the per-cache client
+        // populations according to the topology's client shares (evenly,
+        // unless the topology is weighted), matching the paper's aggregate
+        // when N = 1. A zero-weight cache fields no clients of its own.
+        let reads: Vec<Option<ArrivalProcess>> = self
+            .client_shares
+            .iter()
+            .map(|&share| (share > 0.0).then(|| ArrivalProcess::new(self.config.read_rate * share)))
+            .collect();
         let end = SimTime::ZERO + self.config.duration;
 
         self.queue.schedule(
             updates.next_arrival(SimTime::ZERO, &mut self.rng),
             Event::UpdateTransaction,
         );
-        for i in 0..self.caches.len() {
-            self.queue.schedule(
-                reads.next_arrival(SimTime::ZERO, &mut self.rng),
-                Event::ReadOnlyTransaction(CacheId(i as u32)),
-            );
+        for (i, process) in reads.iter().enumerate() {
+            if let Some(process) = process {
+                self.queue.schedule(
+                    process.next_arrival(SimTime::ZERO, &mut self.rng),
+                    Event::ReadOnlyTransaction(CacheId(i as u32)),
+                );
+            }
         }
 
         while let Some((now, event)) = self.queue.pop() {
@@ -409,8 +485,11 @@ impl Experiment {
                 }
                 Event::ReadOnlyTransaction(cache) => {
                     self.run_read_only(now, cache);
+                    let process = reads[cache.0 as usize]
+                        .as_ref()
+                        .expect("a scheduled cache has an arrival process");
                     self.queue.schedule(
-                        reads.next_arrival(now, &mut self.rng),
+                        process.next_arrival(now, &mut self.rng),
                         Event::ReadOnlyTransaction(cache),
                     );
                 }
@@ -644,6 +723,82 @@ mod tests {
             assert_eq!(a.cache, b.cache);
             assert_eq!(a.channel, b.channel);
         }
+    }
+
+    #[test]
+    fn weighted_topology_skews_read_traffic_per_cache() {
+        let config = ExperimentConfig {
+            caches: CacheTopology::Weighted(vec![
+                CacheSite::new(0.2, 3.0),
+                CacheSite::new(0.2, 1.0),
+            ]),
+            ..quick_config()
+        };
+        let result = config.clone().run();
+        assert_eq!(result.cache_count(), 2);
+        let total: u64 = result
+            .per_cache
+            .iter()
+            .map(|c| c.report.read_only_total())
+            .sum();
+        let share0 = result.per_cache[0].report.read_only_total() as f64 / total as f64;
+        assert!(
+            (share0 - 0.75).abs() < 0.06,
+            "cache 0 must serve ~75% of the reads, got {share0}"
+        );
+        // The aggregate rate is preserved: 5 s at 500 txn/s.
+        assert!((total as f64 - 2500.0).abs() < 400.0, "total reads {total}");
+        // Weighted runs stay deterministic.
+        let again = config.run();
+        assert_eq!(result.report, again.report);
+    }
+
+    #[test]
+    fn zero_weight_caches_field_no_clients() {
+        let result = ExperimentConfig {
+            caches: CacheTopology::Weighted(vec![
+                CacheSite::new(0.2, 1.0),
+                CacheSite::new(0.2, 0.0),
+            ]),
+            ..quick_config()
+        }
+        .run();
+        assert_eq!(result.per_cache[1].report.read_only_total(), 0);
+        assert!(result.per_cache[0].report.read_only_total() > 0);
+        // The idle cache still receives invalidations on its own channel.
+        assert!(result.per_cache[1].channel.sent > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "client weight")]
+    fn all_zero_weights_panic() {
+        let _ = CacheTopology::Weighted(vec![CacheSite::new(0.0, 0.0)]).client_shares();
+    }
+
+    #[test]
+    fn bounded_pipes_overflow_and_are_observable() {
+        // A tiny pipe behind a long delay: the in-flight backlog exceeds
+        // the capacity and the policy's counters must surface it.
+        let base = ExperimentConfig {
+            invalidation_loss: 0.0,
+            invalidation_delay: SimDuration::from_millis(200),
+            pipe_capacity: Some(4),
+            ..quick_config()
+        };
+        let dropped = ExperimentConfig {
+            overflow_policy: OverflowPolicy::DropOldest,
+            ..base.clone()
+        }
+        .run();
+        assert!(dropped.channel.overflowed > 0);
+        assert_eq!(dropped.channel.stalled, 0);
+        let blocked = ExperimentConfig {
+            overflow_policy: OverflowPolicy::Block,
+            ..base
+        }
+        .run();
+        assert_eq!(blocked.channel.overflowed, 0);
+        assert!(blocked.channel.stalled > 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::experiment::{CacheKind, CacheTopology, ExperimentConfig, WorkloadKind};
 use crate::results::ExperimentResult;
 use serde::Serialize;
+use tcache_net::pipe::OverflowPolicy;
 use tcache_types::{SimDuration, SimTime, Strategy};
 use tcache_workload::graph::GraphKind;
 
@@ -531,6 +532,96 @@ fn graph_workload(kind: GraphKind) -> WorkloadKind {
     }
 }
 
+/// The pipe capacities swept by the backpressure experiment, small enough
+/// that the default slow-cache setup (200 ms delivery delay at ~500
+/// invalidations/s, so ~100 messages in flight) overflows the tight ones.
+pub const BACKPRESSURE_CAPACITIES: [usize; 4] = [4, 16, 64, 256];
+
+/// The overflow policies compared by the backpressure experiment.
+pub const BACKPRESSURE_POLICIES: [OverflowPolicy; 3] = [
+    OverflowPolicy::DropOldest,
+    OverflowPolicy::DropNewest,
+    OverflowPolicy::Block,
+];
+
+/// One row of the backpressure experiment: one overflow policy at one pipe
+/// capacity (`None` = the unbounded reference pipe).
+#[derive(Debug, Clone, Serialize)]
+pub struct BackpressureRow {
+    /// In-flight pipe capacity (`None` for the unbounded baseline).
+    pub capacity: Option<usize>,
+    /// The overflow policy (`"block"`, `"drop-newest"`, `"drop-oldest"`).
+    pub policy: String,
+    /// Percentage of committed transactions that observed inconsistent
+    /// data.
+    pub inconsistency_pct: f64,
+    /// Invalidations lost to pipe overflow.
+    pub overflowed: u64,
+    /// Sends that stalled behind a full `Block` pipe.
+    pub stalled: u64,
+    /// Invalidations delivered to the cache.
+    pub delivered: u64,
+}
+
+/// The slow-cache backpressure experiment (an extension beyond the paper):
+/// a single plain cache behind a congested invalidation pipe — 200 ms
+/// delivery delay, no loss, so roughly a hundred messages are in flight at
+/// the paper's update rate — swept over pipe capacities per overflow
+/// policy. Undersized pipes shed or delay invalidations, and the
+/// inconsistency the cache serves rises as the capacity shrinks; `Block`
+/// never loses a message but stalls the publisher instead, which is the
+/// backpressure trade-off the live reactor plane exposes.
+pub fn backpressure(
+    duration: SimDuration,
+    seed: u64,
+    capacities: &[usize],
+    policies: &[OverflowPolicy],
+) -> Vec<BackpressureRow> {
+    let base = ExperimentConfig {
+        duration,
+        workload: WorkloadKind::PerfectClusters {
+            objects: 1000,
+            cluster_size: 5,
+        },
+        cache: CacheKind::Plain,
+        caches: CacheTopology::Single,
+        invalidation_loss: 0.0,
+        invalidation_delay: SimDuration::from_millis(200),
+        seed,
+        ..ExperimentConfig::default()
+    };
+    let row = |capacity: Option<usize>, policy: OverflowPolicy| -> BackpressureRow {
+        let result = ExperimentConfig {
+            pipe_capacity: capacity,
+            overflow_policy: policy,
+            ..base.clone()
+        }
+        .run();
+        BackpressureRow {
+            capacity,
+            policy: policy.to_string(),
+            inconsistency_pct: result.inconsistency_ratio() * 100.0,
+            overflowed: result.channel.overflowed,
+            stalled: result.channel.stalled,
+            delivered: result.channel.delivered,
+        }
+    };
+    // An unbounded pipe never engages any policy, so the baseline is
+    // simulated once and replicated as each policy's reference row.
+    let baseline = row(None, OverflowPolicy::Block);
+    let mut rows = Vec::new();
+    for &policy in policies {
+        rows.push(BackpressureRow {
+            policy: policy.to_string(),
+            ..baseline.clone()
+        });
+        for &capacity in capacities {
+            rows.push(row(Some(capacity), policy));
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -691,6 +782,39 @@ mod tests {
             figure.tcache_aggregate_inconsistency_pct
                 <= figure.plain_aggregate_inconsistency_pct
         );
+    }
+
+    #[test]
+    fn backpressure_inconsistency_grows_as_the_pipe_shrinks() {
+        let rows = backpressure(
+            SimDuration::from_secs(5),
+            7,
+            &[4, 256],
+            &[OverflowPolicy::DropOldest, OverflowPolicy::Block],
+        );
+        assert_eq!(rows.len(), 6, "baseline + two capacities per policy");
+        let find = |policy: &str, capacity: Option<usize>| {
+            rows.iter()
+                .find(|r| r.policy == policy && r.capacity == capacity)
+                .unwrap()
+        };
+        let drop_base = find("drop-oldest", None);
+        let drop_tight = find("drop-oldest", Some(4));
+        // A four-slot pipe behind ~100 in-flight messages sheds most of the
+        // stream and the cache turns measurably more inconsistent.
+        assert!(drop_tight.overflowed > 0);
+        assert_eq!(drop_base.overflowed, 0);
+        assert!(
+            drop_tight.inconsistency_pct > drop_base.inconsistency_pct,
+            "shedding invalidations must raise inconsistency ({} vs {})",
+            drop_tight.inconsistency_pct,
+            drop_base.inconsistency_pct
+        );
+        // Block never loses a message — it stalls the publisher instead.
+        let block_tight = find("block", Some(4));
+        assert_eq!(block_tight.overflowed, 0);
+        assert!(block_tight.stalled > 0);
+        assert!(block_tight.delivered > drop_tight.delivered);
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub mod figures;
 pub mod results;
 pub mod timeseries;
 
-pub use experiment::{CacheKind, CacheTopology, Experiment, ExperimentConfig, WorkloadKind};
+pub use experiment::{CacheKind, CacheSite, CacheTopology, Experiment, ExperimentConfig, WorkloadKind};
 pub use results::{CacheColumnResult, ExperimentResult};
 pub use timeseries::{TimeBin, TimeSeries};

@@ -1,12 +1,21 @@
 //! Offline, API-compatible subset of the `crossbeam-channel` crate.
 //!
-//! Provides the unbounded MPSC channel surface used by `tcache-net`'s live
-//! transport, implemented over `std::sync::mpsc`. (The real crate also
-//! offers MPMC receivers and `select!`; nothing in this workspace needs
-//! them.)
+//! Provides the unbounded and bounded MPSC channel surface (send /
+//! `try_send`, `recv` / `try_recv` / `recv_timeout`), implemented over
+//! `std::sync::mpsc`. The thread-per-cache invalidation plane baseline in
+//! `tcache-bench` runs on these queues; `tcache-net`'s transport has moved
+//! to its own waker-aware bounded pipes (which need deque access and waker
+//! storage a plain channel cannot offer), so this shim is the drop-in for
+//! code that wants plain channel semantics without the overflow-policy
+//! machinery. The bounded surface (`bounded`, `try_send`, `recv_timeout`)
+//! currently has no in-tree consumer beyond its tests; it is kept
+//! API-complete so swapping in the real crate stays a one-line change.
+//! (The real crate also offers MPMC receivers and `select!`; nothing in
+//! this workspace needs them.)
 
 use std::fmt;
 use std::sync::mpsc;
+use std::time::Duration;
 
 /// Error returned by [`Sender::send`] when the receiver has been dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,6 +24,44 @@ pub struct SendError<T>(pub T);
 impl<T> fmt::Display for SendError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and currently at capacity; the value is
+    /// handed back.
+    Full(T),
+    /// The receiver has been dropped; the value is handed back.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+
+    /// Returns `true` if the failure was a full channel.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+
+    /// Returns `true` if the failure was a dropped receiver.
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, TrySendError::Disconnected(_))
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
     }
 }
 
@@ -50,13 +97,40 @@ impl fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
-/// The sending half of an unbounded channel. Cloneable.
-#[derive(Debug, Clone)]
-pub struct Sender<T> {
-    tx: mpsc::Sender<T>,
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the timeout elapsed.
+    Timeout,
+    /// All senders have been dropped and the channel is drained.
+    Disconnected,
 }
 
-/// The receiving half of an unbounded channel.
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "receive timed out"),
+            RecvTimeoutError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// Either flavour of sending endpoint; bounded senders block when full.
+#[derive(Debug, Clone)]
+enum Tx<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+/// The sending half of a channel. Cloneable.
+#[derive(Debug, Clone)]
+pub struct Sender<T> {
+    tx: Tx<T>,
+}
+
+/// The receiving half of a channel.
 #[derive(Debug)]
 pub struct Receiver<T> {
     rx: mpsc::Receiver<T>,
@@ -65,16 +139,58 @@ pub struct Receiver<T> {
 /// Creates an unbounded channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::channel();
-    (Sender { tx }, Receiver { rx })
+    (
+        Sender {
+            tx: Tx::Unbounded(tx),
+        },
+        Receiver { rx },
+    )
+}
+
+/// Creates a bounded channel holding at most `cap` in-flight messages.
+/// [`Sender::send`] blocks while the channel is full; [`Sender::try_send`]
+/// fails with [`TrySendError::Full`] instead.
+///
+/// Unlike the real crate, `cap == 0` is treated as capacity 1 rather than a
+/// rendezvous channel (nothing in this workspace uses rendezvous semantics).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap.max(1));
+    (
+        Sender {
+            tx: Tx::Bounded(tx),
+        },
+        Receiver { rx },
+    )
 }
 
 impl<T> Sender<T> {
-    /// Sends `value`, failing only if the receiver has been dropped.
+    /// Sends `value`, blocking while a bounded channel is full and failing
+    /// only if the receiver has been dropped.
     ///
     /// # Errors
     /// Returns [`SendError`] carrying the value back when disconnected.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        self.tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        match &self.tx {
+            Tx::Unbounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            Tx::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+        }
+    }
+
+    /// Sends `value` without blocking.
+    ///
+    /// # Errors
+    /// [`TrySendError::Full`] when a bounded channel is at capacity,
+    /// [`TrySendError::Disconnected`] when the receiver has been dropped.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        match &self.tx {
+            Tx::Unbounded(tx) => tx
+                .send(value)
+                .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+            Tx::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            }),
+        }
     }
 }
 
@@ -97,6 +213,20 @@ impl<T> Receiver<T> {
     /// Returns [`RecvError`] when the channel is closed and empty.
     pub fn recv(&self) -> Result<T, RecvError> {
         self.rx.recv().map_err(|_| RecvError)
+    }
+
+    /// Blocks until a value arrives, the timeout elapses, or every sender is
+    /// dropped.
+    ///
+    /// # Errors
+    /// [`RecvTimeoutError::Timeout`] when the wait expired,
+    /// [`RecvTimeoutError::Disconnected`] when the channel is closed and
+    /// empty.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
     }
 }
 
@@ -140,5 +270,60 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(7), Err(SendError(7)));
+        assert_eq!(tx.try_send(8), Err(TrySendError::Disconnected(8)));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        let err = tx.try_send(3).unwrap_err();
+        assert!(err.is_full());
+        assert!(!err.is_disconnected());
+        assert_eq!(err.into_inner(), 3);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        drop(rx);
+        assert!(tx.try_send(4).unwrap_err().is_disconnected());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let handle = std::thread::spawn(move || {
+            // Blocks until the main thread drains the slot.
+            tx.send(2).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_receives() {
+        let (tx, rx) = bounded(4);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let (tx, rx) = bounded(0);
+        tx.try_send(1).unwrap();
+        assert!(tx.try_send(2).unwrap_err().is_full());
+        assert_eq!(rx.recv(), Ok(1));
     }
 }
