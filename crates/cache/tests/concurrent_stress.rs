@@ -195,3 +195,88 @@ fn concurrent_retry_repairs_current_read_violations() {
     assert!(stats.retries > 0, "the stale pairs must force read-throughs");
     assert_eq!(cache.open_transactions(), 0);
 }
+
+/// Miss-storm against the seqlock-backed database read path: every commit's
+/// invalidations are applied synchronously from the writer threads (an
+/// aggressive upcall wiring), so readers keep missing and re-fetching
+/// through [`Database::read_entry`] while installs race them. Every
+/// re-fetched entry must be a committed snapshot — its version can never
+/// go backwards for the same reader — and the database must classify the
+/// read traffic on the optimistic path without blocking.
+#[test]
+fn miss_storm_under_concurrent_updates_reads_coherent_snapshots() {
+    const UPDATES: u64 = 2_000;
+    const READERS: u64 = 4;
+    let db = Arc::new(Database::new(DatabaseConfig::with_bound(3)));
+    db.populate((0..2 * PAIRS).map(|i| (ObjectId(i), Value::new(0))));
+    let cache = Arc::new(EdgeCache::tcache(
+        CacheId(0),
+        Arc::clone(&db),
+        3,
+        Strategy::Abort,
+    ));
+    // Synchronous upcall: commits evict/refresh cached entries from the
+    // writer thread, concurrently with the readers' fetches.
+    {
+        let cache = Arc::clone(&cache);
+        db.register_invalidation_upcall(
+            CacheId(0),
+            Box::new(move |batch| {
+                for inv in batch.iter() {
+                    cache.apply_invalidation(*inv);
+                }
+            }),
+        );
+    }
+
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let cache = Arc::clone(&cache);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let now = SimTime::ZERO;
+                let mut floors = vec![0u64; (2 * PAIRS) as usize];
+                let mut txn = 3_000_000 + r * 1_000_000;
+                let mut rounds = 0u64;
+                while !done.load(Ordering::Relaxed) || rounds < 200 {
+                    let obj = (rounds * 7 + r) % (2 * PAIRS);
+                    txn += 1;
+                    // Single-read transactions: no cross-object predicate,
+                    // so nothing aborts — this isolates the fetch path.
+                    let v = cache
+                        .read(now, TxnId(txn), ObjectId(obj), true)
+                        .expect("backend reachable");
+                    assert!(
+                        v.version.0 >= floors[obj as usize],
+                        "reader {r} saw o{obj} go backwards"
+                    );
+                    floors[obj as usize] = v.version.0;
+                    rounds += 1;
+                }
+            })
+        })
+        .collect();
+
+    for i in 0..UPDATES {
+        let pair = i % PAIRS;
+        db.execute_update(
+            TxnId(7_000_000 + i),
+            &vec![2 * pair, 2 * pair + 1].into(),
+        )
+        .unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    for h in readers {
+        h.join().expect("no reader saw an incoherent snapshot");
+    }
+
+    let stats = cache.stats();
+    assert!(stats.misses > 0, "invalidations must have forced re-fetches");
+    let db_stats = db.stats();
+    assert!(db_stats.read_path.optimistic_hits > 0);
+    assert_eq!(
+        db_stats.read_path.locked_reads, 0,
+        "the miss path must ride the optimistic read surface"
+    );
+}

@@ -12,6 +12,7 @@ use crate::invalidation::{Invalidation, InvalidationBatch};
 use crate::publisher::{InvalidationPublisher, InvalidationSink};
 use crate::shard::{PreparedWrite, Shard};
 use crate::stats::{DbStats, DbStatsSnapshot};
+use crate::store::ReadPath;
 use crate::twopc::Coordinator;
 use crate::version_clock::VersionClock;
 use std::sync::Arc;
@@ -29,6 +30,10 @@ pub struct DatabaseConfig {
     pub dependency_bound: DependencyBound,
     /// Historical versions retained per object for auditing (0 disables).
     pub history_depth: usize,
+    /// Which read path the shards' stores serve snapshots on: the
+    /// seqlock-validated optimistic path (default) or the historical
+    /// lock-per-read baseline (see [`crate::store`]).
+    pub read_path: ReadPath,
 }
 
 impl Default for DatabaseConfig {
@@ -37,6 +42,7 @@ impl Default for DatabaseConfig {
             shards: 1,
             dependency_bound: DependencyBound::default(),
             history_depth: 0,
+            read_path: ReadPath::default(),
         }
     }
 }
@@ -46,19 +52,25 @@ impl DatabaseConfig {
     /// shard with the given dependency-list bound.
     pub fn with_bound(bound: usize) -> Self {
         DatabaseConfig {
-            shards: 1,
             dependency_bound: DependencyBound::Bounded(bound),
-            history_depth: 0,
+            ..DatabaseConfig::default()
         }
     }
 
     /// The unbounded configuration of Theorem 1.
     pub fn unbounded() -> Self {
         DatabaseConfig {
-            shards: 1,
             dependency_bound: DependencyBound::Unbounded,
-            history_depth: 0,
+            ..DatabaseConfig::default()
         }
+    }
+
+    /// Returns the configuration with the read path replaced (builder
+    /// style): `DatabaseConfig::with_bound(3).read_path(ReadPath::Locked)`.
+    #[must_use]
+    pub fn read_path(mut self, read_path: ReadPath) -> Self {
+        self.read_path = read_path;
+        self
     }
 }
 
@@ -94,7 +106,7 @@ impl Database {
     /// Panics if `config.shards` is zero.
     pub fn new(config: DatabaseConfig) -> Self {
         let shards: Vec<Arc<Shard>> = (0..config.shards)
-            .map(|i| Arc::new(Shard::new(i, config.history_depth)))
+            .map(|i| Arc::new(Shard::with_read_path(i, config.history_depth, config.read_path)))
             .collect();
         Database {
             coordinator: Coordinator::new(shards),
@@ -171,13 +183,29 @@ impl Database {
     /// does not exist.
     pub fn read_entry(&self, id: ObjectId) -> TCacheResult<ObjectEntry> {
         self.stats.record_single_read();
-        self.coordinator.shard_for(id).store().get(id)
+        self.coordinator.shard_for(id).read_entry(id)
     }
 
     /// Reads an entry without counting it as externally generated load
     /// (used by tests and by the monitor when auditing).
     pub fn peek_entry(&self, id: ObjectId) -> TCacheResult<ObjectEntry> {
-        self.coordinator.shard_for(id).store().get(id)
+        self.coordinator.shard_for(id).read_entry(id)
+    }
+
+    /// Reads one specific retained version of an object (the current entry
+    /// or, with `history_depth > 0`, an older one) as a single coherent
+    /// shard snapshot. This is the audit surface: the monitor and tests
+    /// can resolve the exact value/dependency state a transaction
+    /// observed, without locks and without counting as load.
+    ///
+    /// Returns `None` if the object is unknown or the version is not
+    /// retained.
+    pub fn read_version(
+        &self,
+        id: ObjectId,
+        version: Version,
+    ) -> Option<crate::store::HistoricalVersion> {
+        self.coordinator.shard_for(id).read_version(id, version)
     }
 
     /// Executes the evaluation's standard update transaction over an access
@@ -191,7 +219,7 @@ impl Database {
         let distinct = access.distinct();
         let mut writes = Vec::with_capacity(distinct.len());
         for &id in &distinct {
-            let current = match self.coordinator.shard_for(id).store().get(id) {
+            let current = match self.coordinator.shard_for(id).read_entry(id) {
                 Ok(e) => e,
                 Err(e) => {
                     self.stats.record_update_abort();
@@ -233,7 +261,7 @@ impl Database {
         let mut accessed = Vec::with_capacity(access_order.len());
         let mut observed_reads = Vec::with_capacity(access_order.len());
         for &id in &access_order {
-            let entry = match self.coordinator.shard_for(id).store().get(id) {
+            let entry = match self.coordinator.shard_for(id).read_entry(id) {
                 Ok(e) => e,
                 Err(e) => {
                     self.stats.record_update_abort();
@@ -293,9 +321,16 @@ impl Database {
         }
     }
 
-    /// A snapshot of the database load counters.
+    /// A snapshot of the database load counters, including the read-path
+    /// classification (optimistic hits / retries / lock fallbacks)
+    /// aggregated over every shard's store.
     pub fn stats(&self) -> DbStatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        for i in 0..self.config.shards {
+            snap.read_path
+                .merge(self.coordinator.shard(i).store().read_path_stats());
+        }
+        snap
     }
 
     /// The configured dependency bound.
@@ -478,7 +513,7 @@ mod tests {
         let config = DatabaseConfig {
             shards: 4,
             dependency_bound: DependencyBound::Bounded(3),
-            history_depth: 0,
+            ..DatabaseConfig::default()
         };
         let db = Database::new(config);
         db.populate((0..100).map(|i| (ObjectId(i), Value::new(0))));
@@ -502,6 +537,66 @@ mod tests {
         db.execute_update(TxnId(1), &access).unwrap();
         let e = db.peek_entry(ObjectId(0)).unwrap();
         assert_eq!(e.dependencies.len(), 19);
+    }
+
+    #[test]
+    fn read_version_serves_the_audit_surface() {
+        let config = DatabaseConfig {
+            history_depth: 4,
+            ..DatabaseConfig::with_bound(3)
+        };
+        let db = Database::new(config);
+        db.populate((0..4).map(|i| (ObjectId(i), Value::new(0))));
+        let c1 = db.execute_update(TxnId(1), &vec![1u64].into()).unwrap();
+        let c2 = db.execute_update(TxnId(2), &vec![1u64].into()).unwrap();
+        let old = db.read_version(ObjectId(1), c1.version).unwrap();
+        assert_eq!(old.value.numeric(), 1);
+        assert_eq!(old.installed_by, Some(TxnId(1)));
+        let cur = db.read_version(ObjectId(1), c2.version).unwrap();
+        assert_eq!(cur.value.numeric(), 2);
+        assert!(db.read_version(ObjectId(1), Version(999)).is_none());
+        assert!(db.read_version(ObjectId(99), c1.version).is_none());
+    }
+
+    #[test]
+    fn stats_classify_reads_by_path() {
+        let db = db_with(10, 3);
+        db.read_entry(ObjectId(1)).unwrap();
+        db.execute_update(TxnId(1), &vec![2u64, 3].into()).unwrap();
+        let snap = db.stats();
+        // Every store snapshot was optimistic and uncontended in this
+        // single-threaded test: the miss read (1), the update's
+        // read-modify-write pre-reads (2), the dependency-aggregation
+        // reads (2) and the prepare-phase existence checks (2).
+        assert_eq!(snap.read_path.optimistic_hits, 7);
+        assert_eq!(snap.read_path.optimistic_retries, 0);
+        assert_eq!(snap.read_path.lock_fallbacks, 0);
+        assert_eq!(snap.read_path.locked_reads, 0);
+        assert_eq!(snap.optimistic_hit_ratio(), 1.0);
+
+        let locked = Database::new(DatabaseConfig::with_bound(3).read_path(ReadPath::Locked));
+        locked.populate((0..4).map(|i| (ObjectId(i), Value::new(0))));
+        locked.read_entry(ObjectId(0)).unwrap();
+        let snap = locked.stats();
+        assert_eq!(snap.read_path.locked_reads, 1);
+        assert_eq!(snap.read_path.optimistic_hits, 0);
+        assert_eq!(snap.optimistic_hit_ratio(), 0.0);
+        assert_eq!(locked.config().read_path, ReadPath::Locked);
+    }
+
+    #[test]
+    fn multi_shard_stats_aggregate_every_store() {
+        let config = DatabaseConfig {
+            shards: 4,
+            dependency_bound: DependencyBound::Bounded(3),
+            ..DatabaseConfig::default()
+        };
+        let db = Database::new(config);
+        db.populate((0..16).map(|i| (ObjectId(i), Value::new(0))));
+        for i in 0..16 {
+            db.read_entry(ObjectId(i)).unwrap();
+        }
+        assert_eq!(db.stats().read_path.optimistic_hits, 16);
     }
 
     #[test]

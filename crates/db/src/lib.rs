@@ -1,11 +1,15 @@
 //! The backend transactional key-value store of the T-Cache reproduction.
 //!
-//! The paper's experimental setup uses "a single database [that] implements a
+//! The paper's experimental setup uses "a single database \[that\] implements a
 //! transactional key-value store with two-phase commit" (§IV). This crate
 //! provides that substrate, built from scratch:
 //!
 //! * [`store`] — the versioned object store (latest version + dependency
 //!   list per object) with an optional multi-version history for auditing;
+//!   readers snapshot entries on a seqlock-validated optimistic path
+//!   ([`ReadPath::Optimistic`], the default) that never blocks behind
+//!   writers, with the historical lock-per-read layout retained as
+//!   [`ReadPath::Locked`] for comparison;
 //! * [`locks`] — a per-object lock table with two-phase locking and no-wait
 //!   deadlock avoidance;
 //! * [`shard`] / [`twopc`] — hash-sharded participants and the two-phase
@@ -18,8 +22,7 @@
 //!   transaction, to be delivered (unreliably) to caches;
 //! * [`publisher`] — the per-cache upcall registry fanning each committed
 //!   update's invalidations out to every registered cache (§IV);
-//! * [`database`] — the [`Database`](database::Database) façade combining all
-//!   of the above.
+//! * [`database`] — the [`Database`] façade combining all of the above.
 //!
 //! # Example
 //!
@@ -57,3 +60,7 @@ pub use publisher::{
     InvalidationPublisher, InvalidationSink, PublishStats, ReportingSink, SinkReport,
 };
 pub use stats::DbStats;
+pub use store::{
+    HistoricalVersion, ReadPath, ReadPathStatsSnapshot, VersionedStore, BUCKETS,
+    MAX_OPTIMISTIC_ATTEMPTS,
+};

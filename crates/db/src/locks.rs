@@ -5,6 +5,14 @@
 //! implements strict two-phase locking with a **no-wait** policy: a
 //! transaction that cannot acquire a lock immediately is aborted
 //! (deadlock avoidance without a waits-for graph).
+//!
+//! Since the store grew its optimistic read path (see [`crate::store`]),
+//! the shared mode is only exercised by [`ReadPath::Locked`] deployments:
+//! optimistic readers validate their snapshots against the store's bucket
+//! sequences instead of registering here, so the table's normal population
+//! is exclusively write locks held between prepare and commit/abort.
+//!
+//! [`ReadPath::Locked`]: crate::store::ReadPath::Locked
 
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};

@@ -5,9 +5,16 @@
 //! (in [`crate::twopc`]) drives the `prepare` / `commit` / `abort` protocol;
 //! a shard votes *yes* on prepare only if it can lock every touched object
 //! it owns.
+//!
+//! Read-only accesses take the store's read path: on the default
+//! [`ReadPath::Optimistic`] a read is a seqlock-validated snapshot that
+//! never touches the lock table at all (validation replaces the shared
+//! lock), while [`ReadPath::Locked`] reproduces the historical behaviour of
+//! a short-lived shared lock per read. Write locking is identical in both
+//! modes.
 
 use crate::locks::{LockMode, LockTable};
-use crate::store::VersionedStore;
+use crate::store::{HistoricalVersion, ReadPath, VersionedStore};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use tcache_types::{
@@ -46,11 +53,18 @@ pub struct Shard {
 }
 
 impl Shard {
-    /// Creates an empty shard. `history_depth` is forwarded to the store.
+    /// Creates an empty shard on the default optimistic read path.
+    /// `history_depth` is forwarded to the store.
     pub fn new(index: usize, history_depth: usize) -> Self {
+        Shard::with_read_path(index, history_depth, ReadPath::default())
+    }
+
+    /// Creates an empty shard whose store serves reads on an explicit
+    /// [`ReadPath`] (see [`VersionedStore::with_read_path`]).
+    pub fn with_read_path(index: usize, history_depth: usize, read_path: ReadPath) -> Self {
         Shard {
             index,
-            store: VersionedStore::new(history_depth),
+            store: VersionedStore::with_read_path(history_depth, read_path),
             locks: LockTable::new(),
             prepared: Mutex::new(HashMap::new()),
         }
@@ -72,16 +86,58 @@ impl Shard {
         self.store.insert_initial(id, value);
     }
 
-    /// Reads the current entry for an object owned by this shard, taking a
-    /// short shared lock for the duration of the copy.
+    /// Reads the current entry for an object owned by this shard on the
+    /// store's configured read path, without registering in the lock
+    /// table. This is the surface behind every cache miss
+    /// ([`Database::read_entry`]) and every update transaction's
+    /// pre-prepare reads: on [`ReadPath::Optimistic`] it is a non-blocking
+    /// bucket snapshot; on [`ReadPath::Locked`] it blocks on the store's
+    /// single lock (but still never touches the 2PL table — the observed
+    /// versions are what update transactions later re-validate under their
+    /// exclusive locks, and read-only traffic needs no table entry at
+    /// all).
+    ///
+    /// [`Database::read_entry`]: crate::database::Database::read_entry
+    pub fn read_entry(&self, id: ObjectId) -> TCacheResult<ObjectEntry> {
+        self.store.get(id)
+    }
+
+    /// Reads the current entry for an object on behalf of transaction
+    /// `txn`, honouring the lock table when the store is in
+    /// [`ReadPath::Locked`] mode.
+    ///
+    /// On [`ReadPath::Optimistic`] this is [`Shard::read_entry`] — the
+    /// snapshot is validated against the bucket sequence instead of a
+    /// shared lock, so the read is invisible to the lock table. On
+    /// [`ReadPath::Locked`] the historical behaviour is kept: a short
+    /// shared lock held for the duration of the copy (failing no-wait if a
+    /// writer holds the object exclusively). Either way, update
+    /// transactions re-acquire exclusive locks at prepare time, which is
+    /// where write-write conflicts are decided.
     pub fn read(&self, txn: TxnId, id: ObjectId) -> TCacheResult<ObjectEntry> {
+        if self.store.read_path() == ReadPath::Optimistic {
+            return self.read_entry(id);
+        }
         self.locks.try_lock_all(txn, &[id], LockMode::Shared)?;
         let result = self.store.get(id);
         // Reads release immediately; update transactions re-acquire
-        // exclusive locks at prepare time (the read version is validated by
-        // the coordinator before commit).
+        // exclusive locks at prepare time.
         self.locks.release_all(txn);
         result
+    }
+
+    /// Reads one specific version of an object from the store's retained
+    /// history (or the current entry if it matches). Never takes a lock-
+    /// table lock: the lookup is a single bucket snapshot, so the current
+    /// entry and the history are observed coherently even against a racing
+    /// install. Surfaced as [`Database::read_version`] for audits.
+    ///
+    /// Returns `None` if the object is unknown or the version is not
+    /// retained (see [`VersionedStore::read_version`]).
+    ///
+    /// [`Database::read_version`]: crate::database::Database::read_version
+    pub fn read_version(&self, id: ObjectId, version: Version) -> Option<HistoricalVersion> {
+        self.store.read_version(id, version)
     }
 
     /// Phase one of two-phase commit: lock the written objects exclusively
@@ -246,8 +302,57 @@ mod tests {
         let s = shard_with(1);
         let e = s.read(TxnId(1), ObjectId(0)).unwrap();
         assert_eq!(e.version, Version::INITIAL);
-        // The read lock is released, so an exclusive prepare succeeds.
+        // The read leaves no lock behind, so an exclusive prepare succeeds.
         assert_eq!(s.prepare(TxnId(2), vec![write(0, 1, 1)]), Vote::Yes);
         assert!(s.read(TxnId(3), ObjectId(55)).is_err());
+    }
+
+    #[test]
+    fn optimistic_read_never_registers_in_lock_table() {
+        let s = shard_with(1);
+        s.read(TxnId(1), ObjectId(0)).unwrap();
+        assert_eq!(
+            s.locks.locked_objects(),
+            0,
+            "optimistic reads are invisible to the lock table"
+        );
+        // Even while another transaction holds the exclusive lock, an
+        // optimistic read is served (it reads the last committed state).
+        assert_eq!(s.prepare(TxnId(2), vec![write(0, 1, 1)]), Vote::Yes);
+        let e = s.read(TxnId(3), ObjectId(0)).unwrap();
+        assert_eq!(e.version, Version::INITIAL, "staged write not yet visible");
+        s.commit(TxnId(2)).unwrap();
+        assert_eq!(s.read(TxnId(3), ObjectId(0)).unwrap().version, Version(1));
+    }
+
+    #[test]
+    fn locked_read_path_takes_and_releases_shared_lock() {
+        let s = Shard::with_read_path(0, 0, ReadPath::Locked);
+        s.populate(ObjectId(0), Value::new(0));
+        s.read(TxnId(1), ObjectId(0)).unwrap();
+        assert_eq!(s.locks.locked_objects(), 0, "released after the copy");
+        assert_eq!(s.store().read_path(), ReadPath::Locked);
+        // A reader that cannot get the shared lock aborts (no-wait): hold
+        // the exclusive lock through a dangling prepare.
+        assert_eq!(s.prepare(TxnId(2), vec![write(0, 1, 1)]), Vote::Yes);
+        assert!(s.read(TxnId(3), ObjectId(0)).is_err());
+        s.abort(TxnId(2));
+    }
+
+    #[test]
+    fn read_version_serves_history_without_locks() {
+        let s = Shard::new(0, 4);
+        s.populate(ObjectId(0), Value::new(0));
+        assert_eq!(s.prepare(TxnId(1), vec![write(0, 7, 1)]), Vote::Yes);
+        s.commit(TxnId(1)).unwrap();
+        assert_eq!(s.prepare(TxnId(2), vec![write(0, 8, 2)]), Vote::Yes);
+        s.commit(TxnId(2)).unwrap();
+        let old = s.read_version(ObjectId(0), Version(1)).unwrap();
+        assert_eq!(old.value.numeric(), 7);
+        assert_eq!(old.installed_by, Some(TxnId(1)));
+        let cur = s.read_version(ObjectId(0), Version(2)).unwrap();
+        assert_eq!(cur.value.numeric(), 8);
+        assert!(s.read_version(ObjectId(0), Version(9)).is_none());
+        assert_eq!(s.locks.locked_objects(), 0);
     }
 }

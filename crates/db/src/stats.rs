@@ -5,7 +5,14 @@
 //! and the rate of committed update transactions. The counters here are
 //! atomics so any component holding a reference to the database can sample
 //! them cheaply.
+//!
+//! The snapshot additionally carries the read-path classification from the
+//! shards' stores ([`ReadPathStatsSnapshot`]): how many snapshots were
+//! served optimistically, how often readers raced a writer and retried,
+//! and how often they fell back to the blocking lock — the observability
+//! for the seqlock read path (see [`crate::store`]).
 
+use crate::store::ReadPathStatsSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotone counters describing the load placed on the database.
@@ -34,12 +41,26 @@ pub struct DbStatsSnapshot {
     pub objects_written: u64,
     /// Invalidation records published.
     pub invalidations_published: u64,
+    /// Read-path classification aggregated over every shard's store:
+    /// optimistic hits, retries, lock fallbacks and locked reads.
+    pub read_path: ReadPathStatsSnapshot,
 }
 
 impl DbStatsSnapshot {
     /// Total read operations served by the database.
     pub fn total_reads(&self) -> u64 {
         self.single_reads + self.update_reads
+    }
+
+    /// Fraction of store snapshots served optimistically (without blocking
+    /// or falling back to the lock); `1.0` when no snapshot was taken.
+    pub fn optimistic_hit_ratio(&self) -> f64 {
+        let total = self.read_path.optimistic_hits + self.read_path.lock_fallbacks
+            + self.read_path.locked_reads;
+        if total == 0 {
+            return 1.0;
+        }
+        self.read_path.optimistic_hits as f64 / total as f64
     }
 }
 
@@ -75,7 +96,11 @@ impl DbStats {
         self.invalidations_published.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Takes a consistent-enough snapshot of all counters.
+    /// Takes a consistent-enough snapshot of all counters. The read-path
+    /// classification is zero here; [`Database::stats`] merges in the
+    /// per-shard store counters.
+    ///
+    /// [`Database::stats`]: crate::database::Database::stats
     pub fn snapshot(&self) -> DbStatsSnapshot {
         DbStatsSnapshot {
             single_reads: self.single_reads.load(Ordering::Relaxed),
@@ -84,6 +109,7 @@ impl DbStats {
             updates_aborted: self.updates_aborted.load(Ordering::Relaxed),
             objects_written: self.objects_written.load(Ordering::Relaxed),
             invalidations_published: self.invalidations_published.load(Ordering::Relaxed),
+            read_path: ReadPathStatsSnapshot::default(),
         }
     }
 }
@@ -116,5 +142,21 @@ mod tests {
         let snap = DbStats::default().snapshot();
         assert_eq!(snap, DbStatsSnapshot::default());
         assert_eq!(snap.total_reads(), 0);
+        assert_eq!(snap.optimistic_hit_ratio(), 1.0, "vacuously all-optimistic");
+    }
+
+    #[test]
+    fn optimistic_hit_ratio_counts_fallbacks_and_locked_reads() {
+        let snap = DbStatsSnapshot {
+            read_path: ReadPathStatsSnapshot {
+                optimistic_hits: 3,
+                optimistic_retries: 10,
+                optimistic_races: 2,
+                lock_fallbacks: 1,
+                locked_reads: 0,
+            },
+            ..DbStatsSnapshot::default()
+        };
+        assert_eq!(snap.optimistic_hit_ratio(), 0.75, "retries are not snapshots");
     }
 }

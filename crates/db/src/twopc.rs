@@ -5,6 +5,19 @@
 //! participant voted yes; otherwise every participant aborts. With a single
 //! shard this degenerates to ordinary atomic commit, matching the paper's
 //! single-column experimental setup, but the protocol is fully general.
+//!
+//! Only *writes* interact with the lock tables: the reads an update
+//! transaction performs before preparing (and every read-only access) go
+//! through the stores' optimistic seqlock path (see [`crate::store`]), so
+//! they are snapshots of committed state validated against the bucket
+//! sequence rather than lock acquisitions. The exclusive write locks taken
+//! at prepare time are unchanged — they are what serializes installs of
+//! the same object, which is the precondition the store's `install`
+//! documents. A shard's existence check during prepare rides the same
+//! optimistic surface ([`VersionedStore::contains`]) and is safe because
+//! the objects it guards are already exclusively locked by that point.
+//!
+//! [`VersionedStore::contains`]: crate::store::VersionedStore::contains
 
 use crate::shard::{PreparedWrite, Shard, Vote};
 use std::sync::Arc;

@@ -2,7 +2,7 @@
 //!
 //! The live transport's original queue was unbounded: a slow cache simply
 //! grew its queue without limit and the system gave no backpressure signal.
-//! [`BoundedPipe`] replaces it with a capacity-limited MPSC queue whose
+//! [`bounded_pipe`] replaces it with a capacity-limited MPSC queue whose
 //! behaviour at capacity is an explicit [`OverflowPolicy`]:
 //!
 //! * [`OverflowPolicy::Block`] — the sender waits for a free slot; the

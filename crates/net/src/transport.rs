@@ -7,13 +7,13 @@
 //! flow over a real queue. The same [`LossModel`] is applied at the sending
 //! side, so the cache observes the same unreliable behaviour.
 //!
-//! The queue underneath is a [`BoundedPipe`]: [`live_channel`] keeps the
+//! The queue underneath is a bounded pipe ([`BoundedPipe`]): [`live_channel`] keeps the
 //! historical unbounded shape, [`live_channel_with`] bounds the pipe and
 //! picks an [`OverflowPolicy`], which is how a live deployment gets
 //! backpressure (or bounded staleness) instead of an ever-growing queue
 //! behind a slow cache.
 //!
-//! [`BoundedPipe`]: crate::pipe
+//! [`BoundedPipe`]: crate::pipe::bounded_pipe
 
 use crate::fault::{LossModel, LossState};
 use crate::pipe::{

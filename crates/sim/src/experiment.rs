@@ -393,9 +393,8 @@ impl Experiment {
         assert!(config.caches.cache_count() > 0);
         let workload = config.workload.build(config.seed);
         let db = Arc::new(Database::new(DatabaseConfig {
-            shards: 1,
             dependency_bound: config.cache.database_bound(),
-            history_depth: 0,
+            ..DatabaseConfig::default()
         }));
         db.populate((0..workload.object_count() as u64).map(|i| (ObjectId(i), Value::new(0))));
         let losses = config.caches.losses(config.invalidation_loss);

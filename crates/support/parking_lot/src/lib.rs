@@ -114,6 +114,27 @@ impl<T: ?Sized> RwLock<T> {
         }
     }
 
+    /// Attempts to acquire a shared read lock without blocking; returns
+    /// `None` if a writer holds (or `std` believes a writer is waiting for)
+    /// the lock. This is the primitive behind the seqlock read path in
+    /// `tcache-db`: readers never sleep behind a writer, they retry.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire the exclusive write lock without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Returns a mutable reference to the protected value.
     pub fn get_mut(&mut self) -> &mut T {
         match self.inner.get_mut() {
@@ -155,6 +176,25 @@ mod tests {
         }
         l.write().push(4);
         assert_eq!(l.read().len(), 4);
+    }
+
+    #[test]
+    fn rwlock_try_read_and_try_write() {
+        let l = RwLock::new(7);
+        {
+            let r = l.try_read().expect("uncontended try_read succeeds");
+            assert_eq!(*r, 7);
+            // Shared with an ordinary reader, but a writer would block.
+            let r2 = l.read();
+            assert_eq!(*r2, 7);
+            assert!(l.try_write().is_none(), "readers block try_write");
+        }
+        {
+            let mut w = l.try_write().expect("uncontended try_write succeeds");
+            *w = 8;
+            assert!(l.try_read().is_none(), "a writer blocks try_read");
+        }
+        assert_eq!(*l.read(), 8);
     }
 
     #[test]
