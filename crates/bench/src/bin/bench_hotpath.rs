@@ -9,9 +9,18 @@
 //! the tables, and writes `BENCH_hotpath.json` into the current directory
 //! so future changes have a perf trajectory to compare against.
 //!
+//! Also runs the cross-plane comparison (the `figures::live_plane`
+//! experiment: the inconsistency-vs-loss trend on the live reactor stack
+//! versus the discrete-event simulator, plus the live stack's wall-clock
+//! read throughput) and appends a git-SHA-stamped summary row to
+//! `BENCH_history.jsonl`, printing the delta against the previous row —
+//! the commit-over-commit perf trajectory.
+//!
 //! Flags:
 //! * `--quick` — one short round (CI smoke; still writes the JSON);
-//! * `--out <path>` — where to write the JSON (default `BENCH_hotpath.json`).
+//! * `--out <path>` — where to write the JSON (default `BENCH_hotpath.json`);
+//! * `--history <path>` — where to append the history row (default
+//!   `BENCH_history.jsonl`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,7 +29,8 @@ use tcache_cache::EdgeCache;
 use tcache_db::{Database, DatabaseConfig, Invalidation, ReadPath};
 use tcache_net::pipe::{bounded_pipe, OverflowPolicy, UNBOUNDED};
 use tcache_net::reactor::Reactor;
-use tcache_sim::figures::backpressure;
+use tcache_bench::{git_short_sha, history_comparison};
+use tcache_sim::figures::{backpressure, live_plane, LIVE_PLANE_LOSSES};
 use tcache_types::{
     AccessSet, CacheId, ObjectId, SimDuration, SimTime, Strategy, TxnId, Value, Version,
 };
@@ -290,6 +300,7 @@ fn measure_reactor_plane(caches: &[Arc<EdgeCache>], msgs_per_cache: u64) -> f64 
 fn main() {
     let mut quick = false;
     let mut out = String::from("BENCH_hotpath.json");
+    let mut history = String::from("BENCH_history.jsonl");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -297,6 +308,11 @@ fn main() {
             "--out" => {
                 if let Some(path) = args.next() {
                     out = path;
+                }
+            }
+            "--history" => {
+                if let Some(path) = args.next() {
+                    history = path;
                 }
             }
             _ => {}
@@ -441,6 +457,25 @@ fn main() {
         println!("{capacity:>12} {:>7.2}%", row.inconsistency_pct);
     }
 
+    // Cross-plane comparison: the same seeded schedule on the live reactor
+    // stack versus the discrete-event simulator (plus the live stack's
+    // free-running wall-clock read throughput).
+    let lp_secs = if quick { 2 } else { 8 };
+    let lp = live_plane(SimDuration::from_secs(lp_secs), 42, &LIVE_PLANE_LOSSES);
+    println!(
+        "\nlive plane ({lp_secs}s schedule): loss -> plain inconsistency (live / sim)"
+    );
+    for row in &lp.rows {
+        println!(
+            "{:>12} {:>7.2}% {:>7.2}%",
+            row.loss, row.live_plain_inconsistency_pct, row.sim_plain_inconsistency_pct
+        );
+    }
+    println!(
+        "{:>12} {:>16.0} txn/s wall-clock (concurrent clients)",
+        "live reads", lp.live_read_txns_per_wall_sec
+    );
+
     let single = results[0].1;
     let fields: Vec<String> = results
         .iter()
@@ -479,6 +514,22 @@ fn main() {
             )
         })
         .collect();
+    let live_plane_rows: Vec<String> = lp
+        .rows
+        .iter()
+        .map(|row| {
+            format!(
+                "      {{ \"loss\": {}, \"live_plain_inconsistency_pct\": {:.3}, \
+                 \"sim_plain_inconsistency_pct\": {:.3}, \"live_dropped\": {}, \
+                 \"sim_dropped\": {} }}",
+                row.loss,
+                row.live_plain_inconsistency_pct,
+                row.sim_plain_inconsistency_pct,
+                row.live_dropped,
+                row.sim_dropped
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"hotpath_concurrent_reads\",\n  \"objects\": {OBJECTS},\n  \
          \"reads_per_txn\": {READS_PER_TXN},\n  \"txns_per_thread\": {txns_per_thread},\n  \
@@ -491,6 +542,10 @@ fn main() {
          \"threaded_inv_per_sec\": {threaded_plane:.1},\n    \
          \"reactor_inv_per_sec\": {reactor_plane:.1}\n  }},\n  \
          \"backpressure_drop_oldest\": {{\n{}\n  }},\n  \
+         \"live_plane\": {{\n    \"schedule_secs\": {lp_secs},\n    \
+         \"live_read_txns_per_wall_sec\": {:.1},\n    \
+         \"live_aggregate_plain_pct\": {:.3},\n    \
+         \"sim_aggregate_plain_pct\": {:.3},\n    \"rows\": [\n{}\n    ]\n  }},\n  \
          \"single_thread_ns_per_read\": {:.1},\n  \"speedup_4_threads\": {:.3},\n  \
          \"speedup_4_caches\": {:.3}\n}}\n",
         std::thread::available_parallelism().map_or(0, |n| n.get()),
@@ -498,6 +553,10 @@ fn main() {
         cache_fields.join(",\n"),
         db_read_path_rows.join(",\n"),
         backpressure_fields.join(",\n"),
+        lp.live_read_txns_per_wall_sec,
+        lp.live_aggregate_plain_pct,
+        lp.sim_aggregate_plain_pct,
+        live_plane_rows.join(",\n"),
         1e9 / (single * READS_PER_TXN as f64),
         results.iter().find(|(t, _)| *t == 4).map_or(0.0, |(_, tps)| tps / single),
         cache_scaling
@@ -507,4 +566,63 @@ fn main() {
     );
     std::fs::write(&out, json).expect("write BENCH_hotpath.json");
     println!("wrote {out}");
+
+    // The tracked trajectory: one git-SHA-stamped summary row per run,
+    // appended to the history file, with a delta report against the
+    // previous row. Quick (CI smoke) runs use shorter measurements, so the
+    // row records which regime produced it; compare like with like.
+    let current: Vec<(&str, f64)> = vec![
+        ("quick", u64::from(quick) as f64),
+        ("threads_1_txn_per_sec", results[0].1),
+        (
+            "threads_4_txn_per_sec",
+            results.iter().find(|(t, _)| *t == 4).map_or(0.0, |&(_, tps)| tps),
+        ),
+        (
+            "caches_4_txn_per_sec",
+            cache_scaling.iter().find(|(c, _)| *c == 4).map_or(0.0, |&(_, tps)| tps),
+        ),
+        ("threaded_inv_per_sec", threaded_plane),
+        ("reactor_inv_per_sec", reactor_plane),
+        ("live_read_txns_per_wall_sec", lp.live_read_txns_per_wall_sec),
+    ];
+    // Compare like with like: --quick rows measure far fewer iterations
+    // than full runs, so the baseline is the most recent previous row of
+    // the *same* regime, not merely the last row.
+    let regime = u64::from(quick) as f64;
+    let previous = std::fs::read_to_string(&history).ok().and_then(|contents| {
+        contents
+            .lines()
+            .rev()
+            .find(|line| {
+                tcache_bench::parse_flat_numbers(line)
+                    .iter()
+                    .any(|(key, value)| key == "quick" && *value == regime)
+            })
+            .map(String::from)
+    });
+    let sha = git_short_sha();
+    let row = format!(
+        "{{\"sha\": \"{sha}\", {}}}\n",
+        current
+            .iter()
+            .map(|(key, value)| format!("\"{key}\": {value:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    use std::io::Write;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history)
+        .and_then(|mut file| file.write_all(row.as_bytes()))
+        .expect("append bench history row");
+    println!("\nappended {history} row for {sha}");
+    match previous.as_deref().and_then(|prev| history_comparison(prev, &current)) {
+        Some(report) => println!("{report}"),
+        None => println!(
+            "(no previous {} history row to compare against)",
+            if quick { "quick" } else { "full-run" }
+        ),
+    }
 }

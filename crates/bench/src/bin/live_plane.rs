@@ -1,0 +1,77 @@
+//! The live execution plane experiment: the inconsistency-vs-loss trend
+//! reproduced on the real reactor stack, validated against the
+//! discrete-event simulator row by row.
+//!
+//! Four edge caches with loss rates from reliable to badly lossy run the
+//! same seeded schedule twice: once on the live plane (real `TCacheSystem`,
+//! reactor transport, loss applied by the per-cache delivery tasks) and
+//! once on the discrete-event plane. At zero delivery delay the lockstep
+//! live rows must match the simulated rows *exactly* — same seeded loss
+//! streams, same schedule — which is asserted below so CI fails loudly if
+//! the planes drift apart. A final free-running concurrent run reports the
+//! wall-clock read throughput of the live stack.
+//!
+//! Flags: `--quick` (short run), `--seed <n>`.
+
+use tcache_bench::{pct, RunOptions};
+use tcache_sim::figures::{live_plane, LIVE_PLANE_LOSSES};
+
+fn main() {
+    let options = RunOptions::from_env();
+    let duration = options.duration(20, 3);
+
+    println!(
+        "live plane: 4 caches, plain + t-cache, zero delivery delay, {}s schedule (seed {})",
+        duration.as_secs_f64(),
+        options.seed
+    );
+    let figure = live_plane(duration, options.seed, &LIVE_PLANE_LOSSES);
+
+    println!(
+        "{:>6} {:>6} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "cache", "loss", "live plain", "sim plain", "live t-cache", "live drops", "sim drops"
+    );
+    for row in &figure.rows {
+        println!(
+            "{:>6} {:>6} {:>14} {:>14} {:>14} {:>12} {:>12}",
+            row.cache,
+            row.loss,
+            pct(row.live_plain_inconsistency_pct),
+            pct(row.sim_plain_inconsistency_pct),
+            pct(row.live_tcache_inconsistency_pct),
+            row.live_dropped,
+            row.sim_dropped
+        );
+    }
+    println!(
+        "aggregate plain inconsistency: live {} / sim {}",
+        pct(figure.live_aggregate_plain_pct),
+        pct(figure.sim_aggregate_plain_pct)
+    );
+    println!(
+        "concurrent live read throughput: {:.0} txn/s wall-clock",
+        figure.live_read_txns_per_wall_sec
+    );
+
+    // Sanity guards so CI fails loudly if the live plane regresses (the
+    // bin runs with --quick on every push).
+    let reliable = &figure.rows[0];
+    let lossiest = figure.rows.last().expect("at least one cache");
+    assert!(
+        lossiest.live_plain_inconsistency_pct > reliable.live_plain_inconsistency_pct,
+        "live plain-cache inconsistency must rise with loss"
+    );
+    for row in &figure.rows {
+        assert_eq!(
+            row.live_plain_inconsistency_pct, row.sim_plain_inconsistency_pct,
+            "cache {}: the live and discrete-event planes must agree exactly at zero delay",
+            row.cache
+        );
+        assert_eq!(
+            row.live_dropped, row.sim_dropped,
+            "cache {}: both planes must drop the same seeded messages",
+            row.cache
+        );
+    }
+    assert!(figure.live_read_txns_per_wall_sec > 0.0);
+}

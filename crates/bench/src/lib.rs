@@ -77,6 +77,93 @@ pub fn pct(value: f64) -> String {
     format!("{value:5.1}%")
 }
 
+/// The short git SHA of the working tree — suffixed `-dirty` when there
+/// are uncommitted changes, so a bench-history row measured on a modified
+/// tree is never attributed to its parent commit — or `"unknown"` outside
+/// a repository (or without a git binary).
+pub fn git_short_sha() -> String {
+    let Some(sha) = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|sha| sha.trim().to_string())
+        .filter(|sha| !sha.is_empty())
+    else {
+        return "unknown".to_string();
+    };
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .is_some_and(|out| !out.stdout.is_empty());
+    if dirty {
+        format!("{sha}-dirty")
+    } else {
+        sha
+    }
+}
+
+/// Extracts every `"key": <number>` pair from a flat JSON object line.
+/// Quoted string values (like the `sha` stamp) are skipped. This is all
+/// the parsing the bench-history comparison needs, so the offline
+/// `serde_json` shim is not involved.
+pub fn parse_flat_numbers(json: &str) -> Vec<(String, f64)> {
+    let parts: Vec<&str> = json.split('"').collect();
+    let mut out = Vec::new();
+    for i in 1..parts.len().saturating_sub(1) {
+        // A quoted token is a key iff the next raw segment opens with ':'.
+        let Some(rest) = parts[i + 1].trim_start().strip_prefix(':') else {
+            continue;
+        };
+        let literal: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        if let Ok(value) = literal.parse::<f64>() {
+            out.push((parts[i].to_string(), value));
+        }
+    }
+    out
+}
+
+/// Renders the commit-over-commit comparison between the previous
+/// bench-history row and the current one: one line per shared metric with
+/// the percentage delta. Returns `None` when `previous` has no numeric
+/// fields to compare against.
+pub fn history_comparison(previous: &str, current: &[(&str, f64)]) -> Option<String> {
+    let before = parse_flat_numbers(previous);
+    if before.is_empty() {
+        return None;
+    }
+    let prev_sha = previous
+        .split("\"sha\": \"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or("?");
+    let mut lines = vec![format!(
+        "{:>28} {:>16} {:>16} {:>8}   (vs {prev_sha})",
+        "metric", "previous", "current", "delta"
+    )];
+    let mut compared = 0;
+    for &(key, now) in current {
+        let Some(&(_, was)) = before.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        compared += 1;
+        let delta = if was.abs() > f64::EPSILON {
+            format!("{:+.1}%", (now / was - 1.0) * 100.0)
+        } else {
+            "n/a".to_string()
+        };
+        lines.push(format!("{key:>28} {was:>16.1} {now:>16.1} {delta:>8}"));
+    }
+    (compared > 0).then(|| lines.join("\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +188,39 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(12.34), " 12.3%");
+    }
+
+    #[test]
+    fn flat_number_parsing_skips_string_values() {
+        let line = r#"{"sha": "abc123", "quick": 1, "txn_per_sec": 1234.5, "neg": -2e3}"#;
+        let parsed = parse_flat_numbers(line);
+        assert_eq!(
+            parsed,
+            vec![
+                ("quick".to_string(), 1.0),
+                ("txn_per_sec".to_string(), 1234.5),
+                ("neg".to_string(), -2000.0),
+            ]
+        );
+        assert!(parse_flat_numbers("not json at all").is_empty());
+    }
+
+    #[test]
+    fn history_comparison_reports_deltas_for_shared_keys() {
+        let previous = r#"{"sha": "abc123", "txn_per_sec": 1000.0, "inv_per_sec": 500.0}"#;
+        let report =
+            history_comparison(previous, &[("txn_per_sec", 1100.0), ("unrelated", 1.0)])
+                .expect("one shared metric");
+        assert!(report.contains("abc123"));
+        assert!(report.contains("txn_per_sec"));
+        assert!(report.contains("+10.0%"));
+        assert!(!report.contains("unrelated"));
+        assert!(history_comparison("", &[("x", 1.0)]).is_none());
+        assert!(history_comparison(previous, &[("unshared", 1.0)]).is_none());
+    }
+
+    #[test]
+    fn git_sha_is_nonempty() {
+        assert!(!git_short_sha().is_empty());
     }
 }

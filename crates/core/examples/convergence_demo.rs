@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release -p tcache --example convergence_demo`.
 
-use tcache::sim::figures;
+use tcache_sim::figures;
 use tcache::types::{SimDuration, SimTime};
 
 fn main() {

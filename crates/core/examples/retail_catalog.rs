@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo run --release -p tcache --example retail_catalog`.
 
-use tcache::sim::experiment::{CacheKind, ExperimentConfig, WorkloadKind};
+use tcache_sim::experiment::{CacheKind, ExperimentConfig, WorkloadKind};
 use tcache::types::{SimDuration, Strategy};
 use tcache::workload::graph::GraphKind;
 

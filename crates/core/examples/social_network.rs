@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release -p tcache --example social_network`.
 
-use tcache::sim::experiment::{CacheKind, ExperimentConfig, WorkloadKind};
+use tcache_sim::experiment::{CacheKind, ExperimentConfig, WorkloadKind};
 use tcache::types::{SimDuration, Strategy};
 use tcache::workload::graph::{generators, metrics, GraphKind};
 

@@ -1,13 +1,14 @@
 //! Builder for [`TCacheSystem`].
 
-use crate::system::TCacheSystem;
-use crate::transport::TransportMode;
+use crate::system::{SystemWiring, TCacheSystem};
+use crate::transport::{DeliveryMode, TransportMode};
 use std::sync::Arc;
 use tcache_cache::EdgeCache;
 use tcache_db::{Database, DatabaseConfig, ReadPath};
+use tcache_net::delivery::DeliveryModel;
 use tcache_net::fanout::{CacheLink, InvalidationFanout};
 use tcache_net::pipe::OverflowPolicy;
-use tcache_types::{CacheId, DependencyBound, SimDuration, Strategy};
+use tcache_types::{CacheId, CachePolicyConfig, DependencyBound, SimDuration, Strategy};
 
 /// Configures and builds a [`TCacheSystem`].
 ///
@@ -47,6 +48,9 @@ pub struct SystemBuilder {
     tick: SimDuration,
     seed: u64,
     transport: TransportMode,
+    delivery: DeliveryMode,
+    delivery_models: Option<Vec<DeliveryModel>>,
+    cache_policy: Option<CachePolicyConfig>,
     pipe_capacity: usize,
     overflow_policy: OverflowPolicy,
     db_read_path: ReadPath,
@@ -65,6 +69,9 @@ impl Default for SystemBuilder {
             tick: SimDuration::from_millis(1),
             seed: 0,
             transport: TransportMode::Threaded,
+            delivery: DeliveryMode::Clocked,
+            delivery_models: None,
+            cache_policy: None,
             pipe_capacity: usize::MAX,
             overflow_policy: OverflowPolicy::Block,
             db_read_path: ReadPath::default(),
@@ -170,6 +177,49 @@ impl SystemBuilder {
         self
     }
 
+    /// Selects where the unreliable-link model runs:
+    /// [`DeliveryMode::Clocked`] (the default) drops and delays messages in
+    /// the virtual-time discrete-event channels, while
+    /// [`DeliveryMode::Modeled`] wires the database's commit-path upcalls
+    /// straight into each cache's reactor pipe and lets the cache's
+    /// delivery task apply per-cache seeded loss / latency models in
+    /// wall-clock time — the live execution plane.
+    ///
+    /// [`SystemBuilder::build`] panics if `Modeled` is combined with
+    /// [`TransportMode::Threaded`]: the modeled plane *is* the reactor's
+    /// delivery tasks.
+    pub fn delivery(mut self, mode: DeliveryMode) -> Self {
+        self.delivery = mode;
+        self
+    }
+
+    /// Deploys one cache per entry with an explicit per-cache
+    /// [`DeliveryModel`] (loss + latency, applied by the cache's reactor
+    /// delivery task under [`DeliveryMode::Modeled`]), overriding
+    /// [`SystemBuilder::caches`] / [`SystemBuilder::cache_loss_rates`].
+    /// Without this knob, modeled delivery derives each cache's model from
+    /// the configured loss rates and invalidation delay.
+    ///
+    /// # Panics
+    /// Panics if `models` is empty.
+    pub fn delivery_models(mut self, models: Vec<DeliveryModel>) -> Self {
+        assert!(!models.is_empty(), "a system needs at least one cache");
+        self.caches = models.len();
+        self.per_cache_loss = None;
+        self.delivery_models = Some(models);
+        self
+    }
+
+    /// Overrides the cache policy wholesale (plain / TTL baselines, exotic
+    /// strategy mixes), instead of deriving it from
+    /// [`SystemBuilder::dependency_bound`] and
+    /// [`SystemBuilder::strategy`]. The database's dependency bound follows
+    /// the policy's.
+    pub fn cache_policy(mut self, policy: CachePolicyConfig) -> Self {
+        self.cache_policy = Some(policy);
+        self
+    }
+
     /// Bounds each cache's apply pipe (reactor mode) to `capacity`
     /// in-flight invalidations; clamped to at least 1. The default is
     /// unbounded.
@@ -199,28 +249,48 @@ impl SystemBuilder {
     }
 
     /// Builds the system.
+    ///
+    /// # Panics
+    /// Panics if [`DeliveryMode::Modeled`] is combined with
+    /// [`TransportMode::Threaded`].
     pub fn build(self) -> TCacheSystem {
+        assert!(
+            self.delivery == DeliveryMode::Clocked || self.transport == TransportMode::Reactor,
+            "modeled delivery requires TransportMode::Reactor (the model runs in the reactor's delivery tasks)"
+        );
+        assert!(
+            self.delivery_models.is_none() || self.delivery == DeliveryMode::Modeled,
+            "explicit delivery models only apply under DeliveryMode::Modeled"
+        );
+        // The policy decides both the cache behaviour and the dependency
+        // bound the database stores with every object.
+        let policy = self.cache_policy.unwrap_or(match self.dependency_bound {
+            DependencyBound::Bounded(k) => CachePolicyConfig::tcache(k, self.strategy),
+            DependencyBound::Unbounded => CachePolicyConfig::unbounded(self.strategy),
+        });
         let db = Arc::new(Database::new(DatabaseConfig {
             shards: self.shards,
-            dependency_bound: self.dependency_bound,
+            dependency_bound: policy.dependency_bound,
             history_depth: 0,
             read_path: self.db_read_path,
         }));
         let losses = self
             .per_cache_loss
             .unwrap_or_else(|| vec![self.invalidation_loss; self.caches]);
+        if let Some(models) = &self.delivery_models {
+            // `caches()` / `cache_loss_rates()` after `delivery_models()`
+            // can change the cache count out from under the models; fail
+            // here with a clear message instead of deep in the wiring.
+            assert_eq!(
+                models.len(),
+                losses.len(),
+                "delivery_models must cover every deployed cache (models: {}, caches: {})",
+                models.len(),
+                losses.len()
+            );
+        }
         let caches: Vec<Arc<EdgeCache>> = (0..losses.len())
-            .map(|i| {
-                let id = CacheId(i as u32);
-                Arc::new(match self.dependency_bound {
-                    DependencyBound::Bounded(k) => {
-                        EdgeCache::tcache(id, Arc::clone(&db), k, self.strategy)
-                    }
-                    DependencyBound::Unbounded => {
-                        EdgeCache::unbounded(id, Arc::clone(&db), self.strategy)
-                    }
-                })
-            })
+            .map(|i| Arc::new(EdgeCache::new(CacheId(i as u32), Arc::clone(&db), policy)))
             .collect();
         let fanout = InvalidationFanout::new(
             self.seed,
@@ -228,14 +298,29 @@ impl SystemBuilder {
                 CacheLink::uniform(CacheId(i as u32), loss, self.invalidation_delay)
             }),
         );
+        // Modeled delivery moves each cache's loss / latency into its
+        // reactor task; without explicit models the configured loss rates
+        // and delay become per-cache uniform/constant models.
+        let models = self.delivery_models.unwrap_or_else(|| match self.delivery {
+            DeliveryMode::Clocked => vec![DeliveryModel::reliable(); losses.len()],
+            DeliveryMode::Modeled => losses
+                .iter()
+                .map(|&loss| DeliveryModel::uniform(loss, self.invalidation_delay))
+                .collect(),
+        });
         TCacheSystem::new(
             db,
             caches,
             fanout,
-            self.tick,
-            self.transport,
-            self.pipe_capacity,
-            self.overflow_policy,
+            SystemWiring {
+                tick: self.tick,
+                mode: self.transport,
+                delivery: self.delivery,
+                pipe_capacity: self.pipe_capacity,
+                overflow_policy: self.overflow_policy,
+                models,
+                seed: self.seed,
+            },
         )
     }
 }

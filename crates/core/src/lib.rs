@@ -55,9 +55,12 @@
 //!   strategies, plus the plain and TTL baselines;
 //! * [`tcache_monitor`] — the serialization-graph-testing oracle used by the
 //!   evaluation;
-//! * [`tcache_workload`] — synthetic and graph-based workload generators;
-//! * [`tcache_sim`] — the discrete-event harness that reproduces the paper's
-//!   figures.
+//! * [`tcache_workload`] — synthetic and graph-based workload generators.
+//!
+//! The experiment harness lives in `tcache-sim`, *on top of* this crate:
+//! its live execution plane drives a [`TCacheSystem`] in reactor transport
+//! with modeled delivery, so the harness depends on the facade rather than
+//! the other way around.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -69,12 +72,11 @@ pub mod transport;
 
 pub use builder::SystemBuilder;
 pub use system::{CacheNodeStats, ReadOutcome, SystemStats, TCacheSystem};
-pub use transport::TransportMode;
+pub use transport::{DeliveryMode, TransportMode};
 
 pub use tcache_cache as cache;
 pub use tcache_db as db;
 pub use tcache_monitor as monitor;
 pub use tcache_net as net;
-pub use tcache_sim as sim;
 pub use tcache_types as types;
 pub use tcache_workload as workload;

@@ -10,7 +10,7 @@
 
 pub use crate::builder::SystemBuilder;
 pub use crate::system::{ReadOutcome, SystemStats, TCacheSystem};
-pub use crate::transport::TransportMode;
+pub use crate::transport::{DeliveryMode, TransportMode};
 pub use tcache_cache::{EdgeCache, Strategy};
 pub use tcache_net::pipe::OverflowPolicy;
 pub use tcache_db::{Database, DatabaseConfig, ReadPath};

@@ -1,6 +1,6 @@
 //! A single-process T-Cache deployment: database + N edge caches.
 
-use crate::transport::{ReactorPlane, TransportMode};
+use crate::transport::{modeled_delivery_sink, DeliveryMode, ReactorPlane, TransportMode};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -9,6 +9,7 @@ use tcache_cache::{CacheStatsSnapshot, EdgeCache};
 use tcache_db::stats::DbStatsSnapshot;
 use tcache_db::Database;
 use tcache_net::channel::ChannelStats;
+use tcache_net::delivery::{DeliveryModel, DeliveryStatsSnapshot};
 use tcache_net::fanout::InvalidationFanout;
 use tcache_net::pipe::{OverflowPolicy, PipeStatsSnapshot};
 use tcache_net::reactor::ReactorStats;
@@ -50,8 +51,22 @@ pub struct TCacheSystem {
     tick: SimDuration,
     next_txn: AtomicU64,
     mode: TransportMode,
+    delivery: DeliveryMode,
     /// Present iff `mode == TransportMode::Reactor`.
     reactor: Option<ReactorPlane>,
+}
+
+/// How the builder wires a [`TCacheSystem`] together: transport and
+/// delivery planes, pipe shape, per-cache link models and the run seed the
+/// delivery tasks derive their RNG streams from.
+pub(crate) struct SystemWiring {
+    pub(crate) tick: SimDuration,
+    pub(crate) mode: TransportMode,
+    pub(crate) delivery: DeliveryMode,
+    pub(crate) pipe_capacity: usize,
+    pub(crate) overflow_policy: OverflowPolicy,
+    pub(crate) models: Vec<DeliveryModel>,
+    pub(crate) seed: u64,
 }
 
 /// One cache server's slice of a [`SystemStats`] snapshot.
@@ -61,11 +76,20 @@ pub struct CacheNodeStats {
     pub id: CacheId,
     /// This cache's statistics.
     pub cache: CacheStatsSnapshot,
-    /// This cache's invalidation-channel statistics.
+    /// This cache's invalidation-channel statistics. Under
+    /// [`DeliveryMode::Modeled`] these are synthesized from the publisher
+    /// and delivery-task counters (the discrete-event channels are idle),
+    /// so the same fields describe the link on either delivery plane.
     pub channel: ChannelStats,
     /// This cache's apply-pipe counters (all zero in
     /// [`TransportMode::Threaded`], which has no pipes).
     pub pipe: PipeStatsSnapshot,
+    /// This cache's delivery-task counters — offered / dropped / delivered
+    /// messages and total modeled delay — nonzero only under
+    /// [`TransportMode::Reactor`] (and only the delivered/offered columns
+    /// move under [`DeliveryMode::Clocked`], where the task is a reliable
+    /// pass-through).
+    pub delivery: DeliveryStatsSnapshot,
 }
 
 /// A combined statistics snapshot of the whole system.
@@ -86,27 +110,44 @@ impl TCacheSystem {
         db: Arc<Database>,
         caches: Vec<Arc<EdgeCache>>,
         fanout: InvalidationFanout,
-        tick: SimDuration,
-        mode: TransportMode,
-        pipe_capacity: usize,
-        overflow_policy: OverflowPolicy,
+        wiring: SystemWiring,
     ) -> Self {
         assert!(!caches.is_empty(), "a system needs at least one cache");
         debug_assert_eq!(caches.len(), fanout.cache_count());
-        let reactor = match mode {
+        debug_assert_eq!(caches.len(), wiring.models.len());
+        let reactor = match wiring.mode {
             TransportMode::Threaded => None,
-            TransportMode::Reactor => {
-                Some(ReactorPlane::new(&caches, pipe_capacity, overflow_policy))
-            }
+            TransportMode::Reactor => Some(ReactorPlane::new(
+                &caches,
+                wiring.pipe_capacity,
+                wiring.overflow_policy,
+                &wiring.models,
+                wiring.seed,
+            )),
         };
+        if wiring.delivery == DeliveryMode::Modeled {
+            // The live plane: wire the database's commit-path upcall (§IV)
+            // straight into each cache's delivery pipe. The reactor task on
+            // the other end applies the cache's loss / latency models.
+            let plane = reactor
+                .as_ref()
+                .expect("builder enforces Reactor transport for modeled delivery");
+            for (index, cache) in caches.iter().enumerate() {
+                db.register_reporting_invalidation_upcall(
+                    cache.id(),
+                    modeled_delivery_sink(cache.id(), plane.sender(index)),
+                );
+            }
+        }
         TCacheSystem {
             db,
             caches,
             fanout: Mutex::new(fanout),
             clock: Mutex::new(SimTime::ZERO),
-            tick,
+            tick: wiring.tick,
             next_txn: AtomicU64::new(1),
-            mode,
+            mode: wiring.mode,
+            delivery: wiring.delivery,
             reactor,
         }
     }
@@ -114,6 +155,11 @@ impl TCacheSystem {
     /// The transport mode this system was built with.
     pub fn transport_mode(&self) -> TransportMode {
         self.mode
+    }
+
+    /// The delivery mode this system was built with.
+    pub fn delivery_mode(&self) -> DeliveryMode {
+        self.delivery
     }
 
     /// Loads objects into the backend database at their initial version.
@@ -169,6 +215,13 @@ impl TCacheSystem {
             *clock += duration;
             *clock
         };
+        // Modeled delivery never routes through the discrete-event fanout
+        // (the commit path feeds the pipes directly and the delivery tasks
+        // run the clock-free link models), so there is nothing to deliver
+        // — skip the fanout lock on this per-operation path entirely.
+        if self.delivery == DeliveryMode::Modeled {
+            return;
+        }
         let due = self.fanout.lock().due(now);
         match &self.reactor {
             None => {
@@ -209,19 +262,27 @@ impl TCacheSystem {
     }
 
     /// Waits until every unpaused cache's apply pipe is drained and its
-    /// reactor task is idle. A no-op (trivially `true`) in
-    /// [`TransportMode::Threaded`]. Returns `false` on timeout.
-    pub fn quiesce(&self, timeout: Duration) -> bool {
+    /// reactor task is idle (in-flight modeled delays included), returning
+    /// whether the reactor settled before `timeout`.
+    ///
+    /// # Errors
+    /// Returns [`TCacheError::UnsupportedTransport`] in
+    /// [`TransportMode::Threaded`], which has no reactor to quiesce —
+    /// distinguishing "nothing to wait for because deliveries are
+    /// synchronous" from "the reactor settled" used to hide wiring bugs
+    /// behind a silent `true`.
+    pub fn quiesce(&self, timeout: Duration) -> TCacheResult<bool> {
         match &self.reactor {
-            None => true,
-            Some(plane) => plane.quiesce(timeout),
+            None => Err(TCacheError::UnsupportedTransport {
+                operation: "quiesce (no reactor under TransportMode::Threaded)",
+            }),
+            Some(plane) => Ok(plane.quiesce(timeout)),
         }
     }
 
     /// Pauses or resumes one cache's reactor apply task, modelling a slow
     /// or wedged edge cache: its pipe backs up and the overflow policy
-    /// takes over. Returns `false` if `cache` is unknown or the system is
-    /// not in [`TransportMode::Reactor`].
+    /// takes over.
     ///
     /// **Caution:** with a bounded pipe under [`OverflowPolicy::Block`],
     /// backpressure is *hard* — once the paused cache's pipe fills, the
@@ -229,14 +290,24 @@ impl TCacheSystem {
     /// [`TCacheSystem::advance_time`] until the cache is resumed. Resume
     /// from another thread, or use a drop policy when wedging a cache on
     /// the thread that also publishes.
-    pub fn pause_cache(&self, cache: CacheId, paused: bool) -> bool {
-        match &self.reactor {
-            Some(plane) if (cache.0 as usize) < self.caches.len() => {
-                plane.set_paused(cache.0 as usize, paused);
-                true
-            }
-            _ => false,
+    ///
+    /// # Errors
+    /// Returns [`TCacheError::UnsupportedTransport`] in
+    /// [`TransportMode::Threaded`] (there is no apply task to pause) and
+    /// [`TCacheError::UnknownCache`] if `cache` is not deployed, so
+    /// callers can tell "no reactor" from "no such cache".
+    pub fn pause_cache(&self, cache: CacheId, paused: bool) -> TCacheResult<()> {
+        let plane = self
+            .reactor
+            .as_ref()
+            .ok_or(TCacheError::UnsupportedTransport {
+                operation: "pause_cache (no reactor under TransportMode::Threaded)",
+            })?;
+        if (cache.0 as usize) >= self.caches.len() {
+            return Err(TCacheError::UnknownCache(cache));
         }
+        plane.set_paused(cache.0 as usize, paused);
+        Ok(())
     }
 
     /// Whether a cache's reactor apply task is paused (always `false` in
@@ -299,7 +370,15 @@ impl TCacheSystem {
     /// channel. [`TCacheSystem::update`] does this automatically; call it
     /// directly for update transactions executed against
     /// [`TCacheSystem::database`] by hand.
+    ///
+    /// Under [`DeliveryMode::Modeled`] this is a no-op: the database's
+    /// registered upcalls already pushed the batch into every cache's
+    /// delivery pipe at commit time, so publishing it again here would
+    /// deliver everything twice.
     pub fn publish_invalidations(&self, commit: &tcache_db::UpdateCommit) {
+        if self.delivery == DeliveryMode::Modeled {
+            return;
+        }
         let now = self.now();
         self.fanout
             .lock()
@@ -371,15 +450,54 @@ impl TCacheSystem {
 
     /// A combined statistics snapshot: aggregates over every cache plus the
     /// per-cache breakdown.
+    ///
+    /// Under [`DeliveryMode::Modeled`] the per-cache [`ChannelStats`] view
+    /// is synthesized from the publisher's and the delivery task's
+    /// counters (`sent` = invalidations the commit path offered, `dropped`
+    /// = loss-model drops in the reactor task, `delivered` = applications,
+    /// overflow/stalls from the pipe's policy), so experiment plumbing
+    /// reads the same link statistics on either delivery plane.
     pub fn stats(&self) -> SystemStats {
-        let channel_stats = self.fanout.lock().stats();
+        // The idle discrete-event fanout is not even consulted in Modeled
+        // mode; its channel view is synthesized below instead.
+        let channel_stats = match self.delivery {
+            DeliveryMode::Clocked => Some(self.fanout.lock().stats()),
+            DeliveryMode::Modeled => None,
+        };
+        let publish_stats = (self.delivery == DeliveryMode::Modeled)
+            .then(|| self.db.publish_stats());
         let per_cache: Vec<CacheNodeStats> = self
             .caches
             .iter()
             .enumerate()
-            .zip(channel_stats)
-            .map(|((index, cache), (channel_id, channel))| {
-                debug_assert_eq!(cache.id(), channel_id);
+            .map(|(index, cache)| {
+                let delivery = self
+                    .reactor
+                    .as_ref()
+                    .map(|p| p.delivery_stats(index))
+                    .unwrap_or_default();
+                let channel = match (&channel_stats, &publish_stats) {
+                    (Some(channels), _) => {
+                        let (channel_id, channel) = channels[index];
+                        debug_assert_eq!(cache.id(), channel_id);
+                        channel
+                    }
+                    (None, Some(publishes)) => {
+                        let publish = publishes
+                            .iter()
+                            .find(|(id, _)| *id == cache.id())
+                            .map(|&(_, stats)| stats)
+                            .unwrap_or_default();
+                        ChannelStats {
+                            sent: publish.invalidations,
+                            dropped: delivery.dropped,
+                            delivered: delivery.delivered,
+                            overflowed: publish.overflowed,
+                            stalled: publish.stalled_publishes,
+                        }
+                    }
+                    (None, None) => unreachable!("one channel source per delivery mode"),
+                };
                 CacheNodeStats {
                     id: cache.id(),
                     cache: cache.stats(),
@@ -389,6 +507,7 @@ impl TCacheSystem {
                         .as_ref()
                         .map(|p| p.pipe_stats(index))
                         .unwrap_or_default(),
+                    delivery,
                 }
             })
             .collect();
@@ -560,7 +679,7 @@ mod tests {
         let reactor = system.reactor_stats().expect("reactor mode");
         assert_eq!(reactor.spawned, 4);
         assert!(reactor.wakes > 0);
-        assert!(system.quiesce(std::time::Duration::from_secs(1)));
+        assert!(system.quiesce(std::time::Duration::from_secs(1)).unwrap());
         assert_eq!(system.quiesce_timeouts(), 0);
     }
 
@@ -568,12 +687,40 @@ mod tests {
     fn threaded_mode_has_no_reactor_surface() {
         let system = small_system(0.0);
         assert_eq!(system.transport_mode(), TransportMode::Threaded);
+        assert_eq!(
+            system.delivery_mode(),
+            crate::transport::DeliveryMode::Clocked
+        );
         assert!(system.reactor_stats().is_none());
         assert!(system.reactor_applied(CacheId(0)).is_none());
-        assert!(!system.pause_cache(CacheId(0), true));
+        // Threaded mode has neither apply tasks to pause nor a reactor to
+        // quiesce, and says so instead of silently answering `false`/`true`.
+        assert!(matches!(
+            system.pause_cache(CacheId(0), true),
+            Err(TCacheError::UnsupportedTransport { .. })
+        ));
+        assert!(matches!(
+            system.quiesce(std::time::Duration::from_millis(1)),
+            Err(TCacheError::UnsupportedTransport { .. })
+        ));
         assert!(!system.is_cache_paused(CacheId(0)));
-        assert!(system.quiesce(std::time::Duration::from_millis(1)));
         assert_eq!(system.stats().per_cache[0].pipe, Default::default());
+        assert_eq!(system.stats().per_cache[0].delivery, Default::default());
+    }
+
+    #[test]
+    fn pause_cache_distinguishes_unknown_cache_from_missing_reactor() {
+        let system = SystemBuilder::new()
+            .caches(2)
+            .transport(TransportMode::Reactor)
+            .build();
+        assert!(system.pause_cache(CacheId(1), true).is_ok());
+        assert!(system.is_cache_paused(CacheId(1)));
+        assert!(system.pause_cache(CacheId(1), false).is_ok());
+        assert_eq!(
+            system.pause_cache(CacheId(9), true),
+            Err(TCacheError::UnknownCache(CacheId(9)))
+        );
     }
 
     #[test]

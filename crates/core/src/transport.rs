@@ -15,14 +15,31 @@
 //!   up, and the overflow policy decides what that backlog costs: blocked
 //!   commits ([`OverflowPolicy::Block`]) or bounded staleness
 //!   ([`OverflowPolicy::DropOldest`] / [`OverflowPolicy::DropNewest`]).
+//!
+//! Orthogonally, [`DeliveryMode`] selects *where* the unreliable-link
+//! model runs:
+//!
+//! * [`DeliveryMode::Clocked`] (the default): the per-cache discrete-event
+//!   channels ([`tcache_net::fanout`]) drop and delay messages in virtual
+//!   time; [`advance_time`](crate::system::TCacheSystem::advance_time)
+//!   pushes the deliveries that became due into the caches (directly in
+//!   threaded mode, through the pipes in reactor mode).
+//! * [`DeliveryMode::Modeled`] (requires [`TransportMode::Reactor`]): the
+//!   database's invalidation upcalls feed each cache's pipe directly at
+//!   commit time, and the cache's reactor task applies the loss / latency
+//!   models itself in wall-clock time ([`tcache_net::delivery`]). This is
+//!   the live execution plane: no virtual clock is involved in delivery.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tcache_cache::EdgeCache;
 use tcache_db::Invalidation;
+use tcache_net::delivery::{run_delivery, DeliveryCounters, DeliveryModel, DeliveryStatsSnapshot, DeliveryTask};
 use tcache_net::pipe::{bounded_pipe, OverflowPolicy, PipeSender, PipeStatsSnapshot};
 use tcache_net::reactor::{Reactor, ReactorHandle, ReactorStats};
+use tcache_types::seeding::{cache_channel_seed, cache_delay_seed};
+use tcache_types::CacheId;
 
 /// How a [`TCacheSystem`](crate::system::TCacheSystem) applies delivered
 /// invalidations to its caches.
@@ -37,12 +54,30 @@ pub enum TransportMode {
     Reactor,
 }
 
+/// Where the unreliable-link model (loss and latency) of the invalidation
+/// channels runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// The discrete-event channels drop/delay messages in virtual time and
+    /// `advance_time` delivers what became due. The historical behaviour.
+    #[default]
+    Clocked,
+    /// The database's commit-path upcalls enqueue invalidations directly
+    /// onto each cache's pipe, and the cache's reactor task applies its
+    /// own seeded loss / latency models in wall-clock time. Requires
+    /// [`TransportMode::Reactor`].
+    Modeled,
+}
+
 /// One reactor thread hosting every cache's invalidation-apply task, fed by
-/// per-cache bounded pipes.
+/// per-cache bounded pipes. Under [`DeliveryMode::Modeled`] each task also
+/// runs its cache's loss / latency models ([`tcache_net::delivery`]);
+/// under [`DeliveryMode::Clocked`] the tasks apply reliably and the
+/// discrete-event channels upstream decide what arrives.
 pub(crate) struct ReactorPlane {
     pipes: Vec<PipeSender<Invalidation>>,
-    /// Per-cache count of invalidations the reactor task has applied.
-    applied: Vec<Arc<AtomicU64>>,
+    /// Per-cache delivery counters (offered / dropped / delivered / delay).
+    counters: Vec<Arc<DeliveryCounters>>,
     /// Per-cache pause flags: a paused task applies nothing further — at
     /// most one already-dequeued message is held in limbo while the rest
     /// of the backlog stays in the pipe — modelling a slow or wedged edge
@@ -65,43 +100,45 @@ impl std::fmt::Debug for ReactorPlane {
 }
 
 impl ReactorPlane {
-    /// Builds the plane: one pipe + one reactor task per cache, all tasks
-    /// multiplexed on a single spawned reactor thread.
+    /// Builds the plane: one pipe + one delivery task per cache, all tasks
+    /// multiplexed on a single spawned reactor thread. `models[i]` is the
+    /// link model cache `i`'s task applies (pass
+    /// [`DeliveryModel::reliable`] for every cache to reproduce the
+    /// clocked plane's pass-through behaviour); the task's loss and delay
+    /// RNG streams are derived from `(run_seed, CacheId)`.
     pub(crate) fn new(
         caches: &[Arc<EdgeCache>],
         capacity: usize,
         policy: OverflowPolicy,
+        models: &[DeliveryModel],
+        run_seed: u64,
     ) -> Self {
+        debug_assert_eq!(caches.len(), models.len());
         let mut reactor = Reactor::new();
         let timer = reactor.timer();
         let mut pipes = Vec::with_capacity(caches.len());
-        let mut applied = Vec::with_capacity(caches.len());
+        let mut counters = Vec::with_capacity(caches.len());
         let mut paused = Vec::with_capacity(caches.len());
-        for cache in caches {
+        for (cache, model) in caches.iter().zip(models) {
             let (tx, rx) = bounded_pipe::<Invalidation>(capacity, policy);
-            let applied_count = Arc::new(AtomicU64::new(0));
+            let task_counters = Arc::new(DeliveryCounters::default());
             let pause_flag = Arc::new(AtomicBool::new(false));
-            let cache = Arc::clone(cache);
-            let task_applied = Arc::clone(&applied_count);
-            let task_paused = Arc::clone(&pause_flag);
-            let task_timer = timer.clone();
-            reactor.spawn(async move {
-                while let Some(inv) = rx.recv_async().await {
-                    // A paused cache applies nothing: a message already
-                    // pulled off the pipe is held here (the rest of the
-                    // backlog stays in the pipe, where the overflow policy
-                    // governs it) until resume. Polling keeps the task
-                    // machinery simple — pause is a modeling facility, and
-                    // a 1 ms cycle is cheap while bounding resume latency.
-                    while task_paused.load(Ordering::Acquire) {
-                        task_timer.sleep(Duration::from_millis(1)).await;
-                    }
-                    cache.apply_invalidation(inv);
-                    task_applied.fetch_add(1, Ordering::Release);
-                }
-            });
+            let id = cache.id();
+            let task_cache = Arc::clone(cache);
+            reactor.spawn(run_delivery(
+                rx,
+                timer.clone(),
+                DeliveryTask {
+                    model: *model,
+                    loss_seed: cache_channel_seed(run_seed, id),
+                    delay_seed: cache_delay_seed(run_seed, id),
+                    counters: Arc::clone(&task_counters),
+                    paused: Arc::clone(&pause_flag),
+                },
+                move |inv| task_cache.apply_invalidation(inv),
+            ));
             pipes.push(tx);
-            applied.push(applied_count);
+            counters.push(task_counters);
             paused.push(pause_flag);
         }
         let handle = reactor.handle();
@@ -111,7 +148,7 @@ impl ReactorPlane {
             .expect("spawn reactor thread");
         ReactorPlane {
             pipes,
-            applied,
+            counters,
             paused,
             handle,
             thread: Some(thread),
@@ -128,8 +165,17 @@ impl ReactorPlane {
         let _ = self.pipes[cache_index].send(invalidation);
     }
 
+    /// A clone of `cache_index`'s pipe sender, for wiring the database's
+    /// invalidation upcall straight into the cache's delivery task
+    /// ([`DeliveryMode::Modeled`]).
+    pub(crate) fn sender(&self, cache_index: usize) -> PipeSender<Invalidation> {
+        self.pipes[cache_index].clone()
+    }
+
     /// Waits until every *unpaused* cache's pipe is drained and its task has
-    /// finished applying (paused caches keep their backlog by design).
+    /// finished processing (paused caches keep their backlog by design).
+    /// A message the task popped but is still sleeping a modeled delay on
+    /// counts as unprocessed, so modeled in-flight delays are waited out.
     /// Returns `false` on timeout.
     pub(crate) fn quiesce(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
@@ -138,8 +184,7 @@ impl ReactorPlane {
             let settled = (0..self.pipes.len()).all(|i| {
                 self.paused[i].load(Ordering::Acquire) || {
                     let pipe = &self.pipes[i];
-                    pipe.is_empty()
-                        && self.applied[i].load(Ordering::Acquire) == pipe.stats().received
+                    pipe.is_empty() && self.counters[i].processed() == pipe.stats().received
                 }
             });
             if settled {
@@ -175,9 +220,15 @@ impl ReactorPlane {
         self.pipes[cache_index].stats()
     }
 
+    /// One cache's delivery-task counters (offered / dropped / delivered /
+    /// modeled delay).
+    pub(crate) fn delivery_stats(&self, cache_index: usize) -> DeliveryStatsSnapshot {
+        self.counters[cache_index].snapshot()
+    }
+
     /// Invalidations applied by one cache's reactor task so far.
     pub(crate) fn applied(&self, cache_index: usize) -> u64 {
-        self.applied[cache_index].load(Ordering::Acquire)
+        self.counters[cache_index].snapshot().delivered
     }
 
     /// Records that an `advance_time` quiesce wait timed out.
@@ -208,4 +259,40 @@ impl Drop for ReactorPlane {
             let _ = thread.join();
         }
     }
+}
+
+/// Builds the per-cache invalidation upcall sink that feeds `sender`'s
+/// pipe from the database's commit path ([`DeliveryMode::Modeled`]): every
+/// invalidation of a published batch is enqueued individually, and the
+/// pipe's overflow / stall behaviour is reported back so the publisher can
+/// attribute what the commit paid. Used by the builder; `cache` only
+/// documents the wiring.
+pub(crate) fn modeled_delivery_sink(
+    _cache: CacheId,
+    sender: PipeSender<Invalidation>,
+) -> tcache_db::ReportingSink {
+    Box::new(move |batch| {
+        let mut report = tcache_db::SinkReport::default();
+        for &inv in batch.iter() {
+            // Try the non-blocking path first so a Block pipe's
+            // backpressure is visible as a stall before we wait it out.
+            let outcome = match sender.try_send(inv) {
+                Ok(outcome) => Some(outcome),
+                Err(tcache_net::pipe::PipeSendError::Full(inv)) => {
+                    report.stalled = true;
+                    sender.send(inv).ok()
+                }
+                Err(tcache_net::pipe::PipeSendError::Disconnected(_)) => None,
+            };
+            if let Some(outcome) = outcome {
+                if outcome.was_enqueued() {
+                    report.enqueued += 1;
+                }
+                if outcome.lost_a_message() {
+                    report.overflowed += 1;
+                }
+            }
+        }
+        report
+    })
 }

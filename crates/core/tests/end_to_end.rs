@@ -2,7 +2,7 @@
 //! cache, monitor and harness.
 
 use tcache::prelude::*;
-use tcache::sim::experiment::{CacheKind, ExperimentConfig, WorkloadKind};
+use tcache_sim::experiment::{CacheKind, ExperimentConfig, WorkloadKind};
 use tcache::types::{ObjectId, SimDuration, Strategy};
 use tcache::workload::graph::GraphKind;
 

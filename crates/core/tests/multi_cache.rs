@@ -8,10 +8,12 @@ use tcache::SystemBuilder;
 use tcache_cache::EdgeCache;
 use tcache_db::{Database, DatabaseConfig};
 use tcache_monitor::{ConsistencyMonitor, MonitorReport};
+use tcache_net::delivery::{run_delivery, DeliveryCounters, DeliveryModel, DeliveryTask};
+use tcache_net::reactor::Reactor;
 use tcache_net::{live_channel, LossModel};
 use tcache_types::{
-    cache_channel_seed, CacheId, ObjectId, SimTime, Strategy, TCacheError, TransactionRecord,
-    TxnId, Value, Version,
+    cache_channel_seed, cache_delay_seed, CacheId, ObjectId, SimDuration, SimTime, Strategy,
+    TCacheError, TransactionRecord, TxnId, Value, Version,
 };
 
 const OBJECTS: u64 = 50;
@@ -104,38 +106,62 @@ fn invalidations_addressed_to_one_cache_never_mutate_another() {
     }
 }
 
-/// The live (threaded) pipeline end to end: each cache registers an
-/// invalidation upcall with the database that feeds its own `LiveSender`
-/// (seeded from `(run_seed, CacheId)`); committed updates fan out to every
-/// cache's receiver, and a lossy link affects only its own cache.
+/// The live pipeline end to end: each cache registers an invalidation
+/// upcall with the database that feeds its own reliable `LiveSender`;
+/// committed updates fan out to every cache's receiver, and the per-cache
+/// *loss* is applied by that cache's reactor delivery task (seeded from
+/// `(run_seed, CacheId)`), so a lossy link affects only its own cache.
 #[test]
 fn live_transport_fans_out_via_database_upcalls() {
     let db = Arc::new(Database::new(DatabaseConfig::with_bound(3)));
     db.populate((0..OBJECTS).map(|i| (ObjectId(i), Value::new(0))));
     let losses = [LossModel::None, LossModel::Uniform(1.0)];
-    let receivers: Vec<_> = losses
+    let mut reactor = Reactor::new();
+    let timer = reactor.timer();
+    let counters: Vec<Arc<DeliveryCounters>> = losses
         .iter()
         .enumerate()
         .map(|(i, &loss)| {
             let cache = CacheId(i as u32);
-            let (tx, rx) = live_channel(loss, cache_channel_seed(9, cache));
+            let (tx, rx) = live_channel();
             db.register_invalidation_upcall(
                 cache,
                 Box::new(move |batch| {
                     tx.send(batch.iter().copied());
                 }),
             );
-            rx
+            let task_counters = Arc::new(DeliveryCounters::default());
+            reactor.spawn(run_delivery(
+                rx.into_pipe_receiver(),
+                timer.clone(),
+                DeliveryTask {
+                    model: DeliveryModel {
+                        loss,
+                        latency: tcache_net::LatencyModel::Constant(SimDuration::ZERO),
+                    },
+                    loss_seed: cache_channel_seed(9, cache),
+                    delay_seed: cache_delay_seed(9, cache),
+                    counters: Arc::clone(&task_counters),
+                    paused: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+                },
+                |_| {},
+            ));
+            task_counters
         })
         .collect();
     for round in 0..10u64 {
         db.execute_update(TxnId(round + 1), &vec![round, round + 1].into())
             .unwrap();
     }
-    // The reliable cache's receiver got every invalidation; the fully lossy
-    // one got none — the loss process is per cache, not shared.
-    assert_eq!(receivers[0].drain().len(), 20);
-    assert!(receivers[1].drain().is_empty());
+    db.unregister_invalidation_upcall(CacheId(0));
+    db.unregister_invalidation_upcall(CacheId(1));
+    reactor.run(); // Senders dropped: tasks drain and complete.
+
+    // The reliable cache's task applied every invalidation; the fully lossy
+    // one dropped all of them — the loss process is per cache, not shared.
+    assert_eq!(counters[0].snapshot().delivered, 20);
+    assert_eq!(counters[1].snapshot().delivered, 0);
+    assert_eq!(counters[1].snapshot().dropped, 20);
     // Applying the delivered invalidations is exactly the cache upcall loop.
     let cache = EdgeCache::tcache(CacheId(0), Arc::clone(&db), 3, Strategy::Abort);
     cache.read(SimTime::ZERO, TxnId(100), ObjectId(0), true).unwrap();

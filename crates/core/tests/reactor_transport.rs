@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use tcache::{SystemBuilder, TCacheSystem, TransportMode};
+use tcache::{DeliveryMode, SystemBuilder, TCacheSystem, TransportMode};
 use tcache_monitor::{ConsistencyMonitor, TransactionClass};
 use tcache_net::pipe::OverflowPolicy;
 use tcache_types::{
@@ -82,7 +82,7 @@ fn reactor_hosts_four_caches_with_per_cache_isolation() {
     for reader in readers {
         reader.join().unwrap();
     }
-    assert!(system.quiesce(Duration::from_secs(5)));
+    assert!(system.quiesce(Duration::from_secs(5)).unwrap());
 
     let stats = system.stats();
     // Cache 0's reactor task applied the invalidations…
@@ -120,10 +120,10 @@ fn stalled_reactor_task_never_blocks_commits_under_drop_oldest() {
     for o in 0..OBJECTS {
         system.read_on(CacheId(0), ObjectId(o)).unwrap();
     }
-    assert!(system.quiesce(Duration::from_secs(5)));
+    assert!(system.quiesce(Duration::from_secs(5)).unwrap());
     let applied_before = system.reactor_applied(CacheId(0)).unwrap();
 
-    assert!(system.pause_cache(CacheId(0), true));
+    system.pause_cache(CacheId(0), true).unwrap();
     assert!(system.is_cache_paused(CacheId(0)));
 
     // 100 updates × 2 invalidations each flow at cache 0's wedged pipe.
@@ -147,13 +147,13 @@ fn stalled_reactor_task_never_blocks_commits_under_drop_oldest() {
     );
     assert!(pipe.enqueued - pipe.evicted - pipe.received <= capacity as u64);
     // Quiescence skips the paused cache, so the system still settles.
-    assert!(system.quiesce(Duration::from_secs(5)));
+    assert!(system.quiesce(Duration::from_secs(5)).unwrap());
     // Cache 1 (unpaused) applied everything that survived its channel.
     assert!(system.reactor_applied(CacheId(1)).unwrap() >= 200);
 
     // Resuming drains the bounded backlog.
-    assert!(system.pause_cache(CacheId(0), false));
-    assert!(system.quiesce(Duration::from_secs(5)));
+    system.pause_cache(CacheId(0), false).unwrap();
+    assert!(system.quiesce(Duration::from_secs(5)).unwrap());
     let applied_after = system.reactor_applied(CacheId(0)).unwrap();
     assert!(
         applied_after > applied_before,
@@ -171,7 +171,7 @@ fn stalled_reactor_task_never_blocks_commits_under_drop_oldest() {
 #[test]
 fn commit_path_publish_stats_attribute_slow_pipes_per_cache() {
     use tcache_db::{Database, DatabaseConfig, SinkReport};
-    use tcache_net::{live_channel_with, LossModel, UNBOUNDED};
+    use tcache_net::{live_channel_with, UNBOUNDED};
 
     let db = Arc::new(Database::new(DatabaseConfig::with_bound(3)));
     db.populate((0..OBJECTS).map(|i| (ObjectId(i), Value::new(0))));
@@ -181,8 +181,7 @@ fn commit_path_publish_stats_attribute_slow_pipes_per_cache() {
     // up in the publisher's books.
     let mut receivers = Vec::new();
     for (i, capacity) in [(0u32, UNBOUNDED), (1u32, 2)] {
-        let (tx, rx) =
-            live_channel_with(LossModel::None, 7, capacity, OverflowPolicy::DropOldest);
+        let (tx, rx) = live_channel_with(capacity, OverflowPolicy::DropOldest);
         receivers.push(rx);
         db.register_reporting_invalidation_upcall(
             CacheId(i),
@@ -218,6 +217,94 @@ fn commit_path_publish_stats_attribute_slow_pipes_per_cache() {
     assert!(slow.publish_nanos > 0, "publish time is accounted");
     assert_eq!(receivers[1].drain().len(), 2);
     assert_eq!(receivers[0].drain().len(), 30);
+}
+
+/// Modeled delivery end to end through the system facade: commits publish
+/// through the database's upcalls straight into the reactor pipes, the
+/// delivery tasks apply per-cache seeded loss, and `SystemStats`
+/// synthesizes the channel view from the publisher + delivery counters.
+#[test]
+fn modeled_delivery_applies_per_cache_loss_in_the_reactor() {
+    let system = SystemBuilder::new()
+        .dependency_bound(3)
+        .strategy(Strategy::Abort)
+        .cache_loss_rates(vec![0.0, 1.0])
+        .transport(TransportMode::Reactor)
+        .delivery(DeliveryMode::Modeled)
+        .seed(9)
+        .build();
+    assert_eq!(system.delivery_mode(), DeliveryMode::Modeled);
+    system.populate((0..OBJECTS).map(|i| (ObjectId(i), Value::new(0))));
+
+    // Warm both caches, then update: cache 0's entry must be invalidated,
+    // cache 1's (100% loss in its delivery task) must stay stale.
+    system.read_on(CacheId(0), ObjectId(1)).unwrap();
+    system.read_on(CacheId(1), ObjectId(1)).unwrap();
+    let v = system.update(&[ObjectId(1)]).unwrap();
+    assert!(system.quiesce(Duration::from_secs(5)).unwrap());
+    assert_eq!(system.read_on(CacheId(0), ObjectId(1)).unwrap().version, v);
+    assert_eq!(
+        system.read_on(CacheId(1), ObjectId(1)).unwrap().version,
+        Version::INITIAL,
+        "cache 1's delivery task drops everything, its entry stays stale"
+    );
+
+    let stats = system.stats();
+    // The synthesized channel view: both caches were offered the send,
+    // cache 0 delivered it, cache 1's task dropped it.
+    assert_eq!(stats.per_cache[0].channel.sent, 1);
+    assert_eq!(stats.per_cache[0].channel.dropped, 0);
+    assert_eq!(stats.per_cache[0].channel.delivered, 1);
+    assert_eq!(stats.per_cache[1].channel.sent, 1);
+    assert_eq!(stats.per_cache[1].channel.dropped, 1);
+    assert_eq!(stats.per_cache[1].channel.delivered, 0);
+    // Delivery-task counters surface per cache too.
+    assert_eq!(stats.per_cache[0].delivery.delivered, 1);
+    assert_eq!(stats.per_cache[1].delivery.dropped, 1);
+    assert_eq!(stats.channel.sent, 2);
+    // The database publisher fed the pipes on the commit path.
+    let publishes = system.database().publish_stats();
+    assert_eq!(publishes.len(), 2);
+    assert!(publishes.iter().all(|(_, p)| p.batches == 1 && p.enqueued == 1));
+}
+
+/// Modeled delivery with a nonzero constant latency: the update returns
+/// before the invalidation lands (asynchrony is real), and quiescing waits
+/// the in-flight modeled delay out, which shows up in the delay counters.
+#[test]
+fn modeled_delivery_sleeps_the_configured_latency() {
+    use tcache_net::delivery::DeliveryModel;
+    let system = SystemBuilder::new()
+        .dependency_bound(3)
+        .transport(TransportMode::Reactor)
+        .delivery(DeliveryMode::Modeled)
+        .delivery_models(vec![DeliveryModel::uniform(
+            0.0,
+            SimDuration::from_millis(30),
+        )])
+        .seed(9)
+        .build();
+    system.populate((0..OBJECTS).map(|i| (ObjectId(i), Value::new(0))));
+    system.read_on(CacheId(0), ObjectId(1)).unwrap();
+    let started = std::time::Instant::now();
+    system.update(&[ObjectId(1)]).unwrap();
+    assert!(system.quiesce(Duration::from_secs(5)).unwrap());
+    assert!(
+        started.elapsed() >= Duration::from_millis(30),
+        "quiesce must wait out the modeled in-flight delay"
+    );
+    let delivery = system.stats().per_cache[0].delivery;
+    assert_eq!(delivery.delivered, 1);
+    assert_eq!(delivery.delay_micros, 30_000);
+}
+
+#[test]
+#[should_panic(expected = "modeled delivery requires TransportMode::Reactor")]
+fn modeled_delivery_without_a_reactor_is_rejected() {
+    let _ = SystemBuilder::new()
+        .delivery(DeliveryMode::Modeled)
+        .transport(TransportMode::Threaded)
+        .build();
 }
 
 /// Driving the same seeded script through a threaded and a reactor system

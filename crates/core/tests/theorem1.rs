@@ -5,7 +5,7 @@
 //! channel is.
 
 use proptest::prelude::*;
-use tcache::sim::experiment::{CacheKind, ExperimentConfig, WorkloadKind};
+use tcache_sim::experiment::{CacheKind, ExperimentConfig, WorkloadKind};
 use tcache::types::Strategy as CacheStrategy;
 use tcache::types::{ObjectId, SimDuration, SimTime, TransactionRecord, TxnId, Value};
 use tcache::{ReadOutcome, SystemBuilder};

@@ -21,13 +21,17 @@
 //! * [`reactor`] — a hand-rolled single-threaded reactor (ready queue,
 //!   parked-task table, timer wheel) that multiplexes many caches' pipes
 //!   in one event loop;
-//! * [`transport`] — a live transport over [`pipe`] for the prototype
-//!   mode, applying the same loss model.
+//! * [`delivery`] — the live plane's link model: per-cache reactor tasks
+//!   applying the same loss / latency models in wall-clock time, with
+//!   seeds derived from `(run_seed, CacheId)`;
+//! * [`transport`] — a reliable live queue over [`pipe`] for the prototype
+//!   mode (the link's unreliability lives in [`delivery`]).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod channel;
+pub mod delivery;
 pub mod fanout;
 pub mod fault;
 pub mod latency;
@@ -36,6 +40,7 @@ pub mod reactor;
 pub mod transport;
 
 pub use channel::{InvalidationChannel, PendingDelivery};
+pub use delivery::{run_delivery, DeliveryCounters, DeliveryModel, DeliveryStatsSnapshot, DeliveryTask};
 pub use fanout::{CacheLink, InvalidationFanout};
 pub use fault::LossModel;
 pub use latency::LatencyModel;

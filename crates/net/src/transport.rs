@@ -1,28 +1,32 @@
 //! Live transport for the prototype mode.
 //!
-//! The discrete-event channel in [`crate::channel`] is what the experiment
+//! The discrete-event channel in [`crate::channel`] is what the simulation
 //! harness uses; this module provides the equivalent building block for a
 //! live deployment where the database and the cache run on separate threads
 //! (or share one reactor thread, see [`crate::reactor`]) and invalidations
-//! flow over a real queue. The same [`LossModel`] is applied at the sending
-//! side, so the cache observes the same unreliable behaviour.
+//! flow over a real queue.
 //!
-//! The queue underneath is a bounded pipe ([`BoundedPipe`]): [`live_channel`] keeps the
-//! historical unbounded shape, [`live_channel_with`] bounds the pipe and
-//! picks an [`OverflowPolicy`], which is how a live deployment gets
+//! The queue underneath is a bounded pipe ([`BoundedPipe`]): [`live_channel`]
+//! keeps the historical unbounded shape, [`live_channel_with`] bounds the
+//! pipe and picks an [`OverflowPolicy`], which is how a live deployment gets
 //! backpressure (or bounded staleness) instead of an ever-growing queue
 //! behind a slow cache.
 //!
+//! The channel itself is *reliable*: it transports every message the
+//! publisher enqueues (modulo the pipe's overflow policy). The unreliable
+//! behaviour of the paper's invalidation links — loss and delay — is
+//! modeled at the receiving end by the reactor delivery tasks
+//! ([`crate::delivery`]), which draw per-cache seeded drop decisions and
+//! sleep sampled delays before applying. Earlier revisions drew loss
+//! decisions inline in the sender; that path is gone — one model, one
+//! place.
+//!
 //! [`BoundedPipe`]: crate::pipe::bounded_pipe
 
-use crate::fault::{LossModel, LossState};
 use crate::pipe::{
     bounded_pipe, OverflowPolicy, PipeReceiver, PipeSender, PipeStatsSnapshot, RecvFuture,
     UNBOUNDED,
 };
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tcache_db::Invalidation;
 
 /// Sending half of a live invalidation channel. Cloneable so the database
@@ -30,9 +34,6 @@ use tcache_db::Invalidation;
 #[derive(Debug, Clone)]
 pub struct LiveSender {
     tx: PipeSender<Invalidation>,
-    /// `None` for loss-free channels: the zero-loss fast path forwards
-    /// straight from the caller's iterator without touching any lock.
-    loss: Option<std::sync::Arc<Mutex<(LossState, StdRng)>>>,
 }
 
 /// Receiving half of a live invalidation channel, owned by the cache's
@@ -51,101 +52,47 @@ pub struct SendReport {
     /// Messages lost to pipe overflow: incoming messages rejected by
     /// `DropNewest` plus pending messages evicted by `DropOldest`.
     pub overflowed: usize,
-    /// Messages dropped by the loss model before reaching the pipe.
-    pub lost: usize,
 }
 
-/// Creates a connected live sender/receiver pair with the given loss model
-/// over an unbounded pipe.
-pub fn live_channel(loss: LossModel, seed: u64) -> (LiveSender, LiveReceiver) {
-    live_channel_with(loss, seed, UNBOUNDED, OverflowPolicy::Block)
+/// Creates a connected live sender/receiver pair over an unbounded pipe.
+pub fn live_channel() -> (LiveSender, LiveReceiver) {
+    live_channel_with(UNBOUNDED, OverflowPolicy::Block)
 }
 
 /// Creates a connected live sender/receiver pair whose pipe holds at most
 /// `capacity` messages, applying `policy` when full.
-pub fn live_channel_with(
-    loss: LossModel,
-    seed: u64,
-    capacity: usize,
-    policy: OverflowPolicy,
-) -> (LiveSender, LiveReceiver) {
+pub fn live_channel_with(capacity: usize, policy: OverflowPolicy) -> (LiveSender, LiveReceiver) {
     let (tx, rx) = bounded_pipe(capacity, policy);
-    let loss_state = match loss {
-        LossModel::None => None,
-        model => Some(std::sync::Arc::new(Mutex::new((
-            LossState::new(model),
-            StdRng::seed_from_u64(seed),
-        )))),
-    };
-    (
-        LiveSender {
-            tx,
-            loss: loss_state,
-        },
-        LiveReceiver { rx },
-    )
+    (LiveSender { tx }, LiveReceiver { rx })
 }
 
 impl LiveSender {
-    /// Sends a batch of invalidations, dropping each one independently
-    /// according to the loss model and applying the pipe's overflow policy.
-    /// Returns the number actually enqueued.
-    ///
-    /// Loss-free channels take a fast path that forwards straight from the
-    /// caller's iterator — no intermediate `Vec`s and no lock. Lossy
-    /// channels buffer the batch so the loss mutex protects only the drop
-    /// decisions (loss state + RNG); it is never held across the pipe sends
-    /// nor while pulling from the caller's iterator, so cloned senders on
-    /// other threads enqueue concurrently instead of serializing behind one
-    /// batch.
+    /// Sends a batch of invalidations, applying the pipe's overflow policy,
+    /// and returns the number actually enqueued. The batch flows straight
+    /// from the caller's iterator — no intermediate buffering, no locks, so
+    /// cloned senders on other threads enqueue concurrently.
     pub fn send(&self, invalidations: impl IntoIterator<Item = Invalidation>) -> usize {
         self.send_report(invalidations).enqueued
     }
 
-    /// Like [`LiveSender::send`], reporting overflow and loss alongside the
-    /// enqueued count so the publisher can attribute what happened.
+    /// Like [`LiveSender::send`], reporting overflow alongside the enqueued
+    /// count so the publisher can attribute what happened.
     pub fn send_report(&self, invalidations: impl IntoIterator<Item = Invalidation>) -> SendReport {
         let mut report = SendReport::default();
-        match &self.loss {
-            None => {
-                // Zero-loss fast path: no drop decisions to draw, so there
-                // is nothing to collect and no lock to take.
-                for inv in invalidations {
-                    self.enqueue(inv, &mut report);
+        for inv in invalidations {
+            // A send only fails if the receiver is gone, which simply means
+            // the cache has shut down — the paper's channel is best-effort,
+            // so dropping is the correct behaviour.
+            if let Ok(outcome) = self.tx.send(inv) {
+                if outcome.was_enqueued() {
+                    report.enqueued += 1;
                 }
-            }
-            Some(loss) => {
-                let batch: Vec<Invalidation> = invalidations.into_iter().collect();
-                let offered = batch.len();
-                let survivors: Vec<Invalidation> = {
-                    let mut guard = loss.lock();
-                    let (loss, rng) = &mut *guard;
-                    batch
-                        .into_iter()
-                        .filter(|_| !loss.should_drop(rng))
-                        .collect()
-                };
-                report.lost = offered - survivors.len();
-                for inv in survivors {
-                    self.enqueue(inv, &mut report);
+                if outcome.lost_a_message() {
+                    report.overflowed += 1;
                 }
             }
         }
         report
-    }
-
-    fn enqueue(&self, inv: Invalidation, report: &mut SendReport) {
-        // A send only fails if the receiver is gone, which simply means the
-        // cache has shut down — the paper's channel is best-effort, so
-        // dropping is the correct behaviour.
-        if let Ok(outcome) = self.tx.send(inv) {
-            if outcome.was_enqueued() {
-                report.enqueued += 1;
-            }
-            if outcome.lost_a_message() {
-                report.overflowed += 1;
-            }
-        }
     }
 
     /// Number of invalidations currently queued in the pipe.
@@ -187,6 +134,12 @@ impl LiveReceiver {
     pub fn pipe_stats(&self) -> PipeStatsSnapshot {
         self.rx.stats()
     }
+
+    /// Unwraps the underlying pipe receiver, e.g. to hand it to a modeled
+    /// delivery task ([`crate::delivery::run_delivery`]).
+    pub fn into_pipe_receiver(self) -> PipeReceiver<Invalidation> {
+        self.rx
+    }
 }
 
 #[cfg(test)]
@@ -199,8 +152,8 @@ mod tests {
     }
 
     #[test]
-    fn lossless_channel_delivers_everything() {
-        let (tx, rx) = live_channel(LossModel::None, 1);
+    fn channel_delivers_everything() {
+        let (tx, rx) = live_channel();
         let sent = tx.send((0..100).map(inv));
         assert_eq!(sent, 100);
         assert_eq!(rx.drain().len(), 100);
@@ -208,10 +161,9 @@ mod tests {
     }
 
     #[test]
-    fn zero_loss_fast_path_skips_the_loss_state() {
-        let (tx, rx) = live_channel(LossModel::None, 1);
-        assert!(tx.loss.is_none(), "LossModel::None must not allocate loss state");
+    fn batches_flow_straight_from_the_iterator() {
         // A one-shot iterator (not a collected Vec) flows straight through.
+        let (tx, rx) = live_channel();
         let report = tx.send_report(std::iter::from_fn({
             let mut n = 0u64;
             move || {
@@ -226,18 +178,8 @@ mod tests {
     }
 
     #[test]
-    fn lossy_channel_drops_roughly_the_configured_fraction() {
-        let (tx, rx) = live_channel(LossModel::Uniform(0.5), 9);
-        let sent = tx.send((0..10_000).map(inv));
-        let received = rx.drain().len();
-        assert_eq!(sent, received);
-        let ratio = received as f64 / 10_000.0;
-        assert!((ratio - 0.5).abs() < 0.05, "delivery ratio {ratio}");
-    }
-
-    #[test]
     fn bounded_channel_reports_overflow_per_policy() {
-        let (tx, rx) = live_channel_with(LossModel::None, 1, 3, OverflowPolicy::DropNewest);
+        let (tx, rx) = live_channel_with(3, OverflowPolicy::DropNewest);
         let report = tx.send_report((0..10).map(inv));
         assert_eq!(report.enqueued, 3);
         assert_eq!(report.overflowed, 7);
@@ -245,7 +187,7 @@ mod tests {
         let kept: Vec<_> = rx.drain().iter().map(|i| i.object).collect();
         assert_eq!(kept, vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
 
-        let (tx, rx) = live_channel_with(LossModel::None, 1, 3, OverflowPolicy::DropOldest);
+        let (tx, rx) = live_channel_with(3, OverflowPolicy::DropOldest);
         let report = tx.send_report((0..10).map(inv));
         // Every message was enqueued, but seven sends evicted a pending
         // message to make room — each one a lost invalidation, attributed.
@@ -258,26 +200,24 @@ mod tests {
 
     #[test]
     fn recv_blocks_until_message_or_disconnect() {
-        let (tx, rx) = live_channel(LossModel::None, 1);
+        let (tx, rx) = live_channel();
         let handle = std::thread::spawn(move || rx.recv());
         tx.send(vec![inv(7)]);
         let got = handle.join().unwrap();
         assert_eq!(got.map(|i| i.object), Some(ObjectId(7)));
 
-        let (tx, rx) = live_channel(LossModel::None, 1);
+        let (tx, rx) = live_channel();
         drop(tx);
         assert!(rx.recv().is_none());
     }
 
     #[test]
-    fn concurrent_sender_clones_do_not_serialize_on_the_loss_lock() {
-        // Regression test for the loss mutex being held across enqueues:
-        // sender A's input iterator yields its second item only after sender
-        // B's send has completed. When the lock was held across iteration
-        // and channel sends this deadlocked (A held the lock while waiting
-        // for B; B waited for the lock); now A's items flow straight through
-        // (zero-loss fast path) and B's send never touches a shared lock.
-        let (tx, rx) = live_channel(LossModel::None, 1);
+    fn concurrent_sender_clones_do_not_serialize() {
+        // Regression guard from the era when a loss mutex was held across
+        // enqueues: sender A's input iterator yields its second item only
+        // after sender B's send has completed. Nothing serializes the two
+        // senders, so this must complete.
+        let (tx, rx) = live_channel();
         let a = tx.clone();
         let b = tx.clone();
         let (b_done_tx, b_done_rx) = std::sync::mpsc::channel::<()>();
@@ -309,43 +249,8 @@ mod tests {
     }
 
     #[test]
-    fn lossy_senders_still_interleave_without_deadlock() {
-        // The same blocking-iterator scenario as above, but with a lossy
-        // channel whose loss mutex exists: batches are collected before the
-        // lock is taken, so the blocking iterator cannot hold the lock.
-        let (tx, rx) = live_channel(LossModel::Uniform(0.0), 1);
-        assert!(tx.loss.is_some(), "Uniform(0.0) still exercises the loss path");
-        let a = tx.clone();
-        let b = tx.clone();
-        let (b_done_tx, b_done_rx) = std::sync::mpsc::channel::<()>();
-        let handle_a = std::thread::spawn(move || {
-            let mut yielded = 0u64;
-            let blocking_iter = std::iter::from_fn(move || {
-                yielded += 1;
-                match yielded {
-                    1 => Some(inv(1)),
-                    2 => {
-                        b_done_rx.recv().expect("B completes");
-                        Some(inv(2))
-                    }
-                    _ => None,
-                }
-            });
-            a.send(blocking_iter)
-        });
-        let handle_b = std::thread::spawn(move || {
-            let sent = b.send((100..150).map(inv));
-            b_done_tx.send(()).expect("A is waiting");
-            sent
-        });
-        assert_eq!(handle_a.join().unwrap(), 2);
-        assert_eq!(handle_b.join().unwrap(), 50);
-        assert_eq!(rx.drain().len(), 52);
-    }
-
-    #[test]
     fn many_contending_clones_deliver_everything() {
-        let (tx, rx) = live_channel(LossModel::None, 5);
+        let (tx, rx) = live_channel();
         let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
         let handles: Vec<_> = (0..8u64)
             .map(|t| {
@@ -365,25 +270,8 @@ mod tests {
     }
 
     #[test]
-    fn lossy_concurrent_clones_share_the_loss_state() {
-        // The drop decisions stay centralized (one LossState + RNG), so the
-        // aggregate loss across contending clones still matches the model.
-        let (tx, rx) = live_channel(LossModel::Uniform(0.2), 11);
-        let handles: Vec<_> = (0..4u64)
-            .map(|t| {
-                let tx = tx.clone();
-                std::thread::spawn(move || tx.send((0..5_000).map(|i| inv(t * 100_000 + i))))
-            })
-            .collect();
-        let sent: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
-        assert_eq!(sent, rx.drain().len());
-        let ratio = sent as f64 / 20_000.0;
-        assert!((ratio - 0.8).abs() < 0.02, "delivery ratio {ratio}");
-    }
-
-    #[test]
     fn sender_is_cloneable_across_threads() {
-        let (tx, rx) = live_channel(LossModel::None, 1);
+        let (tx, rx) = live_channel();
         let mut handles = Vec::new();
         for t in 0..4u64 {
             let tx = tx.clone();

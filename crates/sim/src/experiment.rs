@@ -8,21 +8,18 @@
 //! transactions both globally and per cache, since cache serializability is
 //! a per-cache-server property.
 
-use crate::clients::ArrivalProcess;
-use crate::event::{Event, EventQueue};
-use crate::results::{CacheColumnResult, ExperimentResult};
+use crate::plane::ExecutionPlane;
+use crate::results::ExperimentResult;
+use crate::schedule::Schedule;
 use crate::timeseries::TimeSeries;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
-use tcache_cache::{CacheStatsSnapshot, EdgeCache};
+use tcache_cache::EdgeCache;
 use tcache_db::{Database, DatabaseConfig};
 use tcache_monitor::ConsistencyMonitor;
 use tcache_net::fanout::{CacheLink, InvalidationFanout};
 use tcache_net::pipe::OverflowPolicy;
 use tcache_types::{
-    CacheId, DependencyBound, ObjectId, SimDuration, SimTime, Strategy, TCacheError,
-    TransactionRecord, TxnId, Value,
+    CacheId, DependencyBound, ObjectId, SimDuration, SimTime, Strategy, Value,
 };
 use tcache_workload::graph::GraphKind;
 use tcache_workload::{
@@ -321,6 +318,10 @@ pub struct ExperimentConfig {
     /// Random seed (workload topology, arrivals, channel loss). Per-cache
     /// channel seeds are derived from `(seed, CacheId)`.
     pub seed: u64,
+    /// Which backend executes the run: the discrete-event simulator (the
+    /// default) or the live reactor stack (see [`crate::plane`]). The
+    /// transaction schedule is identical on both.
+    pub plane: ExecutionPlane,
 }
 
 impl Default for ExperimentConfig {
@@ -345,34 +346,39 @@ impl Default for ExperimentConfig {
             overflow_policy: OverflowPolicy::Block,
             timeseries_bin: SimDuration::from_secs(1),
             seed: 42,
+            plane: ExecutionPlane::DiscreteEvent,
         }
     }
 }
 
 impl ExperimentConfig {
-    /// Runs the experiment to completion.
+    /// Runs the experiment to completion on its configured
+    /// [`ExecutionPlane`]. The same configuration (and thus the same
+    /// transaction schedule) runs unchanged on either plane.
     pub fn run(self) -> ExperimentResult {
-        Experiment::new(self).run()
+        match self.plane {
+            ExecutionPlane::DiscreteEvent => Experiment::new(self).run(),
+            ExecutionPlane::Live(options) => crate::plane::live::run(self, options),
+        }
+    }
+
+    /// The same configuration, retargeted to another execution plane.
+    pub fn on_plane(self, plane: ExecutionPlane) -> Self {
+        ExperimentConfig { plane, ..self }
     }
 }
 
-/// A fully wired experiment, ready to run.
+/// A fully wired discrete-event experiment, ready to run.
 pub struct Experiment {
-    config: ExperimentConfig,
-    db: Arc<Database>,
+    pub(crate) config: ExperimentConfig,
+    pub(crate) db: Arc<Database>,
     /// One cache per deployed column; `caches[i].id() == CacheId(i)`.
-    caches: Vec<EdgeCache>,
+    pub(crate) caches: Vec<EdgeCache>,
     /// Configured loss rate of each cache's channel (same indexing).
-    losses: Vec<f64>,
-    /// Each cache's normalized share of the aggregate read rate.
-    client_shares: Vec<f64>,
-    fanout: InvalidationFanout,
-    monitor: ConsistencyMonitor,
-    workload: Box<dyn WorkloadGenerator>,
-    rng: StdRng,
-    queue: EventQueue,
-    timeseries: TimeSeries,
-    next_txn: u64,
+    pub(crate) losses: Vec<f64>,
+    pub(crate) fanout: InvalidationFanout,
+    pub(crate) monitor: ConsistencyMonitor,
+    pub(crate) timeseries: TimeSeries,
 }
 
 impl std::fmt::Debug for Experiment {
@@ -384,8 +390,8 @@ impl std::fmt::Debug for Experiment {
 }
 
 impl Experiment {
-    /// Builds all components (database, caches, per-cache channels, monitor,
-    /// workload) from the configuration and populates the database.
+    /// Builds all components (database, caches, per-cache channels,
+    /// monitor) from the configuration and populates the database.
     ///
     /// # Panics
     /// Panics if the configured [`CacheTopology`] deploys zero caches.
@@ -412,22 +418,15 @@ impl Experiment {
                     .with_pipe(pipe_capacity, config.overflow_policy)
             }),
         );
-        let client_shares = config.caches.client_shares();
         let timeseries = TimeSeries::new(config.timeseries_bin);
-        let rng = StdRng::seed_from_u64(config.seed.wrapping_add(2));
         Experiment {
             config,
             db,
             caches,
             losses,
-            client_shares,
             fanout,
             monitor: ConsistencyMonitor::new(),
-            workload,
-            rng,
-            queue: EventQueue::new(),
             timeseries,
-            next_txn: 1,
         }
     }
 
@@ -436,154 +435,19 @@ impl Experiment {
         &self.config
     }
 
-    fn next_txn_id(&mut self) -> TxnId {
-        let id = TxnId(self.next_txn);
-        self.next_txn += 1;
-        id
-    }
-
-    /// Runs the experiment and collects the results.
-    pub fn run(mut self) -> ExperimentResult {
-        let updates = ArrivalProcess::new(self.config.update_rate);
-        // The aggregate read rate is split over the per-cache client
-        // populations according to the topology's client shares (evenly,
-        // unless the topology is weighted), matching the paper's aggregate
-        // when N = 1. A zero-weight cache fields no clients of its own.
-        let reads: Vec<Option<ArrivalProcess>> = self
-            .client_shares
-            .iter()
-            .map(|&share| (share > 0.0).then(|| ArrivalProcess::new(self.config.read_rate * share)))
-            .collect();
-        let end = SimTime::ZERO + self.config.duration;
-
-        self.queue.schedule(
-            updates.next_arrival(SimTime::ZERO, &mut self.rng),
-            Event::UpdateTransaction,
-        );
-        for (i, process) in reads.iter().enumerate() {
-            if let Some(process) = process {
-                self.queue.schedule(
-                    process.next_arrival(SimTime::ZERO, &mut self.rng),
-                    Event::ReadOnlyTransaction(CacheId(i as u32)),
-                );
-            }
-        }
-
-        while let Some((now, event)) = self.queue.pop() {
-            if now > end {
-                break;
-            }
-            // Deliver every invalidation due by now before serving clients.
-            self.deliver_due(now);
-            match event {
-                Event::DeliverInvalidations => {}
-                Event::UpdateTransaction => {
-                    self.run_update(now);
-                    self.queue
-                        .schedule(updates.next_arrival(now, &mut self.rng), Event::UpdateTransaction);
-                }
-                Event::ReadOnlyTransaction(cache) => {
-                    self.run_read_only(now, cache);
-                    let process = reads[cache.0 as usize]
-                        .as_ref()
-                        .expect("a scheduled cache has an arrival process");
-                    self.queue.schedule(
-                        process.next_arrival(now, &mut self.rng),
-                        Event::ReadOnlyTransaction(cache),
-                    );
-                }
-            }
-        }
-
-        let per_cache: Vec<CacheColumnResult> = self
-            .caches
-            .iter()
-            .zip(self.fanout.stats())
-            .zip(&self.losses)
-            .map(|((cache, (channel_id, channel)), &loss)| {
-                debug_assert_eq!(cache.id(), channel_id);
-                CacheColumnResult {
-                    id: cache.id(),
-                    loss,
-                    report: self.monitor.cache_report(cache.id()),
-                    cache: cache.stats(),
-                    channel,
-                }
-            })
-            .collect();
-        let mut cache_total = CacheStatsSnapshot::default();
-        for column in &per_cache {
-            cache_total.merge(column.cache);
-        }
-        ExperimentResult {
-            duration: self.config.duration,
-            report: self.monitor.report(),
-            cache: cache_total,
-            db: self.db.stats(),
-            channel: self.fanout.aggregate_stats(),
-            per_cache,
-            timeseries: self.timeseries,
-        }
-    }
-
-    fn deliver_due(&mut self, now: SimTime) {
-        for (cache, invalidation) in self.fanout.due(now) {
-            self.caches[cache.0 as usize].apply_invalidation(invalidation);
-        }
-    }
-
-    fn run_update(&mut self, now: SimTime) {
-        let txn = self.next_txn_id();
-        let access = self.workload.generate(now, &mut self.rng);
-        match self.db.execute_update(txn, &access) {
-            Ok(commit) => {
-                let record = TransactionRecord::update_committed(
-                    txn,
-                    commit.reads.clone(),
-                    commit.written.clone(),
-                    now,
-                );
-                self.monitor.record_update_commit(&record);
-                self.fanout
-                    .broadcast(now, commit.invalidations.invalidations());
-                if let Some(at) = self.fanout.next_delivery_at() {
-                    self.queue.schedule(at, Event::DeliverInvalidations);
-                }
-            }
-            Err(_) => {
-                self.monitor.record_update_abort();
-            }
-        }
-    }
-
-    fn run_read_only(&mut self, now: SimTime, cache: CacheId) {
-        let txn = self.next_txn_id();
-        let access = self.workload.generate(now, &mut self.rng);
-        let keys = access.objects();
-        let mut observed = Vec::with_capacity(keys.len());
-        let mut aborted = false;
-        let server = &self.caches[cache.0 as usize];
-        for (i, &key) in keys.iter().enumerate() {
-            let last_op = i + 1 == keys.len();
-            match server.read(now, txn, key, last_op) {
-                Ok(v) => observed.push((v.id, v.version)),
-                Err(TCacheError::InconsistencyAbort { .. }) => {
-                    aborted = true;
-                    break;
-                }
-                Err(e) => panic!("unexpected cache error during experiment: {e}"),
-            }
-        }
-        let class = self
-            .monitor
-            .record_read_only_from(cache, &observed, !aborted);
-        self.timeseries.record(now, class);
+    /// Builds the transaction schedule and replays it against the
+    /// discrete-event components, collecting the results.
+    pub fn run(self) -> ExperimentResult {
+        let schedule = Schedule::build(&self.config);
+        crate::plane::discrete::execute(self, &schedule)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn quick_config() -> ExperimentConfig {
         ExperimentConfig {

@@ -10,10 +10,17 @@
 //! channel, and the monitor classifies every completed read-only
 //! transaction both globally and per cache.
 //!
-//! [`experiment::Experiment`] runs one configuration to completion and
-//! returns an [`results::ExperimentResult`]; [`figures`] contains one driver
-//! per figure of the paper's evaluation, each of which returns the rows /
-//! series that the corresponding figure plots.
+//! [`experiment::ExperimentConfig::run`] runs one configuration to
+//! completion and returns an [`results::ExperimentResult`]; [`figures`]
+//! contains one driver per figure of the paper's evaluation, each of which
+//! returns the rows / series that the corresponding figure plots.
+//!
+//! Execution is split from specification: [`schedule::Schedule`] turns a
+//! configuration into a deterministic transaction script, and the
+//! configured [`plane::ExecutionPlane`] decides what executes it — the
+//! discrete-event simulator (the default) or the *live* plane, which
+//! drives a real `TCacheSystem` (reactor transport, modeled delivery) with
+//! one client thread per cache. The same config runs unchanged on either.
 //!
 //! # Example
 //!
@@ -38,9 +45,13 @@ pub mod clients;
 pub mod event;
 pub mod experiment;
 pub mod figures;
+pub mod plane;
 pub mod results;
+pub mod schedule;
 pub mod timeseries;
 
 pub use experiment::{CacheKind, CacheSite, CacheTopology, Experiment, ExperimentConfig, WorkloadKind};
+pub use plane::{ExecutionPlane, LiveOptions, LivePacing};
+pub use schedule::{Schedule, ScheduledTxn};
 pub use results::{CacheColumnResult, ExperimentResult};
 pub use timeseries::{TimeBin, TimeSeries};

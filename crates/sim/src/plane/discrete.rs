@@ -1,0 +1,139 @@
+//! The discrete-event execution plane.
+//!
+//! Replays a pre-built [`Schedule`] against the simulated components in
+//! virtual time: every transaction executes at its scheduled instant, the
+//! per-cache discrete-event channels ([`tcache_net::channel`]) drop and
+//! delay invalidations, and deliveries that became due are applied before
+//! each event — exactly the loop the experiment harness has always run,
+//! with workload generation factored out into the schedule so the live
+//! plane can execute the identical script.
+
+use crate::event::{Event, EventQueue};
+use crate::experiment::Experiment;
+use crate::results::{CacheColumnResult, ExperimentResult};
+use crate::schedule::{Schedule, ScheduledTxn};
+use tcache_cache::CacheStatsSnapshot;
+use tcache_types::{CacheId, ObjectId, SimTime, TCacheError, TransactionRecord};
+
+/// Executes `schedule` on the experiment's discrete-event components and
+/// collects the results.
+pub(crate) fn execute(mut exp: Experiment, schedule: &Schedule) -> ExperimentResult {
+    let end = SimTime::ZERO + exp.config.duration;
+    // Pre-load every scheduled transaction; the queue's insertion-order
+    // tie-breaking reproduces the historical arrival interleaving because
+    // the schedule is already in event order. Delivery events join the
+    // queue dynamically as updates broadcast, exactly as before.
+    let mut queue = EventQueue::new();
+    for op in &schedule.ops {
+        let event = match op.target {
+            None => Event::UpdateTransaction,
+            Some(cache) => Event::ReadOnlyTransaction(cache),
+        };
+        queue.schedule(op.at, event);
+    }
+
+    let mut cursor = 0usize;
+    while let Some((now, event)) = queue.pop() {
+        if now > end {
+            break;
+        }
+        // Deliver every invalidation due by now before serving clients.
+        deliver_due(&mut exp, now);
+        match event {
+            Event::DeliverInvalidations => {}
+            Event::UpdateTransaction => {
+                let op = &schedule.ops[cursor];
+                cursor += 1;
+                debug_assert!(op.is_update());
+                run_update(&mut exp, now, op, &mut queue);
+            }
+            Event::ReadOnlyTransaction(cache) => {
+                let op = &schedule.ops[cursor];
+                cursor += 1;
+                debug_assert_eq!(op.target, Some(cache));
+                run_read_only(&mut exp, now, cache, op);
+            }
+        }
+    }
+
+    let per_cache: Vec<CacheColumnResult> = exp
+        .caches
+        .iter()
+        .zip(exp.fanout.stats())
+        .zip(&exp.losses)
+        .map(|((cache, (channel_id, channel)), &loss)| {
+            debug_assert_eq!(cache.id(), channel_id);
+            CacheColumnResult {
+                id: cache.id(),
+                loss,
+                report: exp.monitor.cache_report(cache.id()),
+                cache: cache.stats(),
+                channel,
+            }
+        })
+        .collect();
+    let mut cache_total = CacheStatsSnapshot::default();
+    for column in &per_cache {
+        cache_total.merge(column.cache);
+    }
+    ExperimentResult {
+        duration: exp.config.duration,
+        report: exp.monitor.report(),
+        cache: cache_total,
+        db: exp.db.stats(),
+        channel: exp.fanout.aggregate_stats(),
+        per_cache,
+        timeseries: exp.timeseries,
+        execution_wall: None,
+    }
+}
+
+fn deliver_due(exp: &mut Experiment, now: SimTime) {
+    for (cache, invalidation) in exp.fanout.due(now) {
+        exp.caches[cache.0 as usize].apply_invalidation(invalidation);
+    }
+}
+
+fn run_update(exp: &mut Experiment, now: SimTime, op: &ScheduledTxn, queue: &mut EventQueue) {
+    match exp.db.execute_update(op.txn, &op.access) {
+        Ok(commit) => {
+            let record = TransactionRecord::update_committed(
+                op.txn,
+                commit.reads.clone(),
+                commit.written.clone(),
+                now,
+            );
+            exp.monitor.record_update_commit(&record);
+            exp.fanout
+                .broadcast(now, commit.invalidations.invalidations());
+            if let Some(at) = exp.fanout.next_delivery_at() {
+                queue.schedule(at, Event::DeliverInvalidations);
+            }
+        }
+        Err(_) => {
+            exp.monitor.record_update_abort();
+        }
+    }
+}
+
+fn run_read_only(exp: &mut Experiment, now: SimTime, cache: CacheId, op: &ScheduledTxn) {
+    let keys = op.access.objects();
+    let mut observed: Vec<(ObjectId, tcache_types::Version)> = Vec::with_capacity(keys.len());
+    let mut aborted = false;
+    let server = &exp.caches[cache.0 as usize];
+    for (i, &key) in keys.iter().enumerate() {
+        let last_op = i + 1 == keys.len();
+        match server.read(now, op.txn, key, last_op) {
+            Ok(v) => observed.push((v.id, v.version)),
+            Err(TCacheError::InconsistencyAbort { .. }) => {
+                aborted = true;
+                break;
+            }
+            Err(e) => panic!("unexpected cache error during experiment: {e}"),
+        }
+    }
+    let class = exp
+        .monitor
+        .record_read_only_from(cache, &observed, !aborted);
+    exp.timeseries.record(now, class);
+}

@@ -1,0 +1,352 @@
+//! The live execution plane: the same experiment on the real stack.
+//!
+//! Instead of simulating components in virtual time, this plane builds a
+//! real `TCacheSystem` — reactor transport, modeled delivery — and drives
+//! it with real threads:
+//!
+//! * the **driver thread** walks the schedule, committing every update
+//!   transaction against the backend database; the database's §IV upcalls
+//!   push the invalidations into each cache's pipe at commit time;
+//! * one **client thread per cache** executes that cache's read-only
+//!   transactions (the schedule already sized each population from
+//!   `CacheTopology::client_shares`);
+//! * the **reactor thread** runs every cache's delivery task, which
+//!   applies the per-cache loss / latency models in wall-clock time
+//!   ([`tcache_net::delivery`]), seeded from `(seed, CacheId)` exactly
+//!   like the discrete-event channels.
+//!
+//! Classification is deferred: threads log what each transaction observed,
+//! and after the run the log is replayed through a fresh
+//! `ConsistencyMonitor`. Monitor verdicts are stable under later updates
+//! (a read's verdict depends only on its observed versions and the update
+//! history), so replay order only needs every observed version recorded
+//! before the read that saw it — schedule order under lockstep,
+//! updates-then-reads under concurrent pacing, where a read can race ahead
+//! of the driver and observe a version the schedule says is "later".
+
+use super::{LiveOptions, LivePacing};
+use crate::experiment::{CacheKind, ExperimentConfig};
+use crate::results::{CacheColumnResult, ExperimentResult};
+use crate::schedule::Schedule;
+use crate::timeseries::TimeSeries;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tcache::{DeliveryMode, SystemBuilder, TransportMode};
+use tcache_cache::CacheStatsSnapshot;
+use tcache_monitor::ConsistencyMonitor;
+use tcache_net::delivery::DeliveryModel;
+use tcache_types::{
+    CacheId, CachePolicyConfig, ObjectId, SimTime, TCacheError, TransactionRecord, Value, Version,
+};
+
+/// How long a lockstep step waits for the reactor to settle before giving
+/// up determinism for that step (generous; the reactor usually settles in
+/// microseconds at zero delay).
+const LOCKSTEP_QUIESCE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// What one read-only transaction observed, logged for deferred replay.
+struct ReadLog {
+    /// Index of the transaction in the schedule.
+    index: usize,
+    observed: Vec<(ObjectId, Version)>,
+    committed: bool,
+}
+
+/// What one update transaction did, logged for deferred replay.
+struct UpdateLog {
+    index: usize,
+    /// `None` if the database aborted the transaction.
+    record: Option<TransactionRecord>,
+}
+
+/// Runs `config` on the live plane and collects the results in the same
+/// shape the discrete-event plane produces.
+///
+/// # Panics
+/// Panics if the configured topology deploys zero caches or a worker
+/// thread dies.
+pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentResult {
+    let schedule = Arc::new(Schedule::build(&config));
+    let losses = config.caches.losses(config.invalidation_loss);
+    let policy = cache_policy(&config.cache);
+    let models: Vec<DeliveryModel> = losses
+        .iter()
+        .map(|&loss| DeliveryModel::uniform(loss, config.invalidation_delay))
+        .collect();
+    let mut builder = SystemBuilder::new()
+        .cache_policy(policy)
+        .transport(TransportMode::Reactor)
+        .delivery(DeliveryMode::Modeled)
+        .delivery_models(models)
+        .overflow_policy(config.overflow_policy)
+        .seed(config.seed);
+    if let Some(capacity) = config.pipe_capacity {
+        builder = builder.pipe_capacity(capacity);
+    }
+    let system = Arc::new(builder.build());
+    system.populate((0..schedule.object_count).map(|i| (ObjectId(i), Value::new(0))));
+
+    let lockstep = options.pacing == LivePacing::Lockstep;
+    let pace = (options.pacing == LivePacing::Concurrent && options.time_scale > 0.0)
+        .then_some(options.time_scale);
+    let started = Instant::now();
+
+    // One client thread per cache. Jobs are schedule indices; under
+    // lockstep each job is acknowledged so the driver can serialize the
+    // schedule, under concurrent pacing the clients free-run.
+    let cache_count = losses.len();
+    let mut job_senders = Vec::with_capacity(cache_count);
+    let mut done_receivers = Vec::with_capacity(cache_count);
+    let mut clients = Vec::with_capacity(cache_count);
+    for cache_index in 0..cache_count {
+        let (job_tx, job_rx) = mpsc::channel::<usize>();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        job_senders.push(job_tx);
+        done_receivers.push(done_rx);
+        let system = Arc::clone(&system);
+        let schedule = Arc::clone(&schedule);
+        let cache_id = CacheId(cache_index as u32);
+        clients.push(
+            std::thread::Builder::new()
+                .name(format!("tcache-client-{cache_index}"))
+                .spawn(move || {
+                    let mut log: Vec<ReadLog> = Vec::new();
+                    let cache = system.cache(cache_id).expect("cache is deployed");
+                    while let Ok(index) = job_rx.recv() {
+                        let op = &schedule.ops[index];
+                        if let Some(scale) = pace {
+                            pace_until(started, op.at, scale);
+                        }
+                        let keys = op.access.objects();
+                        let mut observed = Vec::with_capacity(keys.len());
+                        let mut committed = true;
+                        for (i, &key) in keys.iter().enumerate() {
+                            let last_op = i + 1 == keys.len();
+                            match cache.read(op.at, op.txn, key, last_op) {
+                                Ok(v) => observed.push((v.id, v.version)),
+                                Err(TCacheError::InconsistencyAbort { .. }) => {
+                                    committed = false;
+                                    break;
+                                }
+                                Err(e) => panic!("unexpected cache error during experiment: {e}"),
+                            }
+                        }
+                        log.push(ReadLog {
+                            index,
+                            observed,
+                            committed,
+                        });
+                        if lockstep {
+                            // The driver is blocked on this acknowledgement;
+                            // it disappearing means the run is being torn
+                            // down, which only happens on a panic there.
+                            let _ = done_tx.send(());
+                        }
+                    }
+                    log
+                })
+                .expect("spawn client thread"),
+        );
+    }
+
+    // The driver: updates commit here, reads are dispatched to their
+    // cache's client.
+    let mut update_log: Vec<UpdateLog> = Vec::new();
+    for (index, op) in schedule.ops.iter().enumerate() {
+        match op.target {
+            None => {
+                if let Some(scale) = pace {
+                    pace_until(started, op.at, scale);
+                }
+                let record = match system.database().execute_update(op.txn, &op.access) {
+                    Ok(commit) => Some(TransactionRecord::update_committed(
+                        op.txn,
+                        commit.reads.clone(),
+                        commit.written.clone(),
+                        op.at,
+                    )),
+                    Err(_) => None,
+                };
+                update_log.push(UpdateLog { index, record });
+                if lockstep {
+                    // Settle the reactor so every surviving invalidation is
+                    // applied before the next transaction observes the
+                    // caches — the live analogue of the discrete plane
+                    // delivering due messages before each event. A timeout
+                    // here would silently void the determinism the
+                    // lockstep plane exists to provide, so it is fatal.
+                    let settled = system
+                        .quiesce(LOCKSTEP_QUIESCE_TIMEOUT)
+                        .expect("reactor transport supports quiesce");
+                    assert!(
+                        settled,
+                        "lockstep quiesce timed out after an update commit; \
+                         the run is no longer deterministic"
+                    );
+                }
+            }
+            Some(cache) => {
+                let cache_index = cache.0 as usize;
+                job_senders[cache_index]
+                    .send(index)
+                    .expect("client thread is alive");
+                if lockstep {
+                    done_receivers[cache_index]
+                        .recv()
+                        .expect("client thread acknowledges");
+                }
+            }
+        }
+    }
+    drop(job_senders);
+    let mut read_logs: Vec<ReadLog> = Vec::new();
+    for client in clients {
+        read_logs.extend(client.join().expect("client thread panicked"));
+    }
+    // Wait out every in-flight delivery (sleeping modeled delays included)
+    // so the final statistics and cache states are settled. Only the
+    // lockstep plane turns a timeout into a failure (its contract is
+    // determinism); a free-running run just reports what settled.
+    let settled = system
+        .quiesce(LOCKSTEP_QUIESCE_TIMEOUT)
+        .expect("reactor transport supports quiesce");
+    assert!(
+        !lockstep || settled,
+        "lockstep final quiesce timed out; statistics would be incomplete"
+    );
+    // Execution ends here: everything after is classification bookkeeping,
+    // kept out of the wall-clock figure so throughput rows track the live
+    // stack rather than the monitor.
+    let execution_wall = started.elapsed();
+
+    let (report, per_cache_reports, timeseries) = replay(
+        &schedule,
+        &config,
+        options.pacing,
+        update_log,
+        read_logs,
+    );
+
+    let stats = system.stats();
+    let per_cache: Vec<CacheColumnResult> = stats
+        .per_cache
+        .iter()
+        .zip(&losses)
+        .map(|(node, &loss)| CacheColumnResult {
+            id: node.id,
+            loss,
+            report: per_cache_reports[node.id.0 as usize],
+            cache: node.cache,
+            channel: node.channel,
+        })
+        .collect();
+    let mut cache_total = CacheStatsSnapshot::default();
+    for column in &per_cache {
+        cache_total.merge(column.cache);
+    }
+    ExperimentResult {
+        duration: config.duration,
+        report,
+        cache: cache_total,
+        db: system.database().stats(),
+        channel: stats.channel,
+        per_cache,
+        timeseries,
+        execution_wall: Some(execution_wall),
+    }
+}
+
+/// Replays the execution log through a fresh monitor. Under lockstep the
+/// log replays in schedule order (bit-identical to the discrete plane's
+/// interleaving); under concurrent pacing updates replay first so every
+/// version a racing read observed is already in the history — monitor
+/// verdicts are stable under later updates, so this ordering never changes
+/// a read's classification.
+fn replay(
+    schedule: &Schedule,
+    config: &ExperimentConfig,
+    pacing: LivePacing,
+    update_log: Vec<UpdateLog>,
+    read_logs: Vec<ReadLog>,
+) -> (
+    tcache_monitor::MonitorReport,
+    Vec<tcache_monitor::MonitorReport>,
+    TimeSeries,
+) {
+    enum Entry {
+        Update(Option<TransactionRecord>),
+        Read(Vec<(ObjectId, Version)>, bool),
+    }
+    let mut slots: Vec<Option<Entry>> = Vec::with_capacity(schedule.ops.len());
+    slots.resize_with(schedule.ops.len(), || None);
+    for update in update_log {
+        slots[update.index] = Some(Entry::Update(update.record));
+    }
+    for read in read_logs {
+        slots[read.index] = Some(Entry::Read(read.observed, read.committed));
+    }
+
+    let mut monitor = ConsistencyMonitor::new();
+    let mut timeseries = TimeSeries::new(config.timeseries_bin);
+    let record = |monitor: &mut ConsistencyMonitor,
+                      timeseries: &mut TimeSeries,
+                      index: usize,
+                      entry: &Entry| match entry {
+        Entry::Update(Some(record)) => monitor.record_update_commit(record),
+        Entry::Update(None) => monitor.record_update_abort(),
+        Entry::Read(observed, committed) => {
+            let op = &schedule.ops[index];
+            let cache = op.target.expect("read entries carry a target cache");
+            let class = monitor.record_read_only_from(cache, observed, *committed);
+            timeseries.record(op.at, class);
+        }
+    };
+    match pacing {
+        LivePacing::Lockstep => {
+            for (index, slot) in slots.iter().enumerate() {
+                let entry = slot.as_ref().expect("every scheduled txn executed");
+                record(&mut monitor, &mut timeseries, index, entry);
+            }
+        }
+        LivePacing::Concurrent => {
+            for pass_reads in [false, true] {
+                for (index, slot) in slots.iter().enumerate() {
+                    let entry = slot.as_ref().expect("every scheduled txn executed");
+                    if matches!(entry, Entry::Read(..)) == pass_reads {
+                        record(&mut monitor, &mut timeseries, index, entry);
+                    }
+                }
+            }
+        }
+    }
+
+    let cache_count = config.caches.cache_count();
+    let per_cache = (0..cache_count)
+        .map(|i| monitor.cache_report(CacheId(i as u32)))
+        .collect();
+    (monitor.report(), per_cache, timeseries)
+}
+
+/// Sleeps until the wall-clock instant `at` maps to under `scale` seconds
+/// of wall time per simulated second.
+fn pace_until(started: Instant, at: SimTime, scale: f64) {
+    let target = started + Duration::from_secs_f64(at.as_secs_f64() * scale);
+    let now = Instant::now();
+    if target > now {
+        std::thread::sleep(target - now);
+    }
+}
+
+/// The `TCacheSystem` cache policy equivalent of a harness [`CacheKind`].
+fn cache_policy(kind: &CacheKind) -> CachePolicyConfig {
+    match *kind {
+        CacheKind::TCache {
+            dependency_bound,
+            strategy,
+        } => CachePolicyConfig::tcache(dependency_bound, strategy),
+        CacheKind::Unbounded { strategy } => CachePolicyConfig::unbounded(strategy),
+        CacheKind::Plain => CachePolicyConfig::plain(),
+        CacheKind::Ttl { ttl } => CachePolicyConfig::ttl_baseline(ttl),
+    }
+}

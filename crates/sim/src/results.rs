@@ -60,6 +60,12 @@ pub struct ExperimentResult {
     pub per_cache: Vec<CacheColumnResult>,
     /// Per-bin outcome time series (used by Figures 4 and 5).
     pub timeseries: TimeSeries,
+    /// Wall-clock time the live plane spent *executing* the schedule
+    /// (client threads + driver + reactor, excluding schedule
+    /// construction, system build and monitor replay). `None` on the
+    /// discrete-event plane, whose wall time measures the simulator, not
+    /// the system.
+    pub execution_wall: Option<std::time::Duration>,
 }
 
 impl ExperimentResult {
@@ -128,6 +134,13 @@ impl ExperimentResult {
             .map(|c| (c.id, c.inconsistency_ratio()))
             .collect()
     }
+
+    /// Read-only transactions per wall-clock second of live execution
+    /// (`None` on the discrete-event plane, or if nothing ran).
+    pub fn read_txns_per_wall_sec(&self) -> Option<f64> {
+        let wall = self.execution_wall?.as_secs_f64();
+        (wall > 0.0).then(|| self.report.read_only_total() as f64 / wall)
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +177,7 @@ mod tests {
                 channel: ChannelStats::default(),
             }],
             timeseries: TimeSeries::new(SimDuration::from_secs(1)),
+            execution_wall: Some(std::time::Duration::from_secs(2)),
         }
     }
 
@@ -192,6 +206,16 @@ mod tests {
         let ratios = r.per_cache_inconsistency_ratios();
         assert_eq!(ratios.len(), 1);
         assert_eq!(ratios[0].0, CacheId(0));
+    }
+
+    #[test]
+    fn wall_clock_throughput_is_derived_from_execution_time() {
+        let r = sample();
+        // 1000 read-only txns over 2 s of live execution.
+        assert!((r.read_txns_per_wall_sec().unwrap() - 500.0).abs() < 1e-9);
+        let mut r = sample();
+        r.execution_wall = None;
+        assert!(r.read_txns_per_wall_sec().is_none());
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! The plane-agnostic transaction schedule.
+//!
+//! Everything random about an experiment's *workload* — arrival times,
+//! which cache a read-only transaction targets, the access set of every
+//! transaction — is a pure function of the configuration and its seed,
+//! independent of how transactions execute. [`Schedule::build`] replays
+//! exactly the draw sequence the discrete-event loop historically made
+//! (arrival draws and workload generation interleaved in event order, from
+//! the same `seed + 2` stream) and materializes the result: one
+//! [`ScheduledTxn`] per transaction, in event order.
+//!
+//! Both execution planes consume the same schedule. The discrete-event
+//! plane replays it against the simulated components; the live plane
+//! partitions it over real client threads driving a `TCacheSystem`. Same
+//! seed → same schedule → the planes disagree only where their *delivery*
+//! semantics differ, which is precisely what cross-plane experiments are
+//! meant to measure.
+
+use crate::clients::ArrivalProcess;
+use crate::event::{Event, EventQueue};
+use crate::experiment::ExperimentConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tcache_types::{AccessSet, CacheId, SimTime, TxnId};
+
+/// One transaction of the schedule, in event order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledTxn {
+    /// Scheduled (simulated) start time.
+    pub at: SimTime,
+    /// The transaction id both planes execute it under.
+    pub txn: TxnId,
+    /// The cache serving it (`None` for update transactions, which go to
+    /// the database).
+    pub target: Option<CacheId>,
+    /// The objects it accesses, in access order.
+    pub access: AccessSet,
+}
+
+impl ScheduledTxn {
+    /// Whether this is an update transaction.
+    pub fn is_update(&self) -> bool {
+        self.target.is_none()
+    }
+}
+
+/// The full deterministic transaction script of one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Every transaction, in event order (non-decreasing `at`; ties in the
+    /// order the original event loop would have popped them).
+    pub ops: Vec<ScheduledTxn>,
+    /// How many objects the workload touches; both planes populate the
+    /// database with exactly this many.
+    pub object_count: u64,
+}
+
+impl Schedule {
+    /// Builds the schedule for `config`, reproducing the discrete-event
+    /// loop's historical draw order bit for bit.
+    ///
+    /// # Panics
+    /// Panics if the configured topology deploys zero caches (or a
+    /// weighted topology gives every cache zero client weight).
+    pub fn build(config: &ExperimentConfig) -> Schedule {
+        let mut workload = config.workload.build(config.seed);
+        let object_count = workload.object_count() as u64;
+        let client_shares = config.caches.client_shares();
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(2));
+        let updates = ArrivalProcess::new(config.update_rate);
+        // The aggregate read rate is split over the per-cache client
+        // populations according to the topology's client shares (evenly,
+        // unless the topology is weighted); a zero-weight cache fields no
+        // clients of its own.
+        let reads: Vec<Option<ArrivalProcess>> = client_shares
+            .iter()
+            .map(|&share| (share > 0.0).then(|| ArrivalProcess::new(config.read_rate * share)))
+            .collect();
+        let end = SimTime::ZERO + config.duration;
+
+        let mut queue = EventQueue::new();
+        queue.schedule(
+            updates.next_arrival(SimTime::ZERO, &mut rng),
+            Event::UpdateTransaction,
+        );
+        for (i, process) in reads.iter().enumerate() {
+            if let Some(process) = process {
+                queue.schedule(
+                    process.next_arrival(SimTime::ZERO, &mut rng),
+                    Event::ReadOnlyTransaction(CacheId(i as u32)),
+                );
+            }
+        }
+
+        let mut ops = Vec::new();
+        let mut next_txn = 1u64;
+        while let Some((now, event)) = queue.pop() {
+            if now > end {
+                break;
+            }
+            let target = match event {
+                Event::DeliverInvalidations => continue,
+                Event::UpdateTransaction => None,
+                Event::ReadOnlyTransaction(cache) => Some(cache),
+            };
+            // Draw order matters for bit-exactness: the historical loop
+            // generated the transaction's access set first and drew the
+            // next arrival of its class second. Keep that order.
+            let access = workload.generate(now, &mut rng);
+            match target {
+                None => {
+                    queue.schedule(updates.next_arrival(now, &mut rng), Event::UpdateTransaction);
+                }
+                Some(cache) => {
+                    let process = reads[cache.0 as usize]
+                        .as_ref()
+                        .expect("a scheduled cache has an arrival process");
+                    queue.schedule(
+                        process.next_arrival(now, &mut rng),
+                        Event::ReadOnlyTransaction(cache),
+                    );
+                }
+            }
+            ops.push(ScheduledTxn {
+                at: now,
+                txn: TxnId(next_txn),
+                target,
+                access,
+            });
+            next_txn += 1;
+        }
+        Schedule { ops, object_count }
+    }
+
+    /// Number of update transactions.
+    pub fn update_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_update()).count()
+    }
+
+    /// Number of read-only transactions targeting `cache`.
+    pub fn read_count_for(&self, cache: CacheId) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| op.target == Some(cache))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{CacheTopology, WorkloadKind};
+    use tcache_types::SimDuration;
+
+    fn config() -> ExperimentConfig {
+        ExperimentConfig {
+            duration: SimDuration::from_secs(5),
+            workload: WorkloadKind::PerfectClusters {
+                objects: 500,
+                cluster_size: 5,
+            },
+            caches: CacheTopology::Uniform(2),
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_ordered() {
+        let a = Schedule::build(&config());
+        let b = Schedule::build(&config());
+        assert_eq!(a, b);
+        assert!(a.ops.windows(2).all(|w| w[0].at <= w[1].at));
+        // Transaction ids are assigned in event order, starting at 1.
+        assert!(a
+            .ops
+            .iter()
+            .enumerate()
+            .all(|(i, op)| op.txn == TxnId(i as u64 + 1)));
+        let mut other = config();
+        other.seed = 9;
+        assert_ne!(a, Schedule::build(&other));
+    }
+
+    #[test]
+    fn rates_and_shares_shape_the_schedule() {
+        let schedule = Schedule::build(&config());
+        let updates = schedule.update_count() as f64;
+        let reads = (schedule.ops.len() - schedule.update_count()) as f64;
+        // 5 seconds at 100 and 500 txn/s respectively; generous slack.
+        assert!((updates - 500.0).abs() < 150.0, "updates {updates}");
+        assert!((reads - 2500.0).abs() < 400.0, "reads {reads}");
+        // Uniform topology splits reads roughly evenly over the caches.
+        let per_cache = schedule.read_count_for(CacheId(0)) as f64;
+        assert!((per_cache / reads - 0.5).abs() < 0.1);
+        assert_eq!(schedule.object_count, 500);
+        assert!(schedule.ops.iter().all(|op| op.access.len() == 5));
+    }
+}

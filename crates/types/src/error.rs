@@ -39,6 +39,14 @@ pub enum TCacheError {
     /// The cache is configured without a backing database connection and a
     /// miss cannot be served.
     NoBackend,
+    /// The operation needs a transport capability the system was not built
+    /// with (e.g. pausing a reactor apply task on a threaded-transport
+    /// system). Distinct from [`TCacheError::UnknownCache`]: the cache may
+    /// well be deployed — the *transport* cannot perform the operation.
+    UnsupportedTransport {
+        /// The operation that was requested.
+        operation: &'static str,
+    },
 }
 
 /// Why the database aborted an update transaction.
@@ -82,6 +90,9 @@ impl fmt::Display for TCacheError {
             TCacheError::UnknownCache(c) => write!(f, "unknown cache server {c}"),
             TCacheError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
             TCacheError::NoBackend => write!(f, "cache has no backend database configured"),
+            TCacheError::UnsupportedTransport { operation } => {
+                write!(f, "transport does not support {operation}")
+            }
         }
     }
 }
@@ -111,6 +122,10 @@ mod tests {
         assert!(TCacheError::UnknownTransaction(TxnId(5)).to_string().contains("t5"));
         assert!(TCacheError::UnknownCache(CacheId(3)).to_string().contains("cache3"));
         assert!(TCacheError::InvalidOperation("x").to_string().contains("x"));
+        let e = TCacheError::UnsupportedTransport {
+            operation: "pause_cache",
+        };
+        assert!(e.to_string().contains("pause_cache"));
     }
 
     #[test]

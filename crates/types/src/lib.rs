@@ -43,7 +43,7 @@ pub use dependency::{DependencyEntry, DependencyList};
 pub use entry::{ObjectEntry, VersionedObject};
 pub use error::{ConflictReason, TCacheError, TCacheResult};
 pub use ids::{CacheId, ClientId, ObjectId, TxnId, Version};
-pub use seeding::{cache_channel_seed, derive_stream_seed};
+pub use seeding::{cache_channel_seed, cache_delay_seed, derive_stream_seed};
 pub use time::{SimDuration, SimTime};
 pub use transaction::{
     AccessSet, ReadOnlyOutcome, ReadRecord, ReadSet, TransactionKind, TransactionRecord,

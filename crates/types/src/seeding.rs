@@ -27,10 +27,24 @@ pub fn derive_stream_seed(run_seed: u64, stream: u64) -> u64 {
 /// The seed of the invalidation channel feeding `cache`, derived from the
 /// run seed. Reproducible independent of thread or event interleaving and
 /// of how many caches the run deploys.
+///
+/// The in-reactor live delivery tasks use the *same* stream for their loss
+/// decisions, so with a latency model that consumes no randomness (the
+/// constant model draws nothing) the drop pattern a cache observes is
+/// bit-identical across the discrete-event and live execution planes.
 pub fn cache_channel_seed(run_seed: u64, cache: CacheId) -> u64 {
     // Tag the stream space so cache channels can never collide with other
     // derived streams that claim the small indices.
     derive_stream_seed(run_seed, 0x00ca_c4e0_0000_0000 | u64::from(cache.0))
+}
+
+/// The seed of the latency stream of `cache`'s live delivery task. Kept
+/// separate from [`cache_channel_seed`] so delay sampling never perturbs
+/// the loss stream: the drop pattern stays a pure function of
+/// `(run_seed, CacheId, message index)` — the invariant the cross-plane
+/// parity tests and the drop-count oracle rely on.
+pub fn cache_delay_seed(run_seed: u64, cache: CacheId) -> u64 {
+    derive_stream_seed(run_seed, 0x00de_1a70_0000_0000 | u64::from(cache.0))
 }
 
 #[cfg(test)]
@@ -67,6 +81,22 @@ mod tests {
         for stream in 0..8u64 {
             assert_ne!(a, derive_stream_seed(1, stream));
         }
+    }
+
+    #[test]
+    fn delay_streams_are_disjoint_from_loss_streams() {
+        // The latency stream of a cache's live delivery task must never
+        // alias its loss stream (or any other cache's), so delay sampling
+        // cannot perturb the drop pattern.
+        let mut seen = HashSet::new();
+        for cache in 0..32u32 {
+            assert!(seen.insert(cache_channel_seed(5, CacheId(cache))));
+            assert!(seen.insert(cache_delay_seed(5, CacheId(cache))));
+        }
+        assert_eq!(
+            cache_delay_seed(5, CacheId(1)),
+            cache_delay_seed(5, CacheId(1))
+        );
     }
 
     #[test]
