@@ -32,7 +32,8 @@ use tcache_net::reactor::Reactor;
 use tcache_bench::{git_short_sha, history_comparison};
 use tcache_sim::figures::{backpressure, live_plane, LIVE_PLANE_LOSSES};
 use tcache_types::{
-    AccessSet, CacheId, ObjectId, SimDuration, SimTime, Strategy, TxnId, Value, Version,
+    AccessSet, CacheId, ObjectId, RecoveryPolicy, SimDuration, SimTime, Strategy, TxnId, Value,
+    Version,
 };
 
 const OBJECTS: u64 = 1024;
@@ -297,6 +298,28 @@ fn measure_reactor_plane(caches: &[Arc<EdgeCache>], msgs_per_cache: u64) -> f64 
     (caches.len() as u64 * msgs_per_cache) as f64 / elapsed
 }
 
+/// Healthy-path cost of the recovery plane: applies `count` consecutively
+/// sequenced invalidations to a freshly warmed cache under the given
+/// recovery policy and returns invalidations per second. The stream has no
+/// gaps, so the gap-resync policy never actually resyncs — what this
+/// measures is the steady-state bookkeeping every sequenced apply pays
+/// (one relaxed load/store pair on the sequence tracker).
+fn measure_recovery_overhead(policy: RecoveryPolicy, count: u64) -> f64 {
+    let cache = warmed_cache();
+    cache.set_recovery_policy(policy);
+    let base = NEXT_INV_VERSION.fetch_add(count, Ordering::Relaxed);
+    let start = Instant::now();
+    for i in 0..count {
+        cache.apply_invalidation(Invalidation::with_seq(
+            ObjectId(i % OBJECTS),
+            Version(base + i),
+            TxnId(base + i),
+            i + 1,
+        ));
+    }
+    count as f64 / start.elapsed().as_secs_f64()
+}
+
 fn main() {
     let mut quick = false;
     let mut out = String::from("BENCH_hotpath.json");
@@ -440,6 +463,37 @@ fn main() {
         "plane", "inv/s", "threaded", threaded_plane, "reactor", reactor_plane
     );
 
+    // Recovery-plane overhead on the healthy path: a single thread applies
+    // a gapless sequenced invalidation stream with the recovery plane off
+    // (RecoveryPolicy::None) and on (GapResync) — the delta is the
+    // steady-state cost the fault-tolerance machinery charges every apply.
+    let recovery_msgs = msgs_per_cache * 4;
+    let apply_none = (0..rounds)
+        .map(|_| measure_recovery_overhead(RecoveryPolicy::None, recovery_msgs))
+        .fold(0.0f64, f64::max);
+    let apply_resync = (0..rounds)
+        .map(|_| {
+            measure_recovery_overhead(
+                RecoveryPolicy::GapResync {
+                    staleness_budget: SimDuration::from_millis(100),
+                },
+                recovery_msgs,
+            )
+        })
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nrecovery overhead: {recovery_msgs} gapless sequenced invalidations, one thread\n\
+         {:>12} {:>16}\n{:>12} {:>16.0}\n{:>12} {:>16.0}\n{:>12} {:>15.1}%",
+        "policy",
+        "inv/s",
+        "none",
+        apply_none,
+        "gap-resync",
+        apply_resync,
+        "overhead",
+        (apply_none / apply_resync - 1.0) * 100.0
+    );
+
     // Inconsistency vs pipe capacity (DropOldest), from the sim harness's
     // backpressure figure with small parameters.
     let bp_secs = if quick { 2 } else { 10 };
@@ -541,6 +595,9 @@ fn main() {
          \"msgs_per_cache\": {msgs_per_cache},\n    \
          \"threaded_inv_per_sec\": {threaded_plane:.1},\n    \
          \"reactor_inv_per_sec\": {reactor_plane:.1}\n  }},\n  \
+         \"recovery_overhead\": {{\n    \"msgs\": {recovery_msgs},\n    \
+         \"apply_none_inv_per_sec\": {apply_none:.1},\n    \
+         \"apply_gap_resync_inv_per_sec\": {apply_resync:.1}\n  }},\n  \
          \"backpressure_drop_oldest\": {{\n{}\n  }},\n  \
          \"live_plane\": {{\n    \"schedule_secs\": {lp_secs},\n    \
          \"live_read_txns_per_wall_sec\": {:.1},\n    \

@@ -36,6 +36,7 @@
 
 pub mod consistency;
 pub mod entry;
+pub mod lifecycle;
 pub mod stats;
 pub mod storage;
 pub mod stripe;
@@ -44,6 +45,7 @@ pub mod txn_record;
 
 pub use consistency::{Violation, ViolationKind};
 pub use entry::CacheEntry;
+pub use lifecycle::{LifecycleState, LifecycleStats, LifecycleStatsSnapshot, ReadMode, ReadTxnLog};
 pub use stats::{CacheStats, CacheStatsSnapshot};
 pub use storage::CacheStorage;
 pub use tcache::EdgeCache;

@@ -1,0 +1,198 @@
+//! Cache lifecycle: crash / partition states, gap accounting, read modes.
+//!
+//! An edge cache is normally `Healthy`: it serves reads from its local
+//! store and applies the invalidation stream as it arrives. Faults move it
+//! through a small state machine:
+//!
+//! ```text
+//!            crash / disconnect            staleness budget exceeded
+//!  Healthy ─────────────────────► Disconnected ─────────────────────► Degraded
+//!     ▲                                │                                  │
+//!     │          reconnect / restart   │                                  │
+//!     └────────────(resync)────────────┴──────────────────────────────────┘
+//! ```
+//!
+//! * **Disconnected** — the invalidation stream is severed (partition) or
+//!   the process is gone (crash). Within the configured staleness budget a
+//!   partitioned cache keeps serving possibly-stale local data; a crashed
+//!   cache has lost its store entirely.
+//! * **Degraded** — the staleness budget is exhausted: reads pass through
+//!   to the backend database (bypassing the local store), trading latency
+//!   for bounded staleness.
+//! * Recovery (`reconnect` / `restart`) replays the database's invalidation
+//!   log from the last sequence number the cache applied — or falls back to
+//!   dropping the store when the log has been truncated — before the cache
+//!   resumes serving cached reads.
+//!
+//! The types here are the externally visible vocabulary of that machine;
+//! the transitions live on [`EdgeCache`](crate::EdgeCache).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use tcache_types::{ObjectId, SimTime, Version};
+
+/// Where a cache is in its fault/recovery lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleState {
+    /// Connected and serving cached reads.
+    Healthy,
+    /// The invalidation stream is severed; local reads continue (stale
+    /// within the staleness budget). `crashed` distinguishes a cold store
+    /// (process crash) from a partition (store intact but staling).
+    Disconnected {
+        /// When the cache lost its stream (crash or partition instant).
+        since: SimTime,
+        /// `true` if the disconnect was a crash (the store was dropped).
+        crashed: bool,
+    },
+    /// The staleness budget is exhausted: reads pass through to the
+    /// backend database until the cache resyncs.
+    Degraded {
+        /// Whether the underlying disconnect was a crash.
+        crashed: bool,
+    },
+}
+
+impl LifecycleState {
+    /// Short human-readable tag (used in state-error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LifecycleState::Healthy => "healthy",
+            LifecycleState::Disconnected { crashed: true, .. } => "crashed",
+            LifecycleState::Disconnected { crashed: false, .. } => "disconnected",
+            LifecycleState::Degraded { .. } => "degraded",
+        }
+    }
+
+    /// `true` for `Disconnected`/`Degraded` entered through a crash.
+    pub fn is_crashed(&self) -> bool {
+        matches!(
+            self,
+            LifecycleState::Disconnected { crashed: true, .. }
+                | LifecycleState::Degraded { crashed: true }
+        )
+    }
+}
+
+/// How a read-only transaction was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReadMode {
+    /// Served from the edge cache (the normal T-Cache path).
+    Cached,
+    /// Served directly from the backend database because the cache is
+    /// `Degraded` — consistent by construction, but uncached.
+    PassThrough,
+}
+
+/// The observable outcome of one read-only transaction: the versions each
+/// key resolved to, whether the transaction committed, and which path
+/// served it. This is what the consistency monitor consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadTxnLog {
+    /// `(key, version)` for every read that returned before an abort.
+    pub observed: Vec<(ObjectId, Version)>,
+    /// `false` if the transaction was aborted by a violation predicate.
+    pub committed: bool,
+    /// The path that served the transaction.
+    pub mode: ReadMode,
+}
+
+/// Atomic counters for lifecycle events (monotone, never reset).
+#[derive(Debug, Default)]
+pub struct LifecycleStats {
+    pub(crate) gaps_detected: AtomicU64,
+    pub(crate) invalidations_missed: AtomicU64,
+    pub(crate) log_replays: AtomicU64,
+    pub(crate) replayed_invalidations: AtomicU64,
+    pub(crate) snapshot_resyncs: AtomicU64,
+    pub(crate) pass_through_txns: AtomicU64,
+    pub(crate) crashes: AtomicU64,
+    pub(crate) partitions: AtomicU64,
+    pub(crate) reconnects: AtomicU64,
+}
+
+impl LifecycleStats {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> LifecycleStatsSnapshot {
+        LifecycleStatsSnapshot {
+            gaps_detected: self.gaps_detected.load(Ordering::Acquire),
+            invalidations_missed: self.invalidations_missed.load(Ordering::Acquire),
+            log_replays: self.log_replays.load(Ordering::Acquire),
+            replayed_invalidations: self.replayed_invalidations.load(Ordering::Acquire),
+            snapshot_resyncs: self.snapshot_resyncs.load(Ordering::Acquire),
+            pass_through_txns: self.pass_through_txns.load(Ordering::Acquire),
+            crashes: self.crashes.load(Ordering::Acquire),
+            partitions: self.partitions.load(Ordering::Acquire),
+            reconnects: self.reconnects.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// A point-in-time copy of a cache's [`LifecycleStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleStatsSnapshot {
+    /// Sequence-number gaps observed in the invalidation stream.
+    pub gaps_detected: u64,
+    /// Total invalidations skipped over by those gaps.
+    pub invalidations_missed: u64,
+    /// Recoveries served by replaying the database's invalidation log.
+    pub log_replays: u64,
+    /// Invalidations applied through log replays.
+    pub replayed_invalidations: u64,
+    /// Recoveries that had to drop the store (log truncated).
+    pub snapshot_resyncs: u64,
+    /// Read-only transactions served in pass-through (`Degraded`) mode.
+    pub pass_through_txns: u64,
+    /// Crash events injected.
+    pub crashes: u64,
+    /// Partition (disconnect) events injected.
+    pub partitions: u64,
+    /// Reconnect events (partition healed).
+    pub reconnects: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_names_and_crash_flags() {
+        let healthy = LifecycleState::Healthy;
+        assert_eq!(healthy.name(), "healthy");
+        assert!(!healthy.is_crashed());
+
+        let crashed = LifecycleState::Disconnected {
+            since: SimTime::ZERO,
+            crashed: true,
+        };
+        assert_eq!(crashed.name(), "crashed");
+        assert!(crashed.is_crashed());
+
+        let partitioned = LifecycleState::Disconnected {
+            since: SimTime::ZERO,
+            crashed: false,
+        };
+        assert_eq!(partitioned.name(), "disconnected");
+        assert!(!partitioned.is_crashed());
+
+        let degraded = LifecycleState::Degraded { crashed: true };
+        assert_eq!(degraded.name(), "degraded");
+        assert!(degraded.is_crashed());
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips() {
+        let stats = LifecycleStats::default();
+        stats.gaps_detected.store(3, Ordering::Release);
+        stats.invalidations_missed.store(7, Ordering::Release);
+        let snap = stats.snapshot();
+        assert_eq!(snap.gaps_detected, 3);
+        assert_eq!(snap.invalidations_missed, 7);
+        assert_eq!(snap, snap);
+        assert_eq!(LifecycleStatsSnapshot::default().crashes, 0);
+    }
+
+    #[test]
+    fn read_modes_order_cached_before_pass_through() {
+        assert!(ReadMode::Cached < ReadMode::PassThrough);
+    }
+}

@@ -281,6 +281,18 @@ impl CacheStorage {
         }
     }
 
+    /// Drops every cached entry and every recorded admission floor — a
+    /// cache crash (the store is lost) or a snapshot resync (everything
+    /// held is suspect). Dropping the floors is safe because both events
+    /// leave the store empty: every subsequent read misses to the backend
+    /// and fetches a current version, at or above any floor ever recorded.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.lru = LruQueue::new();
+        self.footprint = 0;
+        self.floors.clear();
+    }
+
     /// The version currently cached for `id`, ignoring TTL.
     pub fn cached_version(&self, id: ObjectId) -> Option<Version> {
         self.entries.get(&id).map(|s| s.entry.entry.version)
@@ -384,6 +396,15 @@ impl ShardedCacheStorage {
         self.stripe(id).lock().invalidate(id, newer_than)
     }
 
+    /// Clears every stripe (entries and admission floors); see
+    /// [`CacheStorage::clear`]. Stripes are cleared one at a time, never
+    /// holding two locks.
+    pub fn clear(&self) {
+        for stripe in self.stripes.iter() {
+            stripe.lock().clear();
+        }
+    }
+
     /// Returns `true` if `id` is currently cached (ignoring TTL).
     pub fn contains(&self, id: ObjectId) -> bool {
         self.stripe(id).lock().peek(id).is_some()
@@ -436,6 +457,29 @@ mod tests {
         assert!(s.remove(ObjectId(1)));
         assert!(!s.remove(ObjectId(1)));
         assert!(s.get(ObjectId(1), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn clear_drops_entries_floors_and_footprint() {
+        let mut s = CacheStorage::unlimited();
+        s.insert(obj(1, 1), SimTime::ZERO);
+        s.insert(obj(2, 1), SimTime::ZERO);
+        s.invalidate(ObjectId(3), Version(5));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.footprint_bytes(), 0);
+        // The floor for object 3 is gone: an old version is admissible
+        // again (the post-clear store only ever sees fresh fetches, so
+        // this cannot resurrect stale data in practice).
+        s.insert(obj(3, 2), SimTime::ZERO);
+        assert_eq!(s.cached_version(ObjectId(3)), Some(Version(2)));
+
+        let sharded = ShardedCacheStorage::with_default_stripes(None, TtlConfig::Infinite);
+        sharded.insert(obj(1, 1), SimTime::ZERO);
+        sharded.insert(obj(20, 1), SimTime::ZERO);
+        sharded.clear();
+        assert!(sharded.is_empty());
+        assert_eq!(sharded.footprint_bytes(), 0);
     }
 
     #[test]

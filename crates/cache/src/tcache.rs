@@ -28,15 +28,37 @@
 //! only ordering the consistency predicates need.
 
 use crate::consistency::{Violation, ViolationKind};
+use crate::lifecycle::{LifecycleState, LifecycleStats, LifecycleStatsSnapshot, ReadMode, ReadTxnLog};
 use crate::stats::{CacheStats, CacheStatsSnapshot};
 use crate::storage::ShardedCacheStorage;
 use crate::txn_record::ShardedTransactionTable;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
-use tcache_db::{Database, Invalidation};
+use tcache_db::{Database, Invalidation, InvalidationReplay};
 use tcache_types::{
-    CacheId, CachePolicyConfig, ObjectEntry, ObjectId, ReadOnlyOutcome, SimDuration, SimTime,
-    Strategy, TCacheError, TCacheResult, TxnId, VersionedObject,
+    CacheId, CachePolicyConfig, ObjectEntry, ObjectId, ReadOnlyOutcome, RecoveryPolicy,
+    SimDuration, SimTime, Strategy, TCacheError, TCacheResult, TxnId, VersionedObject,
 };
+
+/// Lock-free mirror of the lifecycle state for the read fast path: healthy
+/// reads check one atomic and never touch the lifecycle mutex.
+const TAG_HEALTHY: u8 = 0;
+const TAG_DISCONNECTED: u8 = 1;
+const TAG_DEGRADED: u8 = 2;
+
+/// Bound on pass-through validation rounds: each round re-reads every key's
+/// version from the backend until the vector is stable across a full pass.
+const PASS_THROUGH_VALIDATION_ROUNDS: usize = 8;
+
+/// The mutable lifecycle core, held behind one mutex: the state machine and
+/// the recovery policy. Locked only on transitions, gap recovery and
+/// non-healthy reads — never on the healthy read path.
+#[derive(Debug)]
+struct Lifecycle {
+    state: LifecycleState,
+    policy: RecoveryPolicy,
+}
 
 /// An edge cache server.
 ///
@@ -51,6 +73,13 @@ pub struct EdgeCache {
     storage: ShardedCacheStorage,
     txns: ShardedTransactionTable,
     stats: CacheStats,
+    lifecycle: Mutex<Lifecycle>,
+    state_tag: AtomicU8,
+    /// Highest invalidation sequence number applied (0 = none yet).
+    /// Invalidations for one cache are applied by a single delivery loop on
+    /// both planes, so plain load/store suffices.
+    last_seq: AtomicU64,
+    lifecycle_stats: LifecycleStats,
 }
 
 impl EdgeCache {
@@ -63,6 +92,13 @@ impl EdgeCache {
             storage: ShardedCacheStorage::with_default_stripes(None, config.ttl),
             txns: ShardedTransactionTable::with_default_stripes(),
             stats: CacheStats::new(),
+            lifecycle: Mutex::new(Lifecycle {
+                state: LifecycleState::Healthy,
+                policy: RecoveryPolicy::None,
+            }),
+            state_tag: AtomicU8::new(TAG_HEALTHY),
+            last_seq: AtomicU64::new(0),
+            lifecycle_stats: LifecycleStats::default(),
         }
     }
 
@@ -170,9 +206,19 @@ impl EdgeCache {
     /// entry is evicted if (and only if) it is older than the invalidated
     /// version, so that reordered or duplicated invalidations are harmless.
     ///
+    /// Sequenced invalidations (`seq != 0`) additionally advance the
+    /// cache's stream position; a jump of more than one reveals lost
+    /// invalidations (a *gap*) and — under
+    /// [`RecoveryPolicy::GapResync`] — triggers an immediate resync from
+    /// the database's invalidation log. Unsequenced invalidations
+    /// (`seq == 0`, e.g. hand-built in tests) are exempt.
+    ///
     /// Only the affected object's stripe is locked; reads of other objects
     /// proceed concurrently.
     pub fn apply_invalidation(&self, invalidation: Invalidation) {
+        if invalidation.seq != 0 {
+            self.observe_stream_position(invalidation.seq);
+        }
         if self
             .storage
             .invalidate(invalidation.object, invalidation.new_version)
@@ -181,6 +227,276 @@ impl EdgeCache {
         } else {
             self.stats.record_invalidation_ignored();
         }
+    }
+
+    /// Advances the stream position to `seq`, detecting gaps on the way.
+    fn observe_stream_position(&self, seq: u64) {
+        let prev = self.last_seq.load(Ordering::Relaxed);
+        if seq <= prev {
+            // Duplicate or reordered-older delivery: the position already
+            // covers it.
+            return;
+        }
+        if seq > prev + 1 {
+            self.lifecycle_stats
+                .gaps_detected
+                .fetch_add(1, Ordering::Relaxed);
+            self.lifecycle_stats
+                .invalidations_missed
+                .fetch_add(seq - prev - 1, Ordering::Relaxed);
+            let lifecycle = self.lifecycle.lock();
+            if lifecycle.policy.resyncs() && lifecycle.state == LifecycleState::Healthy {
+                // Resync catches the store up past `seq`; the current
+                // invalidation is then applied again harmlessly.
+                self.resync();
+                return;
+            }
+        }
+        self.last_seq.store(seq, Ordering::Relaxed);
+    }
+
+    /// Catches the local store up with the backend: replays the database's
+    /// invalidation log from the last applied sequence number, or — when
+    /// the log no longer retains that suffix — drops the store entirely
+    /// (every later read then refetches the current version, i.e. a
+    /// versioned snapshot resync).
+    fn resync(&self) {
+        let after = self.last_seq.load(Ordering::Relaxed);
+        match self.backend.replay_invalidations(after) {
+            InvalidationReplay::Replayed(invalidations) => {
+                if invalidations.is_empty() {
+                    return;
+                }
+                self.lifecycle_stats
+                    .log_replays
+                    .fetch_add(1, Ordering::Relaxed);
+                self.lifecycle_stats
+                    .replayed_invalidations
+                    .fetch_add(invalidations.len() as u64, Ordering::Relaxed);
+                let mut latest = after;
+                for inv in &invalidations {
+                    self.storage.invalidate(inv.object, inv.new_version);
+                    latest = latest.max(inv.seq);
+                }
+                self.last_seq.store(latest, Ordering::Relaxed);
+            }
+            InvalidationReplay::Truncated { latest } => {
+                self.lifecycle_stats
+                    .snapshot_resyncs
+                    .fetch_add(1, Ordering::Relaxed);
+                self.storage.clear();
+                self.last_seq.store(latest, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Sets the recovery policy governing gap handling, staleness budgets
+    /// and reconnect resyncs. Defaults to [`RecoveryPolicy::None`].
+    pub fn set_recovery_policy(&self, policy: RecoveryPolicy) {
+        self.lifecycle.lock().policy = policy;
+    }
+
+    /// The recovery policy in force.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.lifecycle.lock().policy
+    }
+
+    /// The cache's current lifecycle state.
+    pub fn lifecycle_state(&self) -> LifecycleState {
+        self.lifecycle.lock().state
+    }
+
+    /// `true` while the cache is down after a [`crash`](EdgeCache::crash)
+    /// (until [`restart`](EdgeCache::restart)).
+    pub fn is_crashed(&self) -> bool {
+        self.lifecycle_state().is_crashed()
+    }
+
+    /// A snapshot of the lifecycle counters (gaps, resyncs, faults).
+    pub fn lifecycle_stats(&self) -> LifecycleStatsSnapshot {
+        self.lifecycle_stats.snapshot()
+    }
+
+    /// The highest invalidation sequence number applied (0 = none yet).
+    pub fn last_applied_seq(&self) -> u64 {
+        self.last_seq.load(Ordering::Relaxed)
+    }
+
+    /// Crashes the cache: the local store is lost and the invalidation
+    /// stream is severed until [`restart`](EdgeCache::restart).
+    pub fn crash(&self, now: SimTime) {
+        let mut lifecycle = self.lifecycle.lock();
+        self.storage.clear();
+        self.lifecycle_stats.crashes.fetch_add(1, Ordering::Relaxed);
+        lifecycle.state = LifecycleState::Disconnected {
+            since: now,
+            crashed: true,
+        };
+        self.state_tag.store(TAG_DISCONNECTED, Ordering::Release);
+    }
+
+    /// Restarts a crashed cache. The store is cold (dropped at crash time),
+    /// which is trivially consistent with the backend, so the cache adopts
+    /// the backend's current stream position and resumes healthy.
+    pub fn restart(&self) {
+        let mut lifecycle = self.lifecycle.lock();
+        self.last_seq
+            .store(self.backend.invalidation_latest_seq(), Ordering::Relaxed);
+        lifecycle.state = LifecycleState::Healthy;
+        self.state_tag.store(TAG_HEALTHY, Ordering::Release);
+    }
+
+    /// Partitions the cache from the database: the local store stays
+    /// intact and keeps serving (staling) reads, but invalidations no
+    /// longer arrive. No-op unless the cache is healthy.
+    pub fn disconnect(&self, now: SimTime) {
+        let mut lifecycle = self.lifecycle.lock();
+        if lifecycle.state != LifecycleState::Healthy {
+            return;
+        }
+        self.lifecycle_stats
+            .partitions
+            .fetch_add(1, Ordering::Relaxed);
+        lifecycle.state = LifecycleState::Disconnected {
+            since: now,
+            crashed: false,
+        };
+        self.state_tag.store(TAG_DISCONNECTED, Ordering::Release);
+    }
+
+    /// Heals a partition. Under [`RecoveryPolicy::GapResync`] the cache
+    /// first resyncs (log replay, or snapshot resync when the log has been
+    /// truncated) so it returns to service consistent; under
+    /// [`RecoveryPolicy::None`] it simply resumes with whatever staleness
+    /// it accumulated. No-op when the cache is already healthy.
+    pub fn reconnect(&self) {
+        let mut lifecycle = self.lifecycle.lock();
+        if lifecycle.state == LifecycleState::Healthy {
+            return;
+        }
+        self.lifecycle_stats
+            .reconnects
+            .fetch_add(1, Ordering::Relaxed);
+        if lifecycle.policy.resyncs() {
+            self.resync();
+        }
+        lifecycle.state = LifecycleState::Healthy;
+        self.state_tag.store(TAG_HEALTHY, Ordering::Release);
+    }
+
+    /// Runs a whole read-only transaction through the lifecycle-aware
+    /// entry point: healthy (and within-budget disconnected) caches serve
+    /// from the local store via the regular T-Cache path; a cache whose
+    /// staleness budget has run out degrades to pass-through reads against
+    /// the backend database. Returns what the transaction observed, so the
+    /// caller can feed the consistency monitor and attribute the result to
+    /// the serving path.
+    ///
+    /// # Errors
+    /// Propagates every error except [`TCacheError::InconsistencyAbort`],
+    /// which is reported as `committed: false`.
+    pub fn execute_read_only(
+        &self,
+        now: SimTime,
+        txn: TxnId,
+        keys: &[ObjectId],
+    ) -> TCacheResult<ReadTxnLog> {
+        match self.read_mode(now) {
+            ReadMode::Cached => self.execute_cached(now, txn, keys),
+            ReadMode::PassThrough => self.execute_pass_through(keys),
+        }
+    }
+
+    /// Decides which path serves a read-only transaction arriving `now`,
+    /// degrading a disconnected cache whose staleness budget has expired.
+    fn read_mode(&self, now: SimTime) -> ReadMode {
+        if self.state_tag.load(Ordering::Acquire) == TAG_HEALTHY {
+            return ReadMode::Cached;
+        }
+        let mut lifecycle = self.lifecycle.lock();
+        match lifecycle.state {
+            LifecycleState::Healthy => ReadMode::Cached,
+            LifecycleState::Degraded { .. } => ReadMode::PassThrough,
+            LifecycleState::Disconnected { since, crashed } => {
+                match lifecycle.policy.staleness_budget() {
+                    Some(budget) if now > since + budget => {
+                        lifecycle.state = LifecycleState::Degraded { crashed };
+                        self.state_tag.store(TAG_DEGRADED, Ordering::Release);
+                        ReadMode::PassThrough
+                    }
+                    // Within budget, or no recovery machinery configured:
+                    // keep serving (possibly stale) local data.
+                    _ => ReadMode::Cached,
+                }
+            }
+        }
+    }
+
+    /// The cached path of [`execute_read_only`](EdgeCache::execute_read_only):
+    /// the same per-key loop as [`execute_transaction`](EdgeCache::execute_transaction),
+    /// but reporting observed versions.
+    fn execute_cached(
+        &self,
+        now: SimTime,
+        txn: TxnId,
+        keys: &[ObjectId],
+    ) -> TCacheResult<ReadTxnLog> {
+        let mut observed = Vec::with_capacity(keys.len());
+        for (i, &key) in keys.iter().enumerate() {
+            let last_op = i + 1 == keys.len();
+            match self.read(now, txn, key, last_op) {
+                Ok(v) => observed.push((key, v.version)),
+                Err(TCacheError::InconsistencyAbort { .. }) => {
+                    return Ok(ReadTxnLog {
+                        observed,
+                        committed: false,
+                        mode: ReadMode::Cached,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(ReadTxnLog {
+            observed,
+            committed: true,
+            mode: ReadMode::Cached,
+        })
+    }
+
+    /// The degraded path: every key is read directly from the backend,
+    /// bypassing the local store, then the version vector is validated by
+    /// re-reading until stable (bounded rounds). Under the planes'
+    /// lockstep pacing no update runs concurrently, so the first
+    /// validation pass succeeds and the result is serializable by
+    /// construction.
+    fn execute_pass_through(&self, keys: &[ObjectId]) -> TCacheResult<ReadTxnLog> {
+        self.lifecycle_stats
+            .pass_through_txns
+            .fetch_add(1, Ordering::Relaxed);
+        let mut observed = Vec::with_capacity(keys.len());
+        for &key in keys {
+            let entry = self.backend.read_entry(key)?;
+            observed.push((key, entry.version));
+        }
+        for _ in 0..PASS_THROUGH_VALIDATION_ROUNDS {
+            let mut changed = false;
+            for (key, version) in observed.iter_mut() {
+                let fresh = self.backend.peek_entry(*key)?.version;
+                if fresh != *version {
+                    *version = fresh;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.stats.record_commit();
+        Ok(ReadTxnLog {
+            observed,
+            committed: true,
+            mode: ReadMode::PassThrough,
+        })
     }
 
     /// A snapshot of the cache's statistics.
@@ -625,6 +941,228 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.invalidations_applied, 1);
         assert_eq!(s.invalidations_ignored, 1);
+    }
+
+    #[test]
+    fn crash_clears_store_and_restart_adopts_stream_position() {
+        let (db, cache) = setup(3, Strategy::Abort);
+        cache.read(SimTime::ZERO, TxnId(1), ObjectId(1), true).unwrap();
+        assert_eq!(cache.cached_objects(), 1);
+
+        cache.crash(SimTime::from_secs(1));
+        assert_eq!(cache.cached_objects(), 0, "crash drops the store");
+        assert!(cache.is_crashed());
+        assert_eq!(cache.lifecycle_state().name(), "crashed");
+
+        // Updates committed while the cache is down are logged at the db.
+        db.execute_update(TxnId(10), &vec![1u64].into()).unwrap();
+        db.execute_update(TxnId(11), &vec![2u64].into()).unwrap();
+
+        cache.restart();
+        assert!(!cache.is_crashed());
+        assert_eq!(cache.lifecycle_state(), LifecycleState::Healthy);
+        assert_eq!(
+            cache.last_applied_seq(),
+            db.invalidation_latest_seq(),
+            "a cold store adopts the backend's current stream position"
+        );
+        assert_eq!(cache.lifecycle_stats().crashes, 1);
+        // The restarted cache reads fresh data.
+        let log = cache
+            .execute_read_only(SimTime::from_secs(2), TxnId(2), &[ObjectId(1)])
+            .unwrap();
+        assert!(log.committed);
+        assert_eq!(log.mode, ReadMode::Cached);
+        assert!(log.observed[0].1 > Version::INITIAL);
+    }
+
+    #[test]
+    fn gap_without_recovery_policy_is_counted_but_not_repaired() {
+        let (db, cache) = setup(3, Strategy::Abort);
+        cache.read(SimTime::ZERO, TxnId(1), ObjectId(1), true).unwrap();
+
+        let c1 = db.execute_update(TxnId(10), &vec![1u64].into()).unwrap();
+        cache.apply_invalidation(c1.invalidations.invalidations()[0]);
+        assert_eq!(cache.last_applied_seq(), 1);
+
+        // Lose seq 2, deliver seq 3.
+        let _lost = db.execute_update(TxnId(11), &vec![1u64].into()).unwrap();
+        let c3 = db.execute_update(TxnId(12), &vec![1u64].into()).unwrap();
+        cache.apply_invalidation(c3.invalidations.invalidations()[0]);
+
+        let stats = cache.lifecycle_stats();
+        assert_eq!(stats.gaps_detected, 1);
+        assert_eq!(stats.invalidations_missed, 1);
+        assert_eq!(stats.log_replays, 0);
+        assert_eq!(cache.last_applied_seq(), 3);
+    }
+
+    #[test]
+    fn gap_triggers_inline_log_replay_under_gap_resync() {
+        let (db, cache) = setup(3, Strategy::Abort);
+        cache.set_recovery_policy(RecoveryPolicy::GapResync {
+            staleness_budget: SimDuration::from_millis(100),
+        });
+        cache.read(SimTime::ZERO, TxnId(1), ObjectId(1), true).unwrap();
+        cache.read(SimTime::ZERO, TxnId(1), ObjectId(2), true).unwrap();
+
+        let c1 = db.execute_update(TxnId(10), &vec![1u64].into()).unwrap();
+        cache.apply_invalidation(c1.invalidations.invalidations()[0]);
+
+        // Object 2's invalidation (seq 2) is lost; seq 3 arrives and the
+        // gap triggers a replay that also invalidates object 2.
+        let _lost = db.execute_update(TxnId(11), &vec![2u64].into()).unwrap();
+        let c3 = db.execute_update(TxnId(12), &vec![1u64].into()).unwrap();
+        cache.apply_invalidation(c3.invalidations.invalidations()[0]);
+
+        let stats = cache.lifecycle_stats();
+        assert_eq!(stats.gaps_detected, 1);
+        assert_eq!(stats.log_replays, 1);
+        assert_eq!(stats.replayed_invalidations, 2);
+        assert_eq!(stats.snapshot_resyncs, 0);
+        assert_eq!(cache.last_applied_seq(), 3);
+        // The stale copy of object 2 was removed by the replay, so the
+        // next read fetches the fresh version.
+        let log = cache
+            .execute_read_only(SimTime::from_secs(1), TxnId(2), &[ObjectId(2)])
+            .unwrap();
+        assert!(log.observed[0].1 > Version::INITIAL);
+    }
+
+    #[test]
+    fn truncated_log_forces_snapshot_resync_on_reconnect() {
+        let mut config = DatabaseConfig::with_bound(3);
+        config.invalidation_log_capacity = 2;
+        let db = Arc::new(Database::new(config));
+        db.populate((0..10).map(|i| (ObjectId(i), Value::new(0))));
+        let cache = EdgeCache::tcache(CacheId(0), Arc::clone(&db), 3, Strategy::Abort);
+        cache.set_recovery_policy(RecoveryPolicy::GapResync {
+            staleness_budget: SimDuration::from_millis(100),
+        });
+        cache.read(SimTime::ZERO, TxnId(1), ObjectId(1), true).unwrap();
+
+        cache.disconnect(SimTime::from_secs(1));
+        // Far more updates than the log retains.
+        for i in 0..5 {
+            db.execute_update(TxnId(10 + i), &vec![1u64, 2].into()).unwrap();
+        }
+        cache.reconnect();
+
+        let stats = cache.lifecycle_stats();
+        assert_eq!(stats.partitions, 1);
+        assert_eq!(stats.reconnects, 1);
+        assert_eq!(stats.log_replays, 0);
+        assert_eq!(stats.snapshot_resyncs, 1, "log truncated: full resync");
+        assert_eq!(cache.cached_objects(), 0, "snapshot resync drops the store");
+        assert_eq!(cache.last_applied_seq(), db.invalidation_latest_seq());
+        assert_eq!(cache.lifecycle_state(), LifecycleState::Healthy);
+    }
+
+    #[test]
+    fn partition_preserves_stale_entries_and_reconnect_replays() {
+        let (db, cache) = setup(3, Strategy::Abort);
+        cache.set_recovery_policy(RecoveryPolicy::GapResync {
+            staleness_budget: SimDuration::from_secs(10),
+        });
+        cache.read(SimTime::ZERO, TxnId(1), ObjectId(1), true).unwrap();
+
+        cache.disconnect(SimTime::from_secs(1));
+        db.execute_update(TxnId(10), &vec![1u64].into()).unwrap();
+
+        // Within the staleness budget the partitioned cache serves the
+        // stale local copy.
+        let log = cache
+            .execute_read_only(SimTime::from_secs(2), TxnId(2), &[ObjectId(1)])
+            .unwrap();
+        assert_eq!(log.mode, ReadMode::Cached);
+        assert_eq!(log.observed[0].1, Version::INITIAL, "stale within budget");
+
+        cache.reconnect();
+        let stats = cache.lifecycle_stats();
+        assert_eq!(stats.reconnects, 1);
+        assert_eq!(stats.log_replays, 1);
+        // The replay invalidated the stale entry; the next read is fresh.
+        let log = cache
+            .execute_read_only(SimTime::from_secs(3), TxnId(3), &[ObjectId(1)])
+            .unwrap();
+        assert_eq!(log.mode, ReadMode::Cached);
+        assert!(log.observed[0].1 > Version::INITIAL);
+    }
+
+    #[test]
+    fn exhausted_staleness_budget_degrades_to_pass_through() {
+        let (db, cache) = setup(3, Strategy::Abort);
+        cache.set_recovery_policy(RecoveryPolicy::GapResync {
+            staleness_budget: SimDuration::from_millis(500),
+        });
+        cache.read(SimTime::ZERO, TxnId(1), ObjectId(1), true).unwrap();
+
+        cache.disconnect(SimTime::from_secs(1));
+        db.execute_update(TxnId(10), &vec![1u64].into()).unwrap();
+
+        // Past the budget the cache degrades: reads bypass the (stale)
+        // store and observe the backend's current version.
+        let log = cache
+            .execute_read_only(SimTime::from_secs(2), TxnId(2), &[ObjectId(1)])
+            .unwrap();
+        assert_eq!(log.mode, ReadMode::PassThrough);
+        assert!(log.committed);
+        assert!(log.observed[0].1 > Version::INITIAL, "pass-through is fresh");
+        assert!(matches!(
+            cache.lifecycle_state(),
+            LifecycleState::Degraded { crashed: false }
+        ));
+        assert_eq!(cache.lifecycle_stats().pass_through_txns, 1);
+
+        // Reconnect resyncs and readmits cached reads.
+        cache.reconnect();
+        let log = cache
+            .execute_read_only(SimTime::from_secs(3), TxnId(3), &[ObjectId(1)])
+            .unwrap();
+        assert_eq!(log.mode, ReadMode::Cached);
+        assert!(log.observed[0].1 > Version::INITIAL);
+    }
+
+    #[test]
+    fn no_recovery_policy_never_degrades() {
+        let (db, cache) = setup(3, Strategy::Abort);
+        cache.read(SimTime::ZERO, TxnId(1), ObjectId(1), true).unwrap();
+        cache.disconnect(SimTime::from_secs(1));
+        db.execute_update(TxnId(10), &vec![1u64].into()).unwrap();
+
+        // However long the partition, RecoveryPolicy::None keeps serving
+        // stale local data — the "without recovery" axis of the figure.
+        let log = cache
+            .execute_read_only(SimTime::from_secs(3600), TxnId(2), &[ObjectId(1)])
+            .unwrap();
+        assert_eq!(log.mode, ReadMode::Cached);
+        assert_eq!(log.observed[0].1, Version::INITIAL);
+        assert_eq!(cache.lifecycle_stats().pass_through_txns, 0);
+
+        cache.reconnect();
+        assert_eq!(cache.lifecycle_stats().log_replays, 0, "no resync");
+        // The stale entry survives reconnection (still unrepaired until an
+        // invalidation or eviction arrives).
+        let log = cache
+            .execute_read_only(SimTime::from_secs(3601), TxnId(3), &[ObjectId(1)])
+            .unwrap();
+        assert_eq!(log.observed[0].1, Version::INITIAL);
+    }
+
+    #[test]
+    fn execute_read_only_reports_aborts_with_partial_observations() {
+        let (db, cache) = setup(3, Strategy::Abort);
+        build_stale_pair(&db, &cache);
+        let log = cache
+            .execute_read_only(SimTime::from_secs(1), TxnId(2), &[ObjectId(1), ObjectId(2)])
+            .unwrap();
+        assert!(!log.committed);
+        assert_eq!(log.mode, ReadMode::Cached);
+        assert_eq!(log.observed.len(), 1, "the aborting read observes nothing");
+        // Unknown objects still propagate as errors.
+        assert!(cache
+            .execute_read_only(SimTime::ZERO, TxnId(3), &[ObjectId(999)])
+            .is_err());
     }
 
     #[test]

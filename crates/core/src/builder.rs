@@ -1,14 +1,16 @@
 //! Builder for [`TCacheSystem`].
 
 use crate::system::{SystemWiring, TCacheSystem};
-use crate::transport::{DeliveryMode, TransportMode};
+use crate::transport::{DeliveryMode, RetryPolicy, TransportMode};
 use std::sync::Arc;
 use tcache_cache::EdgeCache;
 use tcache_db::{Database, DatabaseConfig, ReadPath};
 use tcache_net::delivery::DeliveryModel;
 use tcache_net::fanout::{CacheLink, InvalidationFanout};
 use tcache_net::pipe::OverflowPolicy;
-use tcache_types::{CacheId, CachePolicyConfig, DependencyBound, SimDuration, Strategy};
+use tcache_types::{
+    CacheId, CachePolicyConfig, DependencyBound, RecoveryPolicy, SimDuration, Strategy,
+};
 
 /// Configures and builds a [`TCacheSystem`].
 ///
@@ -54,6 +56,9 @@ pub struct SystemBuilder {
     pipe_capacity: usize,
     overflow_policy: OverflowPolicy,
     db_read_path: ReadPath,
+    invalidation_log_capacity: usize,
+    recovery_policy: RecoveryPolicy,
+    publish_retry: RetryPolicy,
 }
 
 impl Default for SystemBuilder {
@@ -75,6 +80,9 @@ impl Default for SystemBuilder {
             pipe_capacity: usize::MAX,
             overflow_policy: OverflowPolicy::Block,
             db_read_path: ReadPath::default(),
+            invalidation_log_capacity: DatabaseConfig::default().invalidation_log_capacity,
+            recovery_policy: RecoveryPolicy::None,
+            publish_retry: RetryPolicy::default(),
         }
     }
 }
@@ -238,6 +246,36 @@ impl SystemBuilder {
         self
     }
 
+    /// Bounds the database's in-memory invalidation log (the replay window
+    /// recovering caches catch up from; older entries force a snapshot
+    /// resync). Clamped to at least 1.
+    pub fn invalidation_log_capacity(mut self, capacity: usize) -> Self {
+        self.invalidation_log_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets every cache's recovery policy: how it reacts to gaps in its
+    /// sequence-numbered invalidation stream, how long a partitioned cache
+    /// may serve stale data before degrading to pass-through reads, and
+    /// whether healing a partition resyncs from the invalidation log. The
+    /// default, [`RecoveryPolicy::None`], keeps the historical behaviour
+    /// (stale data persists until an invalidation or eviction removes it).
+    pub fn recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery_policy = policy;
+        self
+    }
+
+    /// How the publish path retries sends to a severed (crashed /
+    /// partitioned) cache under [`DeliveryMode::Modeled`]: up to
+    /// `budget` attempts with capped exponential backoff before the batch
+    /// is abandoned. The default budget of 0 discards immediately, which
+    /// keeps the commit path free of wall-clock sleeps (what the
+    /// deterministic simulation planes require).
+    pub fn publish_retry(mut self, retry: RetryPolicy) -> Self {
+        self.publish_retry = retry;
+        self
+    }
+
     /// Selects the backend store's read path: the seqlock-validated
     /// optimistic path ([`ReadPath::Optimistic`], the default — cache
     /// misses never block behind installing writers) or the historical
@@ -273,6 +311,7 @@ impl SystemBuilder {
             dependency_bound: policy.dependency_bound,
             history_depth: 0,
             read_path: self.db_read_path,
+            invalidation_log_capacity: self.invalidation_log_capacity,
         }));
         let losses = self
             .per_cache_loss
@@ -290,7 +329,11 @@ impl SystemBuilder {
             );
         }
         let caches: Vec<Arc<EdgeCache>> = (0..losses.len())
-            .map(|i| Arc::new(EdgeCache::new(CacheId(i as u32), Arc::clone(&db), policy)))
+            .map(|i| {
+                let cache = EdgeCache::new(CacheId(i as u32), Arc::clone(&db), policy);
+                cache.set_recovery_policy(self.recovery_policy);
+                Arc::new(cache)
+            })
             .collect();
         let fanout = InvalidationFanout::new(
             self.seed,
@@ -320,6 +363,7 @@ impl SystemBuilder {
                 overflow_policy: self.overflow_policy,
                 models,
                 seed: self.seed,
+                retry: self.publish_retry,
             },
         )
     }

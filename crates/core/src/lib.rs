@@ -72,7 +72,7 @@ pub mod transport;
 
 pub use builder::SystemBuilder;
 pub use system::{CacheNodeStats, ReadOutcome, SystemStats, TCacheSystem};
-pub use transport::{DeliveryMode, TransportMode};
+pub use transport::{DeliveryMode, RetryPolicy, TransportMode};
 
 pub use tcache_cache as cache;
 pub use tcache_db as db;

@@ -1,6 +1,6 @@
 //! A single-process T-Cache deployment: database + N edge caches.
 
-use crate::transport::{modeled_delivery_sink, DeliveryMode, ReactorPlane, TransportMode};
+use crate::transport::{modeled_delivery_sink, DeliveryMode, ReactorPlane, RetryPolicy, TransportMode};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -67,6 +67,7 @@ pub(crate) struct SystemWiring {
     pub(crate) overflow_policy: OverflowPolicy,
     pub(crate) models: Vec<DeliveryModel>,
     pub(crate) seed: u64,
+    pub(crate) retry: RetryPolicy,
 }
 
 /// One cache server's slice of a [`SystemStats`] snapshot.
@@ -135,7 +136,12 @@ impl TCacheSystem {
             for (index, cache) in caches.iter().enumerate() {
                 db.register_reporting_invalidation_upcall(
                     cache.id(),
-                    modeled_delivery_sink(cache.id(), plane.sender(index)),
+                    modeled_delivery_sink(
+                        cache.id(),
+                        plane.sender(index),
+                        plane.severed_flag(index),
+                        wiring.retry,
+                    ),
                 );
             }
         }
@@ -280,9 +286,24 @@ impl TCacheSystem {
         }
     }
 
-    /// Pauses or resumes one cache's reactor apply task, modelling a slow
-    /// or wedged edge cache: its pipe backs up and the overflow policy
-    /// takes over.
+    /// Looks up the index of a deployed cache.
+    fn cache_index(&self, cache: CacheId) -> TCacheResult<usize> {
+        let index = cache.0 as usize;
+        if index >= self.caches.len() {
+            return Err(TCacheError::UnknownCache(cache));
+        }
+        Ok(index)
+    }
+
+    /// The reactor plane, or the error naming the operation that needs it.
+    fn fault_plane(&self, operation: &'static str) -> TCacheResult<&ReactorPlane> {
+        self.reactor
+            .as_ref()
+            .ok_or(TCacheError::UnsupportedTransport { operation })
+    }
+
+    /// Pauses one cache's reactor apply task, modelling a slow or wedged
+    /// edge cache: its pipe backs up and the overflow policy takes over.
     ///
     /// **Caution:** with a bounded pipe under [`OverflowPolicy::Block`],
     /// backpressure is *hard* — once the paused cache's pipe fills, the
@@ -293,20 +314,149 @@ impl TCacheSystem {
     ///
     /// # Errors
     /// Returns [`TCacheError::UnsupportedTransport`] in
-    /// [`TransportMode::Threaded`] (there is no apply task to pause) and
-    /// [`TCacheError::UnknownCache`] if `cache` is not deployed, so
-    /// callers can tell "no reactor" from "no such cache".
-    pub fn pause_cache(&self, cache: CacheId, paused: bool) -> TCacheResult<()> {
-        let plane = self
-            .reactor
-            .as_ref()
-            .ok_or(TCacheError::UnsupportedTransport {
-                operation: "pause_cache (no reactor under TransportMode::Threaded)",
-            })?;
-        if (cache.0 as usize) >= self.caches.len() {
-            return Err(TCacheError::UnknownCache(cache));
+    /// [`TransportMode::Threaded`] (there is no apply task to pause),
+    /// [`TCacheError::UnknownCache`] if `cache` is not deployed, and
+    /// [`TCacheError::InvalidCacheState`] if the cache is already paused
+    /// or currently crashed (a crashed cache has no apply loop to wedge).
+    pub fn pause_cache(&self, cache: CacheId) -> TCacheResult<()> {
+        let plane = self.fault_plane("pause_cache (no reactor under TransportMode::Threaded)")?;
+        let index = self.cache_index(cache)?;
+        if self.caches[index].is_crashed() {
+            return Err(TCacheError::InvalidCacheState {
+                cache,
+                operation: "pause",
+                state: "crashed",
+            });
         }
-        plane.set_paused(cache.0 as usize, paused);
+        if plane.is_paused(index) {
+            return Err(TCacheError::InvalidCacheState {
+                cache,
+                operation: "pause",
+                state: "paused",
+            });
+        }
+        plane.set_paused(index, true);
+        Ok(())
+    }
+
+    /// Resumes a cache paused by [`TCacheSystem::pause_cache`]; its apply
+    /// task drains whatever backlog accumulated.
+    ///
+    /// # Errors
+    /// Returns [`TCacheError::UnsupportedTransport`] in
+    /// [`TransportMode::Threaded`], [`TCacheError::UnknownCache`] if
+    /// `cache` is not deployed, and [`TCacheError::InvalidCacheState`] if
+    /// the cache was never paused.
+    pub fn resume_cache(&self, cache: CacheId) -> TCacheResult<()> {
+        let plane = self.fault_plane("resume_cache (no reactor under TransportMode::Threaded)")?;
+        let index = self.cache_index(cache)?;
+        if !plane.is_paused(index) {
+            return Err(TCacheError::InvalidCacheState {
+                cache,
+                operation: "resume",
+                state: "running",
+            });
+        }
+        plane.set_paused(index, false);
+        Ok(())
+    }
+
+    /// Crashes one cache at virtual time `now`: its local store is lost
+    /// and its invalidation link is severed — publishes to it are
+    /// discarded (after the configured publish retries, if any) instead of
+    /// entering its pipe, so a crashed cache can never block the commit
+    /// path. The cache stays down until
+    /// [`restart_cache`](TCacheSystem::restart_cache).
+    ///
+    /// # Errors
+    /// Returns [`TCacheError::UnsupportedTransport`] in
+    /// [`TransportMode::Threaded`] (the fault plane lives on the reactor's
+    /// pipes) and [`TCacheError::UnknownCache`] if `cache` is not deployed.
+    pub fn crash_cache(&self, cache: CacheId, now: SimTime) -> TCacheResult<()> {
+        let plane = self.fault_plane("crash_cache (no reactor under TransportMode::Threaded)")?;
+        let index = self.cache_index(cache)?;
+        plane.set_severed(index, true);
+        self.caches[index].crash(now);
+        Ok(())
+    }
+
+    /// Restarts a crashed cache: the link is restored and the cache comes
+    /// back cold, adopting the database's current invalidation-stream
+    /// position (see [`EdgeCache::restart`]).
+    ///
+    /// # Errors
+    /// Same conditions as [`TCacheSystem::crash_cache`].
+    pub fn restart_cache(&self, cache: CacheId) -> TCacheResult<()> {
+        let plane = self.fault_plane("restart_cache (no reactor under TransportMode::Threaded)")?;
+        let index = self.cache_index(cache)?;
+        self.caches[index].restart();
+        plane.set_severed(index, false);
+        Ok(())
+    }
+
+    /// Partitions one cache from the database at virtual time `now`: its
+    /// store stays intact and keeps serving (staling) reads, but its
+    /// invalidation link is severed until
+    /// [`heal_cache`](TCacheSystem::heal_cache).
+    ///
+    /// # Errors
+    /// Same conditions as [`TCacheSystem::crash_cache`].
+    pub fn partition_cache(&self, cache: CacheId, now: SimTime) -> TCacheResult<()> {
+        let plane = self.fault_plane("partition_cache (no reactor under TransportMode::Threaded)")?;
+        let index = self.cache_index(cache)?;
+        plane.set_severed(index, true);
+        self.caches[index].disconnect(now);
+        Ok(())
+    }
+
+    /// Heals a partitioned cache's link; under
+    /// [`RecoveryPolicy`](tcache_types::RecoveryPolicy)`::GapResync` the
+    /// cache resyncs from the database's invalidation log before resuming
+    /// cached reads (see [`EdgeCache::reconnect`]).
+    ///
+    /// # Errors
+    /// Same conditions as [`TCacheSystem::crash_cache`].
+    pub fn heal_cache(&self, cache: CacheId) -> TCacheResult<()> {
+        let plane = self.fault_plane("heal_cache (no reactor under TransportMode::Threaded)")?;
+        let index = self.cache_index(cache)?;
+        plane.set_severed(index, false);
+        self.caches[index].reconnect();
+        Ok(())
+    }
+
+    /// Whether a cache's invalidation link is currently severed by a
+    /// crash or partition (always `false` in threaded mode).
+    pub fn is_cache_severed(&self, cache: CacheId) -> bool {
+        self.reactor.as_ref().is_some_and(|p| {
+            (cache.0 as usize) < self.caches.len() && p.is_severed(cache.0 as usize)
+        })
+    }
+
+    /// Sets the delay surcharge added to every invalidation delivered to
+    /// `cache` on top of its modeled latency (a fault-plan delay spike;
+    /// [`SimDuration::ZERO`] clears it). Under [`DeliveryMode::Clocked`]
+    /// the surcharge applies in the discrete-event channel's virtual time;
+    /// under [`DeliveryMode::Modeled`] the cache's delivery task sleeps it
+    /// out in wall-clock time.
+    ///
+    /// # Errors
+    /// Returns [`TCacheError::UnknownCache`] if `cache` is not deployed.
+    pub fn set_cache_extra_delay(&self, cache: CacheId, extra: SimDuration) -> TCacheResult<()> {
+        let index = self.cache_index(cache)?;
+        match self.delivery {
+            DeliveryMode::Modeled => {
+                let plane = self
+                    .fault_plane("set_cache_extra_delay (modeled delivery without a reactor)")?;
+                plane.set_extra_delay(index, extra);
+            }
+            DeliveryMode::Clocked => {
+                self.fanout
+                    .lock()
+                    .channel_mut(cache)
+                    .expect("index validated against the cache list")
+                    .set_extra_delay(extra);
+            }
+        }
         Ok(())
     }
 
@@ -489,7 +639,8 @@ impl TCacheSystem {
                             .map(|&(_, stats)| stats)
                             .unwrap_or_default();
                         ChannelStats {
-                            sent: publish.invalidations,
+                            // Severed publishes never reached the link.
+                            sent: publish.invalidations.saturating_sub(publish.severed),
                             dropped: delivery.dropped,
                             delivered: delivery.delivered,
                             overflowed: publish.overflowed,
@@ -696,13 +847,22 @@ mod tests {
         // Threaded mode has neither apply tasks to pause nor a reactor to
         // quiesce, and says so instead of silently answering `false`/`true`.
         assert!(matches!(
-            system.pause_cache(CacheId(0), true),
+            system.pause_cache(CacheId(0)),
+            Err(TCacheError::UnsupportedTransport { .. })
+        ));
+        assert!(matches!(
+            system.resume_cache(CacheId(0)),
+            Err(TCacheError::UnsupportedTransport { .. })
+        ));
+        assert!(matches!(
+            system.crash_cache(CacheId(0), system.now()),
             Err(TCacheError::UnsupportedTransport { .. })
         ));
         assert!(matches!(
             system.quiesce(std::time::Duration::from_millis(1)),
             Err(TCacheError::UnsupportedTransport { .. })
         ));
+        assert!(!system.is_cache_severed(CacheId(0)));
         assert!(!system.is_cache_paused(CacheId(0)));
         assert_eq!(system.stats().per_cache[0].pipe, Default::default());
         assert_eq!(system.stats().per_cache[0].delivery, Default::default());
@@ -714,11 +874,144 @@ mod tests {
             .caches(2)
             .transport(TransportMode::Reactor)
             .build();
-        assert!(system.pause_cache(CacheId(1), true).is_ok());
+        assert!(system.pause_cache(CacheId(1)).is_ok());
         assert!(system.is_cache_paused(CacheId(1)));
-        assert!(system.pause_cache(CacheId(1), false).is_ok());
+        assert!(system.resume_cache(CacheId(1)).is_ok());
+        assert!(!system.is_cache_paused(CacheId(1)));
         assert_eq!(
-            system.pause_cache(CacheId(9), true),
+            system.pause_cache(CacheId(9)),
+            Err(TCacheError::UnknownCache(CacheId(9)))
+        );
+        assert_eq!(
+            system.resume_cache(CacheId(9)),
+            Err(TCacheError::UnknownCache(CacheId(9)))
+        );
+    }
+
+    #[test]
+    fn pause_and_resume_report_state_errors() {
+        let system = SystemBuilder::new()
+            .caches(2)
+            .transport(TransportMode::Reactor)
+            .build();
+        // Resuming a never-paused cache is a state error, not a no-op.
+        assert_eq!(
+            system.resume_cache(CacheId(0)),
+            Err(TCacheError::InvalidCacheState {
+                cache: CacheId(0),
+                operation: "resume",
+                state: "running",
+            })
+        );
+        // Double pause is a state error too.
+        system.pause_cache(CacheId(0)).unwrap();
+        assert_eq!(
+            system.pause_cache(CacheId(0)),
+            Err(TCacheError::InvalidCacheState {
+                cache: CacheId(0),
+                operation: "pause",
+                state: "paused",
+            })
+        );
+        system.resume_cache(CacheId(0)).unwrap();
+        // A crashed cache has no apply loop to pause.
+        system.crash_cache(CacheId(0), system.now()).unwrap();
+        assert_eq!(
+            system.pause_cache(CacheId(0)),
+            Err(TCacheError::InvalidCacheState {
+                cache: CacheId(0),
+                operation: "pause",
+                state: "crashed",
+            })
+        );
+        system.restart_cache(CacheId(0)).unwrap();
+        assert!(system.pause_cache(CacheId(0)).is_ok());
+        system.resume_cache(CacheId(0)).unwrap();
+    }
+
+    #[test]
+    fn crash_severs_the_link_and_restart_restores_it() {
+        let system = SystemBuilder::new()
+            .caches(2)
+            .transport(TransportMode::Reactor)
+            .seed(7)
+            .build();
+        system.populate((0..20).map(|i| (ObjectId(i), Value::new(0))));
+        system.read_on(CacheId(0), ObjectId(1)).unwrap();
+
+        system.crash_cache(CacheId(0), system.now()).unwrap();
+        assert!(system.is_cache_severed(CacheId(0)));
+        assert!(system.cache(CacheId(0)).unwrap().is_crashed());
+        assert!(!system.is_cache_severed(CacheId(1)));
+
+        // Updates while down are discarded at cache 0's link but delivered
+        // to cache 1.
+        let v = system.update(&[ObjectId(1)]).unwrap();
+        system.advance_time(tcache_types::SimDuration::from_secs(1));
+        assert_eq!(system.read_on(CacheId(1), ObjectId(1)).unwrap().version, v);
+
+        system.restart_cache(CacheId(0)).unwrap();
+        assert!(!system.is_cache_severed(CacheId(0)));
+        assert!(!system.cache(CacheId(0)).unwrap().is_crashed());
+        // The restarted cold cache reads the current version.
+        assert_eq!(system.read_on(CacheId(0), ObjectId(1)).unwrap().version, v);
+        assert_eq!(
+            system.cache(CacheId(0)).unwrap().lifecycle_stats().crashes,
+            1
+        );
+    }
+
+    #[test]
+    fn partition_and_heal_resync_under_gap_resync_policy() {
+        let system = SystemBuilder::new()
+            .caches(1)
+            .transport(TransportMode::Reactor)
+            .recovery_policy(tcache_types::RecoveryPolicy::GapResync {
+                staleness_budget: tcache_types::SimDuration::from_secs(3600),
+            })
+            .seed(7)
+            .build();
+        system.populate((0..20).map(|i| (ObjectId(i), Value::new(0))));
+        system.read(ObjectId(1)).unwrap();
+
+        system.partition_cache(CacheId(0), system.now()).unwrap();
+        let v = system.update(&[ObjectId(1)]).unwrap();
+        system.advance_time(tcache_types::SimDuration::from_secs(1));
+        // Partitioned within budget: the stale local copy is still served.
+        assert_eq!(
+            system.read(ObjectId(1)).unwrap().version,
+            tcache_types::Version::INITIAL
+        );
+
+        system.heal_cache(CacheId(0)).unwrap();
+        // The reconnect replayed the invalidation log: the stale entry is
+        // gone and the fresh version is read through.
+        assert_eq!(system.read(ObjectId(1)).unwrap().version, v);
+        let lifecycle = system.cache(CacheId(0)).unwrap().lifecycle_stats();
+        assert_eq!(lifecycle.partitions, 1);
+        assert_eq!(lifecycle.reconnects, 1);
+        assert_eq!(lifecycle.log_replays, 1);
+    }
+
+    #[test]
+    fn extra_delay_spikes_apply_on_the_clocked_channel() {
+        let system = small_system(0.0);
+        system.read_transaction(&[ObjectId(5)]).unwrap();
+        // Spike cache 0's delay far beyond the default tick cadence.
+        system
+            .set_cache_extra_delay(CacheId(0), tcache_types::SimDuration::from_secs(30))
+            .unwrap();
+        system.update(&[ObjectId(5)]).unwrap();
+        system.advance_time(tcache_types::SimDuration::from_secs(1));
+        // Still in flight: the spiked invalidation has not arrived.
+        assert_eq!(
+            system.read(ObjectId(5)).unwrap().version,
+            tcache_types::Version::INITIAL
+        );
+        system.advance_time(tcache_types::SimDuration::from_secs(60));
+        assert!(system.read(ObjectId(5)).unwrap().version > tcache_types::Version::INITIAL);
+        assert_eq!(
+            system.set_cache_extra_delay(CacheId(9), tcache_types::SimDuration::ZERO),
             Err(TCacheError::UnknownCache(CacheId(9)))
         );
     }

@@ -83,6 +83,14 @@ pub(crate) struct ReactorPlane {
     /// of the backlog stays in the pipe — modelling a slow or wedged edge
     /// cache.
     paused: Vec<Arc<AtomicBool>>,
+    /// Per-cache severed flags (crash / partition): a severed cache's link
+    /// discards publishes instead of enqueuing them, so a crashed cache
+    /// behind a full `Block` pipe can never wedge the publishing thread —
+    /// the fault plane's invariant that lets `quiesce` always settle.
+    severed: Vec<Arc<AtomicBool>>,
+    /// Per-cache delay surcharge (microseconds) added on top of each
+    /// task's modeled latency — the live half of `FaultKind::DelaySpike`.
+    extra_delays: Vec<Arc<AtomicU64>>,
     handle: ReactorHandle,
     thread: Option<std::thread::JoinHandle<()>>,
     /// Times an `advance_time` quiesce wait gave up before the reactor
@@ -119,10 +127,14 @@ impl ReactorPlane {
         let mut pipes = Vec::with_capacity(caches.len());
         let mut counters = Vec::with_capacity(caches.len());
         let mut paused = Vec::with_capacity(caches.len());
+        let mut severed = Vec::with_capacity(caches.len());
+        let mut extra_delays = Vec::with_capacity(caches.len());
         for (cache, model) in caches.iter().zip(models) {
             let (tx, rx) = bounded_pipe::<Invalidation>(capacity, policy);
             let task_counters = Arc::new(DeliveryCounters::default());
             let pause_flag = Arc::new(AtomicBool::new(false));
+            let severed_flag = Arc::new(AtomicBool::new(false));
+            let extra_delay = Arc::new(AtomicU64::new(0));
             let id = cache.id();
             let task_cache = Arc::clone(cache);
             reactor.spawn(run_delivery(
@@ -134,12 +146,15 @@ impl ReactorPlane {
                     delay_seed: cache_delay_seed(run_seed, id),
                     counters: Arc::clone(&task_counters),
                     paused: Arc::clone(&pause_flag),
+                    extra_delay_micros: Arc::clone(&extra_delay),
                 },
                 move |inv| task_cache.apply_invalidation(inv),
             ));
             pipes.push(tx);
             counters.push(task_counters);
             paused.push(pause_flag);
+            severed.push(severed_flag);
+            extra_delays.push(extra_delay);
         }
         let handle = reactor.handle();
         let thread = std::thread::Builder::new()
@@ -150,6 +165,8 @@ impl ReactorPlane {
             pipes,
             counters,
             paused,
+            severed,
+            extra_delays,
             handle,
             thread: Some(thread),
             quiesce_timeouts: AtomicU64::new(0),
@@ -158,8 +175,13 @@ impl ReactorPlane {
 
     /// Sends one invalidation down `cache_index`'s pipe, applying its
     /// overflow policy (a `Block` pipe at capacity blocks the caller — the
-    /// backpressure lands on the publishing/committing thread).
+    /// backpressure lands on the publishing/committing thread). A severed
+    /// (crashed / partitioned) cache discards the message instead: nothing
+    /// enters the pipe and — crucially — nothing can block on it.
     pub(crate) fn deliver(&self, cache_index: usize, invalidation: Invalidation) {
+        if self.severed[cache_index].load(Ordering::Acquire) {
+            return;
+        }
         // Failure means the task is gone (shutdown); the channel is
         // best-effort, so dropping is correct.
         let _ = self.pipes[cache_index].send(invalidation);
@@ -215,6 +237,28 @@ impl ReactorPlane {
         self.paused[cache_index].load(Ordering::Acquire)
     }
 
+    /// Severs or restores one cache's invalidation link (crash/partition).
+    pub(crate) fn set_severed(&self, cache_index: usize, severed: bool) {
+        self.severed[cache_index].store(severed, Ordering::Release);
+    }
+
+    /// Whether a cache's invalidation link is currently severed.
+    pub(crate) fn is_severed(&self, cache_index: usize) -> bool {
+        self.severed[cache_index].load(Ordering::Acquire)
+    }
+
+    /// A clone of one cache's severed flag, for wiring into the cache's
+    /// publish sink ([`modeled_delivery_sink`]).
+    pub(crate) fn severed_flag(&self, cache_index: usize) -> Arc<AtomicBool> {
+        Arc::clone(&self.severed[cache_index])
+    }
+
+    /// Sets the delay surcharge one cache's delivery task adds on top of
+    /// its modeled latency (a fault-plan delay spike; zero clears it).
+    pub(crate) fn set_extra_delay(&self, cache_index: usize, extra: tcache_types::SimDuration) {
+        self.extra_delays[cache_index].store(extra.as_micros(), Ordering::Release);
+    }
+
     /// One cache's pipe counters.
     pub(crate) fn pipe_stats(&self, cache_index: usize) -> PipeStatsSnapshot {
         self.pipes[cache_index].stats()
@@ -261,18 +305,76 @@ impl Drop for ReactorPlane {
     }
 }
 
+/// How the publish path handles a send to a cache whose link is severed
+/// (crashed or partitioned): retry up to `budget` times with capped
+/// exponential backoff (re-checking the link before each attempt), then
+/// abandon the batch. The default budget of 0 discards immediately — the
+/// deterministic behaviour the simulation planes rely on (no wall-clock
+/// sleeps on the commit path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts per published batch (0 = never retry).
+    pub budget: u32,
+    /// Backoff before the first retry; doubles each attempt.
+    pub base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 0,
+            base: Duration::from_micros(50),
+            cap: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The capped exponential backoff before retry attempt `attempt`
+    /// (0-based).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+}
+
 /// Builds the per-cache invalidation upcall sink that feeds `sender`'s
 /// pipe from the database's commit path ([`DeliveryMode::Modeled`]): every
 /// invalidation of a published batch is enqueued individually, and the
 /// pipe's overflow / stall behaviour is reported back so the publisher can
-/// attribute what the commit paid. Used by the builder; `cache` only
-/// documents the wiring.
+/// attribute what the commit paid. A batch published while `severed` is
+/// set (the cache crashed or partitioned) is retried per `retry` — the
+/// publisher waits out short disconnects — and discarded once the budget
+/// runs out, so a downed cache can never block the commit path. Used by
+/// the builder; `cache` only documents the wiring.
 pub(crate) fn modeled_delivery_sink(
     _cache: CacheId,
     sender: PipeSender<Invalidation>,
+    severed: Arc<AtomicBool>,
+    retry: RetryPolicy,
 ) -> tcache_db::ReportingSink {
     Box::new(move |batch| {
         let mut report = tcache_db::SinkReport::default();
+        if severed.load(Ordering::Acquire) {
+            for attempt in 0..retry.budget {
+                std::thread::sleep(retry.backoff(attempt));
+                report.retries += 1;
+                if !severed.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            if severed.load(Ordering::Acquire) {
+                // Budget exhausted (or zero): the batch is lost on the
+                // floor, attributed so recovery can be audited later.
+                report.severed += batch.len() as u64;
+                if retry.budget > 0 {
+                    report.abandoned += batch.len() as u64;
+                }
+                return report;
+            }
+        }
         for &inv in batch.iter() {
             // Try the non-blocking path first so a Block pipe's
             // backpressure is visible as a stall before we wait it out.
@@ -295,4 +397,103 @@ pub(crate) fn modeled_delivery_sink(
         }
         report
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_policy_backoff_is_capped_exponential() {
+        let retry = RetryPolicy {
+            budget: 8,
+            base: Duration::from_micros(100),
+            cap: Duration::from_micros(350),
+        };
+        assert_eq!(retry.backoff(0), Duration::from_micros(100));
+        assert_eq!(retry.backoff(1), Duration::from_micros(200));
+        assert_eq!(retry.backoff(2), Duration::from_micros(350), "capped");
+        assert_eq!(retry.backoff(31), Duration::from_micros(350));
+        assert_eq!(RetryPolicy::default().budget, 0);
+    }
+
+    #[test]
+    fn severed_sink_discards_without_retry_budget() {
+        let (tx, rx) = bounded_pipe::<Invalidation>(8, OverflowPolicy::Block);
+        let severed = Arc::new(AtomicBool::new(true));
+        let sink = modeled_delivery_sink(
+            CacheId(0),
+            tx,
+            Arc::clone(&severed),
+            RetryPolicy::default(),
+        );
+        let batch = tcache_db::InvalidationBatch::new(vec![Invalidation::new(
+            tcache_types::ObjectId(1),
+            tcache_types::Version(2),
+            tcache_types::TxnId(3),
+        )]);
+        let report = sink(&batch);
+        assert_eq!(report.severed, 1);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.abandoned, 0, "budget 0 never 'abandons': no retry was attempted");
+        assert_eq!(report.enqueued, 0);
+        assert!(rx.try_recv().is_none(), "nothing entered the pipe");
+    }
+
+    #[test]
+    fn severed_sink_retries_until_the_link_heals() {
+        let (tx, rx) = bounded_pipe::<Invalidation>(8, OverflowPolicy::Block);
+        let severed = Arc::new(AtomicBool::new(true));
+        let retry = RetryPolicy {
+            budget: 50,
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(1),
+        };
+        let sink = modeled_delivery_sink(CacheId(0), tx, Arc::clone(&severed), retry);
+        // Heal the link from another thread while the publisher backs off.
+        let healer = {
+            let severed = Arc::clone(&severed);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                severed.store(false, Ordering::Release);
+            })
+        };
+        let batch = tcache_db::InvalidationBatch::new(vec![Invalidation::new(
+            tcache_types::ObjectId(1),
+            tcache_types::Version(2),
+            tcache_types::TxnId(3),
+        )]);
+        let report = sink(&batch);
+        healer.join().unwrap();
+        assert!(report.retries >= 1, "the publisher retried: {report:?}");
+        assert_eq!(report.severed, 0);
+        assert_eq!(report.abandoned, 0);
+        assert_eq!(report.enqueued, 1, "the healed link carried the batch");
+        assert!(rx.try_recv().is_some());
+    }
+
+    #[test]
+    fn severed_sink_abandons_after_the_budget() {
+        let (tx, rx) = bounded_pipe::<Invalidation>(8, OverflowPolicy::Block);
+        let severed = Arc::new(AtomicBool::new(true));
+        let retry = RetryPolicy {
+            budget: 3,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(20),
+        };
+        let sink = modeled_delivery_sink(CacheId(0), tx, severed, retry);
+        let batch = tcache_db::InvalidationBatch::new(vec![
+            Invalidation::new(
+                tcache_types::ObjectId(1),
+                tcache_types::Version(2),
+                tcache_types::TxnId(3),
+            );
+            2
+        ]);
+        let report = sink(&batch);
+        assert_eq!(report.retries, 3, "the whole budget was spent");
+        assert_eq!(report.severed, 2);
+        assert_eq!(report.abandoned, 2);
+        assert!(rx.try_recv().is_none());
+    }
 }

@@ -143,6 +143,7 @@ fn live_transport_fans_out_via_database_upcalls() {
                     delay_seed: cache_delay_seed(9, cache),
                     counters: Arc::clone(&task_counters),
                     paused: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+                    extra_delay_micros: Arc::new(std::sync::atomic::AtomicU64::new(0)),
                 },
                 |_| {},
             ));

@@ -123,7 +123,7 @@ fn stalled_reactor_task_never_blocks_commits_under_drop_oldest() {
     assert!(system.quiesce(Duration::from_secs(5)).unwrap());
     let applied_before = system.reactor_applied(CacheId(0)).unwrap();
 
-    system.pause_cache(CacheId(0), true).unwrap();
+    system.pause_cache(CacheId(0)).unwrap();
     assert!(system.is_cache_paused(CacheId(0)));
 
     // 100 updates × 2 invalidations each flow at cache 0's wedged pipe.
@@ -152,7 +152,7 @@ fn stalled_reactor_task_never_blocks_commits_under_drop_oldest() {
     assert!(system.reactor_applied(CacheId(1)).unwrap() >= 200);
 
     // Resuming drains the bounded backlog.
-    system.pause_cache(CacheId(0), false).unwrap();
+    system.resume_cache(CacheId(0)).unwrap();
     assert!(system.quiesce(Duration::from_secs(5)).unwrap());
     let applied_after = system.reactor_applied(CacheId(0)).unwrap();
     assert!(
@@ -190,7 +190,7 @@ fn commit_path_publish_stats_attribute_slow_pipes_per_cache() {
                 SinkReport {
                     enqueued: report.enqueued as u64,
                     overflowed: report.overflowed as u64,
-                    stalled: false,
+                    ..SinkReport::default()
                 }
             }),
         );

@@ -9,6 +9,7 @@
 
 use crate::dependency_update::{AccessedObject, AggregatedDependencies};
 use crate::invalidation::{Invalidation, InvalidationBatch};
+use crate::log::{InvalidationLog, InvalidationReplay};
 use crate::publisher::{InvalidationPublisher, InvalidationSink};
 use crate::shard::{PreparedWrite, Shard};
 use crate::stats::{DbStats, DbStatsSnapshot};
@@ -34,6 +35,10 @@ pub struct DatabaseConfig {
     /// seqlock-validated optimistic path (default) or the historical
     /// lock-per-read baseline (see [`crate::store`]).
     pub read_path: ReadPath,
+    /// Invalidations retained by the in-memory log for replay after a cache
+    /// detects a sequence gap. A recovering cache whose gap is older than
+    /// the retained suffix falls back to a snapshot resync.
+    pub invalidation_log_capacity: usize,
 }
 
 impl Default for DatabaseConfig {
@@ -43,6 +48,7 @@ impl Default for DatabaseConfig {
             dependency_bound: DependencyBound::default(),
             history_depth: 0,
             read_path: ReadPath::default(),
+            invalidation_log_capacity: 1024,
         }
     }
 }
@@ -97,6 +103,7 @@ pub struct Database {
     stats: DbStats,
     config: DatabaseConfig,
     publisher: InvalidationPublisher,
+    log: InvalidationLog,
 }
 
 impl Database {
@@ -114,6 +121,7 @@ impl Database {
             stats: DbStats::new(),
             config,
             publisher: InvalidationPublisher::new(),
+            log: InvalidationLog::new(config.invalidation_log_capacity),
         }
     }
 
@@ -299,11 +307,15 @@ impl Database {
         match self.coordinator.commit(txn, prepared) {
             Ok(outcome) => {
                 self.stats.record_update_commit(outcome.installed.len() as u64);
-                let invalidations: InvalidationBatch = outcome
+                let mut invalidations: InvalidationBatch = outcome
                     .installed
                     .iter()
                     .map(|&(o, v)| Invalidation::new(o, v, txn))
                     .collect();
+                // Stamp stream positions and retain the batch for replay
+                // before fanning it out, so every published invalidation is
+                // already sequenced and recoverable.
+                self.log.record(&mut invalidations);
                 self.stats.record_invalidations(invalidations.len() as u64);
                 self.publisher.publish(&invalidations);
                 Ok(UpdateCommit {
@@ -331,6 +343,30 @@ impl Database {
                 .merge(self.coordinator.shard(i).store().read_path_stats());
         }
         snap
+    }
+
+    /// The newest invalidation sequence number the database has published
+    /// (0 before the first committed update). A cache restarting with a
+    /// cold store adopts this as its stream position: everything older is
+    /// irrelevant because misses re-fetch current versions.
+    pub fn invalidation_latest_seq(&self) -> u64 {
+        self.log.latest_seq()
+    }
+
+    /// Replays every invalidation with a sequence number greater than
+    /// `after_seq`, or reports that the log has been truncated past that
+    /// point (the caller must snapshot-resync instead).
+    pub fn replay_invalidations(&self, after_seq: u64) -> InvalidationReplay {
+        self.log.replay_after(after_seq)
+    }
+
+    /// Number of objects currently exclusively locked across all shards.
+    /// Zero whenever no transaction is mid-flight — the invariant the
+    /// crash-during-2PC tests pin down.
+    pub fn locked_objects(&self) -> usize {
+        (0..self.config.shards)
+            .map(|i| self.coordinator.shard(i).locked_objects())
+            .sum()
     }
 
     /// The configured dependency bound.
@@ -495,6 +531,49 @@ mod tests {
         db.execute_update(TxnId(3), &vec![4u64].into()).unwrap();
         assert_eq!(counts[0].load(Ordering::Relaxed), 4);
         assert_eq!(counts[1].load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn invalidations_are_sequenced_and_replayable() {
+        let db = db_with(10, 3);
+        assert_eq!(db.invalidation_latest_seq(), 0);
+        let c1 = db.execute_update(TxnId(1), &vec![1u64, 2].into()).unwrap();
+        let c2 = db.execute_update(TxnId(2), &vec![3u64].into()).unwrap();
+        // Each batch occupies a contiguous stream window, in commit order.
+        let seqs1: Vec<u64> = c1.invalidations.iter().map(|i| i.seq).collect();
+        let seqs2: Vec<u64> = c2.invalidations.iter().map(|i| i.seq).collect();
+        assert_eq!(seqs1, vec![1, 2]);
+        assert_eq!(seqs2, vec![3]);
+        assert_eq!(db.invalidation_latest_seq(), 3);
+        match db.replay_invalidations(1) {
+            crate::log::InvalidationReplay::Replayed(invs) => {
+                assert_eq!(invs.iter().map(|i| i.seq).collect::<Vec<_>>(), vec![2, 3]);
+            }
+            other => panic!("expected replay, got {other:?}"),
+        }
+        assert_eq!(db.locked_objects(), 0, "no locks held after commits");
+    }
+
+    #[test]
+    fn truncated_log_reports_snapshot_resync() {
+        let config = DatabaseConfig {
+            invalidation_log_capacity: 2,
+            ..DatabaseConfig::with_bound(3)
+        };
+        let db = Database::new(config);
+        db.populate((0..8).map(|i| (ObjectId(i), Value::new(0))));
+        for t in 0..4u64 {
+            db.execute_update(TxnId(t), &vec![t, t + 1].into()).unwrap();
+        }
+        assert_eq!(db.invalidation_latest_seq(), 8);
+        assert_eq!(
+            db.replay_invalidations(0),
+            crate::log::InvalidationReplay::Truncated { latest: 8 }
+        );
+        match db.replay_invalidations(6) {
+            crate::log::InvalidationReplay::Replayed(invs) => assert_eq!(invs.len(), 2),
+            other => panic!("expected replay, got {other:?}"),
+        }
     }
 
     #[test]

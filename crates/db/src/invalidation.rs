@@ -20,15 +20,33 @@ pub struct Invalidation {
     pub new_version: Version,
     /// The transaction that performed the update.
     pub txn: TxnId,
+    /// Position of this invalidation in the database's totally ordered
+    /// stream, stamped by the invalidation log at commit time. Sequence
+    /// numbers start at 1; `0` marks an unsequenced record (hand-built in a
+    /// test, or produced before the log stamped it) and is exempt from gap
+    /// detection on the cache side.
+    pub seq: u64,
 }
 
 impl Invalidation {
-    /// Creates an invalidation record.
+    /// Creates an unsequenced invalidation record (`seq == 0`). The
+    /// invalidation log assigns real sequence numbers at commit time.
     pub fn new(object: ObjectId, new_version: Version, txn: TxnId) -> Self {
         Invalidation {
             object,
             new_version,
             txn,
+            seq: 0,
+        }
+    }
+
+    /// Creates an invalidation record with an explicit sequence number.
+    pub fn with_seq(object: ObjectId, new_version: Version, txn: TxnId, seq: u64) -> Self {
+        Invalidation {
+            object,
+            new_version,
+            txn,
+            seq,
         }
     }
 }
@@ -74,6 +92,16 @@ impl InvalidationBatch {
     pub fn iter(&self) -> impl Iterator<Item = &Invalidation> {
         self.invalidations.iter()
     }
+
+    /// Stamps consecutive sequence numbers starting at `start` onto the
+    /// batch, preserving order. Called by the invalidation log while it
+    /// holds the stream counter, so a batch occupies a contiguous window of
+    /// the stream.
+    pub fn stamp_from(&mut self, start: u64) {
+        for (i, inv) in self.invalidations.iter_mut().enumerate() {
+            inv.seq = start + i as u64;
+        }
+    }
 }
 
 impl IntoIterator for InvalidationBatch {
@@ -109,6 +137,19 @@ mod tests {
         let collected: Vec<_> = batch.into_iter().collect();
         assert_eq!(collected, invs);
         assert!(InvalidationBatch::default().is_empty());
+    }
+
+    #[test]
+    fn stamping_assigns_consecutive_sequence_numbers() {
+        let mut batch: InvalidationBatch = (0..3)
+            .map(|i| Invalidation::new(ObjectId(i), Version(1), TxnId(2)))
+            .collect();
+        assert!(batch.iter().all(|inv| inv.seq == 0));
+        batch.stamp_from(7);
+        let seqs: Vec<u64> = batch.iter().map(|inv| inv.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        let explicit = Invalidation::with_seq(ObjectId(1), Version(2), TxnId(3), 42);
+        assert_eq!(explicit.seq, 42);
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   transaction, to be delivered (unreliably) to caches;
 //! * [`publisher`] — the per-cache upcall registry fanning each committed
 //!   update's invalidations out to every registered cache (§IV);
+//! * [`log`] — the bounded invalidation log that stamps each published
+//!   invalidation with a stream sequence number and replays the suffix a
+//!   recovering cache missed (or reports truncation, forcing a snapshot
+//!   resync);
 //! * [`database`] — the [`Database`] façade combining all of the above.
 //!
 //! # Example
@@ -47,6 +51,7 @@ pub mod database;
 pub mod dependency_update;
 pub mod invalidation;
 pub mod locks;
+pub mod log;
 pub mod publisher;
 pub mod shard;
 pub mod stats;
@@ -56,6 +61,7 @@ pub mod version_clock;
 
 pub use database::{Database, DatabaseConfig, UpdateCommit};
 pub use invalidation::{Invalidation, InvalidationBatch};
+pub use log::{InvalidationLog, InvalidationReplay};
 pub use publisher::{
     InvalidationPublisher, InvalidationSink, PublishStats, ReportingSink, SinkReport,
 };

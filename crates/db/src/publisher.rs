@@ -41,6 +41,14 @@ pub struct SinkReport {
     /// Whether the send had to wait for pipe capacity (backpressure into
     /// the commit path).
     pub stalled: bool,
+    /// Send attempts repeated after an initial failure (the sink's retry
+    /// backoff re-offering a batch to a disconnected cache's pipe).
+    pub retries: u64,
+    /// Invalidations given up on after the retry budget was exhausted.
+    pub abandoned: u64,
+    /// Invalidations not delivered because the cache's link was severed
+    /// (crashed or partitioned) for the whole retry window.
+    pub severed: u64,
 }
 
 /// Monotone per-cache publication counters.
@@ -52,6 +60,9 @@ struct PublishCounters {
     overflowed: AtomicU64,
     stalled_publishes: AtomicU64,
     publish_nanos: AtomicU64,
+    retries: AtomicU64,
+    abandoned: AtomicU64,
+    severed: AtomicU64,
 }
 
 /// A point-in-time copy of one cache's publication counters.
@@ -70,6 +81,14 @@ pub struct PublishStats {
     /// Total wall-clock time spent inside this cache's upcall, in
     /// nanoseconds — commit latency attributable to this pipe.
     pub publish_nanos: u64,
+    /// Send attempts repeated after an initial failure (retry backoff
+    /// toward a disconnected cache).
+    pub retries: u64,
+    /// Invalidations abandoned after the retry budget ran out.
+    pub abandoned: u64,
+    /// Invalidations dropped at the publisher because the cache's link was
+    /// severed (crash or partition) for the whole retry window.
+    pub severed: u64,
 }
 
 impl PublishCounters {
@@ -82,6 +101,9 @@ impl PublishCounters {
             self.stalled_publishes.fetch_add(1, Ordering::Relaxed);
         }
         self.publish_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.retries.fetch_add(report.retries, Ordering::Relaxed);
+        self.abandoned.fetch_add(report.abandoned, Ordering::Relaxed);
+        self.severed.fetch_add(report.severed, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> PublishStats {
@@ -92,6 +114,9 @@ impl PublishCounters {
             overflowed: self.overflowed.load(Ordering::Relaxed),
             stalled_publishes: self.stalled_publishes.load(Ordering::Relaxed),
             publish_nanos: self.publish_nanos.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
+            severed: self.severed.load(Ordering::Relaxed),
         }
     }
 }
@@ -297,6 +322,9 @@ mod tests {
                     enqueued: 1,
                     overflowed: b.len() as u64 - 1,
                     stalled: true,
+                    retries: 2,
+                    abandoned: 1,
+                    severed: 1,
                 }
             }),
         );
@@ -311,6 +339,9 @@ mod tests {
         assert_eq!(stats.enqueued, 2);
         assert_eq!(stats.overflowed, 6);
         assert_eq!(stats.stalled_publishes, 2);
+        assert_eq!(stats.retries, 4);
+        assert_eq!(stats.abandoned, 2);
+        assert_eq!(stats.severed, 2);
         assert!(
             stats.publish_nanos >= 4_000_000,
             "publish time accumulates: {}",

@@ -75,6 +75,12 @@ impl Shard {
         self.index
     }
 
+    /// Number of objects currently locked on this shard. Zero whenever no
+    /// transaction is between prepare and commit/abort here.
+    pub fn locked_objects(&self) -> usize {
+        self.locks.locked_objects()
+    }
+
     /// Direct access to the underlying store (reads, populate).
     pub fn store(&self) -> &VersionedStore {
         &self.store

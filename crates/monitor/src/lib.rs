@@ -33,5 +33,5 @@ pub mod sgt;
 
 pub use history::VersionHistory;
 pub use monitor::ConsistencyMonitor;
-pub use report::{MonitorReport, TransactionClass};
+pub use report::{MonitorReport, ReadPhase, TransactionClass};
 pub use sgt::SerializationGraph;

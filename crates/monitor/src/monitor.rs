@@ -28,7 +28,7 @@
 //! oracle's must.
 
 use crate::history::VersionHistory;
-use crate::report::{MonitorReport, TransactionClass};
+use crate::report::{MonitorReport, ReadPhase, TransactionClass};
 use crate::sgt::SerializationGraph;
 use std::collections::BTreeMap;
 use tcache_types::{CacheId, ObjectId, TransactionRecord, Version};
@@ -45,6 +45,7 @@ pub struct ConsistencyMonitor {
     sgt: SerializationGraph,
     report: MonitorReport,
     per_cache: BTreeMap<CacheId, MonitorReport>,
+    per_phase: BTreeMap<(CacheId, ReadPhase), MonitorReport>,
 }
 
 impl ConsistencyMonitor {
@@ -106,6 +107,33 @@ impl ConsistencyMonitor {
         let class = self.record_read_only(reads, committed);
         self.per_cache.entry(cache).or_default().record(class);
         class
+    }
+
+    /// Like [`ConsistencyMonitor::record_read_only_from`], additionally
+    /// attributing the classification to the lifecycle `phase` the cache was
+    /// in when it served the transaction. The per-cache and global reports
+    /// receive the transaction as usual; the per-`(cache, phase)` report is
+    /// on top, so phase reports for one cache partition that cache's report.
+    pub fn record_read_only_in_phase(
+        &mut self,
+        cache: CacheId,
+        phase: ReadPhase,
+        reads: &[(ObjectId, Version)],
+        committed: bool,
+    ) -> TransactionClass {
+        let class = self.record_read_only_from(cache, reads, committed);
+        self.per_phase.entry((cache, phase)).or_default().record(class);
+        class
+    }
+
+    /// The report restricted to transactions `cache` served while in
+    /// `phase` (empty if none). Only transactions reported through
+    /// [`ConsistencyMonitor::record_read_only_in_phase`] appear here.
+    pub fn phase_report(&self, cache: CacheId, phase: ReadPhase) -> MonitorReport {
+        self.per_phase
+            .get(&(cache, phase))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Decides whether `reads` is serializable with the update history:
@@ -297,6 +325,44 @@ mod tests {
         );
         m.record_read_only_record(&ro);
         assert_eq!(m.cache_report(CacheId(1)).committed_consistent, 1);
+    }
+
+    #[test]
+    fn phase_reports_partition_the_per_cache_report() {
+        let mut m = ConsistencyMonitor::new();
+        m.record_update_commit(&update(1, 1, &[1, 2]));
+        // A healthy-phase inconsistent commit and a degraded-phase
+        // consistent one on the same cache.
+        m.record_read_only_in_phase(
+            CacheId(0),
+            ReadPhase::Healthy,
+            &[(o(1), v(0)), (o(2), v(1))],
+            true,
+        );
+        m.record_read_only_in_phase(
+            CacheId(0),
+            ReadPhase::Degraded,
+            &[(o(1), v(1)), (o(2), v(1))],
+            true,
+        );
+        let healthy = m.phase_report(CacheId(0), ReadPhase::Healthy);
+        let degraded = m.phase_report(CacheId(0), ReadPhase::Degraded);
+        assert_eq!(healthy.committed_inconsistent, 1);
+        assert_eq!(degraded.committed_consistent, 1);
+        assert_eq!(degraded.committed_inconsistent, 0);
+        // The phase reports partition the cache report, which in turn feeds
+        // the global one.
+        let cache = m.cache_report(CacheId(0));
+        assert_eq!(
+            healthy.read_only_total() + degraded.read_only_total(),
+            cache.read_only_total()
+        );
+        assert_eq!(m.report().read_only_total(), cache.read_only_total());
+        // A phase the cache never reported in yields the empty report.
+        assert_eq!(
+            m.phase_report(CacheId(1), ReadPhase::Degraded),
+            MonitorReport::default()
+        );
     }
 
     #[test]

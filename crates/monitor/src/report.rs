@@ -36,6 +36,36 @@ impl TransactionClass {
     }
 }
 
+/// The cache-lifecycle phase a read-only transaction executed in, as
+/// reported by the execution plane alongside the transaction itself.
+///
+/// A cache that has exhausted its staleness budget while cut off from the
+/// invalidation stream serves reads *pass-through* from the database
+/// (`Degraded`); everything else — including reads served from a stale but
+/// still-within-budget cache — is `Healthy`. Keeping the two populations
+/// separate lets the fault-tolerance evaluation attribute inconsistency to
+/// the phase that produced it: degraded-window reads come straight from the
+/// backend and must never be classified as violations.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ReadPhase {
+    /// The cache was serving reads from its own store.
+    Healthy,
+    /// The cache was passing reads through to the database under bounded
+    /// staleness degradation.
+    Degraded,
+}
+
+impl fmt::Display for ReadPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadPhase::Healthy => write!(f, "healthy"),
+            ReadPhase::Degraded => write!(f, "degraded"),
+        }
+    }
+}
+
 /// Aggregate counts over all read-only transactions observed by the monitor,
 /// plus the update-transaction totals.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]

@@ -23,7 +23,7 @@ use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use tcache_db::Invalidation;
-use tcache_types::{SimTime, TCacheResult};
+use tcache_types::{SimDuration, SimTime, TCacheResult};
 
 /// An invalidation waiting to be delivered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +109,10 @@ pub struct InvalidationChannel {
     /// In-flight messages admitted before the overflow policy engages.
     capacity: usize,
     policy: OverflowPolicy,
+    /// Additional delay added on top of every sampled latency — a fault
+    /// plan's delay spike. Applied at send time, so messages already in
+    /// flight keep their original delivery times.
+    extra_delay: SimDuration,
     /// `Block` bookkeeping: one entry per occupied pipe slot, holding the
     /// time that slot frees (the occupant's delivery time). A message
     /// finding every slot busy is admitted only when the earliest slot
@@ -145,7 +149,15 @@ impl InvalidationChannel {
             capacity: capacity.max(1),
             policy,
             block_slots: BinaryHeap::new(),
+            extra_delay: SimDuration::ZERO,
         }
+    }
+
+    /// Sets the delay-spike surcharge added to every subsequent send's
+    /// sampled latency (zero clears the spike). The latency RNG stream is
+    /// untouched: the same delays are sampled, merely shifted.
+    pub fn set_extra_delay(&mut self, extra: SimDuration) {
+        self.extra_delay = extra;
     }
 
     /// A channel matching the paper's experimental setup: 20 % uniform loss
@@ -179,7 +191,7 @@ impl InvalidationChannel {
                 self.stats.dropped += 1;
                 continue;
             }
-            let delay = self.latency.sample(&mut self.rng);
+            let delay = self.latency.sample(&mut self.rng) + self.extra_delay;
             let mut send_at = now;
             if self.policy == OverflowPolicy::Block && self.capacity != usize::MAX {
                 // Slot bookkeeping: each of the `capacity` slots is busy
@@ -489,6 +501,22 @@ mod tests {
         ch.send(SimTime::from_millis(400), vec![inv(4, 1)]);
         assert_eq!(ch.stats().stalled, 2);
         assert_eq!(ch.next_delivery_at(), Some(SimTime::from_millis(300)));
+    }
+
+    #[test]
+    fn delay_spikes_shift_only_subsequent_sends() {
+        let latency = LatencyModel::Constant(SimDuration::from_millis(10));
+        let mut ch = InvalidationChannel::new(LossModel::None, latency, 1);
+        ch.send(SimTime::ZERO, vec![inv(1, 1)]);
+        ch.set_extra_delay(SimDuration::from_millis(500));
+        ch.send(SimTime::ZERO, vec![inv(2, 1)]);
+        // The in-flight message keeps its original delivery time…
+        assert_eq!(ch.due(SimTime::from_millis(10)).len(), 1);
+        // …while the spiked send arrives only after latency + spike.
+        assert_eq!(ch.next_delivery_at(), Some(SimTime::from_millis(510)));
+        ch.set_extra_delay(SimDuration::ZERO);
+        ch.send(SimTime::from_millis(600), vec![inv(3, 1)]);
+        assert_eq!(ch.due(SimTime::from_millis(610)).len(), 2, "spike cleared");
     }
 
     #[test]

@@ -162,6 +162,10 @@ pub struct DeliveryTask {
     pub counters: Arc<DeliveryCounters>,
     /// While set, the task holds deliveries (backlog stays in the pipe).
     pub paused: Arc<AtomicBool>,
+    /// Extra delay (microseconds) added on top of every sampled latency —
+    /// a fault plan's delay spike, adjustable while the task runs. Zero
+    /// restores the configured latency model untouched.
+    pub extra_delay_micros: Arc<AtomicU64>,
 }
 
 /// Runs one cache's modeled delivery loop until its pipe disconnects:
@@ -179,6 +183,7 @@ where
         delay_seed,
         counters,
         paused,
+        extra_delay_micros,
     } = task;
     let mut loss = LossState::new(model.loss);
     let mut loss_rng = StdRng::seed_from_u64(loss_seed);
@@ -202,8 +207,16 @@ where
             counters.dropped.fetch_add(1, Ordering::Release);
             continue;
         }
-        if !zero_delay {
-            let delay = model.latency.sample(&mut delay_rng);
+        // The spike surcharge is added *after* sampling, so toggling it
+        // never perturbs the delay RNG stream (and the zero-delay fast
+        // path draws nothing, exactly as without a spike).
+        let extra = SimDuration::from_micros(extra_delay_micros.load(Ordering::Acquire));
+        if !zero_delay || extra > SimDuration::ZERO {
+            let delay = if zero_delay {
+                extra
+            } else {
+                model.latency.sample(&mut delay_rng) + extra
+            };
             timer.sleep_sim(delay).await;
             counters
                 .delay_micros
@@ -238,6 +251,7 @@ mod tests {
                 delay_seed: seed ^ 0xdead_beef,
                 counters: Arc::clone(&counters),
                 paused: Arc::new(AtomicBool::new(false)),
+                extra_delay_micros: Arc::new(AtomicU64::new(0)),
             },
             move |v| sink.lock().unwrap().push(v),
         ));
@@ -312,6 +326,7 @@ mod tests {
                 delay_seed: 2,
                 counters: Arc::clone(&counters),
                 paused: Arc::clone(&paused),
+                extra_delay_micros: Arc::new(AtomicU64::new(0)),
             },
             move |_| {
                 sink.fetch_add(1, Ordering::Relaxed);

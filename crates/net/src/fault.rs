@@ -1,6 +1,10 @@
-//! Loss models for the invalidation channel.
+//! Loss models for the invalidation channel, and deterministic fault
+//! schedules ([`FaultPlan`]) injecting coarser-grained failures — cache
+//! crashes, backend partitions, delay spikes — on either execution plane.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcache_types::{fault_seed, CacheId, SimDuration, SimTime};
 
 /// Decides whether an individual invalidation message is lost.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -39,10 +43,14 @@ impl LossModel {
             LossModel::None => 0.0,
             LossModel::Uniform(p) => p,
             LossModel::Burst { enter, burst_len } => {
-                // Each non-burst message triggers a burst with prob `enter`,
-                // which then drops `burst_len` messages.
-                let b = burst_len as f64;
-                (enter * b) / (1.0 + enter * b)
+                // Renewal argument: each decision message (one not inside a
+                // burst tail) either enters a burst — itself the first of
+                // `burst_len` consecutive drops — with probability `enter`,
+                // or is delivered. A cycle therefore drops `enter · b`
+                // messages out of an expected `enter · b + (1 − enter) · 1
+                // = 1 + enter · (b − 1)`.
+                let b = f64::from(burst_len);
+                (enter * b) / (1.0 + enter * (b - 1.0))
             }
         }
     }
@@ -90,9 +98,199 @@ impl LossState {
     }
 }
 
+/// What happens to a cache at a scheduled fault instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The cache process dies: its store is lost and its link is severed
+    /// until the matching [`FaultKind::Restart`].
+    Crash,
+    /// The crashed cache comes back with a cold store and a healed link.
+    Restart,
+    /// The cache is partitioned from the backend: its store survives but
+    /// the link is severed until the matching [`FaultKind::PartitionEnd`].
+    PartitionStart,
+    /// The partition heals; the cache reconnects (and, under a resyncing
+    /// recovery policy, replays what it missed).
+    PartitionEnd,
+    /// Every subsequent send toward this cache is delayed by this much on
+    /// top of the configured latency. A later spike replaces the surcharge;
+    /// a zero-duration spike clears it.
+    DelaySpike(SimDuration),
+}
+
+/// One scheduled fault: at time `at`, `kind` happens to `cache`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires (virtual time on both planes).
+    pub at: SimTime,
+    /// The cache it hits.
+    pub cache: CacheId,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fault events, kept sorted by time.
+///
+/// The plan is pure data: both execution planes walk it with a
+/// [`FaultCursor`] and apply due events before each operation, so an
+/// identical plan produces identical lifecycle transitions — and, at zero
+/// delivery delay, identical monitor verdicts — on either plane.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — every cache stays healthy).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The scheduled events, sorted by time (ties keep insertion order).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds one event, keeping the schedule sorted by time; events at the
+    /// same instant keep their insertion order.
+    pub fn push(&mut self, event: FaultEvent) {
+        let pos = self.events.partition_point(|e| e.at <= event.at);
+        self.events.insert(pos, event);
+    }
+
+    /// Schedules a crash at `at` and the restart at `restart_at`
+    /// (builder style).
+    #[must_use]
+    pub fn crash_restart(mut self, cache: CacheId, at: SimTime, restart_at: SimTime) -> Self {
+        assert!(at < restart_at, "restart must follow the crash");
+        self.push(FaultEvent {
+            at,
+            cache,
+            kind: FaultKind::Crash,
+        });
+        self.push(FaultEvent {
+            at: restart_at,
+            cache,
+            kind: FaultKind::Restart,
+        });
+        self
+    }
+
+    /// Schedules a partition window `[from, to)` (builder style).
+    #[must_use]
+    pub fn partition(mut self, cache: CacheId, from: SimTime, to: SimTime) -> Self {
+        assert!(from < to, "partition must end after it starts");
+        self.push(FaultEvent {
+            at: from,
+            cache,
+            kind: FaultKind::PartitionStart,
+        });
+        self.push(FaultEvent {
+            at: to,
+            cache,
+            kind: FaultKind::PartitionEnd,
+        });
+        self
+    }
+
+    /// Schedules a delay spike of `extra` from `from`, cleared at `until`
+    /// (builder style).
+    #[must_use]
+    pub fn delay_spike(
+        mut self,
+        cache: CacheId,
+        from: SimTime,
+        until: SimTime,
+        extra: SimDuration,
+    ) -> Self {
+        assert!(from < until, "spike must end after it starts");
+        self.push(FaultEvent {
+            at: from,
+            cache,
+            kind: FaultKind::DelaySpike(extra),
+        });
+        self.push(FaultEvent {
+            at: until,
+            cache,
+            kind: FaultKind::DelaySpike(SimDuration::ZERO),
+        });
+        self
+    }
+
+    /// Samples `count` non-overlapping partition windows for `cache` within
+    /// `[0, horizon)`, each at most `max_len` long, from the run's
+    /// dedicated fault stream ([`fault_seed`]) — disjoint from every loss
+    /// and delay stream, so a sampled plan never perturbs the drop pattern.
+    /// The horizon is split into `count` equal slots with one window placed
+    /// inside each, which guarantees the windows cannot overlap.
+    pub fn sampled_partitions(
+        run_seed: u64,
+        cache: CacheId,
+        horizon: SimDuration,
+        count: usize,
+        max_len: SimDuration,
+    ) -> Self {
+        assert!(count > 0, "at least one window");
+        let mut rng = StdRng::seed_from_u64(fault_seed(run_seed));
+        let slot = horizon.as_micros() / count as u64;
+        assert!(slot > 1, "horizon too short for {count} windows");
+        let mut plan = FaultPlan::new();
+        for i in 0..count as u64 {
+            let len = 1 + rng.gen_range(0..max_len.as_micros().clamp(1, slot - 1));
+            let start = i * slot + rng.gen_range(0..slot - len);
+            plan = plan.partition(
+                cache,
+                SimTime::from_micros(start),
+                SimTime::from_micros(start + len),
+            );
+        }
+        plan
+    }
+}
+
+/// Walks a [`FaultPlan`] in time order, handing out the events that have
+/// become due. Each plane keeps one cursor per run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultCursor {
+    next: usize,
+}
+
+impl FaultCursor {
+    /// A cursor at the beginning of the schedule.
+    pub fn new() -> Self {
+        FaultCursor::default()
+    }
+
+    /// Returns the events with `at <= now` not yet handed out, advancing
+    /// past them.
+    pub fn due<'a>(&mut self, plan: &'a FaultPlan, now: SimTime) -> &'a [FaultEvent] {
+        let start = self.next;
+        while self.next < plan.events.len() && plan.events[self.next].at <= now {
+            self.next += 1;
+        }
+        &plan.events[start..self.next]
+    }
+
+    /// Whether every event has been handed out.
+    pub fn finished(&self, plan: &FaultPlan) -> bool {
+        self.next >= plan.events.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -147,5 +345,144 @@ mod tests {
         }
         assert!(max_run >= 4, "expected at least one full burst, got {max_run}");
         assert!(model.expected_loss() > 0.0 && model.expected_loss() < 1.0);
+    }
+
+    #[test]
+    fn fault_plan_builders_keep_events_sorted() {
+        let plan = FaultPlan::new()
+            .partition(CacheId(1), SimTime::from_secs(5), SimTime::from_secs(6))
+            .crash_restart(CacheId(0), SimTime::from_secs(1), SimTime::from_secs(3))
+            .delay_spike(
+                CacheId(2),
+                SimTime::from_secs(2),
+                SimTime::from_secs(4),
+                SimDuration::from_millis(50),
+            );
+        assert_eq!(plan.len(), 6);
+        assert!(!plan.is_empty());
+        let ats: Vec<u64> = plan.events().iter().map(|e| e.at.0).collect();
+        let mut sorted = ats.clone();
+        sorted.sort();
+        assert_eq!(ats, sorted, "events sorted by time");
+        assert_eq!(plan.events()[0].kind, FaultKind::Crash);
+        assert_eq!(
+            plan.events().last().unwrap().kind,
+            FaultKind::PartitionEnd
+        );
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn fault_cursor_hands_out_each_event_exactly_once() {
+        let plan = FaultPlan::new()
+            .crash_restart(CacheId(0), SimTime::from_secs(1), SimTime::from_secs(3))
+            .partition(CacheId(1), SimTime::from_secs(2), SimTime::from_secs(4));
+        let mut cursor = FaultCursor::new();
+        assert!(cursor.due(&plan, SimTime::from_millis(500)).is_empty());
+        let first = cursor.due(&plan, SimTime::from_secs(2));
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].kind, FaultKind::Crash);
+        assert_eq!(first[1].kind, FaultKind::PartitionStart);
+        // Already handed out events do not repeat.
+        assert!(cursor.due(&plan, SimTime::from_secs(2)).is_empty());
+        assert!(!cursor.finished(&plan));
+        assert_eq!(cursor.due(&plan, SimTime::from_secs(100)).len(), 2);
+        assert!(cursor.finished(&plan));
+    }
+
+    #[test]
+    fn sampled_partitions_are_deterministic_and_well_formed() {
+        let a = FaultPlan::sampled_partitions(
+            42,
+            CacheId(0),
+            SimDuration::from_secs(10),
+            3,
+            SimDuration::from_secs(2),
+        );
+        let b = FaultPlan::sampled_partitions(
+            42,
+            CacheId(0),
+            SimDuration::from_secs(10),
+            3,
+            SimDuration::from_secs(2),
+        );
+        assert_eq!(a, b, "same run seed → same plan");
+        assert_eq!(a.len(), 6);
+        // Windows alternate start/end, never overlap, and stay in bounds.
+        let mut open = false;
+        let mut last = SimTime::ZERO;
+        for e in a.events() {
+            assert!(e.at >= last);
+            match e.kind {
+                FaultKind::PartitionStart => {
+                    assert!(!open);
+                    open = true;
+                }
+                FaultKind::PartitionEnd => {
+                    assert!(open);
+                    open = false;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+            last = e.at;
+        }
+        assert!(!open);
+        assert!(last <= SimTime::ZERO + SimDuration::from_secs(10));
+        let c = FaultPlan::sampled_partitions(
+            43,
+            CacheId(0),
+            SimDuration::from_secs(10),
+            3,
+            SimDuration::from_secs(2),
+        );
+        assert_ne!(a, c, "different run seed → different plan");
+    }
+
+    proptest! {
+        // The stateful evaluator's long-run drop fraction must converge to
+        // the closed-form expected loss — for the i.i.d. uniform model and
+        // for the bursty renewal model alike. Pins the burst semantics
+        // (enter-probability draws only outside a burst, `burst_len`
+        // consecutive drops once entered) against
+        // `LossModel::expected_loss`.
+        #[test]
+        fn uniform_long_run_loss_matches_expected(
+            p_milli in 0u32..901,
+            seed in 0u64..1024,
+        ) {
+            let p = f64::from(p_milli) / 1000.0;
+            let model = LossModel::uniform(p);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut state = LossState::new(model);
+            let n = 50_000;
+            let dropped = (0..n).filter(|_| state.should_drop(&mut rng)).count();
+            let rate = dropped as f64 / f64::from(n);
+            prop_assert!(
+                (rate - model.expected_loss()).abs() < 0.03,
+                "p={p} rate={rate}"
+            );
+        }
+
+        #[test]
+        fn burst_long_run_loss_matches_expected(
+            enter_milli in 10u32..301,
+            burst_len in 1u32..7,
+            seed in 0u64..1024,
+        ) {
+            let model = LossModel::Burst {
+                enter: f64::from(enter_milli) / 1000.0,
+                burst_len,
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut state = LossState::new(model);
+            let n = 50_000;
+            let dropped = (0..n).filter(|_| state.should_drop(&mut rng)).count();
+            let rate = dropped as f64 / f64::from(n);
+            prop_assert!(
+                (rate - model.expected_loss()).abs() < 0.06,
+                "model={model:?} expected={} rate={rate}",
+                model.expected_loss()
+            );
+        }
     }
 }

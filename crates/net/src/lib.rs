@@ -8,7 +8,9 @@
 //!
 //! This crate models that channel:
 //!
-//! * [`fault`] — loss models (none, uniform probability, bursts);
+//! * [`fault`] — loss models (none, uniform probability, bursts) and
+//!   deterministic fault schedules ([`FaultPlan`]: crash/restart windows,
+//!   partitions, delay spikes) injectable on both execution planes;
 //! * [`latency`] — delay models (constant, uniform, exponential);
 //! * [`channel`] — a discrete-event delivery queue combining a loss model,
 //!   a latency model and an optional pipe capacity with overflow policy,
@@ -42,7 +44,7 @@ pub mod transport;
 pub use channel::{InvalidationChannel, PendingDelivery};
 pub use delivery::{run_delivery, DeliveryCounters, DeliveryModel, DeliveryStatsSnapshot, DeliveryTask};
 pub use fanout::{CacheLink, InvalidationFanout};
-pub use fault::LossModel;
+pub use fault::{FaultCursor, FaultEvent, FaultKind, FaultPlan, LossModel, LossState};
 pub use latency::LatencyModel;
 pub use pipe::{
     bounded_pipe, OverflowPolicy, PipeReceiver, PipeSendError, PipeSender, PipeStatsSnapshot,

@@ -17,9 +17,10 @@ use tcache_cache::EdgeCache;
 use tcache_db::{Database, DatabaseConfig};
 use tcache_monitor::ConsistencyMonitor;
 use tcache_net::fanout::{CacheLink, InvalidationFanout};
+use tcache_net::fault::FaultPlan;
 use tcache_net::pipe::OverflowPolicy;
 use tcache_types::{
-    CacheId, DependencyBound, ObjectId, SimDuration, SimTime, Strategy, Value,
+    CacheId, DependencyBound, ObjectId, RecoveryPolicy, SimDuration, SimTime, Strategy, Value,
 };
 use tcache_workload::graph::GraphKind;
 use tcache_workload::{
@@ -313,6 +314,14 @@ pub struct ExperimentConfig {
     pub pipe_capacity: Option<usize>,
     /// What a full pipe does with an arriving invalidation.
     pub overflow_policy: OverflowPolicy,
+    /// Deterministic schedule of injected faults (crashes, partitions,
+    /// delay spikes). Empty by default; both execution planes walk the
+    /// same plan with a cursor and apply due events before each operation.
+    pub faults: FaultPlan,
+    /// How caches recover from invalidation-stream gaps and how long a cut
+    /// off cache may serve its (possibly stale) store before degrading to
+    /// pass-through reads. Applied to every deployed cache.
+    pub recovery: RecoveryPolicy,
     /// Bin width of the outcome time series.
     pub timeseries_bin: SimDuration,
     /// Random seed (workload topology, arrivals, channel loss). Per-cache
@@ -344,6 +353,8 @@ impl Default for ExperimentConfig {
             invalidation_delay: SimDuration::from_millis(50),
             pipe_capacity: None,
             overflow_policy: OverflowPolicy::Block,
+            faults: FaultPlan::default(),
+            recovery: RecoveryPolicy::None,
             timeseries_bin: SimDuration::from_secs(1),
             seed: 42,
             plane: ExecutionPlane::DiscreteEvent,
@@ -405,7 +416,11 @@ impl Experiment {
         db.populate((0..workload.object_count() as u64).map(|i| (ObjectId(i), Value::new(0))));
         let losses = config.caches.losses(config.invalidation_loss);
         let caches: Vec<EdgeCache> = (0..losses.len())
-            .map(|i| config.cache.build(CacheId(i as u32), Arc::clone(&db)))
+            .map(|i| {
+                let cache = config.cache.build(CacheId(i as u32), Arc::clone(&db));
+                cache.set_recovery_policy(config.recovery);
+                cache
+            })
             .collect();
         // Each cache's channel is seeded from (seed, CacheId), so the loss
         // pattern a cache observes does not depend on how many other caches

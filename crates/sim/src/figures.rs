@@ -10,8 +10,9 @@ use crate::experiment::{CacheKind, CacheTopology, ExperimentConfig, WorkloadKind
 use crate::plane::{ExecutionPlane, LiveOptions};
 use crate::results::ExperimentResult;
 use serde::Serialize;
+use tcache_net::fault::FaultPlan;
 use tcache_net::pipe::OverflowPolicy;
-use tcache_types::{SimDuration, SimTime, Strategy};
+use tcache_types::{CacheId, RecoveryPolicy, SimDuration, SimTime, Strategy};
 use tcache_workload::graph::GraphKind;
 
 /// The α values swept by Figure 3 (1/32 … 4).
@@ -739,11 +740,190 @@ pub fn backpressure(
     rows
 }
 
+/// One row of the fault-tolerance experiment: one partition length under
+/// one recovery policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FaultToleranceRow {
+    /// Length of the injected partition, in milliseconds.
+    pub partition_ms: u64,
+    /// The recovery policy (`"none"` or `"gap-resync(...)"`).
+    pub recovery: String,
+    /// Inconsistent commits the faulted cache served over the whole run.
+    pub inconsistent: u64,
+    /// Inconsistent commits in time bins starting at or after the heal —
+    /// the figure's headline: bounded with gap-triggered resync, lingering
+    /// without.
+    pub post_heal_inconsistent: u64,
+    /// Read-only transactions the faulted cache served in pass-through
+    /// (degraded) mode.
+    pub degraded_txns: u64,
+    /// Inconsistent commits among the degraded-window transactions (must
+    /// stay zero: pass-through reads come straight from the database).
+    pub degraded_inconsistent: u64,
+    /// Sequence-number gaps the faulted cache detected.
+    pub gaps_detected: u64,
+    /// Invalidations the gaps skipped over.
+    pub invalidations_missed: u64,
+    /// Recoveries served by replaying the database's invalidation log.
+    pub log_replays: u64,
+    /// Recoveries that dropped the store because the log was truncated.
+    pub snapshot_resyncs: u64,
+}
+
+/// The fault-tolerance experiment (an extension beyond the paper): a plain
+/// cache on a *reliable* zero-delay link is partitioned from the backend
+/// for a window of each configured length, next to an unfaulted control
+/// cache, under both recovery policies. Without recovery the cache returns
+/// from the partition with a silently stale store and keeps committing
+/// inconsistent transactions after the heal; with sequence-numbered streams
+/// and gap-triggered resync it replays the database's invalidation log on
+/// reconnect (or falls back to a snapshot resync once the log has been
+/// truncated) and post-heal inconsistency returns to the healthy baseline.
+/// Partitions longer than the configured staleness budget degrade the
+/// cache to pass-through reads, which are served by the backend and never
+/// classified inconsistent.
+///
+/// The partition always starts at t = 1 s; callers must keep
+/// `1 s + partition_ms` inside `duration` so a post-heal window exists.
+pub fn fault_tolerance(
+    duration: SimDuration,
+    seed: u64,
+    partitions_ms: &[u64],
+    staleness_budget: SimDuration,
+) -> Vec<FaultToleranceRow> {
+    let policies = [
+        RecoveryPolicy::None,
+        RecoveryPolicy::GapResync { staleness_budget },
+    ];
+    let mut rows = Vec::new();
+    for &partition_ms in partitions_ms {
+        let from = SimTime::from_secs(1);
+        let to = from + SimDuration::from_millis(partition_ms);
+        for policy in policies {
+            let result = ExperimentConfig {
+                duration,
+                workload: WorkloadKind::PerfectClusters {
+                    objects: 1000,
+                    cluster_size: 5,
+                },
+                cache: CacheKind::Plain,
+                caches: CacheTopology::PerCacheLoss(vec![0.0, 0.0]),
+                invalidation_loss: 0.0,
+                invalidation_delay: SimDuration::ZERO,
+                faults: FaultPlan::new().partition(CacheId(0), from, to),
+                recovery: policy,
+                timeseries_bin: SimDuration::from_millis(500),
+                seed,
+                ..ExperimentConfig::default()
+            }
+            .run();
+            let faulted = &result.per_cache[0];
+            // Faults fire before the first transaction at or after their
+            // instant, so every read in a bin starting at or after the
+            // heal executed post-heal. (The control cache only ever adds
+            // consistent commits to these bins.)
+            let post_heal_inconsistent = result
+                .timeseries
+                .iter()
+                .filter(|&(t, _)| t >= to)
+                .map(|(_, bin)| bin.inconsistent)
+                .sum();
+            rows.push(FaultToleranceRow {
+                partition_ms,
+                recovery: policy.to_string(),
+                inconsistent: faulted.report.committed_inconsistent,
+                post_heal_inconsistent,
+                degraded_txns: faulted.lifecycle.pass_through_txns,
+                degraded_inconsistent: faulted.degraded.committed_inconsistent,
+                gaps_detected: faulted.lifecycle.gaps_detected,
+                invalidations_missed: faulted.lifecycle.invalidations_missed,
+                log_replays: faulted.lifecycle.log_replays,
+                snapshot_resyncs: faulted.lifecycle.snapshot_resyncs,
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const QUICK: SimDuration = SimDuration(3_000_000); // 3 s
+
+    #[test]
+    fn fault_tolerance_recovery_bounds_post_heal_inconsistency() {
+        // 500 ms partition: the missed window fits the database's
+        // invalidation log, so recovery replays it. 4 s partition: at
+        // ~500 invalidations/s the log (capacity 1024) has been truncated
+        // by heal time, forcing a snapshot resync.
+        let rows = fault_tolerance(
+            SimDuration::from_secs(8),
+            7,
+            &[500, 4000],
+            SimDuration::from_millis(100),
+        );
+        assert_eq!(rows.len(), 4);
+        let row = |ms: u64, resync: bool| {
+            rows.iter()
+                .find(|r| r.partition_ms == ms && (r.recovery != "no-recovery") == resync)
+                .unwrap()
+        };
+        // Without recovery the cache comes back silently stale: post-heal
+        // inconsistency lingers, and it grows with the partition length.
+        let none_short = row(500, false);
+        let none_long = row(4000, false);
+        assert!(
+            none_short.post_heal_inconsistent > 0,
+            "without recovery the healed cache must keep serving stale data: {none_short:?}"
+        );
+        assert!(
+            none_long.inconsistent > none_short.inconsistent,
+            "inconsistency must grow with the partition length ({} vs {})",
+            none_long.inconsistent,
+            none_short.inconsistent
+        );
+        // The gap is *detected* (sequence numbers make it visible) but not
+        // repaired under the no-recovery policy.
+        assert!(none_short.gaps_detected > 0);
+        assert!(none_short.invalidations_missed > 0);
+        assert_eq!(none_short.log_replays, 0);
+        assert_eq!(none_short.snapshot_resyncs, 0);
+        assert_eq!(none_short.degraded_txns, 0, "no budget, never degrades");
+
+        // With gap-triggered resync, post-heal inconsistency returns to
+        // the healthy (zero-loss, zero-delay) baseline: zero.
+        let resync_short = row(500, true);
+        let resync_long = row(4000, true);
+        for r in [resync_short, resync_long] {
+            assert_eq!(
+                r.post_heal_inconsistent, 0,
+                "resync must restore the healthy baseline after the heal: {r:?}"
+            );
+            assert!(
+                r.degraded_txns > 0,
+                "a partition far past the 100 ms budget must degrade reads: {r:?}"
+            );
+            assert_eq!(
+                r.degraded_inconsistent, 0,
+                "degraded-window reads come from the backend and are never violations: {r:?}"
+            );
+        }
+        // Short partition: the log still holds the missed window — replay.
+        assert!(resync_short.log_replays >= 1, "{resync_short:?}");
+        assert_eq!(resync_short.snapshot_resyncs, 0, "{resync_short:?}");
+        // Long partition: the log was truncated — snapshot resync.
+        assert!(resync_long.snapshot_resyncs >= 1, "{resync_long:?}");
+
+        // The whole sweep is a pure function of the seed.
+        let again = fault_tolerance(
+            SimDuration::from_secs(8),
+            7,
+            &[500, 4000],
+            SimDuration::from_millis(100),
+        );
+        assert_eq!(rows, again);
+    }
 
     #[test]
     fn fig3_detection_improves_with_clustering() {

@@ -7,13 +7,24 @@
 //! each event — exactly the loop the experiment harness has always run,
 //! with workload generation factored out into the schedule so the live
 //! plane can execute the identical script.
+//!
+//! The configured [`FaultPlan`] is walked with a cursor: every event due by
+//! the current instant fires after pending deliveries are applied and
+//! before the transaction executes, mirroring the live plane (which
+//! quiesces deliveries after each commit and applies faults before each
+//! operation). A severed link — crash or partition — stops *publication*
+//! to that cache's channel, and deliveries addressed to a severed cache
+//! are discarded rather than applied, exactly like the reactor plane's
+//! delivery loop.
 
 use crate::event::{Event, EventQueue};
 use crate::experiment::Experiment;
 use crate::results::{CacheColumnResult, ExperimentResult};
 use crate::schedule::{Schedule, ScheduledTxn};
-use tcache_cache::CacheStatsSnapshot;
-use tcache_types::{CacheId, ObjectId, SimTime, TCacheError, TransactionRecord};
+use tcache_cache::{CacheStatsSnapshot, ReadMode};
+use tcache_monitor::ReadPhase;
+use tcache_net::fault::{FaultCursor, FaultEvent, FaultKind, FaultPlan};
+use tcache_types::{CacheId, SimTime, TransactionRecord};
 
 /// Executes `schedule` on the experiment's discrete-event components and
 /// collects the results.
@@ -32,20 +43,26 @@ pub(crate) fn execute(mut exp: Experiment, schedule: &Schedule) -> ExperimentRes
         queue.schedule(op.at, event);
     }
 
+    let faults = exp.config.faults.clone();
+    let mut fault_cursor = FaultCursor::new();
+    let mut severed = vec![false; exp.caches.len()];
+
     let mut cursor = 0usize;
     while let Some((now, event)) = queue.pop() {
         if now > end {
             break;
         }
-        // Deliver every invalidation due by now before serving clients.
-        deliver_due(&mut exp, now);
+        // Deliver every invalidation due by now before serving clients,
+        // then fire the fault events that have become due.
+        deliver_due(&mut exp, now, &severed);
+        apply_due_faults(&mut exp, &faults, &mut fault_cursor, &mut severed, now);
         match event {
             Event::DeliverInvalidations => {}
             Event::UpdateTransaction => {
                 let op = &schedule.ops[cursor];
                 cursor += 1;
                 debug_assert!(op.is_update());
-                run_update(&mut exp, now, op, &mut queue);
+                run_update(&mut exp, now, op, &mut queue, &severed);
             }
             Event::ReadOnlyTransaction(cache) => {
                 let op = &schedule.ops[cursor];
@@ -55,6 +72,10 @@ pub(crate) fn execute(mut exp: Experiment, schedule: &Schedule) -> ExperimentRes
             }
         }
     }
+    // Fire whatever the plan still schedules inside the run's duration
+    // (e.g. a heal after the last transaction), so final lifecycle states
+    // and counters match the plan rather than the traffic pattern.
+    apply_due_faults(&mut exp, &faults, &mut fault_cursor, &mut severed, end);
 
     let per_cache: Vec<CacheColumnResult> = exp
         .caches
@@ -67,8 +88,10 @@ pub(crate) fn execute(mut exp: Experiment, schedule: &Schedule) -> ExperimentRes
                 id: cache.id(),
                 loss,
                 report: exp.monitor.cache_report(cache.id()),
+                degraded: exp.monitor.phase_report(cache.id(), ReadPhase::Degraded),
                 cache: cache.stats(),
                 channel,
+                lifecycle: cache.lifecycle_stats(),
             }
         })
         .collect();
@@ -88,13 +111,60 @@ pub(crate) fn execute(mut exp: Experiment, schedule: &Schedule) -> ExperimentRes
     }
 }
 
-fn deliver_due(exp: &mut Experiment, now: SimTime) {
+fn deliver_due(exp: &mut Experiment, now: SimTime, severed: &[bool]) {
     for (cache, invalidation) in exp.fanout.due(now) {
-        exp.caches[cache.0 as usize].apply_invalidation(invalidation);
+        // A severed cache's deliveries are discarded, like the reactor
+        // plane's delivery loop draining a severed pipe without applying.
+        if !severed[cache.0 as usize] {
+            exp.caches[cache.0 as usize].apply_invalidation(invalidation);
+        }
     }
 }
 
-fn run_update(exp: &mut Experiment, now: SimTime, op: &ScheduledTxn, queue: &mut EventQueue) {
+/// Fires every fault event due by `now`, in plan order.
+fn apply_due_faults(
+    exp: &mut Experiment,
+    plan: &FaultPlan,
+    cursor: &mut FaultCursor,
+    severed: &mut [bool],
+    now: SimTime,
+) {
+    for &FaultEvent { at, cache, kind } in cursor.due(plan, now) {
+        let index = cache.0 as usize;
+        match kind {
+            FaultKind::Crash => {
+                severed[index] = true;
+                exp.caches[index].crash(at);
+            }
+            FaultKind::Restart => {
+                exp.caches[index].restart();
+                severed[index] = false;
+            }
+            FaultKind::PartitionStart => {
+                severed[index] = true;
+                exp.caches[index].disconnect(at);
+            }
+            FaultKind::PartitionEnd => {
+                exp.caches[index].reconnect();
+                severed[index] = false;
+            }
+            FaultKind::DelaySpike(extra) => {
+                exp.fanout
+                    .channel_mut(cache)
+                    .expect("fault plan names a deployed cache")
+                    .set_extra_delay(extra);
+            }
+        }
+    }
+}
+
+fn run_update(
+    exp: &mut Experiment,
+    now: SimTime,
+    op: &ScheduledTxn,
+    queue: &mut EventQueue,
+    severed: &[bool],
+) {
     match exp.db.execute_update(op.txn, &op.access) {
         Ok(commit) => {
             let record = TransactionRecord::update_committed(
@@ -104,8 +174,20 @@ fn run_update(exp: &mut Experiment, now: SimTime, op: &ScheduledTxn, queue: &mut
                 now,
             );
             exp.monitor.record_update_commit(&record);
-            exp.fanout
-                .broadcast(now, commit.invalidations.invalidations());
+            // Fan out per cache, skipping severed links: a crashed or
+            // partitioned cache receives nothing, exactly like the live
+            // plane's publisher discarding sends toward a severed pipe.
+            // Per-cache channels draw from independent RNG streams, so
+            // skipping one cache never perturbs another's loss pattern.
+            for (index, &cut) in severed.iter().enumerate() {
+                if !cut {
+                    exp.fanout.send_to(
+                        CacheId(index as u32),
+                        now,
+                        commit.invalidations.iter().copied(),
+                    );
+                }
+            }
             if let Some(at) = exp.fanout.next_delivery_at() {
                 queue.schedule(at, Event::DeliverInvalidations);
             }
@@ -117,23 +199,16 @@ fn run_update(exp: &mut Experiment, now: SimTime, op: &ScheduledTxn, queue: &mut
 }
 
 fn run_read_only(exp: &mut Experiment, now: SimTime, cache: CacheId, op: &ScheduledTxn) {
-    let keys = op.access.objects();
-    let mut observed: Vec<(ObjectId, tcache_types::Version)> = Vec::with_capacity(keys.len());
-    let mut aborted = false;
     let server = &exp.caches[cache.0 as usize];
-    for (i, &key) in keys.iter().enumerate() {
-        let last_op = i + 1 == keys.len();
-        match server.read(now, op.txn, key, last_op) {
-            Ok(v) => observed.push((v.id, v.version)),
-            Err(TCacheError::InconsistencyAbort { .. }) => {
-                aborted = true;
-                break;
-            }
-            Err(e) => panic!("unexpected cache error during experiment: {e}"),
-        }
-    }
+    let log = server
+        .execute_read_only(now, op.txn, op.access.objects())
+        .unwrap_or_else(|e| panic!("unexpected cache error during experiment: {e}"));
+    let phase = match log.mode {
+        ReadMode::Cached => ReadPhase::Healthy,
+        ReadMode::PassThrough => ReadPhase::Degraded,
+    };
     let class = exp
         .monitor
-        .record_read_only_from(cache, &observed, !aborted);
+        .record_read_only_in_phase(cache, phase, &log.observed, log.committed);
     exp.timeseries.record(now, class);
 }

@@ -32,12 +32,13 @@ use crate::timeseries::TimeSeries;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tcache::{DeliveryMode, SystemBuilder, TransportMode};
-use tcache_cache::CacheStatsSnapshot;
-use tcache_monitor::ConsistencyMonitor;
+use tcache::{DeliveryMode, SystemBuilder, TCacheSystem, TransportMode};
+use tcache_cache::{CacheStatsSnapshot, ReadMode};
+use tcache_monitor::{ConsistencyMonitor, ReadPhase};
 use tcache_net::delivery::DeliveryModel;
+use tcache_net::fault::{FaultCursor, FaultEvent, FaultKind};
 use tcache_types::{
-    CacheId, CachePolicyConfig, ObjectId, SimTime, TCacheError, TransactionRecord, Value, Version,
+    CacheId, CachePolicyConfig, ObjectId, SimTime, TransactionRecord, Value, Version,
 };
 
 /// How long a lockstep step waits for the reactor to settle before giving
@@ -51,6 +52,8 @@ struct ReadLog {
     index: usize,
     observed: Vec<(ObjectId, Version)>,
     committed: bool,
+    /// Which path served it: cached (healthy) or pass-through (degraded).
+    mode: ReadMode,
 }
 
 /// What one update transaction did, logged for deferred replay.
@@ -80,6 +83,7 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
         .delivery(DeliveryMode::Modeled)
         .delivery_models(models)
         .overflow_policy(config.overflow_policy)
+        .recovery_policy(config.recovery)
         .seed(config.seed);
     if let Some(capacity) = config.pipe_capacity {
         builder = builder.pipe_capacity(capacity);
@@ -118,24 +122,16 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
                         if let Some(scale) = pace {
                             pace_until(started, op.at, scale);
                         }
-                        let keys = op.access.objects();
-                        let mut observed = Vec::with_capacity(keys.len());
-                        let mut committed = true;
-                        for (i, &key) in keys.iter().enumerate() {
-                            let last_op = i + 1 == keys.len();
-                            match cache.read(op.at, op.txn, key, last_op) {
-                                Ok(v) => observed.push((v.id, v.version)),
-                                Err(TCacheError::InconsistencyAbort { .. }) => {
-                                    committed = false;
-                                    break;
-                                }
-                                Err(e) => panic!("unexpected cache error during experiment: {e}"),
-                            }
-                        }
+                        let txn = cache
+                            .execute_read_only(op.at, op.txn, op.access.objects())
+                            .unwrap_or_else(|e| {
+                                panic!("unexpected cache error during experiment: {e}")
+                            });
                         log.push(ReadLog {
                             index,
-                            observed,
-                            committed,
+                            observed: txn.observed,
+                            committed: txn.committed,
+                            mode: txn.mode,
                         });
                         if lockstep {
                             // The driver is blocked on this acknowledgement;
@@ -151,9 +147,17 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
     }
 
     // The driver: updates commit here, reads are dispatched to their
-    // cache's client.
+    // cache's client. Fault events due by each operation's scheduled time
+    // fire before the operation — after the previous update's lockstep
+    // quiesce, so pending deliveries are applied first, exactly like the
+    // discrete plane delivering due messages before firing faults.
+    let faults = config.faults.clone();
+    let mut fault_cursor = FaultCursor::new();
     let mut update_log: Vec<UpdateLog> = Vec::new();
     for (index, op) in schedule.ops.iter().enumerate() {
+        for event in fault_cursor.due(&faults, op.at) {
+            apply_fault(&system, event);
+        }
         match op.target {
             None => {
                 if let Some(scale) = pace {
@@ -200,6 +204,12 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
         }
     }
     drop(job_senders);
+    // Fire whatever the plan still schedules inside the run's duration
+    // (e.g. a heal after the last transaction), so final lifecycle states
+    // match the plan rather than the traffic pattern.
+    for event in fault_cursor.due(&faults, SimTime::ZERO + config.duration) {
+        apply_fault(&system, event);
+    }
     let mut read_logs: Vec<ReadLog> = Vec::new();
     for client in clients {
         read_logs.extend(client.join().expect("client thread panicked"));
@@ -220,13 +230,14 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
     // stack rather than the monitor.
     let execution_wall = started.elapsed();
 
-    let (report, per_cache_reports, timeseries) = replay(
+    let (monitor, timeseries) = replay(
         &schedule,
         &config,
         options.pacing,
         update_log,
         read_logs,
     );
+    let report = monitor.report();
 
     let stats = system.stats();
     let per_cache: Vec<CacheColumnResult> = stats
@@ -236,9 +247,14 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
         .map(|(node, &loss)| CacheColumnResult {
             id: node.id,
             loss,
-            report: per_cache_reports[node.id.0 as usize],
+            report: monitor.cache_report(node.id),
+            degraded: monitor.phase_report(node.id, ReadPhase::Degraded),
             cache: node.cache,
             channel: node.channel,
+            lifecycle: system
+                .cache(node.id)
+                .expect("cache is deployed")
+                .lifecycle_stats(),
         })
         .collect();
     let mut cache_total = CacheStatsSnapshot::default();
@@ -269,14 +285,10 @@ fn replay(
     pacing: LivePacing,
     update_log: Vec<UpdateLog>,
     read_logs: Vec<ReadLog>,
-) -> (
-    tcache_monitor::MonitorReport,
-    Vec<tcache_monitor::MonitorReport>,
-    TimeSeries,
-) {
+) -> (ConsistencyMonitor, TimeSeries) {
     enum Entry {
         Update(Option<TransactionRecord>),
-        Read(Vec<(ObjectId, Version)>, bool),
+        Read(Vec<(ObjectId, Version)>, bool, ReadMode),
     }
     let mut slots: Vec<Option<Entry>> = Vec::with_capacity(schedule.ops.len());
     slots.resize_with(schedule.ops.len(), || None);
@@ -284,7 +296,7 @@ fn replay(
         slots[update.index] = Some(Entry::Update(update.record));
     }
     for read in read_logs {
-        slots[read.index] = Some(Entry::Read(read.observed, read.committed));
+        slots[read.index] = Some(Entry::Read(read.observed, read.committed, read.mode));
     }
 
     let mut monitor = ConsistencyMonitor::new();
@@ -295,10 +307,14 @@ fn replay(
                       entry: &Entry| match entry {
         Entry::Update(Some(record)) => monitor.record_update_commit(record),
         Entry::Update(None) => monitor.record_update_abort(),
-        Entry::Read(observed, committed) => {
+        Entry::Read(observed, committed, mode) => {
             let op = &schedule.ops[index];
             let cache = op.target.expect("read entries carry a target cache");
-            let class = monitor.record_read_only_from(cache, observed, *committed);
+            let phase = match mode {
+                ReadMode::Cached => ReadPhase::Healthy,
+                ReadMode::PassThrough => ReadPhase::Degraded,
+            };
+            let class = monitor.record_read_only_in_phase(cache, phase, observed, *committed);
             timeseries.record(op.at, class);
         }
     };
@@ -321,11 +337,24 @@ fn replay(
         }
     }
 
-    let cache_count = config.caches.cache_count();
-    let per_cache = (0..cache_count)
-        .map(|i| monitor.cache_report(CacheId(i as u32)))
-        .collect();
-    (monitor.report(), per_cache, timeseries)
+    (monitor, timeseries)
+}
+
+/// Applies one scheduled fault event through the system's fault surface.
+///
+/// # Panics
+/// Panics if the plan names an unknown cache (the plan is validated
+/// against the deployed topology by construction of the experiment).
+fn apply_fault(system: &TCacheSystem, event: &FaultEvent) {
+    let FaultEvent { at, cache, kind } = *event;
+    match kind {
+        FaultKind::Crash => system.crash_cache(cache, at),
+        FaultKind::Restart => system.restart_cache(cache),
+        FaultKind::PartitionStart => system.partition_cache(cache, at),
+        FaultKind::PartitionEnd => system.heal_cache(cache),
+        FaultKind::DelaySpike(extra) => system.set_cache_extra_delay(cache, extra),
+    }
+    .expect("fault plan names a deployed cache on a reactor transport");
 }
 
 /// Sleeps until the wall-clock instant `at` maps to under `scale` seconds

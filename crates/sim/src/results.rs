@@ -1,7 +1,7 @@
 //! Experiment results and derived metrics.
 
 use crate::timeseries::TimeSeries;
-use tcache_cache::CacheStatsSnapshot;
+use tcache_cache::{CacheStatsSnapshot, LifecycleStatsSnapshot};
 use tcache_db::stats::DbStatsSnapshot;
 use tcache_monitor::MonitorReport;
 use tcache_net::channel::ChannelStats;
@@ -18,10 +18,17 @@ pub struct CacheColumnResult {
     /// The monitor's classification of the transactions this cache served.
     /// (Update counters are global and stay zero here.)
     pub report: MonitorReport,
+    /// The subset of [`CacheColumnResult::report`] served while the cache
+    /// was degraded to pass-through reads (empty unless a fault plan drove
+    /// the cache past its staleness budget).
+    pub degraded: MonitorReport,
     /// This cache's statistics.
     pub cache: CacheStatsSnapshot,
     /// This cache's channel statistics.
     pub channel: ChannelStats,
+    /// Fault/recovery lifecycle counters: stream gaps detected, log
+    /// replays, snapshot resyncs, crash/partition events observed.
+    pub lifecycle: LifecycleStatsSnapshot,
 }
 
 impl CacheColumnResult {
@@ -173,8 +180,10 @@ mod tests {
                 id: CacheId(0),
                 loss: 0.2,
                 report,
+                degraded: MonitorReport::default(),
                 cache,
                 channel: ChannelStats::default(),
+                lifecycle: LifecycleStatsSnapshot::default(),
             }],
             timeseries: TimeSeries::new(SimDuration::from_secs(1)),
             execution_wall: Some(std::time::Duration::from_secs(2)),

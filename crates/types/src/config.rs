@@ -114,6 +114,54 @@ impl fmt::Display for TtlConfig {
     }
 }
 
+/// How an edge cache recovers when it detects that it has missed
+/// invalidations (a sequence gap after a drop, crash or partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// No recovery: gaps are counted but the cache keeps serving whatever
+    /// it holds. Models the paper's lossy baseline and the "without
+    /// recovery" axis of the fault-tolerance sweep.
+    #[default]
+    None,
+    /// Gap-triggered resync: on a detected sequence gap the cache replays
+    /// the backend's invalidation log (or falls back to a full snapshot
+    /// resync when the log has been truncated). While partitioned for
+    /// longer than `staleness_budget`, the cache degrades to pass-through
+    /// reads instead of serving an unboundedly stale working set.
+    GapResync {
+        /// Longest partition a cache will ride out while still serving
+        /// cached reads. Beyond this the cache turns Degraded and reads
+        /// pass through to the database until it reconnects.
+        staleness_budget: SimDuration,
+    },
+}
+
+impl RecoveryPolicy {
+    /// Returns the staleness budget, if the policy bounds staleness.
+    pub fn staleness_budget(self) -> Option<SimDuration> {
+        match self {
+            RecoveryPolicy::None => None,
+            RecoveryPolicy::GapResync { staleness_budget } => Some(staleness_budget),
+        }
+    }
+
+    /// Returns `true` when gap detection triggers a resync.
+    pub fn resyncs(self) -> bool {
+        matches!(self, RecoveryPolicy::GapResync { .. })
+    }
+}
+
+impl fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryPolicy::None => write!(f, "no-recovery"),
+            RecoveryPolicy::GapResync { staleness_budget } => {
+                write!(f, "gap-resync(budget={staleness_budget})")
+            }
+        }
+    }
+}
+
 /// Full cache-side policy configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CachePolicyConfig {
@@ -213,6 +261,21 @@ mod tests {
         assert_eq!(TtlConfig::Limited(d).lifetime(), Some(d));
         assert_eq!(TtlConfig::default(), TtlConfig::Infinite);
         assert!(TtlConfig::Limited(d).to_string().contains("30"));
+    }
+
+    #[test]
+    fn recovery_policy_accessors() {
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::None);
+        assert!(RecoveryPolicy::None.staleness_budget().is_none());
+        assert!(!RecoveryPolicy::None.resyncs());
+        let budget = SimDuration::from_millis(100);
+        let p = RecoveryPolicy::GapResync {
+            staleness_budget: budget,
+        };
+        assert_eq!(p.staleness_budget(), Some(budget));
+        assert!(p.resyncs());
+        assert!(p.to_string().contains("gap-resync"));
+        assert_eq!(RecoveryPolicy::None.to_string(), "no-recovery");
     }
 
     #[test]

@@ -47,6 +47,17 @@ pub enum TCacheError {
         /// The operation that was requested.
         operation: &'static str,
     },
+    /// The cache is deployed and the transport supports the operation, but
+    /// the cache's lifecycle state forbids it (e.g. resuming a cache that
+    /// was never paused, or pausing one that has crashed).
+    InvalidCacheState {
+        /// The cache the operation addressed.
+        cache: CacheId,
+        /// The operation that was requested.
+        operation: &'static str,
+        /// The state that forbids it.
+        state: &'static str,
+    },
 }
 
 /// Why the database aborted an update transaction.
@@ -93,6 +104,13 @@ impl fmt::Display for TCacheError {
             TCacheError::UnsupportedTransport { operation } => {
                 write!(f, "transport does not support {operation}")
             }
+            TCacheError::InvalidCacheState {
+                cache,
+                operation,
+                state,
+            } => {
+                write!(f, "cannot {operation} {cache}: cache is {state}")
+            }
         }
     }
 }
@@ -126,6 +144,14 @@ mod tests {
             operation: "pause_cache",
         };
         assert!(e.to_string().contains("pause_cache"));
+        let e = TCacheError::InvalidCacheState {
+            cache: CacheId(2),
+            operation: "resume",
+            state: "not paused",
+        };
+        assert!(e.to_string().contains("cache2"));
+        assert!(e.to_string().contains("resume"));
+        assert!(e.to_string().contains("not paused"));
     }
 
     #[test]

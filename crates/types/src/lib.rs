@@ -38,12 +38,12 @@ pub mod time;
 pub mod transaction;
 pub mod value;
 
-pub use config::{CachePolicyConfig, DependencyBound, Strategy, TtlConfig};
+pub use config::{CachePolicyConfig, DependencyBound, RecoveryPolicy, Strategy, TtlConfig};
 pub use dependency::{DependencyEntry, DependencyList};
 pub use entry::{ObjectEntry, VersionedObject};
 pub use error::{ConflictReason, TCacheError, TCacheResult};
 pub use ids::{CacheId, ClientId, ObjectId, TxnId, Version};
-pub use seeding::{cache_channel_seed, cache_delay_seed, derive_stream_seed};
+pub use seeding::{cache_channel_seed, cache_delay_seed, derive_stream_seed, fault_seed};
 pub use time::{SimDuration, SimTime};
 pub use transaction::{
     AccessSet, ReadOnlyOutcome, ReadRecord, ReadSet, TransactionKind, TransactionRecord,

@@ -47,6 +47,16 @@ pub fn cache_delay_seed(run_seed: u64, cache: CacheId) -> u64 {
     derive_stream_seed(run_seed, 0x00de_1a70_0000_0000 | u64::from(cache.0))
 }
 
+/// The seed of the run's fault-schedule stream: crash instants, partition
+/// windows and delay spikes are sampled from this stream when a fault plan
+/// is generated rather than written by hand. One stream per run (fault
+/// plans are global, not per cache), disjoint from every per-cache loss and
+/// delay stream so injecting faults can never perturb the drop pattern a
+/// cache would otherwise observe.
+pub fn fault_seed(run_seed: u64) -> u64 {
+    derive_stream_seed(run_seed, 0x00fa_0170_0000_0000)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +107,22 @@ mod tests {
             cache_delay_seed(5, CacheId(1)),
             cache_delay_seed(5, CacheId(1))
         );
+    }
+
+    #[test]
+    fn fault_stream_is_disjoint_from_loss_and_delay_streams() {
+        // The fault schedule must never alias any cache's loss or delay
+        // stream: a run with faults injected observes the exact same drop
+        // pattern as the same run without.
+        let mut seen = HashSet::new();
+        for run_seed in 0..8u64 {
+            assert!(seen.insert(fault_seed(run_seed)));
+            for cache in 0..16u32 {
+                assert!(seen.insert(cache_channel_seed(run_seed, CacheId(cache))));
+                assert!(seen.insert(cache_delay_seed(run_seed, CacheId(cache))));
+            }
+        }
+        assert_eq!(fault_seed(3), fault_seed(3));
     }
 
     #[test]
