@@ -252,6 +252,16 @@ impl EdgeCache {
                 return;
             }
         }
+        #[cfg(debug_assertions)]
+        {
+            // Deliveries to one cache are serialized; if that ever breaks,
+            // this store could rewind the position past a newer delivery.
+            let current = self.last_seq.load(Ordering::Relaxed);
+            debug_assert!(
+                seq > current,
+                "stream position must advance monotonically: {current} -> {seq}"
+            );
+        }
         self.last_seq.store(seq, Ordering::Relaxed);
     }
 
@@ -278,6 +288,10 @@ impl EdgeCache {
                     self.storage.invalidate(inv.object, inv.new_version);
                     latest = latest.max(inv.seq);
                 }
+                debug_assert!(
+                    latest >= after,
+                    "log replay rewound the stream position: {after} -> {latest}"
+                );
                 self.last_seq.store(latest, Ordering::Relaxed);
             }
             InvalidationReplay::Truncated { latest } => {
@@ -285,6 +299,10 @@ impl EdgeCache {
                     .snapshot_resyncs
                     .fetch_add(1, Ordering::Relaxed);
                 self.storage.clear();
+                debug_assert!(
+                    latest >= after,
+                    "snapshot resync rewound the stream position: {after} -> {latest}"
+                );
                 self.last_seq.store(latest, Ordering::Relaxed);
             }
         }
@@ -313,6 +331,7 @@ impl EdgeCache {
     }
 
     /// A snapshot of the lifecycle counters (gaps, resyncs, faults).
+    #[must_use]
     pub fn lifecycle_stats(&self) -> LifecycleStatsSnapshot {
         self.lifecycle_stats.snapshot()
     }
@@ -500,6 +519,7 @@ impl EdgeCache {
     }
 
     /// A snapshot of the cache's statistics.
+    #[must_use]
     pub fn stats(&self) -> CacheStatsSnapshot {
         self.stats.snapshot()
     }

@@ -263,6 +263,7 @@ impl TCacheSystem {
     /// Nonzero means the threaded-equivalence guarantee was briefly
     /// violated: a read may have seen an entry the reactor had not yet
     /// invalidated.
+    #[must_use]
     pub fn quiesce_timeouts(&self) -> u64 {
         self.reactor.as_ref().map_or(0, |p| p.quiesce_timeouts())
     }
@@ -277,6 +278,7 @@ impl TCacheSystem {
     /// distinguishing "nothing to wait for because deliveries are
     /// synchronous" from "the reactor settled" used to hide wiring bugs
     /// behind a silent `true`.
+    #[must_use = "a fault-plane failure (unknown cache, wedged reactor) must be handled"]
     pub fn quiesce(&self, timeout: Duration) -> TCacheResult<bool> {
         match &self.reactor {
             None => Err(TCacheError::UnsupportedTransport {
@@ -318,6 +320,7 @@ impl TCacheSystem {
     /// [`TCacheError::UnknownCache`] if `cache` is not deployed, and
     /// [`TCacheError::InvalidCacheState`] if the cache is already paused
     /// or currently crashed (a crashed cache has no apply loop to wedge).
+    #[must_use = "a fault-plane failure (unknown cache, wedged reactor) must be handled"]
     pub fn pause_cache(&self, cache: CacheId) -> TCacheResult<()> {
         let plane = self.fault_plane("pause_cache (no reactor under TransportMode::Threaded)")?;
         let index = self.cache_index(cache)?;
@@ -347,6 +350,7 @@ impl TCacheSystem {
     /// [`TransportMode::Threaded`], [`TCacheError::UnknownCache`] if
     /// `cache` is not deployed, and [`TCacheError::InvalidCacheState`] if
     /// the cache was never paused.
+    #[must_use = "a fault-plane failure (unknown cache, wedged reactor) must be handled"]
     pub fn resume_cache(&self, cache: CacheId) -> TCacheResult<()> {
         let plane = self.fault_plane("resume_cache (no reactor under TransportMode::Threaded)")?;
         let index = self.cache_index(cache)?;
@@ -372,6 +376,7 @@ impl TCacheSystem {
     /// Returns [`TCacheError::UnsupportedTransport`] in
     /// [`TransportMode::Threaded`] (the fault plane lives on the reactor's
     /// pipes) and [`TCacheError::UnknownCache`] if `cache` is not deployed.
+    #[must_use = "a fault-plane failure (unknown cache, wedged reactor) must be handled"]
     pub fn crash_cache(&self, cache: CacheId, now: SimTime) -> TCacheResult<()> {
         let plane = self.fault_plane("crash_cache (no reactor under TransportMode::Threaded)")?;
         let index = self.cache_index(cache)?;
@@ -386,6 +391,7 @@ impl TCacheSystem {
     ///
     /// # Errors
     /// Same conditions as [`TCacheSystem::crash_cache`].
+    #[must_use = "a fault-plane failure (unknown cache, wedged reactor) must be handled"]
     pub fn restart_cache(&self, cache: CacheId) -> TCacheResult<()> {
         let plane = self.fault_plane("restart_cache (no reactor under TransportMode::Threaded)")?;
         let index = self.cache_index(cache)?;
@@ -401,6 +407,7 @@ impl TCacheSystem {
     ///
     /// # Errors
     /// Same conditions as [`TCacheSystem::crash_cache`].
+    #[must_use = "a fault-plane failure (unknown cache, wedged reactor) must be handled"]
     pub fn partition_cache(&self, cache: CacheId, now: SimTime) -> TCacheResult<()> {
         let plane = self.fault_plane("partition_cache (no reactor under TransportMode::Threaded)")?;
         let index = self.cache_index(cache)?;
@@ -416,6 +423,7 @@ impl TCacheSystem {
     ///
     /// # Errors
     /// Same conditions as [`TCacheSystem::crash_cache`].
+    #[must_use = "a fault-plane failure (unknown cache, wedged reactor) must be handled"]
     pub fn heal_cache(&self, cache: CacheId) -> TCacheResult<()> {
         let plane = self.fault_plane("heal_cache (no reactor under TransportMode::Threaded)")?;
         let index = self.cache_index(cache)?;
@@ -441,6 +449,7 @@ impl TCacheSystem {
     ///
     /// # Errors
     /// Returns [`TCacheError::UnknownCache`] if `cache` is not deployed.
+    #[must_use = "a fault-plane failure (unknown cache, wedged reactor) must be handled"]
     pub fn set_cache_extra_delay(&self, cache: CacheId, extra: SimDuration) -> TCacheResult<()> {
         let index = self.cache_index(cache)?;
         match self.delivery {
@@ -470,6 +479,7 @@ impl TCacheSystem {
 
     /// The reactor's counters, if the system runs in
     /// [`TransportMode::Reactor`].
+    #[must_use]
     pub fn reactor_stats(&self) -> Option<ReactorStats> {
         self.reactor.as_ref().map(|p| p.reactor_stats())
     }
@@ -607,6 +617,7 @@ impl TCacheSystem {
     /// = loss-model drops in the reactor task, `delivered` = applications,
     /// overflow/stalls from the pipe's policy), so experiment plumbing
     /// reads the same link statistics on either delivery plane.
+    #[must_use]
     pub fn stats(&self) -> SystemStats {
         // The idle discrete-event fanout is not even consulted in Modeled
         // mode; its channel view is synthesized below instead.

@@ -222,6 +222,9 @@ impl ReactorPlane {
             if spins < 200 {
                 std::thread::yield_now();
             } else {
+                // Quiesce is wall-clock by nature: it waits for real worker
+                // threads, not modeled time, so a timer cannot replace it.
+                #[allow(clippy::disallowed_methods)]
                 std::thread::sleep(Duration::from_micros(50));
             }
         }
@@ -359,6 +362,9 @@ pub(crate) fn modeled_delivery_sink(
         let mut report = tcache_db::SinkReport::default();
         if severed.load(Ordering::Acquire) {
             for attempt in 0..retry.budget {
+                // The severed-link backoff runs on the publisher's own
+                // thread, outside the reactor; blocking it is the point.
+                #[allow(clippy::disallowed_methods)]
                 std::thread::sleep(retry.backoff(attempt));
                 report.retries += 1;
                 if !severed.load(Ordering::Acquire) {
@@ -454,6 +460,8 @@ mod tests {
         let healer = {
             let severed = Arc::clone(&severed);
             std::thread::spawn(move || {
+                // Test-only cross-thread coordination on wall time.
+                #[allow(clippy::disallowed_methods)]
                 std::thread::sleep(Duration::from_millis(2));
                 severed.store(false, Ordering::Release);
             })

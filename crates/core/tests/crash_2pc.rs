@@ -105,6 +105,8 @@ fn eight_thread_crash_stress_keeps_the_database_consistent() {
         .map(|id| {
             let system = Arc::clone(&system);
             let stop = Arc::clone(&stop);
+            // Test-only churn pacing on wall time.
+            #[allow(clippy::disallowed_methods)]
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     system.crash_cache(id, SimTime::ZERO).unwrap();

@@ -153,6 +153,7 @@ impl Database {
     /// Per-cache publication statistics: batches and invalidations
     /// published, overflow and stalls reported by the sinks, and the time
     /// commits spent inside each cache's upcall.
+    #[must_use]
     pub fn publish_stats(&self) -> Vec<(CacheId, crate::publisher::PublishStats)> {
         self.publisher.publish_stats()
     }
@@ -336,6 +337,7 @@ impl Database {
     /// A snapshot of the database load counters, including the read-path
     /// classification (optimistic hits / retries / lock fallbacks)
     /// aggregated over every shard's store.
+    #[must_use]
     pub fn stats(&self) -> DbStatsSnapshot {
         let mut snap = self.stats.snapshot();
         for i in 0..self.config.shards {

@@ -316,7 +316,9 @@ mod tests {
         publisher.register_reporting(
             CacheId(0),
             Box::new(|b: &InvalidationBatch| {
-                // Model a pipe that admits one message per batch and stalls.
+                // Model a pipe that admits one message per batch and stalls
+                // (test-only: the stall is the behaviour under test).
+                #[allow(clippy::disallowed_methods)]
                 std::thread::sleep(std::time::Duration::from_millis(2));
                 SinkReport {
                     enqueued: 1,

@@ -289,9 +289,20 @@ impl VersionedStore {
     fn write_with<T>(&self, id: ObjectId, op: impl FnOnce(&mut BucketData) -> T) -> T {
         let bucket = self.bucket(id);
         let mut guard = bucket.data.write();
-        bucket.seq.fetch_add(1, Ordering::AcqRel);
+        let entered = bucket.seq.fetch_add(1, Ordering::AcqRel);
+        debug_assert_eq!(
+            entered & 1,
+            0,
+            "seqlock entered odd: another writer inside the critical section \
+             despite the exclusive lock"
+        );
         let out = op(&mut guard);
-        bucket.seq.fetch_add(1, Ordering::Release);
+        let exited = bucket.seq.fetch_add(1, Ordering::Release);
+        debug_assert_eq!(
+            exited,
+            entered + 1,
+            "seqlock sequence moved inside the critical section"
+        );
         out
     }
 
@@ -379,7 +390,13 @@ impl VersionedStore {
         if !guard.objects.contains_key(&id) {
             return Err(TCacheError::UnknownObject(id));
         }
-        bucket.seq.fetch_add(1, Ordering::AcqRel);
+        let entered = bucket.seq.fetch_add(1, Ordering::AcqRel);
+        debug_assert_eq!(
+            entered & 1,
+            0,
+            "seqlock entered odd: another writer inside the critical section \
+             despite the exclusive lock"
+        );
         let entry = guard.objects.get_mut(&id).expect("checked above");
         entry.value = value.clone();
         entry.version = version;
@@ -397,7 +414,12 @@ impl VersionedStore {
                 versions.drain(0..excess);
             }
         }
-        bucket.seq.fetch_add(1, Ordering::Release);
+        let exited = bucket.seq.fetch_add(1, Ordering::Release);
+        debug_assert_eq!(
+            exited,
+            entered + 1,
+            "seqlock sequence moved inside the critical section"
+        );
         Ok(())
     }
 

@@ -1,0 +1,334 @@
+//! Checked configurations: the closed little worlds the explorer
+//! enumerates.
+//!
+//! A [`ModelConfig`] fixes everything that is *not* explored: the number of
+//! objects and caches, each cache's policy, the scripted update and
+//! read-only transactions, the recovery policy and the fault budget. The
+//! explorer then enumerates every interleaving of the scripted work with
+//! deliveries, losses, reorders, faults and clock ticks.
+//!
+//! The named constructors ([`ModelConfig::quick_core`] and friends) are the
+//! configurations the `model_check` bench binary runs; their exact shapes
+//! (and the reachable-state counts they produce) are documented in
+//! `docs/REPRODUCING.md`.
+
+/// The cache policy a modeled cache runs, mirroring the
+/// `CachePolicyConfig` presets the implementation offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CachePolicyKind {
+    /// The consistency-unaware baseline: no transaction records, no checks,
+    /// dependency lists re-bounded to zero on install.
+    Plain,
+    /// T-Cache with an unbounded dependency list and the ABORT strategy —
+    /// the configuration of Theorem 1.
+    TCacheUnbounded,
+}
+
+impl CachePolicyKind {
+    /// `true` when the policy runs the transactional consistency check.
+    pub fn transactional(self) -> bool {
+        matches!(self, CachePolicyKind::TCacheUnbounded)
+    }
+
+    /// The dependency-list bound entries are re-bounded to on install
+    /// (mirrors `CachePolicyConfig::dependency_bound.limit()`).
+    pub fn dependency_limit(self) -> usize {
+        match self {
+            CachePolicyKind::Plain => 0,
+            CachePolicyKind::TCacheUnbounded => usize::MAX,
+        }
+    }
+}
+
+/// The recovery policy in force at every modeled cache, mirroring
+/// `RecoveryPolicy` with time measured in logical clock ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelRecovery {
+    /// No recovery machinery: gaps advance the stream position without
+    /// resyncing and disconnected caches keep serving stale data forever.
+    None,
+    /// Gap-triggered and reconnect-time resyncs, with a staleness budget
+    /// for partitioned caches (in ticks of the model's logical clock).
+    GapResync {
+        /// Ticks a disconnected cache may keep serving cached reads before
+        /// degrading to pass-through.
+        staleness_budget: u64,
+    },
+}
+
+impl ModelRecovery {
+    /// `true` when gaps and reconnects trigger resyncs.
+    pub fn resyncs(self) -> bool {
+        matches!(self, ModelRecovery::GapResync { .. })
+    }
+
+    /// The staleness budget, if one is configured.
+    pub fn staleness_budget(self) -> Option<u64> {
+        match self {
+            ModelRecovery::None => None,
+            ModelRecovery::GapResync { staleness_budget } => Some(staleness_budget),
+        }
+    }
+}
+
+/// One scripted read-only transaction: the cache that serves it and the
+/// keys it reads, in order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReadScript {
+    /// Index of the serving cache in [`ModelConfig::caches`].
+    pub cache: usize,
+    /// The object indices read, in order.
+    pub keys: Vec<u64>,
+}
+
+/// Bounds on the adversarial actions, keeping the state space finite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultBudget {
+    /// Maximum number of cache crashes across the execution.
+    pub crashes: u32,
+    /// Maximum number of network partitions across the execution.
+    pub partitions: u32,
+    /// Maximum number of dropped invalidations across the execution.
+    pub drops: u32,
+    /// Maximum number of logical clock ticks.
+    pub ticks: u32,
+    /// How deep into a cache's in-flight queue an out-of-order delivery
+    /// (or drop) may reach; `1` forbids reordering entirely.
+    pub reorder_window: usize,
+}
+
+impl FaultBudget {
+    /// No faults at all: pure interleaving of commits, deliveries and
+    /// reads.
+    pub fn none() -> Self {
+        FaultBudget {
+            crashes: 0,
+            partitions: 0,
+            drops: 0,
+            ticks: 0,
+            reorder_window: 1,
+        }
+    }
+}
+
+/// A complete checked configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Scenario name (used in reports).
+    pub name: &'static str,
+    /// Number of objects in the backend store (indices `0..objects`).
+    pub objects: u64,
+    /// The caches and their policies.
+    pub caches: Vec<CachePolicyKind>,
+    /// The update transactions available to commit (each at most once);
+    /// every inner vector is the update's write set as sorted, distinct
+    /// object indices.
+    pub updates: Vec<Vec<u64>>,
+    /// The scripted read-only transactions.
+    pub reads: Vec<ReadScript>,
+    /// The recovery policy applied to every cache.
+    pub recovery: ModelRecovery,
+    /// Capacity of the backend's invalidation log ring buffer.
+    pub log_capacity: usize,
+    /// The fault budget.
+    pub faults: FaultBudget,
+}
+
+impl ModelConfig {
+    /// Validates internal consistency (indices in range, write sets sorted
+    /// and distinct, scripts non-empty). Returns a description of the first
+    /// problem found.
+    ///
+    /// # Errors
+    /// A human-readable description of the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.objects == 0 {
+            return Err("config needs at least one object".into());
+        }
+        if self.caches.is_empty() {
+            return Err("config needs at least one cache".into());
+        }
+        if self.log_capacity == 0 {
+            return Err("invalidation log capacity must be positive".into());
+        }
+        if self.faults.reorder_window == 0 {
+            return Err("reorder window must be at least 1".into());
+        }
+        for (i, write_set) in self.updates.iter().enumerate() {
+            if write_set.is_empty() {
+                return Err(format!("update {i} has an empty write set"));
+            }
+            if !write_set.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("update {i} write set must be sorted and distinct"));
+            }
+            if write_set.iter().any(|&o| o >= self.objects) {
+                return Err(format!("update {i} references an unknown object"));
+            }
+        }
+        for (i, script) in self.reads.iter().enumerate() {
+            if script.keys.is_empty() {
+                return Err(format!("read script {i} is empty"));
+            }
+            if script.cache >= self.caches.len() {
+                return Err(format!("read script {i} references an unknown cache"));
+            }
+            if script.keys.iter().any(|&o| o >= self.objects) {
+                return Err(format!("read script {i} references an unknown object"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The quick gating configuration: 2 caches (one T-Cache, one plain) ×
+    /// 2 objects × 3 transactions (one joint update, one read-only script
+    /// per cache), with drops, reordering, one crash, one partition and
+    /// enough ticks to exhaust the staleness budget. Exhaustively explored
+    /// by `model_check --quick` in CI.
+    pub fn quick_core() -> Self {
+        ModelConfig {
+            name: "quick-core",
+            objects: 2,
+            caches: vec![CachePolicyKind::TCacheUnbounded, CachePolicyKind::Plain],
+            updates: vec![vec![0, 1]],
+            reads: vec![
+                ReadScript {
+                    cache: 0,
+                    keys: vec![0, 1],
+                },
+                ReadScript {
+                    cache: 1,
+                    keys: vec![0, 1],
+                },
+            ],
+            recovery: ModelRecovery::GapResync {
+                staleness_budget: 1,
+            },
+            log_capacity: 4,
+            faults: FaultBudget {
+                crashes: 1,
+                partitions: 1,
+                drops: 2,
+                ticks: 2,
+                reorder_window: 2,
+            },
+        }
+    }
+
+    /// Two independent (write-set-disjoint) updates racing two read-only
+    /// scripts. This is where commuting histories live: the commit-order
+    /// interval test alone mis-flags them, so the two-tier monitor's SGT
+    /// fallback is load-bearing — and the seeded interval-only oracle
+    /// produces its soundness counterexample here.
+    pub fn independent_updates() -> Self {
+        ModelConfig {
+            name: "independent-updates",
+            objects: 2,
+            caches: vec![CachePolicyKind::TCacheUnbounded, CachePolicyKind::Plain],
+            updates: vec![vec![0], vec![1]],
+            reads: vec![
+                ReadScript {
+                    cache: 0,
+                    keys: vec![0, 1],
+                },
+                ReadScript {
+                    cache: 1,
+                    keys: vec![0, 1],
+                },
+            ],
+            recovery: ModelRecovery::GapResync {
+                staleness_budget: 1,
+            },
+            log_capacity: 4,
+            faults: FaultBudget {
+                crashes: 0,
+                partitions: 1,
+                drops: 1,
+                ticks: 2,
+                reorder_window: 2,
+            },
+        }
+    }
+
+    /// A single-slot invalidation log under two sequential updates: every
+    /// gap resync lands past the retained suffix, forcing the
+    /// snapshot-resync (store drop) path rather than a log replay.
+    pub fn truncated_log() -> Self {
+        ModelConfig {
+            name: "truncated-log",
+            objects: 2,
+            caches: vec![CachePolicyKind::TCacheUnbounded],
+            updates: vec![vec![0, 1], vec![0]],
+            reads: vec![ReadScript {
+                cache: 0,
+                keys: vec![0, 1],
+            }],
+            recovery: ModelRecovery::GapResync {
+                staleness_budget: 1,
+            },
+            log_capacity: 1,
+            faults: FaultBudget {
+                crashes: 0,
+                partitions: 1,
+                drops: 2,
+                ticks: 2,
+                reorder_window: 2,
+            },
+        }
+    }
+
+    /// The distinguisher for invariant 4: the same world as
+    /// [`ModelConfig::quick_core`] but with [`ModelRecovery::None`], where
+    /// a dropped invalidation leaves a healthy cache serving a version
+    /// older than the stream position it has acknowledged. Checked
+    /// *expecting* a recovery-safety violation.
+    pub fn no_recovery() -> Self {
+        ModelConfig {
+            name: "no-recovery",
+            recovery: ModelRecovery::None,
+            ..ModelConfig::quick_core()
+        }
+    }
+
+    /// The scenarios `model_check --quick` runs (all expected to satisfy
+    /// every invariant).
+    pub fn quick_suite() -> Vec<ModelConfig> {
+        vec![ModelConfig::quick_core()]
+    }
+
+    /// The full scenario sweep (`model_check` without `--quick`).
+    pub fn full_suite() -> Vec<ModelConfig> {
+        vec![
+            ModelConfig::quick_core(),
+            ModelConfig::independent_updates(),
+            ModelConfig::truncated_log(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_configs_validate() {
+        for config in ModelConfig::full_suite() {
+            config.validate().expect("shipped config must validate");
+        }
+        ModelConfig::no_recovery().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_malformed_configs() {
+        let mut config = ModelConfig::quick_core();
+        config.updates.push(vec![1, 0]);
+        assert!(config.validate().is_err());
+
+        let mut config = ModelConfig::quick_core();
+        config.reads[0].cache = 9;
+        assert!(config.validate().is_err());
+
+        let mut config = ModelConfig::quick_core();
+        config.log_capacity = 0;
+        assert!(config.validate().is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! Hand-rolled breadth-first explorer with hashed state dedup, bounded
+//! depth, deterministic action ordering, counterexample reconstruction and
+//! greedy trace minimization.
+//!
+//! BFS order means the first counterexample found is depth-minimal; greedy
+//! omission then prunes actions that the violation does not actually need.
+//! Omission-based delta debugging is sound here because the model is
+//! deterministic: a candidate trace either fails to replay (some action is
+//! no longer enabled — the candidate is discarded) or replays to exactly
+//! one execution whose invariants are re-checked from scratch.
+//!
+//! Invariants 1–3 are edge properties, so they are evaluated on **every**
+//! generated transition — including transitions into already-visited
+//! states — which covers every finish-edge of the reachable graph exactly
+//! once. Invariant 4 is a state property, evaluated when a state is first
+//! discovered.
+
+use crate::config::ModelConfig;
+use crate::invariant::{InvariantChecker, InvariantViolation};
+use crate::oracle::SerializabilityOracle;
+use crate::state::ModelState;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use tcache_types::{ProtocolAction, ProtocolTrace};
+
+/// Exploration bounds. `None` means unbounded (exhaustive).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExploreOptions {
+    /// Maximum trace depth to explore.
+    pub max_depth: Option<usize>,
+    /// Maximum number of distinct states to discover.
+    pub max_states: Option<usize>,
+    /// Evaluate the recovery-safety predicate even under
+    /// `ModelRecovery::None` (see
+    /// [`InvariantChecker::with_forced_recovery_check`]).
+    pub force_recovery_check: bool,
+}
+
+/// Exploration statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExploreStats {
+    /// Distinct reachable states discovered.
+    pub states: usize,
+    /// Transitions generated (edges, including duplicates into visited
+    /// states).
+    pub transitions: u64,
+    /// Deepest distance from the initial state reached.
+    pub depth: usize,
+    /// Finish-edge invariant evaluations (transactions completing).
+    pub finished_txn_checks: u64,
+    /// `true` when a bound cut the exploration short.
+    pub truncated: bool,
+}
+
+/// The result of an exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Statistics (complete when `violation` is `None` and `truncated` is
+    /// `false`).
+    pub stats: ExploreStats,
+    /// The first violation found, with the depth-minimal trace reaching
+    /// it.
+    pub violation: Option<(InvariantViolation, ProtocolTrace)>,
+}
+
+/// Explores every state of `config` reachable within `options`' bounds,
+/// checking all four invariants. Stops at the first violation.
+pub fn explore(
+    config: &ModelConfig,
+    oracle: &dyn SerializabilityOracle,
+    options: ExploreOptions,
+) -> Exploration {
+    let mut checker = InvariantChecker::new(config, oracle);
+    if options.force_recovery_check {
+        checker = checker.with_forced_recovery_check();
+    }
+    let mut stats = ExploreStats::default();
+
+    let initial = Arc::new(ModelState::initial(config));
+    let mut states: Vec<Arc<ModelState>> = vec![Arc::clone(&initial)];
+    let mut index: HashMap<Arc<ModelState>, usize> = HashMap::new();
+    index.insert(Arc::clone(&initial), 0);
+    // (parent index, action) per state; the initial state has none.
+    let mut parents: Vec<Option<(usize, ProtocolAction)>> = vec![None];
+    let mut depths: Vec<usize> = vec![0];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+    stats.states = 1;
+
+    if let Some(violation) = checker.check_state(&initial) {
+        stats.finished_txn_checks = checker.finish_checks;
+        return Exploration {
+            stats,
+            violation: Some((violation, Vec::new())),
+        };
+    }
+
+    while let Some(current) = queue.pop_front() {
+        let depth = depths[current];
+        if options.max_depth.is_some_and(|limit| depth >= limit) {
+            stats.truncated = true;
+            continue;
+        }
+        let state = Arc::clone(&states[current]);
+        for action in state.enabled(config) {
+            let next = state.apply(config, action).expect("enabled action applies");
+            stats.transitions += 1;
+
+            // Edge properties: checked on every generated transition.
+            if let Some(violation) = checker.check_edge(&state, &next) {
+                stats.finished_txn_checks = checker.finish_checks;
+                let mut trace = trace_to(&parents, current);
+                trace.push(action);
+                return Exploration {
+                    stats,
+                    violation: Some((violation, trace)),
+                };
+            }
+
+            if index.contains_key(&next) {
+                continue;
+            }
+            // State property: checked once, on first discovery.
+            if let Some(violation) = checker.check_state(&next) {
+                stats.finished_txn_checks = checker.finish_checks;
+                let mut trace = trace_to(&parents, current);
+                trace.push(action);
+                return Exploration {
+                    stats,
+                    violation: Some((violation, trace)),
+                };
+            }
+            if options.max_states.is_some_and(|limit| stats.states >= limit) {
+                stats.truncated = true;
+                continue;
+            }
+            let next = Arc::new(next);
+            let id = states.len();
+            states.push(Arc::clone(&next));
+            index.insert(next, id);
+            parents.push(Some((current, action)));
+            depths.push(depth + 1);
+            stats.depth = stats.depth.max(depth + 1);
+            stats.states += 1;
+            queue.push_back(id);
+        }
+    }
+
+    stats.finished_txn_checks = checker.finish_checks;
+    Exploration {
+        stats,
+        violation: None,
+    }
+}
+
+fn trace_to(parents: &[Option<(usize, ProtocolAction)>], mut state: usize) -> ProtocolTrace {
+    let mut trace = Vec::new();
+    while let Some((parent, action)) = parents[state] {
+        trace.push(action);
+        state = parent;
+    }
+    trace.reverse();
+    trace
+}
+
+/// The outcome of deterministically replaying a trace against the model.
+#[derive(Debug, Clone)]
+pub enum Replay {
+    /// Every action was enabled and no invariant broke.
+    Clean(ModelState),
+    /// Some action was not enabled at its position.
+    Invalid {
+        /// Index of the rejected action.
+        step: usize,
+    },
+    /// An invariant broke.
+    Violation {
+        /// The violation found.
+        violation: InvariantViolation,
+        /// Index of the action whose transition (or resulting state)
+        /// violated; the prefix `trace[..=step]` reproduces it.
+        step: usize,
+    },
+}
+
+/// Replays `trace` from the initial state of `config`, re-running all
+/// invariant checks along the way.
+pub fn replay(
+    config: &ModelConfig,
+    oracle: &dyn SerializabilityOracle,
+    trace: &[ProtocolAction],
+    force_recovery_check: bool,
+) -> Replay {
+    let mut checker = InvariantChecker::new(config, oracle);
+    if force_recovery_check {
+        checker = checker.with_forced_recovery_check();
+    }
+    let mut state = ModelState::initial(config);
+    if let Some(violation) = checker.check_state(&state) {
+        return Replay::Violation { violation, step: 0 };
+    }
+    for (step, &action) in trace.iter().enumerate() {
+        let Some(next) = state.apply(config, action) else {
+            return Replay::Invalid { step };
+        };
+        if let Some(violation) = checker.check_edge(&state, &next) {
+            return Replay::Violation { violation, step };
+        }
+        if let Some(violation) = checker.check_state(&next) {
+            return Replay::Violation { violation, step };
+        }
+        state = next;
+    }
+    Replay::Clean(state)
+}
+
+/// Greedily minimizes a violating trace by omission: repeatedly tries to
+/// drop single actions while the replay still produces a violation of the
+/// same [`InvariantKind`](crate::invariant::InvariantKind). Returns the
+/// minimized trace (truncated at the violating step).
+pub fn minimize(
+    config: &ModelConfig,
+    oracle: &dyn SerializabilityOracle,
+    trace: &[ProtocolAction],
+    force_recovery_check: bool,
+) -> ProtocolTrace {
+    let (kind, step) = match replay(config, oracle, trace, force_recovery_check) {
+        Replay::Violation { violation, step } => (violation.kind, step),
+        // Not a violating trace (or violates at the empty prefix): nothing
+        // to minimize.
+        _ => return trace.to_vec(),
+    };
+    if trace.is_empty() {
+        return Vec::new();
+    }
+    let mut best: ProtocolTrace = trace[..=step].to_vec();
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for omit in 0..best.len() {
+            let mut candidate = best.clone();
+            candidate.remove(omit);
+            if let Replay::Violation { violation, step } =
+                replay(config, oracle, &candidate, force_recovery_check)
+            {
+                if violation.kind == kind {
+                    candidate.truncate(step + 1);
+                    best = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::invariant::InvariantKind;
+    use crate::oracle::{IntervalOnlyOracle, TwoTierOracle};
+
+    #[test]
+    fn exhaustive_quick_core_satisfies_all_invariants() {
+        let result = explore(
+            &ModelConfig::quick_core(),
+            &TwoTierOracle,
+            ExploreOptions::default(),
+        );
+        assert!(
+            result.violation.is_none(),
+            "unexpected violation: {:?}",
+            result.violation
+        );
+        assert!(!result.stats.truncated, "exploration must be exhaustive");
+        assert!(result.stats.states > 1000, "state space suspiciously small");
+        assert!(result.stats.finished_txn_checks > 0);
+    }
+
+    #[test]
+    fn broken_oracle_yields_minimized_soundness_counterexample() {
+        let config = ModelConfig::independent_updates();
+        let result = explore(&config, &IntervalOnlyOracle, ExploreOptions::default());
+        let (violation, trace) = result.violation.expect("broken oracle must be caught");
+        assert_eq!(violation.kind, InvariantKind::MonitorSoundness);
+
+        let minimized = minimize(&config, &IntervalOnlyOracle, &trace, false);
+        assert!(minimized.len() <= trace.len());
+        // The minimal soundness counterexample: both updates commit, the
+        // read observes one old and one new version — 4 actions (2 commits
+        // + 2 read steps); nothing shorter flags.
+        assert_eq!(minimized.len(), 4, "minimized trace: {minimized:?}");
+        match replay(&config, &IntervalOnlyOracle, &minimized, false) {
+            Replay::Violation { violation, step } => {
+                assert_eq!(violation.kind, InvariantKind::MonitorSoundness);
+                assert_eq!(step + 1, minimized.len(), "trace truncated at violation");
+            }
+            other => panic!("minimized trace must still violate, got {other:?}"),
+        }
+        // The production two-tier oracle accepts the same execution.
+        assert!(matches!(
+            replay(&config, &TwoTierOracle, &minimized, false),
+            Replay::Clean(_)
+        ));
+    }
+
+    #[test]
+    fn no_recovery_config_violates_recovery_safety_when_forced() {
+        let config = ModelConfig::no_recovery();
+        let options = ExploreOptions {
+            force_recovery_check: true,
+            ..ExploreOptions::default()
+        };
+        let result = explore(&config, &TwoTierOracle, options);
+        let (violation, trace) = result.violation.expect("staleness must be reachable");
+        assert_eq!(violation.kind, InvariantKind::RecoverySafety);
+        let minimized = minimize(&config, &TwoTierOracle, &trace, true);
+        assert!(!minimized.is_empty());
+        assert!(minimized.len() <= trace.len());
+        // And the same configuration *with* GapResync never violates.
+        let fixed = explore(
+            &ModelConfig::quick_core(),
+            &TwoTierOracle,
+            ExploreOptions::default(),
+        );
+        assert!(fixed.violation.is_none());
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let result = explore(
+            &ModelConfig::quick_core(),
+            &TwoTierOracle,
+            ExploreOptions {
+                max_depth: Some(2),
+                ..ExploreOptions::default()
+            },
+        );
+        assert!(result.stats.truncated);
+        assert!(result.violation.is_none());
+    }
+}

@@ -1,0 +1,248 @@
+//! Serializability oracles for model histories.
+//!
+//! The model checker needs two independent judgements about every completed
+//! read set:
+//!
+//! * **ground truth** — is the read set *actually* serializable with the
+//!   committed update history? Computed here by brute force
+//!   ([`ground_truth_serializable`]), deliberately sharing no code with the
+//!   monitor so invariants 2 and 3 (monitor soundness / completeness) are
+//!   not circular;
+//! * **the oracle under test** — what the consistency monitor would say.
+//!   [`TwoTierOracle`] is the production verdict (interval test with SGT
+//!   fallback); [`IntervalOnlyOracle`] is the intentionally-broken variant
+//!   (first tier only) used to prove the checker detects oracle bugs and
+//!   that the differential bridge reproduces them on the real stack.
+//!
+//! # Ground truth
+//!
+//! Updates conflict when their write sets intersect (every update reads
+//! what it writes, so intersecting access sets imply write-write and
+//! read-write conflicts); conflicting updates must keep version order in
+//! any serial order, while disjoint updates commute. A read-only
+//! transaction is serializable iff it can be placed at *some* point of such
+//! a serial order — equivalently, iff there is a subset `S` of the
+//! committed updates, downward-closed under the conflict precedence, whose
+//! frontier matches every read: for each `(object, version)` read, the
+//! newest update in `S` writing `object` installed exactly `version` (or
+//! the object is untouched by `S` and `version` is the initial 0). With the
+//! handful of updates a checked configuration scripts, enumerating all
+//! `2^n` subsets is trivial.
+
+use crate::config::ModelConfig;
+use tcache_monitor::ConsistencyMonitor;
+use tcache_types::{ObjectId, SimTime, TransactionRecord, TxnId, Version};
+
+/// The transaction id the bridge and the model both assign to scripted
+/// update `u` (kept away from read ids so records never collide).
+pub fn update_txn_id(update: usize) -> TxnId {
+    TxnId(1000 + update as u64)
+}
+
+/// The transaction id the bridge and the model both assign to scripted
+/// read-only transaction `t`.
+pub fn read_txn_id(txn: usize) -> TxnId {
+    TxnId(100 + txn as u64)
+}
+
+/// One committed update as the oracles see it: the id, the versions
+/// observed before the update and the versions written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleUpdate {
+    /// Transaction id ([`update_txn_id`] of the update's index).
+    pub txn: TxnId,
+    /// The version assigned to the update.
+    pub version: u64,
+    /// `(object, version before the update)` for every accessed object.
+    pub reads: Vec<(ObjectId, Version)>,
+    /// `(object, new version)` for every written object.
+    pub writes: Vec<(ObjectId, Version)>,
+}
+
+/// Derives the oracle-visible update history from a model state's
+/// committed-update list (in commit order): before-versions are
+/// reconstructed by replaying the history, exactly matching the
+/// `UpdateCommit` records the real database emits.
+pub fn history_of(config: &ModelConfig, committed: &[(usize, u64)]) -> Vec<OracleUpdate> {
+    let mut current = vec![0u64; config.objects as usize];
+    let mut history = Vec::with_capacity(committed.len());
+    for &(update, version) in committed {
+        let writes = &config.updates[update];
+        let reads = writes
+            .iter()
+            .map(|&o| (ObjectId(o), Version(current[o as usize])))
+            .collect();
+        let written = writes
+            .iter()
+            .map(|&o| (ObjectId(o), Version(version)))
+            .collect();
+        for &o in writes {
+            current[o as usize] = version;
+        }
+        history.push(OracleUpdate {
+            txn: update_txn_id(update),
+            version,
+            reads,
+            writes: written,
+        });
+    }
+    history
+}
+
+/// Ground truth by subset enumeration (see the module docs). `history`
+/// must be in version (= commit) order; `reads` are `(object, version)`
+/// pairs with `0` meaning the initial version.
+pub fn ground_truth_serializable(history: &[OracleUpdate], reads: &[(u64, u64)]) -> bool {
+    let n = history.len();
+    assert!(n < usize::BITS as usize, "history too large for subset enumeration");
+    let write_set = |u: &OracleUpdate| u.writes.iter().map(|&(o, _)| o.0).collect::<Vec<_>>();
+    let writes: Vec<Vec<u64>> = history.iter().map(write_set).collect();
+    let conflicts = |i: usize, j: usize| writes[i].iter().any(|o| writes[j].contains(o));
+
+    'subsets: for mask in 0u64..(1u64 << n) {
+        // Downward closure: an update in S must be preceded by every
+        // conflicting update with a smaller version.
+        for j in 0..n {
+            if mask & (1 << j) == 0 {
+                continue;
+            }
+            for i in 0..j {
+                if mask & (1 << i) == 0 && conflicts(i, j) {
+                    continue 'subsets;
+                }
+            }
+        }
+        // Frontier: every read must observe exactly the newest version S
+        // installed for its object.
+        let frontier_matches = reads.iter().all(|&(object, version)| {
+            let latest = (0..n)
+                .filter(|&j| mask & (1 << j) != 0 && writes[j].contains(&object))
+                .map(|j| history[j].version)
+                .max()
+                .unwrap_or(0);
+            latest == version
+        });
+        if frontier_matches {
+            return true;
+        }
+    }
+    false
+}
+
+/// A serializability oracle queried on `(history, reads)` pairs.
+pub trait SerializabilityOracle {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+    /// `true` when the oracle judges `reads` consistent with `history`.
+    fn consistent(&self, history: &[OracleUpdate], reads: &[(u64, u64)]) -> bool;
+}
+
+/// Feeds `history` into a fresh [`ConsistencyMonitor`], mirroring how the
+/// live system reports update commits.
+fn monitor_for(history: &[OracleUpdate]) -> ConsistencyMonitor {
+    let mut monitor = ConsistencyMonitor::new();
+    for update in history {
+        monitor.record_update_commit(&TransactionRecord::update_committed(
+            update.txn,
+            update.reads.clone(),
+            update.writes.clone(),
+            SimTime(update.version),
+        ));
+    }
+    monitor
+}
+
+fn to_typed(reads: &[(u64, u64)]) -> Vec<(ObjectId, Version)> {
+    reads.iter().map(|&(o, v)| (ObjectId(o), Version(v))).collect()
+}
+
+/// The production monitor verdict: commit-order interval test with exact
+/// SGT fallback (`ConsistencyMonitor::is_serializable`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TwoTierOracle;
+
+impl SerializabilityOracle for TwoTierOracle {
+    fn name(&self) -> &'static str {
+        "two-tier"
+    }
+
+    fn consistent(&self, history: &[OracleUpdate], reads: &[(u64, u64)]) -> bool {
+        monitor_for(history).is_serializable(&to_typed(reads))
+    }
+}
+
+/// The intentionally-broken oracle: the interval test *without* the SGT
+/// fallback (`ConsistencyMonitor::interval_consistent`). Sound histories
+/// made of commuting independent updates are mis-flagged, which the
+/// checker must detect as a monitor-soundness violation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IntervalOnlyOracle;
+
+impl SerializabilityOracle for IntervalOnlyOracle {
+    fn name(&self) -> &'static str {
+        "interval-only"
+    }
+
+    fn consistent(&self, history: &[OracleUpdate], reads: &[(u64, u64)]) -> bool {
+        monitor_for(history).interval_consistent(&to_typed(reads))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    fn independent_history() -> Vec<OracleUpdate> {
+        // u0 writes {0} at version 1, u1 writes {1} at version 2 — disjoint.
+        history_of(&ModelConfig::independent_updates(), &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn ground_truth_accepts_prefix_frontiers() {
+        let config = ModelConfig::quick_core();
+        let history = history_of(&config, &[(0, 1)]);
+        // Before, and after, the joint update: serializable.
+        assert!(ground_truth_serializable(&history, &[(0, 0), (1, 0)]));
+        assert!(ground_truth_serializable(&history, &[(0, 1), (1, 1)]));
+        // Torn across it: not serializable.
+        assert!(!ground_truth_serializable(&history, &[(0, 0), (1, 1)]));
+        assert!(!ground_truth_serializable(&history, &[(0, 1), (1, 0)]));
+    }
+
+    #[test]
+    fn ground_truth_commutes_independent_updates() {
+        let history = independent_history();
+        // Every combination of old/new per object is serializable because
+        // the updates commute.
+        for a in [0, 1] {
+            for b in [0, 2] {
+                assert!(
+                    ground_truth_serializable(&history, &[(0, a), (1, b)]),
+                    "({a},{b}) should be serializable"
+                );
+            }
+        }
+        // A version nobody wrote is not.
+        assert!(!ground_truth_serializable(&history, &[(0, 2)]));
+    }
+
+    #[test]
+    fn two_tier_oracle_matches_truth_on_commuting_updates() {
+        let history = independent_history();
+        let reads = [(0u64, 0u64), (1u64, 2u64)];
+        assert!(ground_truth_serializable(&history, &reads));
+        assert!(TwoTierOracle.consistent(&history, &reads));
+        // The broken first-tier-only oracle mis-flags the same reads.
+        assert!(!IntervalOnlyOracle.consistent(&history, &reads));
+    }
+
+    #[test]
+    fn history_reconstruction_tracks_before_versions() {
+        let config = ModelConfig::truncated_log();
+        let history = history_of(&config, &[(0, 1), (1, 2)]);
+        assert_eq!(history[0].reads, vec![(ObjectId(0), Version(0)), (ObjectId(1), Version(0))]);
+        assert_eq!(history[1].reads, vec![(ObjectId(0), Version(1))]);
+        assert_eq!(history[1].writes, vec![(ObjectId(0), Version(2))]);
+    }
+}

@@ -146,6 +146,26 @@ impl ConsistencyMonitor {
         self.sgt.read_only_consistent_fast(reads)
     }
 
+    /// Non-mutating oracle entry point: decides whether `reads` is
+    /// serializable against the update history recorded so far, *without*
+    /// recording the transaction or touching any report.
+    ///
+    /// This is the two-tier verdict (`record_read_only` uses the same
+    /// decision), exposed so external checkers — notably the explicit-state
+    /// model in `tcache-model` — can query the monitor on histories they
+    /// assemble themselves.
+    pub fn is_serializable(&self, reads: &[(ObjectId, Version)]) -> bool {
+        self.reads_serializable(reads)
+    }
+
+    /// Non-mutating entry point for the *first tier only*: the commit-order
+    /// interval test, with no SGT fallback. Incomplete as an oracle — it
+    /// mis-flags commuting independent updates — which is exactly why the
+    /// model checker uses it as its intentionally-broken reference oracle.
+    pub fn interval_consistent(&self, reads: &[(ObjectId, Version)]) -> bool {
+        self.sgt.history().reads_consistent(reads)
+    }
+
     /// Convenience wrapper accepting a [`TransactionRecord`] from a cache.
     /// When the record names its cache, the classification is attributed to
     /// that cache's per-cache report as well.

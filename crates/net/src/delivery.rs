@@ -336,6 +336,8 @@ mod tests {
         drop(tx);
         let flag = Arc::clone(&paused);
         let unpause = std::thread::spawn(move || {
+            // Test-only cross-thread coordination on wall time.
+            #[allow(clippy::disallowed_methods)]
             std::thread::sleep(std::time::Duration::from_millis(20));
             flag.store(false, Ordering::Release);
         });

@@ -568,7 +568,9 @@ mod tests {
         let (tx, rx) = bounded_pipe::<u64>(1, OverflowPolicy::Block);
         assert_eq!(tx.send(1), Ok(SendOutcome::Enqueued));
         let handle = std::thread::spawn(move || tx.send(2).map(|_| tx.stats()));
-        // Give the sender time to park, then free the slot.
+        // Give the sender time to park, then free the slot (test-only
+        // wall-clock coordination).
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(rx.recv(), Some(1));
         let stats = handle.join().unwrap().unwrap();
@@ -621,6 +623,8 @@ mod tests {
         let (tx, rx) = bounded_pipe::<u64>(1, OverflowPolicy::Block);
         tx.send(1).unwrap();
         let handle = std::thread::spawn(move || tx.send(2));
+        // Test-only wall-clock coordination: let the sender park first.
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(Duration::from_millis(10));
         drop(rx);
         assert_eq!(handle.join().unwrap(), Err(PipeSendError::Disconnected(2)));

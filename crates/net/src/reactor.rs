@@ -548,6 +548,8 @@ mod tests {
         let handle = reactor.handle();
         assert!(!handle.is_shut_down());
         let thread = std::thread::spawn(move || reactor.run());
+        // Test-only wall-clock coordination: let the reactor park first.
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(Duration::from_millis(10));
         handle.shutdown();
         thread.join().unwrap();

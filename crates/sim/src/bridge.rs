@@ -1,0 +1,494 @@
+//! Differential counterexample bridge: replays a model-checker trace
+//! action-by-action against the real protocol stack.
+//!
+//! The model in `tcache-model` claims to mirror `Database`, `EdgeCache`
+//! and the `ConsistencyMonitor` line by line. The bridge is what makes
+//! that claim falsifiable: it drives one real database and one real edge
+//! cache per modeled cache through the exact same
+//! [`ProtocolAction`] sequence, delivering invalidations by hand where
+//! the model's network would, and after **every** action compares every
+//! observable the two sides share — versions read, abort objects, stream
+//! positions, cached working sets, lifecycle states and all nine
+//! lifecycle counters. The first disagreement is reported as a
+//! [`BridgeDivergence`] naming the step, the action and the mismatching
+//! observable.
+//!
+//! Counterexamples found by the explorer are minimized and then fed
+//! through here, so an invariant violation is never just a statement
+//! about the model: the same trace demonstrably produces the same
+//! behaviour on the shipped implementation.
+
+use std::sync::Arc;
+use tcache_cache::{EdgeCache, ReadMode};
+use tcache_db::{Database, DatabaseConfig, Invalidation};
+use tcache_model::{
+    ground_truth_serializable, history_of, read_txn_id, update_txn_id, CachePolicyKind,
+    ModelConfig, ModelState, TxnMode, TxnOutcome,
+};
+use tcache_monitor::ConsistencyMonitor;
+use tcache_types::{
+    AccessSet, CacheId, ObjectId, ProtocolAction, RecoveryPolicy, SimDuration, SimTime, Strategy,
+    TCacheError, TransactionRecord, Value, Version,
+};
+
+/// A disagreement between the model and the real stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BridgeDivergence {
+    /// Zero-based index of the action whose replay diverged.
+    pub step: usize,
+    /// The action being replayed.
+    pub action: ProtocolAction,
+    /// What disagreed, with both sides' values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for BridgeDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model/implementation divergence at step {} ({}): {}",
+            self.step, self.action, self.detail
+        )
+    }
+}
+
+impl std::error::Error for BridgeDivergence {}
+
+/// The classification of one finished read-only transaction, recorded by
+/// the bridge at its finish edge with verdicts from both judges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnReport {
+    /// Index of the scripted transaction.
+    pub txn: usize,
+    /// Whether it committed (on both sides — divergence otherwise).
+    pub committed: bool,
+    /// The `(object, version)` pairs it observed, in read order.
+    pub observed: Vec<(u64, u64)>,
+    /// The live monitor's two-tier serializability verdict.
+    pub monitor_serializable: bool,
+    /// The brute-force ground-truth verdict.
+    pub ground_truth: bool,
+}
+
+/// Summary of a completed replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BridgeReport {
+    /// Actions replayed.
+    pub steps: usize,
+    /// Individual observable comparisons performed (all equal).
+    pub comparisons: u64,
+    /// One entry per read-only transaction that finished during the
+    /// trace, in finish order.
+    pub finished: Vec<TxnReport>,
+}
+
+/// Replays protocol traces against a live `Database`/`EdgeCache` stack in
+/// lockstep with the model, comparing observables after every action.
+pub struct DifferentialBridge {
+    config: ModelConfig,
+    model: ModelState,
+    db: Arc<Database>,
+    caches: Vec<EdgeCache>,
+    monitor: ConsistencyMonitor,
+    steps: usize,
+    comparisons: u64,
+    finished: Vec<TxnReport>,
+}
+
+impl DifferentialBridge {
+    /// Builds the real stack for `config`: a database with the scripted
+    /// objects and log capacity, one edge cache per modeled cache with the
+    /// matching policy, recovery policy installed on each.
+    pub fn new(config: &ModelConfig) -> Self {
+        let db_config = DatabaseConfig {
+            invalidation_log_capacity: config.log_capacity,
+            ..DatabaseConfig::unbounded()
+        };
+        let db = Arc::new(Database::new(db_config));
+        db.populate((0..config.objects).map(|o| (ObjectId(o), Value::new(o))));
+
+        let policy = match config.recovery.staleness_budget() {
+            Some(budget) => RecoveryPolicy::GapResync {
+                staleness_budget: SimDuration::from_secs(budget),
+            },
+            None => RecoveryPolicy::None,
+        };
+        let caches = config
+            .caches
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| {
+                let cache = match kind {
+                    CachePolicyKind::TCacheUnbounded => {
+                        EdgeCache::unbounded(CacheId(i as u32), Arc::clone(&db), Strategy::Abort)
+                    }
+                    CachePolicyKind::Plain => EdgeCache::plain(CacheId(i as u32), Arc::clone(&db)),
+                };
+                cache.set_recovery_policy(policy);
+                cache
+            })
+            .collect();
+
+        DifferentialBridge {
+            config: config.clone(),
+            model: ModelState::initial(config),
+            db,
+            caches,
+            monitor: ConsistencyMonitor::new(),
+            steps: 0,
+            comparisons: 0,
+            finished: Vec::new(),
+        }
+    }
+
+    /// Replays a whole trace, returning the report or the first
+    /// divergence.
+    ///
+    /// # Errors
+    /// Returns the first [`BridgeDivergence`], which names the step,
+    /// action and mismatching observable.
+    pub fn run(config: &ModelConfig, trace: &[ProtocolAction]) -> Result<BridgeReport, BridgeDivergence> {
+        let mut bridge = DifferentialBridge::new(config);
+        for &action in trace {
+            bridge.step(action)?;
+        }
+        Ok(bridge.report())
+    }
+
+    /// The model state after the actions replayed so far.
+    pub fn model(&self) -> &ModelState {
+        &self.model
+    }
+
+    /// The real edge cache backing modeled cache `index`.
+    pub fn cache(&self, index: usize) -> &EdgeCache {
+        &self.caches[index]
+    }
+
+    /// The real backend database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The live monitor, fed every committed update so far.
+    pub fn monitor(&self) -> &ConsistencyMonitor {
+        &self.monitor
+    }
+
+    /// The report for the actions replayed so far.
+    pub fn report(&self) -> BridgeReport {
+        BridgeReport {
+            steps: self.steps,
+            comparisons: self.comparisons,
+            finished: self.finished.clone(),
+        }
+    }
+
+    fn diverged(&self, action: ProtocolAction, detail: String) -> BridgeDivergence {
+        BridgeDivergence {
+            step: self.steps,
+            action,
+            detail,
+        }
+    }
+
+    fn check(
+        &mut self,
+        action: ProtocolAction,
+        equal: bool,
+        detail: impl FnOnce() -> String,
+    ) -> Result<(), BridgeDivergence> {
+        self.comparisons += 1;
+        if equal {
+            Ok(())
+        } else {
+            Err(self.diverged(action, detail()))
+        }
+    }
+
+    /// The real-stack timestamp for the model's logical clock: one second
+    /// per tick, so `clock > since + budget` decides identically on both
+    /// sides.
+    fn now(&self) -> SimTime {
+        SimTime::from_secs(self.model.clock)
+    }
+
+    /// Replays one action on both sides and compares every shared
+    /// observable.
+    ///
+    /// # Errors
+    /// Returns a [`BridgeDivergence`] on the first disagreement (or when
+    /// `action` is not enabled in the model).
+    pub fn step(&mut self, action: ProtocolAction) -> Result<(), BridgeDivergence> {
+        let prev = self.model.clone();
+        let Some(next) = self.model.apply(&self.config, action) else {
+            return Err(self.diverged(action, "action not enabled in the model".to_string()));
+        };
+        let now = self.now(); // before the tick advances the clock
+        self.model = next;
+
+        match action {
+            ProtocolAction::UpdateCommit { update } => {
+                self.replay_update(action, update)?;
+            }
+            ProtocolAction::Deliver { cache, index } => {
+                let inv = prev.caches[cache].pending[index];
+                self.caches[cache].apply_invalidation(Invalidation::with_seq(
+                    ObjectId(inv.object),
+                    Version(inv.version),
+                    update_txn_id(inv.update),
+                    inv.seq,
+                ));
+            }
+            ProtocolAction::DropInvalidation { .. } => {
+                // The network loses the record; the real cache sees nothing.
+            }
+            ProtocolAction::ReadStep { txn } => {
+                self.replay_read_step(action, txn, &prev, now)?;
+            }
+            ProtocolAction::Crash { cache } => self.caches[cache].crash(now),
+            ProtocolAction::Restart { cache } => self.caches[cache].restart(),
+            ProtocolAction::Partition { cache } => self.caches[cache].disconnect(now),
+            ProtocolAction::Reconnect { cache } => self.caches[cache].reconnect(),
+            ProtocolAction::Tick => {
+                // Purely logical: both clocks advance via `now()`.
+            }
+        }
+
+        self.record_finish_edges(action, &prev)?;
+        self.compare_state(action)?;
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// Replays an update commit and compares the commit record and the
+    /// stamped invalidation sequence numbers.
+    fn replay_update(&mut self, action: ProtocolAction, update: usize) -> Result<(), BridgeDivergence> {
+        let writes: Vec<ObjectId> = self.config.updates[update].iter().map(|&o| ObjectId(o)).collect();
+        let access = AccessSet::new(writes);
+        let commit = match self.db.execute_update(update_txn_id(update), &access) {
+            Ok(commit) => commit,
+            Err(e) => {
+                return Err(self.diverged(action, format!("real update aborted: {e}")));
+            }
+        };
+        let (_, model_version) = *self.model.committed.last().expect("just committed");
+        self.check(action, commit.version.0 == model_version, || {
+            format!(
+                "commit version: real {} vs model {model_version}",
+                commit.version.0
+            )
+        })?;
+
+        let first_seq = self.model.db.latest_seq - self.config.updates[update].len() as u64 + 1;
+        for (i, inv) in commit.invalidations.iter().enumerate() {
+            let object = self.config.updates[update][i];
+            let expected_seq = first_seq + i as u64;
+            self.check(
+                action,
+                inv.seq == expected_seq && inv.object.0 == object && inv.new_version.0 == model_version,
+                || {
+                    format!(
+                        "invalidation {i}: real (seq {}, {}@{}) vs model (seq {expected_seq}, o{object}@{model_version})",
+                        inv.seq, inv.object, inv.new_version
+                    )
+                },
+            )?;
+        }
+
+        // Feed the live monitor exactly as the planes do.
+        self.monitor.record_update_commit(&TransactionRecord::update_committed(
+            commit.txn,
+            commit.reads.clone(),
+            commit.written.clone(),
+            SimTime(commit.version.0),
+        ));
+        Ok(())
+    }
+
+    /// Replays one scripted read step: a degraded transaction's single
+    /// synchronous pass-through round, or one `EdgeCache::read` of the
+    /// cached path, comparing the outcome against the model's.
+    fn replay_read_step(
+        &mut self,
+        action: ProtocolAction,
+        txn: usize,
+        prev: &ModelState,
+        now: SimTime,
+    ) -> Result<(), BridgeDivergence> {
+        let script = self.config.reads[txn].clone();
+        let keys: Vec<ObjectId> = script.keys.iter().map(|&k| ObjectId(k)).collect();
+        let latched_pass_through = prev.txns[txn].mode.is_none()
+            && self.model.txns[txn].mode == Some(TxnMode::PassThrough);
+
+        if latched_pass_through {
+            // One synchronous backend round for the whole script, through
+            // the lifecycle-aware entry point so the real cache performs
+            // the same budget-expiry degrade transition.
+            let log = match self.caches[script.cache].execute_read_only(now, read_txn_id(txn), &keys) {
+                Ok(log) => log,
+                Err(e) => return Err(self.diverged(action, format!("real pass-through failed: {e}"))),
+            };
+            self.check(action, log.mode == ReadMode::PassThrough, || {
+                format!("serving mode: real {:?} vs model PassThrough", log.mode)
+            })?;
+            self.check(action, log.committed, || {
+                "pass-through transaction aborted on the real side".to_string()
+            })?;
+            let real: Vec<(u64, u64)> = log.observed.iter().map(|&(o, v)| (o.0, v.0)).collect();
+            let model = self.model.txns[txn].observed.clone();
+            return self.check(action, real == model, || {
+                format!("pass-through observations: real {real:?} vs model {model:?}")
+            });
+        }
+
+        let key = script.keys[prev.txns[txn].next_key];
+        let last_op = prev.txns[txn].next_key + 1 == script.keys.len();
+        let result = self.caches[script.cache].read(now, read_txn_id(txn), ObjectId(key), last_op);
+        let model_txn = &self.model.txns[txn];
+        let newly_aborted = !prev.txns[txn].finished()
+            && matches!(model_txn.outcome, Some(TxnOutcome::Aborted { .. }));
+
+        match (result, newly_aborted) {
+            (Ok(read), false) => {
+                let (_, model_version) = *model_txn.observed.last().expect("model recorded the read");
+                self.check(action, read.version.0 == model_version, || {
+                    format!(
+                        "read o{key}: real version {} vs model {model_version}",
+                        read.version.0
+                    )
+                })
+            }
+            (Err(TCacheError::InconsistencyAbort { violating_object, .. }), true) => {
+                let model_object = match model_txn.outcome {
+                    Some(TxnOutcome::Aborted { violating_object }) => violating_object,
+                    _ => unreachable!("newly_aborted checked"),
+                };
+                self.check(action, violating_object.0 == model_object, || {
+                    format!(
+                        "abort object: real {violating_object} vs model o{model_object}"
+                    )
+                })
+            }
+            (Ok(read), true) => Err(self.diverged(
+                action,
+                format!(
+                    "model aborted txn {txn} but the real read returned o{key}@{}",
+                    read.version.0
+                ),
+            )),
+            (Err(e), _) => Err(self.diverged(
+                action,
+                format!("real read of o{key} failed where the model did not abort: {e}"),
+            )),
+        }
+    }
+
+    /// Classifies transactions that finished during this action and
+    /// cross-checks the live monitor against the rebuilt-history verdict.
+    fn record_finish_edges(
+        &mut self,
+        action: ProtocolAction,
+        prev: &ModelState,
+    ) -> Result<(), BridgeDivergence> {
+        for txn in 0..self.model.txns.len() {
+            if prev.txns[txn].finished() || !self.model.txns[txn].finished() {
+                continue;
+            }
+            let observed = self.model.txns[txn].observed.clone();
+            let typed: Vec<(ObjectId, Version)> =
+                observed.iter().map(|&(o, v)| (ObjectId(o), Version(v))).collect();
+            let committed = self.model.txns[txn].outcome == Some(TxnOutcome::Committed);
+            let live = self.monitor.is_serializable(&typed);
+            let history = history_of(&self.config, &self.model.committed);
+            let truth = ground_truth_serializable(&history, &observed);
+
+            // The live monitor was fed incrementally; a fresh monitor fed
+            // the reconstructed history must agree (this is what the
+            // model's oracle consults).
+            let mut rebuilt = ConsistencyMonitor::new();
+            for u in &history {
+                rebuilt.record_update_commit(&TransactionRecord::update_committed(
+                    u.txn,
+                    u.reads.clone(),
+                    u.writes.clone(),
+                    SimTime(u.version),
+                ));
+            }
+            let rebuilt_verdict = rebuilt.is_serializable(&typed);
+            self.check(action, live == rebuilt_verdict, || {
+                format!(
+                    "monitor verdict for txn {txn} {observed:?}: live {live} vs rebuilt {rebuilt_verdict}"
+                )
+            })?;
+
+            self.finished.push(TxnReport {
+                txn,
+                committed,
+                observed,
+                monitor_serializable: live,
+                ground_truth: truth,
+            });
+        }
+        Ok(())
+    }
+
+    /// Compares every shared observable of the post-action states.
+    fn compare_state(&mut self, action: ProtocolAction) -> Result<(), BridgeDivergence> {
+        let model_latest = self.model.db.latest_seq;
+        let real_latest = self.db.invalidation_latest_seq();
+        self.check(action, real_latest == model_latest, || {
+            format!("db stream position: real {real_latest} vs model {model_latest}")
+        })?;
+
+        for i in 0..self.caches.len() {
+            let model = self.model.caches[i].clone();
+            let real_seq = self.caches[i].last_applied_seq();
+            self.check(action, real_seq == model.last_seq, || {
+                format!(
+                    "cache {i} applied seq: real {real_seq} vs model {}",
+                    model.last_seq
+                )
+            })?;
+
+            let real_state = self.caches[i].lifecycle_state().name();
+            let model_state = model.status.name();
+            self.check(action, real_state == model_state, || {
+                format!("cache {i} lifecycle: real {real_state} vs model {model_state}")
+            })?;
+
+            let real_objects = self.caches[i].cached_objects();
+            self.check(action, real_objects == model.store.len(), || {
+                format!(
+                    "cache {i} working set size: real {real_objects} vs model {}",
+                    model.store.len()
+                )
+            })?;
+            for &object in model.store.keys() {
+                let contains = self.caches[i].contains(ObjectId(object));
+                self.check(action, contains, || {
+                    format!("cache {i} working set: model caches o{object}, real does not")
+                })?;
+            }
+
+            let stats = self.caches[i].lifecycle_stats();
+            let pairs = [
+                ("gaps_detected", stats.gaps_detected, model.gaps_detected),
+                ("invalidations_missed", stats.invalidations_missed, model.invalidations_missed),
+                ("log_replays", stats.log_replays, model.log_replays),
+                ("replayed_invalidations", stats.replayed_invalidations, model.replayed_invalidations),
+                ("snapshot_resyncs", stats.snapshot_resyncs, model.snapshot_resyncs),
+                ("pass_through_txns", stats.pass_through_txns, model.pass_through_txns),
+                ("crashes", stats.crashes, model.crashes),
+                ("partitions", stats.partitions, model.partitions),
+                ("reconnects", stats.reconnects, model.reconnects),
+            ];
+            for (name, real, model_value) in pairs {
+                self.check(action, real == model_value, || {
+                    format!("cache {i} {name}: real {real} vs model {model_value}")
+                })?;
+            }
+        }
+        Ok(())
+    }
+}

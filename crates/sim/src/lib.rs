@@ -41,6 +41,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod bridge;
 pub mod clients;
 pub mod event;
 pub mod experiment;
@@ -50,6 +51,7 @@ pub mod results;
 pub mod schedule;
 pub mod timeseries;
 
+pub use bridge::{BridgeDivergence, BridgeReport, DifferentialBridge, TxnReport};
 pub use experiment::{CacheKind, CacheSite, CacheTopology, Experiment, ExperimentConfig, WorkloadKind};
 pub use plane::{ExecutionPlane, LiveOptions, LivePacing};
 pub use schedule::{Schedule, ScheduledTxn};

@@ -363,6 +363,9 @@ fn pace_until(started: Instant, at: SimTime, scale: f64) {
     let target = started + Duration::from_secs_f64(at.as_secs_f64() * scale);
     let now = Instant::now();
     if target > now {
+        // Pacing is the one place simulated time is *meant* to map onto
+        // wall time, so a real sleep is the correct primitive.
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(target - now);
     }
 }

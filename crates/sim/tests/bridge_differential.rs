@@ -1,0 +1,169 @@
+//! Differential tests of the model-checker bridge: hand-written and
+//! randomly generated protocol traces must replay on the real
+//! `Database`/`EdgeCache` stack with every observable agreeing with the
+//! model at every step.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcache_model::{
+    explore, minimize, ExploreOptions, IntervalOnlyOracle, InvariantKind, ModelConfig,
+};
+use tcache_sim::DifferentialBridge;
+use tcache_types::{ObjectId, ProtocolAction, Version};
+
+/// A clean end-to-end run: joint update commits, both invalidations are
+/// delivered, then both scripted readers run to completion consistently.
+#[test]
+fn hand_written_clean_trace_round_trips() {
+    let config = ModelConfig::quick_core();
+    let trace = [
+        ProtocolAction::UpdateCommit { update: 0 },
+        ProtocolAction::Deliver { cache: 0, index: 0 },
+        ProtocolAction::Deliver { cache: 0, index: 0 },
+        ProtocolAction::Deliver { cache: 1, index: 0 },
+        ProtocolAction::Deliver { cache: 1, index: 0 },
+        ProtocolAction::ReadStep { txn: 0 },
+        ProtocolAction::ReadStep { txn: 0 },
+        ProtocolAction::ReadStep { txn: 1 },
+        ProtocolAction::ReadStep { txn: 1 },
+    ];
+    let report = DifferentialBridge::run(&config, &trace).expect("no divergence");
+    assert_eq!(report.steps, trace.len());
+    assert!(report.comparisons > trace.len() as u64);
+    assert_eq!(report.finished.len(), 2);
+    for txn in &report.finished {
+        assert!(txn.committed, "clean trace commits: {txn:?}");
+        assert_eq!(txn.observed, vec![(0, 1), (1, 1)]);
+        assert!(txn.monitor_serializable);
+        assert!(txn.ground_truth);
+    }
+}
+
+/// The canonical Theorem-1 save: a read interleaved with the joint update
+/// aborts on the T-Cache side, and the real cache names the same
+/// violating object the model does.
+#[test]
+fn interleaved_update_abort_matches_model() {
+    let config = ModelConfig::quick_core();
+    let trace = [
+        ProtocolAction::ReadStep { txn: 0 },
+        ProtocolAction::UpdateCommit { update: 0 },
+        ProtocolAction::ReadStep { txn: 0 },
+    ];
+    let report = DifferentialBridge::run(&config, &trace).expect("no divergence");
+    let txn = &report.finished[0];
+    assert!(!txn.committed, "the stale read set must abort: {txn:?}");
+    assert_eq!(txn.observed, vec![(0, 0)]);
+    // What the aborted transaction returned so far is trivially
+    // serializable (a prefix of the initial snapshot).
+    assert!(txn.ground_truth);
+}
+
+/// The plain cache serves the same interleaving without aborting, and the
+/// monitor (on both sides of the bridge) flags the torn read set.
+#[test]
+fn plain_cache_torn_reads_flagged_by_monitor() {
+    let config = ModelConfig::quick_core();
+    let trace = [
+        ProtocolAction::ReadStep { txn: 1 },
+        ProtocolAction::UpdateCommit { update: 0 },
+        ProtocolAction::ReadStep { txn: 1 },
+    ];
+    let report = DifferentialBridge::run(&config, &trace).expect("no divergence");
+    let txn = &report.finished[0];
+    assert!(txn.committed, "plain caches never abort: {txn:?}");
+    assert_eq!(txn.observed, vec![(0, 0), (1, 1)]);
+    assert!(!txn.ground_truth, "torn across the joint update");
+    assert!(!txn.monitor_serializable, "the monitor must flag it");
+}
+
+/// The explorer's minimized monitor-soundness counterexample (found with
+/// the intentionally-broken interval-only oracle) replays on the real
+/// stack without divergence, and the real monitor exhibits exactly the
+/// divergence the model predicted: the first tier alone mis-flags the
+/// reads, the production two-tier verdict accepts them.
+#[test]
+fn minimized_soundness_counterexample_replays_on_real_stack() {
+    let config = ModelConfig::independent_updates();
+    let result = explore(&config, &IntervalOnlyOracle, ExploreOptions::default());
+    let (violation, trace) = result.violation.expect("broken oracle must be caught");
+    assert_eq!(violation.kind, InvariantKind::MonitorSoundness);
+    let minimized = minimize(&config, &IntervalOnlyOracle, &trace, false);
+
+    let mut bridge = DifferentialBridge::new(&config);
+    for &action in &minimized {
+        bridge.step(action).expect("model and implementation agree");
+    }
+    let report = bridge.report();
+    let txn = report.finished.last().expect("the flagged txn finished");
+    assert!(txn.ground_truth, "the counterexample reads are serializable");
+    assert!(
+        txn.monitor_serializable,
+        "the production two-tier monitor accepts them"
+    );
+    let typed: Vec<(ObjectId, Version)> = txn
+        .observed
+        .iter()
+        .map(|&(o, v)| (ObjectId(o), Version(v)))
+        .collect();
+    assert!(
+        !bridge.monitor().interval_consistent(&typed),
+        "the interval-only tier mis-flags them on the real monitor too — \
+         the implementation reproduces the model's counterexample"
+    );
+}
+
+/// Walks the model's enabled-action sets with a seeded RNG and replays
+/// every generated trace differentially: any model/implementation
+/// disagreement on any observable fails the test.
+fn random_walk_agrees(config: &ModelConfig, seed: u64, steps: usize) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bridge = DifferentialBridge::new(config);
+    for _ in 0..steps {
+        let enabled = bridge.model().enabled(config);
+        if enabled.is_empty() {
+            break;
+        }
+        let action = enabled[rng.gen_range(0..enabled.len())];
+        bridge.step(action).map_err(|d| d.to_string())?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48 })]
+
+    #[test]
+    fn random_quick_core_traces_replay_without_divergence(
+        seed in 0u64..1_000_000,
+        steps in 1usize..60,
+    ) {
+        prop_assert_eq!(
+            random_walk_agrees(&ModelConfig::quick_core(), seed, steps),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn random_truncated_log_traces_replay_without_divergence(
+        seed in 0u64..1_000_000,
+        steps in 1usize..60,
+    ) {
+        prop_assert_eq!(
+            random_walk_agrees(&ModelConfig::truncated_log(), seed, steps),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn random_no_recovery_traces_replay_without_divergence(
+        seed in 0u64..1_000_000,
+        steps in 1usize..60,
+    ) {
+        prop_assert_eq!(
+            random_walk_agrees(&ModelConfig::no_recovery(), seed, steps),
+            Ok(())
+        );
+    }
+}

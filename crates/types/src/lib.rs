@@ -33,6 +33,7 @@ pub mod dependency;
 pub mod entry;
 pub mod error;
 pub mod ids;
+pub mod protocol;
 pub mod seeding;
 pub mod time;
 pub mod transaction;
@@ -43,6 +44,7 @@ pub use dependency::{DependencyEntry, DependencyList};
 pub use entry::{ObjectEntry, VersionedObject};
 pub use error::{ConflictReason, TCacheError, TCacheResult};
 pub use ids::{CacheId, ClientId, ObjectId, TxnId, Version};
+pub use protocol::{format_trace, ProtocolAction, ProtocolTrace};
 pub use seeding::{cache_channel_seed, cache_delay_seed, derive_stream_seed, fault_seed};
 pub use time::{SimDuration, SimTime};
 pub use transaction::{

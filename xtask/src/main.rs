@@ -1,0 +1,319 @@
+//! Workspace automation tasks (`cargo xtask <task>`).
+//!
+//! Currently one task: `lint`, a repo-specific static scan that flags lock
+//! guards held across `send`/`try_send`/publish/upcall calls — the
+//! deadlock class the `LiveSender` rework (PR 2) removed from the delivery
+//! plane: a thread blocking on a bounded channel while holding a lock that
+//! the draining thread needs is a classic distributed-cache stall, and
+//! clippy has no lint for it.
+//!
+//! The scan is a deliberately simple, line-based heuristic (no rustc
+//! plumbing, no external deps), kept honest by a commented allowlist:
+//! audited sites carry `// lint:allow lock-across-send — <why>` on the
+//! flagged line (or the guard's binding line) and are skipped. Multi-line
+//! statements can evade the scanner; it exists to catch the common shape
+//! early and cheaply, not to be a soundness proof.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Marker that exempts an audited line (or its guard's binding line).
+const ALLOW_MARKER: &str = "lint:allow lock-across-send";
+
+/// Patterns that acquire a guard when bound with `let`.
+const LOCK_PATTERNS: &[&str] = &[".lock()", ".read()", ".write()"];
+
+/// Patterns that hand control to a channel or an upcall — the calls a
+/// guard must not be held across.
+const SEND_PATTERNS: &[&str] = &[".send(", ".try_send(", ".publish(", "upcall("];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`; available tasks: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rust_files(&root.join("crates"), &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        // The support shims implement the channels themselves; their
+        // internals are out of scope for a caller-side discipline lint.
+        if file.components().any(|c| c.as_os_str() == "support") {
+            continue;
+        }
+        let Ok(source) = fs::read_to_string(file) else {
+            continue;
+        };
+        scanned += 1;
+        scan_file(file, &source, &mut findings);
+    }
+
+    if findings.is_empty() {
+        println!("xtask lint: {scanned} files scanned, no lock guard held across a send/upcall");
+        ExitCode::SUCCESS
+    } else {
+        for finding in &findings {
+            eprintln!("{finding}");
+        }
+        eprintln!(
+            "xtask lint: {} finding(s) in {scanned} files — hold no lock across \
+             send/try_send/publish/upcall, or audit the site and annotate it with \
+             `// {ALLOW_MARKER} — <reason>`",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// One flagged site.
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    guard: String,
+    bound_at: usize,
+    call: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: `{}` reached while holding guard `{}` (bound at line {})",
+            self.file.display(),
+            self.line,
+            self.call,
+            self.guard,
+            self.bound_at
+        )
+    }
+}
+
+/// A live guard binding.
+struct Guard {
+    name: String,
+    depth: i32,
+    line: usize,
+    allowed: bool,
+}
+
+fn scan_file(path: &Path, source: &str, findings: &mut Vec<Finding>) {
+    let mut depth: i32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut in_block_comment = false;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let code = strip_comments(raw, &mut in_block_comment);
+        let allowed_here = raw.contains(ALLOW_MARKER);
+
+        // A send while a guard is live — or a single-statement
+        // lock-then-send chain — is the shape we flag.
+        if let Some(call) = SEND_PATTERNS.iter().find(|p| code.contains(**p)) {
+            let live = guards.iter().find(|g| !g.allowed);
+            let chained = LOCK_PATTERNS.iter().any(|p| code.contains(*p)) && !allowed_here;
+            if let Some(guard) = live.filter(|_| !allowed_here) {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line: line_no,
+                    guard: guard.name.clone(),
+                    bound_at: guard.line,
+                    call: call.trim_end_matches('(').to_string(),
+                });
+            } else if chained {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line: line_no,
+                    guard: "<temporary>".to_string(),
+                    bound_at: line_no,
+                    call: call.trim_end_matches('(').to_string(),
+                });
+            }
+        }
+
+        // New guard bindings: `let [mut] name = ….lock()…;` (and RwLock
+        // read/write). Temporaries without `let` die at the statement end
+        // and are handled by the chained rule above.
+        if let Some(name) = guard_binding(&code) {
+            guards.push(Guard {
+                name,
+                depth,
+                line: line_no,
+                allowed: allowed_here,
+            });
+        }
+
+        // Explicit early releases.
+        if code.contains("drop(") {
+            guards.retain(|g| !code.contains(&format!("drop({})", g.name)));
+        }
+
+        // Scope tracking: guards die when their block closes (depth falls
+        // below what it was at the binding).
+        depth += brace_delta(&code);
+        guards.retain(|g| depth >= g.depth);
+    }
+}
+
+/// Extracts the bound name of a guard-acquiring `let`, if this line is one.
+fn guard_binding(code: &str) -> Option<String> {
+    if !LOCK_PATTERNS.iter().any(|p| code.contains(*p)) {
+        return None;
+    }
+    let let_pos = code.find("let ")?;
+    let rest = code[let_pos + 4..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    // `let (a, b) = …` / `let Some(x) = …` patterns: take a stable
+    // placeholder; scope tracking still works.
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name == "_" {
+        return Some("<pattern>".to_string());
+    }
+    // Ignore bindings that immediately release (`….lock().clone()` style
+    // chains that end in a non-guard value are indistinguishable here;
+    // the allowlist covers the rare false positive).
+    Some(name)
+}
+
+/// Net brace depth change of a line, ignoring braces inside string and
+/// char literals (best effort).
+fn brace_delta(code: &str) -> i32 {
+    let mut delta = 0;
+    let mut in_string = false;
+    let mut in_char = false;
+    let mut prev_backslash = false;
+    for c in code.chars() {
+        match c {
+            '"' if !in_char && !prev_backslash => in_string = !in_string,
+            '\'' if !in_string && !prev_backslash => in_char = !in_char,
+            '{' if !in_string && !in_char => delta += 1,
+            '}' if !in_string && !in_char => delta -= 1,
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    delta
+}
+
+/// Removes `//` comments and tracks `/* … */` blocks across lines.
+fn strip_comments(raw: &str, in_block: &mut bool) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars().peekable();
+    while let Some(c) = chars.next() {
+        if *in_block {
+            if c == '*' && chars.peek() == Some(&'/') {
+                chars.next();
+                *in_block = false;
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => break,
+            '/' if chars.peek() == Some(&'*') => {
+                chars.next();
+                *in_block = true;
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR points at xtask/; the workspace root is its
+    // parent. Fall back to the current directory for direct invocation.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => PathBuf::from(dir).parent().map(Path::to_path_buf).unwrap_or_default(),
+        Err(_) => PathBuf::from("."),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_for(source: &str) -> Vec<String> {
+        let mut findings = Vec::new();
+        scan_file(Path::new("test.rs"), source, &mut findings);
+        findings.iter().map(|f| f.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_send_under_held_guard() {
+        let src = "fn f() {\n    let guard = self.state.lock();\n    tx.send(1).unwrap();\n}\n";
+        let found = findings_for(src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].contains("`.send`"));
+        assert!(found[0].contains("guard"));
+    }
+
+    #[test]
+    fn guard_dropped_by_scope_or_drop_is_fine() {
+        let scoped = "fn f() {\n    {\n        let guard = self.state.lock();\n    }\n    tx.send(1).unwrap();\n}\n";
+        assert!(findings_for(scoped).is_empty());
+        let dropped = "fn f() {\n    let guard = self.state.lock();\n    drop(guard);\n    tx.send(1).unwrap();\n}\n";
+        assert!(findings_for(dropped).is_empty());
+    }
+
+    #[test]
+    fn flags_single_statement_lock_send_chain() {
+        let src = "fn f() {\n    self.tx.lock().send(1).unwrap();\n}\n";
+        let found = findings_for(src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].contains("<temporary>"));
+    }
+
+    #[test]
+    fn allow_marker_silences_audited_sites() {
+        let on_send =
+            "fn f() {\n    let guard = self.state.lock();\n    tx.send(1).unwrap(); // lint:allow lock-across-send — audited\n}\n";
+        assert!(findings_for(on_send).is_empty());
+        let on_binding =
+            "fn f() {\n    let guard = self.state.lock(); // lint:allow lock-across-send — audited\n    tx.send(1).unwrap();\n}\n";
+        assert!(findings_for(on_binding).is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_confuse_the_scanner() {
+        let src = "fn f() {\n    // let guard = self.state.lock();\n    tx.send(1).unwrap();\n}\n";
+        assert!(findings_for(src).is_empty());
+        let block = "fn f() {\n    /* let g = x.lock(); */\n    tx.send(1).unwrap();\n}\n";
+        assert!(findings_for(block).is_empty());
+    }
+}
