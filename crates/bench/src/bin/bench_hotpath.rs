@@ -25,15 +25,16 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use tcache_cache::EdgeCache;
+use tcache_cache::{CacheReadPath, EdgeCache};
 use tcache_db::{Database, DatabaseConfig, Invalidation, ReadPath};
+use tcache_net::delivery::DEFAULT_BATCH_BUDGET;
 use tcache_net::pipe::{bounded_pipe, OverflowPolicy, UNBOUNDED};
 use tcache_net::reactor::Reactor;
 use tcache_bench::{git_short_sha, history_comparison};
 use tcache_sim::figures::{backpressure, live_plane, LIVE_PLANE_LOSSES};
 use tcache_types::{
-    AccessSet, CacheId, ObjectId, RecoveryPolicy, SimDuration, SimTime, Strategy, TxnId, Value,
-    Version,
+    AccessSet, CacheId, CachePolicyConfig, ObjectId, RecoveryPolicy, SimDuration, SimTime,
+    Strategy, TxnId, Value, Version,
 };
 
 const OBJECTS: u64 = 1024;
@@ -79,6 +80,31 @@ fn warmed_cache() -> Arc<EdgeCache> {
     warmed_caches(&warmed_db(), 1).pop().expect("one cache")
 }
 
+/// Like [`warmed_caches`], but with an explicit storage read path
+/// (per-stripe-mutex baseline vs epoch-reclaimed lock-free hit path).
+fn warmed_caches_with_path(
+    db: &Arc<Database>,
+    count: u32,
+    read_path: CacheReadPath,
+) -> Vec<Arc<EdgeCache>> {
+    (0..count)
+        .map(|c| {
+            let cache = Arc::new(EdgeCache::with_read_path(
+                CacheId(c),
+                Arc::clone(db),
+                CachePolicyConfig::tcache(3, Strategy::Abort),
+                read_path,
+            ));
+            for i in 0..OBJECTS {
+                cache
+                    .read(SimTime::ZERO, TxnId(1_000_000 + i), ObjectId(i), true)
+                    .unwrap();
+            }
+            cache
+        })
+        .collect()
+}
+
 /// Runs `txns_per_thread` hit transactions on each of `threads` threads, all
 /// hammering the same cache; returns aggregate transactions per second.
 fn measure(cache: &Arc<EdgeCache>, threads: u64, txns_per_thread: u64, seed: &AtomicU64) -> f64 {
@@ -117,6 +143,36 @@ fn measure_threads(caches: &[Arc<EdgeCache>], txns_per_thread: u64, seed: &Atomi
     }
     let elapsed = start.elapsed().as_secs_f64();
     (caches.len() as u64 * txns_per_thread) as f64 / elapsed
+}
+
+/// Like [`measure`], but every transaction reads the *same* three hot
+/// objects, so all threads collide on the same storage stripes. This is
+/// the regime the epoch read path exists for: the locked path serializes
+/// every hit on the hot stripe's mutex, the epoch path only contends on
+/// the (skippable) LRU promotion.
+fn measure_hot(cache: &Arc<EdgeCache>, threads: u64, txns_per_thread: u64, seed: &AtomicU64) -> f64 {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let cache = Arc::clone(cache);
+            let base_txn = seed.fetch_add(txns_per_thread + 1, Ordering::Relaxed);
+            std::thread::spawn(move || {
+                let keys = [ObjectId(0), ObjectId(1), ObjectId(2)];
+                for i in 0..txns_per_thread {
+                    let txn = TxnId(base_txn + i);
+                    let outcome = cache
+                        .execute_transaction(SimTime::ZERO, txn, &keys)
+                        .expect("backend reachable");
+                    std::hint::black_box(outcome);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (threads * txns_per_thread) as f64 / elapsed
 }
 
 /// One row of the database read-path sweep: aggregate reads/s and the
@@ -270,9 +326,15 @@ fn measure_threaded_plane(caches: &[Arc<EdgeCache>], msgs_per_cache: u64) -> f64
 }
 
 /// Reactor invalidation plane: the same pipes, but every cache's apply loop
-/// is an async task and one reactor thread multiplexes all of them.
-/// Returns aggregate applied invalidations per second.
-fn measure_reactor_plane(caches: &[Arc<EdgeCache>], msgs_per_cache: u64) -> f64 {
+/// is an async task and one reactor thread multiplexes all of them, each
+/// draining up to `batch_budget` invalidations per wakeup
+/// ([`tcache_net::pipe::PipeReceiver::recv_batch_async`]). Returns
+/// aggregate applied invalidations per second.
+fn measure_reactor_plane(
+    caches: &[Arc<EdgeCache>],
+    msgs_per_cache: u64,
+    batch_budget: usize,
+) -> f64 {
     let start = Instant::now();
     let mut reactor = Reactor::new();
     let mut senders = Vec::new();
@@ -281,16 +343,31 @@ fn measure_reactor_plane(caches: &[Arc<EdgeCache>], msgs_per_cache: u64) -> f64 
         senders.push(tx);
         let cache = Arc::clone(cache);
         reactor.spawn(async move {
-            while let Some(inv) = rx.recv_async().await {
-                cache.apply_invalidation(inv);
+            let mut batch = Vec::with_capacity(batch_budget);
+            loop {
+                let drained = rx.recv_batch_async(&mut batch, batch_budget).await;
+                if drained == 0 {
+                    break;
+                }
+                for inv in batch.drain(..) {
+                    cache.apply_invalidation(inv);
+                }
             }
         });
     }
     let thread = std::thread::spawn(move || reactor.run());
+    // Producer mirrors the consumer's batching: invalidations stream from
+    // the backend in sequenced runs, so they are enqueued in windows of
+    // `batch_budget` (one pipe lock + at most one wakeup per window).
+    let mut chunk = Vec::with_capacity(batch_budget);
     for tx in &senders {
         for inv in invalidation_stream(msgs_per_cache) {
-            let _ = tx.send(inv);
+            chunk.push(inv);
+            if chunk.len() == batch_budget {
+                let _ = tx.send_batch(chunk.drain(..));
+            }
         }
+        let _ = tx.send_batch(chunk.drain(..));
     }
     drop(senders);
     thread.join().unwrap();
@@ -455,12 +532,82 @@ fn main() {
         .map(|_| measure_threaded_plane(&plane_caches, msgs_per_cache))
         .fold(0.0f64, f64::max);
     let reactor_plane = (0..rounds)
-        .map(|_| measure_reactor_plane(&plane_caches, msgs_per_cache))
+        .map(|_| measure_reactor_plane(&plane_caches, msgs_per_cache, DEFAULT_BATCH_BUDGET))
         .fold(0.0f64, f64::max);
     println!(
-        "\ninvalidation plane: 4 caches x {msgs_per_cache} invalidations\n\
-         {:>12} {:>16}\n{:>12} {:>16.0}\n{:>12} {:>16.0}",
-        "plane", "inv/s", "threaded", threaded_plane, "reactor", reactor_plane
+        "\ninvalidation plane: 4 caches x {msgs_per_cache} invalidations \
+         (reactor batch budget {DEFAULT_BATCH_BUDGET})\n\
+         {:>12} {:>16}\n{:>12} {:>16.0}\n{:>12} {:>16.0}\n{:>12} {:>15.2}x",
+        "plane",
+        "inv/s",
+        "threaded",
+        threaded_plane,
+        "reactor",
+        reactor_plane,
+        "ratio",
+        reactor_plane / threaded_plane
+    );
+
+    // Reactor batch sweep: budget x cache count. Budget 1 is the old
+    // one-message-per-wakeup loop; the sweep shows how much of the
+    // reactor/threaded gap batch dequeue closes and where it saturates.
+    let sweep_msgs: u64 = if quick { 10_000 } else { 100_000 };
+    println!(
+        "\nreactor batch sweep: {sweep_msgs} invalidations/cache (best of {rounds})"
+    );
+    println!("{:>8} {:>8} {:>16}", "budget", "caches", "inv/s");
+    let mut reactor_batch_rows: Vec<(usize, u32, f64)> = Vec::new();
+    for &budget in &[1usize, 16, 64] {
+        for &cache_count in &[2u32, 4, 8] {
+            let sweep_caches = warmed_caches(&warmed_db(), cache_count);
+            let best = (0..rounds)
+                .map(|_| measure_reactor_plane(&sweep_caches, sweep_msgs, budget))
+                .fold(0.0f64, f64::max);
+            println!("{budget:>8} {cache_count:>8} {best:>16.0}");
+            reactor_batch_rows.push((budget, cache_count, best));
+        }
+    }
+
+    // Cache read-path row: the same hit-heavy transaction workload as the
+    // headline table, on 4 threads, against the per-stripe-mutex storage
+    // (Locked) and the epoch-reclaimed lock-free read path (Epoch).
+    let db_locked = warmed_db();
+    let locked_cache = warmed_caches_with_path(&db_locked, 1, CacheReadPath::Locked)
+        .pop()
+        .expect("one cache");
+    let db_epoch = warmed_db();
+    let epoch_cache = warmed_caches_with_path(&db_epoch, 1, CacheReadPath::Epoch)
+        .pop()
+        .expect("one cache");
+    let locked_hits = (0..rounds)
+        .map(|_| measure(&locked_cache, 4, txns_per_thread, &seed))
+        .fold(0.0f64, f64::max);
+    let epoch_hits = (0..rounds)
+        .map(|_| measure(&epoch_cache, 4, txns_per_thread, &seed))
+        .fold(0.0f64, f64::max);
+    let locked_hot = (0..rounds)
+        .map(|_| measure_hot(&locked_cache, 8, txns_per_thread, &seed))
+        .fold(0.0f64, f64::max);
+    let epoch_hot = (0..rounds)
+        .map(|_| measure_hot(&epoch_cache, 8, txns_per_thread, &seed))
+        .fold(0.0f64, f64::max);
+    println!(
+        "\ncache read path: hit transactions, one cache \
+         (uniform = 4 threads spread keys, hot = 8 threads on 3 keys)\n\
+         {:>12} {:>16} {:>16}\n{:>12} {:>16.0} {:>16.0}\n{:>12} {:>16.0} {:>16.0}\n\
+         {:>12} {:>15.2}x {:>15.2}x",
+        "path",
+        "uniform txn/s",
+        "hot txn/s",
+        "locked",
+        locked_hits,
+        locked_hot,
+        "epoch",
+        epoch_hits,
+        epoch_hot,
+        "epoch speedup",
+        epoch_hits / locked_hits,
+        epoch_hot / locked_hot
     );
 
     // Recovery-plane overhead on the healthy path: a single thread applies
@@ -568,6 +715,15 @@ fn main() {
             )
         })
         .collect();
+    let reactor_batch_fields: Vec<String> = reactor_batch_rows
+        .iter()
+        .map(|&(budget, caches, inv_per_sec)| {
+            format!(
+                "      {{ \"batch_budget\": {budget}, \"caches\": {caches}, \
+                 \"inv_per_sec\": {inv_per_sec:.1} }}"
+            )
+        })
+        .collect();
     let live_plane_rows: Vec<String> = lp
         .rows
         .iter()
@@ -593,8 +749,19 @@ fn main() {
          \"writer_threads\": 1,\n    \"rows\": [\n{}\n    ]\n  }},\n  \
          \"invalidation_plane\": {{\n    \"caches\": 4,\n    \
          \"msgs_per_cache\": {msgs_per_cache},\n    \
+         \"batch_budget\": {DEFAULT_BATCH_BUDGET},\n    \
          \"threaded_inv_per_sec\": {threaded_plane:.1},\n    \
          \"reactor_inv_per_sec\": {reactor_plane:.1}\n  }},\n  \
+         \"reactor_batch\": {{\n    \"msgs_per_cache\": {sweep_msgs},\n    \
+         \"rows\": [\n{}\n    ]\n  }},\n  \
+         \"cache_read_path\": {{\n    \"uniform_threads\": 4,\n    \
+         \"hot_threads\": 8,\n    \
+         \"locked_txn_per_sec\": {locked_hits:.1},\n    \
+         \"epoch_txn_per_sec\": {epoch_hits:.1},\n    \
+         \"locked_hot_txn_per_sec\": {locked_hot:.1},\n    \
+         \"epoch_hot_txn_per_sec\": {epoch_hot:.1},\n    \
+         \"epoch_speedup\": {:.3},\n    \
+         \"epoch_hot_speedup\": {:.3}\n  }},\n  \
          \"recovery_overhead\": {{\n    \"msgs\": {recovery_msgs},\n    \
          \"apply_none_inv_per_sec\": {apply_none:.1},\n    \
          \"apply_gap_resync_inv_per_sec\": {apply_resync:.1}\n  }},\n  \
@@ -609,6 +776,9 @@ fn main() {
         fields.join(",\n"),
         cache_fields.join(",\n"),
         db_read_path_rows.join(",\n"),
+        reactor_batch_fields.join(",\n"),
+        epoch_hits / locked_hits,
+        epoch_hot / locked_hot,
         backpressure_fields.join(",\n"),
         lp.live_read_txns_per_wall_sec,
         lp.live_aggregate_plain_pct,
@@ -641,6 +811,10 @@ fn main() {
         ),
         ("threaded_inv_per_sec", threaded_plane),
         ("reactor_inv_per_sec", reactor_plane),
+        ("locked_hit_txn_per_sec", locked_hits),
+        ("epoch_hit_txn_per_sec", epoch_hits),
+        ("locked_hot_txn_per_sec", locked_hot),
+        ("epoch_hot_txn_per_sec", epoch_hot),
         ("live_read_txns_per_wall_sec", lp.live_read_txns_per_wall_sec),
     ];
     // Compare like with like: --quick rows measure far fewer iterations

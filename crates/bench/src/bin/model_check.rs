@@ -21,8 +21,9 @@
 //! Exit status is non-zero on any unexpected result.
 
 use tcache_model::{
-    explore, minimize, CacheStatus, ExploreOptions, Exploration, IntervalOnlyOracle, InvariantKind,
-    ModelConfig, TwoTierOracle,
+    explore, explore_epoch, explore_floor, minimize, CacheStatus, EpochExploration,
+    EpochModelConfig, ExploreOptions, Exploration, FloorModelConfig, IntervalOnlyOracle,
+    InvariantKind, ModelConfig, TwoTierOracle,
 };
 use tcache_sim::DifferentialBridge;
 use tcache_types::{format_trace, ObjectId, SimTime, Version};
@@ -50,6 +51,8 @@ fn main() {
         let result = explore(config, &TwoTierOracle, ExploreOptions::default());
         report_scenario(config, &result, &mut failed);
     }
+
+    epoch_reclamation_section(&mut failed);
 
     broken_oracle_demo(&mut failed);
     if !quick {
@@ -87,6 +90,89 @@ fn report_scenario(config: &ModelConfig, result: &Exploration, failed: &mut bool
     if let Some((violation, trace)) = &result.violation {
         println!("  counterexample:\n{}", format_trace(trace));
         println!("  violation: {violation}");
+    }
+}
+
+/// Exhaustively checks the epoch-reclamation read path at sub-operation
+/// granularity: the faithful protocol (validated pins, gated advance,
+/// grace 3) and the locked invalidation/apply path must hold, while the
+/// deliberately broken variants — ungated advance, grace 1, and the
+/// stripe lock removed — must each produce a depth-minimal
+/// counterexample, proving the model can see the races it guards.
+fn epoch_reclamation_section(failed: &mut bool) {
+    println!("\nepoch reclamation model: pin/retire/advance interleavings");
+    let healthy: [(&str, EpochExploration); 2] = [
+        ("epoch_faithful", explore_epoch(&EpochModelConfig::faithful())),
+        ("floor_locked", explore_floor(&FloorModelConfig::locked())),
+    ];
+    for (name, result) in &healthy {
+        let status = match (&result.violation, result.stats.truncated) {
+            (Some(violation), _) => {
+                *failed = true;
+                format!("VIOLATED ({violation})")
+            }
+            (None, true) => {
+                *failed = true;
+                "TRUNCATED (bounds hit — not exhaustive)".to_string()
+            }
+            (None, false) => "holds (exhaustive)".to_string(),
+        };
+        println!(
+            "{:>20} {:>10} {:>12} {:>7} {:>14}  {}",
+            name,
+            result.stats.states,
+            result.stats.transitions,
+            result.stats.depth,
+            result.stats.reclaims,
+            status
+        );
+        if let Some(violation) = &result.violation {
+            println!("  counterexample:");
+            for step in &violation.trace {
+                println!("    {step}");
+            }
+        }
+    }
+    if healthy[0].1.stats.reclaims == 0 {
+        println!("  FAILED: faithful exploration never reclaimed (vacuous invariant)");
+        *failed = true;
+    }
+
+    let broken: [(&str, EpochExploration, &str); 3] = [
+        (
+            "epoch_ungated_advance",
+            explore_epoch(&EpochModelConfig::ungated_advance()),
+            "reclaimed node",
+        ),
+        (
+            "epoch_short_grace",
+            explore_epoch(&EpochModelConfig::short_grace()),
+            "reclaimed node",
+        ),
+        (
+            "floor_unlocked",
+            explore_floor(&FloorModelConfig::unlocked()),
+            "lost",
+        ),
+    ];
+    for (name, result, needle) in &broken {
+        let Some(violation) = &result.violation else {
+            println!("{name:>20}  FAILED: the broken variant was not caught");
+            *failed = true;
+            continue;
+        };
+        if !violation.description.contains(needle) {
+            println!("{name:>20}  FAILED: unexpected violation ({violation})");
+            *failed = true;
+            continue;
+        }
+        println!(
+            "{:>20}  caught after {} states, {}-step counterexample: {}",
+            name,
+            result.stats.states,
+            violation.trace.len(),
+            violation
+        );
     }
 }
 

@@ -1,0 +1,685 @@
+//! The epoch-reclaimed cache read path.
+//!
+//! [`EpochShardedStorage`] mirrors the semantics of the locked
+//! [`crate::storage::ShardedCacheStorage`] stripes exactly (the
+//! differential proptests in `tests/epoch_differential.rs` hold the two
+//! to the same answers), but its hit path takes **no lock**: readers pin
+//! a [`tcache_types::epoch::EpochDomain`] and traverse atomically
+//! published pointers; writers unlink entries with CAS under a small
+//! per-stripe lock and hand the unlinked nodes to the epoch queue for
+//! deferred reclamation.
+//!
+//! # Layout
+//!
+//! Each stripe publishes an immutable **index** — a
+//! `HashMap<ObjectId, Arc<Slot>>` behind an `AtomicPtr` — that is
+//! copy-on-write *only when a new key first appears* (removals tombstone
+//! the slot instead of shrinking the map, so the index grows with the
+//! stripe's object universe, exactly like the locked path's admission
+//! floors). A [`Slot`] carries the object's entry pointer (null =
+//! absent) and its invalidation floor as a `fetch_max` atomic.
+//!
+//! # Who locks what
+//!
+//! * **Hit path** (`get` on a live entry): epoch pin + pointer loads +
+//!   `Arc` refcount bumps only — zero lock-word traffic. LRU promotion
+//!   is handed to a per-stripe spinlock via `try_lock`; if the lock is
+//!   contended the promotion is parked in a small lossy buffer that the
+//!   next writer (or uncontended reader) drains, so recency maintenance
+//!   is batched and amortized, never blocking a read.
+//! * **Writers** (`insert` / `invalidate` / `remove` / TTL expiry /
+//!   eviction): serialized per stripe by the same spinlock, which guards
+//!   the intrusive LRU, the len/footprint accounting and index
+//!   publication. Entry pointers still change hands by CAS so the
+//!   unlink-then-retire protocol is explicit in the code.
+//!
+//! # Why this is safe
+//!
+//! Every dereference of an entry or index pointer happens under an epoch
+//! pin, and every pointer is retired through [`EpochDomain::defer`] only
+//! *after* being unlinked from its published location. The domain delays
+//! the destructor until every pin that could have observed the pointer
+//! is gone (see the safety argument in `tcache_types::epoch`), so
+//! readers never touch freed memory and writers never free what a
+//! reader still holds.
+
+use crate::entry::CacheEntry;
+use crate::storage::LruQueue;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use tcache_types::epoch::{EpochDomain, EpochGuard, EpochStats};
+use tcache_types::{ObjectEntry, ObjectId, SimTime, TtlConfig, Version};
+
+/// The published per-stripe key index. Immutable once published; replaced
+/// wholesale (copy-on-write) when a new key appears and retired through
+/// the epoch queue.
+type Index = HashMap<ObjectId, Arc<Slot>>;
+
+/// One object's publication point.
+#[derive(Debug)]
+struct Slot {
+    /// The cached entry; null means absent (never cached, invalidated,
+    /// evicted or expired — a tombstone). Owned as a leaked `Box`;
+    /// reclaimed through the epoch queue after being unlinked.
+    entry: AtomicPtr<CacheEntry>,
+    /// Minimum admissible version (`Version.as_u64()`), raised
+    /// monotonically by invalidations via `fetch_max`. Mirrors the locked
+    /// path's `floors` map.
+    floor: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Arc<Slot> {
+        Arc::new(Slot {
+            entry: AtomicPtr::new(ptr::null_mut()),
+            floor: AtomicU64::new(0),
+        })
+    }
+}
+
+/// Number of parked-promotion slots per stripe. Deliberately small and
+/// lossy: a dropped promotion only costs recency precision.
+const PROMO_SLOTS: usize = 32;
+
+/// A fixed-size lossy buffer of LRU promotions a reader could not apply
+/// because the stripe lock was contended. Entries are `ObjectId + 1`
+/// (zero = empty) so the buffer needs no separate occupancy bits.
+#[derive(Debug, Default)]
+struct PromoBuffer {
+    slots: [AtomicU64; PROMO_SLOTS],
+    cursor: AtomicUsize,
+    /// Approximate occupancy. Zero means "certainly empty", letting the
+    /// hot path skip the 32-slot scan with one load; a stale non-zero only
+    /// costs one wasted scan, a racy reset only drops promotions (which
+    /// the buffer is allowed to do — recency is a hint).
+    pending: AtomicUsize,
+}
+
+impl PromoBuffer {
+    fn record(&self, id: ObjectId) {
+        let at = self.cursor.fetch_add(1, Ordering::Relaxed) % PROMO_SLOTS;
+        // Overwriting an unapplied promotion is fine: recency is a hint.
+        self.slots[at].store(id.as_u64() + 1, Ordering::Relaxed);
+        self.pending.store(1, Ordering::Release);
+    }
+
+    fn drain(&self, mut apply: impl FnMut(ObjectId)) {
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        self.pending.store(0, Ordering::Release);
+        for slot in &self.slots {
+            let tagged = slot.swap(0, Ordering::Relaxed);
+            if tagged != 0 {
+                apply(ObjectId(tagged - 1));
+            }
+        }
+    }
+}
+
+/// The mutable per-stripe state, guarded by the stripe spinlock. Readers
+/// on the hit path never take it (except opportunistically, to promote).
+#[derive(Debug)]
+struct StripeCore {
+    lru: LruQueue,
+    /// LRU slab slot per *present* object (tombstoned objects are absent).
+    lru_slots: HashMap<ObjectId, usize>,
+    len: usize,
+    footprint: usize,
+    capacity: Option<usize>,
+}
+
+#[derive(Debug)]
+struct EpochStripe {
+    index: AtomicPtr<Index>,
+    core: Mutex<StripeCore>,
+    promo: PromoBuffer,
+}
+
+/// Moves exclusive ownership of a raw pointer into a reclamation closure.
+///
+/// Safety: the wrapped pointer is unlinked from every shared location
+/// before being wrapped, so the closure is its sole owner, and the
+/// pointee (`CacheEntry` / `Index`) is itself `Send`.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Unwraps the pointer. Taking `self` by value makes closures capture
+    /// the whole wrapper (edition-2021 closures would otherwise capture
+    /// the raw-pointer field disjointly, defeating the `Send` impl).
+    fn take(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Sharded cache storage whose read side is epoch-reclaimed instead of
+/// locked. Constructed through
+/// [`crate::storage::ShardedCacheStorage::with_read_path`].
+#[derive(Debug)]
+pub(crate) struct EpochShardedStorage {
+    stripes: Box<[EpochStripe]>,
+    mask: u64,
+    ttl: TtlConfig,
+    domain: EpochDomain,
+}
+
+impl EpochShardedStorage {
+    /// Creates storage with `stripes` stripes (rounded up to a power of
+    /// two, matching [`crate::stripe::Striped`]) and an even per-stripe
+    /// capacity split (`ceil(capacity / stripes)`, at least 1).
+    ///
+    /// # Panics
+    /// Panics if `stripes` is zero.
+    pub(crate) fn new(stripes: usize, capacity: Option<usize>, ttl: TtlConfig) -> Self {
+        assert!(stripes > 0, "need at least one stripe");
+        let count = stripes.next_power_of_two();
+        let per_stripe = capacity.map(|c| c.div_ceil(count).max(1));
+        let stripes: Vec<EpochStripe> = (0..count)
+            .map(|_| EpochStripe {
+                index: AtomicPtr::new(Box::into_raw(Box::new(Index::new()))),
+                core: Mutex::new(StripeCore {
+                    lru: LruQueue::new(),
+                    lru_slots: HashMap::new(),
+                    len: 0,
+                    footprint: 0,
+                    capacity: per_stripe,
+                }),
+                promo: PromoBuffer::default(),
+            })
+            .collect();
+        EpochShardedStorage {
+            mask: count as u64 - 1,
+            stripes: stripes.into_boxed_slice(),
+            ttl,
+            domain: EpochDomain::new(),
+        }
+    }
+
+    pub(crate) fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Reclamation counters of the backing epoch domain.
+    pub(crate) fn epoch_stats(&self) -> EpochStats {
+        self.domain.stats()
+    }
+
+    /// Same Fibonacci-hash stripe routing as [`crate::stripe::Striped`],
+    /// so the two read paths shard identically.
+    pub(crate) fn stripe_index_of(&self, id: ObjectId) -> usize {
+        let h = id.as_u64().wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+        (h & self.mask) as usize
+    }
+
+    fn stripe_of(&self, id: ObjectId) -> &EpochStripe {
+        &self.stripes[self.stripe_index_of(id)]
+    }
+
+    /// Loads the stripe's published index. Caller must hold `guard`.
+    fn index<'g>(&self, stripe: &'g EpochStripe, _guard: &'g EpochGuard<'_>) -> &'g Index {
+        // Safety: the pointer is always a live leaked Box (replaced by
+        // copy-on-write and retired through the epoch queue; the pin in
+        // `_guard` delays that reclamation past this borrow).
+        unsafe { &*stripe.index.load(Ordering::SeqCst) }
+    }
+
+    /// Hands an unlinked entry node to the epoch queue.
+    fn retire_entry(&self, node: *mut CacheEntry) {
+        let node = SendPtr(node);
+        self.domain.defer(move || {
+            // Safety: sole owner (see SendPtr).
+            drop(unsafe { Box::from_raw(node.take()) });
+        });
+    }
+
+    /// Unlinks `id`'s entry (CAS to null) and updates the locked
+    /// bookkeeping. Caller holds the stripe core lock and an epoch pin.
+    /// Returns `false` if the slot was already a tombstone.
+    fn unlink_locked(&self, core: &mut StripeCore, slot: &Slot, id: ObjectId) -> bool {
+        let old = slot.entry.swap(ptr::null_mut(), Ordering::SeqCst);
+        if old.is_null() {
+            return false;
+        }
+        // Safety: just unlinked under the stripe lock; the epoch pin keeps
+        // the node alive for this read.
+        core.footprint -= unsafe { &*old }.entry.size_bytes();
+        core.len -= 1;
+        if let Some(lru_slot) = core.lru_slots.remove(&id) {
+            core.lru.remove(lru_slot);
+        }
+        self.retire_entry(old);
+        true
+    }
+
+    /// Applies parked promotions in insertion-buffer order. Called by
+    /// every writer (and by uncontended readers) so promotions a
+    /// contended reader parked are folded in before the next eviction
+    /// decision.
+    fn drain_promotions(&self, stripe: &EpochStripe, core: &mut StripeCore) {
+        stripe.promo.drain(|id| {
+            if let Some(&lru_slot) = core.lru_slots.get(&id) {
+                core.lru.touch(lru_slot);
+            }
+        });
+    }
+
+    /// Returns `id`'s slot, publishing a new index copy if the key has
+    /// never been seen. Caller holds the stripe core lock (serializing
+    /// publication) and an epoch pin.
+    fn slot_or_insert(
+        &self,
+        stripe: &EpochStripe,
+        guard: &EpochGuard<'_>,
+        id: ObjectId,
+    ) -> Arc<Slot> {
+        let index = self.index(stripe, guard);
+        if let Some(slot) = index.get(&id) {
+            return Arc::clone(slot);
+        }
+        // Copy-on-write: clone the (Arc-shared) slots into a new map, add
+        // the key, publish, retire the old shell. Only first-touch of a
+        // key pays this; steady-state writes reuse the published slots.
+        let mut next = index.clone();
+        let slot = Slot::empty();
+        next.insert(id, Arc::clone(&slot));
+        let old = stripe
+            .index
+            .swap(Box::into_raw(Box::new(next)), Ordering::SeqCst);
+        let old = SendPtr(old);
+        self.domain.defer(move || {
+            // Safety: unlinked by the swap above; slots are Arc-shared
+            // with the successor map, so only the map shell is freed.
+            drop(unsafe { Box::from_raw(old.take()) });
+        });
+        slot
+    }
+
+    /// Lock-free lookup; see [`crate::storage::CacheStorage::get`] for
+    /// the semantics this mirrors (TTL expiry is a miss that removes the
+    /// entry; a hit refreshes recency).
+    pub(crate) fn get(&self, id: ObjectId, now: SimTime) -> Option<ObjectEntry> {
+        let stripe = self.stripe_of(id);
+        let guard = self.domain.pin();
+        let slot = self.index(stripe, &guard).get(&id)?;
+        let node = slot.entry.load(Ordering::SeqCst);
+        if node.is_null() {
+            return None;
+        }
+        // Safety: non-null entry pointers are retired only after being
+        // unlinked, and the pin delays their reclamation.
+        let entry = unsafe { &*node };
+        if entry.is_expired(self.ttl, now) {
+            self.remove_expired(stripe, &guard, id, now);
+            return None;
+        }
+        let value = entry.entry.clone();
+        // Hit promotion: opportunistic, never blocking the read.
+        match stripe.core.try_lock() {
+            Some(mut core) => {
+                self.drain_promotions(stripe, &mut core);
+                if let Some(&lru_slot) = core.lru_slots.get(&id) {
+                    core.lru.touch(lru_slot);
+                }
+            }
+            None => stripe.promo.record(id),
+        }
+        Some(value)
+    }
+
+    /// The expiry slow path: re-checks under the stripe lock (the entry
+    /// may have been refreshed since the lock-free read) and unlinks.
+    fn remove_expired(&self, stripe: &EpochStripe, guard: &EpochGuard<'_>, id: ObjectId, now: SimTime) {
+        let mut core = stripe.core.lock();
+        if let Some(slot) = self.index(stripe, guard).get(&id) {
+            let node = slot.entry.load(Ordering::SeqCst);
+            // Safety: as in `get`.
+            if !node.is_null() && unsafe { &*node }.is_expired(self.ttl, now) {
+                self.unlink_locked(&mut core, slot, id);
+            }
+        }
+    }
+
+    /// Insert/refresh; see [`crate::storage::CacheStorage::insert`] for
+    /// the floor/version admission rules this mirrors. Returns the
+    /// evicted object, if the capacity bound forced one out.
+    pub(crate) fn insert(&self, entry: ObjectEntry, now: SimTime) -> Option<ObjectId> {
+        let id = entry.id;
+        let stripe = self.stripe_of(id);
+        let guard = self.domain.pin();
+        let mut core = stripe.core.lock();
+        self.drain_promotions(stripe, &mut core);
+        let slot = self.slot_or_insert(stripe, &guard, id);
+        if entry.version.as_u64() < slot.floor.load(Ordering::SeqCst) {
+            // An invalidation already superseded this version.
+            return None;
+        }
+        let current = slot.entry.load(Ordering::SeqCst);
+        // Safety: as in `get`.
+        if !current.is_null() && unsafe { &*current }.entry.version > entry.version {
+            // Stale insert racing a newer entry: keep the newer one.
+            return None;
+        }
+        let size = entry.size_bytes();
+        let fresh = Box::into_raw(Box::new(CacheEntry::new(entry, now)));
+        // Writers are serialized by the stripe lock, so the CAS cannot
+        // lose; it stays a CAS (not a blind store) so the
+        // unlink-then-retire protocol is checked, not assumed.
+        slot.entry
+            .compare_exchange(current, fresh, Ordering::SeqCst, Ordering::SeqCst)
+            .expect("entry CAS raced despite the stripe write lock");
+        if current.is_null() {
+            core.len += 1;
+            core.footprint += size;
+            let lru_slot = core.lru.push_back(id);
+            core.lru_slots.insert(id, lru_slot);
+        } else {
+            // Safety: just unlinked by the CAS; pin keeps it readable.
+            core.footprint = core.footprint - unsafe { &*current }.entry.size_bytes() + size;
+            if let Some(&lru_slot) = core.lru_slots.get(&id) {
+                core.lru.touch(lru_slot);
+            }
+            self.retire_entry(current);
+        }
+        if let Some(capacity) = core.capacity {
+            if core.len > capacity {
+                if let Some(victim) = core.lru.front() {
+                    if let Some(victim_slot) = self.index(stripe, &guard).get(&victim) {
+                        self.unlink_locked(&mut core, victim_slot, victim);
+                    }
+                    return Some(victim);
+                }
+            }
+        }
+        None
+    }
+
+    /// Removes an object, returning `true` if it was present.
+    pub(crate) fn remove(&self, id: ObjectId) -> bool {
+        let stripe = self.stripe_of(id);
+        let guard = self.domain.pin();
+        let mut core = stripe.core.lock();
+        self.drain_promotions(stripe, &mut core);
+        match self.index(stripe, &guard).get(&id) {
+            Some(slot) => self.unlink_locked(&mut core, slot, id),
+            None => false,
+        }
+    }
+
+    /// Invalidation; see [`crate::storage::CacheStorage::invalidate`]:
+    /// raises the admission floor unconditionally, evicts only a strictly
+    /// older cached version.
+    pub(crate) fn invalidate(&self, id: ObjectId, newer_than: Version) -> bool {
+        let stripe = self.stripe_of(id);
+        let guard = self.domain.pin();
+        let mut core = stripe.core.lock();
+        self.drain_promotions(stripe, &mut core);
+        let slot = self.slot_or_insert(stripe, &guard, id);
+        slot.floor.fetch_max(newer_than.as_u64(), Ordering::SeqCst);
+        let current = slot.entry.load(Ordering::SeqCst);
+        // Safety: as in `get`.
+        if !current.is_null() && unsafe { &*current }.entry.version < newer_than {
+            self.unlink_locked(&mut core, &slot, id)
+        } else {
+            false
+        }
+    }
+
+    /// Clears every stripe: entries, floors and recency state. The old
+    /// index (and every entry it still holds) is retired wholesale; a
+    /// racing writer that already held the old index publishes into slots
+    /// the retirement closure will still see (its pin predates the swap,
+    /// so the closure runs after its unpin).
+    pub(crate) fn clear(&self) {
+        for stripe in self.stripes.iter() {
+            let _guard = self.domain.pin();
+            let mut core = stripe.core.lock();
+            let old = stripe
+                .index
+                .swap(Box::into_raw(Box::new(Index::new())), Ordering::SeqCst);
+            let old = SendPtr(old);
+            self.domain.defer(move || {
+                // Safety: the map shell was unlinked by the swap; by the
+                // time this runs no pin that could observe it remains, so
+                // the closure is the sole owner of the shell and of every
+                // entry still linked into its slots.
+                let index = unsafe { Box::from_raw(old.take()) };
+                for slot in index.values() {
+                    let node = slot.entry.swap(ptr::null_mut(), Ordering::SeqCst);
+                    if !node.is_null() {
+                        drop(unsafe { Box::from_raw(node) });
+                    }
+                }
+            });
+            stripe.promo.drain(|_| {});
+            core.lru = LruQueue::new();
+            core.lru_slots.clear();
+            core.len = 0;
+            core.footprint = 0;
+        }
+    }
+
+    /// Whether `id` is currently cached (ignoring TTL).
+    pub(crate) fn contains(&self, id: ObjectId) -> bool {
+        let stripe = self.stripe_of(id);
+        let guard = self.domain.pin();
+        self.index(stripe, &guard)
+            .get(&id)
+            .is_some_and(|slot| !slot.entry.load(Ordering::SeqCst).is_null())
+    }
+
+    /// The version currently cached for `id`, ignoring TTL.
+    pub(crate) fn cached_version(&self, id: ObjectId) -> Option<Version> {
+        let stripe = self.stripe_of(id);
+        let guard = self.domain.pin();
+        let slot = self.index(stripe, &guard).get(&id)?;
+        let node = slot.entry.load(Ordering::SeqCst);
+        if node.is_null() {
+            None
+        } else {
+            // Safety: as in `get`.
+            Some(unsafe { &*node }.entry.version)
+        }
+    }
+
+    /// Total cached objects (approximate under concurrent mutation).
+    pub(crate) fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.core.lock().len).sum()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| s.core.lock().len == 0)
+    }
+
+    /// Approximate footprint of cached entries, in bytes.
+    pub(crate) fn footprint_bytes(&self) -> usize {
+        self.stripes.iter().map(|s| s.core.lock().footprint).sum()
+    }
+
+    /// Per-stripe `(len, capacity)` pairs for budget rebalancing.
+    pub(crate) fn stripe_budgets(&self) -> Vec<(usize, Option<usize>)> {
+        self.stripes
+            .iter()
+            .map(|s| {
+                let core = s.core.lock();
+                (core.len, core.capacity)
+            })
+            .collect()
+    }
+
+    /// Installs a rebalanced capacity for stripe `at`, evicting LRU
+    /// entries if a racing insert pushed the stripe past the new budget.
+    pub(crate) fn set_stripe_capacity(&self, at: usize, capacity: usize) {
+        let stripe = &self.stripes[at];
+        let guard = self.domain.pin();
+        let mut core = stripe.core.lock();
+        core.capacity = Some(capacity);
+        while core.len > capacity {
+            let Some(victim) = core.lru.front() else { break };
+            if let Some(slot) = self.index(stripe, &guard).get(&victim) {
+                self.unlink_locked(&mut core, slot, victim);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for EpochShardedStorage {
+    fn drop(&mut self) {
+        // Exclusive access: no pins can exist. Free the live indexes and
+        // their entries directly; already-retired garbage is reclaimed by
+        // the domain's own Drop.
+        for stripe in self.stripes.iter() {
+            let index = stripe.index.swap(ptr::null_mut(), Ordering::SeqCst);
+            if index.is_null() {
+                continue;
+            }
+            // Safety: sole owner of the published index and, transitively,
+            // of every still-linked entry node.
+            let index = unsafe { Box::from_raw(index) };
+            for slot in index.values() {
+                let node = slot.entry.swap(ptr::null_mut(), Ordering::SeqCst);
+                if !node.is_null() {
+                    drop(unsafe { Box::from_raw(node) });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::{DependencyList, SimDuration, Value};
+
+    fn obj(i: u64, v: u64) -> ObjectEntry {
+        ObjectEntry::new(
+            ObjectId(i),
+            Value::new(v),
+            Version(v),
+            DependencyList::bounded(3),
+        )
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let s = EpochShardedStorage::new(8, None, TtlConfig::Infinite);
+        assert!(s.is_empty());
+        assert_eq!(s.insert(obj(1, 1), SimTime::ZERO), None);
+        assert_eq!(s.len(), 1);
+        assert_eq!(
+            s.get(ObjectId(1), SimTime::ZERO).unwrap().version,
+            Version(1)
+        );
+        assert!(s.contains(ObjectId(1)));
+        assert!(s.footprint_bytes() > 0);
+        assert!(s.remove(ObjectId(1)));
+        assert!(!s.remove(ObjectId(1)), "tombstone removes are no-ops");
+        assert!(s.get(ObjectId(1), SimTime::ZERO).is_none());
+        assert_eq!(s.footprint_bytes(), 0);
+    }
+
+    #[test]
+    fn floor_vetoes_stale_insert_while_uncached() {
+        let s = EpochShardedStorage::new(4, None, TtlConfig::Infinite);
+        assert!(!s.invalidate(ObjectId(1), Version(2)));
+        assert_eq!(s.insert(obj(1, 1), SimTime::ZERO), None);
+        assert!(!s.contains(ObjectId(1)), "stale insert must be vetoed");
+        s.insert(obj(1, 2), SimTime::ZERO);
+        assert_eq!(s.cached_version(ObjectId(1)), Some(Version(2)));
+        assert!(!s.invalidate(ObjectId(1), Version(1)), "floors are monotone");
+        assert_eq!(s.cached_version(ObjectId(1)), Some(Version(2)));
+    }
+
+    #[test]
+    fn invalidate_only_removes_older_versions() {
+        let s = EpochShardedStorage::new(4, None, TtlConfig::Infinite);
+        s.insert(obj(1, 5), SimTime::ZERO);
+        assert!(!s.invalidate(ObjectId(1), Version(5)));
+        assert!(!s.invalidate(ObjectId(1), Version(3)));
+        assert!(s.contains(ObjectId(1)));
+        assert!(s.invalidate(ObjectId(1), Version(6)));
+        assert!(!s.contains(ObjectId(1)));
+    }
+
+    #[test]
+    fn ttl_expiry_is_a_miss_and_removes_the_entry() {
+        let ttl = TtlConfig::Limited(SimDuration::from_secs(10));
+        let s = EpochShardedStorage::new(4, None, ttl);
+        s.insert(obj(1, 1), SimTime::ZERO);
+        assert!(s.get(ObjectId(1), SimTime::from_secs(5)).is_some());
+        assert!(s.get(ObjectId(1), SimTime::from_secs(11)).is_none());
+        assert!(!s.contains(ObjectId(1)), "expired entry is dropped");
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_in_recency_order_per_stripe() {
+        // One stripe so recency order is global and deterministic.
+        let s = EpochShardedStorage::new(1, Some(2), TtlConfig::Infinite);
+        s.insert(obj(1, 1), SimTime::ZERO);
+        s.insert(obj(2, 1), SimTime::ZERO);
+        s.get(ObjectId(1), SimTime::ZERO); // 2 becomes LRU.
+        assert_eq!(s.insert(obj(3, 1), SimTime::ZERO), Some(ObjectId(2)));
+        assert!(s.contains(ObjectId(1)));
+        assert!(!s.contains(ObjectId(2)));
+        assert!(s.contains(ObjectId(3)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn clear_drops_entries_and_floors() {
+        let s = EpochShardedStorage::new(4, None, TtlConfig::Infinite);
+        s.insert(obj(1, 1), SimTime::ZERO);
+        s.invalidate(ObjectId(3), Version(5));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.footprint_bytes(), 0);
+        // The floor for object 3 is gone (post-clear fetches are fresh).
+        s.insert(obj(3, 2), SimTime::ZERO);
+        assert_eq!(s.cached_version(ObjectId(3)), Some(Version(2)));
+        // Reclamation actually ran (flush happens on unpin-to-zero).
+        assert!(s.epoch_stats().deferred > 0);
+    }
+
+    #[test]
+    fn concurrent_mixed_load_is_safe_and_capacity_bounded() {
+        let s = Arc::new(EpochShardedStorage::new(16, Some(64), TtlConfig::Infinite));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let id = (t * 31 + i) % 128;
+                        match i % 4 {
+                            0 => {
+                                s.insert(obj(id, i + 1), SimTime::ZERO);
+                            }
+                            1 => {
+                                if let Some(e) = s.get(ObjectId(id), SimTime::ZERO) {
+                                    assert_eq!(e.id, ObjectId(id));
+                                }
+                            }
+                            2 => {
+                                s.invalidate(ObjectId(id), Version(i));
+                            }
+                            _ => {
+                                s.remove(ObjectId(id));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(s.len() <= 64, "per-stripe capacity must bound the total");
+        let stats = s.epoch_stats();
+        assert!(stats.reclaimed > 0, "retired entries must be reclaimed");
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod consistency;
 pub mod entry;
+mod epoch_storage;
 pub mod lifecycle;
 pub mod stats;
 pub mod storage;
@@ -47,7 +48,7 @@ pub use consistency::{Violation, ViolationKind};
 pub use entry::CacheEntry;
 pub use lifecycle::{LifecycleState, LifecycleStats, LifecycleStatsSnapshot, ReadMode, ReadTxnLog};
 pub use stats::{CacheStats, CacheStatsSnapshot};
-pub use storage::CacheStorage;
+pub use storage::{CacheReadPath, CacheStorage, ShardedCacheStorage};
 pub use tcache::EdgeCache;
 pub use tcache_types::{CachePolicyConfig, Strategy};
 pub use txn_record::TransactionTable;

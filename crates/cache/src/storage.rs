@@ -34,7 +34,7 @@ struct LruNode {
 /// An intrusive doubly-linked recency list over a slab. The front is the
 /// least recently used entry; every operation is O(1).
 #[derive(Debug, Default)]
-struct LruQueue {
+pub(crate) struct LruQueue {
     nodes: Vec<LruNode>,
     free: Vec<usize>,
     head: usize,
@@ -42,7 +42,7 @@ struct LruQueue {
 }
 
 impl LruQueue {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         LruQueue {
             nodes: Vec::new(),
             free: Vec::new(),
@@ -52,7 +52,7 @@ impl LruQueue {
     }
 
     /// Appends `id` as the most recently used entry, returning its slot.
-    fn push_back(&mut self, id: ObjectId) -> usize {
+    pub(crate) fn push_back(&mut self, id: ObjectId) -> usize {
         let node = LruNode {
             id,
             prev: self.tail,
@@ -78,7 +78,7 @@ impl LruQueue {
     }
 
     /// Unlinks `slot` and recycles it.
-    fn remove(&mut self, slot: usize) {
+    pub(crate) fn remove(&mut self, slot: usize) {
         let LruNode { prev, next, .. } = self.nodes[slot];
         if prev != NIL {
             self.nodes[prev].next = next;
@@ -94,7 +94,7 @@ impl LruQueue {
     }
 
     /// Moves `slot` to the most recently used position.
-    fn touch(&mut self, slot: usize) {
+    pub(crate) fn touch(&mut self, slot: usize) {
         if self.tail == slot {
             return;
         }
@@ -105,7 +105,7 @@ impl LruQueue {
     }
 
     /// The least recently used entry, if any.
-    fn front(&self) -> Option<ObjectId> {
+    pub(crate) fn front(&self) -> Option<ObjectId> {
         if self.head == NIL {
             None
         } else {
@@ -320,27 +320,69 @@ impl Default for CacheStorage {
 /// a power of two so stripe selection is a mask.
 pub const DEFAULT_STRIPES: usize = 16;
 
-/// Concurrent cache storage: N independently locked [`CacheStorage`]
-/// stripes keyed by object-id hash.
+/// How many inserts a capacity-bounded [`ShardedCacheStorage`] admits
+/// between automatic budget rebalances (see
+/// [`ShardedCacheStorage::rebalance_budgets`]).
+pub const REBALANCE_INTERVAL: u64 = 1024;
+
+/// Which concurrent read path [`ShardedCacheStorage`] uses.
 ///
-/// All methods take `&self`; each call locks exactly one stripe (aggregate
-/// queries like [`ShardedCacheStorage::len`] lock each stripe in turn, never
-/// two at once), so the structure is deadlock-free by construction and
-/// reads of different objects contend only when they hash to the same
-/// stripe.
+/// Both paths implement identical cache semantics (the differential
+/// proptests in `tests/epoch_differential.rs` hold them to the same
+/// answers); they differ only in how readers synchronize with writers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheReadPath {
+    /// Per-stripe mutexes: every operation, reads included, locks the
+    /// object's stripe. The original path; simple and exactly LRU.
+    #[default]
+    Locked,
+    /// Epoch-based reclamation: reads pin an epoch and traverse published
+    /// pointers without taking any lock; writers CAS entries in and retire
+    /// the old ones through the epoch queue; LRU promotion is batched
+    /// through a per-stripe spinlock (approximate recency under reader
+    /// contention, exact when uncontended).
+    Epoch,
+}
+
+/// The backing structure behind a [`ShardedCacheStorage`], selected by
+/// [`CacheReadPath`].
+#[derive(Debug)]
+enum Backend {
+    Locked(Striped<CacheStorage>),
+    // Boxed: the epoch domain's cache-line-padded pin lanes make the
+    // storage ~3 KiB inline, which would bloat every Locked instance too.
+    Epoch(Box<crate::epoch_storage::EpochShardedStorage>),
+}
+
+/// Concurrent cache storage: N stripes keyed by object-id hash, behind
+/// either per-stripe locks or the epoch-reclaimed read path
+/// ([`CacheReadPath`]).
+///
+/// All methods take `&self`; each call touches exactly one stripe
+/// (aggregate queries like [`ShardedCacheStorage::len`] visit each stripe
+/// in turn, never two at once), so the structure is deadlock-free by
+/// construction and reads of different objects contend only when they
+/// hash to the same stripe.
 #[derive(Debug)]
 pub struct ShardedCacheStorage {
-    stripes: Striped<CacheStorage>,
+    backend: Backend,
+    /// `true` when a capacity bound is configured (rebalancing applies).
+    bounded: bool,
+    /// Inserts since construction; every [`REBALANCE_INTERVAL`]-th insert
+    /// triggers a budget rebalance on bounded storage.
+    inserts: std::sync::atomic::AtomicU64,
 }
 
 impl ShardedCacheStorage {
-    /// Creates sharded storage with [`DEFAULT_STRIPES`] stripes.
+    /// Creates sharded storage with [`DEFAULT_STRIPES`] stripes on the
+    /// [`CacheReadPath::Locked`] path.
     pub fn with_default_stripes(capacity: Option<usize>, ttl: TtlConfig) -> Self {
         ShardedCacheStorage::new(DEFAULT_STRIPES, capacity, ttl)
     }
 
     /// Creates sharded storage with `stripes` stripes (rounded up to a
-    /// power of two). A total `capacity` is split evenly across stripes
+    /// power of two) on the [`CacheReadPath::Locked`] path. A total
+    /// `capacity` is split evenly across stripes
     /// (`ceil(capacity / stripes)`, at least 1, per stripe).
     ///
     /// Because eviction is local to a stripe, the capacity is enforced per
@@ -348,87 +390,286 @@ impl ShardedCacheStorage {
     /// `capacity` by up to one entry per stripe when the split does not
     /// divide evenly (worst case `capacity + stripes - 1`). Callers that
     /// need a byte- or entry-exact budget should size `capacity` with that
-    /// slack in mind.
+    /// slack in mind. A skewed key distribution additionally shifts the
+    /// budget between stripes over time; see
+    /// [`ShardedCacheStorage::rebalance_budgets`].
     ///
     /// # Panics
     /// Panics if `stripes` is zero.
     pub fn new(stripes: usize, capacity: Option<usize>, ttl: TtlConfig) -> Self {
-        // Build the stripes first and derive the per-stripe capacity from
-        // the *actual* stripe count, so the split can never drift from
-        // Striped's rounding policy.
-        let mut built = Striped::new(stripes, || CacheStorage::new(None, ttl));
-        if let Some(capacity) = capacity {
-            let per_stripe = capacity.div_ceil(built.len()).max(1);
-            for stripe in built.iter_mut() {
-                stripe.get_mut().capacity = Some(per_stripe);
+        ShardedCacheStorage::with_read_path(stripes, capacity, ttl, CacheReadPath::Locked)
+    }
+
+    /// Creates sharded storage on an explicitly chosen read path.
+    ///
+    /// # Panics
+    /// Panics if `stripes` is zero.
+    pub fn with_read_path(
+        stripes: usize,
+        capacity: Option<usize>,
+        ttl: TtlConfig,
+        path: CacheReadPath,
+    ) -> Self {
+        let backend = match path {
+            CacheReadPath::Locked => {
+                // Build the stripes first and derive the per-stripe
+                // capacity from the *actual* stripe count, so the split
+                // can never drift from Striped's rounding policy.
+                let mut built = Striped::new(stripes, || CacheStorage::new(None, ttl));
+                if let Some(capacity) = capacity {
+                    let per_stripe = capacity.div_ceil(built.len()).max(1);
+                    for stripe in built.iter_mut() {
+                        stripe.get_mut().capacity = Some(per_stripe);
+                    }
+                }
+                Backend::Locked(built)
             }
+            CacheReadPath::Epoch => Backend::Epoch(Box::new(
+                crate::epoch_storage::EpochShardedStorage::new(stripes, capacity, ttl),
+            )),
+        };
+        ShardedCacheStorage {
+            backend,
+            bounded: capacity.is_some(),
+            inserts: std::sync::atomic::AtomicU64::new(0),
         }
-        ShardedCacheStorage { stripes: built }
+    }
+
+    /// The read path this storage was built on.
+    pub fn read_path(&self) -> CacheReadPath {
+        match &self.backend {
+            Backend::Locked(_) => CacheReadPath::Locked,
+            Backend::Epoch(_) => CacheReadPath::Epoch,
+        }
     }
 
     /// Number of stripes.
     pub fn stripe_count(&self) -> usize {
-        self.stripes.len()
+        match &self.backend {
+            Backend::Locked(stripes) => stripes.len(),
+            Backend::Epoch(epoch) => epoch.stripe_count(),
+        }
     }
 
-    fn stripe(&self, id: ObjectId) -> &parking_lot::Mutex<CacheStorage> {
-        self.stripes.stripe_for(id.as_u64())
+    /// The stripe index `id` routes to (both paths share the Fibonacci
+    /// hash, so routing is identical).
+    pub fn stripe_index_of(&self, id: ObjectId) -> usize {
+        match &self.backend {
+            Backend::Locked(stripes) => stripes.index_for(id.as_u64()),
+            Backend::Epoch(epoch) => epoch.stripe_index_of(id),
+        }
+    }
+
+    /// Reclamation counters of the epoch read path (`None` on the locked
+    /// path).
+    pub fn epoch_stats(&self) -> Option<tcache_types::epoch::EpochStats> {
+        match &self.backend {
+            Backend::Locked(_) => None,
+            Backend::Epoch(epoch) => Some(epoch.epoch_stats()),
+        }
+    }
+
+    fn stripe(stripes: &Striped<CacheStorage>, id: ObjectId) -> &parking_lot::Mutex<CacheStorage> {
+        stripes.stripe_for(id.as_u64())
     }
 
     /// Looks up an object (TTL-checked, LRU-touched); see
     /// [`CacheStorage::get`].
     pub fn get(&self, id: ObjectId, now: SimTime) -> Option<ObjectEntry> {
-        self.stripe(id).lock().get(id, now)
+        match &self.backend {
+            Backend::Locked(stripes) => Self::stripe(stripes, id).lock().get(id, now),
+            Backend::Epoch(epoch) => epoch.get(id, now),
+        }
     }
 
     /// Inserts (or refreshes) an object; see [`CacheStorage::insert`].
+    /// On capacity-bounded storage, every [`REBALANCE_INTERVAL`]-th insert
+    /// also rebalances the per-stripe budgets.
     pub fn insert(&self, entry: ObjectEntry, now: SimTime) -> Option<ObjectId> {
-        self.stripe(entry.id).lock().insert(entry, now)
+        let evicted = match &self.backend {
+            Backend::Locked(stripes) => Self::stripe(stripes, entry.id).lock().insert(entry, now),
+            Backend::Epoch(epoch) => epoch.insert(entry, now),
+        };
+        if self.bounded {
+            let n = self
+                .inserts
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                + 1;
+            if n.is_multiple_of(REBALANCE_INTERVAL) {
+                self.rebalance_budgets();
+            }
+        }
+        evicted
     }
 
     /// Removes an object, returning `true` if it was present.
     pub fn remove(&self, id: ObjectId) -> bool {
-        self.stripe(id).lock().remove(id)
+        match &self.backend {
+            Backend::Locked(stripes) => Self::stripe(stripes, id).lock().remove(id),
+            Backend::Epoch(epoch) => epoch.remove(id),
+        }
     }
 
     /// Applies an invalidation; see [`CacheStorage::invalidate`].
     pub fn invalidate(&self, id: ObjectId, newer_than: Version) -> bool {
-        self.stripe(id).lock().invalidate(id, newer_than)
+        match &self.backend {
+            Backend::Locked(stripes) => Self::stripe(stripes, id).lock().invalidate(id, newer_than),
+            Backend::Epoch(epoch) => epoch.invalidate(id, newer_than),
+        }
     }
 
     /// Clears every stripe (entries and admission floors); see
     /// [`CacheStorage::clear`]. Stripes are cleared one at a time, never
     /// holding two locks.
     pub fn clear(&self) {
-        for stripe in self.stripes.iter() {
-            stripe.lock().clear();
+        match &self.backend {
+            Backend::Locked(stripes) => {
+                for stripe in stripes.iter() {
+                    stripe.lock().clear();
+                }
+            }
+            Backend::Epoch(epoch) => epoch.clear(),
         }
     }
 
     /// Returns `true` if `id` is currently cached (ignoring TTL).
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.stripe(id).lock().peek(id).is_some()
+        match &self.backend {
+            Backend::Locked(stripes) => Self::stripe(stripes, id).lock().peek(id).is_some(),
+            Backend::Epoch(epoch) => epoch.contains(id),
+        }
     }
 
     /// The version currently cached for `id`, ignoring TTL.
     pub fn cached_version(&self, id: ObjectId) -> Option<Version> {
-        self.stripe(id).lock().cached_version(id)
+        match &self.backend {
+            Backend::Locked(stripes) => Self::stripe(stripes, id).lock().cached_version(id),
+            Backend::Epoch(epoch) => epoch.cached_version(id),
+        }
     }
 
     /// Total number of cached objects (sums the stripes; approximate under
     /// concurrent mutation).
     pub fn len(&self) -> usize {
-        self.stripes.iter().map(|s| s.lock().len()).sum()
+        match &self.backend {
+            Backend::Locked(stripes) => stripes.iter().map(|s| s.lock().len()).sum(),
+            Backend::Epoch(epoch) => epoch.len(),
+        }
     }
 
     /// Returns `true` if nothing is cached in any stripe.
     pub fn is_empty(&self) -> bool {
-        self.stripes.iter().all(|s| s.lock().is_empty())
+        match &self.backend {
+            Backend::Locked(stripes) => stripes.iter().all(|s| s.lock().is_empty()),
+            Backend::Epoch(epoch) => epoch.is_empty(),
+        }
     }
 
     /// Approximate memory footprint of all cached entries, in bytes.
     pub fn footprint_bytes(&self) -> usize {
-        self.stripes.iter().map(|s| s.lock().footprint_bytes()).sum()
+        match &self.backend {
+            Backend::Locked(stripes) => stripes.iter().map(|s| s.lock().footprint_bytes()).sum(),
+            Backend::Epoch(epoch) => epoch.footprint_bytes(),
+        }
+    }
+
+    /// Per-stripe `(len, capacity)` pairs (diagnostics and rebalance
+    /// tests). Stripes are sampled one at a time.
+    pub fn stripe_budgets(&self) -> Vec<(usize, Option<usize>)> {
+        match &self.backend {
+            Backend::Locked(stripes) => stripes
+                .iter()
+                .map(|s| {
+                    let stripe = s.lock();
+                    (stripe.len(), stripe.capacity)
+                })
+                .collect(),
+            Backend::Epoch(epoch) => epoch.stripe_budgets(),
+        }
+    }
+
+    /// Installs a rebalanced capacity, evicting LRU entries if a racing
+    /// insert pushed the stripe past the shrunken budget (rebalancing
+    /// never *plans* forced evictions, but samples and installation are
+    /// separate lock acquisitions, so the stripe may have grown between
+    /// them).
+    fn set_stripe_capacity(&self, at: usize, capacity: usize) {
+        match &self.backend {
+            Backend::Locked(stripes) => {
+                let mut stripe = stripes.stripe_at(at).lock();
+                stripe.capacity = Some(capacity);
+                while stripe.len() > capacity {
+                    let Some(victim) = stripe.lru.front() else { break };
+                    stripe.remove(victim);
+                }
+            }
+            Backend::Epoch(epoch) => epoch.set_stripe_capacity(at, capacity),
+        }
+    }
+
+    /// Rebalances the per-stripe entry budgets: stripes with spare
+    /// capacity donate half their slack to stripes that are evicting
+    /// (at or over their budget), preserving the total budget exactly.
+    ///
+    /// The even split chosen at construction evicts early under a skewed
+    /// key distribution — a hot stripe hits its ceiling while cold
+    /// stripes sit on unused budget. Bounded storage runs this
+    /// automatically every [`REBALANCE_INTERVAL`] inserts; it is public
+    /// so deployments with known skew phases can trigger it eagerly.
+    ///
+    /// Returns the number of budget units moved (0 when storage is
+    /// unbounded, nothing is saturated, or nothing has slack). Each
+    /// stripe is locked at most twice, one at a time — never two locks
+    /// held together.
+    pub fn rebalance_budgets(&self) -> usize {
+        let budgets = self.stripe_budgets();
+        let Some(caps) = budgets
+            .iter()
+            .map(|&(_, c)| c)
+            .collect::<Option<Vec<usize>>>()
+        else {
+            return 0; // Unbounded: nothing to rebalance.
+        };
+        let lens: Vec<usize> = budgets.iter().map(|&(l, _)| l).collect();
+        let takers: Vec<usize> = (0..caps.len()).filter(|&i| lens[i] >= caps[i]).collect();
+        if takers.is_empty() {
+            return 0;
+        }
+        // Donors give half their slack, never dropping below their current
+        // occupancy (no forced evictions) or below one entry.
+        let mut pool = 0usize;
+        let mut new_caps = caps.clone();
+        for i in 0..caps.len() {
+            let slack = caps[i].saturating_sub(lens[i]);
+            let donation = (slack / 2).min(caps[i].saturating_sub(lens[i].max(1)));
+            if donation > 0 {
+                new_caps[i] -= donation;
+                pool += donation;
+            }
+        }
+        if pool == 0 {
+            return 0;
+        }
+        let moved = pool;
+        // Round-robin the pooled budget over the saturated stripes so the
+        // distribution is deterministic and even.
+        let mut turn = 0usize;
+        while pool > 0 {
+            new_caps[takers[turn % takers.len()]] += 1;
+            pool -= 1;
+            turn += 1;
+        }
+        debug_assert_eq!(
+            new_caps.iter().sum::<usize>(),
+            caps.iter().sum::<usize>(),
+            "rebalancing must preserve the total budget"
+        );
+        for (i, &cap) in new_caps.iter().enumerate() {
+            if cap != caps[i] {
+                self.set_stripe_capacity(i, cap);
+            }
+        }
+        moved
     }
 }
 
@@ -712,5 +953,89 @@ mod tests {
     #[should_panic(expected = "at least one stripe")]
     fn zero_stripes_panics() {
         let _ = ShardedCacheStorage::new(0, None, TtlConfig::Infinite);
+    }
+
+    /// Regression test for the even-split eviction problem: a key
+    /// distribution skewed onto one stripe used to evict at the stripe's
+    /// even share (4 of 64) while the other 15 stripes sat on unused
+    /// budget. Rebalancing must donate that slack to the hot stripe —
+    /// without ever growing the total budget — on both read paths.
+    #[test]
+    fn skewed_load_donates_budget_to_the_hot_stripe() {
+        for path in [CacheReadPath::Locked, CacheReadPath::Epoch] {
+            let s =
+                ShardedCacheStorage::with_read_path(16, Some(64), TtlConfig::Infinite, path);
+            assert_eq!(s.read_path(), path);
+            let hot = s.stripe_index_of(ObjectId(0));
+            // 40 distinct keys that all route to the hot stripe.
+            let keys: Vec<u64> = (0..100_000u64)
+                .filter(|&k| s.stripe_index_of(ObjectId(k)) == hot)
+                .take(40)
+                .collect();
+            assert_eq!(keys.len(), 40);
+            let even_share = 64usize.div_ceil(16);
+            let total_before: usize =
+                s.stripe_budgets().iter().map(|b| b.1.unwrap()).sum();
+            for (i, &k) in keys.iter().enumerate() {
+                s.insert(obj(k, 1), SimTime::ZERO);
+                // "Periodic": what the insert counter does every
+                // REBALANCE_INTERVAL inserts, forced here so the test
+                // doesn't need a thousand warm-up inserts.
+                if i % 8 == 7 {
+                    s.rebalance_budgets();
+                }
+            }
+            let budgets = s.stripe_budgets();
+            let total_after: usize = budgets.iter().map(|b| b.1.unwrap()).sum();
+            assert_eq!(total_after, total_before, "{path:?}: budget must be conserved");
+            assert!(
+                budgets[hot].1.unwrap() > even_share,
+                "{path:?}: the hot stripe must receive donated budget, got {:?}",
+                budgets[hot]
+            );
+            assert!(
+                budgets[hot].0 > even_share,
+                "{path:?}: the hot stripe must hold more than its even split, got {:?}",
+                budgets[hot]
+            );
+            assert!(
+                budgets.iter().all(|b| b.1.unwrap() >= 1),
+                "{path:?}: donors never drop below one entry"
+            );
+            // Unbounded storage has nothing to move.
+            let unbounded =
+                ShardedCacheStorage::with_read_path(16, None, TtlConfig::Infinite, path);
+            assert_eq!(unbounded.rebalance_budgets(), 0);
+        }
+    }
+
+    /// The epoch path mirrors the sharded semantics end to end (the deep
+    /// differential coverage lives in `tests/epoch_differential.rs`).
+    #[test]
+    fn epoch_path_mirrors_locked_semantics_through_the_selector() {
+        let s = ShardedCacheStorage::with_read_path(
+            8,
+            None,
+            TtlConfig::Infinite,
+            CacheReadPath::Epoch,
+        );
+        assert_eq!(s.read_path(), CacheReadPath::Epoch);
+        assert_eq!(s.stripe_count(), 8);
+        for i in 0..100 {
+            s.insert(obj(i, i + 1), SimTime::ZERO);
+        }
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(ObjectId(42)));
+        assert_eq!(s.cached_version(ObjectId(42)), Some(Version(43)));
+        assert!(s.footprint_bytes() > 0);
+        assert!(s.get(ObjectId(42), SimTime::ZERO).is_some());
+        assert!(s.invalidate(ObjectId(42), Version(100)));
+        assert!(!s.contains(ObjectId(42)));
+        assert!(s.remove(ObjectId(41)));
+        assert_eq!(s.len(), 98);
+        let stats = s.epoch_stats().expect("epoch path exposes stats");
+        assert!(stats.pins > 0, "reads and writes pin the domain");
+        s.clear();
+        assert!(s.is_empty());
     }
 }

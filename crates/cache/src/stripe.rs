@@ -46,8 +46,19 @@ impl<T> Striped<T> {
     /// The stripe responsible for `key`. Fibonacci hashing spreads the
     /// dense ids the workloads use evenly across stripes.
     pub fn stripe_for(&self, key: u64) -> &Mutex<T> {
+        &self.stripes[self.index_for(key)]
+    }
+
+    /// The stripe *index* `key` routes to (diagnostics and budget
+    /// rebalancing; same hash as [`Striped::stripe_for`]).
+    pub fn index_for(&self, key: u64) -> usize {
         let h = key.wrapping_mul(0x9E3779B97F4A7C15) >> 32;
-        &self.stripes[(h & self.mask) as usize]
+        (h & self.mask) as usize
+    }
+
+    /// The stripe at `index` (budget rebalancing; panics if out of range).
+    pub fn stripe_at(&self, index: usize) -> &Mutex<T> {
+        &self.stripes[index]
     }
 
     /// Iterates over all stripes (for aggregate queries; callers lock one

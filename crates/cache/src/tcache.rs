@@ -30,7 +30,7 @@
 use crate::consistency::{Violation, ViolationKind};
 use crate::lifecycle::{LifecycleState, LifecycleStats, LifecycleStatsSnapshot, ReadMode, ReadTxnLog};
 use crate::stats::{CacheStats, CacheStatsSnapshot};
-use crate::storage::ShardedCacheStorage;
+use crate::storage::{CacheReadPath, ShardedCacheStorage};
 use crate::txn_record::ShardedTransactionTable;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -83,13 +83,31 @@ pub struct EdgeCache {
 }
 
 impl EdgeCache {
-    /// Creates a cache with an explicit policy configuration.
+    /// Creates a cache with an explicit policy configuration on the
+    /// default ([`CacheReadPath::Locked`]) storage read path.
     pub fn new(id: CacheId, backend: Arc<Database>, config: CachePolicyConfig) -> Self {
+        EdgeCache::with_read_path(id, backend, config, CacheReadPath::default())
+    }
+
+    /// Creates a cache with an explicit policy configuration and storage
+    /// read path ([`CacheReadPath::Epoch`] for the lock-free hit path,
+    /// [`CacheReadPath::Locked`] for the per-stripe-mutex baseline).
+    pub fn with_read_path(
+        id: CacheId,
+        backend: Arc<Database>,
+        config: CachePolicyConfig,
+        read_path: CacheReadPath,
+    ) -> Self {
         EdgeCache {
             id,
             backend,
             config,
-            storage: ShardedCacheStorage::with_default_stripes(None, config.ttl),
+            storage: ShardedCacheStorage::with_read_path(
+                crate::storage::DEFAULT_STRIPES,
+                None,
+                config.ttl,
+                read_path,
+            ),
             txns: ShardedTransactionTable::with_default_stripes(),
             stats: CacheStats::new(),
             lifecycle: Mutex::new(Lifecycle {
@@ -120,6 +138,11 @@ impl EdgeCache {
     /// Creates a T-Cache with unbounded dependency lists (Theorem 1).
     pub fn unbounded(id: CacheId, backend: Arc<Database>, strategy: Strategy) -> Self {
         EdgeCache::new(id, backend, CachePolicyConfig::unbounded(strategy))
+    }
+
+    /// The storage read path this cache runs on.
+    pub fn read_path(&self) -> CacheReadPath {
+        self.storage.read_path()
     }
 
     /// The cache server's id.

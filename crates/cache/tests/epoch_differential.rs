@@ -1,0 +1,230 @@
+//! Differential coverage for the epoch-reclaimed cache read path.
+//!
+//! [`CacheReadPath::Epoch`] must be *observationally identical* to
+//! [`CacheReadPath::Locked`] — same hits, same misses, same eviction
+//! victims, same floor vetoes — because `EdgeCache` treats the two as
+//! interchangeable. Three layers pin that down:
+//!
+//! 1. a property test driving random op sequences through both paths in
+//!    lockstep and comparing every return value and every aggregate;
+//! 2. an 8-thread stress test over one shared epoch storage whose
+//!    per-thread (disjoint-key) op logs are replayed against a
+//!    sequential locked oracle;
+//! 3. a reclamation hammer: readers race a writer that continuously
+//!    retires entries, asserting reads are never torn and versions never
+//!    run backwards (which is what observing reclaimed or resurrected
+//!    memory would look like).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tcache_cache::storage::{CacheReadPath, ShardedCacheStorage};
+use tcache_types::{
+    DependencyList, ObjectEntry, ObjectId, SimDuration, SimTime, TtlConfig, Value, Version,
+};
+
+/// An entry whose value encodes its version, so a torn read (value from
+/// one write, version from another) is detectable.
+fn obj(id: u64, version: u64) -> ObjectEntry {
+    ObjectEntry::new(
+        ObjectId(id),
+        Value::new(version),
+        Version(version),
+        DependencyList::bounded(3),
+    )
+}
+
+fn storage(path: CacheReadPath, capacity: Option<usize>, ttl: TtlConfig) -> ShardedCacheStorage {
+    ShardedCacheStorage::with_read_path(4, capacity, ttl, path)
+}
+
+proptest! {
+    /// Random op sequences (inserts, TTL-sensitive gets, invalidations,
+    /// removes, clears) produce identical observable behaviour on both
+    /// read paths, op by op: same return values, same evictions, same
+    /// len/footprint after every step.
+    #[test]
+    fn random_ops_match_the_locked_oracle(
+        ops in prop::collection::vec((0u32..8, 0u64..24, 1u64..8, 0u64..100), 1..200),
+        capacity_choice in 0u32..3,
+    ) {
+        let capacity = match capacity_choice {
+            0 => None,
+            1 => Some(8),
+            _ => Some(16),
+        };
+        let ttl = TtlConfig::Limited(SimDuration::from_secs(30));
+        let locked = storage(CacheReadPath::Locked, capacity, ttl);
+        let epoch = storage(CacheReadPath::Epoch, capacity, ttl);
+        for &(op, id, version, now_secs) in &ops {
+            let key = ObjectId(id);
+            let now = SimTime::from_secs(now_secs);
+            match op {
+                0..=2 => prop_assert_eq!(
+                    locked.insert(obj(id, version), now),
+                    epoch.insert(obj(id, version), now),
+                    "insert(o{}, v{}) diverged", id, version
+                ),
+                3..=4 => prop_assert_eq!(
+                    locked.get(key, now),
+                    epoch.get(key, now),
+                    "get(o{}) at {}s diverged", id, now_secs
+                ),
+                5 => prop_assert_eq!(
+                    locked.invalidate(key, Version(version)),
+                    epoch.invalidate(key, Version(version)),
+                    "invalidate(o{}, v{}) diverged", id, version
+                ),
+                6 => prop_assert_eq!(
+                    locked.remove(key),
+                    epoch.remove(key),
+                    "remove(o{}) diverged", id
+                ),
+                _ => {
+                    prop_assert_eq!(locked.contains(key), epoch.contains(key));
+                    prop_assert_eq!(locked.cached_version(key), epoch.cached_version(key));
+                    if version == 1 {
+                        // Rare full clear (entries + admission floors).
+                        locked.clear();
+                        epoch.clear();
+                    }
+                }
+            }
+            prop_assert_eq!(locked.len(), epoch.len());
+            prop_assert_eq!(locked.footprint_bytes(), epoch.footprint_bytes());
+        }
+        // Full final-state sweep over the key universe.
+        for id in 0..24u64 {
+            let key = ObjectId(id);
+            prop_assert_eq!(locked.cached_version(key), epoch.cached_version(key));
+            prop_assert_eq!(locked.contains(key), epoch.contains(key));
+        }
+    }
+}
+
+/// What one operation observed, for oracle comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Observed {
+    Evicted(Option<ObjectId>),
+    Version(Option<Version>),
+    Flag(bool),
+}
+
+fn run_op(storage: &ShardedCacheStorage, op: u64, key: u64, version: u64) -> Observed {
+    let id = ObjectId(key);
+    match op {
+        0..=2 => Observed::Evicted(storage.insert(obj(key, version), SimTime::ZERO)),
+        3 | 4 => Observed::Version(storage.get(id, SimTime::ZERO).map(|e| e.version)),
+        5 => Observed::Flag(storage.invalidate(id, Version(version))),
+        6 => Observed::Flag(storage.remove(id)),
+        _ => Observed::Version(storage.cached_version(id)),
+    }
+}
+
+/// Eight threads hammer one shared epoch storage with deterministic
+/// per-thread op scripts over *disjoint* key ranges (so each thread's
+/// results are sequentially determined even under full concurrency),
+/// then every thread's observation log is replayed against a fresh
+/// sequential locked-path oracle. Any lost invalidation, resurrected
+/// entry or broken CAS shows up as a log divergence.
+#[test]
+fn eight_thread_stress_matches_sequential_oracle() {
+    const THREADS: u64 = 8;
+    const OPS: u64 = 5_000;
+    let shared = Arc::new(storage(CacheReadPath::Epoch, None, TtlConfig::Infinite));
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS as usize));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let shared = Arc::clone(&shared);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (t + 1);
+                let mut log = Vec::with_capacity(OPS as usize);
+                for _ in 0..OPS {
+                    // xorshift64: deterministic, seeded per thread.
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let key = t * 1_000 + state % 16; // Disjoint per thread.
+                    let version = 1 + (state >> 8) % 64;
+                    let op = (state >> 16) % 8;
+                    log.push((op, key, version, run_op(&shared, op, key, version)));
+                }
+                log
+            })
+        })
+        .collect();
+    for handle in handles {
+        let log = handle.join().unwrap();
+        // Replay this thread's script sequentially on the locked oracle;
+        // disjoint keys + unbounded capacity mean the other threads cannot
+        // have influenced its observations.
+        let oracle = storage(CacheReadPath::Locked, None, TtlConfig::Infinite);
+        for (op, key, version, observed) in log {
+            let expected = run_op(&oracle, op, key, version);
+            assert_eq!(
+                expected, observed,
+                "op {op} on o{key} v{version} diverged from the sequential oracle"
+            );
+        }
+    }
+    let stats = shared.epoch_stats().expect("epoch path exposes stats");
+    assert!(stats.reclaimed > 0, "the stress must exercise reclamation");
+}
+
+/// Readers race a writer that keeps replacing and invalidating a handful
+/// of hot keys, so every read traverses pointers the writer is actively
+/// retiring. Use-after-reclaim would surface as a torn entry (value not
+/// matching version), a wrong key, or a version running backwards.
+#[test]
+fn readers_never_observe_reclaimed_or_resurrected_entries() {
+    const KEYS: u64 = 4;
+    const WRITES: u64 = 30_000;
+    let shared = Arc::new(storage(CacheReadPath::Epoch, None, TtlConfig::Infinite));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_seen = [0u64; KEYS as usize];
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    for key in 0..KEYS {
+                        if let Some(entry) = shared.get(ObjectId(key), SimTime::ZERO) {
+                            assert_eq!(entry.id, ObjectId(key), "entry for the wrong key");
+                            assert_eq!(
+                                entry.value,
+                                Value::new(entry.version.as_u64()),
+                                "torn read: value does not match version"
+                            );
+                            let seen = entry.version.as_u64();
+                            assert!(
+                                seen >= last_seen[key as usize],
+                                "version ran backwards: {seen} after {}",
+                                last_seen[key as usize]
+                            );
+                            last_seen[key as usize] = seen;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for version in 1..=WRITES {
+        let key = version % KEYS;
+        shared.insert(obj(key, version), SimTime::ZERO);
+        if version % 7 == 0 {
+            // Forces an eviction-and-refetch cycle under the readers.
+            shared.invalidate(ObjectId(key), Version(version + 1));
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for reader in readers {
+        reader.join().unwrap();
+    }
+    let stats = shared.epoch_stats().expect("epoch path exposes stats");
+    assert!(
+        stats.reclaimed > 0,
+        "writer must have retired and reclaimed entries under the readers"
+    );
+}

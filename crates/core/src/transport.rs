@@ -35,7 +35,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tcache_cache::EdgeCache;
 use tcache_db::Invalidation;
-use tcache_net::delivery::{run_delivery, DeliveryCounters, DeliveryModel, DeliveryStatsSnapshot, DeliveryTask};
+use tcache_net::delivery::{
+    run_delivery, DeliveryCounters, DeliveryModel, DeliveryStatsSnapshot, DeliveryTask,
+    DEFAULT_BATCH_BUDGET,
+};
 use tcache_net::pipe::{bounded_pipe, OverflowPolicy, PipeSender, PipeStatsSnapshot};
 use tcache_net::reactor::{Reactor, ReactorHandle, ReactorStats};
 use tcache_types::seeding::{cache_channel_seed, cache_delay_seed};
@@ -147,6 +150,7 @@ impl ReactorPlane {
                     counters: Arc::clone(&task_counters),
                     paused: Arc::clone(&pause_flag),
                     extra_delay_micros: Arc::clone(&extra_delay),
+                    batch_budget: DEFAULT_BATCH_BUDGET,
                 },
                 move |inv| task_cache.apply_invalidation(inv),
             ));

@@ -144,6 +144,7 @@ fn live_transport_fans_out_via_database_upcalls() {
                     counters: Arc::clone(&task_counters),
                     paused: Arc::new(std::sync::atomic::AtomicBool::new(false)),
                     extra_delay_micros: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+                    batch_budget: tcache_net::delivery::DEFAULT_BATCH_BUDGET,
                 },
                 |_| {},
             ));

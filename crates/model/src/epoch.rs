@@ -1,0 +1,730 @@
+//! Exhaustive interleaving model of the epoch-reclamation read path.
+//!
+//! `tcache_types::epoch::EpochDomain` protects the cache's lock-free read
+//! side: readers pin an epoch before traversing published pointers, writers
+//! retire unlinked nodes into an epoch-tagged queue, and reclamation only
+//! runs once the global epoch has advanced past every reader that could
+//! still hold the pointer. The safety argument lives as prose in that
+//! module; this model checks it *mechanically* at the abstraction level
+//! where the races actually happen — the individual loads, increments and
+//! CASes of the protocol, not whole operations.
+//!
+//! Two models live here:
+//!
+//! * [`explore_epoch`] — readers (`read epoch → increment pin slot →
+//!   validate → load published pointer → dereference → unpin`) interleaved
+//!   with a writer (`swap published pointer → retire old node at the
+//!   current epoch`) and an advancer (`check prior-epoch pin slot → CAS
+//!   epoch → reclaim nodes whose retire epoch is ≥ grace behind`). The
+//!   advancer runs as an independent pseudo-thread, which over-approximates
+//!   the implementation (where `try_advance` is called from `defer` and
+//!   guard drop) — strictly more schedules, so safety here implies safety
+//!   there. The invariant: **no reader ever dereferences a reclaimed
+//!   node**. Knobs deliberately break the protocol — [`EpochModelConfig::ungated_advance`]
+//!   skips the pin-slot check and [`EpochModelConfig::short_grace`] reclaims
+//!   one epoch early — so `model_check` can demonstrate the model *detects*
+//!   use-after-reclaim, not merely that the healthy config passes.
+//!
+//! * [`explore_floor`] — the invalidation/apply race on one cache slot:
+//!   an installer (floor veto, newer-cached veto, install) racing an
+//!   invalidator (raise floor, unlink strictly older). The invariant: **no
+//!   invalidation is lost** — once an invalidation to floor `f` completes,
+//!   the slot never holds a version `< f`. With the stripe write lock
+//!   ([`FloorModelConfig::locked`]) each logical op is one atomic
+//!   transition and the invariant holds; with the lock removed the
+//!   check/install split loses the race, which is exactly why
+//!   `EpochShardedStorage` keeps its writers serialized per stripe even
+//!   though readers go lock-free.
+//!
+//! Both explorers are plain hand-rolled BFS over hashable states, in the
+//! style of [`crate::explore()`], with parent links for counterexample
+//! reconstruction. State spaces are tiny (thousands of states) so the
+//! exploration is exact, not sampled.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Number of pin-count slots in the epoch domain (epochs alias mod 3).
+const SLOTS: u64 = 3;
+
+/// Hard cap on discovered states; hit only by a runaway configuration.
+const MAX_STATES: usize = 4_000_000;
+
+/// Scenario parameters for the reclamation model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochModelConfig {
+    /// Scenario name for reports.
+    pub name: &'static str,
+    /// Concurrent reader threads (each runs `passes` full read cycles).
+    pub readers: usize,
+    /// Pointer swaps the writer performs (each retires the old node).
+    pub installs: u8,
+    /// Read cycles per reader.
+    pub passes: u8,
+    /// Upper bound on the global epoch (bounds the advancer).
+    pub max_epoch: u64,
+    /// Epochs a retired node must age before reclamation
+    /// (`retired_at + grace <= epoch`); the implementation uses 3.
+    pub grace: u64,
+    /// Re-validate the global epoch after incrementing the pin slot,
+    /// undoing and retrying on a mismatch (the implementation's pin loop).
+    pub validate_pin: bool,
+    /// Gate epoch advance on the prior epoch's pin slot being empty.
+    pub gate_advance: bool,
+}
+
+impl EpochModelConfig {
+    /// The protocol as implemented: grace 3, validated pins, gated
+    /// advance. Must hold exhaustively.
+    pub fn faithful() -> Self {
+        EpochModelConfig {
+            name: "epoch_faithful",
+            readers: 2,
+            installs: 2,
+            passes: 1,
+            max_epoch: 8,
+            grace: 3,
+            validate_pin: true,
+            gate_advance: true,
+        }
+    }
+
+    /// Advance ignores pin slots entirely. The grace period alone cannot
+    /// protect a pinned reader, so the model must find a reader
+    /// dereferencing a reclaimed node.
+    pub fn ungated_advance() -> Self {
+        EpochModelConfig {
+            name: "epoch_ungated_advance",
+            gate_advance: false,
+            ..Self::faithful()
+        }
+    }
+
+    /// Reclaim after one epoch instead of three. The pin-slot gate only
+    /// inspects one slot per advance, so a single epoch of aging is not
+    /// enough; the model must find a use-after-reclaim.
+    pub fn short_grace() -> Self {
+        EpochModelConfig {
+            name: "epoch_short_grace",
+            grace: 1,
+            ..Self::faithful()
+        }
+    }
+}
+
+/// Where a single reader is in its pin/load/deref cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ReaderPhase {
+    /// Between passes (or done, when no passes remain).
+    Idle,
+    /// Read the global epoch as `epoch`, not yet pinned.
+    Observed {
+        /// The epoch value the reader sampled.
+        epoch: u64,
+    },
+    /// Incremented `pins[epoch % 3]`; validation still pending.
+    Incremented {
+        /// The epoch the reader sampled before incrementing.
+        epoch: u64,
+    },
+    /// Pin validated (or validation disabled); safe-by-protocol window.
+    Pinned {
+        /// Pin slot the reader occupies.
+        slot: u8,
+    },
+    /// Loaded the published pointer while pinned.
+    Loaded {
+        /// Pin slot the reader occupies.
+        slot: u8,
+        /// Generation of the node the reader loaded.
+        gen: u8,
+    },
+    /// Dereferenced the node (the invariant check); ready to unpin.
+    Checked {
+        /// Pin slot the reader occupies.
+        slot: u8,
+    },
+}
+
+/// Writer program counter: swap and retire alternate per install.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum WriterPc {
+    /// Next step publishes a fresh node, unlinking the current one.
+    Swap,
+    /// Next step retires the unlinked node at the then-current epoch.
+    Retire {
+        /// Generation of the node awaiting retirement.
+        old: u8,
+    },
+}
+
+/// One interleaving state of the reclamation model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    epoch: u64,
+    pins: [u8; SLOTS as usize],
+    published: u8,
+    installs_done: u8,
+    writer: WriterPc,
+    /// Retired nodes as `(gen, retired_at)`, kept sorted for canonical
+    /// hashing (generations are unique).
+    retired: Vec<(u8, u64)>,
+    /// Bitmask over generations already reclaimed.
+    reclaimed: u8,
+    /// Epoch observed by a pending advance (between check and CAS).
+    advance_obs: Option<u64>,
+    readers: Vec<(ReaderPhase, u8)>,
+}
+
+impl State {
+    fn initial(config: &EpochModelConfig) -> Self {
+        State {
+            epoch: 0,
+            pins: [0; SLOTS as usize],
+            published: 0,
+            installs_done: 0,
+            writer: WriterPc::Swap,
+            retired: Vec::new(),
+            reclaimed: 0,
+            advance_obs: None,
+            readers: vec![(ReaderPhase::Idle, config.passes); config.readers],
+        }
+    }
+}
+
+/// One atomic step of the reclamation model (reader index where relevant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    ReadEpoch(usize),
+    IncPin(usize),
+    Validate(usize),
+    Load(usize),
+    Deref(usize),
+    Unpin(usize),
+    Swap,
+    Retire,
+    AdvanceCheck,
+    AdvanceCas,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Action::ReadEpoch(r) => write!(f, "reader{r}: read epoch"),
+            Action::IncPin(r) => write!(f, "reader{r}: increment pin slot"),
+            Action::Validate(r) => write!(f, "reader{r}: validate epoch"),
+            Action::Load(r) => write!(f, "reader{r}: load published pointer"),
+            Action::Deref(r) => write!(f, "reader{r}: dereference"),
+            Action::Unpin(r) => write!(f, "reader{r}: unpin"),
+            Action::Swap => write!(f, "writer: swap published pointer"),
+            Action::Retire => write!(f, "writer: retire old node"),
+            Action::AdvanceCheck => write!(f, "advancer: prior-epoch pin check"),
+            Action::AdvanceCas => write!(f, "advancer: CAS epoch + reclaim"),
+        }
+    }
+}
+
+/// Statistics of one exhaustive exploration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpochStats {
+    /// Distinct reachable states.
+    pub states: usize,
+    /// Transitions generated (including edges into visited states).
+    pub transitions: u64,
+    /// Depth of the deepest newly-discovered state.
+    pub depth: usize,
+    /// Reclamation events (non-vacuity: the invariant was actually
+    /// exercised, not just trivially unreachable).
+    pub reclaims: u64,
+    /// True if the state bound (`MAX_STATES`) was hit and the exploration
+    /// is incomplete.
+    pub truncated: bool,
+}
+
+/// A counterexample: what went wrong plus the interleaving reaching it.
+#[derive(Debug, Clone)]
+pub struct EpochViolation {
+    /// Human-readable description of the violated invariant.
+    pub description: String,
+    /// The action sequence from the initial state to the violation.
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for EpochViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.description)
+    }
+}
+
+/// Result of [`explore_epoch`] / [`explore_floor`].
+#[derive(Debug, Clone)]
+pub struct EpochExploration {
+    /// Exploration statistics (exact when no violation and not truncated).
+    pub stats: EpochStats,
+    /// First violation found (BFS order: depth-minimal), if any.
+    pub violation: Option<EpochViolation>,
+}
+
+/// Every enabled successor of `state`, with the invariant checked on
+/// dereference steps.
+fn successors(
+    state: &State,
+    config: &EpochModelConfig,
+) -> Vec<(Action, State, Option<String>, bool)> {
+    let mut out = Vec::new();
+
+    for (r, &(phase, passes_left)) in state.readers.iter().enumerate() {
+        match phase {
+            ReaderPhase::Idle if passes_left > 0 => {
+                let mut next = state.clone();
+                next.readers[r].0 = ReaderPhase::Observed { epoch: state.epoch };
+                out.push((Action::ReadEpoch(r), next, None, false));
+            }
+            ReaderPhase::Idle => {}
+            ReaderPhase::Observed { epoch } => {
+                let mut next = state.clone();
+                let slot = (epoch % SLOTS) as usize;
+                next.pins[slot] += 1;
+                next.readers[r].0 = if config.validate_pin {
+                    ReaderPhase::Incremented { epoch }
+                } else {
+                    ReaderPhase::Pinned { slot: slot as u8 }
+                };
+                out.push((Action::IncPin(r), next, None, false));
+            }
+            ReaderPhase::Incremented { epoch } => {
+                let mut next = state.clone();
+                let slot = (epoch % SLOTS) as usize;
+                if state.epoch == epoch {
+                    next.readers[r].0 = ReaderPhase::Pinned { slot: slot as u8 };
+                } else {
+                    // Stale sample: undo the increment and retry the pin.
+                    next.pins[slot] -= 1;
+                    next.readers[r].0 = ReaderPhase::Idle;
+                }
+                out.push((Action::Validate(r), next, None, false));
+            }
+            ReaderPhase::Pinned { slot } => {
+                let mut next = state.clone();
+                next.readers[r].0 = ReaderPhase::Loaded {
+                    slot,
+                    gen: state.published,
+                };
+                out.push((Action::Load(r), next, None, false));
+            }
+            ReaderPhase::Loaded { slot, gen } => {
+                let mut next = state.clone();
+                next.readers[r].0 = ReaderPhase::Checked { slot };
+                let violation = (state.reclaimed & (1 << gen) != 0).then(|| {
+                    format!(
+                        "reader{r} dereferenced reclaimed node g{gen} \
+                         (epoch {}, pins {:?})",
+                        state.epoch, state.pins
+                    )
+                });
+                out.push((Action::Deref(r), next, violation, false));
+            }
+            ReaderPhase::Checked { slot } => {
+                let mut next = state.clone();
+                next.pins[slot as usize] -= 1;
+                next.readers[r] = (ReaderPhase::Idle, passes_left - 1);
+                out.push((Action::Unpin(r), next, None, false));
+            }
+        }
+    }
+
+    if state.installs_done < config.installs {
+        match state.writer {
+            WriterPc::Swap => {
+                let mut next = state.clone();
+                next.published = state.installs_done + 1;
+                next.writer = WriterPc::Retire {
+                    old: state.published,
+                };
+                out.push((Action::Swap, next, None, false));
+            }
+            WriterPc::Retire { old } => {
+                let mut next = state.clone();
+                let at = state.epoch;
+                let pos = next.retired.partition_point(|&(g, _)| g < old);
+                next.retired.insert(pos, (old, at));
+                next.installs_done += 1;
+                next.writer = WriterPc::Swap;
+                out.push((Action::Retire, next, None, false));
+            }
+        }
+    }
+
+    match state.advance_obs {
+        None if state.epoch < config.max_epoch => {
+            let prior_slot = ((state.epoch + SLOTS - 1) % SLOTS) as usize;
+            if !config.gate_advance || state.pins[prior_slot] == 0 {
+                let mut next = state.clone();
+                next.advance_obs = Some(state.epoch);
+                out.push((Action::AdvanceCheck, next, None, false));
+            }
+        }
+        None => {}
+        Some(observed) => {
+            let mut next = state.clone();
+            next.advance_obs = None;
+            let mut reclaimed_now = false;
+            if state.epoch == observed {
+                next.epoch = observed + 1;
+                let epoch = next.epoch;
+                next.retired.retain(|&(gen, at)| {
+                    if at + config.grace <= epoch {
+                        next.reclaimed |= 1 << gen;
+                        reclaimed_now = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            out.push((Action::AdvanceCas, next, None, reclaimed_now));
+        }
+    }
+
+    out
+}
+
+/// Exhaustive BFS over every interleaving of `config`, checking that no
+/// reader dereferences a reclaimed node.
+pub fn explore_epoch(config: &EpochModelConfig) -> EpochExploration {
+    let initial = State::initial(config);
+    let mut states = vec![initial.clone()];
+    let mut index: HashMap<State, usize> = HashMap::from([(initial, 0)]);
+    let mut parents: Vec<Option<(usize, Action)>> = vec![None];
+    let mut depths = vec![0usize];
+    let mut queue = VecDeque::from([0usize]);
+    let mut stats = EpochStats {
+        states: 1,
+        ..EpochStats::default()
+    };
+
+    while let Some(current) = queue.pop_front() {
+        let state = states[current].clone();
+        for (action, next, violation, reclaimed_now) in successors(&state, config) {
+            stats.transitions += 1;
+            if reclaimed_now {
+                stats.reclaims += 1;
+            }
+            if let Some(description) = violation {
+                let mut trace = vec![action.to_string()];
+                let mut at = current;
+                while let Some((parent, step)) = parents[at] {
+                    trace.push(step.to_string());
+                    at = parent;
+                }
+                trace.reverse();
+                return EpochExploration {
+                    stats,
+                    violation: Some(EpochViolation { description, trace }),
+                };
+            }
+            if index.contains_key(&next) {
+                continue;
+            }
+            if stats.states >= MAX_STATES {
+                stats.truncated = true;
+                return EpochExploration {
+                    stats,
+                    violation: None,
+                };
+            }
+            let id = states.len();
+            index.insert(next.clone(), id);
+            states.push(next);
+            parents.push(Some((current, action)));
+            let depth = depths[current] + 1;
+            depths.push(depth);
+            stats.depth = stats.depth.max(depth);
+            stats.states += 1;
+            queue.push_back(id);
+        }
+    }
+
+    EpochExploration {
+        stats,
+        violation: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation/apply floor model
+// ---------------------------------------------------------------------------
+
+/// Scenario parameters for the invalidation floor model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloorModelConfig {
+    /// Scenario name for reports.
+    pub name: &'static str,
+    /// Versions the installer tries to cache, in order.
+    pub installs: [u64; 2],
+    /// Floor the invalidator raises the slot to.
+    pub floor: u64,
+    /// Run each logical operation (floor-check + install; raise + unlink)
+    /// as one atomic transition — the per-stripe write lock. When `false`
+    /// every sub-step interleaves freely.
+    pub locked: bool,
+}
+
+impl FloorModelConfig {
+    /// The implementation: writers serialized per stripe. Must hold.
+    pub fn locked() -> Self {
+        FloorModelConfig {
+            name: "floor_locked",
+            installs: [1, 3],
+            floor: 2,
+            locked: true,
+        }
+    }
+
+    /// The stripe lock removed: the floor check and the entry install
+    /// interleave with the invalidator, and an invalidation can be lost.
+    pub fn unlocked() -> Self {
+        FloorModelConfig {
+            name: "floor_unlocked",
+            locked: false,
+            ..Self::locked()
+        }
+    }
+}
+
+/// One interleaving state of the floor model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FloorState {
+    /// Cached version, if any.
+    entry: Option<u64>,
+    /// Admission floor of the slot.
+    floor: u64,
+    /// Index of the installer's next script entry.
+    install_idx: u8,
+    /// Pending split install: `Some((version, passed_checks))` between the
+    /// installer's check and install steps.
+    pending: Option<(u64, bool)>,
+    /// Invalidator program counter: 0 = raise, 1 = unlink, 2 = done.
+    invalidator_pc: u8,
+}
+
+/// One atomic step of the floor model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FloorAction {
+    CheckFloor(u64),
+    Install(u64),
+    InstallAtomic(u64),
+    RaiseFloor,
+    UnlinkOlder,
+    InvalidateAtomic,
+    InvalidateDone,
+}
+
+impl fmt::Display for FloorAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FloorAction::CheckFloor(v) => write!(f, "installer: floor/newer check for v{v}"),
+            FloorAction::Install(v) => write!(f, "installer: install v{v}"),
+            FloorAction::InstallAtomic(v) => write!(f, "installer: check+install v{v} (locked)"),
+            FloorAction::RaiseFloor => write!(f, "invalidator: raise floor"),
+            FloorAction::UnlinkOlder => write!(f, "invalidator: unlink strictly older"),
+            FloorAction::InvalidateAtomic => write!(f, "invalidator: raise+unlink (locked)"),
+            FloorAction::InvalidateDone => write!(f, "invalidator: done"),
+        }
+    }
+}
+
+/// The floor check and newer-cached veto as `CacheStorage::insert`
+/// performs them.
+fn install_allowed(state: &FloorState, version: u64) -> bool {
+    version >= state.floor && state.entry.is_none_or(|cached| version >= cached)
+}
+
+fn floor_successors(
+    state: &FloorState,
+    config: &FloorModelConfig,
+) -> Vec<(FloorAction, FloorState)> {
+    let mut out = Vec::new();
+
+    if let Some((version, ok)) = state.pending {
+        let mut next = state.clone();
+        if ok {
+            next.entry = Some(version);
+        }
+        next.pending = None;
+        next.install_idx += 1;
+        out.push((FloorAction::Install(version), next));
+    } else if (state.install_idx as usize) < config.installs.len() {
+        let version = config.installs[state.install_idx as usize];
+        if config.locked {
+            let mut next = state.clone();
+            if install_allowed(state, version) {
+                next.entry = Some(version);
+            }
+            next.install_idx += 1;
+            out.push((FloorAction::InstallAtomic(version), next));
+        } else {
+            let mut next = state.clone();
+            next.pending = Some((version, install_allowed(state, version)));
+            out.push((FloorAction::CheckFloor(version), next));
+        }
+    }
+
+    match (state.invalidator_pc, config.locked) {
+        (0, true) => {
+            let mut next = state.clone();
+            next.floor = next.floor.max(config.floor);
+            if next.entry.is_some_and(|cached| cached < config.floor) {
+                next.entry = None;
+            }
+            next.invalidator_pc = 2;
+            out.push((FloorAction::InvalidateAtomic, next));
+        }
+        (0, false) => {
+            let mut next = state.clone();
+            next.floor = next.floor.max(config.floor);
+            next.invalidator_pc = 1;
+            out.push((FloorAction::RaiseFloor, next));
+        }
+        (1, _) => {
+            let mut next = state.clone();
+            if next.entry.is_some_and(|cached| cached < config.floor) {
+                next.entry = None;
+            }
+            next.invalidator_pc = 2;
+            out.push((FloorAction::UnlinkOlder, next));
+        }
+        (2, _) => {
+            let mut next = state.clone();
+            next.invalidator_pc = 3;
+            out.push((FloorAction::InvalidateDone, next));
+        }
+        _ => {}
+    }
+
+    out
+}
+
+/// Exhaustive BFS over the invalidation/apply race, checking that once the
+/// invalidation has completed the slot never holds a version below its
+/// floor (no invalidation lost).
+pub fn explore_floor(config: &FloorModelConfig) -> EpochExploration {
+    let initial = FloorState {
+        entry: None,
+        floor: 0,
+        install_idx: 0,
+        pending: None,
+        invalidator_pc: 0,
+    };
+    let mut states = vec![initial.clone()];
+    let mut index: HashMap<FloorState, usize> = HashMap::from([(initial, 0)]);
+    let mut parents: Vec<Option<(usize, FloorAction)>> = vec![None];
+    let mut depths = vec![0usize];
+    let mut queue = VecDeque::from([0usize]);
+    let mut stats = EpochStats {
+        states: 1,
+        ..EpochStats::default()
+    };
+
+    while let Some(current) = queue.pop_front() {
+        let state = states[current].clone();
+        for (action, next) in floor_successors(&state, config) {
+            stats.transitions += 1;
+            let lost = next.invalidator_pc >= 3
+                && next.entry.is_some_and(|cached| cached < config.floor);
+            if lost {
+                let cached = next.entry.expect("violation requires a cached entry");
+                let description = format!(
+                    "invalidation to floor {} lost: slot still caches v{} after completion",
+                    config.floor, cached
+                );
+                let mut trace = vec![action.to_string()];
+                let mut at = current;
+                while let Some((parent, step)) = parents[at] {
+                    trace.push(step.to_string());
+                    at = parent;
+                }
+                trace.reverse();
+                return EpochExploration {
+                    stats,
+                    violation: Some(EpochViolation { description, trace }),
+                };
+            }
+            if index.contains_key(&next) {
+                continue;
+            }
+            let id = states.len();
+            index.insert(next.clone(), id);
+            states.push(next);
+            parents.push(Some((current, action)));
+            let depth = depths[current] + 1;
+            depths.push(depth);
+            stats.depth = stats.depth.max(depth);
+            stats.states += 1;
+            queue.push_back(id);
+        }
+    }
+
+    EpochExploration {
+        stats,
+        violation: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faithful_protocol_is_safe_and_exercises_reclamation() {
+        let result = explore_epoch(&EpochModelConfig::faithful());
+        assert!(
+            result.violation.is_none(),
+            "faithful protocol violated: {:?}",
+            result.violation
+        );
+        assert!(!result.stats.truncated, "exploration must be exhaustive");
+        assert!(
+            result.stats.reclaims > 0,
+            "the invariant must be exercised, not vacuous"
+        );
+    }
+
+    #[test]
+    fn ungated_advance_is_caught() {
+        let result = explore_epoch(&EpochModelConfig::ungated_advance());
+        let violation = result.violation.expect("ungated advance must violate");
+        assert!(
+            violation.description.contains("reclaimed node"),
+            "unexpected violation: {violation}"
+        );
+        assert!(!violation.trace.is_empty());
+    }
+
+    #[test]
+    fn short_grace_is_caught() {
+        let result = explore_epoch(&EpochModelConfig::short_grace());
+        assert!(
+            result.violation.is_some(),
+            "grace 1 must allow a use-after-reclaim"
+        );
+    }
+
+    #[test]
+    fn locked_floor_never_loses_an_invalidation() {
+        let result = explore_floor(&FloorModelConfig::locked());
+        assert!(
+            result.violation.is_none(),
+            "locked floor violated: {:?}",
+            result.violation
+        );
+        assert!(!result.stats.truncated);
+    }
+
+    #[test]
+    fn unlocked_floor_loses_the_race() {
+        let result = explore_floor(&FloorModelConfig::unlocked());
+        let violation = result.violation.expect("split check/install must lose");
+        assert!(violation.description.contains("lost"));
+    }
+}

@@ -37,12 +37,17 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod config;
+pub mod epoch;
 pub mod explore;
 pub mod invariant;
 pub mod oracle;
 pub mod state;
 
 pub use config::{CachePolicyKind, FaultBudget, ModelConfig, ModelRecovery, ReadScript};
+pub use epoch::{
+    explore_epoch, explore_floor, EpochExploration, EpochModelConfig, EpochStats, EpochViolation,
+    FloorModelConfig,
+};
 pub use explore::{explore, minimize, replay, Exploration, ExploreOptions, ExploreStats, Replay};
 pub use invariant::{InvariantChecker, InvariantKind, InvariantViolation};
 pub use oracle::{

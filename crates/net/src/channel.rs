@@ -87,13 +87,14 @@ impl ChannelStats {
     }
 
     /// Accumulates another channel's counters into this one (used to build
-    /// the aggregate view over a multi-cache fan-out).
+    /// the aggregate view over a multi-cache fan-out). Sums saturate
+    /// instead of wrapping so long sweeps cannot corrupt aggregates.
     pub fn merge(&mut self, other: ChannelStats) {
-        self.sent += other.sent;
-        self.dropped += other.dropped;
-        self.delivered += other.delivered;
-        self.overflowed += other.overflowed;
-        self.stalled += other.stalled;
+        self.sent = self.sent.saturating_add(other.sent);
+        self.dropped = self.dropped.saturating_add(other.dropped);
+        self.delivered = self.delivered.saturating_add(other.delivered);
+        self.overflowed = self.overflowed.saturating_add(other.overflowed);
+        self.stalled = self.stalled.saturating_add(other.stalled);
     }
 }
 

@@ -119,12 +119,13 @@ impl DeliveryStatsSnapshot {
         }
     }
 
-    /// Accumulates another task's counters into this one.
+    /// Accumulates another task's counters into this one. Sums saturate
+    /// instead of wrapping so long sweeps cannot corrupt aggregates.
     pub fn merge(&mut self, other: DeliveryStatsSnapshot) {
-        self.offered += other.offered;
-        self.dropped += other.dropped;
-        self.delivered += other.delivered;
-        self.delay_micros += other.delay_micros;
+        self.offered = self.offered.saturating_add(other.offered);
+        self.dropped = self.dropped.saturating_add(other.dropped);
+        self.delivered = self.delivered.saturating_add(other.delivered);
+        self.delay_micros = self.delay_micros.saturating_add(other.delay_micros);
     }
 }
 
@@ -166,13 +167,31 @@ pub struct DeliveryTask {
     /// a fault plan's delay spike, adjustable while the task runs. Zero
     /// restores the configured latency model untouched.
     pub extra_delay_micros: Arc<AtomicU64>,
+    /// Maximum messages drained and applied per wakeup before the task
+    /// cooperatively yields back to the reactor so sibling caches get a
+    /// turn. Clamped to at least 1; [`DEFAULT_BATCH_BUDGET`] is the tuned
+    /// default.
+    pub batch_budget: usize,
 }
 
+/// Default per-poll apply budget of a delivery task: large enough that a
+/// backlog is drained in a handful of wakeups, small enough that one hot
+/// cache cannot monopolise the shared reactor thread.
+pub const DEFAULT_BATCH_BUDGET: usize = 64;
+
 /// Runs one cache's modeled delivery loop until its pipe disconnects:
-/// pop → (hold while `task.paused`) → draw the drop decision → sleep the
-/// sampled delay on `timer` → `apply`. Spawn the returned future onto a
-/// [`Reactor`](crate::reactor::Reactor) — one task per cache, every task
+/// drain a batch → per message (hold while `task.paused`) → draw the drop
+/// decision → sleep the sampled delay on `timer` → `apply`. One wakeup
+/// services up to [`DeliveryTask::batch_budget`] messages; if backlog
+/// remains after a full batch the task cooperatively yields so sibling
+/// caches on the shared reactor get a turn. Spawn the returned future onto
+/// a [`Reactor`](crate::reactor::Reactor) — one task per cache, every task
 /// multiplexed on the same reactor thread.
+///
+/// Accounting counts every drained message individually: `offered` /
+/// `dropped` / `delivered` advance per message inside the batch, so the
+/// live plane's quiesce condition (`processed() == pipe received`) holds
+/// regardless of how the backlog was chunked into batches.
 pub async fn run_delivery<T, F>(rx: PipeReceiver<T>, timer: TimerHandle, task: DeliveryTask, mut apply: F)
 where
     F: FnMut(T),
@@ -184,6 +203,7 @@ where
         counters,
         paused,
         extra_delay_micros,
+        batch_budget,
     } = task;
     let mut loss = LossState::new(model.loss);
     let mut loss_rng = StdRng::seed_from_u64(loss_seed);
@@ -193,37 +213,51 @@ where
     // random models whose integer-microsecond mean rounds to zero (e.g.
     // Uniform { 0, 1 µs }) even though they are configured to delay.
     let zero_delay = model.latency == LatencyModel::Constant(SimDuration::ZERO);
-    while let Some(message) = rx.recv_async().await {
-        // A paused cache applies nothing: the popped message is held here
-        // (the rest of the backlog stays in the pipe, where the overflow
-        // policy governs it) until resume. Polling keeps the task simple —
-        // pause is a modeling facility and a 1 ms cycle bounds resume
-        // latency.
-        while paused.load(Ordering::Acquire) {
-            timer.sleep(std::time::Duration::from_millis(1)).await;
+    let budget = batch_budget.max(1);
+    let mut batch: Vec<T> = Vec::with_capacity(budget.min(1024));
+    loop {
+        let drained = rx.recv_batch_async(&mut batch, budget).await;
+        if drained == 0 {
+            return; // Every sender dropped and the pipe is drained.
         }
-        counters.offered.fetch_add(1, Ordering::Release);
-        if loss.should_drop(&mut loss_rng) {
-            counters.dropped.fetch_add(1, Ordering::Release);
-            continue;
+        for message in batch.drain(..) {
+            // A paused cache applies nothing: drained messages are held
+            // here (the rest of the backlog stays in the pipe, where the
+            // overflow policy governs it) until resume. Polling keeps the
+            // task simple — pause is a modeling facility and a 1 ms cycle
+            // bounds resume latency.
+            while paused.load(Ordering::Acquire) {
+                timer.sleep(std::time::Duration::from_millis(1)).await;
+            }
+            counters.offered.fetch_add(1, Ordering::Release);
+            if loss.should_drop(&mut loss_rng) {
+                counters.dropped.fetch_add(1, Ordering::Release);
+                continue;
+            }
+            // The spike surcharge is added *after* sampling, so toggling it
+            // never perturbs the delay RNG stream (and the zero-delay fast
+            // path draws nothing, exactly as without a spike).
+            let extra = SimDuration::from_micros(extra_delay_micros.load(Ordering::Acquire));
+            if !zero_delay || extra > SimDuration::ZERO {
+                let delay = if zero_delay {
+                    extra
+                } else {
+                    model.latency.sample(&mut delay_rng) + extra
+                };
+                timer.sleep_sim(delay).await;
+                counters
+                    .delay_micros
+                    .fetch_add(delay.as_micros(), Ordering::Release);
+            }
+            apply(message);
+            counters.delivered.fetch_add(1, Ordering::Release);
         }
-        // The spike surcharge is added *after* sampling, so toggling it
-        // never perturbs the delay RNG stream (and the zero-delay fast
-        // path draws nothing, exactly as without a spike).
-        let extra = SimDuration::from_micros(extra_delay_micros.load(Ordering::Acquire));
-        if !zero_delay || extra > SimDuration::ZERO {
-            let delay = if zero_delay {
-                extra
-            } else {
-                model.latency.sample(&mut delay_rng) + extra
-            };
-            timer.sleep_sim(delay).await;
-            counters
-                .delay_micros
-                .fetch_add(delay.as_micros(), Ordering::Release);
+        if !rx.is_empty() {
+            // Budget exhausted with backlog remaining: hand the reactor
+            // back to sibling tasks before draining the next batch.
+            rx.note_budget_yield();
+            crate::reactor::yield_now().await;
         }
-        apply(message);
-        counters.delivered.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -252,6 +286,7 @@ mod tests {
                 counters: Arc::clone(&counters),
                 paused: Arc::new(AtomicBool::new(false)),
                 extra_delay_micros: Arc::new(AtomicU64::new(0)),
+                batch_budget: DEFAULT_BATCH_BUDGET,
             },
             move |v| sink.lock().unwrap().push(v),
         ));
@@ -327,6 +362,7 @@ mod tests {
                 counters: Arc::clone(&counters),
                 paused: Arc::clone(&paused),
                 extra_delay_micros: Arc::new(AtomicU64::new(0)),
+                batch_budget: DEFAULT_BATCH_BUDGET,
             },
             move |_| {
                 sink.fetch_add(1, Ordering::Relaxed);

@@ -60,6 +60,10 @@ pub struct PipeStats {
     received: AtomicU64,
     stalled_sends: AtomicU64,
     stall_micros: AtomicU64,
+    batched_polls: AtomicU64,
+    max_drain: AtomicU64,
+    coalesced_wakeups: AtomicU64,
+    budget_yields: AtomicU64,
 }
 
 /// A point-in-time copy of [`PipeStats`].
@@ -79,22 +83,51 @@ pub struct PipeStatsSnapshot {
     /// Total wall-clock time senders spent waiting for slots, in
     /// microseconds.
     pub stall_micros: u64,
+    /// Batch-receive polls ([`PipeReceiver::recv_batch_async`] /
+    /// [`PipeReceiver::drain_into`]) that handed out at least one message.
+    pub batched_polls: u64,
+    /// Largest number of messages a single batch poll drained.
+    pub max_drain: u64,
+    /// Sends that found a wakeup already in flight and skipped firing the
+    /// receiver's waker again (the receiver observes the message in the
+    /// drain the pending wakeup triggers).
+    pub coalesced_wakeups: u64,
+    /// Times the receiver's apply loop exhausted its per-poll budget with
+    /// backlog remaining and cooperatively re-yielded to the reactor
+    /// (reported via [`PipeReceiver::note_budget_yield`]).
+    pub budget_yields: u64,
 }
 
 impl PipeStatsSnapshot {
     /// Messages lost to overflow under either drop policy.
     pub fn overflow_dropped(&self) -> u64 {
-        self.rejected + self.evicted
+        self.rejected.saturating_add(self.evicted)
     }
 
-    /// Accumulates another pipe's counters into this one.
+    /// Mean messages drained per successful batch poll (0 when no batch
+    /// poll has completed).
+    pub fn mean_drain(&self) -> f64 {
+        if self.batched_polls == 0 {
+            0.0
+        } else {
+            self.received as f64 / self.batched_polls as f64
+        }
+    }
+
+    /// Accumulates another pipe's counters into this one. Counter sums
+    /// saturate instead of wrapping so long sweeps cannot corrupt
+    /// aggregates; `max_drain` takes the maximum, not the sum.
     pub fn merge(&mut self, other: PipeStatsSnapshot) {
-        self.enqueued += other.enqueued;
-        self.rejected += other.rejected;
-        self.evicted += other.evicted;
-        self.received += other.received;
-        self.stalled_sends += other.stalled_sends;
-        self.stall_micros += other.stall_micros;
+        self.enqueued = self.enqueued.saturating_add(other.enqueued);
+        self.rejected = self.rejected.saturating_add(other.rejected);
+        self.evicted = self.evicted.saturating_add(other.evicted);
+        self.received = self.received.saturating_add(other.received);
+        self.stalled_sends = self.stalled_sends.saturating_add(other.stalled_sends);
+        self.stall_micros = self.stall_micros.saturating_add(other.stall_micros);
+        self.batched_polls = self.batched_polls.saturating_add(other.batched_polls);
+        self.max_drain = self.max_drain.max(other.max_drain);
+        self.coalesced_wakeups = self.coalesced_wakeups.saturating_add(other.coalesced_wakeups);
+        self.budget_yields = self.budget_yields.saturating_add(other.budget_yields);
     }
 }
 
@@ -108,6 +141,10 @@ impl PipeStats {
             received: self.received.load(Ordering::Relaxed),
             stalled_sends: self.stalled_sends.load(Ordering::Relaxed),
             stall_micros: self.stall_micros.load(Ordering::Relaxed),
+            batched_polls: self.batched_polls.load(Ordering::Relaxed),
+            max_drain: self.max_drain.load(Ordering::Relaxed),
+            coalesced_wakeups: self.coalesced_wakeups.load(Ordering::Relaxed),
+            budget_yields: self.budget_yields.load(Ordering::Relaxed),
         }
     }
 }
@@ -161,8 +198,14 @@ impl<T> PipeSendError<T> {
 
 struct PipeInner<T> {
     queue: VecDeque<T>,
-    /// Waker of a pending [`RecvFuture`], if the receiver is parked.
+    /// Waker of a pending [`RecvFuture`] / [`RecvBatchFuture`], if the
+    /// receiver is parked.
     recv_waker: Option<Waker>,
+    /// A wakeup has been fired but the receiver has not polled since.
+    /// While set, further sends coalesce into the in-flight wakeup instead
+    /// of firing again (the receiver drains the whole backlog when it
+    /// runs). Cleared at the top of every receive poll.
+    wake_pending: bool,
     senders: usize,
     receiver_alive: bool,
 }
@@ -204,12 +247,44 @@ impl<T> PipeShared<T> {
         }
     }
 
+    /// Pops up to `max` messages into `buf`, updating the batch counters
+    /// once for the whole drain and signalling writers once instead of
+    /// per message. Returns the number of messages drained.
+    fn pop_batch(&self, inner: &mut PipeInner<T>, buf: &mut Vec<T>, max: usize) -> usize {
+        let n = inner.queue.len().min(max);
+        if n == 0 {
+            return 0;
+        }
+        buf.extend(inner.queue.drain(..n));
+        self.stats.received.fetch_add(n as u64, Ordering::Relaxed);
+        self.stats.batched_polls.fetch_add(1, Ordering::Relaxed);
+        self.stats.max_drain.fetch_max(n as u64, Ordering::Relaxed);
+        // One notify_all for the whole batch: every blocked sender
+        // re-checks capacity under the lock, so over-notifying is safe and
+        // far cheaper than n notify_one calls.
+        self.not_full.notify_all();
+        n
+    }
+
     /// Enqueues `value` and wakes the receiver (waker first, then the
-    /// condvar), releasing the lock before firing the waker.
+    /// condvar), releasing the lock before firing the waker. If a wakeup is
+    /// already in flight the send coalesces into it: nothing is re-fired
+    /// and the receiver picks this message up in the same drain.
     fn push_and_wake(&self, mut inner: std::sync::MutexGuard<'_, PipeInner<T>>, value: T) {
         inner.queue.push_back(value);
         self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
-        let waker = inner.recv_waker.take();
+        let waker = if inner.wake_pending {
+            self.stats.coalesced_wakeups.fetch_add(1, Ordering::Relaxed);
+            None
+        } else {
+            match inner.recv_waker.take() {
+                Some(w) => {
+                    inner.wake_pending = true;
+                    Some(w)
+                }
+                None => None,
+            }
+        };
         self.not_empty.notify_one();
         drop(inner);
         if let Some(w) = waker {
@@ -257,6 +332,7 @@ pub fn bounded_pipe<T>(
         inner: Mutex::new(PipeInner {
             queue: VecDeque::new(),
             recv_waker: None,
+            wake_pending: false,
             senders: 1,
             receiver_alive: true,
         }),
@@ -293,7 +369,13 @@ impl<T> Drop for PipeSender<T> {
             inner.senders -= 1;
             if inner.senders == 0 {
                 self.shared.not_empty.notify_all();
-                inner.recv_waker.take()
+                match inner.recv_waker.take() {
+                    Some(w) => {
+                        inner.wake_pending = true;
+                        Some(w)
+                    }
+                    None => None,
+                }
             } else {
                 None
             }
@@ -377,6 +459,96 @@ impl<T> PipeSender<T> {
         }
         shared.push_and_wake(inner, value);
         Ok(outcome)
+    }
+
+    /// Sends every message in `batch`, taking the pipe lock once per
+    /// capacity window instead of once per message and firing at most one
+    /// wakeup per window. With room for the whole batch (the common case
+    /// on the invalidation plane, which runs unbounded) that is a single
+    /// lock acquisition and a single wakeup no matter how many messages
+    /// are enqueued — the producer-side complement of
+    /// [`PipeReceiver::recv_batch_async`].
+    ///
+    /// Overflow follows [`PipeSender::send`] per message: `Block` parks
+    /// until a slot frees (the window already enqueued is signalled first,
+    /// so a parked receiver always drains it), `DropNewest` rejects the
+    /// overflowing message, `DropOldest` evicts the head. Returns the
+    /// number of messages enqueued.
+    ///
+    /// # Errors
+    /// Returns [`PipeSendError::Disconnected`] carrying the first
+    /// undelivered message when the receiver is gone; the rest of the
+    /// batch is dropped.
+    pub fn send_batch<I>(&self, batch: I) -> Result<u64, PipeSendError<T>>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        let shared = &self.shared;
+        let mut iter = batch.into_iter();
+        let mut pending: Option<T> = iter.next();
+        let mut total = 0u64;
+        while pending.is_some() {
+            let mut inner = shared.inner.lock().expect("pipe lock");
+            if shared.policy == OverflowPolicy::Block && inner.queue.len() >= shared.capacity {
+                shared.stats.stalled_sends.fetch_add(1, Ordering::Relaxed);
+                let started = Instant::now();
+                while inner.queue.len() >= shared.capacity && inner.receiver_alive {
+                    inner = shared.not_full.wait(inner).expect("pipe lock");
+                }
+                shared.stats.stall_micros.fetch_add(
+                    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    Ordering::Relaxed,
+                );
+            }
+            if !inner.receiver_alive {
+                return Err(PipeSendError::Disconnected(
+                    pending.take().expect("pending message"),
+                ));
+            }
+            let mut window = 0u64;
+            while let Some(value) = pending.take() {
+                if inner.queue.len() >= shared.capacity {
+                    if shared.policy == OverflowPolicy::Block {
+                        // Window closed: signal what we have, then park
+                        // for a slot on the next pass round the loop.
+                        pending = Some(value);
+                        break;
+                    }
+                    if shared.drop_policy_outcome(&mut inner) == SendOutcome::Rejected {
+                        pending = iter.next();
+                        continue;
+                    }
+                    // DropOldest freed a slot; fall through and enqueue.
+                }
+                inner.queue.push_back(value);
+                window += 1;
+                pending = iter.next();
+            }
+            let waker = if window == 0 {
+                None
+            } else {
+                shared.stats.enqueued.fetch_add(window, Ordering::Relaxed);
+                total += window;
+                shared.not_empty.notify_one();
+                if inner.wake_pending {
+                    shared.stats.coalesced_wakeups.fetch_add(1, Ordering::Relaxed);
+                    None
+                } else {
+                    match inner.recv_waker.take() {
+                        Some(w) => {
+                            inner.wake_pending = true;
+                            Some(w)
+                        }
+                        None => None,
+                    }
+                }
+            };
+            drop(inner);
+            if let Some(w) = waker {
+                w.wake();
+            }
+        }
+        Ok(total)
     }
 
     /// Number of messages currently queued.
@@ -463,12 +635,48 @@ impl<T> PipeReceiver<T> {
         out
     }
 
+    /// Drains up to `max` currently-queued messages into `buf` without
+    /// blocking, returning how many were moved. Counters are updated once
+    /// for the whole batch and blocked senders are signalled once — this is
+    /// the cheap path a batch-dequeuing apply task uses.
+    pub fn drain_into(&self, buf: &mut Vec<T>, max: usize) -> usize {
+        let mut inner = self.shared.inner.lock().expect("pipe lock");
+        self.shared.pop_batch(&mut inner, buf, max)
+    }
+
     /// Returns a future resolving to the next message, or `None` once every
     /// sender is dropped and the queue is drained. This is the reactor
     /// integration point: the future registers its [`Waker`] with the pipe
     /// and senders wake it on delivery.
     pub fn recv_async(&self) -> RecvFuture<'_, T> {
         RecvFuture { receiver: self }
+    }
+
+    /// Returns a future that waits until the pipe is non-empty, then drains
+    /// up to `max` messages into `buf` in one poll, resolving to the number
+    /// drained. Resolves to `0` only once every sender is dropped and the
+    /// queue is fully drained. One wakeup services the whole backlog — the
+    /// batch-dequeue half of the reactor apply path.
+    pub fn recv_batch_async<'a>(
+        &'a self,
+        buf: &'a mut Vec<T>,
+        max: usize,
+    ) -> RecvBatchFuture<'a, T> {
+        RecvBatchFuture {
+            receiver: self,
+            buf,
+            max: max.max(1),
+        }
+    }
+
+    /// Records one cooperative budget yield in this pipe's counters: the
+    /// apply loop drained a full budget, saw backlog remaining, and handed
+    /// the reactor back to its sibling tasks.
+    pub fn note_budget_yield(&self) {
+        self.shared
+            .stats
+            .budget_yields
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Returns `true` once every sender has been dropped.
@@ -503,11 +711,41 @@ impl<T> Future for RecvFuture<'_, T> {
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let shared = &self.receiver.shared;
         let mut inner = shared.inner.lock().expect("pipe lock");
+        inner.wake_pending = false;
         if let Some(v) = shared.pop(&mut inner) {
             return Poll::Ready(Some(v));
         }
         if inner.senders == 0 {
             return Poll::Ready(None);
+        }
+        inner.recv_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`PipeReceiver::recv_batch_async`]: resolves to the
+/// number of messages drained into the caller's buffer (`0` means every
+/// sender is gone and the pipe is empty).
+pub struct RecvBatchFuture<'a, T> {
+    receiver: &'a PipeReceiver<T>,
+    buf: &'a mut Vec<T>,
+    max: usize,
+}
+
+impl<T> Future for RecvBatchFuture<'_, T> {
+    type Output = usize;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let shared = &this.receiver.shared;
+        let mut inner = shared.inner.lock().expect("pipe lock");
+        inner.wake_pending = false;
+        let n = shared.pop_batch(&mut inner, this.buf, this.max);
+        if n > 0 {
+            return Poll::Ready(n);
+        }
+        if inner.senders == 0 {
+            return Poll::Ready(0);
         }
         inner.recv_waker = Some(cx.waker().clone());
         Poll::Pending
@@ -531,6 +769,47 @@ mod tests {
         assert_eq!(stats.enqueued, 100);
         assert_eq!(stats.received, 100);
         assert_eq!(stats.overflow_dropped(), 0);
+    }
+
+    #[test]
+    fn send_batch_enqueues_everything_in_one_window() {
+        let (tx, rx) = bounded_pipe::<u64>(UNBOUNDED, OverflowPolicy::Block);
+        assert_eq!(tx.send_batch(0..100), Ok(100));
+        assert_eq!(tx.send_batch(std::iter::empty()), Ok(0));
+        assert_eq!(rx.drain(), (0..100).collect::<Vec<_>>());
+        assert_eq!(tx.stats().enqueued, 100);
+    }
+
+    #[test]
+    fn send_batch_applies_drop_policies_per_message() {
+        let (tx, rx) = bounded_pipe::<u64>(2, OverflowPolicy::DropNewest);
+        assert_eq!(tx.send_batch(0..5), Ok(2), "only the window fits");
+        assert_eq!(rx.drain(), vec![0, 1]);
+        assert_eq!(rx.stats().rejected, 3);
+
+        let (tx, rx) = bounded_pipe::<u64>(2, OverflowPolicy::DropOldest);
+        assert_eq!(tx.send_batch(0..5), Ok(5), "evictions still enqueue");
+        assert_eq!(rx.drain(), vec![3, 4]);
+        assert_eq!(rx.stats().evicted, 3);
+    }
+
+    #[test]
+    fn send_batch_crosses_capacity_windows_under_block() {
+        let (tx, rx) = bounded_pipe::<u64>(4, OverflowPolicy::Block);
+        let handle = std::thread::spawn(move || tx.send_batch(0..64));
+        let mut got = Vec::new();
+        while got.len() < 64 {
+            got.push(rx.recv().expect("sender alive until batch done"));
+        }
+        assert_eq!(handle.join().unwrap(), Ok(64));
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_batch_reports_disconnect_with_first_undelivered() {
+        let (tx, rx) = bounded_pipe::<u64>(UNBOUNDED, OverflowPolicy::Block);
+        drop(rx);
+        assert_eq!(tx.send_batch(7..10), Err(PipeSendError::Disconnected(7)));
     }
 
     #[test]
@@ -690,11 +969,45 @@ mod tests {
             received: 4,
             stalled_sends: 5,
             stall_micros: 6,
+            batched_polls: 2,
+            max_drain: 7,
+            coalesced_wakeups: 8,
+            budget_yields: 9,
         };
         a.merge(a);
         assert_eq!(a.enqueued, 2);
         assert_eq!(a.stall_micros, 12);
         assert_eq!(a.overflow_dropped(), 10);
+        assert_eq!(a.batched_polls, 4);
+        assert_eq!(a.max_drain, 7, "max_drain takes the max, not the sum");
+        assert_eq!(a.coalesced_wakeups, 16);
+        assert_eq!(a.budget_yields, 18);
+    }
+
+    /// Long sweeps aggregate many snapshots; sums must saturate instead of
+    /// wrapping (the satellite fix for u64 counter aggregation).
+    #[test]
+    fn stats_merge_saturates_instead_of_wrapping() {
+        let mut a = PipeStatsSnapshot {
+            enqueued: u64::MAX - 1,
+            rejected: u64::MAX,
+            evicted: u64::MAX,
+            received: u64::MAX - 3,
+            stalled_sends: 1,
+            stall_micros: u64::MAX,
+            batched_polls: u64::MAX,
+            max_drain: 5,
+            coalesced_wakeups: u64::MAX,
+            budget_yields: u64::MAX,
+        };
+        a.merge(a);
+        assert_eq!(a.enqueued, u64::MAX);
+        assert_eq!(a.rejected, u64::MAX);
+        assert_eq!(a.received, u64::MAX);
+        assert_eq!(a.stalled_sends, 2);
+        assert_eq!(a.stall_micros, u64::MAX);
+        assert_eq!(a.overflow_dropped(), u64::MAX, "overflow sum saturates too");
+        assert_eq!(a.max_drain, 5);
     }
 
     #[test]

@@ -29,7 +29,14 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Iterations the run loop spins on [`ReactorShared::ready_hint`] before
+/// parking on the condvar. Tuned to bridge a producer's inter-send gap
+/// (sub-microsecond) without burning meaningful CPU when genuinely idle:
+/// the spin costs a few microseconds once per idle transition, a park
+/// costs two futex syscalls per message under a ping-pong load.
+const SPIN_BEFORE_PARK: u32 = 4096;
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::{Duration, Instant};
@@ -52,7 +59,9 @@ struct ReactorCounters {
     completed: AtomicU64,
     polls: AtomicU64,
     wakes: AtomicU64,
+    coalesced_wakes: AtomicU64,
     timers_fired: AtomicU64,
+    spin_recoveries: AtomicU64,
 }
 
 /// A point-in-time copy of the reactor's counters.
@@ -66,8 +75,16 @@ pub struct ReactorStats {
     pub polls: u64,
     /// Waker fires observed (ready-queue pushes).
     pub wakes: u64,
+    /// Waker fires absorbed by the per-task scheduled flag: the task was
+    /// already enqueued (or mid-poll) so no second ready-queue entry was
+    /// pushed.
+    pub coalesced_wakes: u64,
     /// Timer entries that reached their deadline and woke a task.
     pub timers_fired: u64,
+    /// Idle iterations resolved by the pre-park spin: a waker fired within
+    /// the spin window, so the reactor skipped a condvar park/unpark
+    /// round-trip (each one is two futex syscalls under load).
+    pub spin_recoveries: u64,
 }
 
 struct TimerEntry {
@@ -96,6 +113,10 @@ impl Ord for TimerEntry {
 /// State shared between the reactor thread, task wakers and handles.
 struct ReactorShared {
     ready: Mutex<VecDeque<TaskId>>,
+    /// Lock-free mirror of the ready queue's length, maintained under the
+    /// `ready` lock. The run loop's pre-park spin polls this instead of
+    /// re-taking the lock on every spin iteration.
+    ready_hint: AtomicUsize,
     /// Parks the reactor thread while no task is ready and no timer is due.
     parked: Condvar,
     timers: Mutex<BinaryHeap<Reverse<TimerEntry>>>,
@@ -107,9 +128,8 @@ struct ReactorShared {
 impl ReactorShared {
     fn push_ready(&self, id: TaskId) {
         let mut ready = self.ready.lock().expect("reactor lock");
-        if !ready.contains(&id) {
-            ready.push_back(id);
-        }
+        ready.push_back(id);
+        self.ready_hint.store(ready.len(), Ordering::Release);
         self.counters.wakes.fetch_add(1, Ordering::Relaxed);
         drop(ready);
         self.parked.notify_one();
@@ -118,19 +138,40 @@ impl ReactorShared {
 
 /// Per-task waker: pushes the task onto the ready queue and unparks the
 /// reactor thread. Safe to fire from any thread (pipe senders fire it from
-/// the publishing side).
+/// the publishing side). The `scheduled` flag coalesces wakes: a task
+/// already sitting in the ready queue is not enqueued a second time, so a
+/// burst of N sends costs one ready-queue push and one lock round-trip, not
+/// N contains-scans.
 struct TaskWaker {
     id: TaskId,
     shared: Arc<ReactorShared>,
+    /// Set while the task is enqueued (or about to be polled); cleared by
+    /// the reactor just before each poll so wakes during the poll re-enqueue.
+    scheduled: Arc<AtomicBool>,
+}
+
+impl TaskWaker {
+    fn wake_impl(&self) {
+        if self.scheduled.swap(true, Ordering::AcqRel) {
+            // Already queued or mid-poll: the pending poll observes
+            // whatever this wake was announcing.
+            self.shared
+                .counters
+                .coalesced_wakes
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.shared.push_ready(self.id);
+    }
 }
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.shared.push_ready(self.id);
+        self.wake_impl();
     }
 
     fn wake_by_ref(self: &Arc<Self>) {
-        self.shared.push_ready(self.id);
+        self.wake_impl();
     }
 }
 
@@ -146,6 +187,9 @@ pub struct Reactor {
     /// from the ready queue sit here untouched until a waker fires.
     tasks: HashMap<TaskId, BoxedTask>,
     wakers: HashMap<TaskId, Waker>,
+    /// Per-task scheduled flags shared with the wakers; cleared just before
+    /// each poll so wakes arriving mid-poll re-enqueue the task.
+    scheduled: HashMap<TaskId, Arc<AtomicBool>>,
     next_task: u64,
 }
 
@@ -169,6 +213,7 @@ impl Reactor {
         Reactor {
             shared: Arc::new(ReactorShared {
                 ready: Mutex::new(VecDeque::new()),
+                ready_hint: AtomicUsize::new(0),
                 parked: Condvar::new(),
                 timers: Mutex::new(BinaryHeap::new()),
                 timer_seq: AtomicU64::new(0),
@@ -177,6 +222,7 @@ impl Reactor {
             }),
             tasks: HashMap::new(),
             wakers: HashMap::new(),
+            scheduled: HashMap::new(),
             next_task: 0,
         }
     }
@@ -187,11 +233,14 @@ impl Reactor {
         let id = TaskId(self.next_task);
         self.next_task += 1;
         self.tasks.insert(id, Box::pin(future));
+        let scheduled = Arc::new(AtomicBool::new(true));
         let waker = Waker::from(Arc::new(TaskWaker {
             id,
             shared: Arc::clone(&self.shared),
+            scheduled: Arc::clone(&scheduled),
         }));
         self.wakers.insert(id, waker);
+        self.scheduled.insert(id, scheduled);
         self.shared.counters.spawned.fetch_add(1, Ordering::Relaxed);
         self.shared.push_ready(id);
         id
@@ -260,10 +309,36 @@ impl Reactor {
             // runs land in the next batch.
             let batch: Vec<TaskId> = {
                 let mut ready = self.shared.ready.lock().expect("reactor lock");
-                ready.drain(..).collect()
+                let batch = ready.drain(..).collect();
+                self.shared.ready_hint.store(0, Ordering::Release);
+                batch
             };
 
             if batch.is_empty() {
+                // Briefly spin on the lock-free ready hint before parking:
+                // a producer mid-burst refills the queue within
+                // microseconds, and a park/unpark round-trip (two futex
+                // syscalls) costs far more than the gap it bridges. Only
+                // safe to spin when no timer deadline is pending.
+                if next_deadline.is_none() {
+                    let mut woke = false;
+                    for _ in 0..SPIN_BEFORE_PARK {
+                        if self.shared.ready_hint.load(Ordering::Acquire) > 0
+                            || self.shared.shutdown.load(Ordering::Acquire)
+                        {
+                            woke = true;
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    if woke {
+                        self.shared
+                            .counters
+                            .spin_recoveries
+                            .fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
                 // Nothing ready: park until a waker fires or the next timer
                 // is due.
                 let guard = self.shared.ready.lock().expect("reactor lock");
@@ -292,12 +367,20 @@ impl Reactor {
                 let Some(task) = self.tasks.get_mut(&id) else {
                     continue; // Spurious wake of a completed task.
                 };
+                // Clear the scheduled flag *before* polling: a wake that
+                // arrives mid-poll must re-enqueue the task or its signal
+                // would be lost.
+                self.scheduled
+                    .get(&id)
+                    .expect("scheduled flag exists")
+                    .store(false, Ordering::Release);
                 let waker = self.wakers.get(&id).expect("waker exists").clone();
                 let mut cx = Context::from_waker(&waker);
                 self.shared.counters.polls.fetch_add(1, Ordering::Relaxed);
                 if let Poll::Ready(()) = task.as_mut().poll(&mut cx) {
                     self.tasks.remove(&id);
                     self.wakers.remove(&id);
+                    self.scheduled.remove(&id);
                     self.shared
                         .counters
                         .completed
@@ -341,7 +424,39 @@ impl ReactorHandle {
             completed: c.completed.load(Ordering::Relaxed),
             polls: c.polls.load(Ordering::Relaxed),
             wakes: c.wakes.load(Ordering::Relaxed),
+            coalesced_wakes: c.coalesced_wakes.load(Ordering::Relaxed),
             timers_fired: c.timers_fired.load(Ordering::Relaxed),
+            spin_recoveries: c.spin_recoveries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cooperatively yields the current task: it re-enqueues itself at the back
+/// of the ready queue and resumes only after every other currently-ready
+/// task has been polled. This is how a batch-dequeuing apply task with
+/// backlog left gives its reactor siblings a turn (the budget re-yield).
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            // The reactor cleared this task's scheduled flag before the
+            // poll, so this wake re-enqueues it behind its siblings.
+            cx.waker().wake_by_ref();
+            Poll::Pending
         }
     }
 }

@@ -24,8 +24,8 @@
 //! [`BoundedPipe`]: crate::pipe::bounded_pipe
 
 use crate::pipe::{
-    bounded_pipe, OverflowPolicy, PipeReceiver, PipeSender, PipeStatsSnapshot, RecvFuture,
-    UNBOUNDED,
+    bounded_pipe, OverflowPolicy, PipeReceiver, PipeSender, PipeStatsSnapshot, RecvBatchFuture,
+    RecvFuture, UNBOUNDED,
 };
 use tcache_db::Invalidation;
 
@@ -123,6 +123,18 @@ impl LiveReceiver {
     /// thread.
     pub fn recv_async(&self) -> RecvFuture<'_, Invalidation> {
         self.rx.recv_async()
+    }
+
+    /// Asynchronously waits for traffic, then drains up to `max` queued
+    /// invalidations into `buf` in one poll; resolves to the number drained
+    /// (`0` once every sender is dropped and the queue is empty). The
+    /// batch-dequeue counterpart of [`LiveReceiver::recv_async`].
+    pub fn recv_batch_async<'a>(
+        &'a self,
+        buf: &'a mut Vec<Invalidation>,
+        max: usize,
+    ) -> RecvBatchFuture<'a, Invalidation> {
+        self.rx.recv_batch_async(buf, max)
     }
 
     /// Number of invalidations currently queued.

@@ -30,6 +30,7 @@
 
 pub mod config;
 pub mod dependency;
+pub mod epoch;
 pub mod entry;
 pub mod error;
 pub mod ids;
@@ -42,6 +43,7 @@ pub mod value;
 pub use config::{CachePolicyConfig, DependencyBound, RecoveryPolicy, Strategy, TtlConfig};
 pub use dependency::{DependencyEntry, DependencyList};
 pub use entry::{ObjectEntry, VersionedObject};
+pub use epoch::{EpochDomain, EpochGuard, EpochStats};
 pub use error::{ConflictReason, TCacheError, TCacheResult};
 pub use ids::{CacheId, ClientId, ObjectId, TxnId, Version};
 pub use protocol::{format_trace, ProtocolAction, ProtocolTrace};
