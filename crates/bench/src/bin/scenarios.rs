@@ -1,0 +1,292 @@
+//! The open-loop scenario engine experiment: the five-scenario catalog —
+//! hot-key storm, flash crowd, diurnal curve, invalidation stampede,
+//! cache churn — executed on the live lockstep plane, with modeled client
+//! latency quantiles (p50/p99/p999) per scenario and per cache, plus the
+//! star-vs-two-tier invalidation topology comparison.
+//!
+//! The whole figure is a deterministic function of `(duration, seed)`:
+//! the bin runs it **twice** and asserts the two `ScenarioFigure`s are
+//! bit-identical — verdicts, drop counts and histogram quantiles — so CI
+//! fails loudly if replay determinism regresses. It also asserts the
+//! two-tier tree cuts the database's publisher fan-out without changing
+//! any leaf's verdicts.
+//!
+//! Results are merged into `BENCH_hotpath.json` as a `"scenarios"`
+//! section (the rest of the file is left untouched) and appended to
+//! `BENCH_history.jsonl` as a `"scenarios_quick"`-keyed row, with a delta
+//! report against the previous scenarios row of the same regime.
+//!
+//! Flags: `--quick` (short run), `--seed <n>`, `--out <path>`,
+//! `--history <path>`.
+
+use tcache_bench::{git_short_sha, history_comparison, pct, RunOptions};
+use tcache_sim::figures::{scenarios, ScenarioFigure, SCENARIO_CACHES};
+
+/// Splices the scenarios section into the hotpath JSON: replaces a
+/// previous `"scenarios"` section if one is present (it is always the
+/// final section, appended by this bin), otherwise extends the object —
+/// or starts a fresh file when `bench_hotpath` has not run yet.
+fn merge_into_hotpath_json(existing: Option<&str>, section: &str) -> String {
+    const MARKER: &str = "\n  \"scenarios\":";
+    let Some(existing) = existing else {
+        return format!("{{{MARKER} {section}\n}}\n");
+    };
+    let body = match existing.find(MARKER) {
+        Some(at) => existing[..at].trim_end(),
+        None => existing
+            .trim_end()
+            .strip_suffix('}')
+            .unwrap_or(existing)
+            .trim_end(),
+    };
+    let body = body.strip_suffix(',').unwrap_or(body);
+    if body == "{" || body.is_empty() {
+        format!("{{{MARKER} {section}\n}}\n")
+    } else {
+        format!("{body},{MARKER} {section}\n}}\n")
+    }
+}
+
+fn render_section(figure: &ScenarioFigure, secs: f64) -> String {
+    let rows: Vec<String> = figure
+        .rows
+        .iter()
+        .map(|row| {
+            format!(
+                "      {{ \"scenario\": \"{}\", \"reads\": {}, \"updates\": {}, \
+                 \"inconsistency_pct\": {:.3}, \"abort_pct\": {:.3}, \
+                 \"degraded_pct\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \
+                 \"p999_us\": {}, \"dropped\": {} }}",
+                row.scenario,
+                row.reads,
+                row.updates,
+                row.inconsistency_pct,
+                row.abort_pct,
+                row.degraded_pct,
+                row.p50_us,
+                row.p99_us,
+                row.p999_us,
+                row.dropped
+            )
+        })
+        .collect();
+    format!(
+        "{{\n    \"schedule_secs\": {secs},\n    \"caches\": {SCENARIO_CACHES},\n    \
+         \"star_fanout\": {},\n    \"two_tier_fanout\": {},\n    \
+         \"star_inconsistency_pct\": {:.3},\n    \
+         \"two_tier_inconsistency_pct\": {:.3},\n    \
+         \"two_tier_matches_star\": {},\n    \"rows\": [\n{}\n    ]\n  }}",
+        figure.star_fanout,
+        figure.two_tier_fanout,
+        figure.star_inconsistency_pct,
+        figure.two_tier_inconsistency_pct,
+        figure.two_tier_matches_star,
+        rows.join(",\n")
+    )
+}
+
+fn main() {
+    let options = RunOptions::from_env();
+    let mut out = String::from("BENCH_hotpath.json");
+    let mut history = String::from("BENCH_history.jsonl");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                if let Some(path) = args.next() {
+                    out = path;
+                }
+            }
+            "--history" => {
+                if let Some(path) = args.next() {
+                    history = path;
+                }
+            }
+            _ => {}
+        }
+    }
+    let duration = options.duration(20, 3);
+
+    println!(
+        "scenario engine: 5-scenario catalog, {SCENARIO_CACHES} caches, live lockstep plane, \
+         {}s schedule (seed {})",
+        duration.as_secs_f64(),
+        options.seed
+    );
+    let figure = scenarios(duration, options.seed);
+    // Replay determinism is the tentpole promise: the identical call must
+    // reproduce every verdict and every histogram quantile bit for bit.
+    let replay = scenarios(duration, options.seed);
+    assert_eq!(
+        figure, replay,
+        "the scenario engine must be bit-identical under replay (same seed, same figure)"
+    );
+
+    println!(
+        "{:>14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "scenario", "reads", "updates", "incons", "abort", "degraded", "p50us", "p99us",
+        "p999us", "dropped"
+    );
+    for row in &figure.rows {
+        println!(
+            "{:>14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            row.scenario,
+            row.reads,
+            row.updates,
+            pct(row.inconsistency_pct),
+            pct(row.abort_pct),
+            pct(row.degraded_pct),
+            row.p50_us,
+            row.p99_us,
+            row.p999_us,
+            row.dropped
+        );
+    }
+    println!("\nper-cache latency tails:");
+    println!(
+        "{:>14} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "scenario", "cache", "reads", "incons", "p50us", "p99us", "p999us"
+    );
+    for row in &figure.per_cache {
+        println!(
+            "{:>14} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            row.scenario,
+            row.cache,
+            row.reads,
+            pct(row.inconsistency_pct),
+            row.p50_us,
+            row.p99_us,
+            row.p999_us
+        );
+    }
+    println!(
+        "\ninvalidation topology: star publishes to {} caches, two-tier to {} roots \
+         (inconsistency {} vs {}, leaf verdicts identical: {})",
+        figure.star_fanout,
+        figure.two_tier_fanout,
+        pct(figure.star_inconsistency_pct),
+        pct(figure.two_tier_inconsistency_pct),
+        figure.two_tier_matches_star
+    );
+
+    // Sanity guards so CI fails loudly (the bin runs with --quick on
+    // every push).
+    for row in &figure.rows {
+        assert!(row.reads > 0, "{}: scenarios must generate traffic", row.scenario);
+        assert!(
+            row.p50_us <= row.p99_us && row.p99_us <= row.p999_us,
+            "{}: latency quantiles must be ordered",
+            row.scenario
+        );
+        assert!(row.p999_us > 0, "{}: the latency histograms must be populated", row.scenario);
+    }
+    assert!(
+        figure.two_tier_fanout < figure.star_fanout,
+        "the two-tier tree must cut the database's publisher fan-out \
+         ({} vs {})",
+        figure.two_tier_fanout,
+        figure.star_fanout
+    );
+    assert!(
+        figure.two_tier_matches_star,
+        "lossless regional parents must leave every leaf's verdicts and drops unchanged"
+    );
+
+    let existing = std::fs::read_to_string(&out).ok();
+    let merged = merge_into_hotpath_json(existing.as_deref(), &render_section(&figure, duration.as_secs_f64()));
+    std::fs::write(&out, merged).expect("write BENCH_hotpath.json");
+    println!("\nmerged scenarios section into {out}");
+
+    // The tracked trajectory: one git-SHA-stamped row per run. The marker
+    // key is `scenarios_quick` (not `quick`) so `bench_hotpath`'s own
+    // history scan never mistakes a scenarios row for a hotpath row, and
+    // vice versa; each bin compares like with like against the most
+    // recent previous row of its own kind and regime.
+    let regime = u64::from(options.quick) as f64;
+    let mut current: Vec<(String, f64)> = vec![("scenarios_quick".to_string(), regime)];
+    for row in &figure.rows {
+        current.push((format!("{}_reads", row.scenario), row.reads as f64));
+        current.push((
+            format!("{}_inconsistency_pct", row.scenario),
+            row.inconsistency_pct,
+        ));
+        current.push((format!("{}_p99_us", row.scenario), row.p99_us as f64));
+        current.push((format!("{}_p999_us", row.scenario), row.p999_us as f64));
+    }
+    current.push(("two_tier_fanout".to_string(), figure.two_tier_fanout as f64));
+    current.push((
+        "two_tier_matches_star".to_string(),
+        f64::from(figure.two_tier_matches_star),
+    ));
+    let current_refs: Vec<(&str, f64)> = current
+        .iter()
+        .map(|(key, value)| (key.as_str(), *value))
+        .collect();
+    let previous = std::fs::read_to_string(&history).ok().and_then(|contents| {
+        contents
+            .lines()
+            .rev()
+            .find(|line| {
+                tcache_bench::parse_flat_numbers(line)
+                    .iter()
+                    .any(|(key, value)| key == "scenarios_quick" && *value == regime)
+            })
+            .map(String::from)
+    });
+    let sha = git_short_sha();
+    let row = format!(
+        "{{\"sha\": \"{sha}\", {}}}\n",
+        current_refs
+            .iter()
+            // Three decimals: the inconsistency percentages live in the
+            // single digits, where one-decimal rounding would show phantom
+            // deltas between identical runs.
+            .map(|(key, value)| format!("\"{key}\": {value:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    use std::io::Write;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history)
+        .and_then(|mut file| file.write_all(row.as_bytes()))
+        .expect("append bench history row");
+    println!("appended {history} row for {sha}");
+    match previous.as_deref().and_then(|prev| history_comparison(prev, &current_refs)) {
+        Some(report) => println!("{report}"),
+        None => println!(
+            "(no previous {} scenarios row to compare against)",
+            if options.quick { "quick" } else { "full-run" }
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::merge_into_hotpath_json;
+
+    #[test]
+    fn merge_starts_a_fresh_file_and_is_idempotent() {
+        let first = merge_into_hotpath_json(None, "{ \"x\": 1 }");
+        assert_eq!(first, "{\n  \"scenarios\": { \"x\": 1 }\n}\n");
+        // Re-merging replaces the section instead of duplicating it.
+        let second = merge_into_hotpath_json(Some(&first), "{ \"x\": 2 }");
+        assert_eq!(second, "{\n  \"scenarios\": { \"x\": 2 }\n}\n");
+    }
+
+    #[test]
+    fn merge_extends_an_existing_hotpath_file_and_replaces_on_rerun() {
+        let hotpath = "{\n  \"bench\": \"hotpath\",\n  \"speedup\": 2.5\n}\n";
+        let merged = merge_into_hotpath_json(Some(hotpath), "{ \"x\": 1 }");
+        assert_eq!(
+            merged,
+            "{\n  \"bench\": \"hotpath\",\n  \"speedup\": 2.5,\n  \"scenarios\": { \"x\": 1 }\n}\n"
+        );
+        let again = merge_into_hotpath_json(Some(&merged), "{ \"x\": 2 }");
+        assert_eq!(
+            again,
+            "{\n  \"bench\": \"hotpath\",\n  \"speedup\": 2.5,\n  \"scenarios\": { \"x\": 2 }\n}\n"
+        );
+    }
+}

@@ -60,6 +60,7 @@ pub struct SystemBuilder {
     invalidation_log_capacity: usize,
     recovery_policy: RecoveryPolicy,
     publish_retry: RetryPolicy,
+    cache_parents: Option<Vec<Option<CacheId>>>,
 }
 
 impl Default for SystemBuilder {
@@ -85,8 +86,24 @@ impl Default for SystemBuilder {
             invalidation_log_capacity: DatabaseConfig::default().invalidation_log_capacity,
             recovery_policy: RecoveryPolicy::None,
             publish_retry: RetryPolicy::default(),
+            cache_parents: None,
         }
     }
+}
+
+/// The parent map of a regular two-tier topology: `roots` root caches
+/// (indices `0..roots`) followed by `roots × leaves_per_root` leaf caches
+/// assigned to their parents round-robin — leaf `i` subscribes through
+/// root `i % roots`. Feed the result to
+/// [`SystemBuilder::cache_parents`]; the total cache count is
+/// `roots + roots × leaves_per_root`.
+pub fn two_tier_parents(roots: usize, leaves_per_root: usize) -> Vec<Option<CacheId>> {
+    assert!(roots > 0, "a tree needs at least one root");
+    let mut parents = vec![None; roots];
+    for leaf in 0..roots * leaves_per_root {
+        parents.push(Some(CacheId((leaf % roots) as u32)));
+    }
+    parents
 }
 
 impl SystemBuilder {
@@ -278,6 +295,20 @@ impl SystemBuilder {
         self
     }
 
+    /// Arranges the caches into a two-tier invalidation tree: entry `i`
+    /// names the *root* cache that leaf cache `i` subscribes through
+    /// (`None` makes cache `i` a root). The database then publishes each
+    /// committed batch only to the roots, whose delivery tasks relay what
+    /// they apply into their children's pipes — shrinking the root
+    /// publisher's fan-out from "every cache" to "every root" (see
+    /// [`two_tier_parents`] for the regular layout). Requires
+    /// [`DeliveryMode::Modeled`]; the tree is one level deep (a parent
+    /// must itself be a root).
+    pub fn cache_parents(mut self, parents: Vec<Option<CacheId>>) -> Self {
+        self.cache_parents = Some(parents);
+        self
+    }
+
     /// Selects the backend store's read path: the seqlock-validated
     /// optimistic path ([`ReadPath::Optimistic`], the default — cache
     /// misses never block behind installing writers) or the historical
@@ -381,6 +412,15 @@ impl SystemBuilder {
                 models,
                 seed: self.seed,
                 retry: self.publish_retry,
+                parents: self
+                    .cache_parents
+                    .map(|parents| {
+                        parents
+                            .into_iter()
+                            .map(|p| p.map(|id| id.0 as usize))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
             },
         )
     }

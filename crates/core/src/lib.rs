@@ -70,7 +70,7 @@ pub mod prelude;
 pub mod system;
 pub mod transport;
 
-pub use builder::SystemBuilder;
+pub use builder::{two_tier_parents, SystemBuilder};
 pub use system::{CacheNodeStats, ReadOutcome, SystemStats, TCacheSystem};
 pub use transport::{DeliveryMode, RetryPolicy, TransportMode};
 

@@ -54,6 +54,9 @@ pub struct TCacheSystem {
     delivery: DeliveryMode,
     /// Present iff `mode == TransportMode::Reactor`.
     reactor: Option<ReactorPlane>,
+    /// `parents[i]` is the cache index leaf `i` subscribes through in the
+    /// two-tier topology; all-`None` in the flat star.
+    parents: Vec<Option<usize>>,
 }
 
 /// How the builder wires a [`TCacheSystem`] together: transport and
@@ -68,6 +71,9 @@ pub(crate) struct SystemWiring {
     pub(crate) models: Vec<DeliveryModel>,
     pub(crate) seed: u64,
     pub(crate) retry: RetryPolicy,
+    /// `parents[i]` names the cache index leaf `i` subscribes through
+    /// (two-tier fan-out); all-`None` is the flat star topology.
+    pub(crate) parents: Vec<Option<usize>>,
 }
 
 /// One cache server's slice of a [`SystemStats`] snapshot.
@@ -116,6 +122,29 @@ impl TCacheSystem {
         assert!(!caches.is_empty(), "a system needs at least one cache");
         debug_assert_eq!(caches.len(), fanout.cache_count());
         debug_assert_eq!(caches.len(), wiring.models.len());
+        let parents = if wiring.parents.is_empty() {
+            vec![None; caches.len()]
+        } else {
+            wiring.parents
+        };
+        assert_eq!(parents.len(), caches.len(), "one parent slot per cache");
+        let two_tier = parents.iter().any(Option::is_some);
+        if two_tier {
+            assert_eq!(
+                wiring.delivery,
+                DeliveryMode::Modeled,
+                "two-tier fan-out needs the modeled reactor pipeline"
+            );
+            for (leaf, parent) in parents.iter().enumerate() {
+                if let Some(p) = *parent {
+                    assert!(p < caches.len() && p != leaf, "parent index valid");
+                    assert!(
+                        parents[p].is_none(),
+                        "a parent must itself be a root (one-level tree)"
+                    );
+                }
+            }
+        }
         let reactor = match wiring.mode {
             TransportMode::Threaded => None,
             TransportMode::Reactor => Some(ReactorPlane::new(
@@ -124,16 +153,23 @@ impl TCacheSystem {
                 wiring.overflow_policy,
                 &wiring.models,
                 wiring.seed,
+                &parents,
             )),
         };
         if wiring.delivery == DeliveryMode::Modeled {
             // The live plane: wire the database's commit-path upcall (§IV)
-            // straight into each cache's delivery pipe. The reactor task on
-            // the other end applies the cache's loss / latency models.
+            // straight into each *root* cache's delivery pipe. The reactor
+            // task on the other end applies the cache's loss / latency
+            // models; in the two-tier topology it also relays what it
+            // applies into its children's pipes, so leaves never appear in
+            // the publisher's fan-out list at all.
             let plane = reactor
                 .as_ref()
                 .expect("builder enforces Reactor transport for modeled delivery");
             for (index, cache) in caches.iter().enumerate() {
+                if parents[index].is_some() {
+                    continue;
+                }
                 db.register_reporting_invalidation_upcall(
                     cache.id(),
                     modeled_delivery_sink(
@@ -155,6 +191,7 @@ impl TCacheSystem {
             mode: wiring.mode,
             delivery: wiring.delivery,
             reactor,
+            parents,
         }
     }
 
@@ -196,6 +233,31 @@ impl TCacheSystem {
     /// The deployed cache ids, in order.
     pub fn cache_ids(&self) -> impl Iterator<Item = CacheId> + '_ {
         self.caches.iter().map(|c| c.id())
+    }
+
+    /// The parent a cache subscribes through in the two-tier topology, or
+    /// `None` if it is a root (every cache is a root in the flat star).
+    pub fn cache_parent(&self, id: CacheId) -> Option<CacheId> {
+        self.parents
+            .get(id.0 as usize)
+            .copied()
+            .flatten()
+            .map(|index| self.caches[index].id())
+    }
+
+    /// Number of sinks the database publishes each committed batch to —
+    /// every cache in the flat star, only the root caches in the two-tier
+    /// topology. This is the root publisher's fan-out, the quantity the
+    /// tree exists to shrink.
+    pub fn publisher_fanout(&self) -> usize {
+        self.parents.iter().filter(|p| p.is_none()).count()
+    }
+
+    /// Relay sends dropped on the parent→leaf hop because a leaf's bounded
+    /// pipe was full; zero under the default unbounded capacity (and
+    /// always zero in the flat star, which has no relay hop).
+    pub fn relay_overflows(&self) -> u64 {
+        self.reactor.as_ref().map_or(0, |p| p.relay_overflows())
     }
 
     /// The current virtual time of the system.
@@ -644,18 +706,31 @@ impl TCacheSystem {
                         channel
                     }
                     (None, Some(publishes)) => {
-                        let publish = publishes
-                            .iter()
-                            .find(|(id, _)| *id == cache.id())
-                            .map(|&(_, stats)| stats)
-                            .unwrap_or_default();
-                        ChannelStats {
-                            // Severed publishes never reached the link.
-                            sent: publish.invalidations.saturating_sub(publish.severed),
-                            dropped: delivery.dropped,
-                            delivered: delivery.delivered,
-                            overflowed: publish.overflowed,
-                            stalled: publish.stalled_publishes,
+                        if self.parents[index].is_some() {
+                            // A two-tier leaf has no publisher upcall: its
+                            // link is fed by the parent's relay, so `sent`
+                            // is what the relay put into its pipe.
+                            ChannelStats {
+                                sent: delivery.offered,
+                                dropped: delivery.dropped,
+                                delivered: delivery.delivered,
+                                overflowed: 0,
+                                stalled: 0,
+                            }
+                        } else {
+                            let publish = publishes
+                                .iter()
+                                .find(|(id, _)| *id == cache.id())
+                                .map(|&(_, stats)| stats)
+                                .unwrap_or_default();
+                            ChannelStats {
+                                // Severed publishes never reached the link.
+                                sent: publish.invalidations.saturating_sub(publish.severed),
+                                dropped: delivery.dropped,
+                                delivered: delivery.delivered,
+                                overflowed: publish.overflowed,
+                                stalled: publish.stalled_publishes,
+                            }
                         }
                     }
                     (None, None) => unreachable!("one channel source per delivery mode"),
@@ -843,6 +918,106 @@ mod tests {
         assert!(reactor.wakes > 0);
         assert!(system.quiesce(std::time::Duration::from_secs(1)).unwrap());
         assert_eq!(system.quiesce_timeouts(), 0);
+    }
+
+    #[test]
+    fn two_tier_fanout_reaches_each_leaf_exactly_once_through_its_parent() {
+        use crate::builder::two_tier_parents;
+        use crate::transport::DeliveryMode;
+        // Caches 0 and 1 are roots; leaves 2/4 subscribe through 0 and
+        // leaves 3/5 through 1.
+        let system = SystemBuilder::new()
+            .caches(6)
+            .cache_parents(two_tier_parents(2, 2))
+            .transport(TransportMode::Reactor)
+            .delivery(DeliveryMode::Modeled)
+            .invalidation_delay_millis(0)
+            .seed(7)
+            .build();
+        assert_eq!(system.publisher_fanout(), 2, "DB publishes to roots only");
+        assert_eq!(system.cache_parent(CacheId(0)), None);
+        assert_eq!(system.cache_parent(CacheId(2)), Some(CacheId(0)));
+        assert_eq!(system.cache_parent(CacheId(5)), Some(CacheId(1)));
+        system.populate((0..20).map(|i| (ObjectId(i), Value::new(0))));
+
+        system.update(&[ObjectId(1)]).unwrap();
+        assert!(system.quiesce(std::time::Duration::from_secs(5)).unwrap());
+        let stats = system.stats();
+        for node in &stats.per_cache {
+            assert_eq!(
+                node.delivery.delivered, 1,
+                "cache {}: every cache sees the invalidation exactly once",
+                node.id
+            );
+            assert_eq!(node.channel.sent, 1, "cache {}", node.id);
+            assert_eq!(node.channel.dropped, 0, "cache {}", node.id);
+        }
+        assert_eq!(system.relay_overflows(), 0);
+
+        // Severing parent 0 (crash) silences exactly its subtree {2, 4};
+        // root 1's subtree keeps receiving.
+        system.crash_cache(CacheId(0), system.now()).unwrap();
+        system.update(&[ObjectId(2)]).unwrap();
+        assert!(system.quiesce(std::time::Duration::from_secs(5)).unwrap());
+        let stats = system.stats();
+        for node in &stats.per_cache {
+            let expected = match node.id.0 {
+                0 | 2 | 4 => 1,
+                _ => 2,
+            };
+            assert_eq!(node.delivery.delivered, expected, "cache {}", node.id);
+        }
+        // Lifecycle counters: the crash is the parent's alone — the leaves
+        // themselves never transitioned.
+        assert_eq!(
+            system.cache(CacheId(0)).unwrap().lifecycle_stats().crashes,
+            1
+        );
+        for leaf in [2u32, 3, 4, 5] {
+            assert_eq!(
+                system
+                    .cache(CacheId(leaf))
+                    .unwrap()
+                    .lifecycle_stats()
+                    .crashes,
+                0,
+                "leaf {leaf}"
+            );
+        }
+
+        // Restarting the parent heals the whole subtree.
+        system.restart_cache(CacheId(0)).unwrap();
+        system.update(&[ObjectId(3)]).unwrap();
+        assert!(system.quiesce(std::time::Duration::from_secs(5)).unwrap());
+        let stats = system.stats();
+        for node in &stats.per_cache {
+            let expected = match node.id.0 {
+                0 | 2 | 4 => 2,
+                _ => 3,
+            };
+            assert_eq!(node.delivery.delivered, expected, "cache {}", node.id);
+        }
+
+        // The flat star at equal leaf count publishes to every cache.
+        let star = SystemBuilder::new()
+            .caches(6)
+            .transport(TransportMode::Reactor)
+            .delivery(DeliveryMode::Modeled)
+            .invalidation_delay_millis(0)
+            .seed(7)
+            .build();
+        assert_eq!(star.publisher_fanout(), 6);
+        assert!(system.publisher_fanout() < star.publisher_fanout());
+    }
+
+    #[test]
+    #[should_panic(expected = "two-tier fan-out needs the modeled reactor pipeline")]
+    fn two_tier_requires_modeled_delivery() {
+        let _ = SystemBuilder::new()
+            .caches(3)
+            .cache_parents(vec![None, Some(CacheId(0)), Some(CacheId(0))])
+            .transport(TransportMode::Reactor)
+            .build();
     }
 
     #[test]

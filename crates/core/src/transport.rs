@@ -100,6 +100,11 @@ pub(crate) struct ReactorPlane {
     /// settled — nonzero means reads may have observed state a threaded
     /// transport would already have invalidated.
     quiesce_timeouts: AtomicU64,
+    /// Relay sends dropped because a child's bounded pipe was full. The
+    /// relay hop cannot block (parent and child tasks share the reactor
+    /// thread, so a blocking send would deadlock it); with the default
+    /// unbounded capacity this stays zero.
+    relay_overflows: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for ReactorPlane {
@@ -117,48 +122,90 @@ impl ReactorPlane {
     /// [`DeliveryModel::reliable`] for every cache to reproduce the
     /// clocked plane's pass-through behaviour); the task's loss and delay
     /// RNG streams are derived from `(run_seed, CacheId)`.
+    ///
+    /// `parents[i]` turns the fan-out into a tree: when it names another
+    /// cache index, cache `i` is a *leaf* subscribing through that regional
+    /// parent — the database publishes only to root caches, and a parent's
+    /// delivery task relays every invalidation it applies into each
+    /// unsevered child's pipe, where the child's own seeded loss / latency
+    /// model takes over. Construction is two-pass (all pipes first, then
+    /// all tasks) precisely so a parent's closure can capture its
+    /// children's senders. Relays happen *before* the parent's task counts
+    /// the message as delivered, so [`ReactorPlane::quiesce`] can never
+    /// settle with a relay still in flight. A severed parent silences its
+    /// whole subtree; a severed leaf only itself.
     pub(crate) fn new(
         caches: &[Arc<EdgeCache>],
         capacity: usize,
         policy: OverflowPolicy,
         models: &[DeliveryModel],
         run_seed: u64,
+        parents: &[Option<usize>],
     ) -> Self {
         debug_assert_eq!(caches.len(), models.len());
+        debug_assert_eq!(caches.len(), parents.len());
         let mut reactor = Reactor::new();
         let timer = reactor.timer();
+        let relay_overflows = Arc::new(AtomicU64::new(0));
+        // Pass 1: create every pipe and flag so parent tasks can capture
+        // their children's senders and severed flags in pass 2.
         let mut pipes = Vec::with_capacity(caches.len());
+        let mut receivers = Vec::with_capacity(caches.len());
         let mut counters = Vec::with_capacity(caches.len());
         let mut paused = Vec::with_capacity(caches.len());
         let mut severed = Vec::with_capacity(caches.len());
         let mut extra_delays = Vec::with_capacity(caches.len());
-        for (cache, model) in caches.iter().zip(models) {
+        for _ in caches {
             let (tx, rx) = bounded_pipe::<Invalidation>(capacity, policy);
-            let task_counters = Arc::new(DeliveryCounters::default());
-            let pause_flag = Arc::new(AtomicBool::new(false));
-            let severed_flag = Arc::new(AtomicBool::new(false));
-            let extra_delay = Arc::new(AtomicU64::new(0));
+            pipes.push(tx);
+            receivers.push(rx);
+            counters.push(Arc::new(DeliveryCounters::default()));
+            paused.push(Arc::new(AtomicBool::new(false)));
+            severed.push(Arc::new(AtomicBool::new(false)));
+            extra_delays.push(Arc::new(AtomicU64::new(0)));
+        }
+        // Pass 2: spawn one delivery task per cache; a parent's apply
+        // callback also relays into its children's pipes.
+        for (index, (cache, rx)) in caches.iter().zip(receivers).enumerate() {
+            let children: Vec<(PipeSender<Invalidation>, Arc<AtomicBool>)> = parents
+                .iter()
+                .enumerate()
+                .filter(|(_, parent)| **parent == Some(index))
+                .map(|(child, _)| (pipes[child].clone(), Arc::clone(&severed[child])))
+                .collect();
             let id = cache.id();
             let task_cache = Arc::clone(cache);
+            let task_overflows = Arc::clone(&relay_overflows);
             reactor.spawn(run_delivery(
                 rx,
                 timer.clone(),
                 DeliveryTask {
-                    model: *model,
+                    model: models[index],
                     loss_seed: cache_channel_seed(run_seed, id),
                     delay_seed: cache_delay_seed(run_seed, id),
-                    counters: Arc::clone(&task_counters),
-                    paused: Arc::clone(&pause_flag),
-                    extra_delay_micros: Arc::clone(&extra_delay),
+                    counters: Arc::clone(&counters[index]),
+                    paused: Arc::clone(&paused[index]),
+                    extra_delay_micros: Arc::clone(&extra_delays[index]),
                     batch_budget: DEFAULT_BATCH_BUDGET,
                 },
-                move |inv| task_cache.apply_invalidation(inv),
+                move |inv| {
+                    task_cache.apply_invalidation(inv);
+                    for (child_tx, child_severed) in &children {
+                        if child_severed.load(Ordering::Acquire) {
+                            continue;
+                        }
+                        // The relay must not block: parent and child tasks
+                        // share the reactor thread, so waiting on a full
+                        // Block pipe here would deadlock it. With the
+                        // default unbounded capacity this never drops.
+                        if let Err(tcache_net::pipe::PipeSendError::Full(_)) =
+                            child_tx.try_send(inv)
+                        {
+                            task_overflows.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                },
             ));
-            pipes.push(tx);
-            counters.push(task_counters);
-            paused.push(pause_flag);
-            severed.push(severed_flag);
-            extra_delays.push(extra_delay);
         }
         let handle = reactor.handle();
         let thread = std::thread::Builder::new()
@@ -174,6 +221,7 @@ impl ReactorPlane {
             handle,
             thread: Some(thread),
             quiesce_timeouts: AtomicU64::new(0),
+            relay_overflows,
         }
     }
 
@@ -295,6 +343,13 @@ impl ReactorPlane {
     /// The reactor's counters.
     pub(crate) fn reactor_stats(&self) -> ReactorStats {
         self.handle.stats()
+    }
+
+    /// Relay sends dropped because a child's bounded pipe was full (see
+    /// the constructor's two-tier notes); zero under the default unbounded
+    /// pipe capacity.
+    pub(crate) fn relay_overflows(&self) -> u64 {
+        self.relay_overflows.load(Ordering::Relaxed)
     }
 }
 

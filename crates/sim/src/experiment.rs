@@ -17,15 +17,15 @@ use tcache_cache::EdgeCache;
 use tcache_db::{Database, DatabaseConfig};
 use tcache_monitor::ConsistencyMonitor;
 use tcache_net::fanout::{CacheLink, InvalidationFanout};
-use tcache_net::fault::FaultPlan;
+use tcache_net::fault::{FaultEvent, FaultKind, FaultPlan};
 use tcache_net::pipe::OverflowPolicy;
 use tcache_types::{
     CacheId, DependencyBound, ObjectId, RecoveryPolicy, SimDuration, SimTime, Strategy, Value,
 };
 use tcache_workload::graph::GraphKind;
 use tcache_workload::{
-    DriftingClusters, ParetoClusters, PerfectClusters, PhaseShift, RandomWalkWorkload,
-    UniformRandom, WorkloadGenerator,
+    ChurnAction, DriftingClusters, ParetoClusters, PerfectClusters, PhaseShift,
+    RandomWalkWorkload, ScenarioSpec, UniformRandom, WorkloadGenerator,
 };
 
 /// Which workload drives the clients.
@@ -318,6 +318,20 @@ pub struct ExperimentConfig {
     /// delay spikes). Empty by default; both execution planes walk the
     /// same plan with a cursor and apply due events before each operation.
     pub faults: FaultPlan,
+    /// Optional open-loop scenario. When set, the scenario drives the
+    /// transaction schedule instead of [`ExperimentConfig::workload`]:
+    /// keys come from the scenario's deterministic Zipfian sampler, the
+    /// offered read rate follows its load curves, reads are assigned to
+    /// caches by its (possibly shifting) population weights, and its
+    /// crash/restart churn is merged into the fault plan
+    /// ([`ExperimentConfig::effective_faults`]). Pause/resume churn needs
+    /// the live plane's pausable pipes.
+    pub scenario: Option<ScenarioSpec>,
+    /// Optional two-tier invalidation topology: `cache_parents[i]` names
+    /// the regional parent cache leaf `i` subscribes through (`None` makes
+    /// cache `i` a root the database publishes to directly). Live plane
+    /// only — the tree is wired through the reactor's relay fan-out.
+    pub cache_parents: Option<Vec<Option<CacheId>>>,
     /// How caches recover from invalidation-stream gaps and how long a cut
     /// off cache may serve its (possibly stale) store before degrading to
     /// pass-through reads. Applied to every deployed cache.
@@ -354,6 +368,8 @@ impl Default for ExperimentConfig {
             pipe_capacity: None,
             overflow_policy: OverflowPolicy::Block,
             faults: FaultPlan::default(),
+            scenario: None,
+            cache_parents: None,
             recovery: RecoveryPolicy::None,
             timeseries_bin: SimDuration::from_secs(1),
             seed: 42,
@@ -376,6 +392,29 @@ impl ExperimentConfig {
     /// The same configuration, retargeted to another execution plane.
     pub fn on_plane(self, plane: ExecutionPlane) -> Self {
         ExperimentConfig { plane, ..self }
+    }
+
+    /// The fault plan both planes actually walk: the configured
+    /// [`ExperimentConfig::faults`] with the scenario's crash/restart
+    /// churn merged in (pause/resume churn stays outside the plan — it is
+    /// applied through the live plane's pausable pipes instead).
+    pub fn effective_faults(&self) -> FaultPlan {
+        let mut plan = self.faults.clone();
+        if let Some(spec) = &self.scenario {
+            for event in spec.churn_events() {
+                let kind = match event.action {
+                    ChurnAction::Crash => FaultKind::Crash,
+                    ChurnAction::Restart => FaultKind::Restart,
+                    ChurnAction::Pause | ChurnAction::Resume => continue,
+                };
+                plan.push(FaultEvent {
+                    at: event.at,
+                    cache: CacheId(event.cache),
+                    kind,
+                });
+            }
+        }
+        plan
     }
 }
 
@@ -405,15 +444,30 @@ impl Experiment {
     /// monitor) from the configuration and populates the database.
     ///
     /// # Panics
-    /// Panics if the configured [`CacheTopology`] deploys zero caches.
+    /// Panics if the configured [`CacheTopology`] deploys zero caches, or
+    /// if the configuration needs live-plane machinery the discrete plane
+    /// lacks (pause/resume churn, a two-tier `cache_parents` tree).
     pub fn new(config: ExperimentConfig) -> Self {
         assert!(config.caches.cache_count() > 0);
-        let workload = config.workload.build(config.seed);
+        if let Some(spec) = &config.scenario {
+            assert!(
+                !spec.has_pause_churn(),
+                "pause/resume churn needs the live plane's pausable pipes"
+            );
+        }
+        assert!(
+            config.cache_parents.is_none(),
+            "two-tier topology needs the live plane's reactor fan-out"
+        );
+        let object_count = match &config.scenario {
+            Some(spec) => spec.object_count(),
+            None => config.workload.build(config.seed).object_count() as u64,
+        };
         let db = Arc::new(Database::new(DatabaseConfig {
             dependency_bound: config.cache.database_bound(),
             ..DatabaseConfig::default()
         }));
-        db.populate((0..workload.object_count() as u64).map(|i| (ObjectId(i), Value::new(0))));
+        db.populate((0..object_count).map(|i| (ObjectId(i), Value::new(0))));
         let losses = config.caches.losses(config.invalidation_loss);
         let caches: Vec<EdgeCache> = (0..losses.len())
             .map(|i| {

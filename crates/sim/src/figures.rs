@@ -845,6 +845,187 @@ pub fn fault_tolerance(
     rows
 }
 
+/// Number of caches the scenario experiments deploy.
+pub const SCENARIO_CACHES: usize = 4;
+
+/// One scenario's aggregate row: traffic, verdicts and modeled tail
+/// latency over the whole deployment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScenarioRow {
+    /// The scenario's catalog name.
+    pub scenario: String,
+    /// Read-only transactions executed.
+    pub reads: u64,
+    /// Update transactions executed (committed + aborted).
+    pub updates: u64,
+    /// Committed read-only transactions that observed inconsistent data
+    /// (percent).
+    pub inconsistency_pct: f64,
+    /// Read-only transactions aborted by the cache strategy (percent).
+    pub abort_pct: f64,
+    /// Reads served while a cache was degraded to pass-through (percent).
+    pub degraded_pct: f64,
+    /// Median modeled client latency (µs).
+    pub p50_us: u64,
+    /// 99th-percentile modeled client latency (µs).
+    pub p99_us: u64,
+    /// 99.9th-percentile modeled client latency (µs).
+    pub p999_us: u64,
+    /// Invalidations dropped by the delivery tasks.
+    pub dropped: u64,
+}
+
+/// One cache of one scenario: its share of the traffic, its verdicts and
+/// its own latency tail.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScenarioCacheRow {
+    /// The scenario's catalog name.
+    pub scenario: String,
+    /// The cache server.
+    pub cache: u32,
+    /// Read-only transactions this cache served.
+    pub reads: u64,
+    /// Inconsistency among this cache's committed reads (percent).
+    pub inconsistency_pct: f64,
+    /// Median modeled client latency at this cache (µs).
+    pub p50_us: u64,
+    /// 99th-percentile modeled client latency at this cache (µs).
+    pub p99_us: u64,
+    /// 99.9th-percentile modeled client latency at this cache (µs).
+    pub p999_us: u64,
+}
+
+/// The scenario-engine experiment: the five-scenario catalog measured on
+/// the live lockstep plane, plus the two-tier topology comparison.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScenarioFigure {
+    /// One aggregate row per catalog scenario, in catalog order.
+    pub rows: Vec<ScenarioRow>,
+    /// Per-cache rows, grouped by scenario in catalog order.
+    pub per_cache: Vec<ScenarioCacheRow>,
+    /// Caches the database publishes to directly under the star topology.
+    pub star_fanout: usize,
+    /// Caches the database publishes to directly under the two-tier
+    /// topology (its regional roots) — strictly lower than
+    /// [`ScenarioFigure::star_fanout`] at equal deployment size.
+    pub two_tier_fanout: usize,
+    /// Aggregate inconsistency of the star-topology comparison run
+    /// (percent).
+    pub star_inconsistency_pct: f64,
+    /// Aggregate inconsistency of the two-tier comparison run (percent).
+    pub two_tier_inconsistency_pct: f64,
+    /// Whether the two-tier run reproduced the star run's per-cache
+    /// verdicts and drop counts exactly. With lossless regional parents
+    /// each leaf sees the same invalidation sequence through its parent as
+    /// it would directly, so the same seeded loss stream yields the same
+    /// drops and verdicts — tree fan-out changes the publisher's work, not
+    /// the leaves' consistency.
+    pub two_tier_matches_star: bool,
+}
+
+/// The open-loop scenario engine (tentpole of the `scenarios` figure):
+/// runs the five-scenario [`tcache_workload::catalog`] — hot-key storm,
+/// flash crowd, diurnal curve, invalidation stampede, cache churn — on the
+/// live lockstep plane over [`SCENARIO_CACHES`] caches, recording verdicts
+/// and the deterministic modeled-latency histograms per cache and per
+/// scenario. A second pair of runs compares the star invalidation topology
+/// against a two-tier tree (two lossless regional parents relaying to four
+/// leaves): the tree must cut the database's publisher fan-out while
+/// leaving every leaf's verdicts untouched.
+///
+/// Everything here is deterministic: the same `(duration, seed)` returns
+/// a bit-identical [`ScenarioFigure`], histogram quantiles included.
+pub fn scenarios(duration: SimDuration, seed: u64) -> ScenarioFigure {
+    use tcache_workload::LatencyHistogram;
+    let specs = tcache_workload::catalog(duration, SCENARIO_CACHES as u32);
+    let mut rows = Vec::with_capacity(specs.len());
+    let mut per_cache = Vec::new();
+    for spec in &specs {
+        let result = ExperimentConfig {
+            duration,
+            caches: CacheTopology::Uniform(SCENARIO_CACHES),
+            invalidation_delay: SimDuration::ZERO,
+            scenario: Some(spec.clone()),
+            seed,
+            plane: ExecutionPlane::Live(LiveOptions::lockstep()),
+            ..ExperimentConfig::default()
+        }
+        .run();
+        let mut aggregate = LatencyHistogram::new();
+        for column in &result.per_cache {
+            aggregate.merge(&column.latency);
+            per_cache.push(ScenarioCacheRow {
+                scenario: spec.name().to_string(),
+                cache: column.id.0,
+                reads: column.report.read_only_total(),
+                inconsistency_pct: column.inconsistency_ratio() * 100.0,
+                p50_us: column.latency.p50().unwrap_or(0),
+                p99_us: column.latency.p99().unwrap_or(0),
+                p999_us: column.latency.p999().unwrap_or(0),
+            });
+        }
+        let degraded: u64 = result
+            .per_cache
+            .iter()
+            .map(|c| c.degraded.read_only_total())
+            .sum();
+        let reads = result.report.read_only_total();
+        rows.push(ScenarioRow {
+            scenario: spec.name().to_string(),
+            reads,
+            updates: result.report.updates_committed + result.report.updates_aborted,
+            inconsistency_pct: result.inconsistency_ratio() * 100.0,
+            abort_pct: result.abort_ratio() * 100.0,
+            degraded_pct: if reads == 0 {
+                0.0
+            } else {
+                degraded as f64 / reads as f64 * 100.0
+            },
+            p50_us: aggregate.p50().unwrap_or(0),
+            p99_us: aggregate.p99().unwrap_or(0),
+            p999_us: aggregate.p999().unwrap_or(0),
+            dropped: result.channel.dropped,
+        });
+    }
+
+    // Topology comparison: the storm scenario on six caches, star vs
+    // two-tier. The parents (caches 0 and 1) keep lossless links so each
+    // leaf's channel sees the identical message sequence either way;
+    // only the leaves (2..6) drop, from their own seeded streams.
+    let topology_losses = vec![0.0, 0.0, 0.2, 0.2, 0.2, 0.2];
+    let base = ExperimentConfig {
+        duration,
+        caches: CacheTopology::PerCacheLoss(topology_losses),
+        invalidation_delay: SimDuration::ZERO,
+        scenario: Some(specs[0].clone()),
+        seed,
+        plane: ExecutionPlane::Live(LiveOptions::lockstep()),
+        ..ExperimentConfig::default()
+    };
+    let star = base.clone().run();
+    let parents = tcache::two_tier_parents(2, 2);
+    let two_tier = ExperimentConfig {
+        cache_parents: Some(parents.clone()),
+        ..base
+    }
+    .run();
+    let two_tier_matches_star = star
+        .per_cache
+        .iter()
+        .zip(&two_tier.per_cache)
+        .all(|(a, b)| a.report == b.report && a.channel.dropped == b.channel.dropped);
+
+    ScenarioFigure {
+        rows,
+        per_cache,
+        star_fanout: parents.len(),
+        two_tier_fanout: parents.iter().filter(|p| p.is_none()).count(),
+        star_inconsistency_pct: star.inconsistency_ratio() * 100.0,
+        two_tier_inconsistency_pct: two_tier.inconsistency_ratio() * 100.0,
+        two_tier_matches_star,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1112,6 +1293,53 @@ mod tests {
         assert_eq!(block_tight.overflowed, 0);
         assert!(block_tight.stalled > 0);
         assert!(block_tight.delivered > drop_tight.delivered);
+    }
+
+    #[test]
+    fn scenarios_run_the_catalog_and_cut_publisher_fanout() {
+        let figure = scenarios(QUICK, 11);
+        let names: Vec<&str> = figure.rows.iter().map(|r| r.scenario.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "hot_key_storm",
+                "flash_crowd",
+                "diurnal",
+                "stampede",
+                "cache_churn"
+            ]
+        );
+        assert_eq!(figure.per_cache.len(), names.len() * SCENARIO_CACHES);
+        for row in &figure.rows {
+            assert!(row.reads > 0, "{} runs traffic", row.scenario);
+            assert!(row.updates > 0, "{} commits updates", row.scenario);
+            assert!(row.dropped > 0, "{} loses invalidations", row.scenario);
+            assert!(
+                row.p50_us > 0 && row.p50_us <= row.p99_us && row.p99_us <= row.p999_us,
+                "latency quantiles are ordered: {row:?}"
+            );
+        }
+        // The flash crowd triples the offered rate for a third of the run.
+        let diurnal = figure.rows.iter().find(|r| r.scenario == "diurnal").unwrap();
+        let crowd = figure
+            .rows
+            .iter()
+            .find(|r| r.scenario == "flash_crowd")
+            .unwrap();
+        assert!(
+            crowd.reads as f64 > diurnal.reads as f64 * 1.2,
+            "flash crowd offers more reads ({} vs {})",
+            crowd.reads,
+            diurnal.reads
+        );
+        // The two-tier tree publishes to its regional roots only, without
+        // changing any leaf's verdicts.
+        assert!(figure.two_tier_fanout < figure.star_fanout);
+        assert_eq!(figure.two_tier_fanout, 2);
+        assert!(figure.two_tier_matches_star);
+        // Bit-identical replay: same seed, same figure — histogram
+        // quantiles, verdicts and fan-out numbers included.
+        assert_eq!(figure, scenarios(QUICK, 11));
     }
 
     #[test]

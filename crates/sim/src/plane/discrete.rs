@@ -19,12 +19,14 @@
 
 use crate::event::{Event, EventQueue};
 use crate::experiment::Experiment;
+use crate::plane::ScenarioLatency;
 use crate::results::{CacheColumnResult, ExperimentResult};
 use crate::schedule::{Schedule, ScheduledTxn};
 use tcache_cache::{CacheStatsSnapshot, ReadMode};
 use tcache_monitor::ReadPhase;
 use tcache_net::fault::{FaultCursor, FaultEvent, FaultKind, FaultPlan};
 use tcache_types::{CacheId, SimTime, TransactionRecord};
+use tcache_workload::LatencyHistogram;
 
 /// Executes `schedule` on the experiment's discrete-event components and
 /// collects the results.
@@ -43,7 +45,11 @@ pub(crate) fn execute(mut exp: Experiment, schedule: &Schedule) -> ExperimentRes
         queue.schedule(op.at, event);
     }
 
-    let faults = exp.config.faults.clone();
+    // The scenario's crash/restart churn rides the fault plan; its
+    // deterministic latency model fills the per-cache histograms.
+    let faults = exp.config.effective_faults();
+    let latency_model = ScenarioLatency::from_config(&exp.config);
+    let mut latency: Vec<LatencyHistogram> = vec![LatencyHistogram::new(); exp.caches.len()];
     let mut fault_cursor = FaultCursor::new();
     let mut severed = vec![false; exp.caches.len()];
 
@@ -68,7 +74,7 @@ pub(crate) fn execute(mut exp: Experiment, schedule: &Schedule) -> ExperimentRes
                 let op = &schedule.ops[cursor];
                 cursor += 1;
                 debug_assert_eq!(op.target, Some(cache));
-                run_read_only(&mut exp, now, cache, op);
+                run_read_only(&mut exp, now, cache, op, &latency_model, &mut latency);
             }
         }
     }
@@ -82,7 +88,8 @@ pub(crate) fn execute(mut exp: Experiment, schedule: &Schedule) -> ExperimentRes
         .iter()
         .zip(exp.fanout.stats())
         .zip(&exp.losses)
-        .map(|((cache, (channel_id, channel)), &loss)| {
+        .zip(latency)
+        .map(|(((cache, (channel_id, channel)), &loss), latency)| {
             debug_assert_eq!(cache.id(), channel_id);
             CacheColumnResult {
                 id: cache.id(),
@@ -92,6 +99,7 @@ pub(crate) fn execute(mut exp: Experiment, schedule: &Schedule) -> ExperimentRes
                 cache: cache.stats(),
                 channel,
                 lifecycle: cache.lifecycle_stats(),
+                latency,
             }
         })
         .collect();
@@ -198,15 +206,27 @@ fn run_update(
     }
 }
 
-fn run_read_only(exp: &mut Experiment, now: SimTime, cache: CacheId, op: &ScheduledTxn) {
+fn run_read_only(
+    exp: &mut Experiment,
+    now: SimTime,
+    cache: CacheId,
+    op: &ScheduledTxn,
+    latency_model: &Option<ScenarioLatency>,
+    latency: &mut [LatencyHistogram],
+) {
     let server = &exp.caches[cache.0 as usize];
     let log = server
         .execute_read_only(now, op.txn, op.access.objects())
         .unwrap_or_else(|e| panic!("unexpected cache error during experiment: {e}"));
-    let phase = match log.mode {
-        ReadMode::Cached => ReadPhase::Healthy,
-        ReadMode::PassThrough => ReadPhase::Degraded,
+    let degraded = matches!(log.mode, ReadMode::PassThrough);
+    let phase = if degraded {
+        ReadPhase::Degraded
+    } else {
+        ReadPhase::Healthy
     };
+    if let Some(model) = latency_model {
+        model.record(&mut latency[cache.0 as usize], now, op.txn, degraded);
+    }
     let class = exp
         .monitor
         .record_read_only_in_phase(cache, phase, &log.observed, log.committed);

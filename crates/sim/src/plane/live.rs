@@ -24,7 +24,7 @@
 //! updates-then-reads under concurrent pacing, where a read can race ahead
 //! of the driver and observe a version the schedule says is "later".
 
-use super::{LiveOptions, LivePacing};
+use super::{LiveOptions, LivePacing, ScenarioLatency};
 use crate::experiment::{CacheKind, ExperimentConfig};
 use crate::results::{CacheColumnResult, ExperimentResult};
 use crate::schedule::Schedule;
@@ -40,6 +40,7 @@ use tcache_net::fault::{FaultCursor, FaultEvent, FaultKind};
 use tcache_types::{
     CacheId, CachePolicyConfig, ObjectId, SimTime, TransactionRecord, Value, Version,
 };
+use tcache_workload::{ChurnAction, ChurnEvent, LatencyHistogram};
 
 /// How long a lockstep step waits for the reactor to settle before giving
 /// up determinism for that step (generous; the reactor usually settles in
@@ -88,6 +89,14 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
     if let Some(capacity) = config.pipe_capacity {
         builder = builder.pipe_capacity(capacity);
     }
+    if let Some(parents) = &config.cache_parents {
+        assert_eq!(
+            parents.len(),
+            losses.len(),
+            "cache_parents must name every deployed cache"
+        );
+        builder = builder.cache_parents(parents.clone());
+    }
     let system = Arc::new(builder.build());
     system.populate((0..schedule.object_count).map(|i| (ObjectId(i), Value::new(0))));
 
@@ -100,6 +109,7 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
     // lockstep each job is acknowledged so the driver can serialize the
     // schedule, under concurrent pacing the clients free-run.
     let cache_count = losses.len();
+    let latency_model = ScenarioLatency::from_config(&config);
     let mut job_senders = Vec::with_capacity(cache_count);
     let mut done_receivers = Vec::with_capacity(cache_count);
     let mut clients = Vec::with_capacity(cache_count);
@@ -110,12 +120,14 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
         done_receivers.push(done_rx);
         let system = Arc::clone(&system);
         let schedule = Arc::clone(&schedule);
+        let latency_model = latency_model.clone();
         let cache_id = CacheId(cache_index as u32);
         clients.push(
             std::thread::Builder::new()
                 .name(format!("tcache-client-{cache_index}"))
                 .spawn(move || {
                     let mut log: Vec<ReadLog> = Vec::new();
+                    let mut latency = LatencyHistogram::new();
                     let cache = system.cache(cache_id).expect("cache is deployed");
                     while let Ok(index) = job_rx.recv() {
                         let op = &schedule.ops[index];
@@ -127,6 +139,10 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
                             .unwrap_or_else(|e| {
                                 panic!("unexpected cache error during experiment: {e}")
                             });
+                        if let Some(model) = &latency_model {
+                            let degraded = matches!(txn.mode, ReadMode::PassThrough);
+                            model.record(&mut latency, op.at, op.txn, degraded);
+                        }
                         log.push(ReadLog {
                             index,
                             observed: txn.observed,
@@ -140,7 +156,7 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
                             let _ = done_tx.send(());
                         }
                     }
-                    log
+                    (log, latency)
                 })
                 .expect("spawn client thread"),
         );
@@ -151,10 +167,29 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
     // fire before the operation — after the previous update's lockstep
     // quiesce, so pending deliveries are applied first, exactly like the
     // discrete plane delivering due messages before firing faults.
-    let faults = config.faults.clone();
+    let faults = config.effective_faults();
     let mut fault_cursor = FaultCursor::new();
+    // Pause/resume churn stays outside the fault plan: it drives the
+    // reactor's pausable pipes (a paused cache's backlog queues; nothing
+    // is lost), which only this plane has.
+    let pauses: Vec<ChurnEvent> = config
+        .scenario
+        .as_ref()
+        .map(|spec| {
+            spec.churn_events()
+                .iter()
+                .copied()
+                .filter(|e| matches!(e.action, ChurnAction::Pause | ChurnAction::Resume))
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut pause_cursor = 0usize;
     let mut update_log: Vec<UpdateLog> = Vec::new();
     for (index, op) in schedule.ops.iter().enumerate() {
+        while pause_cursor < pauses.len() && pauses[pause_cursor].at <= op.at {
+            apply_pause(&system, &pauses[pause_cursor], lockstep);
+            pause_cursor += 1;
+        }
         for event in fault_cursor.due(&faults, op.at) {
             apply_fault(&system, event);
         }
@@ -207,12 +242,20 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
     // Fire whatever the plan still schedules inside the run's duration
     // (e.g. a heal after the last transaction), so final lifecycle states
     // match the plan rather than the traffic pattern.
-    for event in fault_cursor.due(&faults, SimTime::ZERO + config.duration) {
+    let end = SimTime::ZERO + config.duration;
+    while pause_cursor < pauses.len() && pauses[pause_cursor].at <= end {
+        apply_pause(&system, &pauses[pause_cursor], lockstep);
+        pause_cursor += 1;
+    }
+    for event in fault_cursor.due(&faults, end) {
         apply_fault(&system, event);
     }
     let mut read_logs: Vec<ReadLog> = Vec::new();
+    let mut latency_columns: Vec<LatencyHistogram> = Vec::with_capacity(cache_count);
     for client in clients {
-        read_logs.extend(client.join().expect("client thread panicked"));
+        let (log, latency) = client.join().expect("client thread panicked");
+        read_logs.extend(log);
+        latency_columns.push(latency);
     }
     // Wait out every in-flight delivery (sleeping modeled delays included)
     // so the final statistics and cache states are settled. Only the
@@ -244,7 +287,8 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
         .per_cache
         .iter()
         .zip(&losses)
-        .map(|(node, &loss)| CacheColumnResult {
+        .zip(latency_columns)
+        .map(|((node, &loss), latency)| CacheColumnResult {
             id: node.id,
             loss,
             report: monitor.cache_report(node.id),
@@ -255,6 +299,7 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
                 .cache(node.id)
                 .expect("cache is deployed")
                 .lifecycle_stats(),
+            latency,
         })
         .collect();
     let mut cache_total = CacheStatsSnapshot::default();
@@ -355,6 +400,41 @@ fn apply_fault(system: &TCacheSystem, event: &FaultEvent) {
         FaultKind::DelaySpike(extra) => system.set_cache_extra_delay(cache, extra),
     }
     .expect("fault plan names a deployed cache on a reactor transport");
+}
+
+/// Applies one pause/resume churn event through the system's pausable
+/// pipes. A resume under lockstep quiesces immediately: the paused cache's
+/// queued backlog drains on the reactor's own wall-clock schedule, and
+/// determinism requires it fully applied before the next transaction
+/// observes the cache.
+///
+/// # Panics
+/// Panics if the scenario names an unknown cache or pairs its events
+/// inconsistently (pausing a paused cache, resuming a running one).
+fn apply_pause(system: &TCacheSystem, event: &ChurnEvent, lockstep: bool) {
+    let cache = CacheId(event.cache);
+    match event.action {
+        ChurnAction::Pause => system
+            .pause_cache(cache)
+            .expect("scenario pauses a deployed, running cache"),
+        ChurnAction::Resume => {
+            system
+                .resume_cache(cache)
+                .expect("scenario resumes a paused cache");
+            if lockstep {
+                let settled = system
+                    .quiesce(LOCKSTEP_QUIESCE_TIMEOUT)
+                    .expect("reactor transport supports quiesce");
+                assert!(
+                    settled,
+                    "lockstep quiesce timed out draining a resumed cache's backlog"
+                );
+            }
+        }
+        ChurnAction::Crash | ChurnAction::Restart => {
+            unreachable!("crash churn is routed through the fault plan")
+        }
+    }
 }
 
 /// Sleeps until the wall-clock instant `at` maps to under `scale` seconds

@@ -32,6 +32,53 @@
 pub(crate) mod discrete;
 pub(crate) mod live;
 
+/// The scenario's deterministic client-latency model, shared by both
+/// planes: latency is *modeled*, not measured — a pure function of
+/// `(run seed, transaction id, scheduled time, degraded?)` — so the same
+/// configuration fills bit-identical histograms on either plane and
+/// across repeated runs (wall-clock measurements could never satisfy
+/// that).
+#[derive(Clone)]
+pub(crate) struct ScenarioLatency {
+    spec: tcache_workload::ScenarioSpec,
+    seed: u64,
+    backend_rtt_micros: u64,
+}
+
+impl ScenarioLatency {
+    /// The latency model of `config`'s scenario, if one is set. The
+    /// modeled backend round trip is tied to the configured invalidation
+    /// delay (same network) plus a fixed query cost.
+    pub(crate) fn from_config(config: &crate::experiment::ExperimentConfig) -> Option<Self> {
+        config.scenario.as_ref().map(|spec| ScenarioLatency {
+            spec: spec.clone(),
+            seed: tcache_types::scenario_seed(
+                config.seed,
+                tcache_workload::scenario::streams::LATENCY,
+            ),
+            backend_rtt_micros: 2 * config.invalidation_delay.as_micros() + 5_000,
+        })
+    }
+
+    /// Records the modeled latency of read `txn` scheduled at `now` into
+    /// `histogram`.
+    pub(crate) fn record(
+        &self,
+        histogram: &mut tcache_workload::LatencyHistogram,
+        now: tcache_types::SimTime,
+        txn: tcache_types::TxnId,
+        degraded: bool,
+    ) {
+        histogram.record(self.spec.modeled_latency_micros(
+            self.seed,
+            now,
+            txn.0,
+            degraded,
+            self.backend_rtt_micros,
+        ));
+    }
+}
+
 /// Which backend executes the experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ExecutionPlane {

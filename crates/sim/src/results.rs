@@ -6,6 +6,7 @@ use tcache_db::stats::DbStatsSnapshot;
 use tcache_monitor::MonitorReport;
 use tcache_net::channel::ChannelStats;
 use tcache_types::{CacheId, SimDuration};
+use tcache_workload::LatencyHistogram;
 
 /// Everything measured for one cache server of a (possibly multi-cache)
 /// experiment run.
@@ -29,6 +30,11 @@ pub struct CacheColumnResult {
     /// Fault/recovery lifecycle counters: stream gaps detected, log
     /// replays, snapshot resyncs, crash/partition events observed.
     pub lifecycle: LifecycleStatsSnapshot,
+    /// Modeled client-latency histogram of the reads this cache served.
+    /// Empty unless the run was driven by a scenario
+    /// ([`crate::ExperimentConfig::scenario`]), whose deterministic
+    /// latency model fills it identically on both planes.
+    pub latency: LatencyHistogram,
 }
 
 impl CacheColumnResult {
@@ -184,6 +190,7 @@ mod tests {
                 cache,
                 channel: ChannelStats::default(),
                 lifecycle: LifecycleStatsSnapshot::default(),
+                latency: LatencyHistogram::new(),
             }],
             timeseries: TimeSeries::new(SimDuration::from_secs(1)),
             execution_wall: Some(std::time::Duration::from_secs(2)),

@@ -21,7 +21,10 @@ use crate::event::{Event, EventQueue};
 use crate::experiment::ExperimentConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tcache_types::{AccessSet, CacheId, SimTime, TxnId};
+use std::collections::VecDeque;
+use tcache_types::{scenario_seed, zipf_seed, AccessSet, CacheId, ObjectId, SimTime, TxnId};
+use tcache_workload::scenario::{streams, unit_draw};
+use tcache_workload::{ScenarioSpec, ZipfSampler};
 
 /// One transaction of the schedule, in event order.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +66,9 @@ impl Schedule {
     /// Panics if the configured topology deploys zero caches (or a
     /// weighted topology gives every cache zero client weight).
     pub fn build(config: &ExperimentConfig) -> Schedule {
+        if let Some(spec) = &config.scenario {
+            return build_scenario(config, spec);
+        }
         let mut workload = config.workload.build(config.seed);
         let object_count = workload.object_count() as u64;
         let client_shares = config.caches.client_shares();
@@ -146,6 +152,110 @@ impl Schedule {
     }
 }
 
+/// The scenario-driven schedule: an open-loop two-stream arrival loop
+/// (updates at the configured rate, reads at the configured rate shaped by
+/// the scenario's load curves), with every key drawn from the scenario's
+/// deterministic Zipfian sampler and every per-read decision — hot-key
+/// storm redirection, cache assignment under crowd shifts, stampede
+/// chasing — a pure function of `(run seed, draw index)`. Only the arrival
+/// *times* come from the sequential `seed + 2` RNG stream; everything
+/// keyed by draw index replays identically under any worker interleaving.
+fn build_scenario(config: &ExperimentConfig, spec: &ScenarioSpec) -> Schedule {
+    let object_count = spec.object_count();
+    let per_txn = spec.accesses_per_transaction();
+    let client_shares = config.caches.client_shares();
+    let cache_count = client_shares.len();
+    let sampler = ZipfSampler::new(zipf_seed(config.seed), object_count, spec.skew());
+    let storm_seed = scenario_seed(config.seed, streams::STORM);
+    let assign_seed = scenario_seed(config.seed, streams::ASSIGN);
+    let stampede_seed = scenario_seed(config.seed, streams::STAMPEDE);
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(2));
+    let updates = ArrivalProcess::new(config.update_rate);
+    let end = SimTime::ZERO + config.duration;
+    let mut next_update = updates.next_arrival(SimTime::ZERO, &mut rng);
+    // The read process is open-loop and time-varying: each arrival draws
+    // the next gap at the rate the load curves dictate *now*.
+    let mut next_read = ArrivalProcess::new(config.read_rate * spec.rate_multiplier(SimTime::ZERO))
+        .next_arrival(SimTime::ZERO, &mut rng);
+    let mut ops = Vec::new();
+    let mut next_txn = 1u64;
+    // Global access-draw counter: every key of every transaction (update
+    // or read) consumes exactly one sampler draw, so the key sequence is
+    // a pure function of the run seed.
+    let mut key_draw = 0u64;
+    // Global read counter: per-read decisions (cache assignment, stampede
+    // coin) are indexed by it.
+    let mut read_draw = 0u64;
+    // Recently updated objects (first write of each update), pruned to the
+    // stampede window — what stampeding reads chase.
+    let mut recent: VecDeque<(SimTime, ObjectId)> = VecDeque::new();
+    loop {
+        let is_update = next_update <= next_read;
+        let now = if is_update { next_update } else { next_read };
+        if now > end {
+            break;
+        }
+        if is_update {
+            let access: AccessSet = (0..per_txn)
+                .map(|_| {
+                    let key = sampler.key_for_draw(key_draw);
+                    key_draw += 1;
+                    key
+                })
+                .collect();
+            if spec.stampede().is_some() {
+                if let Some(&first) = access.objects().first() {
+                    recent.push_back((now, first));
+                }
+            }
+            ops.push(ScheduledTxn {
+                at: now,
+                txn: TxnId(next_txn),
+                target: None,
+                access,
+            });
+            next_txn += 1;
+            next_update = updates.next_arrival(now, &mut rng);
+        } else {
+            let mut keys: Vec<ObjectId> = Vec::with_capacity(per_txn);
+            for _ in 0..per_txn {
+                let key = sampler.key_for_draw(key_draw);
+                keys.push(spec.apply_storm(storm_seed, now, key_draw, key));
+                key_draw += 1;
+            }
+            if let Some(stampede) = spec.stampede() {
+                while let Some(&(at, _)) = recent.front() {
+                    if at + stampede.window < now {
+                        recent.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if !recent.is_empty() && spec.stampede_redirect(stampede_seed, read_draw * 2) {
+                    let pick = unit_draw(stampede_seed, read_draw * 2 + 1);
+                    let index = ((pick * recent.len() as f64) as usize).min(recent.len() - 1);
+                    keys[0] = recent[index].1;
+                }
+            }
+            let weights = spec.cache_weights(now, &client_shares);
+            let cache = spec
+                .assign_cache(assign_seed, read_draw, &weights)
+                .min(cache_count - 1);
+            ops.push(ScheduledTxn {
+                at: now,
+                txn: TxnId(next_txn),
+                target: Some(CacheId(cache as u32)),
+                access: keys.into_iter().collect(),
+            });
+            next_txn += 1;
+            read_draw += 1;
+            next_read = ArrivalProcess::new(config.read_rate * spec.rate_multiplier(now))
+                .next_arrival(now, &mut rng);
+        }
+    }
+    Schedule { ops, object_count }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +304,103 @@ mod tests {
         assert!((per_cache / reads - 0.5).abs() < 0.1);
         assert_eq!(schedule.object_count, 500);
         assert!(schedule.ops.iter().all(|op| op.access.len() == 5));
+    }
+
+    fn scenario_config(spec: ScenarioSpec) -> ExperimentConfig {
+        ExperimentConfig {
+            duration: SimDuration::from_secs(6),
+            caches: CacheTopology::Uniform(2),
+            scenario: Some(spec),
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn scenario_schedules_are_deterministic_and_zipf_skewed() {
+        let spec = ScenarioSpec::new("sched", 400, 5, 1.0, 100_000);
+        let a = Schedule::build(&scenario_config(spec.clone()));
+        let b = Schedule::build(&scenario_config(spec));
+        assert_eq!(a, b);
+        assert_eq!(a.object_count, 400);
+        assert!(a.ops.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a
+            .ops
+            .iter()
+            .enumerate()
+            .all(|(i, op)| op.txn == TxnId(i as u64 + 1)));
+        // Zipf skew: the hottest decile of keys draws a disproportionate
+        // share of the accesses.
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        for op in &a.ops {
+            for key in op.access.objects() {
+                total += 1;
+                if key.as_u64() < 40 {
+                    hot += 1;
+                }
+            }
+        }
+        assert!(
+            hot * 3 > total,
+            "hottest 10% of keys must draw over a third of accesses ({hot}/{total})"
+        );
+    }
+
+    #[test]
+    fn scenario_load_burst_raises_the_read_rate() {
+        let burst = tcache_workload::LoadCurve::Burst {
+            at: SimTime::from_secs(2),
+            len: SimDuration::from_secs(2),
+            factor: 4.0,
+        };
+        let spec = ScenarioSpec::new("burst", 400, 5, 0.9, 100_000).with_load(burst);
+        let schedule = Schedule::build(&scenario_config(spec));
+        let reads_in = |from: u64, to: u64| {
+            schedule
+                .ops
+                .iter()
+                .filter(|op| {
+                    !op.is_update()
+                        && op.at >= SimTime::from_secs(from)
+                        && op.at < SimTime::from_secs(to)
+                })
+                .count() as f64
+        };
+        let quiet = reads_in(0, 2);
+        let bursting = reads_in(2, 4);
+        assert!(
+            bursting > quiet * 2.5,
+            "4x burst must show up in arrivals ({quiet} quiet vs {bursting} bursting)"
+        );
+    }
+
+    #[test]
+    fn scenario_crowd_shift_moves_read_traffic() {
+        let spec = ScenarioSpec::new("crowd", 400, 5, 0.9, 100_000).with_crowd_shift(
+            tcache_workload::CrowdShift {
+                at: SimTime::from_secs(3),
+                cache: 0,
+                weight: 9.0,
+            },
+        );
+        let schedule = Schedule::build(&scenario_config(spec));
+        let share_to_0 = |from: u64, to: u64| {
+            let window: Vec<_> = schedule
+                .ops
+                .iter()
+                .filter(|op| {
+                    !op.is_update()
+                        && op.at >= SimTime::from_secs(from)
+                        && op.at < SimTime::from_secs(to)
+                })
+                .collect();
+            let to_0 = window
+                .iter()
+                .filter(|op| op.target == Some(CacheId(0)))
+                .count();
+            to_0 as f64 / window.len() as f64
+        };
+        assert!((share_to_0(0, 3) - 0.5).abs() < 0.1, "even split before");
+        assert!(share_to_0(3, 6) > 0.8, "crowd concentrates on cache 0 after");
     }
 }

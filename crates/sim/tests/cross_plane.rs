@@ -16,6 +16,7 @@ use tcache_sim::{ExecutionPlane, LiveOptions, Schedule};
 use tcache_types::{
     cache_channel_seed, CacheId, RecoveryPolicy, SimDuration, SimTime, Strategy,
 };
+use tcache_workload::{ChurnAction, ChurnEvent, HotKeyStorm, ScenarioSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -208,6 +209,68 @@ fn fault_schedules_preserve_cross_plane_parity() {
             "{}: degraded-window reads are never violations",
             d.id
         );
+    }
+}
+
+#[test]
+fn scenario_schedules_preserve_cross_plane_parity() {
+    // A scenario run — hot-key storm plus crash/restart churn over a lossy
+    // deployment, zero delivery delay — must agree across planes exactly:
+    // same verdicts, same drops, and (because the modeled client latency
+    // is a pure function of the run seed and each read's outcome) the
+    // same per-cache latency histograms, quantile for quantile.
+    let spec = ScenarioSpec::new("parity", 400, 5, 0.9, 500_000)
+        .with_storm(HotKeyStorm {
+            from: SimTime::from_millis(500),
+            until: SimTime::from_millis(2000),
+            hot_keys: 4,
+            fraction: 0.7,
+        })
+        .with_churn(ChurnEvent {
+            at: SimTime::from_millis(1000),
+            cache: 1,
+            action: ChurnAction::Crash,
+        })
+        .with_churn(ChurnEvent {
+            at: SimTime::from_millis(1800),
+            cache: 1,
+            action: ChurnAction::Restart,
+        });
+    let config = ExperimentConfig {
+        caches: CacheTopology::PerCacheLoss(vec![0.0, 0.2, 0.4]),
+        scenario: Some(spec),
+        ..base_config()
+    };
+    // Sanity: the scenario produces traffic, loses invalidations, crashes
+    // a cache, and fills the histograms — parity below is not vacuous.
+    let reference = config.clone().run();
+    assert!(reference.report.read_only_total() > 500);
+    assert!(reference.channel.dropped > 0);
+    assert_eq!(reference.per_cache[1].lifecycle.crashes, 1);
+    for column in &reference.per_cache {
+        assert_eq!(
+            column.latency.len(),
+            column.report.read_only_total(),
+            "{}: one latency sample per read",
+            column.id
+        );
+    }
+    assert_verdict_parity(config.clone());
+
+    let discrete = config
+        .clone()
+        .on_plane(ExecutionPlane::DiscreteEvent)
+        .run();
+    let live = config
+        .on_plane(ExecutionPlane::Live(LiveOptions::lockstep()))
+        .run();
+    for (d, l) in discrete.per_cache.iter().zip(&live.per_cache) {
+        assert_eq!(
+            d.latency, l.latency,
+            "{}: modeled latency histograms must be bit-identical across planes",
+            d.id
+        );
+        assert_eq!(d.lifecycle, l.lifecycle, "{}: same lifecycle", d.id);
     }
 }
 

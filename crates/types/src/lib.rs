@@ -47,7 +47,9 @@ pub use epoch::{EpochDomain, EpochGuard, EpochStats};
 pub use error::{ConflictReason, TCacheError, TCacheResult};
 pub use ids::{CacheId, ClientId, ObjectId, TxnId, Version};
 pub use protocol::{format_trace, ProtocolAction, ProtocolTrace};
-pub use seeding::{cache_channel_seed, cache_delay_seed, derive_stream_seed, fault_seed};
+pub use seeding::{
+    cache_channel_seed, cache_delay_seed, derive_stream_seed, fault_seed, scenario_seed, zipf_seed,
+};
 pub use time::{SimDuration, SimTime};
 pub use transaction::{
     AccessSet, ReadOnlyOutcome, ReadRecord, ReadSet, TransactionKind, TransactionRecord,

@@ -57,6 +57,26 @@ pub fn fault_seed(run_seed: u64) -> u64 {
     derive_stream_seed(run_seed, 0x00fa_0170_0000_0000)
 }
 
+/// The seed of the run's Zipfian key stream. The scenario engine derives
+/// every key choice as a pure function of `(zipf_seed(run_seed), draw
+/// index)`, so the key sequence is identical no matter how many worker
+/// threads execute the scenario or how their work interleaves. One stream
+/// per run, disjoint from every loss, delay and fault stream so changing
+/// the workload skew can never perturb a drop pattern.
+pub fn zipf_seed(run_seed: u64) -> u64 {
+    derive_stream_seed(run_seed, 0x0021_bf00_0000_0000)
+}
+
+/// The seed of one of the run's scenario decision streams — storm
+/// redirection coins, cache-assignment draws, modeled-latency jitter and
+/// the like. Each decision family claims its own `stream` index so that
+/// adding a new scenario primitive never shifts the draws of an existing
+/// one; every stream stays disjoint from the loss, delay, fault and Zipf
+/// streams.
+pub fn scenario_seed(run_seed: u64, stream: u64) -> u64 {
+    derive_stream_seed(run_seed, 0x005c_e4a0_0000_0000 | stream)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +143,28 @@ mod tests {
             }
         }
         assert_eq!(fault_seed(3), fault_seed(3));
+    }
+
+    #[test]
+    fn zipf_and_scenario_streams_are_disjoint_from_all_others() {
+        // The workload key stream and the scenario decision streams must
+        // never alias a loss, delay or fault stream (or each other):
+        // changing the scenario mix leaves the drop pattern untouched, and
+        // vice versa.
+        let mut seen = HashSet::new();
+        for run_seed in 0..8u64 {
+            assert!(seen.insert(zipf_seed(run_seed)));
+            assert!(seen.insert(fault_seed(run_seed)));
+            for stream in 0..16u64 {
+                assert!(seen.insert(scenario_seed(run_seed, stream)));
+            }
+            for cache in 0..16u32 {
+                assert!(seen.insert(cache_channel_seed(run_seed, CacheId(cache))));
+                assert!(seen.insert(cache_delay_seed(run_seed, CacheId(cache))));
+            }
+        }
+        assert_eq!(zipf_seed(7), zipf_seed(7));
+        assert_eq!(scenario_seed(7, 3), scenario_seed(7, 3));
     }
 
     #[test]

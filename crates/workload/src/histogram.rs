@@ -1,0 +1,255 @@
+//! An HDR-style latency histogram with mergeable per-thread recorders.
+//!
+//! The scenario engine records one latency sample per read-only
+//! transaction, per cache. Storing raw samples for millions of logical
+//! clients is out of the question, so samples land in a fixed-size
+//! log-bucketed histogram in the spirit of HdrHistogram: values below 64 µs
+//! are recorded exactly, and each subsequent power-of-two octave is split
+//! into 32 linear sub-buckets, bounding the relative quantile error at
+//! ~3 % while covering the whole `u64` microsecond range in under 2 KiB of
+//! counters.
+//!
+//! Recorders are plain value types: each worker thread owns one and the
+//! engine folds them together with [`LatencyHistogram::merge`] (a
+//! saturating add, so a pathological run can never wrap a counter into a
+//! nonsense quantile). Quantile queries on an empty histogram return
+//! `None` rather than a fake zero.
+
+/// Number of exact buckets (values `0..EXACT` are recorded exactly).
+const EXACT: u64 = 64;
+/// Sub-buckets per octave above the exact range.
+const SUBS: u64 = 32;
+/// log2 of [`SUBS`].
+const SUB_BITS: u32 = 5;
+/// Total bucket count: 64 exact + 32 per octave for octaves 1..=58.
+const BUCKETS: usize = (EXACT + 58 * SUBS) as usize;
+
+/// A fixed-size log-bucketed histogram of microsecond latencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Index of the bucket that `value` (in µs) lands in.
+fn bucket_of(value: u64) -> usize {
+    if value < EXACT {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let octave = u64::from(msb) - u64::from(SUB_BITS);
+    let sub = (value >> (msb - SUB_BITS)) & (SUBS - 1);
+    (EXACT + (octave - 1) * SUBS + sub) as usize
+}
+
+/// Lowest value (in µs) that maps to bucket `index` — the value a quantile
+/// query reports for that bucket.
+fn bucket_floor(index: usize) -> u64 {
+    let index = index as u64;
+    if index < EXACT {
+        return index;
+    }
+    let octave = (index - EXACT) / SUBS + 1;
+    let sub = (index - EXACT) % SUBS;
+    let msb = octave as u32 + SUB_BITS;
+    (1u64 << msb) + (sub << (msb - SUB_BITS))
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Records one sample of `micros` microseconds.
+    pub fn record(&mut self, micros: u64) {
+        self.record_n(micros, 1);
+    }
+
+    /// Records `n` samples of `micros` microseconds, saturating rather than
+    /// wrapping on overflow.
+    pub fn record_n(&mut self, micros: u64, n: u64) {
+        let bucket = bucket_of(micros);
+        self.counts[bucket] = self.counts[bucket].saturating_add(n);
+        self.total = self.total.saturating_add(n);
+    }
+
+    /// Folds another recorder into this one (saturating per-bucket add).
+    /// Used to combine per-thread recorders at the end of a run.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.total = self.total.saturating_add(other.total);
+    }
+
+    /// Number of recorded samples (saturating).
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` — the smallest bucket floor such
+    /// that at least `⌈q · len⌉` samples are at or below it (so `q = 0`
+    /// reports the minimum bucket and `q = 1` the maximum). Values below
+    /// 64 µs are exact; above that the reported floor is within ~3 % of
+    /// the true sample. Returns `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(count);
+            if seen >= target {
+                return Some(bucket_floor(index));
+            }
+        }
+        // Reachable only when `total` saturated; report the top bucket.
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(bucket_floor)
+    }
+
+    /// Median latency, `None` if empty.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile latency, `None` if empty.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile latency, `None` if empty.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quantiles_on_known_small_inputs() {
+        // Values below 64 µs are recorded exactly, so quantiles on a known
+        // population are exact order statistics.
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.p50(), Some(5));
+        assert_eq!(h.quantile(0.9), Some(9));
+        assert_eq!(h.p99(), Some(10));
+        assert_eq!(h.p999(), Some(10));
+        assert_eq!(h.quantile(1.0), Some(10));
+    }
+
+    #[test]
+    fn large_values_land_within_three_percent() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 1_000, 10_000, 1_000_000, u64::MAX / 2] {
+            let mut single = LatencyHistogram::new();
+            single.record(v);
+            let q = single.quantile(0.5).unwrap();
+            assert!(q <= v, "floor never exceeds the sample");
+            assert!(
+                (v - q) as f64 <= v as f64 * 0.032,
+                "sample {v} reported as {q}"
+            );
+            h.record(v);
+        }
+        assert_eq!(h.len(), 5);
+        // Ordering across octaves is preserved.
+        assert!(h.quantile(0.0).unwrap() < h.quantile(1.0).unwrap());
+    }
+
+    #[test]
+    fn merge_combines_per_thread_recorders() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 1..=5u64 {
+            a.record(v);
+        }
+        for v in 6..=10u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.p50(), Some(5));
+        assert_eq!(a.quantile(1.0), Some(10));
+        // A merged histogram equals one that recorded everything itself.
+        let mut whole = LatencyHistogram::new();
+        for v in 1..=10u64 {
+            whole.record(v);
+        }
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_and_record_saturate_instead_of_wrapping() {
+        let mut a = LatencyHistogram::new();
+        a.record_n(3, u64::MAX);
+        a.record_n(3, 10);
+        assert_eq!(a.len(), u64::MAX, "total saturates");
+        let mut b = LatencyHistogram::new();
+        b.record_n(3, u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.len(), u64::MAX);
+        // Quantiles still answer sensibly after saturation.
+        assert_eq!(a.p50(), Some(3));
+        assert_eq!(a.quantile(1.0), Some(3));
+    }
+
+    #[test]
+    fn zero_sample_histogram_answers_none() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.p999(), None);
+        let mut m = LatencyHistogram::new();
+        m.merge(&h);
+        assert!(m.is_empty(), "merging empties stays empty");
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_invertible() {
+        let mut last = None;
+        for v in (0..4096u64).chain([1 << 20, 1 << 40, u64::MAX]) {
+            let b = bucket_of(v);
+            assert!(bucket_floor(b) <= v);
+            if let Some(prev) = last {
+                assert!(b >= prev, "bucket index monotone in value");
+            }
+            last = Some(b);
+            assert_eq!(
+                bucket_of(bucket_floor(b)),
+                b,
+                "floor of a bucket maps back to it"
+            );
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+}

@@ -19,6 +19,16 @@
 //!   clustered "retail affinity" graph and a less clustered "social network"
 //!   graph — together with the same random-walk sampler and random-walk
 //!   transaction generator (see `DESIGN.md` for the substitution rationale).
+//!
+//! A third layer goes beyond the paper toward the ROADMAP's
+//! production-scale north star: the **scenario engine** primitives. The
+//! [`zipf`] module provides a Zipfian key sampler whose draws are pure
+//! functions of `(seed, draw index)` — replayable bit-identically under
+//! any worker-thread interleaving — the [`scenario`] module composes it
+//! with hot-key storms, flash crowds, diurnal load curves, invalidation
+//! stampedes and cache churn into named [`ScenarioSpec`]s, and the
+//! [`histogram`] module supplies the HDR-style latency recorder the
+//! engine fills per cache and per scenario.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -26,13 +36,22 @@
 pub mod generator;
 pub mod graph;
 pub mod graph_walk;
+pub mod histogram;
 pub mod pareto;
+pub mod scenario;
 pub mod synthetic;
+pub mod zipf;
 
 pub use generator::{AccessPattern, WorkloadGenerator};
 pub use graph::{Graph, GraphKind};
 pub use graph_walk::RandomWalkWorkload;
+pub use histogram::LatencyHistogram;
 pub use pareto::BoundedPareto;
+pub use scenario::{
+    catalog, churn_rotation, ChurnAction, ChurnEvent, CrowdShift, HotKeyStorm, LoadCurve,
+    ScenarioSpec, Stampede,
+};
 pub use synthetic::{
     DriftingClusters, ParetoClusters, PerfectClusters, PhaseShift, UniformRandom,
 };
+pub use zipf::{ZipfSampler, ZipfWorkload};

@@ -1,0 +1,674 @@
+//! Composable scenario primitives for the open-loop scenario engine.
+//!
+//! A [`ScenarioSpec`] describes production-shaped traffic from a large
+//! logical client population — millions of clients multiplexed over the
+//! bounded worker threads of the live execution plane — as a composition
+//! of small primitives:
+//!
+//! * **Zipfian skew** — keys are drawn from a [`crate::zipf::ZipfSampler`]
+//!   with the spec's `skew` exponent;
+//! * **[`LoadCurve`]s** — diurnal curves and flash-crowd bursts multiply
+//!   the offered read rate over time (curves compose by multiplication);
+//! * **[`HotKeyStorm`]s** — during a window, a fraction of reads is
+//!   redirected onto a tiny hot set;
+//! * **[`CrowdShift`]s** — a cache's client-population weight changes at
+//!   an instant (the per-cache side of a flash crowd);
+//! * **[`Stampede`]** — a fraction of reads chases recently-updated keys,
+//!   modeling a cache stampede on invalidation;
+//! * **[`ChurnEvent`]s** — caches are paused/resumed or crashed/restarted
+//!   mid-run.
+//!
+//! Every probabilistic decision a scenario makes is a *pure function of
+//! `(run seed, draw index)`* through the tagged streams of
+//! [`tcache_types::scenario_seed`] and [`tcache_types::zipf_seed`], so a
+//! scenario replays bit-identically regardless of worker-thread count or
+//! interleaving. The same discipline makes the **modeled client latency**
+//! ([`ScenarioSpec::modeled_latency_micros`]) deterministic: rather than
+//! measuring wall-clock time (which no two runs share), the engine models
+//! what a client would observe — a fast cache hit or a slow degraded
+//! pass-through, inflated by the instantaneous load multiplier and a
+//! heavy-tailed jitter draw — and records it into per-cache
+//! [`crate::histogram::LatencyHistogram`]s.
+
+use tcache_types::{derive_stream_seed, ObjectId, SimDuration, SimTime};
+
+/// Decision-stream indices claimed under [`tcache_types::scenario_seed`].
+/// Each decision family owns one stream so adding a primitive never shifts
+/// the draws of another.
+pub mod streams {
+    /// Storm redirection coin and hot-key choice.
+    pub const STORM: u64 = 0;
+    /// Per-read cache assignment draw.
+    pub const ASSIGN: u64 = 1;
+    /// Modeled-latency jitter.
+    pub const LATENCY: u64 = 2;
+    /// Stampede redirection coin and recent-update choice.
+    pub const STAMPEDE: u64 = 3;
+    /// Logical-client identity of a read.
+    pub const CLIENT: u64 = 4;
+}
+
+/// A uniform `f64` in `[0, 1)` depending only on `(stream_seed, draw)` —
+/// the primitive underneath every per-draw scenario decision.
+pub fn unit_draw(stream_seed: u64, draw: u64) -> f64 {
+    (derive_stream_seed(stream_seed, draw) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A time-varying multiplier on the offered read rate. Curves compose by
+/// multiplication: a diurnal baseline with a flash-crowd burst on top is
+/// simply both curves in the spec's list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadCurve {
+    /// A smooth day/night curve: multiplier
+    /// `1 + amplitude · sin(2π · t / period)`, floored at 0.05 so the
+    /// arrival process never stalls completely.
+    Diurnal {
+        /// Length of one full day/night cycle.
+        period: SimDuration,
+        /// Peak deviation from the baseline rate (0.6 → 40 %–160 %).
+        amplitude: f64,
+    },
+    /// A flash-crowd burst: the rate is multiplied by `factor` during
+    /// `[at, at + len)` and unchanged outside it.
+    Burst {
+        /// When the burst begins.
+        at: SimTime,
+        /// How long it lasts.
+        len: SimDuration,
+        /// The rate multiplier while it lasts.
+        factor: f64,
+    },
+}
+
+impl LoadCurve {
+    /// The multiplier this curve contributes at `now`.
+    pub fn multiplier(&self, now: SimTime) -> f64 {
+        match *self {
+            LoadCurve::Diurnal { period, amplitude } => {
+                let phase = (now.as_micros() % period.as_micros().max(1)) as f64
+                    / period.as_micros().max(1) as f64;
+                (1.0 + amplitude * (2.0 * std::f64::consts::PI * phase).sin()).max(0.05)
+            }
+            LoadCurve::Burst { at, len, factor } => {
+                if now >= at && now < at + len {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+/// During `[from, until)`, each read is redirected with probability
+/// `fraction` onto one of the `hot_keys` hottest objects (ranks 0..hot).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotKeyStorm {
+    /// When the storm starts.
+    pub from: SimTime,
+    /// When it subsides.
+    pub until: SimTime,
+    /// Size of the hot set the redirected reads collapse onto.
+    pub hot_keys: u64,
+    /// Probability that a read is redirected while the storm lasts.
+    pub fraction: f64,
+}
+
+/// From `at` onward, the client-population weight of cache index `cache`
+/// becomes `weight` (weights are renormalized against the other caches'
+/// baseline shares).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrowdShift {
+    /// When the crowd moves.
+    pub at: SimTime,
+    /// Index of the cache whose population changes.
+    pub cache: u32,
+    /// Its new (unnormalized) weight.
+    pub weight: f64,
+}
+
+/// A fraction of reads chases keys updated within the trailing `window` —
+/// the cache-stampede-on-invalidation pattern, where an invalidation makes
+/// every interested client refetch at once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stampede {
+    /// Probability that a read chases a recently-updated key.
+    pub fraction: f64,
+    /// How far back "recently updated" reaches.
+    pub window: SimDuration,
+}
+
+/// What a churn event does to its cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// Hold the cache's invalidation pipe (messages queue, none are lost).
+    /// Live-plane only: the discrete plane has no pausable pipe.
+    Pause,
+    /// Release a held pipe.
+    Resume,
+    /// Crash the cache (cold store, severed link) — maps to the fault
+    /// plan's crash event and runs on both planes.
+    Crash,
+    /// Restart a crashed cache.
+    Restart,
+}
+
+/// One churn event: at `at`, `action` happens to cache index `cache`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// When the event fires (virtual time).
+    pub at: SimTime,
+    /// Index of the cache it hits.
+    pub cache: u32,
+    /// What happens.
+    pub action: ChurnAction,
+}
+
+/// A named, composable, deterministically replayable traffic scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    name: String,
+    objects: u64,
+    per_txn: usize,
+    skew: f64,
+    population: u64,
+    load: Vec<LoadCurve>,
+    storms: Vec<HotKeyStorm>,
+    crowd_shifts: Vec<CrowdShift>,
+    stampede: Option<Stampede>,
+    churn: Vec<ChurnEvent>,
+}
+
+impl ScenarioSpec {
+    /// A plain skewed baseline: `objects` keys under Zipf exponent `skew`,
+    /// `per_txn` accesses per transaction, drawn on behalf of `population`
+    /// logical clients. Primitives are layered on with the `with_*`
+    /// builders.
+    pub fn new(name: &str, objects: u64, per_txn: usize, skew: f64, population: u64) -> Self {
+        assert!(objects > 0 && per_txn > 0 && population > 0);
+        ScenarioSpec {
+            name: name.to_string(),
+            objects,
+            per_txn,
+            skew,
+            population,
+            load: Vec::new(),
+            storms: Vec::new(),
+            crowd_shifts: Vec::new(),
+            stampede: None,
+            churn: Vec::new(),
+        }
+    }
+
+    /// Adds a load curve (curves compose by multiplication).
+    #[must_use]
+    pub fn with_load(mut self, curve: LoadCurve) -> Self {
+        self.load.push(curve);
+        self
+    }
+
+    /// Adds a hot-key storm window.
+    #[must_use]
+    pub fn with_storm(mut self, storm: HotKeyStorm) -> Self {
+        assert!(storm.from < storm.until && storm.hot_keys > 0);
+        self.storms.push(storm);
+        self
+    }
+
+    /// Adds a per-cache crowd shift.
+    #[must_use]
+    pub fn with_crowd_shift(mut self, shift: CrowdShift) -> Self {
+        self.crowd_shifts.push(shift);
+        self
+    }
+
+    /// Sets the stampede behaviour.
+    #[must_use]
+    pub fn with_stampede(mut self, stampede: Stampede) -> Self {
+        self.stampede = Some(stampede);
+        self
+    }
+
+    /// Adds a churn event, keeping the list sorted by time.
+    #[must_use]
+    pub fn with_churn(mut self, event: ChurnEvent) -> Self {
+        let pos = self.churn.partition_point(|e| e.at <= event.at);
+        self.churn.insert(pos, event);
+        self
+    }
+
+    /// The scenario's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of distinct objects the scenario touches.
+    pub fn object_count(&self) -> u64 {
+        self.objects
+    }
+
+    /// Accesses per transaction.
+    pub fn accesses_per_transaction(&self) -> usize {
+        self.per_txn
+    }
+
+    /// The Zipf skew exponent.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Size of the logical client population.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// The stampede primitive, if configured.
+    pub fn stampede(&self) -> Option<Stampede> {
+        self.stampede
+    }
+
+    /// The churn events, sorted by time.
+    pub fn churn_events(&self) -> &[ChurnEvent] {
+        &self.churn
+    }
+
+    /// Whether any churn event needs a pausable pipe (live-plane only).
+    pub fn has_pause_churn(&self) -> bool {
+        self.churn
+            .iter()
+            .any(|e| matches!(e.action, ChurnAction::Pause | ChurnAction::Resume))
+    }
+
+    /// The product of every load curve's multiplier at `now`, floored at
+    /// 0.01 so the arrival process always makes progress.
+    pub fn rate_multiplier(&self, now: SimTime) -> f64 {
+        self.load
+            .iter()
+            .map(|c| c.multiplier(now))
+            .product::<f64>()
+            .max(0.01)
+    }
+
+    /// Applies any active hot-key storm to the key of access draw `draw`:
+    /// with the storm's probability the key collapses onto the hot set.
+    /// `storm_seed` is `scenario_seed(run_seed, streams::STORM)`.
+    pub fn apply_storm(&self, storm_seed: u64, now: SimTime, draw: u64, key: ObjectId) -> ObjectId {
+        for storm in &self.storms {
+            if now >= storm.from && now < storm.until {
+                let coin = unit_draw(storm_seed, draw * 2);
+                if coin < storm.fraction {
+                    let pick = unit_draw(storm_seed, draw * 2 + 1);
+                    let hot = (pick * storm.hot_keys as f64) as u64;
+                    return ObjectId(hot.min(self.objects - 1));
+                }
+            }
+        }
+        key
+    }
+
+    /// Whether read draw `draw` chases a recently-updated key.
+    /// `stampede_seed` is `scenario_seed(run_seed, streams::STAMPEDE)`.
+    pub fn stampede_redirect(&self, stampede_seed: u64, draw: u64) -> bool {
+        match self.stampede {
+            Some(s) => unit_draw(stampede_seed, draw) < s.fraction,
+            None => false,
+        }
+    }
+
+    /// The per-cache population weights in force at `now`: `base` shares
+    /// with every crowd shift at or before `now` applied on top. Weights
+    /// are unnormalized; assignment normalizes over the returned vector.
+    pub fn cache_weights(&self, now: SimTime, base: &[f64]) -> Vec<f64> {
+        let mut weights = base.to_vec();
+        for shift in &self.crowd_shifts {
+            if shift.at <= now {
+                if let Some(w) = weights.get_mut(shift.cache as usize) {
+                    *w = shift.weight;
+                }
+            }
+        }
+        weights
+    }
+
+    /// Assigns read draw `draw` to a cache index by a categorical draw
+    /// over `weights` (all-zero weights fall back to cache 0).
+    /// `assign_seed` is `scenario_seed(run_seed, streams::ASSIGN)`.
+    pub fn assign_cache(&self, assign_seed: u64, draw: u64, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut u = unit_draw(assign_seed, draw) * total;
+        for (index, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                if u < w {
+                    return index;
+                }
+                u -= w;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// The logical client issuing read draw `draw`, out of the scenario's
+    /// population. `client_seed` is
+    /// `scenario_seed(run_seed, streams::CLIENT)`.
+    pub fn client_for_draw(&self, client_seed: u64, draw: u64) -> u64 {
+        derive_stream_seed(client_seed, draw) % self.population
+    }
+
+    /// The **modeled** latency (µs) a client observes for read draw `draw`
+    /// completing at `now`: a cache hit costs ~800 µs and a degraded
+    /// pass-through costs the backend round trip, both inflated by the
+    /// instantaneous load multiplier (queueing) and a heavy-tailed jitter
+    /// draw (cubed uniform, so p999 ≫ p50). Deterministic in
+    /// `(latency_seed, now, draw, degraded)` — the reason two runs of the
+    /// same scenario produce bit-identical histograms.
+    /// `latency_seed` is `scenario_seed(run_seed, streams::LATENCY)`.
+    pub fn modeled_latency_micros(
+        &self,
+        latency_seed: u64,
+        now: SimTime,
+        draw: u64,
+        degraded: bool,
+        backend_rtt_micros: u64,
+    ) -> u64 {
+        let base = if degraded {
+            800.0 + backend_rtt_micros as f64
+        } else {
+            800.0
+        };
+        let load = self.rate_multiplier(now);
+        let queue = 1.0 + 1.5 * (load - 1.0).max(0.0);
+        let u = unit_draw(latency_seed, draw);
+        (base * queue * (1.0 + 3.0 * u * u * u)) as u64
+    }
+}
+
+/// Builds a round-robin churn rotation over `caches` caches: starting at
+/// `start`, every `period` the next cache in turn goes down (crashing if
+/// `crash`, pausing otherwise) and comes back `down_for` later.
+pub fn churn_rotation(
+    caches: u32,
+    start: SimTime,
+    period: SimDuration,
+    down_for: SimDuration,
+    crash: bool,
+) -> Vec<ChurnEvent> {
+    assert!(down_for < period, "a cache must recover before the next falls");
+    let (down, up) = if crash {
+        (ChurnAction::Crash, ChurnAction::Restart)
+    } else {
+        (ChurnAction::Pause, ChurnAction::Resume)
+    };
+    (0..caches)
+        .flat_map(|i| {
+            let at = start + SimDuration::from_micros(period.as_micros() * u64::from(i));
+            [
+                ChurnEvent {
+                    at,
+                    cache: i,
+                    action: down,
+                },
+                ChurnEvent {
+                    at: at + down_for,
+                    cache: i,
+                    action: up,
+                },
+            ]
+        })
+        .collect()
+}
+
+/// The canonical five-scenario catalog the `scenarios` figure and bench
+/// bin run: one scenario per primitive family, each exercising the same
+/// Zipfian baseline (2000 objects, skew 0.9, five accesses per
+/// transaction, two million logical clients) over `caches` caches for
+/// `duration`.
+pub fn catalog(duration: SimDuration, caches: u32) -> Vec<ScenarioSpec> {
+    let third = SimDuration::from_micros(duration.as_micros() / 3);
+    let base = |name: &str| ScenarioSpec::new(name, 2000, 5, 0.9, 2_000_000);
+    let mut specs = vec![
+        base("hot_key_storm").with_storm(HotKeyStorm {
+            from: SimTime::ZERO + third,
+            until: SimTime::ZERO + third + third,
+            hot_keys: 5,
+            fraction: 0.8,
+        }),
+        base("flash_crowd")
+            .with_load(LoadCurve::Burst {
+                at: SimTime::ZERO + third,
+                len: third,
+                factor: 3.0,
+            })
+            .with_crowd_shift(CrowdShift {
+                at: SimTime::ZERO + third,
+                cache: 0,
+                weight: 8.0,
+            }),
+        base("diurnal").with_load(LoadCurve::Diurnal {
+            period: duration,
+            amplitude: 0.6,
+        }),
+        base("stampede").with_stampede(Stampede {
+            fraction: 0.6,
+            window: SimDuration::from_secs(2),
+        }),
+    ];
+    let mut churny = base("cache_churn");
+    for event in churn_rotation(
+        caches.min(2),
+        SimTime::ZERO + third,
+        third,
+        SimDuration::from_micros(third.as_micros() / 2),
+        true,
+    ) {
+        churny = churny.with_churn(event);
+    }
+    // The last cache is additionally paused (pipe held, backlog queued)
+    // for a window, exercising the live plane's pausable pipes alongside
+    // the crash rotation — which is why the catalog's churn scenario needs
+    // the live plane.
+    if caches > 2 {
+        let quarter = SimDuration::from_micros(third.as_micros() / 4);
+        churny = churny
+            .with_churn(ChurnEvent {
+                at: SimTime::ZERO + third + third,
+                cache: caches - 1,
+                action: ChurnAction::Pause,
+            })
+            .with_churn(ChurnEvent {
+                at: SimTime::ZERO + third + third + quarter,
+                cache: caches - 1,
+                action: ChurnAction::Resume,
+            });
+    }
+    specs.push(churny);
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::scenario_seed;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn load_curves_compose_by_multiplication() {
+        let spec = ScenarioSpec::new("t", 100, 5, 1.0, 1000)
+            .with_load(LoadCurve::Burst {
+                at: secs(2),
+                len: SimDuration::from_secs(2),
+                factor: 3.0,
+            })
+            .with_load(LoadCurve::Burst {
+                at: secs(3),
+                len: SimDuration::from_secs(2),
+                factor: 2.0,
+            });
+        assert!((spec.rate_multiplier(secs(1)) - 1.0).abs() < 1e-12);
+        assert!((spec.rate_multiplier(secs(2)) - 3.0).abs() < 1e-12);
+        assert!((spec.rate_multiplier(secs(3)) - 6.0).abs() < 1e-12);
+        assert!((spec.rate_multiplier(secs(4)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diurnal_curve_oscillates_around_one() {
+        let curve = LoadCurve::Diurnal {
+            period: SimDuration::from_secs(40),
+            amplitude: 0.6,
+        };
+        assert!((curve.multiplier(secs(0)) - 1.0).abs() < 1e-9);
+        assert!(curve.multiplier(secs(10)) > 1.5, "peak above baseline");
+        assert!(curve.multiplier(secs(30)) < 0.5, "trough below baseline");
+        assert!(curve.multiplier(secs(30)) >= 0.05, "floored");
+    }
+
+    #[test]
+    fn storms_redirect_only_inside_their_window() {
+        let spec = ScenarioSpec::new("t", 1000, 5, 1.0, 1000).with_storm(HotKeyStorm {
+            from: secs(5),
+            until: secs(10),
+            hot_keys: 3,
+            fraction: 1.0,
+        });
+        let seed = scenario_seed(42, streams::STORM);
+        for draw in 0..200u64 {
+            let cold = ObjectId(999);
+            assert_eq!(spec.apply_storm(seed, secs(1), draw, cold), cold);
+            let hot = spec.apply_storm(seed, secs(7), draw, cold);
+            assert!(hot.as_u64() < 3, "fraction 1.0 always redirects");
+            assert_eq!(spec.apply_storm(seed, secs(10), draw, cold), cold);
+        }
+    }
+
+    #[test]
+    fn crowd_shifts_rewrite_weights_from_their_instant() {
+        let spec = ScenarioSpec::new("t", 100, 5, 1.0, 1000).with_crowd_shift(CrowdShift {
+            at: secs(3),
+            cache: 1,
+            weight: 9.0,
+        });
+        let base = [1.0, 1.0, 1.0];
+        assert_eq!(spec.cache_weights(secs(2), &base), vec![1.0, 1.0, 1.0]);
+        assert_eq!(spec.cache_weights(secs(3), &base), vec![1.0, 9.0, 1.0]);
+    }
+
+    #[test]
+    fn cache_assignment_follows_the_weights() {
+        let spec = ScenarioSpec::new("t", 100, 5, 1.0, 1000);
+        let seed = scenario_seed(7, streams::ASSIGN);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for draw in 0..4000u64 {
+            counts[spec.assign_cache(seed, draw, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight cache receives nothing");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((2.0..4.0).contains(&ratio), "≈3:1 split, got {ratio}");
+        assert_eq!(spec.assign_cache(seed, 0, &[0.0, 0.0]), 0, "fallback");
+    }
+
+    #[test]
+    fn per_draw_decisions_are_deterministic() {
+        let spec = ScenarioSpec::new("t", 500, 5, 1.0, 2_000_000)
+            .with_stampede(Stampede {
+                fraction: 0.5,
+                window: SimDuration::from_secs(1),
+            });
+        let stamp = scenario_seed(42, streams::STAMPEDE);
+        let client = scenario_seed(42, streams::CLIENT);
+        let lat = scenario_seed(42, streams::LATENCY);
+        for draw in [0u64, 1, 17, 1_000_003] {
+            assert_eq!(
+                spec.stampede_redirect(stamp, draw),
+                spec.stampede_redirect(stamp, draw)
+            );
+            assert_eq!(
+                spec.client_for_draw(client, draw),
+                spec.client_for_draw(client, draw)
+            );
+            assert!(spec.client_for_draw(client, draw) < 2_000_000);
+            assert_eq!(
+                spec.modeled_latency_micros(lat, secs(1), draw, false, 10_000),
+                spec.modeled_latency_micros(lat, secs(1), draw, false, 10_000)
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_latency_separates_hits_from_degraded_reads() {
+        let spec = ScenarioSpec::new("t", 100, 5, 1.0, 1000).with_load(LoadCurve::Burst {
+            at: secs(2),
+            len: SimDuration::from_secs(1),
+            factor: 4.0,
+        });
+        let lat = scenario_seed(1, streams::LATENCY);
+        let hit = spec.modeled_latency_micros(lat, secs(0), 3, false, 100_000);
+        let degraded = spec.modeled_latency_micros(lat, secs(0), 3, true, 100_000);
+        assert!(degraded > hit + 50_000, "pass-through pays the backend RTT");
+        let loaded = spec.modeled_latency_micros(lat, secs(2), 3, false, 100_000);
+        assert!(loaded > hit, "queueing under the burst inflates latency");
+    }
+
+    #[test]
+    fn churn_rotation_alternates_down_and_up() {
+        let events = churn_rotation(
+            3,
+            secs(10),
+            SimDuration::from_secs(4),
+            SimDuration::from_secs(1),
+            true,
+        );
+        assert_eq!(events.len(), 6);
+        assert_eq!(events[0].action, ChurnAction::Crash);
+        assert_eq!(events[1].action, ChurnAction::Restart);
+        assert_eq!(events[1].at, secs(11));
+        let mut spec = ScenarioSpec::new("t", 100, 5, 1.0, 1000);
+        for e in events {
+            spec = spec.with_churn(e);
+        }
+        let ats: Vec<u64> = spec.churn_events().iter().map(|e| e.at.0).collect();
+        let mut sorted = ats.clone();
+        sorted.sort();
+        assert_eq!(ats, sorted, "churn kept sorted");
+        assert!(!spec.has_pause_churn());
+        let paused = spec.with_churn(ChurnEvent {
+            at: secs(1),
+            cache: 0,
+            action: ChurnAction::Pause,
+        });
+        assert!(paused.has_pause_churn());
+    }
+
+    #[test]
+    fn catalog_names_five_distinct_scenarios() {
+        let specs = catalog(SimDuration::from_secs(12), 4);
+        let names: Vec<&str> = specs.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "hot_key_storm",
+                "flash_crowd",
+                "diurnal",
+                "stampede",
+                "cache_churn"
+            ]
+        );
+        for spec in &specs {
+            assert_eq!(spec.object_count(), 2000);
+            assert_eq!(spec.accesses_per_transaction(), 5);
+            assert_eq!(spec.population(), 2_000_000);
+            assert!((spec.skew() - 0.9).abs() < 1e-12);
+        }
+        assert!(!specs[4].churn_events().is_empty());
+        assert!(
+            specs[4].has_pause_churn(),
+            "with >2 caches the churn scenario also exercises pause/resume"
+        );
+        assert!(specs[3].stampede().is_some());
+    }
+}

@@ -1,0 +1,221 @@
+//! A deterministic Zipfian key sampler for the scenario engine.
+//!
+//! Production edge traffic is heavily skewed: a handful of hot objects
+//! absorb most reads while a long tail is touched rarely. The scenario
+//! engine models this with a classic Zipf distribution over `n` ranked
+//! objects, `P(rank i) ∝ 1 / i^s`, but with one twist that matters for
+//! replayability: the *k*-th key drawn is a **pure function of
+//! `(seed, k)`** rather than the output of a shared mutable RNG. Worker
+//! threads can therefore consume draws in any order, or be re-partitioned
+//! across a different thread count, and the logical key sequence never
+//! changes — the property the sampler's property tests pin down.
+//!
+//! The inverse-CDF lookup uses a precomputed cumulative table, so a draw
+//! costs one 64-bit mix ([`tcache_types::derive_stream_seed`]-style
+//! splitmix64 finalizer) plus one binary search.
+
+use rand::RngCore;
+use tcache_types::{derive_stream_seed, AccessSet, ObjectId, SimTime};
+
+use crate::generator::{AccessPattern, WorkloadGenerator};
+
+/// A Zipf distribution over `objects` ranked keys whose draws are indexed
+/// rather than streamed: [`ZipfSampler::key_for_draw`] maps a draw index
+/// straight to a key.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    objects: u64,
+    exponent: f64,
+    seed: u64,
+    /// `cdf[i]` is the probability that a draw has rank ≤ i (0-based).
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler. `exponent` is the Zipf shape `s` (0 degenerates
+    /// to uniform; web workloads are typically 0.8–1.2). The cumulative
+    /// table costs `O(objects)` once.
+    ///
+    /// # Panics
+    /// Panics if `objects` is zero or `exponent` is negative or non-finite.
+    pub fn new(seed: u64, objects: u64, exponent: f64) -> Self {
+        assert!(objects > 0, "need at least one object");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(objects as usize);
+        let mut total = 0.0f64;
+        for rank in 1..=objects {
+            total += 1.0 / (rank as f64).powf(exponent);
+            cdf.push(total);
+        }
+        let norm = total;
+        for c in &mut cdf {
+            *c /= norm;
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler {
+            objects,
+            exponent,
+            seed,
+            cdf,
+        }
+    }
+
+    /// Number of distinct keys the sampler can produce.
+    pub fn object_count(&self) -> u64 {
+        self.objects
+    }
+
+    /// The Zipf shape parameter `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// The theoretical probability of the key with 0-based rank `rank`
+    /// (rank 0 is the hottest key). Used by the property tests to compare
+    /// empirical frequencies against theory.
+    pub fn rank_probability(&self, rank: u64) -> f64 {
+        assert!(rank < self.objects);
+        let below = if rank == 0 {
+            0.0
+        } else {
+            self.cdf[rank as usize - 1]
+        };
+        self.cdf[rank as usize] - below
+    }
+
+    /// A uniform `f64` in `[0, 1)` that depends only on `(seed, draw)`.
+    fn unit_for_draw(&self, draw: u64) -> f64 {
+        // 53 mantissa bits of the mixed output give a dense uniform float.
+        let mixed = derive_stream_seed(self.seed, draw);
+        (mixed >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The key produced by draw index `draw` — a pure function of
+    /// `(seed, draw)`. Rank 0 (the hottest key) maps to `ObjectId(0)`,
+    /// rank 1 to `ObjectId(1)`, and so on.
+    pub fn key_for_draw(&self, draw: u64) -> ObjectId {
+        let u = self.unit_for_draw(draw);
+        // First rank whose cumulative probability exceeds u.
+        let rank = self.cdf.partition_point(|&c| c <= u) as u64;
+        ObjectId(rank.min(self.objects - 1))
+    }
+}
+
+/// A [`WorkloadGenerator`] over a [`ZipfSampler`].
+///
+/// The generator keeps a private draw counter and **ignores the external
+/// RNG**: access sets are a pure function of `(seed, draw counter)`, which
+/// is what lets a scenario replay bit-identically no matter how the worker
+/// threads that consume it interleave. Each access consumes one draw index.
+#[derive(Debug, Clone)]
+pub struct ZipfWorkload {
+    sampler: ZipfSampler,
+    per_txn: usize,
+    next_draw: u64,
+}
+
+impl ZipfWorkload {
+    /// Creates a Zipf workload issuing `per_txn` accesses per transaction.
+    pub fn new(seed: u64, objects: u64, exponent: f64, per_txn: usize) -> Self {
+        ZipfWorkload {
+            sampler: ZipfSampler::new(seed, objects, exponent),
+            per_txn,
+            next_draw: 0,
+        }
+    }
+
+    /// The underlying sampler.
+    pub fn sampler(&self) -> &ZipfSampler {
+        &self.sampler
+    }
+}
+
+impl WorkloadGenerator for ZipfWorkload {
+    fn generate(&mut self, _now: SimTime, _rng: &mut dyn RngCore) -> AccessSet {
+        let start = self.next_draw;
+        self.next_draw += self.per_txn as u64;
+        (0..self.per_txn as u64)
+            .map(|i| self.sampler.key_for_draw(start + i))
+            .collect()
+    }
+
+    fn object_count(&self) -> usize {
+        self.sampler.objects as usize
+    }
+
+    fn accesses_per_transaction(&self) -> usize {
+        self.per_txn
+    }
+
+    fn pattern(&self) -> AccessPattern {
+        AccessPattern::Uniform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let z = ZipfSampler::new(1, 100, 1.0);
+        let mut last = 0.0;
+        for rank in 0..100 {
+            let p = z.rank_probability(rank);
+            assert!(p > 0.0);
+            last += p;
+        }
+        assert!((last - 1.0).abs() < 1e-9);
+        assert!(z.rank_probability(0) > z.rank_probability(99));
+        assert_eq!(z.object_count(), 100);
+        assert!((z.exponent() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_exponent_degenerates_to_uniform() {
+        let z = ZipfSampler::new(9, 50, 0.0);
+        for rank in 0..50 {
+            assert!((z.rank_probability(rank) - 1.0 / 50.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn draws_are_pure_functions_of_seed_and_index() {
+        let a = ZipfSampler::new(42, 1000, 1.0);
+        let b = ZipfSampler::new(42, 1000, 1.0);
+        // Query b in reverse order: same keys regardless of access order.
+        let forward: Vec<ObjectId> = (0..256).map(|k| a.key_for_draw(k)).collect();
+        let backward: Vec<ObjectId> = (0..256).rev().map(|k| b.key_for_draw(k)).collect();
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>()
+        );
+        let c = ZipfSampler::new(43, 1000, 1.0);
+        let other: Vec<ObjectId> = (0..256).map(|k| c.key_for_draw(k)).collect();
+        assert_ne!(forward, other, "different seed → different sequence");
+    }
+
+    #[test]
+    fn workload_generates_in_draw_order_and_ignores_the_rng() {
+        let mut w1 = ZipfWorkload::new(7, 500, 1.0, 5);
+        let mut w2 = ZipfWorkload::new(7, 500, 1.0, 5);
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(999);
+        for i in 0..50u64 {
+            let a = w1.generate(SimTime::ZERO, &mut rng_a);
+            let b = w2.generate(SimTime::ZERO, &mut rng_b);
+            assert_eq!(a.objects(), b.objects(), "txn {i}");
+        }
+        assert_eq!(w1.object_count(), 500);
+        assert_eq!(w1.accesses_per_transaction(), 5);
+        assert_eq!(w1.pattern(), AccessPattern::Uniform);
+        assert!(w1.sampler().rank_probability(0) > 0.0);
+    }
+}
