@@ -9,6 +9,15 @@
 //! the tables, and writes `BENCH_hotpath.json` into the current directory
 //! so future changes have a perf trajectory to compare against.
 //!
+//! Every throughput row is the **minimum of `rounds` repetitions** (the
+//! most conservative round — a history row can only improve when the code
+//! actually gets faster), printed alongside the spread
+//! `(max - min) / min` so noisy rows are visible at a glance. The
+//! `read txn fast path` table exercises the allocation-free
+//! single-shot read path ([`EdgeCache::execute_read_only`]) and reports
+//! allocations per transaction (counted by this binary's own global
+//! allocator), ns per read and the table-promotion rate.
+//!
 //! Also runs the cross-plane comparison (the `figures::live_plane`
 //! experiment: the inconsistency-vs-loss trend on the live reactor stack
 //! versus the discrete-event simulator, plus the live stack's wall-clock
@@ -22,6 +31,8 @@
 //! * `--history <path>` — where to append the history row (default
 //!   `BENCH_history.jsonl`).
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -39,6 +50,72 @@ use tcache_types::{
 
 const OBJECTS: u64 = 1024;
 const READS_PER_TXN: u64 = 3;
+
+/// Forwards to the system allocator, counting allocations per thread so the
+/// `read txn fast path` row can report allocations per transaction without
+/// other threads' activity bleeding into the count.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|count| count.set(count.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|count| count.set(count.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|count| count.set(count.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations_on_this_thread() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+/// Min/max over repeated measurement rounds. The minimum is the reported
+/// value; the spread quantifies run-to-run noise next to every row.
+struct Measured {
+    min: f64,
+    max: f64,
+}
+
+impl Measured {
+    fn spread_pct(&self) -> f64 {
+        if self.min > 0.0 {
+            (self.max - self.min) / self.min * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs `measure` `rounds` times and folds the samples into a [`Measured`].
+fn repeat(rounds: u64, mut measure: impl FnMut() -> f64) -> Measured {
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    for _ in 0..rounds {
+        let sample = measure();
+        min = min.min(sample);
+        max = max.max(sample);
+    }
+    Measured { min, max }
+}
 
 fn warmed_db_with(read_path: ReadPath) -> Arc<Database> {
     let db = Arc::new(Database::new(
@@ -426,25 +503,28 @@ fn main() {
 
     println!(
         "hot path: {READS_PER_TXN}-read hit transactions over {OBJECTS} cached objects \
-         ({txns_per_thread} txns/thread, best of {rounds})"
+         ({txns_per_thread} txns/thread, min of {rounds})"
     );
     println!(
         "host parallelism: {}",
         std::thread::available_parallelism().map_or(0, |n| n.get())
     );
-    println!("{:>8} {:>16} {:>14} {:>10}", "threads", "txn/s", "ns/read", "speedup");
+    println!(
+        "{:>8} {:>16} {:>14} {:>10} {:>9}",
+        "threads", "txn/s", "ns/read", "speedup", "spread"
+    );
 
     let mut results: Vec<(u64, f64)> = Vec::new();
     for &threads in &[1u64, 2, 4, 8] {
-        let best = (0..rounds)
-            .map(|_| measure(&cache, threads, txns_per_thread, &seed))
-            .fold(0.0f64, f64::max);
-        results.push((threads, best));
+        let sample = repeat(rounds, || measure(&cache, threads, txns_per_thread, &seed));
+        results.push((threads, sample.min));
         let single = results[0].1;
         println!(
-            "{threads:>8} {best:>16.0} {:>14.1} {:>9.2}x",
-            1e9 / (best * READS_PER_TXN as f64),
-            best / single
+            "{threads:>8} {:>16.0} {:>14.1} {:>9.2}x {:>8.1}%",
+            sample.min,
+            1e9 / (sample.min * READS_PER_TXN as f64),
+            sample.min / single,
+            sample.spread_pct()
         );
     }
 
@@ -453,17 +533,20 @@ fn main() {
     // storage and transaction table, so this measures how much of the hot
     // path is genuinely cache-local versus shared-backend.
     println!("\ncache scaling: one thread per cache, {txns_per_thread} txns/thread");
-    println!("{:>8} {:>16} {:>10}", "caches", "txn/s", "speedup");
+    println!("{:>8} {:>16} {:>10} {:>9}", "caches", "txn/s", "speedup", "spread");
     let db = warmed_db();
     let mut cache_scaling: Vec<(u32, f64)> = Vec::new();
     for &cache_count in &[1u32, 2, 4] {
         let caches = warmed_caches(&db, cache_count);
-        let best = (0..rounds)
-            .map(|_| measure_threads(&caches, txns_per_thread, &seed))
-            .fold(0.0f64, f64::max);
-        cache_scaling.push((cache_count, best));
+        let sample = repeat(rounds, || measure_threads(&caches, txns_per_thread, &seed));
+        cache_scaling.push((cache_count, sample.min));
         let single_cache = cache_scaling[0].1;
-        println!("{cache_count:>8} {best:>16.0} {:>9.2}x", best / single_cache);
+        println!(
+            "{cache_count:>8} {:>16.0} {:>9.2}x {:>8.1}%",
+            sample.min,
+            sample.min / single_cache,
+            sample.spread_pct()
+        );
     }
 
     // Database read-path sweep (ROADMAP: "does epoch/seqlock pay off at
@@ -476,25 +559,25 @@ fn main() {
          (rwlock = locked baseline, seqlock = optimistic)"
     );
     println!(
-        "{:>9} {:>8} {:>16} {:>16} {:>9} {:>9}",
-        "miss", "threads", "rwlock r/s", "seqlock r/s", "speedup", "opt-hit%"
+        "{:>9} {:>8} {:>16} {:>16} {:>9} {:>9} {:>9}",
+        "miss", "threads", "rwlock r/s", "seqlock r/s", "speedup", "opt-hit%", "spread"
     );
     let mut db_rows: Vec<DbReadPathRow> = Vec::new();
     for &miss_permille in &[0u64, 500, 1000] {
         for &threads in &[1u64, 4, 8] {
-            let rwlock = (0..rounds)
-                .map(|_| {
-                    measure_db_read_path(
-                        ReadPath::Locked,
-                        threads,
-                        miss_permille,
-                        db_reads_per_thread,
-                        &seed,
-                    )
-                    .0
-                })
-                .fold(0.0f64, f64::max);
-            let (mut seqlock, mut hit_ratio) = (0.0f64, 1.0f64);
+            let rwlock = repeat(rounds, || {
+                measure_db_read_path(
+                    ReadPath::Locked,
+                    threads,
+                    miss_permille,
+                    db_reads_per_thread,
+                    &seed,
+                )
+                .0
+            })
+            .min;
+            let (mut seqlock, mut seqlock_max, mut hit_ratio) =
+                (f64::INFINITY, 0.0f64, 1.0f64);
             for _ in 0..rounds {
                 let (rps, hits) = measure_db_read_path(
                     ReadPath::Optimistic,
@@ -503,15 +586,18 @@ fn main() {
                     db_reads_per_thread,
                     &seed,
                 );
-                if rps > seqlock {
+                seqlock_max = seqlock_max.max(rps);
+                if rps < seqlock {
                     (seqlock, hit_ratio) = (rps, hits);
                 }
             }
+            let spread = Measured { min: seqlock, max: seqlock_max }.spread_pct();
             println!(
-                "{:>8.0}% {threads:>8} {rwlock:>16.0} {seqlock:>16.0} {:>8.2}x {:>8.2}%",
+                "{:>8.0}% {threads:>8} {rwlock:>16.0} {seqlock:>16.0} {:>8.2}x {:>8.2}% {:>8.1}%",
                 miss_permille as f64 / 10.0,
                 seqlock / rwlock,
-                hit_ratio * 100.0
+                hit_ratio * 100.0,
+                spread
             );
             db_rows.push(DbReadPathRow {
                 miss_pct: miss_permille as f64 / 10.0,
@@ -528,24 +614,26 @@ fn main() {
     // versus 4 async tasks multiplexed on one reactor thread.
     let plane_caches = warmed_caches(&warmed_db(), 4);
     let msgs_per_cache: u64 = if quick { 20_000 } else { 200_000 };
-    let threaded_plane = (0..rounds)
-        .map(|_| measure_threaded_plane(&plane_caches, msgs_per_cache))
-        .fold(0.0f64, f64::max);
-    let reactor_plane = (0..rounds)
-        .map(|_| measure_reactor_plane(&plane_caches, msgs_per_cache, DEFAULT_BATCH_BUDGET))
-        .fold(0.0f64, f64::max);
+    let threaded_plane = repeat(rounds, || measure_threaded_plane(&plane_caches, msgs_per_cache));
+    let reactor_plane = repeat(rounds, || {
+        measure_reactor_plane(&plane_caches, msgs_per_cache, DEFAULT_BATCH_BUDGET)
+    });
     println!(
         "\ninvalidation plane: 4 caches x {msgs_per_cache} invalidations \
-         (reactor batch budget {DEFAULT_BATCH_BUDGET})\n\
-         {:>12} {:>16}\n{:>12} {:>16.0}\n{:>12} {:>16.0}\n{:>12} {:>15.2}x",
+         (reactor batch budget {DEFAULT_BATCH_BUDGET}, min of {rounds})\n\
+         {:>12} {:>16} {:>9}\n{:>12} {:>16.0} {:>8.1}%\n{:>12} {:>16.0} {:>8.1}%\n\
+         {:>12} {:>15.2}x",
         "plane",
         "inv/s",
+        "spread",
         "threaded",
-        threaded_plane,
+        threaded_plane.min,
+        threaded_plane.spread_pct(),
         "reactor",
-        reactor_plane,
+        reactor_plane.min,
+        reactor_plane.spread_pct(),
         "ratio",
-        reactor_plane / threaded_plane
+        reactor_plane.min / threaded_plane.min
     );
 
     // Reactor batch sweep: budget x cache count. Budget 1 is the old
@@ -553,18 +641,21 @@ fn main() {
     // reactor/threaded gap batch dequeue closes and where it saturates.
     let sweep_msgs: u64 = if quick { 10_000 } else { 100_000 };
     println!(
-        "\nreactor batch sweep: {sweep_msgs} invalidations/cache (best of {rounds})"
+        "\nreactor batch sweep: {sweep_msgs} invalidations/cache (min of {rounds})"
     );
-    println!("{:>8} {:>8} {:>16}", "budget", "caches", "inv/s");
+    println!("{:>8} {:>8} {:>16} {:>9}", "budget", "caches", "inv/s", "spread");
     let mut reactor_batch_rows: Vec<(usize, u32, f64)> = Vec::new();
     for &budget in &[1usize, 16, 64] {
         for &cache_count in &[2u32, 4, 8] {
             let sweep_caches = warmed_caches(&warmed_db(), cache_count);
-            let best = (0..rounds)
-                .map(|_| measure_reactor_plane(&sweep_caches, sweep_msgs, budget))
-                .fold(0.0f64, f64::max);
-            println!("{budget:>8} {cache_count:>8} {best:>16.0}");
-            reactor_batch_rows.push((budget, cache_count, best));
+            let sample =
+                repeat(rounds, || measure_reactor_plane(&sweep_caches, sweep_msgs, budget));
+            println!(
+                "{budget:>8} {cache_count:>8} {:>16.0} {:>8.1}%",
+                sample.min,
+                sample.spread_pct()
+            );
+            reactor_batch_rows.push((budget, cache_count, sample.min));
         }
     }
 
@@ -579,35 +670,106 @@ fn main() {
     let epoch_cache = warmed_caches_with_path(&db_epoch, 1, CacheReadPath::Epoch)
         .pop()
         .expect("one cache");
-    let locked_hits = (0..rounds)
-        .map(|_| measure(&locked_cache, 4, txns_per_thread, &seed))
-        .fold(0.0f64, f64::max);
-    let epoch_hits = (0..rounds)
-        .map(|_| measure(&epoch_cache, 4, txns_per_thread, &seed))
-        .fold(0.0f64, f64::max);
-    let locked_hot = (0..rounds)
-        .map(|_| measure_hot(&locked_cache, 8, txns_per_thread, &seed))
-        .fold(0.0f64, f64::max);
-    let epoch_hot = (0..rounds)
-        .map(|_| measure_hot(&epoch_cache, 8, txns_per_thread, &seed))
-        .fold(0.0f64, f64::max);
+    let locked_hits_sample = repeat(rounds, || measure(&locked_cache, 4, txns_per_thread, &seed));
+    let epoch_hits_sample = repeat(rounds, || measure(&epoch_cache, 4, txns_per_thread, &seed));
+    let locked_hot_sample =
+        repeat(rounds, || measure_hot(&locked_cache, 8, txns_per_thread, &seed));
+    let epoch_hot_sample = repeat(rounds, || measure_hot(&epoch_cache, 8, txns_per_thread, &seed));
+    let (locked_hits, epoch_hits) = (locked_hits_sample.min, epoch_hits_sample.min);
+    let (locked_hot, epoch_hot) = (locked_hot_sample.min, epoch_hot_sample.min);
     println!(
         "\ncache read path: hit transactions, one cache \
-         (uniform = 4 threads spread keys, hot = 8 threads on 3 keys)\n\
-         {:>12} {:>16} {:>16}\n{:>12} {:>16.0} {:>16.0}\n{:>12} {:>16.0} {:>16.0}\n\
-         {:>12} {:>15.2}x {:>15.2}x",
+         (uniform = 4 threads spread keys, hot = 8 threads on 3 keys; min of {rounds})\n\
+         {:>12} {:>16} {:>9} {:>16} {:>9}\n\
+         {:>12} {:>16.0} {:>8.1}% {:>16.0} {:>8.1}%\n\
+         {:>12} {:>16.0} {:>8.1}% {:>16.0} {:>8.1}%\n\
+         {:>12} {:>15.2}x {:>26.2}x",
         "path",
         "uniform txn/s",
+        "spread",
         "hot txn/s",
+        "spread",
         "locked",
         locked_hits,
+        locked_hits_sample.spread_pct(),
         locked_hot,
+        locked_hot_sample.spread_pct(),
         "epoch",
         epoch_hits,
+        epoch_hits_sample.spread_pct(),
         epoch_hot,
+        epoch_hot_sample.spread_pct(),
         "epoch speedup",
         epoch_hits / locked_hits,
         epoch_hot / locked_hot
+    );
+
+    // Read-transaction fast path: the allocation-free single-shot path
+    // through `execute_read_only` on one thread — the tentpole regime
+    // (<= 8 reads, all hits, no open multi-call transaction). Allocations
+    // per transaction are counted by this binary's global allocator on the
+    // measuring thread; the promotion rate is the fraction of transactions
+    // that had to be promoted into the sharded table (0 here: every txn is
+    // single-shot).
+    let fp_txns: u64 = if quick { 20_000 } else { 500_000 };
+    let fp_db = warmed_db();
+    let fp_cache = warmed_caches(&fp_db, 1).pop().expect("one cache");
+    let fp_stats_before = fp_cache.stats();
+    let mut fp = Measured { min: f64::INFINITY, max: 0.0 };
+    let mut fp_allocs_per_txn = 0.0f64;
+    for _ in 0..rounds {
+        let base_txn = seed.fetch_add(fp_txns + 2, Ordering::Relaxed);
+        // One throwaway transaction warms the thread-local scratch.
+        let warm = fp_cache
+            .execute_read_only(
+                SimTime::ZERO,
+                TxnId(base_txn),
+                &[ObjectId(0), ObjectId(1), ObjectId(2)],
+            )
+            .expect("warm txn");
+        std::hint::black_box(warm);
+        let allocs_before = allocations_on_this_thread();
+        let start = Instant::now();
+        for i in 0..fp_txns {
+            let base = (i * 3) % (OBJECTS - 2);
+            let keys = [ObjectId(base), ObjectId(base + 1), ObjectId(base + 2)];
+            let log = fp_cache
+                .execute_read_only(SimTime::ZERO, TxnId(base_txn + 1 + i), &keys)
+                .expect("hit transaction");
+            std::hint::black_box(log);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let allocs = allocations_on_this_thread() - allocs_before;
+        let sample = fp_txns as f64 / elapsed;
+        if sample < fp.min {
+            fp_allocs_per_txn = allocs as f64 / fp_txns as f64;
+        }
+        fp.min = fp.min.min(sample);
+        fp.max = fp.max.max(sample);
+    }
+    let fp_stats = fp_cache.stats();
+    let fp_fast = fp_stats.fastpath_txns - fp_stats_before.fastpath_txns;
+    let fp_promoted = fp_stats.promoted_txns - fp_stats_before.promoted_txns;
+    let fp_promotion_rate = if fp_fast + fp_promoted == 0 {
+        0.0
+    } else {
+        fp_promoted as f64 / (fp_fast + fp_promoted) as f64
+    };
+    println!(
+        "\nread txn fast path: single thread, {fp_txns} x {READS_PER_TXN}-read hit \
+         txns via execute_read_only (min of {rounds})\n\
+         {:>16} {:>12} {:>12} {:>12} {:>9}\n\
+         {:>16.0} {:>12.1} {:>12.4} {:>11.2}% {:>8.1}%",
+        "txn/s",
+        "ns/read",
+        "allocs/txn",
+        "promoted",
+        "spread",
+        fp.min,
+        1e9 / (fp.min * READS_PER_TXN as f64),
+        fp_allocs_per_txn,
+        fp_promotion_rate * 100.0,
+        fp.spread_pct()
     );
 
     // Recovery-plane overhead on the healthy path: a single thread applies
@@ -615,28 +777,31 @@ fn main() {
     // (RecoveryPolicy::None) and on (GapResync) — the delta is the
     // steady-state cost the fault-tolerance machinery charges every apply.
     let recovery_msgs = msgs_per_cache * 4;
-    let apply_none = (0..rounds)
-        .map(|_| measure_recovery_overhead(RecoveryPolicy::None, recovery_msgs))
-        .fold(0.0f64, f64::max);
-    let apply_resync = (0..rounds)
-        .map(|_| {
-            measure_recovery_overhead(
-                RecoveryPolicy::GapResync {
-                    staleness_budget: SimDuration::from_millis(100),
-                },
-                recovery_msgs,
-            )
-        })
-        .fold(0.0f64, f64::max);
+    let apply_none_sample =
+        repeat(rounds, || measure_recovery_overhead(RecoveryPolicy::None, recovery_msgs));
+    let apply_resync_sample = repeat(rounds, || {
+        measure_recovery_overhead(
+            RecoveryPolicy::GapResync {
+                staleness_budget: SimDuration::from_millis(100),
+            },
+            recovery_msgs,
+        )
+    });
+    let (apply_none, apply_resync) = (apply_none_sample.min, apply_resync_sample.min);
     println!(
-        "\nrecovery overhead: {recovery_msgs} gapless sequenced invalidations, one thread\n\
-         {:>12} {:>16}\n{:>12} {:>16.0}\n{:>12} {:>16.0}\n{:>12} {:>15.1}%",
+        "\nrecovery overhead: {recovery_msgs} gapless sequenced invalidations, one thread \
+         (min of {rounds})\n\
+         {:>12} {:>16} {:>9}\n{:>12} {:>16.0} {:>8.1}%\n{:>12} {:>16.0} {:>8.1}%\n\
+         {:>12} {:>15.1}%",
         "policy",
         "inv/s",
+        "spread",
         "none",
         apply_none,
+        apply_none_sample.spread_pct(),
         "gap-resync",
         apply_resync,
+        apply_resync_sample.spread_pct(),
         "overhead",
         (apply_none / apply_resync - 1.0) * 100.0
     );
@@ -750,8 +915,8 @@ fn main() {
          \"invalidation_plane\": {{\n    \"caches\": 4,\n    \
          \"msgs_per_cache\": {msgs_per_cache},\n    \
          \"batch_budget\": {DEFAULT_BATCH_BUDGET},\n    \
-         \"threaded_inv_per_sec\": {threaded_plane:.1},\n    \
-         \"reactor_inv_per_sec\": {reactor_plane:.1}\n  }},\n  \
+         \"threaded_inv_per_sec\": {:.1},\n    \
+         \"reactor_inv_per_sec\": {:.1}\n  }},\n  \
          \"reactor_batch\": {{\n    \"msgs_per_cache\": {sweep_msgs},\n    \
          \"rows\": [\n{}\n    ]\n  }},\n  \
          \"cache_read_path\": {{\n    \"uniform_threads\": 4,\n    \
@@ -762,6 +927,11 @@ fn main() {
          \"epoch_hot_txn_per_sec\": {epoch_hot:.1},\n    \
          \"epoch_speedup\": {:.3},\n    \
          \"epoch_hot_speedup\": {:.3}\n  }},\n  \
+         \"read_txn_fastpath\": {{\n    \"txns\": {fp_txns},\n    \
+         \"txn_per_sec\": {:.1},\n    \
+         \"ns_per_read\": {:.1},\n    \
+         \"allocs_per_txn\": {fp_allocs_per_txn:.4},\n    \
+         \"promotion_rate\": {fp_promotion_rate:.4}\n  }},\n  \
          \"recovery_overhead\": {{\n    \"msgs\": {recovery_msgs},\n    \
          \"apply_none_inv_per_sec\": {apply_none:.1},\n    \
          \"apply_gap_resync_inv_per_sec\": {apply_resync:.1}\n  }},\n  \
@@ -776,9 +946,13 @@ fn main() {
         fields.join(",\n"),
         cache_fields.join(",\n"),
         db_read_path_rows.join(",\n"),
+        threaded_plane.min,
+        reactor_plane.min,
         reactor_batch_fields.join(",\n"),
         epoch_hits / locked_hits,
         epoch_hot / locked_hot,
+        fp.min,
+        1e9 / (fp.min * READS_PER_TXN as f64),
         backpressure_fields.join(",\n"),
         lp.live_read_txns_per_wall_sec,
         lp.live_aggregate_plain_pct,
@@ -809,13 +983,15 @@ fn main() {
             "caches_4_txn_per_sec",
             cache_scaling.iter().find(|(c, _)| *c == 4).map_or(0.0, |&(_, tps)| tps),
         ),
-        ("threaded_inv_per_sec", threaded_plane),
-        ("reactor_inv_per_sec", reactor_plane),
+        ("threaded_inv_per_sec", threaded_plane.min),
+        ("reactor_inv_per_sec", reactor_plane.min),
         ("locked_hit_txn_per_sec", locked_hits),
         ("epoch_hit_txn_per_sec", epoch_hits),
         ("locked_hot_txn_per_sec", locked_hot),
         ("epoch_hot_txn_per_sec", epoch_hot),
         ("live_read_txns_per_wall_sec", lp.live_read_txns_per_wall_sec),
+        ("fastpath_txn_per_sec", fp.min),
+        ("fastpath_allocs_per_txn", fp_allocs_per_txn),
     ];
     // Compare like with like: --quick rows measure far fewer iterations
     // than full runs, so the baseline is the most recent previous row of

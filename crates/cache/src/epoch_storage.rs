@@ -69,13 +69,23 @@ struct Slot {
     /// monotonically by invalidations via `fetch_max`. Mirrors the locked
     /// path's `floors` map.
     floor: AtomicU64,
+    /// The entry's slab slot in the stripe's LRU queue, or
+    /// [`NO_LRU_SLOT`] while unlinked. Written only under the stripe core
+    /// lock (link/unlink), read by hit promotion *while holding* that
+    /// lock — so promoting a hit costs one relaxed load instead of a
+    /// `lru_slots` hash lookup.
+    lru_slot: AtomicUsize,
 }
+
+/// Sentinel for [`Slot::lru_slot`]: the entry is not linked into the LRU.
+const NO_LRU_SLOT: usize = usize::MAX;
 
 impl Slot {
     fn empty() -> Arc<Slot> {
         Arc::new(Slot {
             entry: AtomicPtr::new(ptr::null_mut()),
             floor: AtomicU64::new(0),
+            lru_slot: AtomicUsize::new(NO_LRU_SLOT),
         })
     }
 }
@@ -251,6 +261,7 @@ impl EpochShardedStorage {
         if let Some(lru_slot) = core.lru_slots.remove(&id) {
             core.lru.remove(lru_slot);
         }
+        slot.lru_slot.store(NO_LRU_SLOT, Ordering::Relaxed);
         self.retire_entry(old);
         true
     }
@@ -317,17 +328,94 @@ impl EpochShardedStorage {
             return None;
         }
         let value = entry.entry.clone();
-        // Hit promotion: opportunistic, never blocking the read.
+        // Hit promotion: opportunistic, never blocking the read. The slab
+        // slot cached on the `Slot` (stable under the held core lock)
+        // replaces the `lru_slots` hash lookup.
         match stripe.core.try_lock() {
             Some(mut core) => {
                 self.drain_promotions(stripe, &mut core);
-                if let Some(&lru_slot) = core.lru_slots.get(&id) {
+                let lru_slot = slot.lru_slot.load(Ordering::Relaxed);
+                if lru_slot != NO_LRU_SLOT {
                     core.lru.touch(lru_slot);
                 }
             }
             None => stripe.promo.record(id),
         }
         Some(value)
+    }
+
+    /// Runs `f` against the cached entry **without cloning it**: the borrow
+    /// lives only for the epoch pin. Semantics (TTL expiry, opportunistic
+    /// LRU promotion) match [`EpochShardedStorage::get`] exactly; `None`
+    /// means a miss.
+    // lint: hot-path
+    pub(crate) fn with_entry<R>(
+        &self,
+        id: ObjectId,
+        now: SimTime,
+        f: impl FnOnce(&ObjectEntry) -> R,
+    ) -> Option<R> {
+        let guard = self.domain.pin();
+        self.with_entry_pinned(&guard, id, now, false, f)
+    }
+
+    /// Pins the reclamation domain for a transaction-scoped read session
+    /// ([`crate::storage::StorageReadSession`]): one pin/unpin pair covers
+    /// every lookup of the transaction instead of one per read.
+    pub(crate) fn pin(&self) -> EpochGuard<'_> {
+        self.domain.pin()
+    }
+
+    /// [`EpochShardedStorage::with_entry`] under a caller-held pin. The
+    /// guard must come from this storage's own domain
+    /// ([`EpochShardedStorage::pin`]); holding it across several lookups
+    /// only delays reclamation — it never blocks a writer.
+    ///
+    /// `park_promotion` selects the recency policy: `false` promotes the
+    /// hit inline when the stripe core lock is free (the per-operation
+    /// behaviour of [`EpochShardedStorage::get`]); `true` — the
+    /// transaction-session fast path — always parks the promotion in the
+    /// lossy [`PromoBuffer`], skipping the `try_lock` round trip
+    /// entirely. Parked promotions are folded in by every writer before
+    /// its eviction decision, so the only cost is recency *precision*
+    /// (the buffer is allowed to drop hints), never correctness.
+    // lint: hot-path
+    pub(crate) fn with_entry_pinned<R>(
+        &self,
+        guard: &EpochGuard<'_>,
+        id: ObjectId,
+        now: SimTime,
+        park_promotion: bool,
+        f: impl FnOnce(&ObjectEntry) -> R,
+    ) -> Option<R> {
+        let stripe = self.stripe_of(id);
+        let slot = self.index(stripe, guard).get(&id)?;
+        let node = slot.entry.load(Ordering::SeqCst);
+        if node.is_null() {
+            return None;
+        }
+        // Safety: as in `get`.
+        let entry = unsafe { &*node };
+        if entry.is_expired(self.ttl, now) {
+            self.remove_expired(stripe, guard, id, now);
+            return None;
+        }
+        let result = f(&entry.entry);
+        if park_promotion {
+            stripe.promo.record(id);
+            return Some(result);
+        }
+        match stripe.core.try_lock() {
+            Some(mut core) => {
+                self.drain_promotions(stripe, &mut core);
+                let lru_slot = slot.lru_slot.load(Ordering::Relaxed);
+                if lru_slot != NO_LRU_SLOT {
+                    core.lru.touch(lru_slot);
+                }
+            }
+            None => stripe.promo.record(id),
+        }
+        Some(result)
     }
 
     /// The expiry slow path: re-checks under the stripe lock (the entry
@@ -376,6 +464,7 @@ impl EpochShardedStorage {
             core.footprint += size;
             let lru_slot = core.lru.push_back(id);
             core.lru_slots.insert(id, lru_slot);
+            slot.lru_slot.store(lru_slot, Ordering::Relaxed);
         } else {
             // Safety: just unlinked by the CAS; pin keeps it readable.
             core.footprint = core.footprint - unsafe { &*current }.entry.size_bytes() + size;
@@ -440,6 +529,14 @@ impl EpochShardedStorage {
             let old = stripe
                 .index
                 .swap(Box::into_raw(Box::new(Index::new())), Ordering::SeqCst);
+            // Readers pinned on the old index can still attempt hit
+            // promotion against the *reset* LRU below; clearing their
+            // cached slab slots (under the held core lock) makes those
+            // promotions no-ops instead of touches of recycled slots.
+            // Safety: the shell stays alive until the deferred drop.
+            for slot in unsafe { &*old }.values() {
+                slot.lru_slot.store(NO_LRU_SLOT, Ordering::Relaxed);
+            }
             let old = SendPtr(old);
             self.domain.defer(move || {
                 // Safety: the map shell was unlinked by the swap; by the

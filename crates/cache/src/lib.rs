@@ -46,9 +46,11 @@ pub mod txn_record;
 
 pub use consistency::{Violation, ViolationKind};
 pub use entry::CacheEntry;
-pub use lifecycle::{LifecycleState, LifecycleStats, LifecycleStatsSnapshot, ReadMode, ReadTxnLog};
+pub use lifecycle::{
+    LifecycleState, LifecycleStats, LifecycleStatsSnapshot, ObservedVec, ReadMode, ReadTxnLog,
+};
 pub use stats::{CacheStats, CacheStatsSnapshot};
 pub use storage::{CacheReadPath, CacheStorage, ShardedCacheStorage};
 pub use tcache::EdgeCache;
 pub use tcache_types::{CachePolicyConfig, Strategy};
-pub use txn_record::TransactionTable;
+pub use txn_record::{FastTxnRecord, TransactionTable};

@@ -83,13 +83,20 @@ pub enum ReadMode {
     PassThrough,
 }
 
+/// The observed `(key, version)` pairs of one read-only transaction.
+///
+/// Inline up to 8 reads (the common case), spilling to the heap only for
+/// larger transactions — this is what keeps the cached read fast path
+/// allocation-free end to end.
+pub type ObservedVec = smallvec::SmallVec<[(ObjectId, Version); 8]>;
+
 /// The observable outcome of one read-only transaction: the versions each
 /// key resolved to, whether the transaction committed, and which path
 /// served it. This is what the consistency monitor consumes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadTxnLog {
     /// `(key, version)` for every read that returned before an abort.
-    pub observed: Vec<(ObjectId, Version)>,
+    pub observed: ObservedVec,
     /// `false` if the transaction was aborted by a violation predicate.
     pub committed: bool,
     /// The path that served the transaction.

@@ -14,6 +14,8 @@ pub struct CacheStats {
     evictions: AtomicU64,
     txns_committed: AtomicU64,
     txns_aborted: AtomicU64,
+    fastpath_txns: AtomicU64,
+    promoted_txns: AtomicU64,
 }
 
 /// A point-in-time copy of [`CacheStats`].
@@ -37,6 +39,13 @@ pub struct CacheStatsSnapshot {
     pub txns_committed: u64,
     /// Read-only transactions aborted after an inconsistency was detected.
     pub txns_aborted: u64,
+    /// Single-shot read-only transactions served by the allocation-free
+    /// fast path (no transaction-table traffic).
+    pub fastpath_txns: u64,
+    /// Transactions promoted into the sharded transaction table (a record
+    /// was created because the transaction spans multiple client calls or
+    /// the fast path was ineligible).
+    pub promoted_txns: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -78,6 +87,20 @@ impl CacheStatsSnapshot {
         self.evictions += other.evictions;
         self.txns_committed += other.txns_committed;
         self.txns_aborted += other.txns_aborted;
+        self.fastpath_txns += other.fastpath_txns;
+        self.promoted_txns += other.promoted_txns;
+    }
+
+    /// Fraction of completed transactions that went through the sharded
+    /// transaction table instead of the single-shot fast path (0.0 when no
+    /// transaction completed).
+    pub fn promotion_rate(&self) -> f64 {
+        let total = self.fastpath_txns + self.promoted_txns;
+        if total == 0 {
+            0.0
+        } else {
+            self.promoted_txns as f64 / total as f64
+        }
     }
 }
 
@@ -129,6 +152,16 @@ impl CacheStats {
         self.txns_aborted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a transaction served by the single-shot fast path.
+    pub fn record_fastpath_txn(&self) {
+        self.fastpath_txns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a transaction promoted into the transaction table.
+    pub fn record_promoted_txn(&self) {
+        self.promoted_txns.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> CacheStatsSnapshot {
         CacheStatsSnapshot {
@@ -141,6 +174,8 @@ impl CacheStats {
             evictions: self.evictions.load(Ordering::Relaxed),
             txns_committed: self.txns_committed.load(Ordering::Relaxed),
             txns_aborted: self.txns_aborted.load(Ordering::Relaxed),
+            fastpath_txns: self.fastpath_txns.load(Ordering::Relaxed),
+            promoted_txns: self.promoted_txns.load(Ordering::Relaxed),
         }
     }
 }
@@ -187,6 +222,8 @@ mod tests {
             evictions: 2,
             txns_committed: 4,
             txns_aborted: 1,
+            fastpath_txns: 3,
+            promoted_txns: 1,
         };
         let mut total = a;
         total.merge(a);
@@ -195,6 +232,9 @@ mod tests {
         assert_eq!(total.db_reads(), 6);
         assert_eq!(total.txns_committed, 8);
         assert_eq!(total.txns_aborted, 2);
+        assert_eq!(total.fastpath_txns, 6);
+        assert_eq!(total.promoted_txns, 2);
+        assert!((total.promotion_rate() - 0.25).abs() < 1e-9);
         assert!((total.hit_ratio() - a.hit_ratio()).abs() < 1e-9);
     }
 

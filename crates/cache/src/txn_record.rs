@@ -26,7 +26,10 @@
 
 use crate::consistency::{pick_worse, Violation, ViolationKind};
 use crate::stripe::Striped;
+use smallvec::SmallVec;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use tcache_types::{DependencyList, ObjectId, ReadRecord, ReadSet, TxnId, Version};
 
@@ -134,6 +137,175 @@ impl TxnRecord {
     }
 }
 
+/// Inline capacity for the fast-path observed list and floor map: a txn
+/// with at most this many reads never heap-allocates either.
+const FAST_READS_INLINE: usize = 8;
+/// Inline capacity for the fast-path expectation map. Expectations come
+/// from reads *and* their dependency entries, so this is sized larger.
+const FAST_EXPECTED_INLINE: usize = 16;
+
+/// A stack- (or thread-local-) resident record for a **single-shot**
+/// read-only transaction, mirroring [`TxnRecord`] verdict-for-verdict.
+///
+/// The classic path materialises a [`TxnRecord`] inside the sharded
+/// [`TransactionTable`] — a hash-map insert, two hash maps of index
+/// state, and an `Arc<DependencyList>` clone per read. None of that is
+/// needed when the whole transaction arrives as one client call: the
+/// record can live on the caller's stack, the maps can be inline
+/// small-vectors with linear scans (read sets are small — the common case
+/// is ≤ `FAST_READS_INLINE` = 8 reads), and dependency lists can be
+/// *borrowed* under the storage entry guard instead of cloned.
+///
+/// Verdict equivalence with [`TxnRecord::check_read`] is pinned by the
+/// `fast_record_matches_table_record` proptest below.
+#[derive(Debug, Default)]
+pub struct FastTxnRecord {
+    /// `(object, version)` pairs in read order (reported to the monitor).
+    observed: SmallVec<[(ObjectId, Version); FAST_READS_INLINE]>,
+    /// Max version each object is expected at (reads ∪ dependency
+    /// entries) — the linear-scan analogue of [`TxnRecord`]'s `expected`.
+    expected: SmallVec<[(ObjectId, Version); FAST_EXPECTED_INLINE]>,
+    /// Min version actually observed per object already returned.
+    observed_floor: SmallVec<[(ObjectId, Version); FAST_READS_INLINE]>,
+}
+
+impl FastTxnRecord {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        FastTxnRecord::default()
+    }
+
+    /// Resets the record for reuse. Spilled heap capacity (from a rare
+    /// oversized transaction) is kept, so a thread-local scratch record
+    /// stops allocating once warmed.
+    pub fn clear(&mut self) {
+        self.observed.clear();
+        self.expected.clear();
+        self.observed_floor.clear();
+    }
+
+    /// Number of reads recorded so far.
+    pub fn len(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// Returns `true` if no read has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.observed.is_empty()
+    }
+
+    /// The `(object, version)` pairs observed so far, in read order.
+    pub fn observed(&self) -> &[(ObjectId, Version)] {
+        &self.observed
+    }
+
+    /// Checks a prospective read exactly as [`TxnRecord::check_read`]
+    /// does: Equation 2 first (against the max expectation), then the
+    /// worst-gap Equation 1 candidate over the current read's dependency
+    /// list (against the min observed floors).
+    // lint: hot-path
+    pub fn check_read(
+        &self,
+        key: ObjectId,
+        version: Version,
+        deps: &DependencyList,
+    ) -> Option<Violation> {
+        if let Some(required) = assoc_get(&self.expected, key) {
+            if required > version {
+                return Some(Violation {
+                    violating_object: key,
+                    observed_version: version,
+                    expected_version: required,
+                    kind: ViolationKind::CurrentReadStale,
+                });
+            }
+        }
+
+        let mut worst: Option<Violation> = None;
+        if let Some(floor) = assoc_get(&self.observed_floor, key) {
+            if version > floor {
+                worst = pick_worse(
+                    worst,
+                    Violation {
+                        violating_object: key,
+                        observed_version: floor,
+                        expected_version: version,
+                        kind: ViolationKind::PreviousReadStale,
+                    },
+                );
+            }
+        }
+        for entry in deps.iter() {
+            if entry.object == key {
+                continue;
+            }
+            if let Some(floor) = assoc_get(&self.observed_floor, entry.object) {
+                if entry.version > floor {
+                    worst = pick_worse(
+                        worst,
+                        Violation {
+                            violating_object: entry.object,
+                            observed_version: floor,
+                            expected_version: entry.version,
+                            kind: ViolationKind::PreviousReadStale,
+                        },
+                    );
+                }
+            }
+        }
+        worst
+    }
+
+    /// Records a completed read, updating the inline indexes. The
+    /// dependency list is only borrowed — no `Arc` clone.
+    // lint: hot-path
+    pub fn record_read(&mut self, object: ObjectId, version: Version, deps: &DependencyList) {
+        raise_inline(&mut self.expected, object, version);
+        for entry in deps.iter() {
+            raise_inline(&mut self.expected, entry.object, entry.version);
+        }
+        lower_inline(&mut self.observed_floor, object, version);
+        self.observed.push((object, version));
+    }
+}
+
+#[inline]
+fn assoc_get(map: &[(ObjectId, Version)], key: ObjectId) -> Option<Version> {
+    map.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
+}
+
+#[inline]
+fn raise_inline<A>(map: &mut SmallVec<A>, object: ObjectId, version: Version)
+where
+    A: smallvec::Array<Item = (ObjectId, Version)>,
+{
+    for (k, v) in map.iter_mut() {
+        if *k == object {
+            if version > *v {
+                *v = version;
+            }
+            return;
+        }
+    }
+    map.push((object, version));
+}
+
+#[inline]
+fn lower_inline<A>(map: &mut SmallVec<A>, object: ObjectId, version: Version)
+where
+    A: smallvec::Array<Item = (ObjectId, Version)>,
+{
+    for (k, v) in map.iter_mut() {
+        if *k == object {
+            if version < *v {
+                *v = version;
+            }
+            return;
+        }
+    }
+    map.push((object, version));
+}
+
 fn raise(map: &mut HashMap<ObjectId, Version>, object: ObjectId, version: Version) {
     map.entry(object)
         .and_modify(|v| *v = (*v).max(version))
@@ -199,18 +371,28 @@ impl TransactionTable {
             .and_then(|r| r.check_read(key, version, deps))
     }
 
-    /// Records a completed read for `txn`.
+    /// Records a completed read for `txn`. Returns `true` when this read
+    /// **created** the record (the transaction was promoted into the
+    /// table), `false` when it extended an existing one — callers use this
+    /// to maintain the open-record hint on [`ShardedTransactionTable`].
     pub fn record_read(
         &mut self,
         txn: TxnId,
         object: ObjectId,
         version: Version,
         dependencies: impl Into<Arc<DependencyList>>,
-    ) {
-        self.records
-            .entry(txn)
-            .or_default()
-            .record_read(object, version, dependencies.into());
+    ) -> bool {
+        match self.records.entry(txn) {
+            Entry::Occupied(mut e) => {
+                e.get_mut().record_read(object, version, dependencies.into());
+                false
+            }
+            Entry::Vacant(e) => {
+                e.insert(TxnRecord::default())
+                    .record_read(object, version, dependencies.into());
+                true
+            }
+        }
     }
 
     /// Removes and returns the read set for `txn` (used on `last_op` and on
@@ -238,6 +420,14 @@ pub const DEFAULT_TXN_STRIPES: usize = 16;
 #[derive(Debug)]
 pub struct ShardedTransactionTable {
     stripes: Striped<TransactionTable>,
+    /// Open-record hint maintained by the cache around its stripe
+    /// accesses (see [`ShardedTransactionTable::note_record_created`]).
+    /// Zero means "no multi-call transaction is in progress anywhere",
+    /// which is what lets the single-shot fast path skip the table
+    /// entirely: a record for a fast-path txn id could only have been
+    /// left by a *previous sequential call of the same client*, and that
+    /// call bumps this counter before returning.
+    open_hint: AtomicUsize,
 }
 
 impl Default for ShardedTransactionTable {
@@ -260,7 +450,30 @@ impl ShardedTransactionTable {
     pub fn new(stripes: usize) -> Self {
         ShardedTransactionTable {
             stripes: Striped::new(stripes, TransactionTable::new),
+            open_hint: AtomicUsize::new(0),
         }
+    }
+
+    /// Notes that a stripe access created a new [`TxnRecord`] (a
+    /// transaction was promoted into the table). Called by the cache
+    /// *after* releasing the stripe lock; within one client this is
+    /// sequenced before any later call, which is all the fast-path gate
+    /// needs (see `open_hint`).
+    pub fn note_record_created(&self) {
+        self.open_hint.fetch_add(1, Ordering::Release);
+    }
+
+    /// Notes that a previously created record was finished (last-op or
+    /// abort). Pairs with [`ShardedTransactionTable::note_record_created`].
+    pub fn note_record_finished(&self) {
+        self.open_hint.fetch_sub(1, Ordering::Release);
+    }
+
+    /// The current open-record hint. Zero is a sound "table is quiet"
+    /// signal for the single-shot fast path; non-zero merely routes
+    /// transactions through the classic table path.
+    pub fn open_records_hint(&self) -> usize {
+        self.open_hint.load(Ordering::Acquire)
     }
 
     /// The stripe responsible for `txn`. Callers lock it for the duration
@@ -442,6 +655,53 @@ mod equivalence_proptests {
                 }
                 (f, s) => prop_assert!(false, "verdicts differ: fast {f:?} vs slow {s:?}"),
             }
+        }
+
+        /// The stack-resident [`FastTxnRecord`] must agree with the
+        /// table-resident [`TxnRecord`] *exactly* — same verdict, same
+        /// violating object, same kind, same gap — on every prospective
+        /// read, for random transaction histories. This is what licenses
+        /// the single-shot fast path to bypass the transaction table.
+        #[test]
+        fn fast_record_matches_table_record(
+            reads in prop::collection::vec(
+                ((0u64..8, 0u64..12), prop::collection::vec((0u64..8, 0u64..12), 0..4)),
+                0..6,
+            ),
+            key in 0u64..8,
+            ver in 0u64..12,
+            cur_deps in prop::collection::vec((0u64..8, 0u64..12), 0..4),
+        ) {
+            let mut table_rec = TxnRecord::default();
+            let mut fast_rec = FastTxnRecord::new();
+            for ((k, v), deps) in reads {
+                let deps = deplist(&deps);
+                fast_rec.record_read(ObjectId(k), Version(v), &deps);
+                table_rec.record_read(ObjectId(k), Version(v), Arc::new(deps));
+            }
+            let cur_deps: Vec<(u64, u64)> =
+                cur_deps.into_iter().filter(|&(k, _)| k != key).collect();
+            let deps = deplist(&cur_deps);
+
+            let fast = fast_rec.check_read(ObjectId(key), Version(ver), &deps);
+            let table = table_rec.check_read(ObjectId(key), Version(ver), &deps);
+            match (fast, table) {
+                (None, None) => {}
+                (Some(f), Some(t)) => {
+                    prop_assert_eq!(f.kind, t.kind);
+                    prop_assert_eq!(f.violating_object, t.violating_object);
+                    prop_assert_eq!(f.expected_version, t.expected_version);
+                    prop_assert_eq!(f.observed_version, t.observed_version);
+                }
+                (f, t) => prop_assert!(false, "verdicts differ: fast {f:?} vs table {t:?}"),
+            }
+            // The observed lists (what the monitor sees) match too.
+            let table_observed: Vec<(ObjectId, Version)> = table_rec
+                .read_set()
+                .iter()
+                .map(|r| (r.object, r.version))
+                .collect();
+            prop_assert_eq!(fast_rec.observed(), table_observed.as_slice());
         }
     }
 }

@@ -1,0 +1,314 @@
+//! Sharded, batched ingest in front of the [`ConsistencyMonitor`].
+//!
+//! The monitor's immediate API ([`ConsistencyMonitor::record_read_only`] and
+//! friends) classifies each read-only transaction the moment it is reported.
+//! On the hot path that means every completed transaction takes the monitor
+//! lock (or channel) individually. [`BatchedIngest`] decouples the two:
+//! producers append completed read-only transactions to per-shard buffers
+//! (one shard per producer thread or cache), and the buffers are drained
+//! into the monitor in bounded *epochs* — either when the configured bound
+//! is reached or at an explicit [`flush`](BatchedIngest::flush).
+//!
+//! Deferring classification is sound because the two-tier oracle is
+//! **order-stable for read-only transactions**: a read-only transaction
+//! never extends the update history, so ingesting it later — after more
+//! updates have been recorded — cannot change its verdict (this invariant
+//! is pinned by `verdicts_are_stable_under_later_updates` in the monitor
+//! tests and by the `ingest_differential` proptest). Updates therefore pass
+//! through immediately, reads may lag by at most one epoch, and the final
+//! reports are identical to immediate ingest.
+//!
+//! The stability argument has one precondition, which every real plane
+//! satisfies by construction: a read may only observe versions that are
+//! **already installed** when it is submitted (a cache cannot serve a
+//! version the database has not committed). Updates recorded after the
+//! read install strictly larger versions at strictly later points of the
+//! commit order, so they can only truncate each observed version's
+//! validity interval *from above* — past every point the interval test
+//! could already have chosen — and they add no serialization-graph edge
+//! into the past. Verdicts for reads of never-installed ("future")
+//! versions are *not* stable, but such reads cannot be produced by a
+//! cache.
+
+use crate::monitor::ConsistencyMonitor;
+use crate::report::{ReadPhase, TransactionClass};
+use tcache_types::{CacheId, ObjectId, TransactionRecord, Version};
+
+/// Default number of buffered read-only transactions that triggers an
+/// automatic epoch flush.
+pub const DEFAULT_EPOCH_BOUND: usize = 64;
+
+/// A completed read-only transaction waiting in a shard buffer.
+#[derive(Debug, Clone)]
+struct PendingRead {
+    /// The cache that served the transaction, if attributed.
+    cache: Option<CacheId>,
+    /// The lifecycle phase the cache was in, if attributed.
+    phase: Option<ReadPhase>,
+    /// `(object, version)` pairs returned to the client.
+    reads: Vec<(ObjectId, Version)>,
+    /// Whether the transaction committed.
+    committed: bool,
+    /// Caller-visible handle returned by [`BatchedIngest::submit_read`].
+    token: u64,
+}
+
+/// Sharded, batched front end for a [`ConsistencyMonitor`].
+///
+/// Update transactions are recorded immediately (they extend the version
+/// history and must be visible to every later classification). Read-only
+/// transactions are appended to per-shard buffers and classified when the
+/// epoch flushes; the verdict for each buffered transaction is delivered
+/// through the sink callback together with the token `submit_read`
+/// returned for it.
+#[derive(Debug)]
+pub struct BatchedIngest {
+    monitor: ConsistencyMonitor,
+    shards: Vec<Vec<PendingRead>>,
+    epoch_bound: usize,
+    buffered: usize,
+    next_token: u64,
+    epochs_flushed: u64,
+}
+
+impl BatchedIngest {
+    /// Creates a batched front end with `shards` append buffers (clamped to
+    /// at least one) flushing automatically once `epoch_bound` read-only
+    /// transactions are buffered (clamped to at least one, i.e. immediate).
+    pub fn new(shards: usize, epoch_bound: usize) -> Self {
+        BatchedIngest {
+            monitor: ConsistencyMonitor::new(),
+            shards: vec![Vec::new(); shards.max(1)],
+            epoch_bound: epoch_bound.max(1),
+            buffered: 0,
+            next_token: 0,
+            epochs_flushed: 0,
+        }
+    }
+
+    /// Wraps an existing monitor (e.g. one that already holds history).
+    pub fn with_monitor(monitor: ConsistencyMonitor, shards: usize, epoch_bound: usize) -> Self {
+        BatchedIngest {
+            monitor,
+            ..BatchedIngest::new(shards, epoch_bound)
+        }
+    }
+
+    /// Records a committed update transaction immediately.
+    ///
+    /// Updates extend the version history, so they are never deferred;
+    /// this is what makes deferred read classification verdict-preserving.
+    pub fn record_update_commit(&mut self, record: &TransactionRecord) {
+        self.monitor.record_update_commit(record);
+    }
+
+    /// Records an aborted update transaction immediately.
+    pub fn record_update_abort(&mut self) {
+        self.monitor.record_update_abort();
+    }
+
+    /// Appends a completed read-only transaction to shard
+    /// `shard % shard_count` and returns its token. If the epoch bound is
+    /// reached the buffers are flushed through `sink` before returning
+    /// (see [`flush`](BatchedIngest::flush)).
+    pub fn submit_read(
+        &mut self,
+        shard: usize,
+        cache: Option<CacheId>,
+        phase: Option<ReadPhase>,
+        reads: Vec<(ObjectId, Version)>,
+        committed: bool,
+        sink: &mut impl FnMut(u64, TransactionClass),
+    ) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        let slot = shard % self.shards.len();
+        self.shards[slot].push(PendingRead {
+            cache,
+            phase,
+            reads,
+            committed,
+            token,
+        });
+        self.buffered += 1;
+        if self.buffered >= self.epoch_bound {
+            self.flush(sink);
+        }
+        token
+    }
+
+    /// Drains every shard buffer into the monitor (shards in index order,
+    /// FIFO within a shard), invoking `sink(token, class)` for each
+    /// transaction as it is classified.
+    pub fn flush(&mut self, sink: &mut impl FnMut(u64, TransactionClass)) {
+        if self.buffered == 0 {
+            return;
+        }
+        for shard in self.shards.iter_mut() {
+            for pending in shard.drain(..) {
+                let class = match (pending.cache, pending.phase) {
+                    (Some(cache), Some(phase)) => self.monitor.record_read_only_in_phase(
+                        cache,
+                        phase,
+                        &pending.reads,
+                        pending.committed,
+                    ),
+                    (Some(cache), None) => {
+                        self.monitor
+                            .record_read_only_from(cache, &pending.reads, pending.committed)
+                    }
+                    (None, _) => self
+                        .monitor
+                        .record_read_only(&pending.reads, pending.committed),
+                };
+                sink(pending.token, class);
+            }
+        }
+        self.buffered = 0;
+        self.epochs_flushed += 1;
+    }
+
+    /// Read-only transactions currently buffered (awaiting a flush).
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// Number of epochs flushed so far (automatic and explicit).
+    pub fn epochs_flushed(&self) -> u64 {
+        self.epochs_flushed
+    }
+
+    /// The wrapped monitor. Reports only reflect transactions that have
+    /// been flushed; call [`flush`](BatchedIngest::flush) (or
+    /// [`finish`](BatchedIngest::finish)) first for final numbers.
+    pub fn monitor(&self) -> &ConsistencyMonitor {
+        &self.monitor
+    }
+
+    /// Flushes any remaining buffered transactions and returns the
+    /// underlying monitor.
+    pub fn finish(mut self, sink: &mut impl FnMut(u64, TransactionClass)) -> ConsistencyMonitor {
+        self.flush(sink);
+        self.monitor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcache_types::{SimTime, TxnId};
+
+    fn update(id: u64, writes: &[(u64, u64)]) -> TransactionRecord {
+        TransactionRecord::update_committed(
+            TxnId(id),
+            Vec::new(),
+            writes.iter().map(|&(o, v)| (ObjectId(o), Version(v))).collect(),
+            SimTime::from_micros(id),
+        )
+    }
+
+    #[test]
+    fn updates_pass_through_immediately() {
+        let mut ingest = BatchedIngest::new(2, 8);
+        ingest.record_update_commit(&update(1, &[(0, 1)]));
+        ingest.record_update_abort();
+        assert_eq!(ingest.buffered(), 0);
+        let report = ingest.monitor().report();
+        assert_eq!(report.updates_committed, 1);
+        assert_eq!(report.updates_aborted, 1);
+    }
+
+    #[test]
+    fn reads_are_deferred_until_the_epoch_bound() {
+        let mut ingest = BatchedIngest::new(2, 3);
+        let mut classes = Vec::new();
+        ingest.record_update_commit(&update(1, &[(0, 1), (1, 1)]));
+        let t0 = ingest.submit_read(
+            0,
+            None,
+            None,
+            vec![(ObjectId(0), Version(1))],
+            true,
+            &mut |t, c| classes.push((t, c)),
+        );
+        let t1 = ingest.submit_read(
+            1,
+            None,
+            None,
+            vec![(ObjectId(1), Version(1))],
+            true,
+            &mut |t, c| classes.push((t, c)),
+        );
+        assert_eq!(ingest.buffered(), 2);
+        assert!(classes.is_empty(), "no verdicts before the epoch flushes");
+        let t2 = ingest.submit_read(
+            0,
+            None,
+            None,
+            vec![(ObjectId(0), Version(1))],
+            true,
+            &mut |t, c| classes.push((t, c)),
+        );
+        assert_eq!(ingest.buffered(), 0);
+        assert_eq!(ingest.epochs_flushed(), 1);
+        // Shard 0 drains first: t0, t2, then shard 1: t1.
+        let tokens: Vec<u64> = classes.iter().map(|&(t, _)| t).collect();
+        assert_eq!(tokens, vec![t0, t2, t1]);
+        assert!(classes
+            .iter()
+            .all(|&(_, c)| c == TransactionClass::CommittedConsistent));
+    }
+
+    #[test]
+    fn finish_flushes_the_tail_and_matches_immediate_ingest() {
+        let mut immediate = ConsistencyMonitor::new();
+        let mut ingest = BatchedIngest::new(3, 100);
+        let mut sink = |_t: u64, _c: TransactionClass| {};
+
+        let up = update(1, &[(0, 2), (1, 2)]);
+        immediate.record_update_commit(&up);
+        ingest.record_update_commit(&up);
+
+        // A torn read across the update: inconsistent under both ingests.
+        let torn = vec![(ObjectId(0), Version(2)), (ObjectId(1), Version(1))];
+        let cache = CacheId(4);
+        let expected =
+            immediate.record_read_only_in_phase(cache, ReadPhase::Healthy, &torn, true);
+        assert_eq!(expected, TransactionClass::CommittedInconsistent);
+        let mut got = None;
+        ingest.submit_read(
+            7,
+            Some(cache),
+            Some(ReadPhase::Healthy),
+            torn,
+            true,
+            &mut sink,
+        );
+        assert_eq!(ingest.buffered(), 1);
+        let monitor = ingest.finish(&mut |_t, c| got = Some(c));
+        assert_eq!(got, Some(expected));
+        assert_eq!(monitor.report(), immediate.report());
+        assert_eq!(monitor.cache_report(cache), immediate.cache_report(cache));
+        assert_eq!(
+            monitor.phase_report(cache, ReadPhase::Healthy),
+            immediate.phase_report(cache, ReadPhase::Healthy)
+        );
+    }
+
+    #[test]
+    fn shard_index_wraps_and_zero_bounds_are_clamped() {
+        let mut ingest = BatchedIngest::new(0, 0);
+        let mut seen = 0u32;
+        let token = ingest.submit_read(
+            42,
+            None,
+            None,
+            vec![(ObjectId(0), Version(0))],
+            true,
+            &mut |_t, _c| seen += 1,
+        );
+        assert_eq!(token, 0);
+        assert_eq!(seen, 1, "bound of 0 clamps to immediate flushing");
+        assert_eq!(ingest.buffered(), 0);
+    }
+}

@@ -16,13 +16,17 @@
 //!   like the discrete-event channels.
 //!
 //! Classification is deferred: threads log what each transaction observed,
-//! and after the run the log is replayed through a fresh
-//! `ConsistencyMonitor`. Monitor verdicts are stable under later updates
-//! (a read's verdict depends only on its observed versions and the update
-//! history), so replay order only needs every observed version recorded
-//! before the read that saw it — schedule order under lockstep,
-//! updates-then-reads under concurrent pacing, where a read can race ahead
-//! of the driver and observe a version the schedule says is "later".
+//! and after the run the log is replayed through a fresh monitor behind a
+//! [`BatchedIngest`] front end — updates ingest immediately, reads land in
+//! per-cache shard buffers flushed in bounded epochs. Monitor verdicts are
+//! stable under later updates (a read's verdict depends only on its
+//! observed versions and the update history), so replay order only needs
+//! every observed version recorded before the read that saw it — schedule
+//! order under lockstep, updates-then-reads under concurrent pacing, where
+//! a read can race ahead of the driver and observe a version the schedule
+//! says is "later" — and batching the reads defers each verdict without
+//! changing it (pinned by the `ingest_differential` proptest in the
+//! monitor crate).
 
 use super::{LiveOptions, LivePacing, ScenarioLatency};
 use crate::experiment::{CacheKind, ExperimentConfig};
@@ -33,12 +37,12 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tcache::{DeliveryMode, SystemBuilder, TCacheSystem, TransportMode};
-use tcache_cache::{CacheStatsSnapshot, ReadMode};
-use tcache_monitor::{ConsistencyMonitor, ReadPhase};
+use tcache_cache::{CacheStatsSnapshot, ObservedVec, ReadMode};
+use tcache_monitor::{BatchedIngest, ConsistencyMonitor, ReadPhase};
 use tcache_net::delivery::DeliveryModel;
 use tcache_net::fault::{FaultCursor, FaultEvent, FaultKind};
 use tcache_types::{
-    CacheId, CachePolicyConfig, ObjectId, SimTime, TransactionRecord, Value, Version,
+    CacheId, CachePolicyConfig, ObjectId, SimTime, TransactionRecord, Value,
 };
 use tcache_workload::{ChurnAction, ChurnEvent, LatencyHistogram};
 
@@ -47,11 +51,15 @@ use tcache_workload::{ChurnAction, ChurnEvent, LatencyHistogram};
 /// microseconds at zero delay).
 const LOCKSTEP_QUIESCE_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// How many buffered read verdicts a replay epoch holds before flushing
+/// into the monitor.
+const INGEST_EPOCH_BOUND: usize = 64;
+
 /// What one read-only transaction observed, logged for deferred replay.
 struct ReadLog {
     /// Index of the transaction in the schedule.
     index: usize,
-    observed: Vec<(ObjectId, Version)>,
+    observed: ObservedVec,
     committed: bool,
     /// Which path served it: cached (healthy) or pass-through (degraded).
     mode: ReadMode,
@@ -318,12 +326,15 @@ pub(crate) fn run(config: ExperimentConfig, options: LiveOptions) -> ExperimentR
     }
 }
 
-/// Replays the execution log through a fresh monitor. Under lockstep the
-/// log replays in schedule order (bit-identical to the discrete plane's
-/// interleaving); under concurrent pacing updates replay first so every
-/// version a racing read observed is already in the history — monitor
-/// verdicts are stable under later updates, so this ordering never changes
-/// a read's classification.
+/// Replays the execution log through a fresh monitor behind a
+/// [`BatchedIngest`]: updates ingest immediately, reads are appended to
+/// per-cache shard buffers and classified when an epoch
+/// ([`INGEST_EPOCH_BOUND`] reads) flushes. Under lockstep the log replays
+/// in schedule order (bit-identical to the discrete plane's interleaving —
+/// deferring a read's verdict past later updates does not change it, and
+/// the time series bins by each read's scheduled time, not by flush
+/// order); under concurrent pacing updates replay first so every version a
+/// racing read observed is already in the history.
 fn replay(
     schedule: &Schedule,
     config: &ExperimentConfig,
@@ -333,7 +344,7 @@ fn replay(
 ) -> (ConsistencyMonitor, TimeSeries) {
     enum Entry {
         Update(Option<TransactionRecord>),
-        Read(Vec<(ObjectId, Version)>, bool, ReadMode),
+        Read(ObservedVec, bool, ReadMode),
     }
     let mut slots: Vec<Option<Entry>> = Vec::with_capacity(schedule.ops.len());
     slots.resize_with(schedule.ops.len(), || None);
@@ -344,14 +355,25 @@ fn replay(
         slots[read.index] = Some(Entry::Read(read.observed, read.committed, read.mode));
     }
 
-    let mut monitor = ConsistencyMonitor::new();
+    let shard_count = schedule
+        .ops
+        .iter()
+        .filter_map(|op| op.target)
+        .map(|cache| cache.0 as usize + 1)
+        .max()
+        .unwrap_or(1);
+    let mut ingest = BatchedIngest::new(shard_count, INGEST_EPOCH_BOUND);
     let mut timeseries = TimeSeries::new(config.timeseries_bin);
-    let record = |monitor: &mut ConsistencyMonitor,
+    // Tokens are handed out in submission order, so this maps each buffered
+    // read's token back to its scheduled completion time at flush.
+    let mut read_times: Vec<SimTime> = Vec::new();
+    let record = |ingest: &mut BatchedIngest,
                       timeseries: &mut TimeSeries,
+                      read_times: &mut Vec<SimTime>,
                       index: usize,
                       entry: &Entry| match entry {
-        Entry::Update(Some(record)) => monitor.record_update_commit(record),
-        Entry::Update(None) => monitor.record_update_abort(),
+        Entry::Update(Some(record)) => ingest.record_update_commit(record),
+        Entry::Update(None) => ingest.record_update_abort(),
         Entry::Read(observed, committed, mode) => {
             let op = &schedule.ops[index];
             let cache = op.target.expect("read entries carry a target cache");
@@ -359,15 +381,22 @@ fn replay(
                 ReadMode::Cached => ReadPhase::Healthy,
                 ReadMode::PassThrough => ReadPhase::Degraded,
             };
-            let class = monitor.record_read_only_in_phase(cache, phase, observed, *committed);
-            timeseries.record(op.at, class);
+            read_times.push(op.at);
+            ingest.submit_read(
+                cache.0 as usize,
+                Some(cache),
+                Some(phase),
+                observed.to_vec(),
+                *committed,
+                &mut |token, class| timeseries.record(read_times[token as usize], class),
+            );
         }
     };
     match pacing {
         LivePacing::Lockstep => {
             for (index, slot) in slots.iter().enumerate() {
                 let entry = slot.as_ref().expect("every scheduled txn executed");
-                record(&mut monitor, &mut timeseries, index, entry);
+                record(&mut ingest, &mut timeseries, &mut read_times, index, entry);
             }
         }
         LivePacing::Concurrent => {
@@ -375,12 +404,14 @@ fn replay(
                 for (index, slot) in slots.iter().enumerate() {
                     let entry = slot.as_ref().expect("every scheduled txn executed");
                     if matches!(entry, Entry::Read(..)) == pass_reads {
-                        record(&mut monitor, &mut timeseries, index, entry);
+                        record(&mut ingest, &mut timeseries, &mut read_times, index, entry);
                     }
                 }
             }
         }
     }
+    let monitor =
+        ingest.finish(&mut |token, class| timeseries.record(read_times[token as usize], class));
 
     (monitor, timeseries)
 }

@@ -1,0 +1,726 @@
+//! Offline shim of the `smallvec` crate (API-compatible subset).
+//!
+//! [`SmallVec<[T; N]>`](SmallVec) is a vector that stores up to `N` elements
+//! inline (on the stack, or wherever the `SmallVec` itself lives) and only
+//! touches the heap once the length exceeds `N` ("spilling"). For hot paths
+//! that are short in the common case — read sets of a few keys, small
+//! version maps — this turns per-transaction `Vec` allocations into plain
+//! stack writes.
+//!
+//! Supported surface (the subset the workspace uses):
+//! `new`, `with_capacity`, `push`, `pop`, `clear`, `truncate`, `len`,
+//! `is_empty`, `capacity`, `spilled`, `as_slice`, `as_mut_slice`,
+//! `into_vec`, `from_slice`, `Deref`/`DerefMut` to `[T]`, `Extend`,
+//! `FromIterator`, owned/borrowed `IntoIterator`, `Clone`, `Debug`,
+//! `Default`, `PartialEq`/`Eq`, `Hash`, and the [`smallvec!`] macro.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::iter::FromIterator;
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+use std::ptr;
+
+/// Types usable as the inline backing store of a [`SmallVec`].
+///
+/// Implemented for arrays `[T; N]`; the array itself is never materialized,
+/// it only carries the element type and inline capacity.
+pub trait Array {
+    /// The element type.
+    type Item;
+    /// The inline capacity.
+    const CAPACITY: usize;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    const CAPACITY: usize = N;
+}
+
+enum Data<A: Array> {
+    /// Inline storage; the first `SmallVec::len` slots are initialized.
+    Inline(MaybeUninit<A>),
+    /// Spilled to the heap; `SmallVec::len` is kept in sync with `Vec::len`.
+    Heap(Vec<A::Item>),
+}
+
+/// A vector with inline storage for up to `A::CAPACITY` elements.
+pub struct SmallVec<A: Array> {
+    len: usize,
+    data: Data<A>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// Creates an empty vector using inline storage.
+    #[inline]
+    pub fn new() -> Self {
+        SmallVec {
+            len: 0,
+            data: Data::Inline(MaybeUninit::uninit()),
+        }
+    }
+
+    /// Creates an empty vector that can hold `cap` elements without
+    /// reallocating; stays inline when `cap` fits the inline buffer.
+    pub fn with_capacity(cap: usize) -> Self {
+        if cap <= A::CAPACITY {
+            SmallVec::new()
+        } else {
+            SmallVec {
+                len: 0,
+                data: Data::Heap(Vec::with_capacity(cap)),
+            }
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current capacity (inline capacity until spilled).
+    pub fn capacity(&self) -> usize {
+        match &self.data {
+            Data::Inline(_) => A::CAPACITY,
+            Data::Heap(v) => v.capacity(),
+        }
+    }
+
+    /// `true` once the contents have moved to the heap.
+    #[inline]
+    pub fn spilled(&self) -> bool {
+        matches!(self.data, Data::Heap(_))
+    }
+
+    #[inline]
+    fn inline_ptr(&self) -> *const A::Item {
+        match &self.data {
+            Data::Inline(buf) => buf.as_ptr() as *const A::Item,
+            Data::Heap(_) => unreachable!("inline_ptr on spilled SmallVec"),
+        }
+    }
+
+    #[inline]
+    fn inline_mut_ptr(&mut self) -> *mut A::Item {
+        match &mut self.data {
+            Data::Inline(buf) => buf.as_mut_ptr() as *mut A::Item,
+            Data::Heap(_) => unreachable!("inline_mut_ptr on spilled SmallVec"),
+        }
+    }
+
+    /// Moves the inline contents into a heap `Vec` with at least
+    /// `extra` additional slots.
+    fn spill(&mut self, extra: usize) {
+        debug_assert!(!self.spilled());
+        let mut vec = Vec::with_capacity((A::CAPACITY * 2).max(self.len + extra));
+        // SAFETY: the first `self.len` inline slots are initialized; each is
+        // read exactly once and ownership moves into `vec`. Setting
+        // `self.data = Heap(vec)` afterwards replaces (without dropping —
+        // MaybeUninit never drops) the now-logically-moved-out buffer.
+        unsafe {
+            let src = self.inline_ptr();
+            for i in 0..self.len {
+                vec.push(ptr::read(src.add(i)));
+            }
+        }
+        self.data = Data::Heap(vec);
+    }
+
+    /// Appends an element, spilling to the heap when the inline buffer is
+    /// full.
+    #[inline]
+    pub fn push(&mut self, item: A::Item) {
+        if let Data::Heap(v) = &mut self.data {
+            v.push(item);
+            self.len = v.len();
+            return;
+        }
+        if self.len == A::CAPACITY {
+            self.spill(1);
+            if let Data::Heap(v) = &mut self.data {
+                v.push(item);
+                self.len = v.len();
+            }
+            return;
+        }
+        // SAFETY: `self.len < A::CAPACITY`, so the slot is in bounds and
+        // uninitialized.
+        unsafe {
+            ptr::write(self.inline_mut_ptr().add(self.len), item);
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<A::Item> {
+        match &mut self.data {
+            Data::Heap(v) => {
+                let out = v.pop();
+                self.len = v.len();
+                out
+            }
+            Data::Inline(_) => {
+                if self.len == 0 {
+                    return None;
+                }
+                self.len -= 1;
+                // SAFETY: slot `self.len` was initialized; after the read it
+                // is treated as uninitialized again.
+                Some(unsafe { ptr::read(self.inline_ptr().add(self.len)) })
+            }
+        }
+    }
+
+    /// Shortens the vector to `len` elements, dropping the rest. Keeps any
+    /// heap capacity (so a spilled scratch buffer is reused across calls).
+    pub fn truncate(&mut self, len: usize) {
+        match &mut self.data {
+            Data::Heap(v) => {
+                v.truncate(len);
+                self.len = v.len();
+            }
+            Data::Inline(_) => {
+                if len >= self.len {
+                    return;
+                }
+                let old_len = self.len;
+                // Set len first so a panicking Drop cannot double-drop.
+                self.len = len;
+                // SAFETY: slots `len..old_len` are initialized and after
+                // this call considered uninitialized.
+                unsafe {
+                    let base = self.inline_mut_ptr();
+                    ptr::drop_in_place(ptr::slice_from_raw_parts_mut(
+                        base.add(len),
+                        old_len - len,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Removes all elements, keeping heap capacity if spilled.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.truncate(0);
+    }
+
+    /// Borrows the contents as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[A::Item] {
+        match &self.data {
+            Data::Heap(v) => v.as_slice(),
+            Data::Inline(_) => {
+                // SAFETY: the first `self.len` inline slots are initialized.
+                unsafe { std::slice::from_raw_parts(self.inline_ptr(), self.len) }
+            }
+        }
+    }
+
+    /// Borrows the contents as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [A::Item] {
+        match &mut self.data {
+            Data::Heap(v) => v.as_mut_slice(),
+            Data::Inline(buf) => {
+                let ptr = buf.as_mut_ptr() as *mut A::Item;
+                // SAFETY: the first `self.len` inline slots are initialized.
+                unsafe { std::slice::from_raw_parts_mut(ptr, self.len) }
+            }
+        }
+    }
+
+    /// Converts into a plain `Vec`, allocating only if still inline.
+    pub fn into_vec(mut self) -> Vec<A::Item> {
+        match &mut self.data {
+            Data::Heap(v) => {
+                let out = std::mem::take(v);
+                self.len = 0;
+                out
+            }
+            Data::Inline(_) => {
+                let mut out = Vec::with_capacity(self.len);
+                // SAFETY: the initialized prefix is read out exactly once;
+                // `self.len = 0` prevents Drop from touching the moved-out
+                // slots.
+                unsafe {
+                    let src = self.inline_ptr();
+                    for i in 0..self.len {
+                        out.push(ptr::read(src.add(i)));
+                    }
+                }
+                self.len = 0;
+                out
+            }
+        }
+    }
+}
+
+impl<A: Array> SmallVec<A>
+where
+    A::Item: Clone,
+{
+    /// Builds a vector by cloning a slice.
+    pub fn from_slice(slice: &[A::Item]) -> Self {
+        let mut out = SmallVec::with_capacity(slice.len());
+        for item in slice {
+            out.push(item.clone());
+        }
+        out
+    }
+
+    /// Clones and appends every element of `slice`.
+    pub fn extend_from_slice(&mut self, slice: &[A::Item]) {
+        for item in slice {
+            self.push(item.clone());
+        }
+    }
+}
+
+impl<A: Array> Drop for SmallVec<A> {
+    fn drop(&mut self) {
+        if let Data::Inline(_) = self.data {
+            let len = self.len;
+            self.len = 0;
+            // SAFETY: the first `len` inline slots are initialized and
+            // dropped exactly once here.
+            unsafe {
+                let base = self.inline_mut_ptr();
+                ptr::drop_in_place(ptr::slice_from_raw_parts_mut(base, len));
+            }
+        }
+        // Heap variant: the inner Vec drops itself.
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+    #[inline]
+    fn deref(&self) -> &[A::Item] {
+        self.as_slice()
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        self.as_mut_slice()
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec::from_slice(self.as_slice())
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> PartialEq<[A::Item]> for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &[A::Item]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<A: Array, const N: usize> PartialEq<[A::Item; N]> for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &[A::Item; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<A: Array> Hash for SmallVec<A>
+where
+    A::Item: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        let mut out = SmallVec::new();
+        out.extend(iter);
+        out
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a mut SmallVec<A> {
+    type Item = &'a mut A::Item;
+    type IntoIter = std::slice::IterMut<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+/// Owned iterator over a [`SmallVec`].
+pub struct IntoIter<A: Array> {
+    inner: SmallVec<A>,
+    next: usize,
+}
+
+impl<A: Array> Iterator for IntoIter<A> {
+    type Item = A::Item;
+
+    fn next(&mut self) -> Option<A::Item> {
+        if self.next >= self.inner.len {
+            return None;
+        }
+        let idx = self.next;
+        self.next += 1;
+        match &mut self.inner.data {
+            Data::Heap(v) => {
+                // SAFETY: `idx < v.len()`; the slot is read exactly once —
+                // Drop below forgets the already-yielded prefix.
+                Some(unsafe { ptr::read(v.as_ptr().add(idx)) })
+            }
+            Data::Inline(buf) => {
+                let base = buf.as_ptr() as *const A::Item;
+                // SAFETY: as above for the inline buffer.
+                Some(unsafe { ptr::read(base.add(idx)) })
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.inner.len - self.next;
+        (rest, Some(rest))
+    }
+}
+
+impl<A: Array> ExactSizeIterator for IntoIter<A> {}
+
+impl<A: Array> Drop for IntoIter<A> {
+    fn drop(&mut self) {
+        // Drop only the elements not yet yielded, then defuse the inner
+        // SmallVec/Vec so nothing is dropped twice.
+        let len = self.inner.len;
+        let start = self.next.min(len);
+        match &mut self.inner.data {
+            Data::Heap(v) => unsafe {
+                // SAFETY: slots `start..len` are still owned by the
+                // iterator; `set_len(0)` stops the Vec from dropping any
+                // slot itself.
+                let base = v.as_mut_ptr();
+                v.set_len(0);
+                ptr::drop_in_place(ptr::slice_from_raw_parts_mut(
+                    base.add(start),
+                    len - start,
+                ));
+            },
+            Data::Inline(buf) => unsafe {
+                // SAFETY: as above; zeroing `inner.len` stops SmallVec::drop
+                // from dropping any slot itself.
+                let base = buf.as_mut_ptr() as *mut A::Item;
+                self.inner.len = 0;
+                ptr::drop_in_place(ptr::slice_from_raw_parts_mut(
+                    base.add(start),
+                    len - start,
+                ));
+            },
+        }
+        self.inner.len = 0;
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = IntoIter<A>;
+    fn into_iter(self) -> IntoIter<A> {
+        IntoIter {
+            inner: self,
+            next: 0,
+        }
+    }
+}
+
+// SAFETY: a SmallVec owns its items exactly like a Vec does; auto traits
+// follow the item type. (MaybeUninit already propagates Send/Sync from `A`,
+// these impls just make the guarantee explicit.)
+unsafe impl<A: Array> Send for SmallVec<A> where A::Item: Send {}
+unsafe impl<A: Array> Sync for SmallVec<A> where A::Item: Sync {}
+
+/// Constructs a [`SmallVec`] from a list of elements, like `vec!`.
+#[macro_export]
+macro_rules! smallvec {
+    () => { $crate::SmallVec::new() };
+    ($($x:expr),+ $(,)?) => {{
+        let mut out = $crate::SmallVec::new();
+        $(out.push($x);)+
+        out
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    type SV = SmallVec<[u64; 4]>;
+
+    #[test]
+    fn starts_inline_and_empty() {
+        let v = SV::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert!(!v.spilled());
+        assert_eq!(v.capacity(), 4);
+        assert_eq!(v.as_slice(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn push_within_inline_capacity() {
+        let mut v = SV::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 4);
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn push_past_capacity_spills() {
+        let mut v = SV::new();
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn pop_inline_and_spilled() {
+        let mut v = SV::new();
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), None);
+
+        let mut big: SV = (0..8).collect();
+        assert_eq!(big.pop(), Some(7));
+        assert_eq!(big.len(), 7);
+    }
+
+    #[test]
+    fn clear_keeps_heap_capacity() {
+        let mut v: SV = (0..20).collect();
+        assert!(v.spilled());
+        let cap = v.capacity();
+        v.clear();
+        assert!(v.is_empty());
+        assert!(v.spilled(), "clear must not shed the spilled buffer");
+        assert_eq!(v.capacity(), cap);
+    }
+
+    #[test]
+    fn truncate_inline() {
+        let mut v: SV = (0..3).collect();
+        v.truncate(1);
+        assert_eq!(v.as_slice(), &[0]);
+        v.truncate(5);
+        assert_eq!(v.as_slice(), &[0]);
+    }
+
+    #[test]
+    fn deref_and_index() {
+        let v: SV = (0..3).collect();
+        assert_eq!(v[1], 1);
+        assert_eq!(v.iter().sum::<u64>(), 3);
+        let slice: &[u64] = &v;
+        assert_eq!(slice.len(), 3);
+    }
+
+    #[test]
+    fn with_capacity_spills_eagerly_when_large() {
+        let v = SV::with_capacity(16);
+        assert!(v.spilled());
+        assert!(v.capacity() >= 16);
+        let w = SV::with_capacity(3);
+        assert!(!w.spilled());
+    }
+
+    #[test]
+    fn into_vec_round_trip() {
+        let v: SV = (0..6).collect();
+        let plain = v.into_vec();
+        assert_eq!(plain, vec![0, 1, 2, 3, 4, 5]);
+        let small: SV = (0..2).collect();
+        assert_eq!(small.into_vec(), vec![0, 1]);
+    }
+
+    #[test]
+    fn clone_eq_debug_hash() {
+        let v: SV = (0..5).collect();
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_eq!(format!("{v:?}"), "[0, 1, 2, 3, 4]");
+        use std::collections::hash_map::DefaultHasher;
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        v.hash(&mut h1);
+        w.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn smallvec_macro() {
+        let v: SV = smallvec![7, 8, 9];
+        assert_eq!(v.as_slice(), &[7, 8, 9]);
+        let empty: SV = smallvec![];
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn owned_into_iter_inline_and_spilled() {
+        let v: SV = (0..3).collect();
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let big: SV = (0..9).collect();
+        assert_eq!(big.into_iter().sum::<u64>(), 36);
+    }
+
+    /// Counts live instances to prove drop correctness.
+    struct Counted<'a>(&'a AtomicUsize);
+    impl<'a> Counted<'a> {
+        fn new(c: &'a AtomicUsize) -> Self {
+            c.fetch_add(1, Ordering::SeqCst);
+            Counted(c)
+        }
+    }
+    impl Clone for Counted<'_> {
+        fn clone(&self) -> Self {
+            Counted::new(self.0)
+        }
+    }
+    impl Drop for Counted<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn drops_every_element_exactly_once() {
+        let live = AtomicUsize::new(0);
+        {
+            let mut v: SmallVec<[Counted<'_>; 2]> = SmallVec::new();
+            for _ in 0..5 {
+                v.push(Counted::new(&live));
+            }
+            assert_eq!(live.load(Ordering::SeqCst), 5);
+            v.truncate(3);
+            assert_eq!(live.load(Ordering::SeqCst), 3);
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+
+        // Inline-only lifecycle.
+        {
+            let mut v: SmallVec<[Counted<'_>; 8]> = SmallVec::new();
+            for _ in 0..4 {
+                v.push(Counted::new(&live));
+            }
+            v.pop();
+            assert_eq!(live.load(Ordering::SeqCst), 3);
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+
+        // Partially consumed owned iterator.
+        {
+            let mut v: SmallVec<[Counted<'_>; 2]> = SmallVec::new();
+            for _ in 0..6 {
+                v.push(Counted::new(&live));
+            }
+            let mut it = v.into_iter();
+            let first = it.next();
+            assert_eq!(live.load(Ordering::SeqCst), 6);
+            drop(first);
+            assert_eq!(live.load(Ordering::SeqCst), 5);
+            drop(it);
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+
+        // Partially consumed inline iterator.
+        {
+            let mut v: SmallVec<[Counted<'_>; 8]> = SmallVec::new();
+            for _ in 0..3 {
+                v.push(Counted::new(&live));
+            }
+            let mut it = v.into_iter();
+            drop(it.next());
+            drop(it);
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn extend_from_slice_and_from_slice() {
+        let mut v = SV::from_slice(&[1, 2]);
+        v.extend_from_slice(&[3, 4, 5]);
+        assert_eq!(v.as_slice(), &[1, 2, 3, 4, 5]);
+        assert!(v.spilled());
+    }
+
+    #[test]
+    fn compare_against_arrays_and_slices() {
+        let v: SV = smallvec![1, 2, 3];
+        assert_eq!(v, [1, 2, 3]);
+        assert_eq!(v, [1u64, 2, 3][..]);
+    }
+}

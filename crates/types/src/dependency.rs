@@ -106,21 +106,25 @@ impl DependencyList {
     }
 
     /// Returns the configured bound.
+    #[inline]
     pub fn bound(&self) -> usize {
         self.bound
     }
 
     /// Returns the number of entries currently stored.
+    #[inline]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Returns `true` if the list holds no entries.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// Returns the version recorded for `object`, if present.
+    #[inline]
     pub fn version_of(&self, object: ObjectId) -> Option<Version> {
         self.entries
             .iter()
@@ -129,11 +133,13 @@ impl DependencyList {
     }
 
     /// Returns `true` if `object` appears in the list.
+    #[inline]
     pub fn contains(&self, object: ObjectId) -> bool {
         self.version_of(object).is_some()
     }
 
     /// Iterates over the entries, most recently recorded first.
+    #[inline]
     pub fn iter(&self) -> impl Iterator<Item = &DependencyEntry> {
         self.entries.iter()
     }

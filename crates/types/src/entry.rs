@@ -21,6 +21,7 @@ pub struct VersionedObject {
 
 impl VersionedObject {
     /// Creates a versioned object.
+    #[inline]
     pub fn new(id: ObjectId, value: Value, version: Version) -> Self {
         VersionedObject { id, value, version }
     }
@@ -83,6 +84,7 @@ impl ObjectEntry {
 
     /// Returns the `(value, version)` view of this entry, dropping the
     /// dependency list.
+    #[inline]
     pub fn to_versioned(&self) -> VersionedObject {
         VersionedObject::new(self.id, self.value.clone(), self.version)
     }
@@ -90,6 +92,7 @@ impl ObjectEntry {
     /// Approximate in-memory size of the entry in bytes (value payload plus
     /// 16 bytes per dependency entry plus the version); used by overhead
     /// statistics.
+    #[inline]
     pub fn size_bytes(&self) -> usize {
         self.value.size_bytes() + 8 + 16 * self.dependencies.len()
     }

@@ -18,6 +18,7 @@ pub struct ObjectId(pub u64);
 
 impl ObjectId {
     /// Returns the raw numeric id.
+    #[inline]
     pub fn as_u64(self) -> u64 {
         self.0
     }
@@ -58,12 +59,14 @@ impl Version {
 
     /// Returns the next version (used by the database version clock).
     #[must_use]
+    #[inline]
     pub fn next(self) -> Version {
         Version(self.0 + 1)
     }
 
     /// Returns the maximum of two versions.
     #[must_use]
+    #[inline]
     pub fn max(self, other: Version) -> Version {
         if self.0 >= other.0 {
             self
@@ -73,11 +76,13 @@ impl Version {
     }
 
     /// Returns `true` if this version is strictly newer than `other`.
+    #[inline]
     pub fn is_newer_than(self, other: Version) -> bool {
         self.0 > other.0
     }
 
     /// Returns the raw numeric version.
+    #[inline]
     pub fn as_u64(self) -> u64 {
         self.0
     }
@@ -106,6 +111,7 @@ pub struct TxnId(pub u64);
 
 impl TxnId {
     /// Returns the raw numeric id.
+    #[inline]
     pub fn as_u64(self) -> u64 {
         self.0
     }

@@ -1,7 +1,7 @@
 //! Workspace automation tasks (`cargo xtask <task>`).
 //!
-//! Currently one task: `lint`, a repo-specific static scan with two rules
-//! sharing one brace-depth scope tracker:
+//! Currently one task: `lint`, a repo-specific static scan with three
+//! rules sharing one brace-depth scope tracker:
 //!
 //! * **lock-across-send** — a lock guard held across
 //!   `send`/`try_send`/publish/upcall calls, the deadlock class the
@@ -15,10 +15,17 @@
 //!   park on a bounded channel while pinned and reclamation stalls for
 //!   every retired entry in the domain until the send unblocks — a
 //!   memory-growth liveness hazard rather than a deadlock.
+//! * **hot-path-alloc** — a heap allocation inside a function marked
+//!   `// lint: hot-path` (the allocation-free cached-read fast path).
+//!   `Vec::new`/`vec!`/`Box::new`/`format!`/`.to_vec()`/
+//!   `.collect::<Vec<…>>` in such a body defeats the zero-allocation
+//!   guarantee the `zero_alloc` release test pins; the lint catches the
+//!   regression at review time, before the counting allocator does.
 //!
 //! The scan is a deliberately simple, line-based heuristic (no rustc
 //! plumbing, no external deps), kept honest by a commented allowlist:
-//! audited sites carry `// lint:allow lock-across-send — <why>` on the
+//! audited sites carry `// lint:allow lock-across-send — <why>` (or the
+//! rule's own marker, e.g. `// lint:allow hot-path-alloc — <why>`) on the
 //! flagged line (or the guard's binding line) and are skipped. Multi-line
 //! statements can evade the scanner; it exists to catch the common shape
 //! early and cheaply, not to be a soundness proof.
@@ -43,6 +50,26 @@ const PIN_PATTERNS: &[&str] = &[".pin()"];
 /// Patterns that hand control to a channel or an upcall — the calls a
 /// guard must not be held across.
 const SEND_PATTERNS: &[&str] = &[".send(", ".try_send(", ".publish(", "upcall("];
+
+/// Marker comment that arms the hot-path allocation rule for the next
+/// `fn` declaration.
+const HOT_PATH_MARKER: &str = "lint: hot-path";
+
+/// Marker that exempts an audited allocation inside a hot-path function.
+const HOT_ALLOW_MARKER: &str = "lint:allow hot-path-alloc";
+
+/// Allocation shapes banned inside `// lint: hot-path` functions.
+/// Identifier-leading patterns are matched on a token boundary so
+/// `ObservedVec::new()` / `smallvec![…]` (the inline small-buffers the
+/// fast path exists to use) do not trip the rule.
+const ALLOC_PATTERNS: &[&str] = &[
+    "Vec::new(",
+    "vec![",
+    "Box::new(",
+    "format!(",
+    ".to_vec()",
+    ".collect::<Vec<",
+];
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -82,7 +109,8 @@ fn lint() -> ExitCode {
 
     if findings.is_empty() {
         println!(
-            "xtask lint: {scanned} files scanned, no lock guard or epoch pin held across a send/upcall"
+            "xtask lint: {scanned} files scanned, no lock guard or epoch pin held across a \
+             send/upcall, no allocation in a hot-path function"
         );
         ExitCode::SUCCESS
     } else {
@@ -91,8 +119,10 @@ fn lint() -> ExitCode {
         }
         eprintln!(
             "xtask lint: {} finding(s) in {scanned} files — hold no lock or epoch pin across \
-             send/try_send/publish/upcall, or audit the site and annotate it with \
-             `// {ALLOW_MARKER} — <reason>` (locks) / `// {PIN_ALLOW_MARKER} — <reason>` (pins)",
+             send/try_send/publish/upcall and allocate nothing in `// {HOT_PATH_MARKER}` \
+             functions, or audit the site and annotate it with \
+             `// {ALLOW_MARKER} — <reason>` (locks) / `// {PIN_ALLOW_MARKER} — <reason>` (pins) \
+             / `// {HOT_ALLOW_MARKER} — <reason>` (hot-path allocations)",
             findings.len()
         );
         ExitCode::FAILURE
@@ -132,27 +162,61 @@ impl GuardKind {
 }
 
 /// One flagged site.
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    kind: GuardKind,
-    guard: String,
-    bound_at: usize,
-    call: String,
+enum Finding {
+    /// A lock/pin guard live across a send/upcall.
+    GuardAcrossSend {
+        file: PathBuf,
+        line: usize,
+        kind: GuardKind,
+        guard: String,
+        bound_at: usize,
+        call: String,
+    },
+    /// A heap allocation inside a `// lint: hot-path` function.
+    HotPathAlloc {
+        file: PathBuf,
+        line: usize,
+        pattern: &'static str,
+        fn_line: usize,
+    },
 }
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: `{}` reached while holding {} `{}` (bound at line {})",
-            self.file.display(),
-            self.line,
-            self.call,
-            self.kind.label(),
-            self.guard,
-            self.bound_at
-        )
+        match self {
+            Finding::GuardAcrossSend {
+                file,
+                line,
+                kind,
+                guard,
+                bound_at,
+                call,
+            } => write!(
+                f,
+                "{}:{}: `{}` reached while holding {} `{}` (bound at line {})",
+                file.display(),
+                line,
+                call,
+                kind.label(),
+                guard,
+                bound_at
+            ),
+            Finding::HotPathAlloc {
+                file,
+                line,
+                pattern,
+                fn_line,
+            } => write!(
+                f,
+                "{}:{}: `{}` allocates inside a `// {HOT_PATH_MARKER}` function \
+                 (declared at line {}); hoist the allocation or annotate with \
+                 `// {HOT_ALLOW_MARKER} — <reason>`",
+                file.display(),
+                line,
+                pattern,
+                fn_line
+            ),
+        }
     }
 }
 
@@ -167,17 +231,43 @@ struct Guard {
 
 const GUARD_KINDS: [GuardKind; 2] = [GuardKind::Lock, GuardKind::Pin];
 
+/// An active `// lint: hot-path` function body.
+struct HotRegion {
+    /// Brace depth at the `fn` declaration line; the body is deeper.
+    entry_depth: i32,
+    /// Whether the body's opening brace has been passed.
+    entered: bool,
+    /// Line of the `fn` declaration (for the finding message).
+    fn_line: usize,
+}
+
 fn scan_file(path: &Path, source: &str, findings: &mut Vec<Finding>) {
     let mut depth: i32 = 0;
     let mut guards: Vec<Guard> = Vec::new();
     let mut in_block_comment = false;
+    let mut hot_armed = false;
+    let mut hot: Option<HotRegion> = None;
 
     for (idx, raw) in source.lines().enumerate() {
         let line_no = idx + 1;
         let code = strip_comments(raw, &mut in_block_comment);
 
+        // Hot-path allocation rule: banned shapes inside the marked body.
+        if let Some(region) = &hot {
+            if depth > region.entry_depth && !raw.contains(HOT_ALLOW_MARKER) {
+                if let Some(pattern) = alloc_pattern(&code) {
+                    findings.push(Finding::HotPathAlloc {
+                        file: path.to_path_buf(),
+                        line: line_no,
+                        pattern,
+                        fn_line: region.fn_line,
+                    });
+                }
+            }
+        }
+
         // A send while a guard is live — or a single-statement
-        // acquire-then-send chain — is the shape both rules flag.
+        // acquire-then-send chain — is the shape both guard rules flag.
         if let Some(call) = SEND_PATTERNS.iter().find(|p| code.contains(**p)) {
             for kind in GUARD_KINDS {
                 let allowed_here = raw.contains(kind.allow_marker());
@@ -187,7 +277,7 @@ fn scan_file(path: &Path, source: &str, findings: &mut Vec<Finding>) {
                 let live = guards.iter().find(|g| g.kind == kind && !g.allowed);
                 let chained = kind.patterns().iter().any(|p| code.contains(*p));
                 if let Some(guard) = live {
-                    findings.push(Finding {
+                    findings.push(Finding::GuardAcrossSend {
                         file: path.to_path_buf(),
                         line: line_no,
                         kind,
@@ -196,7 +286,7 @@ fn scan_file(path: &Path, source: &str, findings: &mut Vec<Finding>) {
                         call: call.trim_end_matches('(').to_string(),
                     });
                 } else if chained {
-                    findings.push(Finding {
+                    findings.push(Finding::GuardAcrossSend {
                         file: path.to_path_buf(),
                         line: line_no,
                         kind,
@@ -228,11 +318,59 @@ fn scan_file(path: &Path, source: &str, findings: &mut Vec<Finding>) {
             guards.retain(|g| !code.contains(&format!("drop({})", g.name)));
         }
 
+        // Hot-path arming: the marker comment arms the rule, the next `fn`
+        // declaration opens the region at the current depth.
+        if raw.contains(HOT_PATH_MARKER) && !raw.contains(HOT_ALLOW_MARKER) {
+            hot_armed = true;
+        } else if hot_armed && code.contains("fn ") {
+            hot = Some(HotRegion {
+                entry_depth: depth,
+                entered: false,
+                fn_line: line_no,
+            });
+            hot_armed = false;
+        }
+
         // Scope tracking: guards die when their block closes (depth falls
-        // below what it was at the binding).
+        // below what it was at the binding); the hot region ends when the
+        // function body's brace closes.
         depth += brace_delta(&code);
         guards.retain(|g| depth >= g.depth);
+        if let Some(region) = &mut hot {
+            if depth > region.entry_depth {
+                region.entered = true;
+            } else if region.entered {
+                hot = None;
+            }
+        }
     }
+}
+
+/// Returns the first banned allocation pattern on the line, matching
+/// identifier-leading patterns only on a token boundary (so
+/// `ObservedVec::new()` and `smallvec![…]` don't count as `Vec::new(` /
+/// `vec![`).
+fn alloc_pattern(code: &str) -> Option<&'static str> {
+    for &pattern in ALLOC_PATTERNS {
+        let needs_boundary = pattern
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric());
+        let mut search_from = 0;
+        while let Some(pos) = code[search_from..].find(pattern) {
+            let at = search_from + pos;
+            let bounded = !needs_boundary
+                || code[..at]
+                    .chars()
+                    .next_back()
+                    .is_none_or(|prev| !prev.is_ascii_alphanumeric() && prev != '_');
+            if bounded {
+                return Some(pattern);
+            }
+            search_from = at + pattern.len();
+        }
+    }
+    None
 }
 
 /// Extracts the bound name of a guard-acquiring `let`, if this line is one.
@@ -418,5 +556,55 @@ mod tests {
         assert!(findings_for(src).is_empty());
         let block = "fn f() {\n    /* let g = x.lock(); */\n    tx.send(1).unwrap();\n}\n";
         assert!(findings_for(block).is_empty());
+    }
+
+    #[test]
+    fn hot_path_function_rejects_allocations() {
+        let src = "// lint: hot-path\nfn f() {\n    let v = Vec::new();\n    let b = vec![1];\n}\n";
+        let found = findings_for(src);
+        assert_eq!(found.len(), 2);
+        assert!(found[0].contains("`Vec::new(`"));
+        assert!(found[0].contains("declared at line 2"));
+        assert!(found[1].contains("`vec![`"));
+    }
+
+    #[test]
+    fn hot_path_region_ends_with_the_function_body() {
+        let src = "// lint: hot-path\nfn f() {\n    g();\n}\n\nfn h() {\n    let v = Vec::new();\n}\n";
+        assert!(findings_for(src).is_empty());
+    }
+
+    #[test]
+    fn unmarked_functions_may_allocate() {
+        let src = "fn f() {\n    let v = Vec::new();\n    let s = format!(\"x\");\n}\n";
+        assert!(findings_for(src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_allow_marker_silences_audited_allocations() {
+        let src = "// lint: hot-path\nfn f() {\n    let v = Vec::new(); // lint:allow hot-path-alloc — cold error arm\n}\n";
+        assert!(findings_for(src).is_empty());
+    }
+
+    #[test]
+    fn inline_small_buffers_do_not_trip_the_hot_path_rule() {
+        let src = "// lint: hot-path\nfn f() {\n    let v = ObservedVec::new();\n    let s = smallvec![1];\n    let w = SmallVec::new();\n}\n";
+        assert!(findings_for(src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_rule_spans_multiline_signatures_and_all_patterns() {
+        let src = "// lint: hot-path\nfn f(\n    a: u32,\n) -> u32 {\n    let s = format!(\"x\");\n    let v = xs.iter().collect::<Vec<_>>();\n    let w = ys.to_vec();\n    let b = Box::new(1);\n    a\n}\n";
+        let found = findings_for(src);
+        assert_eq!(found.len(), 4);
+        assert!(found.iter().all(|f| f.contains("declared at line 2")));
+    }
+
+    #[test]
+    fn hot_path_marker_in_plain_comment_position_arms_next_fn_only() {
+        let src = "// lint: hot-path\npub(crate) fn fast() {\n    let v = Vec::new();\n}\nfn slow() {\n    let v = Vec::new();\n}\n";
+        let found = findings_for(src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].contains(":3:"));
     }
 }
